@@ -1,0 +1,45 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench is runnable with no arguments at "ci" scale (minutes on one
+// core) and accepts --scale=paper plus the individual overrides documented
+// in harness/config.hpp. Results print as aligned tables; pass
+// --csv=<path> to also write CSV.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "harness/config.hpp"
+#include "harness/models.hpp"
+#include "harness/registry.hpp"
+#include "harness/runner.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace netsyn::bench {
+
+inline void banner(const char* title, const harness::ExperimentConfig& cfg) {
+  std::printf("=== %s ===\n", title);
+  std::printf(
+      "scale=%s budget=%zu runs/program=%zu programs/length=%zu seed=%llu\n",
+      cfg.scaleName.c_str(), cfg.searchBudget, cfg.runsPerProgram,
+      cfg.programsPerLength,
+      static_cast<unsigned long long>(cfg.seed));
+  std::printf(
+      "(paper constants: budget=3,000,000 K=10 programs/length=100; run "
+      "with --scale=paper)\n\n");
+}
+
+inline void emit(const util::Table& table, const util::ArgParse& args,
+                 const std::string& defaultCsvName) {
+  std::printf("%s\n", table.toString().c_str());
+  const std::string csv = args.getString("csv", "");
+  if (!csv.empty()) {
+    table.writeCsv(csv);
+    std::printf("[csv written to %s]\n", csv.c_str());
+  }
+  (void)defaultCsvName;
+}
+
+}  // namespace netsyn::bench

@@ -1,0 +1,35 @@
+// Reproduces Figure 4(a)-(c) and Table 4: search space used to synthesize
+// 10%..100% of the test programs, per method and program length.
+//
+// Paper shape to verify: the NetSyn variants synthesize more programs than
+// DeepCoder / PCCoder / RobustFill / PushGP / Edit within the same budget;
+// Edit and PushGP consume the most search space; the Oracle solves nearly
+// everything with a negligible fraction of the budget.
+#include "bench_common.hpp"
+
+using namespace netsyn;
+
+int main(int argc, char** argv) {
+  const util::ArgParse args(argc, argv);
+  auto config = harness::ExperimentConfig::fromArgs(args);
+  bench::banner("Figure 4(a-c) / Table 4: search-space use", config);
+
+  const auto models = harness::loadOrTrainAll(config);
+  const auto methods = harness::makeAllMethods(config, models);
+
+  for (const std::size_t length : config.programLengths) {
+    const auto workload = harness::makeWorkload(config, length);
+    std::printf("-- program length %zu (%zu programs) --\n", length,
+                workload.size());
+    util::Table table(harness::percentileHeader("space"));
+    for (const auto& method : methods) {
+      const auto report =
+          harness::runMethod(*method, workload, config, /*verbose=*/false);
+      harness::appendPercentileRow(table, report, /*useTime=*/false);
+      std::fprintf(stderr, "[fig4-space] len %zu: %s done\n", length,
+                   method->name().c_str());
+    }
+    bench::emit(table, args, "fig4_search_space.csv");
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Figure 4(d)-(f): the distribution of per-program synthesis
+// rates (the percentage of the K repeated runs that synthesize each
+// program), rendered as the five-number summary + histogram that the
+// paper's violin plots visualize.
+//
+// Paper shape to verify: NetSyn's distribution is concentrated near 100% at
+// short lengths and becomes bimodal at longer lengths with the larger mass
+// still at the top; the baselines are bimodal with the larger mass at 0%.
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+using namespace netsyn;
+
+int main(int argc, char** argv) {
+  const util::ArgParse args(argc, argv);
+  auto config = harness::ExperimentConfig::fromArgs(args);
+  // Rate distributions need several repetitions per program.
+  if (!args.has("runs")) config.runsPerProgram = 4;
+  if (!args.has("programs-per-length")) config.programsPerLength = 6;
+  bench::banner("Figure 4(d-f): synthesis-rate distributions", config);
+
+  const auto models = harness::loadOrTrainAll(config);
+  const auto methods = harness::makeAllMethods(config, models);
+
+  for (const std::size_t length : config.programLengths) {
+    const auto workload = harness::makeWorkload(config, length);
+    std::printf("-- program length %zu (%zu programs, K=%zu) --\n", length,
+                workload.size(), config.runsPerProgram);
+    util::Table table({"Method", "min", "q1", "median", "q3", "max",
+                       "rate=0", "0<rate<100", "rate=100"});
+    for (const auto& method : methods) {
+      const auto report =
+          harness::runMethod(*method, workload, config, /*verbose=*/false);
+      std::vector<double> rates;
+      int zero = 0, partial = 0, full = 0;
+      for (const auto& p : report.programs) {
+        const double r = p.synthesisRate();
+        rates.push_back(r * 100.0);
+        if (r <= 0.0) ++zero;
+        else if (r >= 1.0) ++full;
+        else ++partial;
+      }
+      table.newRow()
+          .add(report.method)
+          .addDouble(util::percentile(rates, 0), 0)
+          .addDouble(util::percentile(rates, 25), 0)
+          .addDouble(util::percentile(rates, 50), 0)
+          .addDouble(util::percentile(rates, 75), 0)
+          .addDouble(util::percentile(rates, 100), 0)
+          .addInt(zero)
+          .addInt(partial)
+          .addInt(full);
+      std::fprintf(stderr, "[fig4-rate] len %zu: %s done\n", length,
+                   method->name().c_str());
+    }
+    bench::emit(table, args, "fig4_synthesis_rate.csv");
+  }
+  return 0;
+}

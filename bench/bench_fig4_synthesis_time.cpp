@@ -1,0 +1,38 @@
+// Reproduces Figure 4(g)-(i) and Table 3: wall-clock time needed to
+// synthesize 10%..100% of the test programs, per method and length.
+//
+// Paper shape to verify: the guided-enumeration baselines find their (fewer)
+// solutions faster than NetSyn, whose goal is fewer candidates rather than
+// wall-clock speed; the Oracle is near-instant; synthesis time grows with
+// program length.
+#include "bench_common.hpp"
+
+using namespace netsyn;
+
+int main(int argc, char** argv) {
+  const util::ArgParse args(argc, argv);
+  auto config = harness::ExperimentConfig::fromArgs(args);
+  // Slightly smaller default workload than the search-space bench: the
+  // metric here is wall-clock, so fewer repetitions suffice.
+  if (!args.has("programs-per-length")) config.programsPerLength = 6;
+  bench::banner("Figure 4(g-i) / Table 3: synthesis time (seconds)", config);
+
+  const auto models = harness::loadOrTrainAll(config);
+  const auto methods = harness::makeAllMethods(config, models);
+
+  for (const std::size_t length : config.programLengths) {
+    const auto workload = harness::makeWorkload(config, length);
+    std::printf("-- program length %zu (%zu programs) --\n", length,
+                workload.size());
+    util::Table table(harness::percentileHeader("secs"));
+    for (const auto& method : methods) {
+      const auto report =
+          harness::runMethod(*method, workload, config, /*verbose=*/false);
+      harness::appendPercentileRow(table, report, /*useTime=*/true);
+      std::fprintf(stderr, "[fig4-time] len %zu: %s done\n", length,
+                   method->name().c_str());
+    }
+    bench::emit(table, args, "fig4_synthesis_time.csv");
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces Figure 5(a)-(c): synthesis percentage of singleton-output
+// versus list-output programs for each NetSyn fitness variant.
+//
+// Paper shape to verify: singleton programs (final function returns a
+// single integer) are harder to synthesize for all three variants, and the
+// f_FP variant is weakest on singletons.
+#include "bench_common.hpp"
+
+using namespace netsyn;
+
+int main(int argc, char** argv) {
+  const util::ArgParse args(argc, argv);
+  auto config = harness::ExperimentConfig::fromArgs(args);
+  if (!args.has("programs-per-length")) config.programsPerLength = 8;
+  if (!args.has("lengths")) config.programLengths = {5};
+  bench::banner("Figure 5: singleton vs list programs", config);
+
+  const auto models = harness::loadOrTrainAll(config);
+  const harness::NetSynVariant variants[] = {harness::NetSynVariant::CF,
+                                             harness::NetSynVariant::LCS,
+                                             harness::NetSynVariant::FP};
+
+  util::Table table({"Variant", "Singleton synth%", "Singleton rate%",
+                     "List synth%", "List rate%"});
+  for (const auto variant : variants) {
+    auto method = harness::makeNetSyn(config, models, variant);
+    double singletonFound = 0, singletonRate = 0, listFound = 0,
+           listRate = 0;
+    std::size_t singletonN = 0, listN = 0;
+    for (const std::size_t length : config.programLengths) {
+      const auto workload = harness::makeWorkload(config, length);
+      const auto report =
+          harness::runMethod(*method, workload, config, /*verbose=*/false);
+      for (const auto& p : report.programs) {
+        if (p.singleton) {
+          singletonFound += p.synthesized() ? 1 : 0;
+          singletonRate += p.synthesisRate();
+          ++singletonN;
+        } else {
+          listFound += p.synthesized() ? 1 : 0;
+          listRate += p.synthesisRate();
+          ++listN;
+        }
+      }
+    }
+    table.newRow()
+        .add(method->name())
+        .addPercent(singletonN ? singletonFound / double(singletonN) : 0, 0)
+        .addPercent(singletonN ? singletonRate / double(singletonN) : 0, 0)
+        .addPercent(listN ? listFound / double(listN) : 0, 0)
+        .addPercent(listN ? listRate / double(listN) : 0, 0);
+    std::fprintf(stderr, "[fig5] %s done\n", method->name().c_str());
+  }
+  bench::emit(table, args, "fig5_singleton_vs_list.csv");
+  return 0;
+}

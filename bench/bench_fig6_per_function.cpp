@@ -1,0 +1,75 @@
+// Reproduces Figure 6: synthesis percentage across the 41 DSL functions for
+// the f_CF and f_FP variants — the mean synthesis rate of the test programs
+// that contain each function, indexed by the paper's 1..41 numbering.
+//
+// Paper shape to verify: the singleton-producing functions (low paper
+// numbers: ACCESS, COUNT*, HEAD, LAST, MIN, MAX, SEARCH, SUM) have the
+// lowest synthesis percentages, and f_CF's per-function floor is higher
+// than f_FP's (which drops to zero on several functions).
+#include <array>
+
+#include "bench_common.hpp"
+
+using namespace netsyn;
+
+int main(int argc, char** argv) {
+  const util::ArgParse args(argc, argv);
+  auto config = harness::ExperimentConfig::fromArgs(args);
+  if (!args.has("programs-per-length")) config.programsPerLength = 16;
+  if (!args.has("lengths")) config.programLengths = {5};
+  if (!args.has("runs")) config.runsPerProgram = 1;
+  bench::banner("Figure 6: synthesis percentage per DSL function", config);
+
+  const auto models = harness::loadOrTrainAll(config);
+  const auto workload =
+      harness::makeWorkload(config, config.programLengths.front());
+
+  struct PerFunction {
+    double rateSum = 0;
+    std::size_t programs = 0;
+  };
+
+  util::Table table({"#", "Function", "CF synth%", "FP synth%", "programs"});
+  std::array<PerFunction, dsl::kNumFunctions> cfStats{}, fpStats{};
+  for (const auto variant :
+       {harness::NetSynVariant::CF, harness::NetSynVariant::FP}) {
+    auto method = harness::makeNetSyn(config, models, variant);
+    const auto report =
+        harness::runMethod(*method, workload, config, /*verbose=*/false);
+    auto& stats =
+        variant == harness::NetSynVariant::CF ? cfStats : fpStats;
+    for (const auto& p : report.programs) {
+      // Attribute the program's rate to every distinct function it uses.
+      std::array<bool, dsl::kNumFunctions> used{};
+      for (dsl::FuncId f : p.target.functions()) used[f] = true;
+      for (std::size_t f = 0; f < dsl::kNumFunctions; ++f) {
+        if (!used[f]) continue;
+        stats[f].rateSum += p.synthesisRate();
+        ++stats[f].programs;
+      }
+    }
+    std::fprintf(stderr, "[fig6] %s done\n", method->name().c_str());
+  }
+
+  // Order rows by the paper's function numbering.
+  std::array<dsl::FuncId, dsl::kNumFunctions> byPaper{};
+  for (std::size_t i = 0; i < dsl::kNumFunctions; ++i) {
+    const auto& info = dsl::functionInfo(static_cast<dsl::FuncId>(i));
+    byPaper[info.paperNumber - 1] = static_cast<dsl::FuncId>(i);
+  }
+  for (std::size_t n = 0; n < dsl::kNumFunctions; ++n) {
+    const dsl::FuncId f = byPaper[n];
+    const auto& info = dsl::functionInfo(f);
+    const auto pct = [](const PerFunction& s) {
+      return s.programs ? s.rateSum / double(s.programs) : 0.0;
+    };
+    table.newRow()
+        .addInt(info.paperNumber)
+        .add(info.name)
+        .addPercent(pct(cfStats[f]), 0)
+        .addPercent(pct(fpStats[f]), 0)
+        .addInt(static_cast<long>(cfStats[f].programs));
+  }
+  bench::emit(table, args, "fig6_per_function.csv");
+  return 0;
+}

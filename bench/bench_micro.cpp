@@ -1,0 +1,172 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// components: DSL interpretation, dead-code analysis, program generation,
+// oracle metrics, NN forward passes (autograd graph vs the allocation-free
+// inference path), fitness scoring, GA breeding, and neighborhood search.
+#include <benchmark/benchmark.h>
+
+#include "core/evaluator.hpp"
+#include "core/ga.hpp"
+#include "core/neighborhood.hpp"
+#include "dsl/dce.hpp"
+#include "dsl/generator.hpp"
+#include "fitness/dataset.hpp"
+#include "fitness/edit.hpp"
+#include "fitness/metrics.hpp"
+#include "fitness/model.hpp"
+#include "fitness/neural_fitness.hpp"
+#include "util/rng.hpp"
+
+using namespace netsyn;
+
+namespace {
+
+dsl::Generator::TestCase makeCase(std::size_t length, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const dsl::Generator gen;
+  return *gen.randomTestCase(length, 5, false, rng);
+}
+
+fitness::NnffConfig benchModelConfig(fitness::HeadKind head) {
+  fitness::NnffConfig cfg;
+  cfg.encoder = {.vmax = 64, .maxValueTokens = 8};
+  cfg.embedDim = 16;
+  cfg.hiddenDim = 24;
+  cfg.maxExamples = 3;
+  cfg.head = head;
+  cfg.useTrace = head != fitness::HeadKind::Multilabel;
+  return cfg;
+}
+
+void BM_InterpreterRun(benchmark::State& state) {
+  const auto tc = makeCase(static_cast<std::size_t>(state.range(0)), 1);
+  const auto& inputs = tc.spec.examples[0].inputs;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsl::run(tc.program, inputs));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpreterRun)->Arg(5)->Arg(10);
+
+void BM_InterpreterEvalNoTrace(benchmark::State& state) {
+  const auto tc = makeCase(5, 2);
+  const auto& inputs = tc.spec.examples[0].inputs;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsl::eval(tc.program, inputs));
+  }
+}
+BENCHMARK(BM_InterpreterEvalNoTrace);
+
+void BM_DeadCodeAnalysis(benchmark::State& state) {
+  const auto tc = makeCase(static_cast<std::size_t>(state.range(0)), 3);
+  const dsl::InputSignature sig = tc.spec.signature();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsl::liveMask(tc.program, sig));
+  }
+}
+BENCHMARK(BM_DeadCodeAnalysis)->Arg(5)->Arg(10);
+
+void BM_RandomFullyLiveProgram(benchmark::State& state) {
+  util::Rng rng(4);
+  const dsl::Generator gen;
+  const dsl::InputSignature sig = {dsl::Type::List};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gen.randomProgram(static_cast<std::size_t>(state.range(0)), sig, rng));
+  }
+}
+BENCHMARK(BM_RandomFullyLiveProgram)->Arg(5)->Arg(10);
+
+void BM_OracleMetrics(benchmark::State& state) {
+  const auto a = makeCase(10, 5).program;
+  const auto b = makeCase(10, 6).program;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fitness::commonFunctions(a, b));
+    benchmark::DoNotOptimize(fitness::longestCommonSubsequence(a, b));
+  }
+}
+BENCHMARK(BM_OracleMetrics);
+
+void BM_EditDistanceFitness(benchmark::State& state) {
+  const auto tc = makeCase(5, 7);
+  const auto candidate = makeCase(5, 8).program;
+  std::vector<dsl::ExecResult> runs;
+  for (const auto& ex : tc.spec.examples)
+    runs.push_back(dsl::run(candidate, ex.inputs));
+  fitness::EditDistanceFitness fit;
+  const fitness::EvalContext ctx{tc.spec, runs};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit.score(candidate, ctx));
+  }
+}
+BENCHMARK(BM_EditDistanceFitness);
+
+void BM_NnffForwardGraph(benchmark::State& state) {
+  const fitness::NnffModel model(benchModelConfig(fitness::HeadKind::Classifier));
+  fitness::DatasetBuilder builder;
+  util::Rng rng(9);
+  const auto s = *builder.makeSample(3, fitness::BalanceMetric::CF, rng);
+  nn::InferenceModeGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(s.spec, s.candidate, s.traces));
+  }
+}
+BENCHMARK(BM_NnffForwardGraph);
+
+void BM_NnffForwardFast(benchmark::State& state) {
+  const fitness::NnffModel model(benchModelConfig(fitness::HeadKind::Classifier));
+  fitness::DatasetBuilder builder;
+  util::Rng rng(9);
+  const auto s = *builder.makeSample(3, fitness::BalanceMetric::CF, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forwardFast(s.spec, s.candidate, s.traces));
+  }
+}
+BENCHMARK(BM_NnffForwardFast);
+
+void BM_ProbMapInference(benchmark::State& state) {
+  auto model = std::make_shared<fitness::NnffModel>(
+      benchModelConfig(fitness::HeadKind::Multilabel));
+  fitness::DatasetBuilder builder;
+  util::Rng rng(10);
+  const auto s = *builder.makeSample(3, fitness::BalanceMetric::CF, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->forwardIOOnlyFast(s.spec));
+  }
+}
+BENCHMARK(BM_ProbMapInference);
+
+void BM_GaBreedGeneration(benchmark::State& state) {
+  util::Rng rng(11);
+  const dsl::Generator gen;
+  const dsl::InputSignature sig = {dsl::Type::List};
+  core::GaConfig config;
+  config.populationSize = 100;
+  core::Population pop;
+  for (std::size_t i = 0; i < config.populationSize; ++i)
+    pop.push_back({*gen.randomProgram(5, sig, rng), rng.uniformReal()});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::breed(pop, config, sig, gen, rng, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * config.populationSize);
+}
+BENCHMARK(BM_GaBreedGeneration);
+
+void BM_NeighborhoodSearchBfs(benchmark::State& state) {
+  const auto tc = makeCase(5, 12);
+  // A gene far from the target: the full neighborhood is swept every time.
+  const auto gene = makeCase(5, 13).program;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::SearchBudget budget(1u << 30);
+    core::SpecEvaluator ev(tc.spec, budget, /*dedup=*/false);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(core::neighborhoodSearchBfs({gene}, ev));
+  }
+  state.SetItemsProcessed(state.iterations() * 5 * (dsl::kNumFunctions - 1));
+}
+BENCHMARK(BM_NeighborhoodSearchBfs);
+
+}  // namespace
+
+BENCHMARK_MAIN();

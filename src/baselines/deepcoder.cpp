@@ -1,0 +1,79 @@
+#include "baselines/deepcoder.hpp"
+
+#include <algorithm>
+
+#include "dsl/dce.hpp"
+#include "util/timer.hpp"
+
+namespace netsyn::baselines {
+namespace {
+
+struct Enumerator {
+  core::SpecEvaluator& evaluator;
+  const std::vector<dsl::FuncId>& order;  // functions, most probable first
+  const dsl::InputSignature& sig;
+  core::SynthesisResult& result;
+  std::vector<dsl::FuncId> prefix;
+
+  /// Depth-first enumeration of programs of exactly `remaining` more
+  /// functions; returns true when the search should stop (found/budget).
+  bool enumerate(std::size_t remaining) {
+    if (remaining == 0) {
+      const dsl::Program candidate{prefix};
+      // Dead code => equivalent shorter program already covered: skip free.
+      if (!dsl::isFullyLive(candidate, sig)) return false;
+      const auto ok = evaluator.check(candidate);
+      if (!ok.has_value()) return true;  // budget exhausted
+      if (*ok) {
+        result.found = true;
+        result.solution = candidate;
+        return true;
+      }
+      return false;
+    }
+    for (const dsl::FuncId f : order) {
+      prefix.push_back(f);
+      const bool stop = enumerate(remaining - 1);
+      prefix.pop_back();
+      if (stop) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+core::SynthesisResult DeepCoderMethod::synthesize(const dsl::Spec& spec,
+                                                  std::size_t targetLength,
+                                                  std::size_t budgetLimit,
+                                                  util::Rng&) {
+  util::Timer timer;
+  core::SynthesisResult result;
+  core::SearchBudget budget(budgetLimit);
+  core::SpecEvaluator evaluator(spec, budget);
+  const dsl::InputSignature sig = spec.signature();
+
+  const auto map = probMap_->probMap(spec);
+  std::vector<dsl::FuncId> order(dsl::kNumFunctions);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    order[i] = static_cast<dsl::FuncId>(i);
+  std::stable_sort(order.begin(), order.end(),
+                   [&map](dsl::FuncId a, dsl::FuncId b) {
+                     return map[a] > map[b];
+                   });
+
+  // Iterative deepening: shorter equivalents are found first (and cheaply).
+  for (std::size_t length = 1;
+       length <= targetLength && !result.found && !budget.exhausted();
+       ++length) {
+    Enumerator e{evaluator, order, sig, result, {}};
+    e.prefix.reserve(length);
+    e.enumerate(length);
+  }
+
+  result.candidatesSearched = budget.used();
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace netsyn::baselines

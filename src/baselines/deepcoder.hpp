@@ -1,0 +1,34 @@
+// DeepCoder-style baseline (Balog et al., 2017): a learned model predicts,
+// from the IO examples alone, the probability that each DSL function appears
+// in the target program; a guided enumerative search then explores programs
+// in an order biased toward high-probability functions ("sort and add").
+//
+// Our reimplementation preserves the search discipline on this repo's DSL:
+// iterative deepening over program lengths 1..targetLength with a
+// depth-first enumeration whose branches are sorted by descending predicted
+// probability. Programs with dead code are skipped without charge (they are
+// semantically identical to a shorter, already-enumerated program).
+#pragma once
+
+#include "baselines/method.hpp"
+#include "fitness/neural_fitness.hpp"
+
+namespace netsyn::baselines {
+
+class DeepCoderMethod final : public Method {
+ public:
+  explicit DeepCoderMethod(std::shared_ptr<fitness::ProbMapProvider> probMap)
+      : probMap_(std::move(probMap)) {}
+
+  std::string name() const override { return "DeepCoder"; }
+
+  core::SynthesisResult synthesize(const dsl::Spec& spec,
+                                   std::size_t targetLength,
+                                   std::size_t budgetLimit,
+                                   util::Rng& rng) override;
+
+ private:
+  std::shared_ptr<fitness::ProbMapProvider> probMap_;
+};
+
+}  // namespace netsyn::baselines

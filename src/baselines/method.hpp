@@ -1,0 +1,59 @@
+// Uniform interface for synthesis methods (NetSyn variants and baselines).
+//
+// Every method searches for a program equivalent to the spec within a fixed
+// candidate budget; the harness treats them identically, which is exactly
+// the paper's experimental control (§5: every approach gets the same
+// 3,000,000-candidate maximum search space).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/synthesizer.hpp"
+#include "dsl/spec.hpp"
+#include "util/rng.hpp"
+
+namespace netsyn::baselines {
+
+class Method {
+ public:
+  virtual ~Method() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Searches for a program of length <= targetLength equivalent to `spec`
+  /// examining at most `budgetLimit` candidates.
+  virtual core::SynthesisResult synthesize(const dsl::Spec& spec,
+                                           std::size_t targetLength,
+                                           std::size_t budgetLimit,
+                                           util::Rng& rng) = 0;
+};
+
+using MethodPtr = std::shared_ptr<Method>;
+
+/// Adapter exposing a configured NetSyn synthesizer (any fitness function)
+/// through the Method interface.
+class SynthesizerMethod final : public Method {
+ public:
+  SynthesizerMethod(std::string name, core::SynthesizerConfig config,
+                    fitness::FitnessPtr fitnessFn,
+                    std::shared_ptr<fitness::ProbMapProvider> probMap = nullptr)
+      : name_(std::move(name)),
+        synthesizer_(std::move(config), std::move(fitnessFn),
+                     std::move(probMap)) {}
+
+  std::string name() const override { return name_; }
+
+  core::SynthesisResult synthesize(const dsl::Spec& spec,
+                                   std::size_t targetLength,
+                                   std::size_t budgetLimit,
+                                   util::Rng& rng) override {
+    return synthesizer_.synthesize(spec, targetLength, budgetLimit, rng);
+  }
+
+ private:
+  std::string name_;
+  core::Synthesizer synthesizer_;
+};
+
+}  // namespace netsyn::baselines

@@ -1,0 +1,81 @@
+#include "baselines/pccoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/timer.hpp"
+
+namespace netsyn::baselines {
+namespace {
+
+struct BeamEntry {
+  std::vector<dsl::FuncId> prefix;
+  double logProb = 0.0;
+};
+
+}  // namespace
+
+core::SynthesisResult PcCoderMethod::synthesize(const dsl::Spec& spec,
+                                                std::size_t targetLength,
+                                                std::size_t budgetLimit,
+                                                util::Rng&) {
+  util::Timer timer;
+  core::SynthesisResult result;
+  core::SearchBudget budget(budgetLimit);
+  core::SpecEvaluator evaluator(spec, budget);
+
+  const auto map = probMap_->probMap(spec);
+  std::array<double, dsl::kNumFunctions> logp{};
+  for (std::size_t i = 0; i < dsl::kNumFunctions; ++i)
+    logp[i] = std::log(std::max(map[i], 1e-6));
+
+  // CAB: widen the beam and restart until found or budget exhausted.
+  for (std::size_t width = initialBeamWidth_;
+       !result.found && !budget.exhausted(); width *= 2) {
+    std::vector<BeamEntry> beam = {BeamEntry{}};
+    for (std::size_t depth = 1;
+         depth <= targetLength && !result.found && !budget.exhausted();
+         ++depth) {
+      std::vector<BeamEntry> expanded;
+      expanded.reserve(beam.size() * dsl::kNumFunctions);
+      for (const auto& entry : beam) {
+        for (std::size_t f = 0; f < dsl::kNumFunctions; ++f) {
+          BeamEntry next;
+          next.prefix = entry.prefix;
+          next.prefix.push_back(static_cast<dsl::FuncId>(f));
+          next.logProb = entry.logProb + logp[f];
+          expanded.push_back(std::move(next));
+        }
+      }
+      std::stable_sort(expanded.begin(), expanded.end(),
+                       [](const BeamEntry& a, const BeamEntry& b) {
+                         return a.logProb > b.logProb;
+                       });
+      if (expanded.size() > width) expanded.resize(width);
+
+      // Stepwise equivalence checks: every kept prefix is a candidate.
+      for (const auto& entry : expanded) {
+        const dsl::Program candidate{entry.prefix};
+        const auto ok = evaluator.check(candidate);
+        if (!ok.has_value()) break;  // budget exhausted
+        if (*ok) {
+          result.found = true;
+          result.solution = candidate;
+          break;
+        }
+      }
+      beam = std::move(expanded);
+    }
+    // Safety: beyond |Sigma|^targetLength the beam cannot grow further.
+    const double full =
+        std::pow(static_cast<double>(dsl::kNumFunctions),
+                 static_cast<double>(targetLength));
+    if (static_cast<double>(width) > full) break;
+  }
+
+  result.candidatesSearched = budget.used();
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace netsyn::baselines

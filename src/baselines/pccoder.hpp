@@ -1,0 +1,36 @@
+// PCCoder-style baseline (Zohar & Wolf, 2018): stepwise synthesis with a
+// learned next-function model and Complete Anytime Beam search (CAB).
+//
+// Our reimplementation preserves the search discipline on this repo's DSL:
+// partial programs are extended one function at a time; a beam of width W
+// keeps the highest-scoring prefixes (score = sum of log-probabilities under
+// the learned function-probability map); every complete extension is checked
+// against the spec. When a full pass fails, the beam width doubles and the
+// search restarts (CAB), re-charging re-examined candidates exactly as the
+// original does.
+#pragma once
+
+#include "baselines/method.hpp"
+#include "fitness/neural_fitness.hpp"
+
+namespace netsyn::baselines {
+
+class PcCoderMethod final : public Method {
+ public:
+  PcCoderMethod(std::shared_ptr<fitness::ProbMapProvider> probMap,
+                std::size_t initialBeamWidth = 32)
+      : probMap_(std::move(probMap)), initialBeamWidth_(initialBeamWidth) {}
+
+  std::string name() const override { return "PCCoder"; }
+
+  core::SynthesisResult synthesize(const dsl::Spec& spec,
+                                   std::size_t targetLength,
+                                   std::size_t budgetLimit,
+                                   util::Rng& rng) override;
+
+ private:
+  std::shared_ptr<fitness::ProbMapProvider> probMap_;
+  std::size_t initialBeamWidth_;
+};
+
+}  // namespace netsyn::baselines

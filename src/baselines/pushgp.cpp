@@ -1,0 +1,27 @@
+#include "baselines/pushgp.hpp"
+
+namespace netsyn::baselines {
+namespace {
+
+core::SynthesizerConfig plainGpConfig(core::GaConfig ga) {
+  core::SynthesizerConfig cfg;
+  cfg.ga = ga;
+  cfg.useNeighborhoodSearch = false;  // no NetSyn machinery
+  cfg.fpGuidedMutation = false;
+  return cfg;
+}
+
+}  // namespace
+
+PushGpMethod::PushGpMethod(core::GaConfig ga)
+    : synthesizer_(plainGpConfig(ga),
+                   std::make_shared<fitness::EditDistanceFitness>()) {}
+
+core::SynthesisResult PushGpMethod::synthesize(const dsl::Spec& spec,
+                                               std::size_t targetLength,
+                                               std::size_t budgetLimit,
+                                               util::Rng& rng) {
+  return synthesizer_.synthesize(spec, targetLength, budgetLimit, rng);
+}
+
+}  // namespace netsyn::baselines

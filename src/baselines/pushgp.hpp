@@ -1,0 +1,31 @@
+// PushGP-style baseline (Perkis, 1994): plain genetic programming with the
+// classic hand-crafted output-edit-distance fitness and no learned
+// components, no neighborhood search, and no probability-guided mutation.
+//
+// The original operates on the Push language; as the paper's own comparison
+// holds the candidate space fixed, our version runs the same GP loop over
+// this repo's DSL (see DESIGN.md §5), isolating exactly the variable the
+// paper studies: the fitness function.
+#pragma once
+
+#include "baselines/method.hpp"
+#include "fitness/edit.hpp"
+
+namespace netsyn::baselines {
+
+class PushGpMethod final : public Method {
+ public:
+  explicit PushGpMethod(core::GaConfig ga = {});
+
+  std::string name() const override { return "PushGP"; }
+
+  core::SynthesisResult synthesize(const dsl::Spec& spec,
+                                   std::size_t targetLength,
+                                   std::size_t budgetLimit,
+                                   util::Rng& rng) override;
+
+ private:
+  core::Synthesizer synthesizer_;
+};
+
+}  // namespace netsyn::baselines

@@ -1,0 +1,70 @@
+#include "baselines/robustfill.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/timer.hpp"
+
+namespace netsyn::baselines {
+
+core::SynthesisResult RobustFillMethod::synthesize(const dsl::Spec& spec,
+                                                   std::size_t targetLength,
+                                                   std::size_t budgetLimit,
+                                                   util::Rng& rng) {
+  util::Timer timer;
+  core::SynthesisResult result;
+  core::SearchBudget budget(budgetLimit);
+  core::SpecEvaluator evaluator(spec, budget);
+
+  const auto map = probMap_->probMap(spec);
+  double temperature = temperature_;
+  auto weightsFor = [&](double temp) {
+    std::vector<double> w(dsl::kNumFunctions);
+    for (std::size_t i = 0; i < dsl::kNumFunctions; ++i)
+      w[i] = std::pow(std::max(map[i], 1e-6), 1.0 / temp);
+    return w;
+  };
+  std::vector<double> weights = weightsFor(temperature);
+
+  std::unordered_set<std::string> seen;
+  std::size_t consecutiveDuplicates = 0;
+  while (!budget.exhausted() && !result.found) {
+    std::vector<dsl::FuncId> fns;
+    fns.reserve(targetLength);
+    // Program length is sampled 1..targetLength (the decoder may emit the
+    // end token early).
+    const std::size_t length =
+        1 + static_cast<std::size_t>(rng.uniform(targetLength));
+    for (std::size_t k = 0; k < length; ++k)
+      fns.push_back(static_cast<dsl::FuncId>(rng.roulette(weights)));
+    const dsl::Program candidate(std::move(fns));
+
+    const std::string key(
+        reinterpret_cast<const char*>(candidate.functions().data()),
+        candidate.length());
+    if (!seen.insert(key).second) {
+      // Re-sampled an already-examined program: not a new candidate. If the
+      // distribution has collapsed, flatten it so the search keeps moving.
+      if (++consecutiveDuplicates > 200) {
+        temperature *= 2.0;
+        weights = weightsFor(temperature);
+        consecutiveDuplicates = 0;
+      }
+      continue;
+    }
+    consecutiveDuplicates = 0;
+
+    const auto ok = evaluator.check(candidate);
+    if (!ok.has_value()) break;
+    if (*ok) {
+      result.found = true;
+      result.solution = candidate;
+    }
+  }
+
+  result.candidatesSearched = budget.used();
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace netsyn::baselines

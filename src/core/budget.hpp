@@ -1,0 +1,43 @@
+// Search-space budget: the paper's primary metric and stopping criterion.
+//
+// Every method (NetSyn, baselines, neighborhood search) counts each
+// *distinct candidate program examined* against a shared budget (§5: "we set
+// the maximum search space size to 3,000,000 candidate programs"). A method
+// that exhausts the budget without finding an equivalent program concludes
+// "solution not found".
+#pragma once
+
+#include <cstddef>
+
+namespace netsyn::core {
+
+class SearchBudget {
+ public:
+  explicit SearchBudget(std::size_t limit) : limit_(limit) {}
+
+  std::size_t limit() const { return limit_; }
+  std::size_t used() const { return used_; }
+  std::size_t remaining() const { return limit_ - used_; }
+  bool exhausted() const { return used_ >= limit_; }
+
+  /// Consumes one candidate; false when the budget is already exhausted
+  /// (in which case nothing is consumed).
+  bool tryConsume() {
+    if (exhausted()) return false;
+    ++used_;
+    return true;
+  }
+
+  /// Fraction of the budget consumed, in [0, 1].
+  double usedFraction() const {
+    return limit_ == 0 ? 1.0
+                       : static_cast<double>(used_) /
+                             static_cast<double>(limit_);
+  }
+
+ private:
+  std::size_t limit_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace netsyn::core

@@ -1,0 +1,96 @@
+// Budgeted candidate evaluation against a specification.
+//
+// Centralizes the two things every search method does with a candidate:
+// spend one unit of search budget and test Definition 3.1 equivalence.
+// The full-trace variant also returns the per-example execution results the
+// neural fitness functions consume, so each gene is executed exactly once.
+// The search-space metric counts *distinct* candidates: re-examining a
+// program the search has already ruled out (GA duplicates, repeated
+// neighborhood sweeps, beam-restart re-expansions) is charged only once.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/budget.hpp"
+#include "dsl/interpreter.hpp"
+#include "dsl/spec.hpp"
+
+namespace netsyn::core {
+
+class SpecEvaluator {
+ public:
+  /// `dedup` charges each distinct candidate at most once (default; matches
+  /// the paper's "candidate programs searched" metric). Disable to charge
+  /// every examination.
+  SpecEvaluator(const dsl::Spec& spec, SearchBudget& budget,
+                bool dedup = true)
+      : spec_(spec), budget_(budget), dedup_(dedup) {}
+
+  const dsl::Spec& spec() const { return spec_; }
+  SearchBudget& budget() { return budget_; }
+
+  struct Evaluation {
+    bool satisfied = false;
+    std::vector<dsl::ExecResult> runs;  ///< one per spec example
+  };
+
+  /// Runs the candidate on every example, keeping traces. Returns nullopt
+  /// when the budget is exhausted (candidate not charged, not examined).
+  std::optional<Evaluation> evaluate(const dsl::Program& candidate) {
+    if (!charge(candidate)) return std::nullopt;
+    Evaluation ev;
+    ev.runs.reserve(spec_.size());
+    ev.satisfied = true;
+    for (const auto& ex : spec_.examples) {
+      ev.runs.push_back(dsl::run(candidate, ex.inputs));
+      if (!(ev.runs.back().output == ex.output)) ev.satisfied = false;
+    }
+    return ev;
+  }
+
+  /// Equivalence check only (early exit on first mismatch, no trace kept).
+  /// nullopt when the budget is exhausted.
+  std::optional<bool> check(const dsl::Program& candidate) {
+    if (dedup_) {
+      // Known non-solutions short-circuit for free: if this candidate had
+      // satisfied the spec the search would already have returned it.
+      const std::string key = keyOf(candidate);
+      if (seen_.count(key) > 0) return false;
+      if (!budget_.tryConsume()) return std::nullopt;
+      seen_.insert(key);
+    } else if (!budget_.tryConsume()) {
+      return std::nullopt;
+    }
+    for (const auto& ex : spec_.examples) {
+      if (!(dsl::eval(candidate, ex.inputs) == ex.output)) return false;
+    }
+    return true;
+  }
+
+ private:
+  static std::string keyOf(const dsl::Program& p) {
+    return std::string(reinterpret_cast<const char*>(p.functions().data()),
+                       p.length());
+  }
+
+  /// Charges the candidate unless it was already examined; false only when
+  /// the budget is exhausted and the candidate is new.
+  bool charge(const dsl::Program& candidate) {
+    if (!dedup_) return budget_.tryConsume();
+    const std::string key = keyOf(candidate);
+    if (seen_.count(key) > 0) return true;  // free re-examination
+    if (!budget_.tryConsume()) return false;
+    seen_.insert(key);
+    return true;
+  }
+
+  const dsl::Spec& spec_;
+  SearchBudget& budget_;
+  bool dedup_;
+  std::unordered_set<std::string> seen_;
+};
+
+}  // namespace netsyn::core

@@ -1,0 +1,119 @@
+#include "core/ga.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netsyn::core {
+
+dsl::Program crossover(const dsl::Program& a, const dsl::Program& b,
+                       util::Rng& rng) {
+  if (a.length() != b.length() || a.length() < 2)
+    throw std::invalid_argument(
+        "crossover requires equal-length parents of length >= 2");
+  // Cut in [1, L-1] so the child takes at least one function from each side.
+  const std::size_t cut =
+      1 + static_cast<std::size_t>(rng.uniform(a.length() - 1));
+  std::vector<dsl::FuncId> fns;
+  fns.reserve(a.length());
+  for (std::size_t i = 0; i < cut; ++i) fns.push_back(a.at(i));
+  for (std::size_t i = cut; i < b.length(); ++i) fns.push_back(b.at(i));
+  return dsl::Program(std::move(fns));
+}
+
+dsl::Program mutate(const dsl::Program& gene, util::Rng& rng,
+                    const FunctionWeights* weights) {
+  if (gene.empty()) throw std::invalid_argument("cannot mutate empty gene");
+  dsl::Program out = gene;
+  const std::size_t pos =
+      static_cast<std::size_t>(rng.uniform(gene.length()));
+  const dsl::FuncId old = gene.at(pos);
+
+  dsl::FuncId next = old;
+  if (weights != nullptr) {
+    // Roulette over the probability map, excluding the current function
+    // (z' != z_k is required by the paper).
+    std::vector<double> w(weights->begin(), weights->end());
+    w[old] = 0.0;
+    next = static_cast<dsl::FuncId>(rng.roulette(w));
+    if (next == old) {  // all-zero map fallback chose `old` uniformly
+      next = static_cast<dsl::FuncId>((old + 1 + rng.uniform(
+                                          dsl::kNumFunctions - 1)) %
+                                      dsl::kNumFunctions);
+    }
+  } else {
+    // Uniform over the other |Sigma|-1 functions.
+    next = static_cast<dsl::FuncId>(
+        (old + 1 + rng.uniform(dsl::kNumFunctions - 1)) % dsl::kNumFunctions);
+  }
+  out.set(pos, next);
+  return out;
+}
+
+std::size_t rouletteSelect(const Population& pop, util::Rng& rng) {
+  if (pop.empty()) throw std::invalid_argument("empty population");
+  std::vector<double> weights;
+  weights.reserve(pop.size());
+  for (const auto& ind : pop) weights.push_back(ind.fitness);
+  return rng.roulette(weights);
+}
+
+std::vector<std::size_t> topIndices(const Population& pop,
+                                    std::size_t count) {
+  std::vector<std::size_t> idx(pop.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  const std::size_t k = std::min(count, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(), [&pop](std::size_t a, std::size_t b) {
+                      return pop[a].fitness > pop[b].fitness;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+std::vector<dsl::Program> breed(const Population& pop, const GaConfig& config,
+                                const dsl::InputSignature& sig,
+                                const dsl::Generator& gen, util::Rng& rng,
+                                const FunctionWeights* mutationWeights) {
+  if (pop.empty()) throw std::invalid_argument("empty population");
+  const std::size_t length = pop.front().program.length();
+
+  std::vector<dsl::Program> next;
+  next.reserve(config.populationSize);
+
+  // Elitism: the top `eliteCount` genes survive unmodified, guaranteeing
+  // forward progress (paper §4.2).
+  for (std::size_t i : topIndices(pop, config.eliteCount))
+    next.push_back(pop[i].program);
+
+  while (next.size() < config.populationSize) {
+    std::optional<dsl::Program> child;
+    for (std::size_t attempt = 0; attempt < config.dceRetries; ++attempt) {
+      const double roll = rng.uniformReal();
+      dsl::Program candidate;
+      if (roll < config.crossoverRate && length >= 2) {
+        const auto& pa = pop[rouletteSelect(pop, rng)].program;
+        const auto& pb = pop[rouletteSelect(pop, rng)].program;
+        candidate = crossover(pa, pb, rng);
+      } else if (roll < config.crossoverRate + config.mutationRate) {
+        candidate =
+            mutate(pop[rouletteSelect(pop, rng)].program, rng,
+                   mutationWeights);
+      } else {
+        candidate = pop[rouletteSelect(pop, rng)].program;  // reproduction
+      }
+      if (dsl::isFullyLive(candidate, sig)) {
+        child = std::move(candidate);
+        break;
+      }
+    }
+    if (!child) {
+      // Last resort: a fresh fully-live random gene keeps the pool at size.
+      child = gen.randomProgram(length, sig, rng);
+      if (!child) throw std::runtime_error("cannot generate fully-live gene");
+    }
+    next.push_back(std::move(*child));
+  }
+  return next;
+}
+
+}  // namespace netsyn::core

@@ -1,0 +1,66 @@
+// Genetic-algorithm machinery: population, elitism, Roulette Wheel
+// selection, crossover, mutation (uniform or FP-guided), and the
+// validity-by-construction repair loop (repeat operators until the offspring
+// has no dead code, paper §4.2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dsl/dce.hpp"
+#include "dsl/generator.hpp"
+#include "dsl/program.hpp"
+#include "util/rng.hpp"
+
+namespace netsyn::core {
+
+/// GA hyper-parameters (paper Appendix B defaults).
+struct GaConfig {
+  std::size_t populationSize = 100;  ///< gene pool size
+  std::size_t eliteCount = 5;        ///< reserve genes per generation
+  double crossoverRate = 0.4;
+  double mutationRate = 0.3;
+  std::size_t dceRetries = 25;  ///< operator retries for a fully-live child
+};
+
+/// One gene with its cached fitness.
+struct Individual {
+  dsl::Program program;
+  double fitness = 0.0;
+};
+
+using Population = std::vector<Individual>;
+
+/// Optional per-function weights for FP-guided mutation (Mutation_FP).
+using FunctionWeights = std::array<double, dsl::kNumFunctions>;
+
+/// Single-point crossover of two equal-length parents: child takes the
+/// prefix of `a` up to a random cut and the suffix of `b`.
+dsl::Program crossover(const dsl::Program& a, const dsl::Program& b,
+                       util::Rng& rng);
+
+/// Replaces one uniformly chosen position with a different function. When
+/// `weights` is provided the replacement is Roulette-Wheel drawn from it
+/// (the paper's Mutation_FP); otherwise uniform.
+dsl::Program mutate(const dsl::Program& gene, util::Rng& rng,
+                    const FunctionWeights* weights = nullptr);
+
+/// Roulette-Wheel index over the population's fitness values.
+std::size_t rouletteSelect(const Population& pop, util::Rng& rng);
+
+/// Indices of the `count` highest-fitness individuals (descending fitness).
+std::vector<std::size_t> topIndices(const Population& pop, std::size_t count);
+
+/// Breeds the next generation's *programs* from a graded population:
+/// elites pass through unmodified; the rest come from crossover / mutation /
+/// reproduction chosen with the configured probabilities. Every offspring is
+/// fully live under `sig` (operators are retried, then a fresh random
+/// program is substituted as a last resort).
+std::vector<dsl::Program> breed(const Population& pop, const GaConfig& config,
+                                const dsl::InputSignature& sig,
+                                const dsl::Generator& gen, util::Rng& rng,
+                                const FunctionWeights* mutationWeights);
+
+}  // namespace netsyn::core

@@ -1,0 +1,68 @@
+#include "core/neighborhood.hpp"
+
+namespace netsyn::core {
+
+NsResult neighborhoodSearchBfs(const std::vector<dsl::Program>& genes,
+                               SpecEvaluator& evaluator) {
+  NsResult result;
+  for (const auto& gene : genes) {
+    for (std::size_t i = 0; i < gene.length(); ++i) {
+      const dsl::FuncId original = gene.at(i);
+      dsl::Program neighbor = gene;
+      for (std::size_t op = 0; op < dsl::kNumFunctions; ++op) {
+        if (static_cast<dsl::FuncId>(op) == original) continue;
+        neighbor.set(i, static_cast<dsl::FuncId>(op));
+        const auto ok = evaluator.check(neighbor);
+        if (!ok.has_value()) {
+          result.budgetExhausted = true;
+          return result;
+        }
+        ++result.candidatesChecked;
+        if (*ok) {
+          result.solution = neighbor;
+          return result;
+        }
+      }
+      neighbor.set(i, original);
+    }
+  }
+  return result;
+}
+
+NsResult neighborhoodSearchDfs(const std::vector<dsl::Program>& genes,
+                               SpecEvaluator& evaluator,
+                               const NsScorer& scorer) {
+  NsResult result;
+  for (const auto& gene : genes) {
+    dsl::Program current = gene;  // mutated greedily per depth
+    for (std::size_t depth = 0; depth < current.length(); ++depth) {
+      const dsl::FuncId original = current.at(depth);
+      double bestScore = scorer(current);
+      dsl::FuncId bestOp = original;
+      dsl::Program neighbor = current;
+      for (std::size_t op = 0; op < dsl::kNumFunctions; ++op) {
+        if (static_cast<dsl::FuncId>(op) == original) continue;
+        neighbor.set(depth, static_cast<dsl::FuncId>(op));
+        const auto ok = evaluator.check(neighbor);
+        if (!ok.has_value()) {
+          result.budgetExhausted = true;
+          return result;
+        }
+        ++result.candidatesChecked;
+        if (*ok) {
+          result.solution = neighbor;
+          return result;
+        }
+        const double s = scorer(neighbor);
+        if (s > bestScore) {
+          bestScore = s;
+          bestOp = static_cast<dsl::FuncId>(op);
+        }
+      }
+      current.set(depth, bestOp);  // descend with the best gene at this level
+    }
+  }
+  return result;
+}
+
+}  // namespace netsyn::core

@@ -1,0 +1,47 @@
+// Restricted local neighborhood search (paper §4.2.2, Algorithm 1).
+//
+// Given the top-N genes of the current population, the BFS variant tests
+// every single-function substitution of every gene against the spec
+// (O(N * len * |Sigma|) candidates). The DFS variant walks positions
+// left-to-right, committing at each depth to the best-scoring substitution
+// before descending. The search is triggered by the synthesizer when the
+// sliding-window mean fitness saturates.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/evaluator.hpp"
+#include "core/ga.hpp"
+#include "dsl/program.hpp"
+
+namespace netsyn::core {
+
+enum class NsKind : std::uint8_t { BFS, DFS };
+
+struct NsResult {
+  std::optional<dsl::Program> solution;  ///< set when equivalence was found
+  std::size_t candidatesChecked = 0;
+  bool budgetExhausted = false;
+};
+
+/// Scores a candidate for the DFS variant's greedy descent (the synthesizer
+/// passes its budgeted fitness evaluation).
+using NsScorer = std::function<double(const dsl::Program&)>;
+
+/// BFS neighborhood search over `genes` (Algorithm 1): tries every
+/// single-position substitution; returns on the first equivalent program or
+/// when all neighborhoods are exhausted. Stops early if the budget runs out.
+NsResult neighborhoodSearchBfs(const std::vector<dsl::Program>& genes,
+                               SpecEvaluator& evaluator);
+
+/// DFS neighborhood search: per gene, per position (depth), evaluates all
+/// substitutions; if none is equivalent, replaces the gene's function at
+/// that position with the best-scoring substitution and moves to the next
+/// depth. `scorer` grades candidates (it must not consume budget; the NS
+/// charges each examined candidate itself via `evaluator`).
+NsResult neighborhoodSearchDfs(const std::vector<dsl::Program>& genes,
+                               SpecEvaluator& evaluator,
+                               const NsScorer& scorer);
+
+}  // namespace netsyn::core

@@ -1,0 +1,164 @@
+#include "core/synthesizer.hpp"
+
+#include <stdexcept>
+
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace netsyn::core {
+namespace {
+
+/// Cache key: the raw function bytes of a gene (exact, no hash collisions).
+std::string cacheKey(const dsl::Program& p) {
+  return std::string(reinterpret_cast<const char*>(p.functions().data()),
+                     p.length());
+}
+
+}  // namespace
+
+Synthesizer::Synthesizer(SynthesizerConfig config,
+                         fitness::FitnessPtr fitnessFn,
+                         std::shared_ptr<fitness::ProbMapProvider> probMap)
+    : config_(std::move(config)),
+      fitness_(std::move(fitnessFn)),
+      probMap_(std::move(probMap)) {
+  if (!fitness_) throw std::invalid_argument("fitness function required");
+  if (config_.fpGuidedMutation && !probMap_)
+    throw std::invalid_argument(
+        "fpGuidedMutation requires a ProbMapProvider");
+}
+
+SynthesisResult Synthesizer::synthesize(const dsl::Spec& spec,
+                                        std::size_t targetLength,
+                                        std::size_t budgetLimit,
+                                        util::Rng& rng) const {
+  util::Timer timer;
+  SynthesisResult result;
+  SearchBudget budget(budgetLimit);
+  SpecEvaluator evaluator(spec, budget);
+  const dsl::InputSignature sig = spec.signature();
+  const dsl::Generator gen(config_.generator);
+
+  // Fitness of already-examined genes; duplicates (elites, re-bred copies)
+  // are not re-executed and not re-charged against the budget.
+  std::unordered_map<std::string, double> cache;
+
+  auto finish = [&](SynthesisResult r) {
+    r.candidatesSearched = budget.used();
+    r.seconds = timer.seconds();
+    return r;
+  };
+
+  // Grades a gene, executing + charging it only on first sight. Returns
+  // nullopt on budget exhaustion; sets `result.solution` when equivalent.
+  bool solved = false;
+  auto grade = [&](const dsl::Program& gene) -> std::optional<double> {
+    const std::string key = cacheKey(gene);
+    if (const auto it = cache.find(key); it != cache.end()) return it->second;
+    const auto ev = evaluator.evaluate(gene);
+    if (!ev.has_value()) return std::nullopt;
+    if (ev->satisfied) {
+      solved = true;
+      result.found = true;
+      result.solution = gene;
+      return fitness_->maxScore(targetLength);
+    }
+    const fitness::EvalContext ctx{spec, ev->runs};
+    const double score = fitness_->score(gene, ctx);
+    cache.emplace(key, score);
+    return score;
+  };
+
+  // DFS-NS greedy scorer: grades without charging the budget (the NS itself
+  // charges each examined neighbor through the evaluator).
+  auto nsScorer = [&](const dsl::Program& gene) -> double {
+    const std::string key = cacheKey(gene);
+    if (const auto it = cache.find(key); it != cache.end()) return it->second;
+    std::vector<dsl::ExecResult> runs;
+    runs.reserve(spec.size());
+    for (const auto& ex : spec.examples) runs.push_back(dsl::run(gene, ex.inputs));
+    const fitness::EvalContext ctx{spec, runs};
+    return fitness_->score(gene, ctx);
+  };
+
+  // ---- initial population (Phi_0) ----
+  Population pop;
+  pop.reserve(config_.ga.populationSize);
+  for (std::size_t i = 0; i < config_.ga.populationSize; ++i) {
+    auto prog = gen.randomProgram(targetLength, sig, rng);
+    if (!prog) throw std::runtime_error("cannot seed initial population");
+    const auto score = grade(*prog);
+    if (solved) return finish(result);
+    if (!score.has_value()) return finish(result);  // budget gone already
+    pop.push_back(Individual{std::move(*prog), *score});
+    result.bestFitness = std::max(result.bestFitness, pop.back().fitness);
+  }
+
+  util::SlidingWindowMean window(config_.nsWindow);
+
+  // ---- evolutionary loop ----
+  for (std::size_t genIdx = 1; genIdx <= config_.maxGenerations; ++genIdx) {
+    if (budget.exhausted()) break;
+    result.generations = genIdx;
+
+    FunctionWeights weights{};
+    const FunctionWeights* weightsPtr = nullptr;
+    if (config_.fpGuidedMutation) {
+      const auto map = probMap_->probMap(spec);
+      for (std::size_t i = 0; i < map.size(); ++i) weights[i] = map[i];
+      weightsPtr = &weights;
+    }
+
+    const auto offspring =
+        breed(pop, config_.ga, sig, gen, rng, weightsPtr);
+
+    Population next;
+    next.reserve(offspring.size());
+    double fitnessSum = 0.0;
+    for (const auto& prog : offspring) {
+      const auto score = grade(prog);
+      if (solved) return finish(result);
+      if (!score.has_value()) return finish(result);
+      next.push_back(Individual{prog, *score});
+      fitnessSum += *score;
+      result.bestFitness = std::max(result.bestFitness, *score);
+    }
+    pop = std::move(next);
+    window.push(fitnessSum / static_cast<double>(pop.size()));
+
+    if (config_.recordHistory) {
+      GenerationStats gs;
+      gs.generation = genIdx;
+      gs.meanFitness = fitnessSum / static_cast<double>(pop.size());
+      for (const auto& ind : pop)
+        gs.bestFitness = std::max(gs.bestFitness, ind.fitness);
+      gs.budgetUsed = budget.used();
+      gs.nsTriggered =
+          config_.useNeighborhoodSearch && window.saturated();
+      result.history.push_back(gs);
+    }
+
+    // ---- saturation-triggered neighborhood search ----
+    if (config_.useNeighborhoodSearch && window.saturated()) {
+      ++result.nsInvocations;
+      std::vector<dsl::Program> top;
+      for (std::size_t i : topIndices(pop, config_.nsTopN))
+        top.push_back(pop[i].program);
+      const NsResult ns =
+          config_.nsKind == NsKind::BFS
+              ? neighborhoodSearchBfs(top, evaluator)
+              : neighborhoodSearchDfs(top, evaluator, nsScorer);
+      if (ns.solution.has_value()) {
+        result.found = true;
+        result.foundByNs = true;
+        result.solution = *ns.solution;
+        return finish(result);
+      }
+      if (ns.budgetExhausted) break;
+      window.reset();  // resume evolution with a fresh saturation window
+    }
+  }
+  return finish(result);
+}
+
+}  // namespace netsyn::core

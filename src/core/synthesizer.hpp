@@ -1,0 +1,81 @@
+// The NetSyn synthesizer: a genetic algorithm over DSL programs driven by a
+// (learned or oracle) fitness function, with saturation-triggered local
+// neighborhood search (paper Figure 1, §4.2).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/budget.hpp"
+#include "core/evaluator.hpp"
+#include "core/ga.hpp"
+#include "core/neighborhood.hpp"
+#include "dsl/generator.hpp"
+#include "dsl/spec.hpp"
+#include "fitness/fitness.hpp"
+#include "fitness/neural_fitness.hpp"
+#include "util/rng.hpp"
+
+namespace netsyn::core {
+
+struct SynthesizerConfig {
+  GaConfig ga;
+  std::size_t maxGenerations = 30000;  ///< paper Appendix B
+  bool useNeighborhoodSearch = true;
+  NsKind nsKind = NsKind::BFS;
+  std::size_t nsTopN = 5;    ///< genes handed to NS
+  std::size_t nsWindow = 10; ///< sliding window w of the saturation trigger
+  bool fpGuidedMutation = false;  ///< Mutation_FP (needs a ProbMapProvider)
+  dsl::GeneratorConfig generator;
+  /// Record per-generation statistics in SynthesisResult::history (off by
+  /// default: the history of a 30,000-generation run is sizeable).
+  bool recordHistory = false;
+};
+
+/// One generation's summary, recorded when recordHistory is set.
+struct GenerationStats {
+  std::size_t generation = 0;
+  double bestFitness = 0.0;   ///< best in the new population
+  double meanFitness = 0.0;   ///< population mean
+  std::size_t budgetUsed = 0; ///< cumulative distinct candidates examined
+  bool nsTriggered = false;   ///< saturation fired neighborhood search
+};
+
+struct SynthesisResult {
+  bool found = false;
+  dsl::Program solution;              ///< valid iff found
+  std::size_t candidatesSearched = 0; ///< the paper's search-space metric
+  std::size_t generations = 0;
+  double seconds = 0.0;
+  std::size_t nsInvocations = 0;
+  bool foundByNs = false;
+  double bestFitness = 0.0;
+  /// Per-generation evolution trace (only when config.recordHistory).
+  std::vector<GenerationStats> history;
+};
+
+/// One synthesizer instance is reusable across specs (the fitness cache is
+/// per-call). Not thread-safe; create one per worker.
+class Synthesizer {
+ public:
+  /// `fitnessFn` grades genes; `probMap` (optional) supplies Mutation_FP's
+  /// per-function weights. For NetSyn_FP the same object typically serves
+  /// as both.
+  Synthesizer(SynthesizerConfig config, fitness::FitnessPtr fitnessFn,
+              std::shared_ptr<fitness::ProbMapProvider> probMap = nullptr);
+
+  const SynthesizerConfig& config() const { return config_; }
+
+  /// Searches for a program of length `targetLength` equivalent to the spec
+  /// within `budgetLimit` examined candidates.
+  SynthesisResult synthesize(const dsl::Spec& spec, std::size_t targetLength,
+                             std::size_t budgetLimit, util::Rng& rng) const;
+
+ private:
+  SynthesizerConfig config_;
+  fitness::FitnessPtr fitness_;
+  std::shared_ptr<fitness::ProbMapProvider> probMap_;
+};
+
+}  // namespace netsyn::core

@@ -1,0 +1,48 @@
+#include "dsl/dce.hpp"
+
+namespace netsyn::dsl {
+
+std::vector<bool> liveMask(const Program& program, const InputSignature& sig) {
+  const std::size_t n = program.length();
+  std::vector<bool> live(n, false);
+  if (n == 0) return live;
+
+  const ArgPlan plan = computeArgPlan(program, sig);
+  live[n - 1] = true;  // the final statement produces the program output
+  // Walk backwards: a statement is live iff some live consumer reads it.
+  // Consumers appear only after producers, so one backward pass suffices.
+  for (std::size_t k = n; k-- > 0;) {
+    if (!live[k]) continue;
+    for (std::size_t slot = 0; slot < plan[k].arity; ++slot) {
+      const ArgSource& src = plan[k].args[slot];
+      if (src.kind == ArgSource::Kind::Statement) live[src.index] = true;
+    }
+  }
+  return live;
+}
+
+std::size_t effectiveLength(const Program& program,
+                            const InputSignature& sig) {
+  const auto live = liveMask(program, sig);
+  std::size_t n = 0;
+  for (bool b : live) n += b ? 1 : 0;
+  return n;
+}
+
+bool isFullyLive(const Program& program, const InputSignature& sig) {
+  const auto live = liveMask(program, sig);
+  for (bool b : live)
+    if (!b) return false;
+  return true;
+}
+
+Program eliminateDeadCode(const Program& program, const InputSignature& sig) {
+  const auto live = liveMask(program, sig);
+  std::vector<FuncId> kept;
+  kept.reserve(program.length());
+  for (std::size_t k = 0; k < program.length(); ++k)
+    if (live[k]) kept.push_back(program.at(k));
+  return Program(std::move(kept));
+}
+
+}  // namespace netsyn::dsl

@@ -1,0 +1,36 @@
+// Dead code elimination (paper §4.2).
+//
+// A statement is dead when its output is never consumed by any live later
+// statement and it is not the final statement (whose output is the program's
+// output). Because argument resolution is purely type-driven (see
+// interpreter.hpp), liveness is a static property of the function sequence
+// and the input signature.
+//
+// NetSyn uses DCE in two places: the program generator requires candidates
+// whose *effective* length equals the requested length, and the GA repeats
+// crossover/mutation until the offspring has no dead code.
+#pragma once
+
+#include <vector>
+
+#include "dsl/interpreter.hpp"
+#include "dsl/program.hpp"
+
+namespace netsyn::dsl {
+
+/// liveness[k] == true iff statement k contributes to the program output.
+std::vector<bool> liveMask(const Program& program, const InputSignature& sig);
+
+/// Number of live statements.
+std::size_t effectiveLength(const Program& program, const InputSignature& sig);
+
+/// True when every statement is live (the GA's validity requirement).
+bool isFullyLive(const Program& program, const InputSignature& sig);
+
+/// Returns `program` with dead statements removed. Removing dead code never
+/// changes the program's semantics: a dead statement is, by definition,
+/// never the most-recent producer selected by any later statement, so the
+/// remaining statements resolve to the same producers.
+Program eliminateDeadCode(const Program& program, const InputSignature& sig);
+
+}  // namespace netsyn::dsl

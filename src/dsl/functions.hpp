@@ -1,0 +1,64 @@
+// The 41 functions of NetSyn's list DSL (paper Appendix A).
+//
+// Functions are identified by a dense 0-based `FuncId`; `paperNumber()` maps
+// to the 1-based numbering used in the paper's Figure 6 and appendix. Each
+// function has one of five signatures:
+//   [int] -> int        (HEAD, LAST, MINIMUM, MAXIMUM, SUM, COUNT x4)
+//   [int] -> [int]      (REVERSE, SORT, MAP x10, FILTER x4, SCANL1 x5)
+//   int,[int] -> [int]  (TAKE, DROP, DELETE, INSERT)
+//   [int],[int] -> [int] (ZIPWITH x5)
+//   int,[int] -> int    (ACCESS, SEARCH)
+// All functions are total: out-of-range accesses return defaults and
+// arithmetic saturates (see value.hpp), so any function sequence is a valid
+// program.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dsl/value.hpp"
+
+namespace netsyn::dsl {
+
+/// Dense function identifier, 0 .. kNumFunctions-1.
+using FuncId = std::uint8_t;
+
+/// Size of Sigma_DSL: the DSL has exactly 41 functions.
+inline constexpr std::size_t kNumFunctions = 41;
+
+/// Maximum arity of any DSL function.
+inline constexpr std::size_t kMaxArity = 2;
+
+/// Static description of one DSL function.
+struct FunctionInfo {
+  const char* name;          ///< e.g. "MAP(*2)"
+  std::uint8_t paperNumber;  ///< 1-based id used in the paper (Figure 6)
+  std::uint8_t arity;        ///< 1 or 2
+  std::array<Type, kMaxArity> argTypes;  ///< argTypes[0..arity-1] are valid
+  Type returnType;
+};
+
+/// Metadata for `id`. Precondition: id < kNumFunctions.
+const FunctionInfo& functionInfo(FuncId id);
+
+/// Applies function `id` to `args` (args.size() == arity, types matching the
+/// signature). Total: never throws for well-typed arguments.
+Value applyFunction(FuncId id, std::span<const Value> args);
+
+/// Lookup by display name (exact match, e.g. "FILTER(>0)"); nullopt when the
+/// name is unknown. Used by the program parser.
+std::optional<FuncId> functionByName(const std::string& name);
+
+/// All FuncIds whose return type is `t` (useful for generators that must end
+/// a program with a specific output type).
+std::vector<FuncId> functionsReturning(Type t);
+
+/// True if the function's return type is Int. The paper observes that these
+/// "singleton producing" functions are the hardest to synthesize (Figure 6).
+bool returnsInt(FuncId id);
+
+}  // namespace netsyn::dsl

@@ -1,0 +1,109 @@
+#include "dsl/generator.hpp"
+
+namespace netsyn::dsl {
+
+InputSignature Generator::randomSignature(util::Rng& rng) const {
+  InputSignature sig{Type::List};
+  if (rng.bernoulli(config_.intInputProbability)) sig.push_back(Type::Int);
+  return sig;
+}
+
+Value Generator::randomValue(Type t, util::Rng& rng) const {
+  if (t == Type::Int) {
+    return Value(static_cast<std::int32_t>(
+        rng.uniformInt(config_.minValue, config_.maxValue)));
+  }
+  const int len = static_cast<int>(
+      rng.uniformInt(config_.minListLength, config_.maxListLength));
+  std::vector<std::int32_t> xs;
+  xs.reserve(static_cast<std::size_t>(len));
+  for (int i = 0; i < len; ++i) {
+    xs.push_back(static_cast<std::int32_t>(
+        rng.uniformInt(config_.minValue, config_.maxValue)));
+  }
+  return Value(std::move(xs));
+}
+
+std::vector<Value> Generator::randomInputs(const InputSignature& sig,
+                                           util::Rng& rng) const {
+  std::vector<Value> inputs;
+  inputs.reserve(sig.size());
+  for (Type t : sig) inputs.push_back(randomValue(t, rng));
+  return inputs;
+}
+
+std::optional<Program> Generator::randomProgram(
+    std::size_t length, const InputSignature& sig, util::Rng& rng,
+    std::optional<Type> outputType) const {
+  if (length == 0) return Program{};
+
+  auto randomFunc = [&rng]() {
+    return static_cast<FuncId>(rng.uniform(kNumFunctions));
+  };
+  const std::vector<FuncId> finals =
+      outputType ? functionsReturning(*outputType) : std::vector<FuncId>{};
+  auto randomFinal = [&]() {
+    return outputType ? rng.pick(finals) : randomFunc();
+  };
+
+  std::vector<FuncId> fns(length);
+  for (std::size_t i = 0; i + 1 < length; ++i) fns[i] = randomFunc();
+  fns[length - 1] = randomFinal();
+
+  Program program(std::move(fns));
+  for (int attempt = 0; attempt < config_.maxAttempts; ++attempt) {
+    const auto live = liveMask(program, sig);
+    bool allLive = true;
+    // Re-randomize dead statements in place; keeping the live prefix intact
+    // makes this converge far faster than full resampling.
+    for (std::size_t k = 0; k < length; ++k) {
+      if (live[k]) continue;
+      allLive = false;
+      program.set(k, k + 1 == length ? randomFinal() : randomFunc());
+    }
+    if (allLive) return program;
+  }
+  return std::nullopt;
+}
+
+std::optional<Spec> Generator::makeSpec(const Program& program,
+                                        const InputSignature& sig,
+                                        std::size_t m, util::Rng& rng) const {
+  for (int attempt = 0; attempt < config_.maxAttempts; ++attempt) {
+    Spec spec;
+    spec.examples.reserve(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      IOExample ex;
+      ex.inputs = randomInputs(sig, rng);
+      ex.output = eval(program, ex.inputs);
+      spec.examples.push_back(std::move(ex));
+    }
+    // Reject degenerate specs: every output equal to the type default gives
+    // the synthesizer (and the fitness model) nothing to distinguish.
+    bool degenerate = true;
+    for (const IOExample& ex : spec.examples) {
+      if (!(ex.output == Value::defaultFor(ex.output.type()))) {
+        degenerate = false;
+        break;
+      }
+    }
+    if (!degenerate) return spec;
+  }
+  return std::nullopt;
+}
+
+std::optional<Generator::TestCase> Generator::randomTestCase(
+    std::size_t length, std::size_t m, bool singleton, util::Rng& rng) const {
+  const Type want = singleton ? Type::Int : Type::List;
+  for (int attempt = 0; attempt < config_.maxAttempts; ++attempt) {
+    const InputSignature sig = randomSignature(rng);
+    auto program = randomProgram(length, sig, rng, want);
+    if (!program) continue;
+    auto spec = makeSpec(*program, sig, m, rng);
+    if (!spec) continue;
+    return TestCase{std::move(*program), sig, std::move(*spec)};
+  }
+  return std::nullopt;
+}
+
+}  // namespace netsyn::dsl

@@ -1,0 +1,119 @@
+#include "dsl/interpreter.hpp"
+
+#include <cassert>
+
+namespace netsyn::dsl {
+namespace {
+
+/// Type of the value a source would produce.
+Type sourceType(const ArgSource& s, const Program& program,
+                const InputSignature& inputs) {
+  switch (s.kind) {
+    case ArgSource::Kind::Statement:
+      return functionInfo(program.at(s.index)).returnType;
+    case ArgSource::Kind::Input:
+      return inputs.at(s.index);
+    case ArgSource::Kind::Default:
+      return Type::Int;  // unused
+  }
+  return Type::Int;
+}
+
+}  // namespace
+
+ArgPlan computeArgPlan(const Program& program, const InputSignature& inputs) {
+  ArgPlan plan(program.length());
+  for (std::size_t k = 0; k < program.length(); ++k) {
+    const FunctionInfo& info = functionInfo(program.at(k));
+    StatementPlan& sp = plan[k];
+    sp.arity = info.arity;
+
+    // Candidate sources in recency order: statements k-1..0, then program
+    // inputs from last to first (inputs behave as if executed, in order,
+    // before the first statement).
+    auto forEachSource = [&](auto&& visit) {
+      for (std::size_t j = k; j-- > 0;) {
+        if (visit(ArgSource{ArgSource::Kind::Statement,
+                            static_cast<std::uint16_t>(j)}))
+          return;
+      }
+      for (std::size_t j = inputs.size(); j-- > 0;) {
+        if (visit(ArgSource{ArgSource::Kind::Input,
+                            static_cast<std::uint16_t>(j)}))
+          return;
+      }
+    };
+
+    // Each slot takes the most recent matching source not already consumed
+    // by an earlier slot of this statement.
+    std::array<bool, kMaxArity> filled{};
+    for (std::size_t slot = 0; slot < info.arity; ++slot) {
+      const Type want = info.argTypes[slot];
+      forEachSource([&](const ArgSource& src) {
+        if (sourceType(src, program, inputs) != want) return false;
+        for (std::size_t prev = 0; prev < slot; ++prev)
+          if (filled[prev] && sp.args[prev] == src) return false;  // consumed
+        sp.args[slot] = src;
+        filled[slot] = true;
+        return true;
+      });
+    }
+    // Unfilled slots: reuse the most recent matching source (duplicate use is
+    // allowed when it is the only producer), else the type default.
+    for (std::size_t slot = 0; slot < info.arity; ++slot) {
+      if (filled[slot]) continue;
+      const Type want = info.argTypes[slot];
+      sp.args[slot] = ArgSource{};  // Default
+      forEachSource([&](const ArgSource& src) {
+        if (sourceType(src, program, inputs) != want) return false;
+        sp.args[slot] = src;
+        return true;
+      });
+    }
+  }
+  return plan;
+}
+
+ExecResult run(const Program& program, const std::vector<Value>& inputs) {
+  const ArgPlan plan = computeArgPlan(program, signatureOf(inputs));
+  ExecResult result;
+  result.trace.reserve(program.length());
+
+  std::array<Value, kMaxArity> argbuf;
+  for (std::size_t k = 0; k < program.length(); ++k) {
+    const StatementPlan& sp = plan[k];
+    const FunctionInfo& info = functionInfo(program.at(k));
+    for (std::size_t slot = 0; slot < sp.arity; ++slot) {
+      const ArgSource& src = sp.args[slot];
+      switch (src.kind) {
+        case ArgSource::Kind::Statement:
+          argbuf[slot] = result.trace[src.index];
+          break;
+        case ArgSource::Kind::Input:
+          argbuf[slot] = inputs[src.index];
+          break;
+        case ArgSource::Kind::Default:
+          argbuf[slot] = Value::defaultFor(info.argTypes[slot]);
+          break;
+      }
+    }
+    result.trace.push_back(applyFunction(
+        program.at(k), std::span<const Value>(argbuf.data(), sp.arity)));
+  }
+  result.output = program.empty() ? Value::defaultFor(Type::List)
+                                  : result.trace.back();
+  return result;
+}
+
+Value eval(const Program& program, const std::vector<Value>& inputs) {
+  return run(program, inputs).output;
+}
+
+InputSignature signatureOf(const std::vector<Value>& inputs) {
+  InputSignature sig;
+  sig.reserve(inputs.size());
+  for (const Value& v : inputs) sig.push_back(v.type());
+  return sig;
+}
+
+}  // namespace netsyn::dsl

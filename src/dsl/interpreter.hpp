@@ -1,0 +1,77 @@
+// Interpreter for NetSyn's list DSL with type-driven argument resolution and
+// execution-trace capture.
+//
+// The DSL has no named variables (paper Appendix A): when a function needs an
+// argument of some type, the runtime searches backwards through the outputs
+// of previously executed statements for the most recent value of that type;
+// if none exists it searches the program's own inputs (most recent first);
+// if none exists there either, it supplies the default value (0 / []).
+//
+// Because every function's output type is fixed by its signature, this
+// resolution depends only on *types*, never on runtime values. We exploit
+// that to precompute a static `ArgPlan` per program, which (a) makes
+// execution allocation-light, and (b) makes dead-code analysis exact
+// (see dce.hpp).
+//
+// Two-argument functions fill their argument slots with *distinct* most
+// recent producers when possible (ZIPWITH combines the two most recent
+// lists); when only one producer of the required type exists anywhere, it is
+// reused for both slots (ZIPWITH of a list with itself) rather than silently
+// degrading to the empty default. The paper is silent on this corner; reuse
+// keeps single-list programs semantically rich and is the convention
+// DeepCoder's DSL follows.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dsl/program.hpp"
+#include "dsl/value.hpp"
+
+namespace netsyn::dsl {
+
+/// Where one argument of one statement comes from.
+struct ArgSource {
+  enum class Kind : std::uint8_t {
+    Statement,  ///< output of statement `index`
+    Input,      ///< program input `index`
+    Default,    ///< type default (0 / [])
+  };
+  Kind kind = Kind::Default;
+  std::uint16_t index = 0;
+
+  bool operator==(const ArgSource&) const = default;
+};
+
+/// Resolved argument sources for one statement.
+struct StatementPlan {
+  std::uint8_t arity = 0;
+  std::array<ArgSource, kMaxArity> args{};
+};
+
+/// Per-statement argument plan for a whole program.
+using ArgPlan = std::vector<StatementPlan>;
+
+/// Result of executing a program on one input tuple.
+struct ExecResult {
+  Value output;              ///< output of the final statement
+  std::vector<Value> trace;  ///< t_k = output of statement k (paper §4.2.1)
+};
+
+/// Computes the static argument plan of `program` under `inputs` types.
+/// O(L * (L + |inputs|)); resolution rules documented above.
+ArgPlan computeArgPlan(const Program& program, const InputSignature& inputs);
+
+/// Runs `program` on `inputs`, capturing the full execution trace.
+/// Total: never throws for any function sequence (valid by construction).
+/// An empty program yields the default list value and an empty trace.
+ExecResult run(const Program& program, const std::vector<Value>& inputs);
+
+/// Runs `program` and returns only its final output (trace discarded).
+Value eval(const Program& program, const std::vector<Value>& inputs);
+
+/// Extracts the input signature (types) of a concrete input tuple.
+InputSignature signatureOf(const std::vector<Value>& inputs);
+
+}  // namespace netsyn::dsl

@@ -1,0 +1,59 @@
+#include "dsl/program.hpp"
+
+#include <stdexcept>
+
+namespace netsyn::dsl {
+
+Type Program::outputType() const {
+  if (functions_.empty())
+    throw std::logic_error("outputType() of an empty program");
+  return functionInfo(functions_.back()).returnType;
+}
+
+std::string Program::toString() const {
+  std::string out;
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    if (i) out += " | ";
+    out += functionInfo(functions_[i]).name;
+  }
+  return out;
+}
+
+std::optional<Program> Program::fromString(const std::string& text) {
+  std::vector<FuncId> fns;
+  std::size_t pos = 0;
+  auto trim = [](std::string s) {
+    const auto b = s.find_first_not_of(" \t");
+    if (b == std::string::npos) return std::string();
+    const auto e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+  };
+  while (pos <= text.size()) {
+    const auto bar = text.find('|', pos);
+    const std::string tok =
+        trim(text.substr(pos, bar == std::string::npos ? std::string::npos
+                                                       : bar - pos));
+    if (!tok.empty()) {
+      const auto id = functionByName(tok);
+      if (!id) return std::nullopt;
+      fns.push_back(*id);
+    } else if (bar != std::string::npos) {
+      return std::nullopt;  // empty segment between bars
+    }
+    if (bar == std::string::npos) break;
+    pos = bar + 1;
+  }
+  return Program(std::move(fns));
+}
+
+std::uint64_t Program::hash() const {
+  // FNV-1a over the function bytes; stable across runs and platforms.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (FuncId f : functions_) {
+    h ^= f;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace netsyn::dsl

@@ -1,0 +1,63 @@
+// Program representation: a gene is a sequence of DSL function ids.
+//
+// The paper uses value encoding with a one-to-one match between genes and
+// programs (§4.2): a program of length L is exactly the tuple
+// (f_1, ..., f_L), f_i in Sigma_DSL. There are no variables; argument flow is
+// resolved by the interpreter from types alone (see interpreter.hpp), so any
+// function sequence is a valid program.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsl/functions.hpp"
+
+namespace netsyn::dsl {
+
+/// Input signature of a program: the types of the arguments it is given.
+/// The generators in this repo produce programs taking either {List} or
+/// {List, Int} (the paper's examples use a single list input; int inputs
+/// exercise the int,[int] signatures as first statements).
+using InputSignature = std::vector<Type>;
+
+/// A straight-line DSL program / GA gene.
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<FuncId> functions)
+      : functions_(std::move(functions)) {}
+
+  std::size_t length() const { return functions_.size(); }
+  bool empty() const { return functions_.empty(); }
+
+  const std::vector<FuncId>& functions() const { return functions_; }
+  std::vector<FuncId>& functions() { return functions_; }
+
+  FuncId at(std::size_t i) const { return functions_.at(i); }
+  void set(std::size_t i, FuncId f) { functions_.at(i) = f; }
+  void append(FuncId f) { functions_.push_back(f); }
+
+  /// Final output type: the return type of the last function. Programs with
+  /// Int output are the paper's "singleton" programs. Precondition:
+  /// non-empty.
+  Type outputType() const;
+
+  bool operator==(const Program&) const = default;
+
+  /// "FILTER(>0) | MAP(*2) | SORT | REVERSE"
+  std::string toString() const;
+
+  /// Parses the toString() format; nullopt on any unknown function name.
+  static std::optional<Program> fromString(const std::string& text);
+
+  /// Stable 64-bit hash of the function sequence (for fitness caches and
+  /// duplicate detection in the GA).
+  std::uint64_t hash() const;
+
+ private:
+  std::vector<FuncId> functions_;
+};
+
+}  // namespace netsyn::dsl

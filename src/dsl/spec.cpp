@@ -1,0 +1,12 @@
+#include "dsl/spec.hpp"
+
+namespace netsyn::dsl {
+
+bool satisfiesSpec(const Program& program, const Spec& spec) {
+  for (const IOExample& ex : spec.examples) {
+    if (!(eval(program, ex.inputs) == ex.output)) return false;
+  }
+  return true;
+}
+
+}  // namespace netsyn::dsl

@@ -1,0 +1,41 @@
+// Input-output specifications for inductive program synthesis.
+//
+// A specification S_t = {(I_j, O_j)}_{j=1..m} describes the behaviour of an
+// unknown target program P_t (paper §3). A candidate P is *equivalent* to
+// P_t under S_t iff P(I_j) == O_j for all j; synthesis succeeds when an
+// equivalent program is found (Definition 3.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsl/interpreter.hpp"
+#include "dsl/program.hpp"
+#include "dsl/value.hpp"
+
+namespace netsyn::dsl {
+
+/// One input-output example.
+struct IOExample {
+  std::vector<Value> inputs;
+  Value output;
+};
+
+/// A full specification: m examples sharing one input signature.
+struct Spec {
+  std::vector<IOExample> examples;
+
+  std::size_t size() const { return examples.size(); }
+
+  /// Common input signature of the examples (empty spec -> empty signature).
+  InputSignature signature() const {
+    return examples.empty() ? InputSignature{}
+                            : signatureOf(examples.front().inputs);
+  }
+};
+
+/// Definition 3.1: P satisfies `spec` iff it maps every example input to the
+/// example output. An empty spec is trivially satisfied.
+bool satisfiesSpec(const Program& program, const Spec& spec);
+
+}  // namespace netsyn::dsl

@@ -1,0 +1,34 @@
+#include "dsl/value.hpp"
+
+#include <limits>
+
+namespace netsyn::dsl {
+
+std::string typeName(Type t) { return t == Type::Int ? "int" : "[int]"; }
+
+std::int32_t saturate(std::int64_t v) {
+  constexpr std::int64_t lo = std::numeric_limits<std::int32_t>::min();
+  constexpr std::int64_t hi = std::numeric_limits<std::int32_t>::max();
+  if (v < lo) return static_cast<std::int32_t>(lo);
+  if (v > hi) return static_cast<std::int32_t>(hi);
+  return static_cast<std::int32_t>(v);
+}
+
+Value Value::defaultFor(Type t) {
+  if (t == Type::Int) return Value(std::int32_t{0});
+  return Value(std::vector<std::int32_t>{});
+}
+
+std::string Value::toString() const {
+  if (isInt()) return std::to_string(asInt());
+  std::string out = "[";
+  const auto& xs = asList();
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(xs[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace netsyn::dsl

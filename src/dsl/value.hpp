@@ -1,0 +1,62 @@
+// Values of NetSyn's list DSL.
+//
+// The DSL (paper Appendix A) has exactly two data types: integers and lists
+// of integers. All arithmetic saturates to 32-bit bounds so every DSL
+// function is total: programs are valid by construction and can never trap,
+// which is the property the paper relies on to avoid pruning/sandboxing in
+// the genetic algorithm.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace netsyn::dsl {
+
+/// Data types of the DSL.
+enum class Type : std::uint8_t { Int, List };
+
+/// Name of a type ("int" / "[int]") for diagnostics and program printing.
+std::string typeName(Type t);
+
+/// Saturating cast of a 64-bit intermediate into the DSL's 32-bit domain.
+/// MAP(^2), SCANL1(*), ZIPWITH(*) etc. can overflow 32 bits; saturation keeps
+/// every function total and deterministic.
+std::int32_t saturate(std::int64_t v);
+
+/// A DSL value: an integer or a list of integers.
+class Value {
+ public:
+  /// Default value of a missing integer argument (paper: 0).
+  Value() : data_(std::int32_t{0}) {}
+  Value(std::int32_t v) : data_(v) {}                       // NOLINT implicit
+  Value(std::vector<std::int32_t> v) : data_(std::move(v)) {}  // NOLINT
+
+  /// Default value for the given type: 0 or the empty list.
+  static Value defaultFor(Type t);
+
+  Type type() const {
+    return std::holds_alternative<std::int32_t>(data_) ? Type::Int
+                                                       : Type::List;
+  }
+  bool isInt() const { return type() == Type::Int; }
+  bool isList() const { return type() == Type::List; }
+
+  /// Accessors; calling the wrong one throws std::bad_variant_access, which
+  /// indicates an internal bug (the interpreter always matches types).
+  std::int32_t asInt() const { return std::get<std::int32_t>(data_); }
+  const std::vector<std::int32_t>& asList() const {
+    return std::get<std::vector<std::int32_t>>(data_);
+  }
+
+  bool operator==(const Value& other) const = default;
+
+  /// "7" or "[1, -2, 3]".
+  std::string toString() const;
+
+ private:
+  std::variant<std::int32_t, std::vector<std::int32_t>> data_;
+};
+
+}  // namespace netsyn::dsl

@@ -1,0 +1,146 @@
+#include "fitness/corpus_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace netsyn::fitness {
+namespace {
+
+constexpr char kMagic[4] = {'N', 'S', 'C', 'O'};
+constexpr std::uint32_t kVersion = 1;
+
+// ---- primitive writers/readers ---------------------------------------------
+
+template <typename T>
+void writePod(std::ofstream& f, T v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T readPod(std::ifstream& f) {
+  T v{};
+  f.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!f) throw std::runtime_error("corpus file truncated");
+  return v;
+}
+
+void writeValue(std::ofstream& f, const dsl::Value& v) {
+  writePod<std::uint8_t>(f, v.isList() ? 1 : 0);
+  if (v.isInt()) {
+    writePod<std::int32_t>(f, v.asInt());
+  } else {
+    writePod<std::uint32_t>(f, static_cast<std::uint32_t>(v.asList().size()));
+    for (std::int32_t x : v.asList()) writePod<std::int32_t>(f, x);
+  }
+}
+
+dsl::Value readValue(std::ifstream& f) {
+  const auto isList = readPod<std::uint8_t>(f);
+  if (isList == 0) return dsl::Value(readPod<std::int32_t>(f));
+  const auto n = readPod<std::uint32_t>(f);
+  if (n > (1u << 24)) throw std::runtime_error("corpus list length corrupt");
+  std::vector<std::int32_t> xs;
+  xs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) xs.push_back(readPod<std::int32_t>(f));
+  return dsl::Value(std::move(xs));
+}
+
+void writeProgram(std::ofstream& f, const dsl::Program& p) {
+  writePod<std::uint32_t>(f, static_cast<std::uint32_t>(p.length()));
+  for (dsl::FuncId id : p.functions()) writePod<std::uint8_t>(f, id);
+}
+
+dsl::Program readProgram(std::ifstream& f) {
+  const auto n = readPod<std::uint32_t>(f);
+  if (n > 4096) throw std::runtime_error("corpus program length corrupt");
+  std::vector<dsl::FuncId> fns;
+  fns.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto id = readPod<std::uint8_t>(f);
+    if (id >= dsl::kNumFunctions)
+      throw std::runtime_error("corpus function id corrupt");
+    fns.push_back(static_cast<dsl::FuncId>(id));
+  }
+  return dsl::Program(std::move(fns));
+}
+
+}  // namespace
+
+void saveSamples(const std::vector<Sample>& samples,
+                 const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("saveSamples: cannot open " + path);
+  f.write(kMagic, 4);
+  writePod<std::uint32_t>(f, kVersion);
+  writePod<std::uint64_t>(f, samples.size());
+  for (const Sample& s : samples) {
+    writeProgram(f, s.target);
+    writeProgram(f, s.candidate);
+    writePod<std::uint32_t>(f, static_cast<std::uint32_t>(s.spec.size()));
+    for (const auto& ex : s.spec.examples) {
+      writePod<std::uint32_t>(f, static_cast<std::uint32_t>(ex.inputs.size()));
+      for (const auto& in : ex.inputs) writeValue(f, in);
+      writeValue(f, ex.output);
+    }
+    writePod<std::uint32_t>(f, static_cast<std::uint32_t>(s.traces.size()));
+    for (const auto& trace : s.traces) {
+      writePod<std::uint32_t>(f, static_cast<std::uint32_t>(trace.size()));
+      for (const auto& v : trace) writeValue(f, v);
+    }
+    writePod<std::uint32_t>(f, static_cast<std::uint32_t>(s.cf));
+    writePod<std::uint32_t>(f, static_cast<std::uint32_t>(s.lcs));
+  }
+  if (!f) throw std::runtime_error("saveSamples: write failed for " + path);
+}
+
+std::vector<Sample> loadSamples(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("loadSamples: cannot open " + path);
+  char magic[4];
+  f.read(magic, 4);
+  if (!f || std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("loadSamples: bad magic in " + path);
+  const auto version = readPod<std::uint32_t>(f);
+  if (version != kVersion)
+    throw std::runtime_error("loadSamples: unsupported version in " + path);
+  const auto count = readPod<std::uint64_t>(f);
+
+  std::vector<Sample> samples;
+  samples.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Sample s;
+    s.target = readProgram(f);
+    s.candidate = readProgram(f);
+    const auto m = readPod<std::uint32_t>(f);
+    s.spec.examples.reserve(m);
+    for (std::uint32_t j = 0; j < m; ++j) {
+      dsl::IOExample ex;
+      const auto numInputs = readPod<std::uint32_t>(f);
+      ex.inputs.reserve(numInputs);
+      for (std::uint32_t k = 0; k < numInputs; ++k)
+        ex.inputs.push_back(readValue(f));
+      ex.output = readValue(f);
+      s.spec.examples.push_back(std::move(ex));
+    }
+    const auto numTraces = readPod<std::uint32_t>(f);
+    s.traces.reserve(numTraces);
+    for (std::uint32_t j = 0; j < numTraces; ++j) {
+      const auto len = readPod<std::uint32_t>(f);
+      std::vector<dsl::Value> trace;
+      trace.reserve(len);
+      for (std::uint32_t k = 0; k < len; ++k) trace.push_back(readValue(f));
+      s.traces.push_back(std::move(trace));
+    }
+    s.cf = readPod<std::uint32_t>(f);
+    s.lcs = readPod<std::uint32_t>(f);
+    // Function presence is derivable; rebuild rather than store.
+    s.funcPresence.assign(dsl::kNumFunctions, 0.0f);
+    for (dsl::FuncId id : s.target.functions()) s.funcPresence[id] = 1.0f;
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+}  // namespace netsyn::fitness

@@ -1,0 +1,25 @@
+// Binary (de)serialization of NN-FF training corpora.
+//
+// Generating a paper-scale corpus (4.2M programs, each executed on m inputs
+// twice) is itself hours of compute; snapshotting the sample set lets
+// training runs, hyper-parameter sweeps, and the Figure-7 benches share one
+// corpus. Format: magic "NSCO", u32 version, u64 sample count, then each
+// sample as length-prefixed programs, values, traces, and labels
+// (little-endian).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fitness/dataset.hpp"
+
+namespace netsyn::fitness {
+
+/// Writes `samples` to `path`. Throws std::runtime_error on I/O failure.
+void saveSamples(const std::vector<Sample>& samples, const std::string& path);
+
+/// Reads a sample set written by saveSamples. Throws std::runtime_error on
+/// I/O failure or malformed input.
+std::vector<Sample> loadSamples(const std::string& path);
+
+}  // namespace netsyn::fitness

@@ -1,0 +1,103 @@
+// Training-data generation for the neural fitness functions (paper §4.2.1,
+// §5).
+//
+// Each sample pairs a random *target* program P_e (which defines the spec
+// S = {(I_j, O_j)}) with a random *candidate* program P_r executed on the
+// same inputs to obtain traces. Labels are the oracle metrics CF / LCS
+// between candidate and target, plus the target's function-presence vector
+// for the FP model. As in the paper, candidates are constructed so that
+// every possible CF (or LCS) value 0..L is equally represented.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dsl/generator.hpp"
+#include "dsl/program.hpp"
+#include "dsl/spec.hpp"
+#include "util/rng.hpp"
+
+namespace netsyn::fitness {
+
+/// One supervised example for the NN-FF.
+struct Sample {
+  dsl::Spec spec;          ///< examples of the (hidden) target program
+  dsl::Program target;     ///< the target P_e (labels only; not a feature)
+  dsl::Program candidate;  ///< the graded program P_r
+  /// traces[i][k] = output of candidate statement k on spec input i.
+  std::vector<std::vector<dsl::Value>> traces;
+  std::size_t cf = 0;   ///< commonFunctions(candidate, target)
+  std::size_t lcs = 0;  ///< longestCommonSubsequence(candidate, target)
+  std::vector<float> funcPresence;  ///< 41 multi-hot: f in elems(target)
+};
+
+/// Which oracle metric the label-balancing targets.
+enum class BalanceMetric : std::uint8_t { CF, LCS };
+
+struct DatasetConfig {
+  std::size_t programLength = 5;  ///< length of targets and candidates
+  std::size_t numExamples = 5;    ///< m IO examples per spec
+  dsl::GeneratorConfig generator;
+};
+
+class DatasetBuilder {
+ public:
+  explicit DatasetBuilder(DatasetConfig config = {}) : config_(config) {}
+
+  const DatasetConfig& config() const { return config_; }
+
+  /// Builds a candidate with an exact prescribed metric value against
+  /// `target`: `label` of the target's functions are kept (as a multiset
+  /// sample for CF; as an order-preserving subsequence for LCS) and the
+  /// remaining slots are filled with functions absent from the target.
+  dsl::Program makeCandidateWithLabel(const dsl::Program& target,
+                                      std::size_t label, BalanceMetric metric,
+                                      util::Rng& rng) const;
+
+  /// One full sample with the prescribed label (nullopt if generation of the
+  /// target/spec fails, which is rare).
+  std::optional<Sample> makeSample(std::size_t label, BalanceMetric metric,
+                                   util::Rng& rng) const;
+
+  /// `n` samples with labels cycling 0..programLength so every class is
+  /// equally represented (paper §5: "each of the 0-5 possible CF/LCS values
+  /// ... equally represented").
+  std::vector<Sample> build(std::size_t n, BalanceMetric metric,
+                            util::Rng& rng) const;
+
+ private:
+  DatasetConfig config_;
+};
+
+/// Runs `candidate` on every spec input, returning per-example traces.
+std::vector<std::vector<dsl::Value>> tracesFor(const dsl::Program& candidate,
+                                               const dsl::Spec& spec);
+
+/// A pair of candidates graded against the *same* target/spec — the unit of
+/// supervision for the §5.3.1 relative-ordering (ranking) ablation, where
+/// the network is trained to order genes rather than score them.
+struct PairSample {
+  dsl::Spec spec;
+  dsl::Program target;
+  dsl::Program a;
+  dsl::Program b;
+  std::vector<std::vector<dsl::Value>> tracesA;
+  std::vector<std::vector<dsl::Value>> tracesB;
+  std::size_t metricA = 0;  ///< oracle metric of `a` vs target
+  std::size_t metricB = 0;  ///< oracle metric of `b` vs target
+};
+
+/// Builds one pair with prescribed metric values for each side (shared
+/// random target + spec). nullopt on generation failure.
+std::optional<PairSample> makePairSample(const DatasetConfig& config,
+                                         std::size_t labelA,
+                                         std::size_t labelB,
+                                         BalanceMetric metric,
+                                         util::Rng& rng);
+
+/// `n` pairs with (labelA, labelB) cycling over all ordered pairs with
+/// labelA != labelB, so every margin is represented.
+std::vector<PairSample> buildPairs(const DatasetConfig& config, std::size_t n,
+                                   BalanceMetric metric, util::Rng& rng);
+
+}  // namespace netsyn::fitness

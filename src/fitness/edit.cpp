@@ -1,0 +1,46 @@
+#include "fitness/edit.hpp"
+
+#include <algorithm>
+
+namespace netsyn::fitness {
+namespace {
+
+std::vector<std::int32_t> tokensOf(const dsl::Value& v) {
+  if (v.isList()) return v.asList();
+  return {v.asInt()};
+}
+
+}  // namespace
+
+std::size_t valueEditDistance(const dsl::Value& a, const dsl::Value& b) {
+  const auto xs = tokensOf(a);
+  const auto ys = tokensOf(b);
+  const std::size_t n = xs.size(), m = ys.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+  std::vector<std::size_t> prev(m + 1), curr(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    curr[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t sub = prev[j - 1] + (xs[i - 1] == ys[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, sub});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double EditDistanceFitness::score(const dsl::Program&,
+                                  const EvalContext& ctx) {
+  if (ctx.spec.examples.empty()) return 1.0;
+  double total = 0.0;
+  for (std::size_t j = 0; j < ctx.spec.examples.size(); ++j) {
+    total += static_cast<double>(valueEditDistance(
+        ctx.runs[j].output, ctx.spec.examples[j].output));
+  }
+  const double meanDist = total / static_cast<double>(ctx.spec.size());
+  return 1.0 / (1.0 + meanDist);
+}
+
+}  // namespace netsyn::fitness

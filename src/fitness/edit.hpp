@@ -1,0 +1,27 @@
+// Output edit-distance fitness: the hand-crafted baseline the paper argues
+// is misleading for machine programming ("a program having only a single
+// mistake may produce output that in no obvious way resembles the correct
+// output", §1).
+//
+// The grade is 1 / (1 + mean Levenshtein distance between the candidate's
+// outputs and the specified outputs), so it is positive (usable as a
+// Roulette Wheel weight) and increases as outputs get closer.
+#pragma once
+
+#include "fitness/fitness.hpp"
+
+namespace netsyn::fitness {
+
+/// Levenshtein distance between two DSL values, token-wise: lists compare
+/// element sequences; ints compare as single-token sequences; comparing an
+/// int against a list treats the int as a one-element sequence.
+std::size_t valueEditDistance(const dsl::Value& a, const dsl::Value& b);
+
+class EditDistanceFitness final : public FitnessFunction {
+ public:
+  double score(const dsl::Program& gene, const EvalContext& ctx) override;
+  double maxScore(std::size_t) const override { return 1.0; }
+  std::string name() const override { return "Edit"; }
+};
+
+}  // namespace netsyn::fitness

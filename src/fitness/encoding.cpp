@@ -1,0 +1,150 @@
+#include "fitness/encoding.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace netsyn::fitness {
+
+std::size_t TokenEncoder::tokenOf(std::int32_t v) const {
+  const std::int32_t clamped =
+      std::clamp(v, -config_.vmax, config_.vmax - 1);
+  return static_cast<std::size_t>(clamped + config_.vmax);
+}
+
+std::vector<std::size_t> TokenEncoder::encodeValue(const dsl::Value& v) const {
+  std::vector<std::size_t> out;
+  if (v.isInt()) {
+    out.reserve(2);
+    out.push_back(intMarker());
+    out.push_back(tokenOf(v.asInt()));
+    return out;
+  }
+  const auto& xs = v.asList();
+  const std::size_t n = std::min(xs.size(), config_.maxValueTokens);
+  out.reserve(n + 1);
+  out.push_back(listMarker());
+  for (std::size_t i = 0; i < n; ++i) out.push_back(tokenOf(xs[i]));
+  return out;
+}
+
+std::vector<std::size_t> TokenEncoder::encodeInputs(
+    const std::vector<dsl::Value>& inputs) const {
+  std::vector<std::size_t> out;
+  for (const auto& v : inputs) {
+    const auto toks = encodeValue(v);
+    out.insert(out.end(), toks.begin(), toks.end());
+  }
+  return out;
+}
+
+std::array<float, kIoFeatureDim> ioSummaryFeatures(
+    const std::vector<dsl::Value>& inputs, const dsl::Value& output) {
+  std::array<float, kIoFeatureDim> f{};
+  // First list input (programs in this repo always take one).
+  static const std::vector<std::int32_t> kEmpty;
+  const std::vector<std::int32_t>* in = &kEmpty;
+  for (const auto& v : inputs) {
+    if (v.isList()) {
+      in = &v.asList();
+      break;
+    }
+  }
+  const auto& xs = *in;
+  const bool outList = output.isList();
+  const auto& os = outList ? output.asList() : kEmpty;
+  const auto lenI = static_cast<float>(xs.size());
+  const auto lenO = static_cast<float>(os.size());
+
+  std::size_t k = 0;
+  f[k++] = outList ? 1.0f : 0.0f;                       // 0: output type
+  f[k++] = outList ? lenO / (lenI + 1.0f) : 0.0f;       // 1: length ratio
+  f[k++] = (outList && os.size() >= 2 &&
+            std::is_sorted(os.begin(), os.end()))
+               ? 1.0f
+               : 0.0f;                                  // 2: sorted
+  f[k++] = (outList && os.size() >= 2 &&
+            std::is_sorted(os.rbegin(), os.rend()))
+               ? 1.0f
+               : 0.0f;                                  // 3: reverse sorted
+  // 4: output is a sub-multiset of the input (FILTER/TAKE/DROP/DELETE...).
+  {
+    std::map<std::int32_t, int> counts;
+    for (auto v : xs) ++counts[v];
+    bool subset = outList;
+    for (auto v : os) {
+      if (--counts[v] < 0) {
+        subset = false;
+        break;
+      }
+    }
+    f[k++] = subset ? 1.0f : 0.0f;
+  }
+  // 5-8: sign/parity fractions of the output elements.
+  if (outList && !os.empty()) {
+    float pos = 0, neg = 0, even = 0, odd = 0;
+    for (auto v : os) {
+      pos += v > 0 ? 1.0f : 0.0f;
+      neg += v < 0 ? 1.0f : 0.0f;
+      even += v % 2 == 0 ? 1.0f : 0.0f;
+      odd += v % 2 != 0 ? 1.0f : 0.0f;
+    }
+    f[k++] = pos / lenO;
+    f[k++] = neg / lenO;
+    f[k++] = even / lenO;
+    f[k++] = odd / lenO;
+  } else {
+    k += 4;
+  }
+  // 9-10: equality against single-function prototypes.
+  {
+    auto sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    f[k++] = (outList && os == sorted) ? 1.0f : 0.0f;
+    const std::vector<std::int32_t> reversed(xs.rbegin(), xs.rend());
+    f[k++] = (outList && os == reversed) ? 1.0f : 0.0f;
+  }
+  // 11-13: divisibility of every output element (MAP *2/*3/*4 traces).
+  for (std::int32_t d : {2, 3, 4}) {
+    bool all = outList && !os.empty();
+    for (auto v : os) all = all && (v % d == 0);
+    f[k++] = all ? 1.0f : 0.0f;
+  }
+  // 14-15: extrema preserved.
+  if (outList && !os.empty() && !xs.empty()) {
+    f[k++] = (*std::max_element(os.begin(), os.end()) ==
+              *std::max_element(xs.begin(), xs.end()))
+                 ? 1.0f
+                 : 0.0f;
+    f[k++] = (*std::min_element(os.begin(), os.end()) ==
+              *std::min_element(xs.begin(), xs.end()))
+                 ? 1.0f
+                 : 0.0f;
+  } else {
+    k += 2;
+  }
+  // 16: fraction of output elements present in the input.
+  if (outList && !os.empty()) {
+    float present = 0;
+    for (auto v : os)
+      present += std::find(xs.begin(), xs.end(), v) != xs.end() ? 1.0f : 0.0f;
+    f[k++] = present / lenO;
+  } else {
+    ++k;
+  }
+  f[k++] = (outList && os.size() == xs.size()) ? 1.0f : 0.0f;  // 17
+  // 18-21: singleton-output prototypes (SUM / MAX / MIN / HEAD or LAST).
+  if (!outList && !xs.empty()) {
+    const std::int64_t o = output.asInt();
+    std::int64_t sum = 0;
+    for (auto v : xs) sum += v;
+    f[k++] = (o == sum) ? 1.0f : 0.0f;
+    f[k++] = (o == *std::max_element(xs.begin(), xs.end())) ? 1.0f : 0.0f;
+    f[k++] = (o == *std::min_element(xs.begin(), xs.end())) ? 1.0f : 0.0f;
+    f[k++] = (o == xs.front() || o == xs.back()) ? 1.0f : 0.0f;
+  } else {
+    k += 4;
+  }
+  return f;
+}
+
+}  // namespace netsyn::fitness

@@ -1,0 +1,66 @@
+// Tokenization of DSL values for the neural fitness models.
+//
+// Integers are clamped into [-vmax, vmax-1] and shifted to token ids
+// [0, 2*vmax); two marker tokens tag the value's type. Lists longer than
+// `maxValueTokens` are truncated (DSL intermediate values are short; the
+// paper's inputs are length <= ~10 lists). The resulting id sequences feed
+// the embedding + LSTM encoders of Figure 2.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dsl/value.hpp"
+
+namespace netsyn::fitness {
+
+struct EncoderConfig {
+  std::int32_t vmax = 64;          ///< values clamp to [-vmax, vmax-1]
+  std::size_t maxValueTokens = 10; ///< list truncation length
+};
+
+class TokenEncoder {
+ public:
+  explicit TokenEncoder(EncoderConfig config = {}) : config_(config) {}
+
+  const EncoderConfig& config() const { return config_; }
+
+  /// 2*vmax value tokens + int marker + list marker.
+  std::size_t vocabSize() const {
+    return 2 * static_cast<std::size_t>(config_.vmax) + 2;
+  }
+  std::size_t intMarker() const {
+    return 2 * static_cast<std::size_t>(config_.vmax);
+  }
+  std::size_t listMarker() const { return intMarker() + 1; }
+
+  /// Token id of a single integer (clamped).
+  std::size_t tokenOf(std::int32_t v) const;
+
+  /// Token sequence of a value: [type marker, element tokens...].
+  std::vector<std::size_t> encodeValue(const dsl::Value& v) const;
+
+  /// Token sequence of an input tuple: concatenated value encodings.
+  std::vector<std::size_t> encodeInputs(
+      const std::vector<dsl::Value>& inputs) const;
+
+ private:
+  EncoderConfig config_;
+};
+
+/// Width of the IO property-signature vector (see ioSummaryFeatures).
+inline constexpr std::size_t kIoFeatureDim = 22;
+
+/// Hand-computed property signature of one IO example (Odena & Sutton,
+/// "Learning to Represent Programs with Property Signatures"): cheap
+/// predicates relating the output to the first list input, e.g. "output is
+/// sorted", "output is a sub-multiset of the input", element sign/parity/
+/// divisibility fractions, and equality against a few single-function
+/// transforms. At the paper's 4.2M-sample scale the network learns these
+/// relations from raw tokens; at this repo's scale the signature supplies
+/// them directly (DESIGN.md §5).
+std::array<float, kIoFeatureDim> ioSummaryFeatures(
+    const std::vector<dsl::Value>& inputs, const dsl::Value& output);
+
+}  // namespace netsyn::fitness

@@ -1,0 +1,47 @@
+// Fitness-function interface used by the genetic algorithm.
+//
+// A fitness function grades how close a candidate gene is to a program
+// satisfying the specification (paper §4.2.1). Implementations include the
+// oracle metrics (which peek at the target program and are the labels the
+// neural models are trained to predict), output edit distance (the classic
+// hand-crafted GP fitness the paper argues against), and the learned NN-FF
+// variants (CF / LCS classifiers, FP probability map).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsl/interpreter.hpp"
+#include "dsl/program.hpp"
+#include "dsl/spec.hpp"
+
+namespace netsyn::fitness {
+
+/// Execution results of a candidate on every spec input. The synthesizer
+/// executes each gene exactly once (also for the equivalence check) and
+/// shares the runs with the fitness function, so graders never re-execute.
+struct EvalContext {
+  const dsl::Spec& spec;
+  const std::vector<dsl::ExecResult>& runs;  // one per spec example
+};
+
+class FitnessFunction {
+ public:
+  virtual ~FitnessFunction() = default;
+
+  /// Non-negative grade; higher is closer to the target. Used directly as
+  /// the Roulette Wheel weight.
+  virtual double score(const dsl::Program& gene, const EvalContext& ctx) = 0;
+
+  /// Upper bound of score() for the given target length (used by the
+  /// neighborhood-search trigger's normalization and by reports). May be
+  /// +infinity for unbounded graders.
+  virtual double maxScore(std::size_t targetLength) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using FitnessPtr = std::shared_ptr<FitnessFunction>;
+
+}  // namespace netsyn::fitness

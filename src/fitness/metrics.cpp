@@ -1,0 +1,54 @@
+#include "fitness/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace netsyn::fitness {
+
+std::size_t commonFunctions(const dsl::Program& a, const dsl::Program& b) {
+  std::array<std::size_t, dsl::kNumFunctions> ca{}, cb{};
+  for (dsl::FuncId f : a.functions()) ++ca[f];
+  for (dsl::FuncId f : b.functions()) ++cb[f];
+  std::size_t common = 0;
+  for (std::size_t i = 0; i < dsl::kNumFunctions; ++i)
+    common += std::min(ca[i], cb[i]);
+  return common;
+}
+
+std::size_t longestCommonSubsequence(const dsl::Program& a,
+                                     const dsl::Program& b) {
+  const auto& xs = a.functions();
+  const auto& ys = b.functions();
+  const std::size_t n = xs.size(), m = ys.size();
+  if (n == 0 || m == 0) return 0;
+  // Rolling single-row DP.
+  std::vector<std::size_t> prev(m + 1, 0), curr(m + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      curr[j] = (xs[i - 1] == ys[j - 1]) ? prev[j - 1] + 1
+                                         : std::max(prev[j], curr[j - 1]);
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+std::size_t longestCommonSubstring(const dsl::Program& a,
+                                   const dsl::Program& b) {
+  const auto& xs = a.functions();
+  const auto& ys = b.functions();
+  const std::size_t n = xs.size(), m = ys.size();
+  if (n == 0 || m == 0) return 0;
+  std::vector<std::size_t> prev(m + 1, 0), curr(m + 1, 0);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      curr[j] = (xs[i - 1] == ys[j - 1]) ? prev[j - 1] + 1 : 0;
+      best = std::max(best, curr[j]);
+    }
+    std::swap(prev, curr);
+  }
+  return best;
+}
+
+}  // namespace netsyn::fitness

@@ -1,0 +1,289 @@
+#include "fitness/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fitness/edit.hpp"
+
+namespace netsyn::fitness {
+namespace {
+
+/// Per-step match features between a trace value and the example output:
+/// [similarity = 1/(1+editDist), exact-match flag]. These give the model a
+/// short path to the trace-vs-output comparison it must otherwise discover
+/// from millions of samples (see DESIGN.md §5 on scaled-down training).
+nn::Var stepMatchFeatures(const dsl::Value& traceValue,
+                          const dsl::Value& output) {
+  const auto dist = valueEditDistance(traceValue, output);
+  nn::Matrix f(1, 2);
+  f.at(0) = 1.0f / (1.0f + static_cast<float>(dist));
+  f.at(1) = (dist == 0) ? 1.0f : 0.0f;
+  return nn::constant(std::move(f));
+}
+
+}  // namespace
+
+NnffModel::NnffModel(NnffConfig config)
+    : config_(config), encoder_(config.encoder) {
+  util::Rng rng(config_.seed);
+  const std::size_t e = config_.embedDim;
+  const std::size_t h = config_.hiddenDim;
+
+  valueEmb_ = std::make_unique<nn::Embedding>(encoder_.vocabSize(), e,
+                                              params_, rng);
+  inputLstm_ = std::make_unique<nn::Lstm>(e, h, params_, rng);
+  outputLstm_ = std::make_unique<nn::Lstm>(e, h, params_, rng);
+  if (config_.useTrace) {
+    funcEmb_ =
+        std::make_unique<nn::Embedding>(dsl::kNumFunctions, e, params_, rng);
+    traceLstm_ = std::make_unique<nn::Lstm>(e, h, params_, rng);
+    stepLstm_ = std::make_unique<nn::Lstm>(e + h + 2, h, params_, rng);
+    featProj_ = std::make_unique<nn::Linear>(4, h, params_, rng);
+  }
+  ioFeatProj_ = std::make_unique<nn::Linear>(kIoFeatureDim, h, params_, rng);
+  combine1_ = std::make_unique<nn::Lstm>(h, h, params_, rng);
+  combine2_ = std::make_unique<nn::Lstm>(h, h, params_, rng);
+  exampleLstm_ = std::make_unique<nn::Lstm>(h, h, params_, rng);
+  fc1_ = std::make_unique<nn::Linear>(h, h, params_, rng);
+  fc2_ = std::make_unique<nn::Linear>(h, outDim(), params_, rng);
+}
+
+std::size_t NnffModel::outDim() const {
+  switch (config_.head) {
+    case HeadKind::Classifier:
+      return config_.numClasses;
+    case HeadKind::Multilabel:
+      return config_.multilabelDim == 0 ? dsl::kNumFunctions
+                                        : config_.multilabelDim;
+    case HeadKind::Regression:
+      return 1;
+  }
+  return 1;
+}
+
+nn::Var NnffModel::encodeTokens(const nn::Lstm& lstm,
+                                const std::vector<std::size_t>& tokens) const {
+  std::vector<nn::Var> seq;
+  seq.reserve(tokens.size());
+  for (std::size_t t : tokens) seq.push_back(valueEmb_->lookup(t));
+  return lstm.encode(seq);
+}
+
+nn::Var NnffModel::exampleVector(const dsl::IOExample& example,
+                                 const dsl::Program* candidate,
+                                 const std::vector<dsl::Value>* trace) const {
+  const nn::Var hIn =
+      encodeTokens(*inputLstm_, encoder_.encodeInputs(example.inputs));
+  const nn::Var hOut =
+      encodeTokens(*outputLstm_, encoder_.encodeValue(example.output));
+
+  // IO property signature (encoding.hpp): supplies the input-output
+  // relations (sortedness, subset-ness, parity...) the paper's model learns
+  // from its 4.2M-sample corpus.
+  const auto ioFeats = ioSummaryFeatures(example.inputs, example.output);
+  nn::Matrix ioF(1, kIoFeatureDim);
+  for (std::size_t i = 0; i < kIoFeatureDim; ++i) ioF.at(i) = ioFeats[i];
+  const nn::Var hIoFeat =
+      nn::tanhOp(ioFeatProj_->forward(nn::constant(std::move(ioF))));
+
+  std::vector<nn::Var> pieces = {hIn, hOut, hIoFeat};
+  if (config_.useTrace) {
+    if (candidate == nullptr || trace == nullptr)
+      throw std::invalid_argument(
+          "NnffModel: trace branch enabled but no candidate/trace given");
+    if (trace->size() != candidate->length())
+      throw std::invalid_argument("NnffModel: trace length != program length");
+    std::vector<nn::Var> steps;
+    steps.reserve(candidate->length());
+    std::size_t exactSteps = 0;
+    for (std::size_t k = 0; k < candidate->length(); ++k) {
+      const nn::Var fVec = funcEmb_->lookup(candidate->at(k));
+      const nn::Var tVec =
+          encodeTokens(*traceLstm_, encoder_.encodeValue((*trace)[k]));
+      const nn::Var mVec = stepMatchFeatures((*trace)[k], example.output);
+      if ((*trace)[k] == example.output) ++exactSteps;
+      steps.push_back(nn::concatCols(nn::concatCols(fVec, tVec), mVec));
+    }
+    const nn::Var hProg = stepLstm_->encode(steps);
+    pieces.push_back(hProg);
+    // Multiplicative matching between the output encoding and the program
+    // encoding (interaction term the combiner LSTMs cannot form on their
+    // own), plus a projected example-level match summary. Both shorten the
+    // path from "candidate reproduces the specified output" to the head.
+    pieces.push_back(nn::mulElem(hOut, hProg));
+    const dsl::Value& finalValue = candidate->empty()
+                                       ? dsl::Value::defaultFor(dsl::Type::List)
+                                       : trace->back();
+    const auto finalDist = valueEditDistance(finalValue, example.output);
+    nn::Matrix g(1, 4);
+    g.at(0) = 1.0f / (1.0f + static_cast<float>(finalDist));
+    g.at(1) = (finalDist == 0) ? 1.0f : 0.0f;
+    g.at(2) = (finalValue.type() == example.output.type()) ? 1.0f : 0.0f;
+    g.at(3) = candidate->empty()
+                  ? 0.0f
+                  : static_cast<float>(exactSteps) /
+                        static_cast<float>(candidate->length());
+    pieces.push_back(nn::tanhOp(featProj_->forward(nn::constant(std::move(g)))));
+  }
+
+  // Two stacked combiner LSTMs (Figure 2a): layer 1 produces a hidden vector
+  // per piece; layer 2 consumes those and its final state is H_i.
+  return combine2_->encode(combine1_->encodeAll(pieces));
+}
+
+nn::Var NnffModel::head(const nn::Var& h) const {
+  return fc2_->forward(nn::reluOp(fc1_->forward(h)));
+}
+
+nn::Var NnffModel::forward(
+    const dsl::Spec& spec, const dsl::Program& candidate,
+    const std::vector<std::vector<dsl::Value>>& traces) const {
+  if (traces.size() < std::min(spec.size(), config_.maxExamples))
+    throw std::invalid_argument("NnffModel: one trace per example required");
+  std::vector<nn::Var> His;
+  const std::size_t m = std::min(spec.size(), config_.maxExamples);
+  His.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    His.push_back(
+        exampleVector(spec.examples[i], &candidate, &traces[i]));
+  }
+  return head(exampleLstm_->encode(His));
+}
+
+void NnffModel::exampleVectorFast(const dsl::IOExample& example,
+                                  const dsl::Program* candidate,
+                                  const std::vector<dsl::Value>* trace,
+                                  float* out) const {
+  const std::size_t h = config_.hiddenDim;
+  const std::size_t e = config_.embedDim;
+
+  // Piece buffers (at most 6 pieces of width h).
+  std::vector<float> hIn(h), hOut(h), hProg(h), hMul(h), hFeat(h), hIoF(h);
+  nn::lstmEncodeTokensFast(*inputLstm_, *valueEmb_,
+                           encoder_.encodeInputs(example.inputs), hIn.data(),
+                           scratch_);
+  nn::lstmEncodeTokensFast(*outputLstm_, *valueEmb_,
+                           encoder_.encodeValue(example.output), hOut.data(),
+                           scratch_);
+  const auto ioFeats = ioSummaryFeatures(example.inputs, example.output);
+  nn::linearForwardFast(*ioFeatProj_, ioFeats.data(), hIoF.data());
+  for (std::size_t j = 0; j < h; ++j) hIoF[j] = std::tanh(hIoF[j]);
+
+  std::vector<const float*> pieces = {hIn.data(), hOut.data(), hIoF.data()};
+  std::vector<float> stepBuf;
+  if (config_.useTrace) {
+    // Program branch: per step, x_k = [funcEmb | traceEnc | match feats].
+    const std::size_t stepWidth = e + h + 2;
+    const std::size_t len = candidate->length();
+    stepBuf.resize(stepWidth * std::max<std::size_t>(len, 1));
+    std::vector<const float*> steps;
+    steps.reserve(len);
+    std::size_t exactSteps = 0;
+    for (std::size_t k = 0; k < len; ++k) {
+      float* x = stepBuf.data() + k * stepWidth;
+      const float* fRow = funcEmb_->table().data() +
+                          static_cast<std::size_t>(candidate->at(k)) * e;
+      std::copy(fRow, fRow + e, x);
+      nn::lstmEncodeTokensFast(*traceLstm_, *valueEmb_,
+                               encoder_.encodeValue((*trace)[k]), x + e,
+                               scratch_);
+      const auto dist = valueEditDistance((*trace)[k], example.output);
+      x[e + h] = 1.0f / (1.0f + static_cast<float>(dist));
+      x[e + h + 1] = (dist == 0) ? 1.0f : 0.0f;
+      if (dist == 0) ++exactSteps;
+      steps.push_back(x);
+    }
+    nn::lstmEncodeVectorsFast(*stepLstm_, steps, hProg.data(), scratch_);
+    for (std::size_t j = 0; j < h; ++j) hMul[j] = hOut[j] * hProg[j];
+    const dsl::Value& finalValue =
+        len == 0 ? dsl::Value::defaultFor(dsl::Type::List) : trace->back();
+    const auto finalDist = valueEditDistance(finalValue, example.output);
+    float g[4];
+    g[0] = 1.0f / (1.0f + static_cast<float>(finalDist));
+    g[1] = (finalDist == 0) ? 1.0f : 0.0f;
+    g[2] = (finalValue.type() == example.output.type()) ? 1.0f : 0.0f;
+    g[3] = len == 0 ? 0.0f
+                    : static_cast<float>(exactSteps) / static_cast<float>(len);
+    nn::linearForwardFast(*featProj_, g, hFeat.data());
+    for (std::size_t j = 0; j < h; ++j) hFeat[j] = std::tanh(hFeat[j]);
+    pieces.push_back(hProg.data());
+    pieces.push_back(hMul.data());
+    pieces.push_back(hFeat.data());
+  }
+
+  // Stacked combiners: layer 1 emits a hidden per piece, layer 2 fuses.
+  std::vector<float> l1(h * pieces.size());
+  {
+    std::vector<float> hState(h, 0.0f), cState(h, 0.0f);
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      nn::lstmStepFast(*combine1_, pieces[i], hState.data(), cState.data(),
+                       scratch_);
+      std::copy(hState.begin(), hState.end(), l1.begin() + i * h);
+    }
+  }
+  std::vector<const float*> l1Ptrs;
+  for (std::size_t i = 0; i < pieces.size(); ++i)
+    l1Ptrs.push_back(l1.data() + i * h);
+  nn::lstmEncodeVectorsFast(*combine2_, l1Ptrs, out, scratch_);
+}
+
+std::vector<float> NnffModel::forwardFast(
+    const dsl::Spec& spec, const dsl::Program& candidate,
+    const std::vector<std::vector<dsl::Value>>& traces) const {
+  if (traces.size() < std::min(spec.size(), config_.maxExamples))
+    throw std::invalid_argument("NnffModel: one trace per example required");
+  const std::size_t h = config_.hiddenDim;
+  const std::size_t m = std::min(spec.size(), config_.maxExamples);
+  std::vector<float> His(h * std::max<std::size_t>(m, 1));
+  std::vector<const float*> hiPtrs;
+  for (std::size_t i = 0; i < m; ++i) {
+    exampleVectorFast(spec.examples[i], &candidate, &traces[i],
+                      His.data() + i * h);
+    hiPtrs.push_back(His.data() + i * h);
+  }
+  std::vector<float> fused(h);
+  nn::lstmEncodeVectorsFast(*exampleLstm_, hiPtrs, fused.data(), scratch_);
+  std::vector<float> hidden(fc1_->outDim());
+  nn::linearForwardFast(*fc1_, fused.data(), hidden.data());
+  nn::reluFast(hidden.data(), hidden.size());
+  std::vector<float> logits(fc2_->outDim());
+  nn::linearForwardFast(*fc2_, hidden.data(), logits.data());
+  return logits;
+}
+
+std::vector<float> NnffModel::forwardIOOnlyFast(const dsl::Spec& spec) const {
+  if (config_.useTrace)
+    throw std::logic_error(
+        "NnffModel::forwardIOOnlyFast requires useTrace=false");
+  const std::size_t h = config_.hiddenDim;
+  const std::size_t m = std::min(spec.size(), config_.maxExamples);
+  std::vector<float> His(h * std::max<std::size_t>(m, 1));
+  std::vector<const float*> hiPtrs;
+  for (std::size_t i = 0; i < m; ++i) {
+    exampleVectorFast(spec.examples[i], nullptr, nullptr, His.data() + i * h);
+    hiPtrs.push_back(His.data() + i * h);
+  }
+  std::vector<float> fused(h);
+  nn::lstmEncodeVectorsFast(*exampleLstm_, hiPtrs, fused.data(), scratch_);
+  std::vector<float> hidden(fc1_->outDim());
+  nn::linearForwardFast(*fc1_, fused.data(), hidden.data());
+  nn::reluFast(hidden.data(), hidden.size());
+  std::vector<float> logits(fc2_->outDim());
+  nn::linearForwardFast(*fc2_, hidden.data(), logits.data());
+  return logits;
+}
+
+nn::Var NnffModel::forwardIOOnly(const dsl::Spec& spec) const {
+  if (config_.useTrace)
+    throw std::logic_error(
+        "NnffModel::forwardIOOnly requires a model built with useTrace=false");
+  std::vector<nn::Var> His;
+  const std::size_t m = std::min(spec.size(), config_.maxExamples);
+  His.reserve(m);
+  for (std::size_t i = 0; i < m; ++i)
+    His.push_back(exampleVector(spec.examples[i], nullptr, nullptr));
+  return head(exampleLstm_->encode(His));
+}
+
+}  // namespace netsyn::fitness

@@ -1,0 +1,121 @@
+// The neural fitness-function model (paper Figure 2).
+//
+// Per IO example i, three encoders produce hidden vectors:
+//   h_in   = LSTM over the embedded input tokens,
+//   h_out  = LSTM over the embedded output tokens,
+//   h_prog = LSTM over program steps, where step k is the function
+//            embedding of f_k concatenated with an LSTM encoding of the
+//            trace value t_k (Figure 2a, bottom row).
+// Two stacked combiner LSTMs fuse [h_in, h_out, h_prog] into H_i; an
+// example-level LSTM fuses {H_i} across the m examples (Figure 2b); two
+// fully connected layers produce the output head:
+//   Classifier  - softmax over fitness classes 0..numClasses-1 (f_CF, f_LCS)
+//   Multilabel  - 41 sigmoid outputs, the function probability map (f_FP);
+//                 per Balog et al. this head conditions on IO only, so the
+//                 program/trace branch is skipped (useTrace = false)
+//   Regression  - single scalar fitness (the paper's §5.3.1 ablation)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dsl/program.hpp"
+#include "dsl/spec.hpp"
+#include "fitness/encoding.hpp"
+#include "nn/inference.hpp"
+#include "nn/layers.hpp"
+#include "nn/serialize.hpp"
+
+namespace netsyn::fitness {
+
+enum class HeadKind : std::uint8_t { Classifier, Multilabel, Regression };
+
+struct NnffConfig {
+  EncoderConfig encoder;
+  std::size_t embedDim = 16;
+  std::size_t hiddenDim = 32;
+  std::size_t numClasses = 6;  ///< classifier classes 0..L for L=5 targets
+  std::size_t maxExamples = 5; ///< IO examples consumed per spec
+  HeadKind head = HeadKind::Classifier;
+  bool useTrace = true;        ///< false for the FP (IO-only) model
+  std::uint64_t seed = 1;      ///< weight-init seed
+  /// Output width of a Multilabel head: kNumFunctions (0 means default) for
+  /// the FP probability map, kNumFunctions^2 for the §5.3.1 bigram model.
+  std::size_t multilabelDim = 0;
+};
+
+class NnffModel {
+ public:
+  explicit NnffModel(NnffConfig config);
+
+  NnffModel(const NnffModel&) = delete;
+  NnffModel& operator=(const NnffModel&) = delete;
+
+  const NnffConfig& config() const { return config_; }
+  const TokenEncoder& encoder() const { return encoder_; }
+  nn::ParamStore& params() { return params_; }
+  const nn::ParamStore& params() const { return params_; }
+
+  /// Output width: numClasses, 41, or 1 depending on the head.
+  std::size_t outDim() const;
+
+  /// Full forward pass: logits (1 x outDim). `traces[i]` is the execution
+  /// trace of `candidate` on spec example i (traces[i].size() ==
+  /// candidate.length()). Only the first maxExamples examples are consumed.
+  nn::Var forward(const dsl::Spec& spec, const dsl::Program& candidate,
+                  const std::vector<std::vector<dsl::Value>>& traces) const;
+
+  /// IO-only forward (FP model): logits (1 x outDim).
+  nn::Var forwardIOOnly(const dsl::Spec& spec) const;
+
+  /// Allocation-free forward passes producing raw logits. Numerically
+  /// identical to forward()/forwardIOOnly() (asserted by tests) but ~3-4x
+  /// faster; used on the GA's hot path. Not thread-safe (reuses internal
+  /// scratch buffers); clone the model per worker thread.
+  std::vector<float> forwardFast(
+      const dsl::Spec& spec, const dsl::Program& candidate,
+      const std::vector<std::vector<dsl::Value>>& traces) const;
+  std::vector<float> forwardIOOnlyFast(const dsl::Spec& spec) const;
+
+  void save(const std::string& path) const { nn::saveParams(params_, path); }
+  void load(const std::string& path) { nn::loadParams(params_, path); }
+
+ private:
+  /// Embeds a token sequence and encodes it with `lstm`.
+  nn::Var encodeTokens(const nn::Lstm& lstm,
+                       const std::vector<std::size_t>& tokens) const;
+
+  /// H_i for one example (program/trace branch included iff useTrace).
+  nn::Var exampleVector(const dsl::IOExample& example,
+                        const dsl::Program* candidate,
+                        const std::vector<dsl::Value>* trace) const;
+
+  nn::Var head(const nn::Var& h) const;
+
+  /// Fast-path helpers (see model.cpp).
+  void exampleVectorFast(const dsl::IOExample& example,
+                         const dsl::Program* candidate,
+                         const std::vector<dsl::Value>* trace,
+                         float* out) const;
+
+  NnffConfig config_;
+  TokenEncoder encoder_;
+  nn::ParamStore params_;
+  std::unique_ptr<nn::Embedding> valueEmb_;
+  std::unique_ptr<nn::Embedding> funcEmb_;
+  std::unique_ptr<nn::Lstm> inputLstm_;
+  std::unique_ptr<nn::Lstm> outputLstm_;
+  std::unique_ptr<nn::Lstm> traceLstm_;
+  std::unique_ptr<nn::Lstm> stepLstm_;
+  std::unique_ptr<nn::Linear> featProj_;  ///< example-level match features
+  std::unique_ptr<nn::Linear> ioFeatProj_;  ///< IO property signature
+  std::unique_ptr<nn::Lstm> combine1_;
+  std::unique_ptr<nn::Lstm> combine2_;
+  std::unique_ptr<nn::Lstm> exampleLstm_;
+  std::unique_ptr<nn::Linear> fc1_;
+  std::unique_ptr<nn::Linear> fc2_;
+  mutable nn::InferenceScratch scratch_;  ///< fast-path buffers
+};
+
+}  // namespace netsyn::fitness

@@ -1,0 +1,93 @@
+#include "fitness/neural_fitness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netsyn::fitness {
+namespace {
+
+std::vector<std::vector<dsl::Value>> tracesFromRuns(
+    const std::vector<dsl::ExecResult>& runs) {
+  std::vector<std::vector<dsl::Value>> traces;
+  traces.reserve(runs.size());
+  for (const auto& r : runs) traces.push_back(r.trace);
+  return traces;
+}
+
+}  // namespace
+
+NeuralFitness::NeuralFitness(std::shared_ptr<NnffModel> model,
+                             std::string name)
+    : model_(std::move(model)), name_(std::move(name)) {
+  if (model_->config().head != HeadKind::Classifier)
+    throw std::invalid_argument("NeuralFitness requires a Classifier head");
+}
+
+std::vector<double> NeuralFitness::classProbabilities(
+    const dsl::Program& gene, const EvalContext& ctx) const {
+  const auto logits =
+      model_->forwardFast(ctx.spec, gene, tracesFromRuns(ctx.runs));
+  // Stable softmax over the raw logits.
+  const float mx = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> probs(logits.size());
+  double sum = 0.0;
+  for (std::size_t j = 0; j < logits.size(); ++j) {
+    probs[j] = std::exp(static_cast<double>(logits[j] - mx));
+    sum += probs[j];
+  }
+  for (double& p : probs) p /= sum;
+  return probs;
+}
+
+double NeuralFitness::score(const dsl::Program& gene,
+                            const EvalContext& ctx) {
+  const auto probs = classProbabilities(gene, ctx);
+  double expectation = 0.0;
+  for (std::size_t j = 0; j < probs.size(); ++j)
+    expectation += static_cast<double>(j) * probs[j];
+  return expectation;
+}
+
+ProbMapFitness::ProbMapFitness(std::shared_ptr<NnffModel> fpModel)
+    : model_(std::move(fpModel)) {
+  if (model_->config().head != HeadKind::Multilabel ||
+      model_->config().useTrace)
+    throw std::invalid_argument(
+        "ProbMapFitness requires an IO-only Multilabel model");
+}
+
+std::array<double, dsl::kNumFunctions> ProbMapFitness::probMap(
+    const dsl::Spec& spec) {
+  if (cachedSpec_ == &spec) return cachedMap_;
+  const auto logits = model_->forwardIOOnlyFast(spec);
+  for (std::size_t j = 0; j < dsl::kNumFunctions; ++j) {
+    cachedMap_[j] =
+        1.0 / (1.0 + std::exp(-static_cast<double>(logits[j])));
+  }
+  cachedSpec_ = &spec;
+  return cachedMap_;
+}
+
+double ProbMapFitness::score(const dsl::Program& gene,
+                             const EvalContext& ctx) {
+  const auto map = probMap(ctx.spec);
+  double total = 0.0;
+  for (dsl::FuncId f : gene.functions()) total += map[f];
+  return total;
+}
+
+RegressionFitness::RegressionFitness(std::shared_ptr<NnffModel> model)
+    : model_(std::move(model)) {
+  if (model_->config().head != HeadKind::Regression)
+    throw std::invalid_argument("RegressionFitness requires Regression head");
+}
+
+double RegressionFitness::score(const dsl::Program& gene,
+                                const EvalContext& ctx) {
+  const auto pred =
+      model_->forwardFast(ctx.spec, gene, tracesFromRuns(ctx.runs));
+  return std::max(0.0, static_cast<double>(pred[0]));
+}
+
+}  // namespace netsyn::fitness

@@ -1,0 +1,89 @@
+// Learned fitness functions: the NN-FF wrappers the genetic algorithm calls.
+//
+// NeuralFitness wraps a Classifier-head model (f_CF or f_LCS): the gene's
+// grade is the expectation of the predicted class distribution (a smoother
+// ranking signal than argmax for the Roulette Wheel).
+//
+// ProbMapFitness wraps the Multilabel (FP) model: the probability map
+// p = (p_1..p_41) depends only on the spec, so it is computed once and
+// cached; a gene's grade is sum of p_k over its functions (paper §4.2.1).
+// The same map drives the FP-guided mutation operator and the
+// DeepCoder-style baseline, via the ProbMapProvider interface.
+//
+// RegressionFitness wraps the Regression-head ablation model (§5.3.1).
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "fitness/fitness.hpp"
+#include "fitness/model.hpp"
+
+namespace netsyn::fitness {
+
+/// Anything that can produce Prob(op in P_t | spec) for all 41 ops.
+class ProbMapProvider {
+ public:
+  virtual ~ProbMapProvider() = default;
+  virtual std::array<double, dsl::kNumFunctions> probMap(
+      const dsl::Spec& spec) = 0;
+};
+
+/// f_CF / f_LCS: expectation of the classifier's predicted fitness class.
+class NeuralFitness final : public FitnessFunction {
+ public:
+  NeuralFitness(std::shared_ptr<NnffModel> model, std::string name);
+
+  double score(const dsl::Program& gene, const EvalContext& ctx) override;
+  double maxScore(std::size_t) const override {
+    return static_cast<double>(model_->config().numClasses - 1);
+  }
+  std::string name() const override { return name_; }
+
+  /// Full predicted class distribution (used by tests and diagnostics).
+  std::vector<double> classProbabilities(const dsl::Program& gene,
+                                         const EvalContext& ctx) const;
+
+ private:
+  std::shared_ptr<NnffModel> model_;
+  std::string name_;
+};
+
+/// f_FP: sum of learned per-function probabilities over the gene.
+class ProbMapFitness final : public FitnessFunction, public ProbMapProvider {
+ public:
+  explicit ProbMapFitness(std::shared_ptr<NnffModel> fpModel);
+
+  double score(const dsl::Program& gene, const EvalContext& ctx) override;
+  double maxScore(std::size_t targetLength) const override {
+    return static_cast<double>(targetLength);  // all probabilities <= 1
+  }
+  std::string name() const override { return "NN_FP"; }
+
+  /// Cached per-spec probability map (recomputed when the spec changes).
+  std::array<double, dsl::kNumFunctions> probMap(
+      const dsl::Spec& spec) override;
+
+ private:
+  std::shared_ptr<NnffModel> model_;
+  const dsl::Spec* cachedSpec_ = nullptr;
+  std::array<double, dsl::kNumFunctions> cachedMap_{};
+};
+
+/// §5.3.1 ablation: raw scalar prediction as fitness (clamped to >= 0 so it
+/// remains a valid Roulette Wheel weight).
+class RegressionFitness final : public FitnessFunction {
+ public:
+  explicit RegressionFitness(std::shared_ptr<NnffModel> model);
+
+  double score(const dsl::Program& gene, const EvalContext& ctx) override;
+  double maxScore(std::size_t targetLength) const override {
+    return static_cast<double>(targetLength);
+  }
+  std::string name() const override { return "NN_Regression"; }
+
+ private:
+  std::shared_ptr<NnffModel> model_;
+};
+
+}  // namespace netsyn::fitness

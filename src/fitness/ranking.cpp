@@ -1,0 +1,74 @@
+#include "fitness/ranking.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/optim.hpp"
+
+namespace netsyn::fitness {
+
+std::vector<RankEpochStats> RankTrainer::train(
+    NnffModel& model, const std::vector<PairSample>& trainSet,
+    const std::vector<PairSample>& valSet,
+    const std::function<void(const RankEpochStats&)>& onEpoch) const {
+  if (model.config().head != HeadKind::Regression)
+    throw std::invalid_argument("RankTrainer requires a Regression head");
+  if (trainSet.empty()) throw std::invalid_argument("empty pair set");
+
+  nn::Adam opt(model.params(), config_.learningRate);
+  util::Rng shuffler(config_.shuffleSeed);
+  std::vector<std::size_t> order(trainSet.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<RankEpochStats> history;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    shuffler.shuffle(order);
+    double epochLoss = 0.0;
+    for (std::size_t start = 0; start < order.size();
+         start += config_.batchSize) {
+      const std::size_t end =
+          std::min(order.size(), start + config_.batchSize);
+      model.params().zeroGrad();
+      nn::Var batchLoss;
+      for (std::size_t i = start; i < end; ++i) {
+        const PairSample& p = trainSet[order[i]];
+        const nn::Var sa = model.forward(p.spec, p.a, p.tracesA);
+        const nn::Var sb = model.forward(p.spec, p.b, p.tracesB);
+        const nn::Matrix label(1, 1,
+                               p.metricA > p.metricB ? 1.0f : 0.0f);
+        const nn::Var loss = nn::bceWithLogits(nn::sub(sa, sb), label);
+        epochLoss += loss->scalar();
+        batchLoss = batchLoss ? nn::add(batchLoss, loss) : loss;
+      }
+      nn::backward(
+          nn::scale(batchLoss, 1.0f / static_cast<float>(end - start)));
+      if (config_.gradClip > 0.0f)
+        model.params().clipGradNorm(config_.gradClip);
+      opt.step();
+    }
+
+    RankEpochStats stats;
+    stats.epoch = epoch;
+    stats.trainLoss = epochLoss / static_cast<double>(trainSet.size());
+    if (!valSet.empty()) stats.valPairAccuracy = pairAccuracy(model, valSet);
+    history.push_back(stats);
+    if (onEpoch) onEpoch(stats);
+  }
+  return history;
+}
+
+double RankTrainer::pairAccuracy(const NnffModel& model,
+                                 const std::vector<PairSample>& set) {
+  if (set.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const PairSample& p : set) {
+    const float sa = model.forwardFast(p.spec, p.a, p.tracesA)[0];
+    const float sb = model.forwardFast(p.spec, p.b, p.tracesB)[0];
+    const bool predictedAFirst = sa > sb;
+    const bool actualAFirst = p.metricA > p.metricB;
+    correct += (predictedAFirst == actualAFirst) ? 1 : 0;
+  }
+  return static_cast<double>(correct) / static_cast<double>(set.size());
+}
+
+}  // namespace netsyn::fitness

@@ -1,0 +1,213 @@
+#include "fitness/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fitness/extras.hpp"
+#include "nn/optim.hpp"
+
+namespace netsyn::fitness {
+
+std::size_t Trainer::classLabel(const NnffModel& model,
+                                const Sample& sample) const {
+  const std::size_t raw =
+      config_.labelMetric == BalanceMetric::CF ? sample.cf : sample.lcs;
+  if (config_.labelTransform == LabelTransform::ZeroVsNonzero)
+    return raw == 0 ? 0 : 1;
+  return std::min(raw, model.config().numClasses - 1);
+}
+
+nn::Var Trainer::sampleLoss(const NnffModel& model,
+                            const Sample& sample) const {
+  switch (model.config().head) {
+    case HeadKind::Classifier: {
+      const auto logits = model.forward(sample.spec, sample.candidate,
+                                        sample.traces);
+      return nn::softmaxCrossEntropy(logits, classLabel(model, sample));
+    }
+    case HeadKind::Multilabel: {
+      const auto logits = model.forwardIOOnly(sample.spec);
+      const std::size_t out = model.outDim();
+      nn::Matrix targets(1, out);
+      if (out == dsl::kNumFunctions) {
+        for (std::size_t i = 0; i < dsl::kNumFunctions; ++i)
+          targets.at(i) = sample.funcPresence[i];
+      } else {
+        // Bigram model (§5.3.1): adjacent-pair presence of the target.
+        const auto pairs = bigramTargets(sample.target);
+        if (pairs.size() != out)
+          throw std::invalid_argument("unsupported multilabel width");
+        for (std::size_t i = 0; i < out; ++i) targets.at(i) = pairs[i];
+      }
+      return nn::bceWithLogits(logits, targets);
+    }
+    case HeadKind::Regression: {
+      const auto pred = model.forward(sample.spec, sample.candidate,
+                                      sample.traces);
+      const float label = static_cast<float>(
+          config_.labelMetric == BalanceMetric::CF ? sample.cf : sample.lcs);
+      return nn::mseLoss(pred, nn::Matrix(1, 1, label));
+    }
+  }
+  throw std::logic_error("unknown head");
+}
+
+std::vector<EpochStats> Trainer::train(
+    NnffModel& model, const std::vector<Sample>& trainSet,
+    const std::vector<Sample>& valSet,
+    const std::function<void(const EpochStats&)>& onEpoch) const {
+  if (trainSet.empty()) throw std::invalid_argument("empty training set");
+
+  nn::Adam opt(model.params(), config_.learningRate);
+  util::Rng shuffler(config_.shuffleSeed);
+  std::vector<std::size_t> order(trainSet.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<EpochStats> history;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    shuffler.shuffle(order);
+    double epochLoss = 0.0;
+    std::size_t seen = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += config_.batchSize) {
+      const std::size_t end =
+          std::min(order.size(), start + config_.batchSize);
+      model.params().zeroGrad();
+      nn::Var batchLoss;
+      for (std::size_t i = start; i < end; ++i) {
+        const nn::Var loss = sampleLoss(model, trainSet[order[i]]);
+        epochLoss += loss->scalar();
+        batchLoss = batchLoss ? nn::add(batchLoss, loss) : loss;
+      }
+      ++seen;
+      nn::backward(nn::scale(batchLoss,
+                             1.0f / static_cast<float>(end - start)));
+      if (config_.gradClip > 0.0f)
+        model.params().clipGradNorm(config_.gradClip);
+      opt.step();
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.trainLoss = epochLoss / static_cast<double>(trainSet.size());
+    if (!valSet.empty()) {
+      const auto [loss, acc] = evaluate(model, valSet);
+      stats.valLoss = loss;
+      stats.valAccuracy = acc;
+    }
+    history.push_back(stats);
+    if (onEpoch) onEpoch(stats);
+  }
+  return history;
+}
+
+std::pair<double, double> Trainer::evaluate(
+    const NnffModel& model, const std::vector<Sample>& set) const {
+  if (set.empty()) return {0.0, 0.0};
+  nn::InferenceModeGuard guard;
+  double totalLoss = 0.0;
+  double correct = 0.0;
+  for (const Sample& s : set) {
+    totalLoss += sampleLoss(model, s)->scalar();
+    switch (model.config().head) {
+      case HeadKind::Classifier: {
+        const auto logits =
+            model.forward(s.spec, s.candidate, s.traces);
+        const auto probs = nn::softmaxValue(logits->value());
+        std::size_t argmax = 0;
+        for (std::size_t j = 1; j < probs.cols(); ++j)
+          if (probs.at(j) > probs.at(argmax)) argmax = j;
+        correct += (argmax == classLabel(model, s)) ? 1.0 : 0.0;
+        break;
+      }
+      case HeadKind::Multilabel: {
+        const auto logits = model.forwardIOOnly(s.spec);
+        const std::size_t out = model.outDim();
+        const std::vector<float> targets =
+            out == dsl::kNumFunctions ? s.funcPresence
+                                      : bigramTargets(s.target);
+        std::size_t hits = 0;
+        for (std::size_t j = 0; j < out; ++j) {
+          const bool predicted = logits->value().at(j) >= 0.0f;  // p >= 0.5
+          const bool present = targets[j] >= 0.5f;
+          hits += (predicted == present) ? 1 : 0;
+        }
+        correct += static_cast<double>(hits) / static_cast<double>(out);
+        break;
+      }
+      case HeadKind::Regression: {
+        const auto pred =
+            model.forward(s.spec, s.candidate, s.traces);
+        const float label = static_cast<float>(
+            config_.labelMetric == BalanceMetric::CF ? s.cf : s.lcs);
+        // "Accurate" when the rounded prediction hits the label.
+        correct +=
+            (std::lround(pred->value().at(0)) == std::lround(label)) ? 1.0
+                                                                     : 0.0;
+        break;
+      }
+    }
+  }
+  return {totalLoss / static_cast<double>(set.size()),
+          correct / static_cast<double>(set.size())};
+}
+
+util::ConfusionMatrix Trainer::confusion(const NnffModel& model,
+                                         const std::vector<Sample>& set) const {
+  if (model.config().head != HeadKind::Classifier)
+    throw std::logic_error("confusion() requires a Classifier head");
+  nn::InferenceModeGuard guard;
+  util::ConfusionMatrix cm(model.config().numClasses);
+  for (const Sample& s : set) {
+    const auto logits = model.forward(s.spec, s.candidate, s.traces);
+    const auto probs = nn::softmaxValue(logits->value());
+    std::size_t argmax = 0;
+    for (std::size_t j = 1; j < probs.cols(); ++j)
+      if (probs.at(j) > probs.at(argmax)) argmax = j;
+    cm.add(classLabel(model, s), argmax);
+  }
+  return cm;
+}
+
+double Trainer::multilabelAccuracy(const NnffModel& model,
+                                   const std::vector<Sample>& set) {
+  if (model.config().head != HeadKind::Multilabel)
+    throw std::logic_error("multilabelAccuracy requires a Multilabel head");
+  if (set.empty()) return 0.0;
+  nn::InferenceModeGuard guard;
+  double correct = 0.0;
+  for (const Sample& s : set) {
+    const auto logits = model.forwardIOOnly(s.spec);
+    const std::size_t out = model.outDim();
+    const std::vector<float> targets = out == dsl::kNumFunctions
+                                           ? s.funcPresence
+                                           : bigramTargets(s.target);
+    std::size_t hits = 0;
+    for (std::size_t j = 0; j < out; ++j) {
+      const bool predicted = logits->value().at(j) >= 0.0f;
+      const bool present = targets[j] >= 0.5f;
+      hits += (predicted == present) ? 1 : 0;
+    }
+    correct += static_cast<double>(hits) / static_cast<double>(out);
+  }
+  return correct / static_cast<double>(set.size());
+}
+
+double Trainer::regressionMae(const NnffModel& model,
+                              const std::vector<Sample>& set) const {
+  if (model.config().head != HeadKind::Regression)
+    throw std::logic_error("regressionMae requires a Regression head");
+  if (set.empty()) return 0.0;
+  nn::InferenceModeGuard guard;
+  double total = 0.0;
+  for (const Sample& s : set) {
+    const auto pred = model.forward(s.spec, s.candidate, s.traces);
+    const double label = static_cast<double>(
+        config_.labelMetric == BalanceMetric::CF ? s.cf : s.lcs);
+    total += std::fabs(static_cast<double>(pred->value().at(0)) - label);
+  }
+  return total / static_cast<double>(set.size());
+}
+
+}  // namespace netsyn::fitness

@@ -1,0 +1,112 @@
+#include "harness/config.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace netsyn::harness {
+namespace {
+
+ExperimentConfig ciScale() {
+  ExperimentConfig cfg;
+  cfg.scaleName = "ci";
+  cfg.programLengths = {4, 5};
+  cfg.programsPerLength = 8;
+  cfg.examplesPerProgram = 5;
+  cfg.runsPerProgram = 2;
+  cfg.searchBudget = 10000;
+
+  cfg.trainingPrograms = 8000;
+  cfg.validationPrograms = 400;
+  cfg.trainingLength = 5;
+
+  cfg.modelConfig.encoder = {.vmax = 64, .maxValueTokens = 8};
+  cfg.modelConfig.embedDim = 16;
+  cfg.modelConfig.hiddenDim = 24;
+  cfg.modelConfig.numClasses = 6;  // labels 0..5 for length-5 training
+  cfg.modelConfig.maxExamples = 3;
+  cfg.modelConfig.seed = 12345;
+
+  cfg.trainConfig.epochs = 8;
+  cfg.trainConfig.batchSize = 8;
+  cfg.trainConfig.learningRate = 1e-2f;
+
+  cfg.synthesizer.ga.populationSize = 40;
+  cfg.synthesizer.ga.eliteCount = 4;
+  cfg.synthesizer.maxGenerations = 4000;
+  cfg.synthesizer.nsTopN = 3;
+  cfg.synthesizer.nsWindow = 8;
+  return cfg;
+}
+
+ExperimentConfig paperScale() {
+  ExperimentConfig cfg = ciScale();
+  cfg.scaleName = "paper";
+  cfg.programLengths = {5, 7, 10};
+  cfg.programsPerLength = 100;
+  cfg.examplesPerProgram = 5;
+  cfg.runsPerProgram = 10;       // K = 10 (§5)
+  cfg.searchBudget = 3000000;    // 3M candidates (§5)
+
+  cfg.trainingPrograms = 4200000;  // §5
+  cfg.validationPrograms = 20000;
+
+  cfg.modelConfig.encoder = {.vmax = 128, .maxValueTokens = 12};
+  cfg.modelConfig.embedDim = 32;
+  cfg.modelConfig.hiddenDim = 64;
+  cfg.modelConfig.maxExamples = 5;
+
+  cfg.trainConfig.epochs = 40;  // Figure 7(c) trains ~40 epochs
+  cfg.trainConfig.learningRate = 1e-3f;
+
+  cfg.synthesizer.ga.populationSize = 100;  // Appendix B
+  cfg.synthesizer.ga.eliteCount = 5;
+  cfg.synthesizer.maxGenerations = 30000;
+  cfg.synthesizer.nsTopN = 5;
+  cfg.synthesizer.nsWindow = 10;
+  return cfg;
+}
+
+std::vector<std::size_t> parseLengths(const std::string& text) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const long v = std::stol(item);
+    if (v <= 0) throw std::invalid_argument("program length must be > 0");
+    out.push_back(static_cast<std::size_t>(v));
+  }
+  if (out.empty()) throw std::invalid_argument("--lengths needs a value");
+  return out;
+}
+
+}  // namespace
+
+ExperimentConfig ExperimentConfig::forScale(const std::string& scale) {
+  if (scale == "ci") return ciScale();
+  if (scale == "paper") return paperScale();
+  throw std::invalid_argument("unknown scale '" + scale +
+                              "' (expected ci or paper)");
+}
+
+ExperimentConfig ExperimentConfig::fromArgs(const util::ArgParse& args) {
+  ExperimentConfig cfg = forScale(args.getString("scale", "ci"));
+  cfg.searchBudget = static_cast<std::size_t>(
+      args.getInt("budget", static_cast<long>(cfg.searchBudget)));
+  cfg.runsPerProgram = static_cast<std::size_t>(
+      args.getInt("runs", static_cast<long>(cfg.runsPerProgram)));
+  cfg.programsPerLength = static_cast<std::size_t>(args.getInt(
+      "programs-per-length", static_cast<long>(cfg.programsPerLength)));
+  cfg.trainingPrograms = static_cast<std::size_t>(args.getInt(
+      "train-programs", static_cast<long>(cfg.trainingPrograms)));
+  cfg.trainConfig.epochs = static_cast<std::size_t>(
+      args.getInt("epochs", static_cast<long>(cfg.trainConfig.epochs)));
+  cfg.seed = static_cast<std::uint64_t>(
+      args.getInt("seed", static_cast<long>(cfg.seed)));
+  cfg.modelDir = args.getString("model-dir", cfg.modelDir);
+  if (args.has("lengths"))
+    cfg.programLengths = parseLengths(args.getString("lengths", ""));
+  return cfg;
+}
+
+}  // namespace netsyn::harness

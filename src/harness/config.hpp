@@ -1,0 +1,54 @@
+// Experiment configuration: the paper's constants and the scaled-down
+// defaults this repo uses on a single-core container.
+//
+// `paper` scale restores the constants of §5 / Appendix B (4.2M-program
+// corpus, 3,000,000-candidate budget, 100 test programs per length, K=10
+// repetitions, lengths {5,7,10}); `ci` scale preserves every ratio and
+// method ordering at a size that runs in minutes (see DESIGN.md §5 for why
+// the paper's search-space-percentage metric is scale-relative).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/synthesizer.hpp"
+#include "fitness/model.hpp"
+#include "fitness/trainer.hpp"
+#include "util/argparse.hpp"
+
+namespace netsyn::harness {
+
+struct ExperimentConfig {
+  std::string scaleName = "ci";
+
+  // ---- workload ----
+  std::vector<std::size_t> programLengths = {4, 5};
+  std::size_t programsPerLength = 8;  ///< half singleton, half list
+  std::size_t examplesPerProgram = 5; ///< m
+  std::size_t runsPerProgram = 2;     ///< K
+  std::size_t searchBudget = 4000;    ///< max candidates per run
+
+  // ---- NN-FF training ----
+  std::size_t trainingPrograms = 2400;  ///< corpus size (paper: 4.2M)
+  std::size_t validationPrograms = 300;
+  std::size_t trainingLength = 5;  ///< corpus program length (paper: 5)
+  fitness::NnffConfig modelConfig;   ///< dims shared by CF/LCS/FP models
+  fitness::TrainConfig trainConfig;
+
+  // ---- GA ----
+  core::SynthesizerConfig synthesizer;
+
+  std::uint64_t seed = 2021;
+  std::string modelDir = "netsyn_models";  ///< trained-model cache
+
+  /// Named presets: "ci" (default) or "paper".
+  static ExperimentConfig forScale(const std::string& scale);
+
+  /// Preset selected by --scale plus individual flag overrides
+  /// (--budget, --runs, --programs-per-length, --train-programs, --epochs,
+  ///  --seed, --model-dir, --lengths=5,7,10).
+  static ExperimentConfig fromArgs(const util::ArgParse& args);
+};
+
+}  // namespace netsyn::harness

@@ -1,0 +1,51 @@
+// Trained NN-FF model management for the experiment harness.
+//
+// The three learned models (f_CF, f_LCS classifiers and the f_FP
+// probability map) are trained once on the configured corpus and cached on
+// disk; every bench binary that needs them loads the cache when present so
+// the full bench sweep trains each model exactly once.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fitness/dataset.hpp"
+#include "fitness/model.hpp"
+#include "fitness/trainer.hpp"
+#include "harness/config.hpp"
+
+namespace netsyn::harness {
+
+struct TrainedModels {
+  std::shared_ptr<fitness::NnffModel> cf;   ///< Classifier on CF labels
+  std::shared_ptr<fitness::NnffModel> lcs;  ///< Classifier on LCS labels
+  std::shared_ptr<fitness::NnffModel> fp;   ///< IO-only multilabel (FP map)
+};
+
+/// Builds an untrained model of the configured dimensions for `head`
+/// (Classifier uses the trace branch; Multilabel is IO-only).
+std::shared_ptr<fitness::NnffModel> buildModel(const ExperimentConfig& config,
+                                               fitness::HeadKind head);
+
+/// Generates the balanced training corpus of §5 for the given label metric.
+std::vector<fitness::Sample> buildCorpus(const ExperimentConfig& config,
+                                         std::size_t count,
+                                         fitness::BalanceMetric metric,
+                                         std::uint64_t seed);
+
+/// Loads `model` from the cache file for `tag` under config.modelDir, or
+/// trains it on a freshly generated corpus and writes the cache. Returns
+/// true when the model came from cache. `quiet` suppresses progress lines.
+bool loadOrTrain(const ExperimentConfig& config, fitness::NnffModel& model,
+                 fitness::BalanceMetric metric, const std::string& tag,
+                 bool quiet = false);
+
+/// All three models, cached/trained as needed.
+TrainedModels loadOrTrainAll(const ExperimentConfig& config,
+                             bool quiet = false);
+
+/// Cache path for a tag, e.g. "<dir>/ci_cf.bin".
+std::string modelCachePath(const ExperimentConfig& config,
+                           const std::string& tag);
+
+}  // namespace netsyn::harness

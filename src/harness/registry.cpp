@@ -1,0 +1,71 @@
+#include "harness/registry.hpp"
+
+#include "fitness/neural_fitness.hpp"
+
+namespace netsyn::harness {
+
+baselines::MethodPtr makeNetSyn(const ExperimentConfig& config,
+                                const TrainedModels& models,
+                                NetSynVariant variant) {
+  // §5.1: each NetSyn variant uses NS_BFS and FP-based mutation.
+  core::SynthesizerConfig sc = config.synthesizer;
+  sc.useNeighborhoodSearch = true;
+  sc.nsKind = core::NsKind::BFS;
+  sc.fpGuidedMutation = true;
+
+  auto fpProvider = std::make_shared<fitness::ProbMapFitness>(models.fp);
+  switch (variant) {
+    case NetSynVariant::CF:
+      return std::make_shared<baselines::SynthesizerMethod>(
+          "NetSyn_CF", sc,
+          std::make_shared<fitness::NeuralFitness>(models.cf, "NN_CF"),
+          fpProvider);
+    case NetSynVariant::LCS:
+      return std::make_shared<baselines::SynthesizerMethod>(
+          "NetSyn_LCS", sc,
+          std::make_shared<fitness::NeuralFitness>(models.lcs, "NN_LCS"),
+          fpProvider);
+    case NetSynVariant::FP:
+      return std::make_shared<baselines::SynthesizerMethod>(
+          "NetSyn_FP", sc, fpProvider, fpProvider);
+  }
+  throw std::logic_error("unknown NetSyn variant");
+}
+
+baselines::MethodPtr makeEdit(const ExperimentConfig& config) {
+  core::SynthesizerConfig sc = config.synthesizer;
+  sc.useNeighborhoodSearch = true;  // same framework, hand-crafted fitness
+  sc.nsKind = core::NsKind::BFS;
+  sc.fpGuidedMutation = false;
+  return std::make_shared<baselines::SynthesizerMethod>(
+      "Edit", sc, std::make_shared<fitness::EditDistanceFitness>());
+}
+
+baselines::MethodPtr makeOracle(const ExperimentConfig& config,
+                                fitness::BalanceMetric metric) {
+  core::SynthesizerConfig sc = config.synthesizer;
+  sc.useNeighborhoodSearch = true;
+  sc.nsKind = core::NsKind::BFS;
+  sc.fpGuidedMutation = false;
+  return std::make_shared<OracleMethod>(sc, metric);
+}
+
+std::vector<baselines::MethodPtr> makeAllMethods(
+    const ExperimentConfig& config, const TrainedModels& models) {
+  auto fpProvider = std::make_shared<fitness::ProbMapFitness>(models.fp);
+  std::vector<baselines::MethodPtr> methods;
+  methods.push_back(std::make_shared<baselines::PushGpMethod>(
+      config.synthesizer.ga));
+  methods.push_back(makeEdit(config));
+  methods.push_back(std::make_shared<baselines::DeepCoderMethod>(fpProvider));
+  methods.push_back(std::make_shared<baselines::PcCoderMethod>(fpProvider));
+  methods.push_back(
+      std::make_shared<baselines::RobustFillMethod>(fpProvider));
+  methods.push_back(makeNetSyn(config, models, NetSynVariant::FP));
+  methods.push_back(makeNetSyn(config, models, NetSynVariant::LCS));
+  methods.push_back(makeNetSyn(config, models, NetSynVariant::CF));
+  methods.push_back(makeOracle(config, fitness::BalanceMetric::LCS));
+  return methods;
+}
+
+}  // namespace netsyn::harness

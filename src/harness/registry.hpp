@@ -1,0 +1,87 @@
+// Method registry: constructs every synthesis method of the paper's
+// evaluation (§5.1) from the experiment configuration and trained models.
+//
+//   NetSyn_CF / NetSyn_LCS : GA + learned classifier fitness + NS_BFS +
+//                            Mutation_FP (the §5.1 configuration)
+//   NetSyn_FP              : GA + probability-map fitness + NS_BFS +
+//                            Mutation_FP
+//   Edit                   : the NetSyn GA with the hand-crafted output
+//                            edit-distance fitness
+//   Oracle_CF / Oracle_LCS : GA + oracle fitness (upper bound; needs the
+//                            target program, set per test case)
+//   DeepCoder / PCCoder / RobustFill / PushGP : baselines
+#pragma once
+
+#include "baselines/deepcoder.hpp"
+#include "baselines/method.hpp"
+#include "baselines/pccoder.hpp"
+#include "baselines/pushgp.hpp"
+#include "baselines/robustfill.hpp"
+#include "fitness/edit.hpp"
+#include "fitness/metrics.hpp"
+#include "harness/models.hpp"
+
+namespace netsyn::harness {
+
+/// Methods whose fitness needs the (normally unknown) target program; the
+/// runner provides it before each test case. Only the Oracle baselines are
+/// target-aware.
+class TargetAware {
+ public:
+  virtual ~TargetAware() = default;
+  virtual void setTarget(const dsl::Program& target) = 0;
+};
+
+/// Oracle upper-bound method: NetSyn GA + NS driven by the exact CF or LCS
+/// against the known target (paper's Oracle_{LCS|CF} rows).
+class OracleMethod final : public baselines::Method, public TargetAware {
+ public:
+  OracleMethod(core::SynthesizerConfig config, fitness::BalanceMetric metric)
+      : config_(std::move(config)), metric_(metric) {}
+
+  std::string name() const override {
+    return metric_ == fitness::BalanceMetric::CF ? "Oracle_CF" : "Oracle_LCS";
+  }
+
+  void setTarget(const dsl::Program& target) override { target_ = target; }
+
+  core::SynthesisResult synthesize(const dsl::Spec& spec,
+                                   std::size_t targetLength,
+                                   std::size_t budgetLimit,
+                                   util::Rng& rng) override {
+    fitness::FitnessPtr fit;
+    if (metric_ == fitness::BalanceMetric::CF)
+      fit = std::make_shared<fitness::OracleCF>(target_);
+    else
+      fit = std::make_shared<fitness::OracleLCS>(target_);
+    core::Synthesizer syn(config_, std::move(fit));
+    return syn.synthesize(spec, targetLength, budgetLimit, rng);
+  }
+
+ private:
+  core::SynthesizerConfig config_;
+  fitness::BalanceMetric metric_;
+  dsl::Program target_;
+};
+
+/// NetSyn variant selector for makeNetSyn().
+enum class NetSynVariant { CF, LCS, FP };
+
+/// The §5.1 NetSyn configuration for one learned fitness function
+/// (NS_BFS + Mutation_FP enabled; pass overrides for ablations).
+baselines::MethodPtr makeNetSyn(const ExperimentConfig& config,
+                                const TrainedModels& models,
+                                NetSynVariant variant);
+
+/// The NetSyn GA with edit-distance fitness (the paper's "Edit" rows).
+baselines::MethodPtr makeEdit(const ExperimentConfig& config);
+
+/// Oracle method (target injected by the runner per test case).
+baselines::MethodPtr makeOracle(const ExperimentConfig& config,
+                                fitness::BalanceMetric metric);
+
+/// All comparison methods of Figure 4 in presentation order.
+std::vector<baselines::MethodPtr> makeAllMethods(
+    const ExperimentConfig& config, const TrainedModels& models);
+
+}  // namespace netsyn::harness

@@ -1,0 +1,158 @@
+#include "harness/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace netsyn::harness {
+namespace {
+
+double meanOverFound(const std::vector<RunRecord>& runs,
+                     double (*pick)(const RunRecord&)) {
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const auto& r : runs) {
+    if (!r.found) continue;
+    total += pick(r);
+    ++n;
+  }
+  return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+}  // namespace
+
+double ProgramResult::synthesisRate() const {
+  if (runs.empty()) return 0.0;
+  std::size_t found = 0;
+  for (const auto& r : runs) found += r.found ? 1 : 0;
+  return static_cast<double>(found) / static_cast<double>(runs.size());
+}
+
+bool ProgramResult::synthesized() const { return synthesisRate() > 0.0; }
+
+double ProgramResult::meanCandidatesWhenFound() const {
+  return meanOverFound(
+      runs, [](const RunRecord& r) { return static_cast<double>(r.candidates); });
+}
+
+double ProgramResult::meanSecondsWhenFound() const {
+  return meanOverFound(runs, [](const RunRecord& r) { return r.seconds; });
+}
+
+double ProgramResult::meanGenerationsWhenFound() const {
+  return meanOverFound(runs, [](const RunRecord& r) {
+    return static_cast<double>(r.generations);
+  });
+}
+
+double MethodReport::synthesizedFraction() const {
+  if (programs.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& p : programs) n += p.synthesized() ? 1 : 0;
+  return static_cast<double>(n) / static_cast<double>(programs.size());
+}
+
+double MethodReport::meanSynthesisRate() const {
+  if (programs.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& p : programs) total += p.synthesisRate();
+  return total / static_cast<double>(programs.size());
+}
+
+double MethodReport::meanGenerations() const {
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const auto& p : programs) {
+    if (!p.synthesized()) continue;
+    total += p.meanGenerationsWhenFound();
+    ++n;
+  }
+  return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+MethodReport runMethod(baselines::Method& method,
+                       const std::vector<TestProgram>& workload,
+                       const ExperimentConfig& config, bool verbose) {
+  MethodReport report;
+  report.method = method.name();
+  report.budget = config.searchBudget;
+  report.programs.reserve(workload.size());
+
+  auto* targetAware = dynamic_cast<TargetAware*>(&method);
+  for (std::size_t p = 0; p < workload.size(); ++p) {
+    const TestProgram& tp = workload[p];
+    if (targetAware) targetAware->setTarget(tp.target);
+
+    ProgramResult pr;
+    pr.programId = tp.id;
+    pr.length = tp.length;
+    pr.singleton = tp.singleton;
+    pr.target = tp.target;
+    pr.runs.reserve(config.runsPerProgram);
+    for (std::size_t k = 0; k < config.runsPerProgram; ++k) {
+      util::Rng rng(config.seed ^ (p * 0x9e3779b97f4a7c15ULL) ^
+                    (k * 0xbf58476d1ce4e5b9ULL) ^ 0x1234);
+      const auto result = method.synthesize(tp.spec, tp.length,
+                                            config.searchBudget, rng);
+      pr.runs.push_back(RunRecord{result.found, result.candidatesSearched,
+                                  result.seconds, result.generations});
+    }
+    if (verbose) {
+      std::fprintf(stderr, "  [%s] len=%zu prog=%zu rate=%.0f%%\n",
+                   report.method.c_str(), tp.length, tp.id,
+                   pr.synthesisRate() * 100.0);
+    }
+    report.programs.push_back(std::move(pr));
+  }
+  return report;
+}
+
+std::array<double, 10> percentileRow(const MethodReport& report,
+                                     bool useTime) {
+  std::array<double, 10> row;
+  row.fill(std::numeric_limits<double>::quiet_NaN());
+  if (report.programs.empty()) return row;
+
+  std::vector<double> costs;  // per synthesized program
+  for (const auto& p : report.programs) {
+    if (!p.synthesized()) continue;
+    costs.push_back(useTime ? p.meanSecondsWhenFound()
+                            : p.meanCandidatesWhenFound() /
+                                  static_cast<double>(report.budget));
+  }
+  std::sort(costs.begin(), costs.end());
+
+  const auto total = static_cast<double>(report.programs.size());
+  for (std::size_t i = 0; i < 10; ++i) {
+    // Cost needed to synthesize (i+1)*10% of ALL programs: the k-th
+    // cheapest synthesized program where k = ceil(pct * total).
+    const auto k = static_cast<std::size_t>(
+        std::ceil((static_cast<double>(i + 1) / 10.0) * total));
+    if (k == 0 || k > costs.size()) continue;  // stays NaN -> "-"
+    row[i] = costs[k - 1];
+  }
+  return row;
+}
+
+void appendPercentileRow(util::Table& table, const MethodReport& report,
+                         bool useTime) {
+  table.newRow();
+  table.add(report.method);
+  table.addPercent(report.synthesizedFraction(), 0);
+  const auto row = percentileRow(report, useTime);
+  for (double v : row) {
+    if (std::isnan(v)) table.add("-");
+    else if (useTime) table.addDouble(v, 2);
+    else table.addPercent(v, 2);
+  }
+}
+
+std::vector<std::string> percentileHeader(const std::string& metricLabel) {
+  std::vector<std::string> header = {"Method", "Synth%"};
+  for (int pct = 10; pct <= 100; pct += 10)
+    header.push_back(std::to_string(pct) + "% " + metricLabel);
+  return header;
+}
+
+}  // namespace netsyn::harness

@@ -1,0 +1,41 @@
+#include "harness/workload.hpp"
+
+#include <stdexcept>
+
+namespace netsyn::harness {
+
+std::vector<TestProgram> makeWorkload(const ExperimentConfig& config,
+                                      std::size_t length) {
+  const dsl::Generator gen;
+  util::Rng rng(config.seed ^ (0x9e37u + length * 0x85ebca6bULL));
+  std::vector<TestProgram> out;
+  out.reserve(config.programsPerLength);
+  for (std::size_t i = 0; i < config.programsPerLength; ++i) {
+    const bool singleton = i < config.programsPerLength / 2;
+    auto tc = gen.randomTestCase(length, config.examplesPerProgram, singleton,
+                                 rng);
+    if (!tc)
+      throw std::runtime_error("workload generation failed for length " +
+                               std::to_string(length));
+    TestProgram tp;
+    tp.id = i;
+    tp.length = length;
+    tp.singleton = singleton;
+    tp.target = std::move(tc->program);
+    tp.spec = std::move(tc->spec);
+    out.push_back(std::move(tp));
+  }
+  return out;
+}
+
+std::vector<TestProgram> makeFullWorkload(const ExperimentConfig& config) {
+  std::vector<TestProgram> out;
+  for (std::size_t length : config.programLengths) {
+    auto group = makeWorkload(config, length);
+    out.insert(out.end(), std::make_move_iterator(group.begin()),
+               std::make_move_iterator(group.end()));
+  }
+  return out;
+}
+
+}  // namespace netsyn::harness

@@ -1,0 +1,29 @@
+// Test-workload generation (paper §5): for each program length, random
+// fully-live target programs with m IO examples each, half producing a
+// singleton integer ("singleton programs") and half producing a list.
+#pragma once
+
+#include <vector>
+
+#include "dsl/generator.hpp"
+#include "harness/config.hpp"
+
+namespace netsyn::harness {
+
+struct TestProgram {
+  std::size_t id = 0;       ///< index within its length group
+  std::size_t length = 0;   ///< target program length
+  bool singleton = false;   ///< int-producing final function
+  dsl::Program target;
+  dsl::Spec spec;
+};
+
+/// Test programs for one length (first half singleton, second half list, as
+/// in the paper's "program 1 to 50 are singleton programs" layout).
+std::vector<TestProgram> makeWorkload(const ExperimentConfig& config,
+                                      std::size_t length);
+
+/// The full workload across all configured lengths.
+std::vector<TestProgram> makeFullWorkload(const ExperimentConfig& config);
+
+}  // namespace netsyn::harness

@@ -1,0 +1,318 @@
+#include "nn/autograd.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace netsyn::nn {
+
+Var constant(Matrix value) {
+  return std::make_shared<Node>(std::move(value), /*requires_grad=*/false);
+}
+
+Var parameter(Matrix value) {
+  return std::make_shared<Node>(std::move(value), /*requires_grad=*/true);
+}
+
+namespace {
+thread_local bool g_inference_mode = false;
+}  // namespace
+
+InferenceModeGuard::InferenceModeGuard() : previous_(g_inference_mode) {
+  g_inference_mode = true;
+}
+
+InferenceModeGuard::~InferenceModeGuard() { g_inference_mode = previous_; }
+
+bool inferenceModeEnabled() { return g_inference_mode; }
+
+Var makeNode(Matrix value, std::vector<Var> parents,
+             std::function<void(Node&)> backfn) {
+  if (g_inference_mode) {
+    // Value-only node: no graph retention, backward() is illegal downstream.
+    return std::make_shared<Node>(std::move(value), /*requires_grad=*/false);
+  }
+  auto node = std::make_shared<Node>(std::move(value), /*requires_grad=*/true);
+  node->parents_ = std::move(parents);
+  node->backfn_ = std::move(backfn);
+  return node;
+}
+
+namespace {
+
+void requireSameShape(const Var& a, const Var& b, const char* op) {
+  if (!a->value().sameShape(b->value()))
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                a->value().shapeString() + " vs " +
+                                b->value().shapeString());
+}
+
+}  // namespace
+
+Var add(const Var& a, const Var& b) {
+  requireSameShape(a, b, "add");
+  Matrix out = a->value();
+  out.addInPlace(b->value());
+  return makeNode(std::move(out), {a, b}, [a, b](Node& n) {
+    a->grad().addInPlace(n.grad());
+    b->grad().addInPlace(n.grad());
+  });
+}
+
+Var sub(const Var& a, const Var& b) {
+  requireSameShape(a, b, "sub");
+  Matrix out = a->value();
+  out.axpyInPlace(-1.0f, b->value());
+  return makeNode(std::move(out), {a, b}, [a, b](Node& n) {
+    a->grad().addInPlace(n.grad());
+    b->grad().axpyInPlace(-1.0f, n.grad());
+  });
+}
+
+Var mulElem(const Var& a, const Var& b) {
+  requireSameShape(a, b, "mulElem");
+  Matrix out = a->value();
+  for (std::size_t i = 0; i < out.size(); ++i) out.at(i) *= b->value().at(i);
+  return makeNode(std::move(out), {a, b}, [a, b](Node& n) {
+    for (std::size_t i = 0; i < n.grad().size(); ++i) {
+      a->grad().at(i) += n.grad().at(i) * b->value().at(i);
+      b->grad().at(i) += n.grad().at(i) * a->value().at(i);
+    }
+  });
+}
+
+Var scale(const Var& a, float s) {
+  Matrix out = a->value();
+  for (std::size_t i = 0; i < out.size(); ++i) out.at(i) *= s;
+  return makeNode(std::move(out), {a}, [a, s](Node& n) {
+    a->grad().axpyInPlace(s, n.grad());
+  });
+}
+
+Var matmul(const Var& a, const Var& b) {
+  if (a->value().cols() != b->value().rows())
+    throw std::invalid_argument("matmul: inner dimensions disagree: " +
+                                a->value().shapeString() + " * " +
+                                b->value().shapeString());
+  Matrix out = matmulValue(a->value(), b->value());
+  return makeNode(std::move(out), {a, b}, [a, b](Node& n) {
+    // dA += dC * B^T ; dB += A^T * dC.
+    addABTranspose(a->grad(), n.grad(), b->value());
+    addATransposeB(b->grad(), a->value(), n.grad());
+  });
+}
+
+Var tanhOp(const Var& a) {
+  Matrix out = a->value();
+  for (std::size_t i = 0; i < out.size(); ++i) out.at(i) = std::tanh(out.at(i));
+  return makeNode(std::move(out), {a}, [a](Node& n) {
+    for (std::size_t i = 0; i < n.grad().size(); ++i) {
+      const float y = n.value().at(i);
+      a->grad().at(i) += n.grad().at(i) * (1.0f - y * y);
+    }
+  });
+}
+
+Var sigmoidOp(const Var& a) {
+  Matrix out = a->value();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const float x = out.at(i);
+    out.at(i) = x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                          : std::exp(x) / (1.0f + std::exp(x));
+  }
+  return makeNode(std::move(out), {a}, [a](Node& n) {
+    for (std::size_t i = 0; i < n.grad().size(); ++i) {
+      const float y = n.value().at(i);
+      a->grad().at(i) += n.grad().at(i) * y * (1.0f - y);
+    }
+  });
+}
+
+Var reluOp(const Var& a) {
+  Matrix out = a->value();
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out.at(i) = out.at(i) > 0.0f ? out.at(i) : 0.0f;
+  return makeNode(std::move(out), {a}, [a](Node& n) {
+    for (std::size_t i = 0; i < n.grad().size(); ++i)
+      if (a->value().at(i) > 0.0f) a->grad().at(i) += n.grad().at(i);
+  });
+}
+
+Var concatCols(const Var& a, const Var& b) {
+  if (a->value().rows() != 1 || b->value().rows() != 1)
+    throw std::invalid_argument("concatCols expects row vectors");
+  const std::size_t na = a->value().cols(), nb = b->value().cols();
+  Matrix out(1, na + nb);
+  for (std::size_t j = 0; j < na; ++j) out.at(j) = a->value().at(j);
+  for (std::size_t j = 0; j < nb; ++j) out.at(na + j) = b->value().at(j);
+  return makeNode(std::move(out), {a, b}, [a, b, na, nb](Node& n) {
+    for (std::size_t j = 0; j < na; ++j) a->grad().at(j) += n.grad().at(j);
+    for (std::size_t j = 0; j < nb; ++j)
+      b->grad().at(j) += n.grad().at(na + j);
+  });
+}
+
+Var sliceCols(const Var& a, std::size_t start, std::size_t len) {
+  if (a->value().rows() != 1 || start + len > a->value().cols())
+    throw std::invalid_argument("sliceCols out of range");
+  Matrix out(1, len);
+  for (std::size_t j = 0; j < len; ++j) out.at(j) = a->value().at(start + j);
+  return makeNode(std::move(out), {a}, [a, start, len](Node& n) {
+    for (std::size_t j = 0; j < len; ++j)
+      a->grad().at(start + j) += n.grad().at(j);
+  });
+}
+
+Var selectRow(const Var& a, std::size_t index) {
+  if (index >= a->value().rows())
+    throw std::invalid_argument("selectRow out of range");
+  const std::size_t m = a->value().cols();
+  Matrix out(1, m);
+  for (std::size_t j = 0; j < m; ++j) out.at(j) = a->value()(index, j);
+  return makeNode(std::move(out), {a}, [a, index, m](Node& n) {
+    for (std::size_t j = 0; j < m; ++j)
+      a->grad()(index, j) += n.grad().at(j);
+  });
+}
+
+Var meanAll(const Var& a) {
+  const float inv = 1.0f / static_cast<float>(a->value().size());
+  float s = 0.0f;
+  for (std::size_t i = 0; i < a->value().size(); ++i) s += a->value().at(i);
+  Matrix out(1, 1);
+  out.at(0) = s * inv;
+  return makeNode(std::move(out), {a}, [a, inv](Node& n) {
+    const float g = n.grad().at(0) * inv;
+    for (std::size_t i = 0; i < a->grad().size(); ++i) a->grad().at(i) += g;
+  });
+}
+
+Var softmaxCrossEntropy(const Var& logits, std::size_t label) {
+  if (logits->value().rows() != 1 || label >= logits->value().cols())
+    throw std::invalid_argument("softmaxCrossEntropy: bad label or shape");
+  const Matrix probs = softmaxValue(logits->value());
+  Matrix out(1, 1);
+  out.at(0) = -std::log(std::max(probs.at(label), 1e-12f));
+  return makeNode(std::move(out), {logits}, [logits, probs, label](Node& n) {
+    const float g = n.grad().at(0);
+    for (std::size_t j = 0; j < probs.cols(); ++j) {
+      const float onehot = (j == label) ? 1.0f : 0.0f;
+      logits->grad().at(j) += g * (probs.at(j) - onehot);
+    }
+  });
+}
+
+Var bceWithLogits(const Var& logits, const Matrix& targets) {
+  if (!logits->value().sameShape(targets))
+    throw std::invalid_argument("bceWithLogits: shape mismatch");
+  const std::size_t n = targets.size();
+  const float inv = 1.0f / static_cast<float>(n);
+  float loss = 0.0f;
+  Matrix sig(1, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float x = logits->value().at(i);
+    const float t = targets.at(i);
+    // Stable: max(x,0) - x*t + log(1 + exp(-|x|)).
+    loss += std::max(x, 0.0f) - x * t + std::log1p(std::exp(-std::fabs(x)));
+    sig.at(i) = x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                          : std::exp(x) / (1.0f + std::exp(x));
+  }
+  Matrix out(1, 1);
+  out.at(0) = loss * inv;
+  Matrix t = targets;
+  return makeNode(std::move(out), {logits}, [logits, sig, t, inv](Node& nd) {
+    const float g = nd.grad().at(0) * inv;
+    for (std::size_t i = 0; i < sig.size(); ++i)
+      logits->grad().at(i) += g * (sig.at(i) - t.at(i));
+  });
+}
+
+Var mseLoss(const Var& pred, const Matrix& target) {
+  if (!pred->value().sameShape(target))
+    throw std::invalid_argument("mseLoss: shape mismatch");
+  const std::size_t n = target.size();
+  const float inv = 1.0f / static_cast<float>(n);
+  float loss = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = pred->value().at(i) - target.at(i);
+    loss += d * d;
+  }
+  Matrix out(1, 1);
+  out.at(0) = loss * inv;
+  Matrix t = target;
+  return makeNode(std::move(out), {pred}, [pred, t, inv](Node& nd) {
+    const float g = nd.grad().at(0) * inv;
+    for (std::size_t i = 0; i < t.size(); ++i)
+      pred->grad().at(i) +=
+          g * 2.0f * (pred->value().at(i) - t.at(i));
+  });
+}
+
+void backward(const Var& root) {
+  if (root->value().rows() != 1 || root->value().cols() != 1)
+    throw std::invalid_argument("backward: root must be a 1x1 loss");
+
+  // Iterative post-order topological sort (graphs can be thousands of nodes
+  // deep for long sequences; recursion would overflow the stack).
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack;
+  stack.emplace_back(root.get(), 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    if (next < node->parents().size()) {
+      Node* parent = node->parents()[next].get();
+      ++next;
+      if (visited.insert(parent).second) stack.emplace_back(parent, 0);
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  root->grad().fill(1.0f);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backfn_) node->backfn_(*node);
+  }
+}
+
+Var ParamStore::make(Matrix value) {
+  Var p = parameter(std::move(value));
+  params_.push_back(p);
+  return p;
+}
+
+void ParamStore::add(Var param) { params_.push_back(std::move(param)); }
+
+std::size_t ParamStore::totalParameters() const {
+  std::size_t n = 0;
+  for (const auto& p : params_) n += p->value().size();
+  return n;
+}
+
+void ParamStore::zeroGrad() {
+  for (auto& p : params_) p->grad().fill(0.0f);
+}
+
+float ParamStore::gradNorm() const {
+  double s = 0.0;
+  for (const auto& p : params_)
+    for (std::size_t i = 0; i < p->grad().size(); ++i) {
+      const double g = p->grad().at(i);
+      s += g * g;
+    }
+  return static_cast<float>(std::sqrt(s));
+}
+
+void ParamStore::clipGradNorm(float max_norm) {
+  const float norm = gradNorm();
+  if (norm <= max_norm || norm == 0.0f) return;
+  const float scale = max_norm / norm;
+  for (auto& p : params_)
+    for (std::size_t i = 0; i < p->grad().size(); ++i)
+      p->grad().at(i) *= scale;
+}
+
+}  // namespace netsyn::nn

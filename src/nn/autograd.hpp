@@ -1,0 +1,166 @@
+// Reverse-mode automatic differentiation over Matrix values.
+//
+// A tiny tape: every operation builds a `Node` holding its value, its parent
+// nodes, and a closure that scatters the node's output gradient into its
+// parents. `backward(root)` runs a topological sweep. This is the substrate
+// on which the LSTM fitness models of the paper (Figure 2) are built; it
+// replaces the TensorFlow dependency of the original implementation.
+//
+// Conventions:
+//  - Activations are row vectors (1 x n); parameters are (in x out).
+//  - Losses are 1 x 1 scalars.
+//  - Gradients accumulate (+=); call ParamStore::zeroGrad between steps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace netsyn::nn {
+
+class Node;
+/// Shared handle to a tape node. Ops take and return `Var`s.
+using Var = std::shared_ptr<Node>;
+
+class Node {
+ public:
+  Node(Matrix value, bool requires_grad)
+      : value_(std::move(value)), requires_grad_(requires_grad) {}
+
+  const Matrix& value() const { return value_; }
+  Matrix& value() { return value_; }
+
+  /// Gradient buffer, allocated lazily (inference-mode forwards never touch
+  /// it, halving allocation traffic in the GA's hot loop).
+  Matrix& grad() {
+    if (grad_.size() != value_.size())
+      grad_ = Matrix(value_.rows(), value_.cols(), 0.0f);
+    return grad_;
+  }
+  const Matrix& grad() const {
+    return const_cast<Node*>(this)->grad();
+  }
+  bool requiresGrad() const { return requires_grad_; }
+
+  const std::vector<Var>& parents() const { return parents_; }
+
+  /// Scalar convenience for 1x1 nodes (losses).
+  float scalar() const { return value_(0, 0); }
+
+ private:
+  friend Var makeNode(Matrix value, std::vector<Var> parents,
+                      std::function<void(Node&)> backfn);
+  friend Var constant(Matrix value);
+  friend Var parameter(Matrix value);
+  friend void backward(const Var& root);
+  friend void zeroGradGraph(const Var& root);
+
+  Matrix value_;
+  Matrix grad_;
+  bool requires_grad_;
+  std::vector<Var> parents_;
+  std::function<void(Node&)> backfn_;  // scatters grad_ into parents
+};
+
+/// Leaf with no gradient tracking (inputs, labels).
+Var constant(Matrix value);
+
+/// Leaf with gradient tracking (weights, biases). Persisted across graphs;
+/// register it in a ParamStore so optimizers can find it.
+Var parameter(Matrix value);
+
+/// Internal: interior node factory (exposed for custom ops in tests).
+Var makeNode(Matrix value, std::vector<Var> parents,
+             std::function<void(Node&)> backfn);
+
+/// While a guard is alive, ops compute values but record no parents or
+/// backward closures: the graph is not retained and `backward` must not be
+/// called on its outputs. Used for the GA's fitness evaluations, which are
+/// forward-only. Guards nest; the flag is thread-local.
+class InferenceModeGuard {
+ public:
+  InferenceModeGuard();
+  ~InferenceModeGuard();
+  InferenceModeGuard(const InferenceModeGuard&) = delete;
+  InferenceModeGuard& operator=(const InferenceModeGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// True when an InferenceModeGuard is active on this thread.
+bool inferenceModeEnabled();
+
+// ---- arithmetic -------------------------------------------------------------
+
+Var add(const Var& a, const Var& b);       ///< same shape
+Var sub(const Var& a, const Var& b);       ///< same shape
+Var mulElem(const Var& a, const Var& b);   ///< Hadamard, same shape
+Var scale(const Var& a, float s);
+Var matmul(const Var& a, const Var& b);    ///< (n x k) * (k x m)
+
+// ---- nonlinearities ---------------------------------------------------------
+
+Var tanhOp(const Var& a);
+Var sigmoidOp(const Var& a);
+Var reluOp(const Var& a);
+
+// ---- shape ops --------------------------------------------------------------
+
+/// Concatenates row vectors (1 x n, 1 x m) -> (1 x n+m).
+Var concatCols(const Var& a, const Var& b);
+
+/// Slice of columns [start, start+len) of a row vector.
+Var sliceCols(const Var& a, std::size_t start, std::size_t len);
+
+/// Row `index` of a matrix as a 1 x cols vector. Gradient scatter-adds into
+/// that row; this is the embedding-lookup primitive.
+Var selectRow(const Var& a, std::size_t index);
+
+/// Mean of all entries -> 1 x 1.
+Var meanAll(const Var& a);
+
+// ---- losses -----------------------------------------------------------------
+
+/// Cross-entropy of softmax(logits) against integer `label` -> 1 x 1.
+/// Fused for numerical stability; gradient is softmax - onehot.
+Var softmaxCrossEntropy(const Var& logits, std::size_t label);
+
+/// Mean binary cross-entropy of sigmoid(logits) against targets in [0,1]
+/// (1 x n each) -> 1 x 1. Fused logits formulation (stable for |x| large).
+Var bceWithLogits(const Var& logits, const Matrix& targets);
+
+/// Squared error (pred - target)^2 averaged over entries -> 1 x 1.
+Var mseLoss(const Var& pred, const Matrix& target);
+
+// ---- engine -----------------------------------------------------------------
+
+/// Seeds d(root)/d(root) = 1 and back-propagates through the whole graph.
+/// `root` must be 1 x 1 (a loss).
+void backward(const Var& root);
+
+/// Registry of trainable parameters for optimizers and serialization.
+class ParamStore {
+ public:
+  /// Creates + registers a parameter node.
+  Var make(Matrix value);
+  /// Registers an existing parameter node.
+  void add(Var param);
+
+  const std::vector<Var>& params() const { return params_; }
+  std::size_t totalParameters() const;
+  void zeroGrad();
+
+  /// Global L2 norm of all gradients (for clipping / diagnostics).
+  float gradNorm() const;
+  /// Scales all gradients so the global norm is at most `max_norm`.
+  void clipGradNorm(float max_norm);
+
+ private:
+  std::vector<Var> params_;
+};
+
+}  // namespace netsyn::nn

@@ -1,0 +1,80 @@
+#include "nn/inference.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace netsyn::nn {
+namespace {
+
+inline float sigmoidf(float x) {
+  return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
+                   : std::exp(x) / (1.0f + std::exp(x));
+}
+
+/// z += x * W for row-major W (in x out).
+inline void addVecMat(const float* x, std::size_t in, const Matrix& w,
+                      float* z) {
+  const std::size_t out = w.cols();
+  for (std::size_t i = 0; i < in; ++i) {
+    const float xv = x[i];
+    if (xv == 0.0f) continue;
+    const float* row = w.data() + i * out;
+    for (std::size_t j = 0; j < out; ++j) z[j] += xv * row[j];
+  }
+}
+
+}  // namespace
+
+void lstmStepFast(const Lstm& lstm, const float* x, float* h, float* c,
+                  InferenceScratch& scratch) {
+  const std::size_t hd = lstm.hiddenDim();
+  const std::size_t g4 = 4 * hd;
+  scratch.ensure(g4);
+  float* z = scratch.z.data();
+  std::memcpy(z, lstm.biasRaw().data(), g4 * sizeof(float));
+  addVecMat(x, lstm.inDim(), lstm.weightX(), z);
+  addVecMat(h, hd, lstm.weightH(), z);
+  // Gate layout [i | f | g | o], as in Lstm::step.
+  for (std::size_t j = 0; j < hd; ++j) {
+    const float ig = sigmoidf(z[j]);
+    const float fg = sigmoidf(z[hd + j]);
+    const float gg = std::tanh(z[2 * hd + j]);
+    const float og = sigmoidf(z[3 * hd + j]);
+    c[j] = fg * c[j] + ig * gg;
+    h[j] = og * std::tanh(c[j]);
+  }
+}
+
+void lstmEncodeTokensFast(const Lstm& lstm, const Embedding& embedding,
+                          const std::vector<std::size_t>& tokens, float* h,
+                          InferenceScratch& scratch) {
+  const std::size_t hd = lstm.hiddenDim();
+  std::vector<float> c(hd, 0.0f);
+  std::memset(h, 0, hd * sizeof(float));
+  const Matrix& table = embedding.table();
+  for (std::size_t t : tokens) {
+    const float* x = table.data() + t * embedding.dim();
+    lstmStepFast(lstm, x, h, c.data(), scratch);
+  }
+}
+
+void lstmEncodeVectorsFast(const Lstm& lstm,
+                           const std::vector<const float*>& xs, float* h,
+                           InferenceScratch& scratch) {
+  const std::size_t hd = lstm.hiddenDim();
+  std::vector<float> c(hd, 0.0f);
+  std::memset(h, 0, hd * sizeof(float));
+  for (const float* x : xs) lstmStepFast(lstm, x, h, c.data(), scratch);
+}
+
+void linearForwardFast(const Linear& linear, const float* x, float* out) {
+  std::memcpy(out, linear.bias().data(), linear.outDim() * sizeof(float));
+  addVecMat(x, linear.inDim(), linear.weight(), out);
+}
+
+void reluFast(float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (x[i] < 0.0f) x[i] = 0.0f;
+}
+
+}  // namespace netsyn::nn

@@ -1,0 +1,52 @@
+// Allocation-free inference kernels for the layers in layers.hpp.
+//
+// The genetic algorithm calls the fitness model once per examined candidate
+// (up to millions of times per synthesis run at paper scale); building an
+// autograd graph for those forward-only passes wastes most of the time in
+// allocation. These kernels run the same math over raw float buffers held in
+// a reusable `InferenceScratch`. Training keeps using the autograd path; a
+// regression test asserts both paths agree to float precision.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace netsyn::nn {
+
+/// Reusable buffers for one inference thread.
+struct InferenceScratch {
+  std::vector<float> z;  ///< 4H gate pre-activations
+  std::vector<float> tmp;
+
+  void ensure(std::size_t n) {
+    if (z.size() < n) z.resize(n);
+    if (tmp.size() < n) tmp.resize(n);
+  }
+};
+
+/// h,c := one LSTM step on input x (length = lstm.inDim()).
+/// h and c must have length lstm.hiddenDim() and carry the previous state.
+void lstmStepFast(const Lstm& lstm, const float* x, float* h, float* c,
+                  InferenceScratch& scratch);
+
+/// h := final hidden state over a sequence of embedded tokens; h must have
+/// length lstm.hiddenDim() (zero-initialized by this call).
+void lstmEncodeTokensFast(const Lstm& lstm, const Embedding& embedding,
+                          const std::vector<std::size_t>& tokens, float* h,
+                          InferenceScratch& scratch);
+
+/// h := final hidden state over a sequence of raw input vectors (each of
+/// length lstm.inDim()); h zero-initialized by this call.
+void lstmEncodeVectorsFast(const Lstm& lstm,
+                           const std::vector<const float*>& xs, float* h,
+                           InferenceScratch& scratch);
+
+/// out := x * W + b for a Linear layer (out length = linear.outDim()).
+void linearForwardFast(const Linear& linear, const float* x, float* out);
+
+/// In-place ReLU.
+void reluFast(float* x, std::size_t n);
+
+}  // namespace netsyn::nn

@@ -1,0 +1,77 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+namespace netsyn::nn {
+
+Matrix xavierUniform(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  const float s =
+      std::sqrt(6.0f / static_cast<float>(rows + cols));
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i)
+    m.at(i) = static_cast<float>(rng.uniformReal(-s, s));
+  return m;
+}
+
+Embedding::Embedding(std::size_t vocab, std::size_t dim, ParamStore& store,
+                     util::Rng& rng)
+    : vocab_(vocab), dim_(dim), table_(store.make(xavierUniform(vocab, dim, rng))) {}
+
+Var Embedding::lookup(std::size_t token) const {
+  return selectRow(table_, token);
+}
+
+Linear::Linear(std::size_t in, std::size_t out, ParamStore& store,
+               util::Rng& rng)
+    : in_(in),
+      out_(out),
+      w_(store.make(xavierUniform(in, out, rng))),
+      b_(store.make(Matrix(1, out, 0.0f))) {}
+
+Var Linear::forward(const Var& x) const { return add(matmul(x, w_), b_); }
+
+Lstm::Lstm(std::size_t in, std::size_t hidden, ParamStore& store,
+           util::Rng& rng)
+    : in_(in),
+      hidden_(hidden),
+      wx_(store.make(xavierUniform(in, 4 * hidden, rng))),
+      wh_(store.make(xavierUniform(hidden, 4 * hidden, rng))),
+      b_(store.make(Matrix(1, 4 * hidden, 0.0f))) {
+  // Forget-gate bias (+1): columns [H, 2H).
+  for (std::size_t j = hidden_; j < 2 * hidden_; ++j) b_->value().at(j) = 1.0f;
+}
+
+Lstm::State Lstm::initialState() const {
+  return State{constant(Matrix(1, hidden_, 0.0f)),
+               constant(Matrix(1, hidden_, 0.0f))};
+}
+
+Lstm::State Lstm::step(const Var& x, const State& state) const {
+  const Var z = add(add(matmul(x, wx_), matmul(state.h, wh_)), b_);
+  const Var i = sigmoidOp(sliceCols(z, 0, hidden_));
+  const Var f = sigmoidOp(sliceCols(z, hidden_, hidden_));
+  const Var g = tanhOp(sliceCols(z, 2 * hidden_, hidden_));
+  const Var o = sigmoidOp(sliceCols(z, 3 * hidden_, hidden_));
+  const Var c = add(mulElem(f, state.c), mulElem(i, g));
+  const Var h = mulElem(o, tanhOp(c));
+  return State{h, c};
+}
+
+Var Lstm::encode(const std::vector<Var>& sequence) const {
+  State state = initialState();
+  for (const Var& x : sequence) state = step(x, state);
+  return state.h;
+}
+
+std::vector<Var> Lstm::encodeAll(const std::vector<Var>& sequence) const {
+  std::vector<Var> hs;
+  hs.reserve(sequence.size());
+  State state = initialState();
+  for (const Var& x : sequence) {
+    state = step(x, state);
+    hs.push_back(state.h);
+  }
+  return hs;
+}
+
+}  // namespace netsyn::nn

@@ -1,0 +1,73 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netsyn::nn {
+
+Matrix matmulValue(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols(), 0.0f);
+  const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = c.data() + i * m;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + kk * m;
+      for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+void addATransposeB(Matrix& c, const Matrix& a, const Matrix& b) {
+  // c (k x m) += a^T (k x n) * b (n x m), a is n x k.
+  assert(c.rows() == a.cols() && c.cols() == b.cols() &&
+         a.rows() == b.rows());
+  const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* arow = a.data() + i * k;
+    const float* brow = b.data() + i * m;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      float* crow = c.data() + kk * m;
+      for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void addABTranspose(Matrix& c, const Matrix& a, const Matrix& b) {
+  // c (n x k) += a (n x m) * b^T (m x k), b is k x m.
+  assert(c.rows() == a.rows() && c.cols() == b.rows() &&
+         a.cols() == b.cols());
+  const std::size_t n = a.rows(), m = a.cols(), k = b.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* arow = a.data() + i * m;
+    float* crow = c.data() + i * k;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* brow = b.data() + kk * m;
+      float acc = 0.0f;
+      for (std::size_t j = 0; j < m; ++j) acc += arow[j] * brow[j];
+      crow[kk] += acc;
+    }
+  }
+}
+
+Matrix softmaxValue(const Matrix& logits) {
+  assert(logits.rows() == 1);
+  Matrix out(1, logits.cols());
+  const float mx =
+      *std::max_element(logits.vec().begin(), logits.vec().end());
+  float sum = 0.0f;
+  for (std::size_t j = 0; j < logits.cols(); ++j) {
+    out.at(j) = std::exp(logits.at(j) - mx);
+    sum += out.at(j);
+  }
+  for (std::size_t j = 0; j < logits.cols(); ++j) out.at(j) /= sum;
+  return out;
+}
+
+}  // namespace netsyn::nn

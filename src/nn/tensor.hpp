@@ -1,0 +1,98 @@
+// Dense row-major float matrix: the storage type of the NN substrate.
+//
+// The fitness-function models process one gene at a time (the GA evaluates
+// genes sequentially), so all activations are small row vectors (1 x N) and
+// parameters are small matrices; a minimal dense type is both sufficient and
+// fast for the paper's architecture.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace netsyn::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    assert(data_.size() == rows_ * cols_);
+  }
+
+  static Matrix zeros(std::size_t rows, std::size_t cols) {
+    return Matrix(rows, cols, 0.0f);
+  }
+
+  /// 1 x n row vector from values.
+  static Matrix row(std::vector<float> values) {
+    const std::size_t n = values.size();
+    return Matrix(1, n, std::move(values));
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool sameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float& at(std::size_t i) { return data_[i]; }
+  float at(std::size_t i) const { return data_[i]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  const std::vector<float>& vec() const { return data_; }
+
+  void fill(float v) {
+    for (auto& x : data_) x = v;
+  }
+
+  /// In-place a += b (shapes must match).
+  void addInPlace(const Matrix& b) {
+    assert(sameShape(b));
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += b.data_[i];
+  }
+
+  /// In-place a += s * b.
+  void axpyInPlace(float s, const Matrix& b) {
+    assert(sameShape(b));
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * b.data_[i];
+  }
+
+  bool operator==(const Matrix&) const = default;
+
+  std::string shapeString() const {
+    return std::to_string(rows_) + "x" + std::to_string(cols_);
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A * B. Row-major, (i,k,j) loop order for sequential access.
+Matrix matmulValue(const Matrix& a, const Matrix& b);
+
+/// C += A^T * B (used by matmul backward for the weight gradient).
+void addATransposeB(Matrix& c, const Matrix& a, const Matrix& b);
+
+/// C += A * B^T (used by matmul backward for the input gradient).
+void addABTranspose(Matrix& c, const Matrix& a, const Matrix& b);
+
+/// Numerically stable softmax of a 1 x n row vector.
+Matrix softmaxValue(const Matrix& logits);
+
+}  // namespace netsyn::nn

@@ -1,0 +1,73 @@
+#include "util/argparse.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace netsyn::util {
+
+void ArgParse::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (tok.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + tok);
+    }
+    tok = tok.substr(2);
+    std::string key;
+    std::string value;
+    if (const auto eq = tok.find('='); eq != std::string::npos) {
+      key = tok.substr(0, eq);
+      value = tok.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      key = tok;
+      value = argv[++i];
+    } else {
+      key = tok;
+      value = "true";  // bare flag
+    }
+    if (key.empty()) throw std::invalid_argument("empty flag name");
+    if (values_.emplace(key, value).second) order_.push_back(key);
+    else values_[key] = value;  // later occurrences win
+  }
+}
+
+std::string ArgParse::getString(const std::string& key,
+                                const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long ArgParse::getInt(const std::string& key, long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw std::invalid_argument("--" + key + " expects an integer, got '" +
+                                it->second + "'");
+  }
+  return v;
+}
+
+double ArgParse::getDouble(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw std::invalid_argument("--" + key + " expects a number, got '" +
+                                it->second + "'");
+  }
+  return v;
+}
+
+bool ArgParse::getBool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& s = it->second;
+  if (s == "true" || s == "1" || s == "yes" || s == "on") return true;
+  if (s == "false" || s == "0" || s == "no" || s == "off") return false;
+  throw std::invalid_argument("--" + key + " expects a boolean, got '" + s +
+                              "'");
+}
+
+}  // namespace netsyn::util

@@ -1,0 +1,45 @@
+// Minimal command-line argument parsing for bench and example binaries.
+//
+// Supports `--key=value`, `--key value`, and boolean `--flag` forms. Every
+// binary in this repository is runnable with no arguments (CI-scale
+// defaults); flags only override defaults, so parsing failures are loud but
+// simple.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace netsyn::util {
+
+/// Parsed command line. Unknown keys are retained (and can be listed) so a
+/// harness can detect typos; values are parsed lazily with typed getters.
+class ArgParse {
+ public:
+  ArgParse() = default;
+  ArgParse(int argc, const char* const* argv) { parse(argc, argv); }
+
+  /// Parses `argv`. Throws std::invalid_argument on malformed input such as
+  /// a non-flag positional token.
+  void parse(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  /// Typed getters; return `fallback` when the key is absent and throw
+  /// std::invalid_argument when the value does not parse.
+  std::string getString(const std::string& key,
+                        const std::string& fallback) const;
+  long getInt(const std::string& key, long fallback) const;
+  double getDouble(const std::string& key, double fallback) const;
+  bool getBool(const std::string& key, bool fallback) const;
+
+  /// All keys seen, in insertion order (for diagnostics / --help output).
+  const std::vector<std::string>& keys() const { return order_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace netsyn::util

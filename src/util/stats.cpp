@@ -1,0 +1,147 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace netsyn::util {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); }
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  if (p <= 0.0) return *std::min_element(xs.begin(), xs.end());
+  if (p >= 100.0) return *std::max_element(xs.begin(), xs.end());
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+SlidingWindowMean::SlidingWindowMean(std::size_t window) : window_(window) {
+  if (window_ == 0) throw std::invalid_argument("window must be positive");
+}
+
+void SlidingWindowMean::push(double value) {
+  recent_.push_back(value);
+  recent_sum_ += value;
+  ++total_count_;
+  if (recent_.size() > window_) {
+    const double evicted = recent_.front();
+    recent_.pop_front();
+    recent_sum_ -= evicted;
+    prior_sum_ += evicted;
+    ++prior_count_;
+  }
+}
+
+double SlidingWindowMean::windowMean() const {
+  if (recent_.empty()) return 0.0;
+  return recent_sum_ / static_cast<double>(recent_.size());
+}
+
+double SlidingWindowMean::priorMean() const {
+  if (prior_count_ == 0) return 0.0;
+  return prior_sum_ / static_cast<double>(prior_count_);
+}
+
+bool SlidingWindowMean::saturated() const {
+  if (prior_count_ == 0) return false;  // window not yet preceded by history
+  return windowMean() <= priorMean();
+}
+
+void SlidingWindowMean::reset() {
+  recent_.clear();
+  recent_sum_ = prior_sum_ = 0.0;
+  prior_count_ = total_count_ = 0;
+}
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : n_(num_classes), cells_(num_classes * num_classes, 0) {
+  if (n_ == 0) throw std::invalid_argument("need at least one class");
+}
+
+void ConfusionMatrix::add(std::size_t actual, std::size_t predicted) {
+  if (actual >= n_ || predicted >= n_)
+    throw std::out_of_range("confusion matrix class out of range");
+  ++cells_[actual * n_ + predicted];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(std::size_t actual,
+                                   std::size_t predicted) const {
+  return cells_.at(actual * n_ + predicted);
+}
+
+std::size_t ConfusionMatrix::rowTotal(std::size_t actual) const {
+  std::size_t s = 0;
+  for (std::size_t j = 0; j < n_; ++j) s += cells_.at(actual * n_ + j);
+  return s;
+}
+
+double ConfusionMatrix::rowNormalized(std::size_t actual,
+                                      std::size_t predicted) const {
+  const std::size_t row = rowTotal(actual);
+  if (row == 0) return 0.0;
+  return static_cast<double>(count(actual, predicted)) /
+         static_cast<double>(row);
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t diag = 0;
+  for (std::size_t i = 0; i < n_; ++i) diag += cells_[i * n_ + i];
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::withinK(std::size_t k) const {
+  if (total_ == 0) return 0.0;
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      const std::size_t d = i > j ? i - j : j - i;
+      if (d <= k) hit += cells_[i * n_ + j];
+    }
+  }
+  return static_cast<double>(hit) / static_cast<double>(total_);
+}
+
+std::string ConfusionMatrix::toString() const {
+  std::string out = "actual\\pred";
+  char buf[64];
+  for (std::size_t j = 0; j < n_; ++j) {
+    std::snprintf(buf, sizeof(buf), "%8zu", j);
+    out += buf;
+  }
+  out += '\n';
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::snprintf(buf, sizeof(buf), "%10zu ", i);
+    out += buf;
+    for (std::size_t j = 0; j < n_; ++j) {
+      std::snprintf(buf, sizeof(buf), "%8.3f", rowNormalized(i, j));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace netsyn::util

@@ -1,0 +1,91 @@
+// Statistics helpers used by the experiment harness and NN evaluation:
+// summary statistics, percentiles, sliding-window means (for the GA
+// saturation trigger), and confusion matrices (for Figure 7).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace netsyn::util {
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(const std::vector<double>& xs);
+
+/// Population standard deviation; 0 for fewer than two samples.
+double stddev(const std::vector<double>& xs);
+
+/// Median; 0 for an empty range.
+double median(std::vector<double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. 0 for an empty range.
+double percentile(std::vector<double> xs, double p);
+
+/// Sliding-window running mean used by NetSyn's neighborhood-search trigger:
+/// NS fires when the mean fitness of the last `w` generations is no better
+/// than the mean of all generations before the window (paper §4.2.2).
+class SlidingWindowMean {
+ public:
+  explicit SlidingWindowMean(std::size_t window);
+
+  void push(double value);
+
+  /// Number of values observed so far.
+  std::size_t count() const { return total_count_; }
+
+  /// Mean of the last `min(window, count)` values (mu_{l-w+1,l}).
+  double windowMean() const;
+
+  /// Mean of every value before the current window (mu_{1,l-w});
+  /// 0 when nothing precedes the window.
+  double priorMean() const;
+
+  /// True when at least `window + 1` values exist and the window mean has not
+  /// improved over the prior mean -- the saturation condition of the paper.
+  bool saturated() const;
+
+  void reset();
+
+ private:
+  std::size_t window_;
+  std::deque<double> recent_;
+  double recent_sum_ = 0.0;
+  double prior_sum_ = 0.0;
+  std::size_t prior_count_ = 0;
+  std::size_t total_count_ = 0;
+};
+
+/// Row-normalizable confusion matrix for the CF / LCS fitness classifiers
+/// (paper Figure 7(a)-(b)).
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(std::size_t actual, std::size_t predicted);
+
+  std::size_t numClasses() const { return n_; }
+  std::size_t count(std::size_t actual, std::size_t predicted) const;
+  std::size_t rowTotal(std::size_t actual) const;
+  std::size_t total() const { return total_; }
+
+  /// P(predicted = j | actual = i); 0 when the row is empty.
+  double rowNormalized(std::size_t actual, std::size_t predicted) const;
+
+  /// Fraction of diagonal entries.
+  double accuracy() const;
+
+  /// Fraction of samples within +/- `k` classes of the truth (the paper's
+  /// "close-enough" reading of the matrices).
+  double withinK(std::size_t k) const;
+
+  /// Render as an aligned text table with row-normalized probabilities.
+  std::string toString() const;
+
+ private:
+  std::size_t n_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> cells_;  // n_ * n_, row-major [actual][predicted]
+};
+
+}  // namespace netsyn::util

@@ -1,0 +1,111 @@
+#include "util/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace netsyn::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("table needs a header");
+}
+
+Table& Table::newRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  if (rows_.empty()) newRow();
+  if (rows_.back().size() >= header_.size())
+    throw std::out_of_range("row has more cells than header columns");
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::addInt(long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%ld", v);
+  return add(std::string(buf));
+}
+
+Table& Table::addDouble(double v, int precision) {
+  if (std::isnan(v)) return add("-");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return add(std::string(buf));
+}
+
+Table& Table::addPercent(double fraction, int precision) {
+  if (std::isnan(fraction)) return add("-");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return add(std::string(buf));
+}
+
+std::string Table::toString() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emitRow = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out += cell;
+      out.append(width[c] - cell.size() + 2, ' ');
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+
+  std::string out;
+  emitRow(header_, out);
+  std::string rule;
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    rule.append(width[c] + (c + 1 < header_.size() ? 2 : 0), '-');
+  out += rule + '\n';
+  for (const auto& row : rows_) emitRow(row, out);
+  return out;
+}
+
+namespace {
+std::string csvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::toCsv() const {
+  std::string out;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) out += ',';
+    out += csvEscape(header_[c]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      if (c) out += ',';
+      if (c < row.size()) out += csvEscape(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void Table::writeCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  f << toCsv();
+  if (!f) throw std::runtime_error("failed writing " + path);
+}
+
+}  // namespace netsyn::util

@@ -1,0 +1,49 @@
+// Aligned text / CSV table rendering for the experiment harness.
+//
+// Every bench binary regenerates one of the paper's tables or figure series;
+// this writer produces both a human-readable aligned table (stdout) and CSV
+// (optional file) from the same data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace netsyn::util {
+
+/// A simple row-oriented table. Cells are strings; numeric helpers format
+/// with fixed precision. Rendering aligns columns on the widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row. Subsequent `add*` calls append cells to it.
+  Table& newRow();
+
+  Table& add(std::string cell);
+  Table& add(const char* cell) { return add(std::string(cell)); }
+  Table& addInt(long v);
+  /// Fixed-precision double; NaN renders as "-" (the paper's marker for
+  /// "did not synthesize at this percentile").
+  Table& addDouble(double v, int precision = 2);
+  /// Percentage with a trailing '%'.
+  Table& addPercent(double fraction, int precision = 1);
+
+  std::size_t numRows() const { return rows_.size(); }
+  std::size_t numCols() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Aligned plain-text rendering.
+  std::string toString() const;
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  std::string toCsv() const;
+
+  /// Writes CSV to `path`; throws std::runtime_error on I/O failure.
+  void writeCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace netsyn::util

@@ -1,0 +1,27 @@
+// Monotonic wall-clock timer for synthesis-time measurements (Table 3 /
+// Figure 4(g)-(i)).
+#pragma once
+
+#include <chrono>
+
+namespace netsyn::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace netsyn::util

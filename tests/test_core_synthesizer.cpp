@@ -1,0 +1,197 @@
+// End-to-end synthesizer tests with oracle and hand-crafted fitness
+// functions: solution correctness, budget accounting, NS integration, and
+// configuration validation.
+#include <gtest/gtest.h>
+
+#include "core/synthesizer.hpp"
+#include "fitness/edit.hpp"
+#include "fitness/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace nc = netsyn::core;
+namespace nd = netsyn::dsl;
+namespace nf = netsyn::fitness;
+using netsyn::util::Rng;
+
+namespace {
+
+nc::SynthesizerConfig smallConfig() {
+  nc::SynthesizerConfig cfg;
+  cfg.ga.populationSize = 40;
+  cfg.ga.eliteCount = 4;
+  cfg.maxGenerations = 2000;
+  cfg.nsTopN = 3;
+  cfg.nsWindow = 6;
+  return cfg;
+}
+
+nd::Generator::TestCase makeCase(std::size_t length, std::uint64_t seed,
+                                 bool singleton = false) {
+  Rng rng(seed);
+  const nd::Generator gen;
+  auto tc = gen.randomTestCase(length, 5, singleton, rng);
+  EXPECT_TRUE(tc.has_value());
+  return *tc;
+}
+
+}  // namespace
+
+TEST(Synthesizer, OracleCfSolvesShortPrograms) {
+  int solved = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto tc = makeCase(3, seed);
+    nc::Synthesizer syn(smallConfig(),
+                        std::make_shared<nf::OracleCF>(tc.program));
+    Rng rng(seed * 10);
+    const auto result = syn.synthesize(tc.spec, 3, 50000, rng);
+    if (result.found) {
+      ++solved;
+      EXPECT_TRUE(nd::satisfiesSpec(result.solution, tc.spec));
+      EXPECT_LE(result.candidatesSearched, 50000u);
+      EXPECT_GT(result.candidatesSearched, 0u);
+    }
+  }
+  EXPECT_GE(solved, 4);  // oracle fitness should nearly always succeed
+}
+
+TEST(Synthesizer, OracleLcsSolvesLength4) {
+  const auto tc = makeCase(4, 21);
+  nc::Synthesizer syn(smallConfig(),
+                      std::make_shared<nf::OracleLCS>(tc.program));
+  Rng rng(22);
+  const auto result = syn.synthesize(tc.spec, 4, 80000, rng);
+  EXPECT_TRUE(result.found);
+  if (result.found) {
+    EXPECT_TRUE(nd::satisfiesSpec(result.solution, tc.spec));
+  }
+}
+
+TEST(Synthesizer, RespectsBudgetWhenUnsatisfiable) {
+  // Spec no length-2 program can satisfy (output longer than any transform
+  // of the input can produce while also being arbitrary).
+  nd::Spec spec;
+  spec.examples.push_back(
+      {{nd::Value(std::vector<std::int32_t>{1, 2})},
+       nd::Value(std::vector<std::int32_t>{7, -3, 12, 9, 0, 5, 5, 1})});
+  nc::Synthesizer syn(smallConfig(),
+                      std::make_shared<nf::EditDistanceFitness>());
+  Rng rng(33);
+  const auto result = syn.synthesize(spec, 2, 500, rng);
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.candidatesSearched, 500u);
+  EXPECT_GT(result.generations, 0u);
+}
+
+TEST(Synthesizer, CandidatesSearchedNeverExceedsBudget) {
+  for (std::uint64_t seed : {41, 42, 43}) {
+    const auto tc = makeCase(4, seed);
+    nc::Synthesizer syn(smallConfig(),
+                        std::make_shared<nf::OracleCF>(tc.program));
+    Rng rng(seed);
+    const auto result = syn.synthesize(tc.spec, 4, 2000, rng);
+    EXPECT_LE(result.candidatesSearched, 2000u);
+  }
+}
+
+TEST(Synthesizer, DuplicateGenesAreNotRecharged) {
+  // With a tiny population and many generations the number of *distinct*
+  // genes is far below generations * population; the budget must reflect
+  // distinct candidates only.
+  const auto tc = makeCase(3, 55);
+  auto cfg = smallConfig();
+  cfg.ga.populationSize = 10;
+  cfg.ga.eliteCount = 2;
+  cfg.maxGenerations = 50;
+  cfg.useNeighborhoodSearch = false;
+  nc::Synthesizer syn(cfg, std::make_shared<nf::EditDistanceFitness>());
+  Rng rng(56);
+  const auto result = syn.synthesize(tc.spec, 3, 1000000, rng);
+  if (!result.found) {
+    EXPECT_LT(result.candidatesSearched,
+              50u * 10u);  // strictly fewer than gross evaluations
+  }
+}
+
+TEST(Synthesizer, NsBfsFindsSaturatedSolutions) {
+  // Force a fitness function that cannot distinguish genes (constant): the
+  // GA saturates immediately and only NS can find the target, planted one
+  // substitution from a population seed. We emulate by running with a
+  // constant fitness and checking NS is invoked.
+  class ConstantFitness final : public nf::FitnessFunction {
+   public:
+    double score(const nd::Program&, const nf::EvalContext&) override {
+      return 1.0;
+    }
+    double maxScore(std::size_t) const override { return 1.0; }
+    std::string name() const override { return "Const"; }
+  };
+  const auto tc = makeCase(3, 66);
+  auto cfg = smallConfig();
+  cfg.nsWindow = 2;
+  cfg.maxGenerations = 60;
+  nc::Synthesizer syn(cfg, std::make_shared<ConstantFitness>());
+  Rng rng(67);
+  const auto result = syn.synthesize(tc.spec, 3, 200000, rng);
+  // With a constant fitness the window saturates quickly; NS must have run.
+  EXPECT_GT(result.nsInvocations + (result.found ? 1u : 0u), 0u);
+}
+
+TEST(Synthesizer, DisabledNsNeverInvokesIt) {
+  const auto tc = makeCase(3, 77);
+  auto cfg = smallConfig();
+  cfg.useNeighborhoodSearch = false;
+  cfg.maxGenerations = 30;
+  nc::Synthesizer syn(cfg, std::make_shared<nf::EditDistanceFitness>());
+  Rng rng(78);
+  const auto result = syn.synthesize(tc.spec, 3, 5000, rng);
+  EXPECT_EQ(result.nsInvocations, 0u);
+}
+
+TEST(Synthesizer, FpMutationWithoutProviderThrows) {
+  auto cfg = smallConfig();
+  cfg.fpGuidedMutation = true;
+  EXPECT_THROW(
+      nc::Synthesizer(cfg, std::make_shared<nf::EditDistanceFitness>()),
+      std::invalid_argument);
+}
+
+TEST(Synthesizer, NullFitnessThrows) {
+  EXPECT_THROW(nc::Synthesizer(smallConfig(), nullptr),
+               std::invalid_argument);
+}
+
+TEST(Synthesizer, ResultTracksGenerationsAndTime) {
+  const auto tc = makeCase(3, 88);
+  nc::Synthesizer syn(smallConfig(),
+                      std::make_shared<nf::OracleCF>(tc.program));
+  Rng rng(89);
+  const auto result = syn.synthesize(tc.spec, 3, 30000, rng);
+  EXPECT_GE(result.seconds, 0.0);
+  if (result.found) {
+    EXPECT_GE(result.bestFitness, 0.0);
+  }
+}
+
+TEST(Synthesizer, SingletonTargetsSolvableWithOracle) {
+  const auto tc = makeCase(3, 99, /*singleton=*/true);
+  nc::Synthesizer syn(smallConfig(),
+                      std::make_shared<nf::OracleCF>(tc.program));
+  Rng rng(100);
+  const auto result = syn.synthesize(tc.spec, 3, 80000, rng);
+  if (result.found) {
+    EXPECT_TRUE(nd::satisfiesSpec(result.solution, tc.spec));
+    EXPECT_EQ(result.solution.outputType(), nd::Type::Int);
+  }
+}
+
+TEST(Synthesizer, DfsNsVariantRuns) {
+  const auto tc = makeCase(3, 111);
+  auto cfg = smallConfig();
+  cfg.nsKind = nc::NsKind::DFS;
+  cfg.nsWindow = 3;
+  cfg.maxGenerations = 100;
+  nc::Synthesizer syn(cfg, std::make_shared<nf::OracleCF>(tc.program));
+  Rng rng(112);
+  const auto result = syn.synthesize(tc.spec, 3, 60000, rng);
+  EXPECT_TRUE(result.found || result.candidatesSearched > 0);
+}

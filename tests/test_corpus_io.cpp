@@ -1,0 +1,165 @@
+// Corpus serialization tests: lossless round trips, format validation, and
+// the synthesizer's opt-in history recorder.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/synthesizer.hpp"
+#include "fitness/corpus_io.hpp"
+#include "fitness/edit.hpp"
+#include "fitness/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace nc = netsyn::core;
+namespace nd = netsyn::dsl;
+namespace nf = netsyn::fitness;
+using netsyn::util::Rng;
+
+namespace {
+
+std::string tmpPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<nf::Sample> makeCorpus(std::size_t n, std::uint64_t seed) {
+  nf::DatasetConfig dc;
+  dc.programLength = 4;
+  dc.numExamples = 3;
+  nf::DatasetBuilder builder(dc);
+  Rng rng(seed);
+  return builder.build(n, nf::BalanceMetric::CF, rng);
+}
+
+}  // namespace
+
+TEST(CorpusIo, RoundTripIsLossless) {
+  const auto samples = makeCorpus(12, 1);
+  const auto path = tmpPath("netsyn_corpus_rt.bin");
+  nf::saveSamples(samples, path);
+  const auto loaded = nf::loadSamples(path);
+  ASSERT_EQ(loaded.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(loaded[i].target, samples[i].target);
+    EXPECT_EQ(loaded[i].candidate, samples[i].candidate);
+    EXPECT_EQ(loaded[i].cf, samples[i].cf);
+    EXPECT_EQ(loaded[i].lcs, samples[i].lcs);
+    EXPECT_EQ(loaded[i].funcPresence, samples[i].funcPresence);
+    ASSERT_EQ(loaded[i].spec.size(), samples[i].spec.size());
+    for (std::size_t j = 0; j < samples[i].spec.size(); ++j) {
+      EXPECT_EQ(loaded[i].spec.examples[j].inputs,
+                samples[i].spec.examples[j].inputs);
+      EXPECT_EQ(loaded[i].spec.examples[j].output,
+                samples[i].spec.examples[j].output);
+    }
+    EXPECT_EQ(loaded[i].traces, samples[i].traces);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIo, EmptyCorpusRoundTrips) {
+  const auto path = tmpPath("netsyn_corpus_empty.bin");
+  nf::saveSamples({}, path);
+  EXPECT_TRUE(nf::loadSamples(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIo, MissingFileThrows) {
+  EXPECT_THROW(nf::loadSamples("/nonexistent/corpus.bin"),
+               std::runtime_error);
+}
+
+TEST(CorpusIo, BadMagicThrows) {
+  const auto path = tmpPath("netsyn_corpus_bad.bin");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "GARBAGEGARBAGE";
+  }
+  EXPECT_THROW(nf::loadSamples(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIo, TruncatedFileThrows) {
+  const auto samples = makeCorpus(4, 2);
+  const auto path = tmpPath("netsyn_corpus_trunc.bin");
+  nf::saveSamples(samples, path);
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(nf::loadSamples(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusIo, LoadedCorpusTrainsIdentically) {
+  // The loaded samples must be usable exactly like fresh ones (labels and
+  // traces consistent with the programs).
+  const auto samples = makeCorpus(6, 3);
+  const auto path = tmpPath("netsyn_corpus_train.bin");
+  nf::saveSamples(samples, path);
+  const auto loaded = nf::loadSamples(path);
+  for (const auto& s : loaded) {
+    EXPECT_EQ(s.cf, nf::commonFunctions(s.candidate, s.target));
+    EXPECT_EQ(s.lcs, nf::longestCommonSubsequence(s.candidate, s.target));
+    for (std::size_t i = 0; i < s.spec.size(); ++i) {
+      EXPECT_EQ(nd::run(s.candidate, s.spec.examples[i].inputs).trace,
+                s.traces[i]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------- history recorder -------
+
+TEST(EvolutionHistory, RecordedOnlyWhenRequested) {
+  Rng wr(5);
+  const nd::Generator gen;
+  const auto tc = gen.randomTestCase(3, 5, false, wr);
+  ASSERT_TRUE(tc.has_value());
+
+  nc::SynthesizerConfig off;
+  off.ga.populationSize = 20;
+  off.maxGenerations = 30;
+  nc::Synthesizer synOff(off, std::make_shared<nf::EditDistanceFitness>());
+  Rng r1(9);
+  EXPECT_TRUE(synOff.synthesize(tc->spec, 3, 2000, r1).history.empty());
+
+  nc::SynthesizerConfig on = off;
+  on.recordHistory = true;
+  nc::Synthesizer synOn(on, std::make_shared<nf::EditDistanceFitness>());
+  Rng r2(9);
+  const auto result = synOn.synthesize(tc->spec, 3, 2000, r2);
+  if (result.generations > 0) {
+    ASSERT_FALSE(result.history.empty());
+    EXPECT_LE(result.history.size(), result.generations);
+    for (const auto& gs : result.history) {
+      EXPECT_GE(gs.bestFitness, gs.meanFitness - 1e-9);
+      EXPECT_LE(gs.budgetUsed, 2000u);
+    }
+    // Budget consumption is monotone across generations.
+    for (std::size_t i = 1; i < result.history.size(); ++i)
+      EXPECT_GE(result.history[i].budgetUsed,
+                result.history[i - 1].budgetUsed);
+  }
+}
+
+TEST(EvolutionHistory, RecordingDoesNotChangeTheSearch) {
+  Rng wr(6);
+  const nd::Generator gen;
+  const auto tc = gen.randomTestCase(4, 5, false, wr);
+  ASSERT_TRUE(tc.has_value());
+  nc::SynthesizerConfig base;
+  base.ga.populationSize = 25;
+  base.maxGenerations = 100;
+  auto run = [&](bool record) {
+    nc::SynthesizerConfig cfg = base;
+    cfg.recordHistory = record;
+    nc::Synthesizer syn(cfg, std::make_shared<nf::OracleCF>(tc->program));
+    Rng rng(77);
+    return syn.synthesize(tc->spec, 4, 5000, rng);
+  };
+  const auto a = run(false);
+  const auto b = run(true);
+  EXPECT_EQ(a.found, b.found);
+  EXPECT_EQ(a.candidatesSearched, b.candidatesSearched);
+  EXPECT_EQ(a.generations, b.generations);
+}

@@ -1,0 +1,361 @@
+// Semantics tests for all 41 DSL functions (paper Appendix A), including the
+// edge cases the appendix calls out: empty lists, out-of-range indices,
+// negative counts, and saturating arithmetic.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "dsl/functions.hpp"
+#include "dsl/value.hpp"
+
+namespace nd = netsyn::dsl;
+
+namespace {
+
+using List = std::vector<std::int32_t>;
+
+nd::Value call(const std::string& name, const std::vector<nd::Value>& args) {
+  const auto id = nd::functionByName(name);
+  EXPECT_TRUE(id.has_value()) << "unknown function " << name;
+  return nd::applyFunction(*id, std::span<const nd::Value>(args));
+}
+
+nd::Value callL(const std::string& name, List xs) {
+  return call(name, {nd::Value(std::move(xs))});
+}
+
+nd::Value callIL(const std::string& name, std::int32_t n, List xs) {
+  return call(name, {nd::Value(n), nd::Value(std::move(xs))});
+}
+
+nd::Value callLL(const std::string& name, List a, List b) {
+  return call(name, {nd::Value(std::move(a)), nd::Value(std::move(b))});
+}
+
+constexpr std::int32_t kMax = std::numeric_limits<std::int32_t>::max();
+constexpr std::int32_t kMin = std::numeric_limits<std::int32_t>::min();
+
+}  // namespace
+
+// ------------------------------------------------------------- Value -----
+
+TEST(Value, DefaultsAndTypes) {
+  EXPECT_TRUE(nd::Value().isInt());
+  EXPECT_EQ(nd::Value().asInt(), 0);
+  EXPECT_EQ(nd::Value::defaultFor(nd::Type::Int), nd::Value(0));
+  EXPECT_EQ(nd::Value::defaultFor(nd::Type::List), nd::Value(List{}));
+  EXPECT_TRUE(nd::Value(List{1}).isList());
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(nd::Value(7).toString(), "7");
+  EXPECT_EQ(nd::Value(List{1, -2, 3}).toString(), "[1, -2, 3]");
+  EXPECT_EQ(nd::Value(List{}).toString(), "[]");
+}
+
+TEST(Value, SaturateClampsToInt32) {
+  EXPECT_EQ(nd::saturate(std::int64_t{kMax} + 1), kMax);
+  EXPECT_EQ(nd::saturate(std::int64_t{kMin} - 1), kMin);
+  EXPECT_EQ(nd::saturate(42), 42);
+  EXPECT_EQ(nd::saturate(-42), -42);
+}
+
+// ---------------------------------------------------------- metadata -----
+
+TEST(Functions, TableHas41Functions) {
+  EXPECT_EQ(nd::kNumFunctions, 41u);
+}
+
+TEST(Functions, PaperNumbersAreAPermutationOf1To41) {
+  std::vector<bool> seen(nd::kNumFunctions + 1, false);
+  for (std::size_t i = 0; i < nd::kNumFunctions; ++i) {
+    const auto n = nd::functionInfo(static_cast<nd::FuncId>(i)).paperNumber;
+    ASSERT_GE(n, 1);
+    ASSERT_LE(n, 41);
+    EXPECT_FALSE(seen[n]) << "duplicate paper number " << int(n);
+    seen[n] = true;
+  }
+}
+
+TEST(Functions, NamesAreUniqueAndRoundTrip) {
+  for (std::size_t i = 0; i < nd::kNumFunctions; ++i) {
+    const auto id = static_cast<nd::FuncId>(i);
+    const auto back = nd::functionByName(nd::functionInfo(id).name);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, id);
+  }
+  EXPECT_FALSE(nd::functionByName("NOPE").has_value());
+}
+
+TEST(Functions, SignatureCountsMatchAppendix) {
+  // Appendix A: 9 functions [int]->int, 21 [int]->[int], 4 int,[int]->[int],
+  // 1 family (5 fns) [int],[int]->[int], 2 int,[int]->int.
+  int l_to_i = 0, l_to_l = 0, il_to_l = 0, ll_to_l = 0, il_to_i = 0;
+  for (std::size_t i = 0; i < nd::kNumFunctions; ++i) {
+    const auto& info = nd::functionInfo(static_cast<nd::FuncId>(i));
+    if (info.arity == 1 && info.returnType == nd::Type::Int) ++l_to_i;
+    if (info.arity == 1 && info.returnType == nd::Type::List) ++l_to_l;
+    if (info.arity == 2 && info.argTypes[0] == nd::Type::Int &&
+        info.returnType == nd::Type::List)
+      ++il_to_l;
+    if (info.arity == 2 && info.argTypes[0] == nd::Type::List &&
+        info.argTypes[1] == nd::Type::List)
+      ++ll_to_l;
+    if (info.arity == 2 && info.argTypes[0] == nd::Type::Int &&
+        info.returnType == nd::Type::Int)
+      ++il_to_i;
+  }
+  EXPECT_EQ(l_to_i, 9);
+  EXPECT_EQ(l_to_l, 21);
+  EXPECT_EQ(il_to_l, 4);
+  EXPECT_EQ(ll_to_l, 5);
+  EXPECT_EQ(il_to_i, 2);
+}
+
+TEST(Functions, FunctionsReturningPartitionsTheDsl) {
+  const auto ints = nd::functionsReturning(nd::Type::Int);
+  const auto lists = nd::functionsReturning(nd::Type::List);
+  EXPECT_EQ(ints.size() + lists.size(), nd::kNumFunctions);
+  EXPECT_EQ(ints.size(), 11u);  // ACCESS, COUNTx4, HEAD, LAST, MIN, MAX,
+                                // SEARCH, SUM
+  for (nd::FuncId f : ints) EXPECT_TRUE(nd::returnsInt(f));
+  for (nd::FuncId f : lists) EXPECT_FALSE(nd::returnsInt(f));
+}
+
+TEST(Functions, ApplyRejectsWrongArityOrTypes) {
+  const auto head = *nd::functionByName("HEAD");
+  std::vector<nd::Value> none;
+  EXPECT_THROW(nd::applyFunction(head, std::span<const nd::Value>(none)),
+               std::invalid_argument);
+  std::vector<nd::Value> wrong = {nd::Value(3)};
+  EXPECT_THROW(nd::applyFunction(head, std::span<const nd::Value>(wrong)),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------- [int] -> int -------
+
+TEST(DslHead, FirstElementOrZero) {
+  EXPECT_EQ(callL("HEAD", {5, 6, 7}), nd::Value(5));
+  EXPECT_EQ(callL("HEAD", {}), nd::Value(0));
+}
+
+TEST(DslLast, LastElementOrZero) {
+  EXPECT_EQ(callL("LAST", {5, 6, 7}), nd::Value(7));
+  EXPECT_EQ(callL("LAST", {}), nd::Value(0));
+}
+
+TEST(DslMinimum, SmallestOrZero) {
+  EXPECT_EQ(callL("MINIMUM", {3, -1, 2}), nd::Value(-1));
+  EXPECT_EQ(callL("MINIMUM", {}), nd::Value(0));
+}
+
+TEST(DslMaximum, LargestOrZero) {
+  EXPECT_EQ(callL("MAXIMUM", {3, -1, 2}), nd::Value(3));
+  EXPECT_EQ(callL("MAXIMUM", {}), nd::Value(0));
+}
+
+TEST(DslSum, SumsAndSaturates) {
+  EXPECT_EQ(callL("SUM", {1, 2, 3}), nd::Value(6));
+  EXPECT_EQ(callL("SUM", {}), nd::Value(0));
+  EXPECT_EQ(callL("SUM", {kMax, kMax}), nd::Value(kMax));
+  EXPECT_EQ(callL("SUM", {kMin, kMin}), nd::Value(kMin));
+}
+
+TEST(DslCount, AllFourPredicates) {
+  const List xs = {-2, -1, 0, 1, 2, 3};
+  EXPECT_EQ(callL("COUNT(>0)", xs), nd::Value(3));
+  EXPECT_EQ(callL("COUNT(<0)", xs), nd::Value(2));
+  EXPECT_EQ(callL("COUNT(odd)", xs), nd::Value(3));   // -1, 1, 3
+  EXPECT_EQ(callL("COUNT(even)", xs), nd::Value(3));  // -2, 0, 2
+}
+
+TEST(DslCount, EmptyListCountsZero) {
+  for (const char* f :
+       {"COUNT(>0)", "COUNT(<0)", "COUNT(odd)", "COUNT(even)"}) {
+    EXPECT_EQ(callL(f, {}), nd::Value(0)) << f;
+  }
+}
+
+TEST(DslCount, NegativeOddness) {
+  // -3 is odd: C++ remainder is -1, which must still register as odd.
+  EXPECT_EQ(callL("COUNT(odd)", {-3}), nd::Value(1));
+  EXPECT_EQ(callL("COUNT(even)", {-4}), nd::Value(1));
+}
+
+// ------------------------------------------------- int,[int] -> int -------
+
+TEST(DslAccess, ZeroBasedIndexWithDefaults) {
+  EXPECT_EQ(callIL("ACCESS", 0, {10, 20, 30}), nd::Value(10));
+  EXPECT_EQ(callIL("ACCESS", 2, {10, 20, 30}), nd::Value(30));
+  EXPECT_EQ(callIL("ACCESS", 3, {10, 20, 30}), nd::Value(0));   // past end
+  EXPECT_EQ(callIL("ACCESS", -1, {10, 20, 30}), nd::Value(0));  // negative
+  EXPECT_EQ(callIL("ACCESS", 0, {}), nd::Value(0));
+}
+
+TEST(DslSearch, FirstPositionOrMinusOne) {
+  EXPECT_EQ(callIL("SEARCH", 20, {10, 20, 30, 20}), nd::Value(1));
+  EXPECT_EQ(callIL("SEARCH", 99, {10, 20, 30}), nd::Value(-1));
+  EXPECT_EQ(callIL("SEARCH", 0, {}), nd::Value(-1));
+}
+
+// ---------------------------------------------------- [int] -> [int] ------
+
+TEST(DslReverse, ReversesAndHandlesEmpty) {
+  EXPECT_EQ(callL("REVERSE", {1, 2, 3}), nd::Value(List{3, 2, 1}));
+  EXPECT_EQ(callL("REVERSE", {}), nd::Value(List{}));
+}
+
+TEST(DslSort, AscendingStableForDuplicates) {
+  EXPECT_EQ(callL("SORT", {3, 1, 2, 1}), nd::Value(List{1, 1, 2, 3}));
+  EXPECT_EQ(callL("SORT", {}), nd::Value(List{}));
+}
+
+TEST(DslMap, ArithmeticLambdas) {
+  const List xs = {-4, -1, 0, 3};
+  EXPECT_EQ(callL("MAP(+1)", xs), nd::Value(List{-3, 0, 1, 4}));
+  EXPECT_EQ(callL("MAP(-1)", xs), nd::Value(List{-5, -2, -1, 2}));
+  EXPECT_EQ(callL("MAP(*2)", xs), nd::Value(List{-8, -2, 0, 6}));
+  EXPECT_EQ(callL("MAP(*3)", xs), nd::Value(List{-12, -3, 0, 9}));
+  EXPECT_EQ(callL("MAP(*4)", xs), nd::Value(List{-16, -4, 0, 12}));
+  EXPECT_EQ(callL("MAP(*(-1))", xs), nd::Value(List{4, 1, 0, -3}));
+  EXPECT_EQ(callL("MAP(^2)", xs), nd::Value(List{16, 1, 0, 9}));
+}
+
+TEST(DslMap, IntegerDivisionTruncatesTowardZero) {
+  EXPECT_EQ(callL("MAP(/2)", {-3, 3, 5}), nd::Value(List{-1, 1, 2}));
+  EXPECT_EQ(callL("MAP(/3)", {-7, 7}), nd::Value(List{-2, 2}));
+  EXPECT_EQ(callL("MAP(/4)", {-9, 9}), nd::Value(List{-2, 2}));
+}
+
+TEST(DslMap, SquareSaturates) {
+  EXPECT_EQ(callL("MAP(^2)", {kMax}), nd::Value(List{kMax}));
+  EXPECT_EQ(callL("MAP(*2)", {kMax}), nd::Value(List{kMax}));
+  EXPECT_EQ(callL("MAP(*2)", {kMin}), nd::Value(List{kMin}));
+}
+
+TEST(DslMap, EmptyListsPassThrough) {
+  for (const char* f : {"MAP(+1)", "MAP(/2)", "MAP(^2)", "MAP(*(-1))"}) {
+    EXPECT_EQ(callL(f, {}), nd::Value(List{})) << f;
+  }
+}
+
+TEST(DslFilter, AllFourPredicates) {
+  const List xs = {-2, -1, 0, 1, 2, 3};
+  EXPECT_EQ(callL("FILTER(>0)", xs), nd::Value(List{1, 2, 3}));
+  EXPECT_EQ(callL("FILTER(<0)", xs), nd::Value(List{-2, -1}));
+  EXPECT_EQ(callL("FILTER(odd)", xs), nd::Value(List{-1, 1, 3}));
+  EXPECT_EQ(callL("FILTER(even)", xs), nd::Value(List{-2, 0, 2}));
+}
+
+TEST(DslFilter, PreservesOrderOfSurvivors) {
+  EXPECT_EQ(callL("FILTER(>0)", {3, -5, 1, -2, 2}), nd::Value(List{3, 1, 2}));
+}
+
+TEST(DslScanl1, PaperExampleSemantics) {
+  // O_0 = I_0; O_n = lambda(I_n, O_{n-1}).
+  EXPECT_EQ(callL("SCANL1(+)", {1, 2, 3, 4}), nd::Value(List{1, 3, 6, 10}));
+  // SCANL1(-): O_1 = I_1 - O_0 = 2-1 = 1; O_2 = 3-1 = 2.
+  EXPECT_EQ(callL("SCANL1(-)", {1, 2, 3}), nd::Value(List{1, 1, 2}));
+  EXPECT_EQ(callL("SCANL1(*)", {2, 3, 4}), nd::Value(List{2, 6, 24}));
+  EXPECT_EQ(callL("SCANL1(min)", {3, 1, 2, 0}), nd::Value(List{3, 1, 1, 0}));
+  EXPECT_EQ(callL("SCANL1(max)", {1, 3, 2, 5}), nd::Value(List{1, 3, 3, 5}));
+}
+
+TEST(DslScanl1, SingletonAndEmpty) {
+  EXPECT_EQ(callL("SCANL1(+)", {7}), nd::Value(List{7}));
+  EXPECT_EQ(callL("SCANL1(*)", {}), nd::Value(List{}));
+}
+
+TEST(DslScanl1, ProductSaturates) {
+  EXPECT_EQ(callL("SCANL1(*)", {kMax, kMax, kMax}),
+            nd::Value(List{kMax, kMax, kMax}));
+}
+
+// ------------------------------------------------ int,[int] -> [int] ------
+
+TEST(DslTake, ClampsCount) {
+  EXPECT_EQ(callIL("TAKE", 2, {1, 2, 3}), nd::Value(List{1, 2}));
+  EXPECT_EQ(callIL("TAKE", 5, {1, 2, 3}), nd::Value(List{1, 2, 3}));
+  EXPECT_EQ(callIL("TAKE", 0, {1, 2, 3}), nd::Value(List{}));
+  EXPECT_EQ(callIL("TAKE", -2, {1, 2, 3}), nd::Value(List{}));
+}
+
+TEST(DslDrop, ClampsCount) {
+  EXPECT_EQ(callIL("DROP", 2, {1, 2, 3}), nd::Value(List{3}));
+  EXPECT_EQ(callIL("DROP", 0, {1, 2, 3}), nd::Value(List{1, 2, 3}));
+  EXPECT_EQ(callIL("DROP", 5, {1, 2, 3}), nd::Value(List{}));
+  EXPECT_EQ(callIL("DROP", -1, {1, 2, 3}), nd::Value(List{1, 2, 3}));
+}
+
+TEST(DslDelete, RemovesAllOccurrences) {
+  EXPECT_EQ(callIL("DELETE", 2, {2, 1, 2, 3, 2}), nd::Value(List{1, 3}));
+  EXPECT_EQ(callIL("DELETE", 9, {1, 2}), nd::Value(List{1, 2}));
+  EXPECT_EQ(callIL("DELETE", 0, {}), nd::Value(List{}));
+}
+
+TEST(DslInsert, AppendsToEnd) {
+  EXPECT_EQ(callIL("INSERT", 9, {1, 2}), nd::Value(List{1, 2, 9}));
+  EXPECT_EQ(callIL("INSERT", -1, {}), nd::Value(List{-1}));
+}
+
+// ---------------------------------------------- [int],[int] -> [int] ------
+
+TEST(DslZipWith, TruncatesToShorterList) {
+  EXPECT_EQ(callLL("ZIPWITH(+)", {1, 2, 3}, {10, 20}),
+            nd::Value(List{11, 22}));
+  EXPECT_EQ(callLL("ZIPWITH(+)", {}, {1, 2}), nd::Value(List{}));
+}
+
+TEST(DslZipWith, AllFiveLambdas) {
+  const List a = {4, 1, 6};
+  const List b = {2, 5, 6};
+  EXPECT_EQ(callLL("ZIPWITH(+)", a, b), nd::Value(List{6, 6, 12}));
+  EXPECT_EQ(callLL("ZIPWITH(-)", a, b), nd::Value(List{2, -4, 0}));
+  EXPECT_EQ(callLL("ZIPWITH(*)", a, b), nd::Value(List{8, 5, 36}));
+  EXPECT_EQ(callLL("ZIPWITH(min)", a, b), nd::Value(List{2, 1, 6}));
+  EXPECT_EQ(callLL("ZIPWITH(max)", a, b), nd::Value(List{4, 5, 6}));
+}
+
+TEST(DslZipWith, ProductSaturates) {
+  EXPECT_EQ(callLL("ZIPWITH(*)", {kMax}, {2}), nd::Value(List{kMax}));
+  EXPECT_EQ(callLL("ZIPWITH(*)", {kMin}, {2}), nd::Value(List{kMin}));
+}
+
+// ------------------------------------------------- totality sweep ---------
+
+class AllFunctionsTotal : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllFunctionsTotal, NeverThrowsOnEdgeInputs) {
+  const auto id = static_cast<nd::FuncId>(GetParam());
+  const auto& info = nd::functionInfo(id);
+  const std::vector<List> lists = {
+      {}, {0}, {kMax, kMin}, {-1, -2, -3}, {5, 5, 5, 5, 5, 5, 5, 5}};
+  const std::vector<std::int32_t> ints = {0, -1, 1, kMax, kMin};
+
+  auto check = [&](const std::vector<nd::Value>& args) {
+    const nd::Value out =
+        nd::applyFunction(id, std::span<const nd::Value>(args));
+    EXPECT_EQ(out.type(), info.returnType);
+  };
+
+  if (info.arity == 1) {
+    for (const auto& l : lists) check({nd::Value(l)});
+  } else if (info.argTypes[0] == nd::Type::Int) {
+    for (const auto& n : ints)
+      for (const auto& l : lists) check({nd::Value(n), nd::Value(l)});
+  } else {
+    for (const auto& a : lists)
+      for (const auto& b : lists) check({nd::Value(a), nd::Value(b)});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllFunctionsTotal,
+                         ::testing::Range(0, int(nd::kNumFunctions)),
+                         [](const auto& info) {
+                           return std::string(
+                                      nd::functionInfo(
+                                          static_cast<nd::FuncId>(info.param))
+                                          .name)
+                                      .substr(0, 3) +
+                                  std::to_string(info.param);
+                         });

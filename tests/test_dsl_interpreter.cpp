@@ -1,0 +1,191 @@
+// Interpreter tests: type-driven argument resolution (Appendix A rules),
+// default values, trace capture, and the paper's Table 1 example.
+#include <gtest/gtest.h>
+
+#include "dsl/interpreter.hpp"
+#include "dsl/program.hpp"
+#include "dsl/value.hpp"
+
+namespace nd = netsyn::dsl;
+
+namespace {
+
+using List = std::vector<std::int32_t>;
+
+nd::Program prog(const std::vector<std::string>& names) {
+  std::vector<nd::FuncId> fns;
+  for (const auto& n : names) {
+    const auto id = nd::functionByName(n);
+    EXPECT_TRUE(id.has_value()) << n;
+    fns.push_back(*id);
+  }
+  return nd::Program(std::move(fns));
+}
+
+}  // namespace
+
+TEST(Interpreter, PaperTable1Example) {
+  // FILTER(>0) | MAP(*2) | SORT | REVERSE on [-2, 10, 3, -4, 5, 2]
+  // must produce [20, 10, 6, 4] (paper Table 1).
+  const auto p = prog({"FILTER(>0)", "MAP(*2)", "SORT", "REVERSE"});
+  const auto result = nd::run(p, {nd::Value(List{-2, 10, 3, -4, 5, 2})});
+  EXPECT_EQ(result.output, nd::Value(List{20, 10, 6, 4}));
+  ASSERT_EQ(result.trace.size(), 4u);
+  EXPECT_EQ(result.trace[0], nd::Value(List{10, 3, 5, 2}));
+  EXPECT_EQ(result.trace[1], nd::Value(List{20, 6, 10, 4}));
+  EXPECT_EQ(result.trace[2], nd::Value(List{4, 6, 10, 20}));
+  EXPECT_EQ(result.trace[3], nd::Value(List{20, 10, 6, 4}));
+}
+
+TEST(Interpreter, ChainsListOutputsThroughStatements) {
+  const auto p = prog({"MAP(+1)", "MAP(*2)"});
+  EXPECT_EQ(nd::eval(p, {nd::Value(List{1, 2})}), nd::Value(List{4, 6}));
+}
+
+TEST(Interpreter, IntArgumentComesFromMostRecentIntStatement) {
+  // HEAD produces an int which TAKE must consume; TAKE's list argument is
+  // the program input (most recent list producer).
+  const auto p = prog({"HEAD", "TAKE"});
+  EXPECT_EQ(nd::eval(p, {nd::Value(List{2, 9, 8, 7})}), nd::Value(List{2, 9}));
+}
+
+TEST(Interpreter, IntArgumentFallsBackToProgramInput) {
+  const auto p = prog({"TAKE"});
+  EXPECT_EQ(nd::eval(p, {nd::Value(List{5, 6, 7}), nd::Value(2)}),
+            nd::Value(List{5, 6}));
+}
+
+TEST(Interpreter, MissingIntYieldsDefaultZero) {
+  // No int statement and no int input: DROP receives the default 0 and the
+  // list passes through unchanged (Appendix A's fourth-call example).
+  const auto p = prog({"DROP"});
+  EXPECT_EQ(nd::eval(p, {nd::Value(List{1, 2, 3})}), nd::Value(List{1, 2, 3}));
+}
+
+TEST(Interpreter, MissingListYieldsDefaultEmpty) {
+  // Program whose only input is an int: HEAD gets the default empty list.
+  const auto p = prog({"HEAD"});
+  EXPECT_EQ(nd::eval(p, {nd::Value(7)}), nd::Value(0));
+}
+
+TEST(Interpreter, NoInputsAtAllUsesDefaults) {
+  const auto p = prog({"SUM"});
+  EXPECT_EQ(nd::eval(p, {}), nd::Value(0));
+}
+
+TEST(Interpreter, ZipWithTakesTwoMostRecentDistinctLists) {
+  // MAP(+1) output zipped with the program input: (v+1) + v = 2v+1.
+  const auto p = prog({"MAP(+1)", "ZIPWITH(+)"});
+  EXPECT_EQ(nd::eval(p, {nd::Value(List{1, 2, 3})}), nd::Value(List{3, 5, 7}));
+}
+
+TEST(Interpreter, ZipWithReusesSoleProducerForBothSlots) {
+  // First statement: the program input is the only list, so it is zipped
+  // with itself (doubling).
+  const auto p = prog({"ZIPWITH(+)"});
+  EXPECT_EQ(nd::eval(p, {nd::Value(List{1, 2, 3})}), nd::Value(List{2, 4, 6}));
+}
+
+TEST(Interpreter, ZipWithSubtractDistinguishesSlotOrder) {
+  // slot0 = most recent producer (MAP(*3) output), slot1 = program input:
+  // 3v - v = 2v.
+  const auto p = prog({"MAP(*3)", "ZIPWITH(-)"});
+  EXPECT_EQ(nd::eval(p, {nd::Value(List{1, 2})}), nd::Value(List{2, 4}));
+}
+
+TEST(Interpreter, InputsScannedMostRecentFirst) {
+  // Two inputs (list, int): SEARCH takes the int input even though the list
+  // comes first positionally.
+  const auto p = prog({"SEARCH"});
+  EXPECT_EQ(nd::eval(p, {nd::Value(List{4, 5, 6}), nd::Value(6)}),
+            nd::Value(2));
+}
+
+TEST(Interpreter, StatementOutputShadowsProgramInput) {
+  // FILTER(<0) of [1,2] -> []; REVERSE must use that (empty) list, not the
+  // program input.
+  const auto p = prog({"FILTER(<0)", "REVERSE"});
+  EXPECT_EQ(nd::eval(p, {nd::Value(List{1, 2})}), nd::Value(List{}));
+}
+
+TEST(Interpreter, IntStatementDoesNotShadowListResolution) {
+  // SUM produces an int between the input list and REVERSE; REVERSE must
+  // skip it and find the list input.
+  const auto p = prog({"SUM", "INSERT"});
+  // SUM([1,2,3]) = 6; INSERT(6, [1,2,3]) = [1,2,3,6].
+  EXPECT_EQ(nd::eval(p, {nd::Value(List{1, 2, 3})}),
+            nd::Value(List{1, 2, 3, 6}));
+}
+
+TEST(Interpreter, TraceHasOneEntryPerStatement) {
+  const auto p = prog({"SORT", "REVERSE", "HEAD"});
+  const auto result = nd::run(p, {nd::Value(List{3, 1, 2})});
+  ASSERT_EQ(result.trace.size(), 3u);
+  EXPECT_EQ(result.trace[0], nd::Value(List{1, 2, 3}));
+  EXPECT_EQ(result.trace[1], nd::Value(List{3, 2, 1}));
+  EXPECT_EQ(result.trace[2], nd::Value(3));
+  EXPECT_EQ(result.output, nd::Value(3));
+}
+
+TEST(Interpreter, EmptyProgramYieldsDefaultListOutput) {
+  const auto result = nd::run(nd::Program{}, {nd::Value(List{1})});
+  EXPECT_TRUE(result.trace.empty());
+  EXPECT_EQ(result.output, nd::Value(List{}));
+}
+
+TEST(Interpreter, SignatureOfExtractsTypes) {
+  const auto sig = nd::signatureOf({nd::Value(List{1}), nd::Value(3)});
+  ASSERT_EQ(sig.size(), 2u);
+  EXPECT_EQ(sig[0], nd::Type::List);
+  EXPECT_EQ(sig[1], nd::Type::Int);
+}
+
+TEST(ArgPlan, ResolvesSourcesStatically) {
+  const auto p = prog({"HEAD", "TAKE"});
+  const auto plan = nd::computeArgPlan(p, {nd::Type::List});
+  ASSERT_EQ(plan.size(), 2u);
+  // HEAD: one list arg <- program input 0.
+  EXPECT_EQ(plan[0].arity, 1);
+  EXPECT_EQ(plan[0].args[0].kind, nd::ArgSource::Kind::Input);
+  EXPECT_EQ(plan[0].args[0].index, 0);
+  // TAKE: int <- statement 0, list <- input 0.
+  EXPECT_EQ(plan[1].arity, 2);
+  EXPECT_EQ(plan[1].args[0].kind, nd::ArgSource::Kind::Statement);
+  EXPECT_EQ(plan[1].args[0].index, 0);
+  EXPECT_EQ(plan[1].args[1].kind, nd::ArgSource::Kind::Input);
+  EXPECT_EQ(plan[1].args[1].index, 0);
+}
+
+TEST(ArgPlan, DefaultsWhenNothingMatches) {
+  const auto p = prog({"DROP"});
+  const auto plan = nd::computeArgPlan(p, {nd::Type::List});
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].args[0].kind, nd::ArgSource::Kind::Default);  // int arg
+  EXPECT_EQ(plan[0].args[1].kind, nd::ArgSource::Kind::Input);
+}
+
+TEST(ArgPlan, ZipWithConsumesDistinctSources) {
+  const auto p = prog({"MAP(+1)", "MAP(*2)", "ZIPWITH(+)"});
+  const auto plan = nd::computeArgPlan(p, {nd::Type::List});
+  const auto& zip = plan[2];
+  EXPECT_EQ(zip.args[0].kind, nd::ArgSource::Kind::Statement);
+  EXPECT_EQ(zip.args[0].index, 1);  // most recent list
+  EXPECT_EQ(zip.args[1].kind, nd::ArgSource::Kind::Statement);
+  EXPECT_EQ(zip.args[1].index, 0);  // second most recent
+}
+
+// Paper §4.2.1 worked example: the candidate P_r = FILTER(>0) | MAP(*2) |
+// REVERSE | DROP run on [-2, 10, 3, -4, 5, 2]. With no int producer in
+// scope, DROP receives the default 0 under Appendix A's rules; the first
+// three trace entries match the paper's published trace exactly.
+TEST(Interpreter, PaperSection421CandidateTracePrefix) {
+  const auto p = prog({"FILTER(>0)", "MAP(*2)", "REVERSE", "DROP"});
+  const auto result = nd::run(p, {nd::Value(List{-2, 10, 3, -4, 5, 2})});
+  ASSERT_EQ(result.trace.size(), 4u);
+  EXPECT_EQ(result.trace[0], nd::Value(List{10, 3, 5, 2}));
+  EXPECT_EQ(result.trace[1], nd::Value(List{20, 6, 10, 4}));
+  EXPECT_EQ(result.trace[2], nd::Value(List{4, 10, 6, 20}));
+  // DROP(default 0) keeps the whole list; the paper's figure assumed a
+  // literal 2, which the DSL grammar itself cannot express.
+  EXPECT_EQ(result.trace[3], nd::Value(List{4, 10, 6, 20}));
+}

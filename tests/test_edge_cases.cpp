@@ -1,0 +1,175 @@
+// Edge cases across modules: exotic input signatures, empty-output scoring,
+// dead-code-free enumeration, target-aware method rewiring, and report
+// corner cases.
+#include <gtest/gtest.h>
+
+#include "baselines/deepcoder.hpp"
+#include "dsl/dce.hpp"
+#include "dsl/generator.hpp"
+#include "fitness/edit.hpp"
+#include "harness/registry.hpp"
+#include "harness/runner.hpp"
+#include "util/rng.hpp"
+
+namespace nb = netsyn::baselines;
+namespace nc = netsyn::core;
+namespace nd = netsyn::dsl;
+namespace nf = netsyn::fitness;
+namespace nh = netsyn::harness;
+using netsyn::util::Rng;
+
+namespace {
+
+nd::Program prog(const std::string& text) {
+  auto p = nd::Program::fromString(text);
+  EXPECT_TRUE(p.has_value()) << text;
+  return *p;
+}
+
+using L = std::vector<std::int32_t>;
+
+}  // namespace
+
+// ------------------------------------------- exotic input signatures ------
+
+TEST(MultiInput, ZipWithConsumesTwoListInputs) {
+  // Signature (list, list): ZIPWITH as the first statement must combine the
+  // two program inputs, most recent (second) first.
+  const auto p = prog("ZIPWITH(-)");
+  const auto out = nd::eval(p, {nd::Value(L{10, 20}), nd::Value(L{1, 2})});
+  // slot0 = input 1 (most recent), slot1 = input 0: (1-10, 2-20).
+  EXPECT_EQ(out, nd::Value(L{-9, -18}));
+}
+
+TEST(MultiInput, TwoIntInputsMostRecentWins) {
+  const auto p = prog("TAKE");
+  const auto out = nd::eval(
+      p, {nd::Value(L{7, 8, 9}), nd::Value(1), nd::Value(2)});
+  EXPECT_EQ(out, nd::Value(L{7, 8}));  // uses the last int input (2)
+}
+
+TEST(MultiInput, DceUnderTwoListSignature) {
+  // With two list inputs, ZIPWITH's slots both bind to inputs, so a prior
+  // list statement shadows only one of them.
+  const nd::InputSignature sig = {nd::Type::List, nd::Type::List};
+  const auto p = prog("SORT | ZIPWITH(+)");
+  // ZIPWITH: slot0 = SORT output, slot1 = input 1 -> SORT is live.
+  EXPECT_TRUE(nd::isFullyLive(p, sig));
+}
+
+TEST(MultiInput, GeneratorCanTargetCustomSignatures) {
+  Rng rng(1);
+  const nd::Generator gen;
+  const nd::InputSignature sig = {nd::Type::List, nd::Type::List};
+  const auto p = gen.randomProgram(5, sig, rng);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(nd::isFullyLive(*p, sig));
+  const auto inputs = gen.randomInputs(sig, rng);
+  EXPECT_EQ(inputs.size(), 2u);
+  EXPECT_EQ(nd::run(*p, inputs).trace.size(), 5u);
+}
+
+// --------------------------------------------------- scoring corners ------
+
+TEST(EditFitness, EmptySpecScoresPerfect) {
+  nf::EditDistanceFitness fit;
+  nd::Spec spec;
+  std::vector<nd::ExecResult> runs;
+  EXPECT_DOUBLE_EQ(fit.score(nd::Program{}, {spec, runs}), 1.0);
+}
+
+TEST(EditFitness, IntOutputSpecs) {
+  nd::Spec spec;
+  spec.examples.push_back({{nd::Value(L{1, 2, 3})}, nd::Value(6)});
+  std::vector<nd::ExecResult> exact(1), near(1), far(1);
+  exact[0].output = nd::Value(6);
+  near[0].output = nd::Value(7);
+  far[0].output = nd::Value(L{1, 2, 3, 4, 5});
+  nf::EditDistanceFitness fit;
+  const double e = fit.score(nd::Program{}, {spec, exact});
+  const double n = fit.score(nd::Program{}, {spec, near});
+  const double f = fit.score(nd::Program{}, {spec, far});
+  EXPECT_DOUBLE_EQ(e, 1.0);
+  EXPECT_GT(n, f);
+}
+
+// ----------------------------------------- DeepCoder dead-code skips ------
+
+TEST(DeepCoder, DeadCodeProgramsAreSkippedFree) {
+  // Unsatisfiable spec, targetLength 2: the enumerator visits all length-1
+  // programs (41) plus only the *fully-live* length-2 programs. The total
+  // charged must therefore be strictly below 41 + 41^2.
+  nd::Spec spec;
+  spec.examples.push_back(
+      {{nd::Value(L{1, 2})}, nd::Value(L{9, 9, 9, 9, 9, 9, 9, 9, 9})});
+  struct Uniform final : nf::ProbMapProvider {
+    std::array<double, nd::kNumFunctions> probMap(const nd::Spec&) override {
+      std::array<double, nd::kNumFunctions> m{};
+      m.fill(0.5);
+      return m;
+    }
+  };
+  nb::DeepCoderMethod method(std::make_shared<Uniform>());
+  Rng rng(2);
+  const auto result = method.synthesize(spec, 2, 1u << 20, rng);
+  EXPECT_FALSE(result.found);
+  EXPECT_LT(result.candidatesSearched,
+            nd::kNumFunctions + nd::kNumFunctions * nd::kNumFunctions);
+  EXPECT_GT(result.candidatesSearched, nd::kNumFunctions);
+}
+
+// ------------------------------------------------- target-aware oracle ----
+
+TEST(OracleMethod, SetTargetRewiresTheFitness) {
+  Rng rng(3);
+  const nd::Generator gen;
+  const auto tcA = gen.randomTestCase(3, 5, false, rng);
+  const auto tcB = gen.randomTestCase(3, 5, false, rng);
+  ASSERT_TRUE(tcA && tcB);
+  auto cfg = nh::ExperimentConfig::forScale("ci");
+  cfg.synthesizer.ga.populationSize = 25;
+  auto oracle = nh::makeOracle(cfg, nf::BalanceMetric::CF);
+  auto* ta = dynamic_cast<nh::TargetAware*>(oracle.get());
+  ASSERT_NE(ta, nullptr);
+
+  ta->setTarget(tcA->program);
+  Rng r1(4);
+  const auto ra = oracle->synthesize(tcA->spec, 3, 30000, r1);
+  ta->setTarget(tcB->program);
+  Rng r2(5);
+  const auto rb = oracle->synthesize(tcB->spec, 3, 30000, r2);
+  // Each run solves its own spec (oracle guidance matches the spec's target).
+  if (ra.found) {
+    EXPECT_TRUE(nd::satisfiesSpec(ra.solution, tcA->spec));
+  }
+  if (rb.found) {
+    EXPECT_TRUE(nd::satisfiesSpec(rb.solution, tcB->spec));
+  }
+  EXPECT_TRUE(ra.found || rb.found);
+}
+
+// ---------------------------------------------------- report corners ------
+
+TEST(MethodReport, NoProgramsYieldsZeroes) {
+  nh::MethodReport report;
+  EXPECT_DOUBLE_EQ(report.synthesizedFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(report.meanSynthesisRate(), 0.0);
+  EXPECT_DOUBLE_EQ(report.meanGenerations(), 0.0);
+}
+
+TEST(MethodReport, MeanGenerationsIgnoresUnsolved) {
+  nh::MethodReport report;
+  nh::ProgramResult solved;
+  solved.runs.push_back({true, 10, 0.1, 100});
+  nh::ProgramResult unsolved;
+  unsolved.runs.push_back({false, 999, 9.9, 5000});
+  report.programs = {solved, unsolved};
+  EXPECT_DOUBLE_EQ(report.meanGenerations(), 100.0);
+}
+
+TEST(ProgramResult, NoRunsMeansUnsynthesized) {
+  nh::ProgramResult pr;
+  EXPECT_FALSE(pr.synthesized());
+  EXPECT_DOUBLE_EQ(pr.synthesisRate(), 0.0);
+  EXPECT_DOUBLE_EQ(pr.meanCandidatesWhenFound(), 0.0);
+}

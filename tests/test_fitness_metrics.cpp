@@ -1,0 +1,297 @@
+// Tests for program-closeness metrics (CF / LCS / substring), edit-distance
+// fitness, token encoding, and the balanced training-candidate construction.
+#include <gtest/gtest.h>
+
+#include "dsl/generator.hpp"
+#include "fitness/dataset.hpp"
+#include "fitness/edit.hpp"
+#include "fitness/encoding.hpp"
+#include "fitness/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace nd = netsyn::dsl;
+namespace nf = netsyn::fitness;
+using netsyn::util::Rng;
+
+namespace {
+
+nd::Program prog(const std::string& text) {
+  auto p = nd::Program::fromString(text);
+  EXPECT_TRUE(p.has_value()) << text;
+  return *p;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ CF ----------
+
+TEST(CommonFunctions, PaperWorkedExample) {
+  // P_t = FILTER(>0) MAP(*2) SORT REVERSE; P_r = FILTER(>0) MAP(*2) REVERSE
+  // DROP. The paper reports f_CF = 3.
+  const auto pt = prog("FILTER(>0) | MAP(*2) | SORT | REVERSE");
+  const auto pr = prog("FILTER(>0) | MAP(*2) | REVERSE | DROP");
+  EXPECT_EQ(nf::commonFunctions(pt, pr), 3u);
+}
+
+TEST(CommonFunctions, MultisetSemantics) {
+  // Duplicates intersect by minimum count.
+  const auto a = prog("SORT | SORT | REVERSE");
+  const auto b = prog("SORT | REVERSE | REVERSE");
+  EXPECT_EQ(nf::commonFunctions(a, b), 2u);  // one SORT + one REVERSE
+}
+
+TEST(CommonFunctions, DisjointAndIdentical) {
+  const auto a = prog("SORT | REVERSE");
+  const auto b = prog("HEAD | TAKE");
+  EXPECT_EQ(nf::commonFunctions(a, b), 0u);
+  EXPECT_EQ(nf::commonFunctions(a, a), 2u);
+}
+
+TEST(CommonFunctions, EmptyPrograms) {
+  EXPECT_EQ(nf::commonFunctions(nd::Program{}, prog("SORT")), 0u);
+  EXPECT_EQ(nf::commonFunctions(nd::Program{}, nd::Program{}), 0u);
+}
+
+// ------------------------------------------------------------ LCS ---------
+
+TEST(Lcs, StandardSubsequence) {
+  const auto pt = prog("FILTER(>0) | MAP(*2) | SORT | REVERSE");
+  const auto pr = prog("FILTER(>0) | MAP(*2) | REVERSE | DROP");
+  // Standard LCS is FILTER, MAP, REVERSE = 3. (The paper's prose says 2,
+  // which matches the longest common *substring*; see EXPERIMENTS.md.)
+  EXPECT_EQ(nf::longestCommonSubsequence(pt, pr), 3u);
+  EXPECT_EQ(nf::longestCommonSubstring(pt, pr), 2u);
+}
+
+TEST(Lcs, OrderMatters) {
+  const auto a = prog("SORT | REVERSE | HEAD");
+  const auto b = prog("HEAD | REVERSE | SORT");
+  EXPECT_EQ(nf::longestCommonSubsequence(a, b), 1u);
+  EXPECT_EQ(nf::commonFunctions(a, b), 3u);
+}
+
+TEST(Lcs, EmptyAndIdentical) {
+  const auto a = prog("SORT | REVERSE | HEAD");
+  EXPECT_EQ(nf::longestCommonSubsequence(a, nd::Program{}), 0u);
+  EXPECT_EQ(nf::longestCommonSubsequence(a, a), 3u);
+  EXPECT_EQ(nf::longestCommonSubstring(a, a), 3u);
+}
+
+class MetricProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricProperties, BoundsSymmetryAndDominance) {
+  Rng rng(500 + GetParam());
+  const nd::Generator gen;
+  const nd::InputSignature sig = {nd::Type::List};
+  for (int iter = 0; iter < 40; ++iter) {
+    const auto a = gen.randomProgram(1 + rng.uniform(8), sig, rng);
+    const auto b = gen.randomProgram(1 + rng.uniform(8), sig, rng);
+    ASSERT_TRUE(a && b);
+    const auto cf = nf::commonFunctions(*a, *b);
+    const auto lcs = nf::longestCommonSubsequence(*a, *b);
+    const auto sub = nf::longestCommonSubstring(*a, *b);
+    // Symmetry.
+    EXPECT_EQ(cf, nf::commonFunctions(*b, *a));
+    EXPECT_EQ(lcs, nf::longestCommonSubsequence(*b, *a));
+    // Bounds: substring <= subsequence <= CF <= min length.
+    EXPECT_LE(sub, lcs);
+    EXPECT_LE(lcs, cf);
+    EXPECT_LE(cf, std::min(a->length(), b->length()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricProperties, ::testing::Range(0, 6));
+
+// ----------------------------------------------------- oracle fitness -----
+
+TEST(OracleFitness, ScoresAgainstTarget) {
+  const auto target = prog("FILTER(>0) | MAP(*2) | SORT | REVERSE");
+  nf::OracleCF cf(target);
+  nf::OracleLCS lcs(target);
+  nd::Spec spec;  // oracle ignores the spec
+  std::vector<nd::ExecResult> runs;
+  const nf::EvalContext ctx{spec, runs};
+  const auto gene = prog("FILTER(>0) | MAP(*2) | REVERSE | DROP");
+  EXPECT_DOUBLE_EQ(cf.score(gene, ctx), 3.0);
+  EXPECT_DOUBLE_EQ(lcs.score(gene, ctx), 3.0);
+  EXPECT_DOUBLE_EQ(cf.score(target, ctx), 4.0);
+  EXPECT_DOUBLE_EQ(cf.maxScore(4), 4.0);
+  EXPECT_EQ(cf.name(), "Oracle_CF");
+  EXPECT_EQ(lcs.name(), "Oracle_LCS");
+}
+
+// ------------------------------------------------------ edit distance -----
+
+TEST(EditDistance, ListTokenLevenshtein) {
+  using L = std::vector<std::int32_t>;
+  EXPECT_EQ(nf::valueEditDistance(nd::Value(L{1, 2, 3}), nd::Value(L{1, 2, 3})),
+            0u);
+  EXPECT_EQ(nf::valueEditDistance(nd::Value(L{1, 2, 3}), nd::Value(L{1, 3})),
+            1u);
+  EXPECT_EQ(nf::valueEditDistance(nd::Value(L{}), nd::Value(L{1, 2})), 2u);
+  EXPECT_EQ(nf::valueEditDistance(nd::Value(L{1, 2}), nd::Value(L{2, 1})), 2u);
+}
+
+TEST(EditDistance, IntVersusList) {
+  using L = std::vector<std::int32_t>;
+  EXPECT_EQ(nf::valueEditDistance(nd::Value(5), nd::Value(5)), 0u);
+  EXPECT_EQ(nf::valueEditDistance(nd::Value(5), nd::Value(6)), 1u);
+  EXPECT_EQ(nf::valueEditDistance(nd::Value(5), nd::Value(L{5, 6})), 1u);
+}
+
+TEST(EditFitness, PerfectOutputsScoreOne) {
+  Rng rng(3);
+  const nd::Generator gen;
+  const auto tc = gen.randomTestCase(3, 5, false, rng);
+  ASSERT_TRUE(tc.has_value());
+  std::vector<nd::ExecResult> runs;
+  for (const auto& ex : tc->spec.examples)
+    runs.push_back(nd::run(tc->program, ex.inputs));
+  nf::EditDistanceFitness fit;
+  const nf::EvalContext ctx{tc->spec, runs};
+  EXPECT_DOUBLE_EQ(fit.score(tc->program, ctx), 1.0);
+}
+
+TEST(EditFitness, FartherOutputsScoreLower) {
+  // Spec expects [1,2,3]; candidate A outputs [1,2,3,4] (dist 1), candidate
+  // B outputs [9,9,9,9,9] (dist 5). Build contexts by hand.
+  using L = std::vector<std::int32_t>;
+  nd::Spec spec;
+  spec.examples.push_back({{nd::Value(L{1, 2, 3})}, nd::Value(L{1, 2, 3})});
+  nf::EditDistanceFitness fit;
+  std::vector<nd::ExecResult> runsA(1), runsB(1);
+  runsA[0].output = nd::Value(L{1, 2, 3, 4});
+  runsB[0].output = nd::Value(L{9, 9, 9, 9, 9});
+  const double a = fit.score(nd::Program{}, {spec, runsA});
+  const double b = fit.score(nd::Program{}, {spec, runsB});
+  EXPECT_GT(a, b);
+  EXPECT_DOUBLE_EQ(a, 0.5);
+}
+
+// ----------------------------------------------------------- encoder ------
+
+TEST(TokenEncoder, IntAndListMarkers) {
+  nf::TokenEncoder enc({.vmax = 8, .maxValueTokens = 4});
+  EXPECT_EQ(enc.vocabSize(), 18u);
+  const auto ints = enc.encodeValue(nd::Value(3));
+  ASSERT_EQ(ints.size(), 2u);
+  EXPECT_EQ(ints[0], enc.intMarker());
+  EXPECT_EQ(ints[1], enc.tokenOf(3));
+  const auto lists =
+      enc.encodeValue(nd::Value(std::vector<std::int32_t>{1, -2}));
+  ASSERT_EQ(lists.size(), 3u);
+  EXPECT_EQ(lists[0], enc.listMarker());
+}
+
+TEST(TokenEncoder, ClampsOutOfRangeValues) {
+  nf::TokenEncoder enc({.vmax = 8, .maxValueTokens = 4});
+  EXPECT_EQ(enc.tokenOf(1000), enc.tokenOf(7));    // clamps to vmax-1
+  EXPECT_EQ(enc.tokenOf(-1000), enc.tokenOf(-8));  // clamps to -vmax
+  EXPECT_LT(enc.tokenOf(1000), enc.vocabSize());
+}
+
+TEST(TokenEncoder, TruncatesLongLists) {
+  nf::TokenEncoder enc({.vmax = 8, .maxValueTokens = 3});
+  const auto toks = enc.encodeValue(
+      nd::Value(std::vector<std::int32_t>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(toks.size(), 4u);  // marker + 3
+}
+
+TEST(TokenEncoder, EncodeInputsConcatenates) {
+  nf::TokenEncoder enc({.vmax = 8, .maxValueTokens = 4});
+  const auto toks = enc.encodeInputs(
+      {nd::Value(std::vector<std::int32_t>{1, 2}), nd::Value(7)});
+  EXPECT_EQ(toks.size(), 3u + 2u);
+}
+
+TEST(TokenEncoder, AllTokensBelowVocabSize) {
+  nf::TokenEncoder enc({.vmax = 16, .maxValueTokens = 8});
+  Rng rng(9);
+  const nd::Generator gen;
+  for (int i = 0; i < 50; ++i) {
+    const auto v = gen.randomValue(nd::Type::List, rng);
+    for (auto t : enc.encodeValue(v)) EXPECT_LT(t, enc.vocabSize());
+  }
+}
+
+// ------------------------------------------------- balanced dataset -------
+
+class BalancedCandidates : public ::testing::TestWithParam<int> {};
+
+TEST_P(BalancedCandidates, ExactCfLabel) {
+  const auto label = static_cast<std::size_t>(GetParam());
+  Rng rng(700 + GetParam());
+  const nf::DatasetBuilder builder;
+  const nd::Generator gen;
+  const nd::InputSignature sig = {nd::Type::List};
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto target = gen.randomProgram(5, sig, rng);
+    ASSERT_TRUE(target.has_value());
+    const auto cand = builder.makeCandidateWithLabel(
+        *target, label, nf::BalanceMetric::CF, rng);
+    EXPECT_EQ(cand.length(), 5u);
+    EXPECT_EQ(nf::commonFunctions(cand, *target), label);
+  }
+}
+
+TEST_P(BalancedCandidates, ExactLcsLabel) {
+  const auto label = static_cast<std::size_t>(GetParam());
+  Rng rng(800 + GetParam());
+  const nf::DatasetBuilder builder;
+  const nd::Generator gen;
+  const nd::InputSignature sig = {nd::Type::List};
+  for (int iter = 0; iter < 20; ++iter) {
+    const auto target = gen.randomProgram(5, sig, rng);
+    ASSERT_TRUE(target.has_value());
+    const auto cand = builder.makeCandidateWithLabel(
+        *target, label, nf::BalanceMetric::LCS, rng);
+    EXPECT_EQ(cand.length(), 5u);
+    EXPECT_EQ(nf::longestCommonSubsequence(cand, *target), label);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Labels, BalancedCandidates,
+                         ::testing::Range(0, 6));  // labels 0..5
+
+TEST(DatasetBuilder, BuildBalancesLabels) {
+  Rng rng(11);
+  const nf::DatasetBuilder builder(
+      {.programLength = 4, .numExamples = 3, .generator = {}});
+  const auto set = builder.build(20, nf::BalanceMetric::CF, rng);
+  ASSERT_EQ(set.size(), 20u);
+  std::vector<int> counts(5, 0);
+  for (const auto& s : set) {
+    ASSERT_LE(s.cf, 4u);
+    ++counts[s.cf];
+    // Structural invariants.
+    EXPECT_EQ(s.traces.size(), s.spec.size());
+    for (const auto& t : s.traces) EXPECT_EQ(t.size(), s.candidate.length());
+    EXPECT_EQ(s.funcPresence.size(), nd::kNumFunctions);
+    EXPECT_EQ(s.cf, nf::commonFunctions(s.candidate, s.target));
+    EXPECT_EQ(s.lcs, nf::longestCommonSubsequence(s.candidate, s.target));
+  }
+  // 20 samples over 5 labels -> exactly 4 each (labels cycle).
+  for (int c : counts) EXPECT_EQ(c, 4);
+}
+
+TEST(DatasetBuilder, TracesMatchInterpreterOutput) {
+  Rng rng(13);
+  const nf::DatasetBuilder builder;
+  const auto s = builder.makeSample(3, nf::BalanceMetric::CF, rng);
+  ASSERT_TRUE(s.has_value());
+  for (std::size_t i = 0; i < s->spec.size(); ++i) {
+    const auto result = nd::run(s->candidate, s->spec.examples[i].inputs);
+    EXPECT_EQ(result.trace, s->traces[i]);
+  }
+}
+
+TEST(DatasetBuilder, LabelAboveLengthThrows) {
+  Rng rng(17);
+  const nf::DatasetBuilder builder;
+  const nd::Generator gen;
+  const auto target = gen.randomProgram(4, {nd::Type::List}, rng);
+  ASSERT_TRUE(target.has_value());
+  EXPECT_THROW(builder.makeCandidateWithLabel(*target, 5,
+                                              nf::BalanceMetric::CF, rng),
+               std::invalid_argument);
+}

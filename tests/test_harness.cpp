@@ -1,0 +1,278 @@
+// Harness tests: configuration presets and overrides, workload generation,
+// percentile-row math, the runner, and the method registry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "harness/config.hpp"
+#include "harness/models.hpp"
+#include "harness/registry.hpp"
+#include "harness/runner.hpp"
+#include "harness/workload.hpp"
+
+namespace nb = netsyn::baselines;
+namespace nc = netsyn::core;
+namespace nd = netsyn::dsl;
+namespace nf = netsyn::fitness;
+namespace nh = netsyn::harness;
+namespace nu = netsyn::util;
+
+// ------------------------------------------------------------ config ------
+
+TEST(Config, CiAndPaperPresets) {
+  const auto ci = nh::ExperimentConfig::forScale("ci");
+  EXPECT_EQ(ci.scaleName, "ci");
+  EXPECT_LT(ci.searchBudget, 100000u);
+
+  const auto paper = nh::ExperimentConfig::forScale("paper");
+  EXPECT_EQ(paper.searchBudget, 3000000u);          // §5
+  EXPECT_EQ(paper.runsPerProgram, 10u);             // K = 10
+  EXPECT_EQ(paper.programsPerLength, 100u);         // §5
+  EXPECT_EQ(paper.trainingPrograms, 4200000u);      // §5
+  EXPECT_EQ(paper.synthesizer.ga.populationSize, 100u);  // Appendix B
+  EXPECT_EQ(paper.synthesizer.ga.eliteCount, 5u);
+  EXPECT_EQ(paper.synthesizer.maxGenerations, 30000u);
+  EXPECT_EQ(paper.programLengths,
+            (std::vector<std::size_t>{5, 7, 10}));
+
+  EXPECT_THROW(nh::ExperimentConfig::forScale("huge"),
+               std::invalid_argument);
+}
+
+TEST(Config, FlagOverrides) {
+  const char* argv[] = {"prog",           "--scale=ci",
+                        "--budget=1234",  "--runs=7",
+                        "--lengths=3,6",  "--programs-per-length=2",
+                        "--seed=99",      "--model-dir=/tmp/zz"};
+  nu::ArgParse args(8, argv);
+  const auto cfg = nh::ExperimentConfig::fromArgs(args);
+  EXPECT_EQ(cfg.searchBudget, 1234u);
+  EXPECT_EQ(cfg.runsPerProgram, 7u);
+  EXPECT_EQ(cfg.programLengths, (std::vector<std::size_t>{3, 6}));
+  EXPECT_EQ(cfg.programsPerLength, 2u);
+  EXPECT_EQ(cfg.seed, 99u);
+  EXPECT_EQ(cfg.modelDir, "/tmp/zz");
+}
+
+TEST(Config, BadLengthsThrow) {
+  const char* argv[] = {"prog", "--lengths=0"};
+  nu::ArgParse args(2, argv);
+  EXPECT_THROW(nh::ExperimentConfig::fromArgs(args), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- workload ------
+
+TEST(Workload, HalfSingletonHalfListAndDeterministic) {
+  auto cfg = nh::ExperimentConfig::forScale("ci");
+  cfg.programsPerLength = 6;
+  const auto a = nh::makeWorkload(cfg, 4);
+  const auto b = nh::makeWorkload(cfg, 4);
+  ASSERT_EQ(a.size(), 6u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].target, b[i].target);  // deterministic under the seed
+    EXPECT_EQ(a[i].length, 4u);
+    EXPECT_EQ(a[i].singleton, i < 3);
+    EXPECT_EQ(a[i].target.outputType(),
+              a[i].singleton ? nd::Type::Int : nd::Type::List);
+    EXPECT_EQ(a[i].spec.size(), cfg.examplesPerProgram);
+    EXPECT_TRUE(nd::satisfiesSpec(a[i].target, a[i].spec));
+  }
+}
+
+TEST(Workload, FullWorkloadCoversAllLengths) {
+  auto cfg = nh::ExperimentConfig::forScale("ci");
+  cfg.programsPerLength = 2;
+  cfg.programLengths = {3, 4, 5};
+  const auto w = nh::makeFullWorkload(cfg);
+  ASSERT_EQ(w.size(), 6u);
+  EXPECT_EQ(w[0].length, 3u);
+  EXPECT_EQ(w[5].length, 5u);
+}
+
+// ----------------------------------------------------- percentile math ----
+
+namespace {
+
+nh::MethodReport syntheticReport(std::vector<double> costs,
+                                 std::size_t unsolved,
+                                 std::size_t budget) {
+  nh::MethodReport report;
+  report.method = "stub";
+  report.budget = budget;
+  for (double c : costs) {
+    nh::ProgramResult pr;
+    pr.runs.push_back(
+        {true, static_cast<std::size_t>(c), c, 1});
+    report.programs.push_back(pr);
+  }
+  for (std::size_t i = 0; i < unsolved; ++i) {
+    nh::ProgramResult pr;
+    pr.runs.push_back({false, budget, 1.0, 1});
+    report.programs.push_back(pr);
+  }
+  return report;
+}
+
+}  // namespace
+
+TEST(PercentileRow, ComputesBudgetFractions) {
+  // 10 programs: 5 solved at 100,200,300,400,500 candidates; 5 unsolved.
+  const auto report =
+      syntheticReport({100, 200, 300, 400, 500}, 5, 1000);
+  const auto row = nh::percentileRow(report, /*useTime=*/false);
+  EXPECT_NEAR(row[0], 0.1, 1e-9);  // 10% of programs -> cheapest (100/1000)
+  EXPECT_NEAR(row[4], 0.5, 1e-9);  // 50% -> 500/1000
+  for (std::size_t i = 5; i < 10; ++i) EXPECT_TRUE(std::isnan(row[i]));
+}
+
+TEST(PercentileRow, TimeVariantUsesSeconds) {
+  const auto report = syntheticReport({1.0, 2.0}, 0, 100);
+  const auto row = nh::percentileRow(report, /*useTime=*/true);
+  EXPECT_NEAR(row[4], 1.0, 1e-9);   // 50% of 2 programs -> 1st cheapest
+  EXPECT_NEAR(row[9], 2.0, 1e-9);   // 100% -> 2nd
+}
+
+TEST(PercentileRow, AllUnsolvedIsAllNaN) {
+  const auto report = syntheticReport({}, 4, 100);
+  const auto row = nh::percentileRow(report, false);
+  for (double v : row) EXPECT_TRUE(std::isnan(v));
+}
+
+TEST(ProgramResult, RateAndMeansOverFoundRuns) {
+  nh::ProgramResult pr;
+  pr.runs.push_back({true, 100, 1.0, 10});
+  pr.runs.push_back({false, 500, 5.0, 50});
+  pr.runs.push_back({true, 300, 3.0, 30});
+  EXPECT_NEAR(pr.synthesisRate(), 2.0 / 3.0, 1e-9);
+  EXPECT_TRUE(pr.synthesized());
+  EXPECT_NEAR(pr.meanCandidatesWhenFound(), 200.0, 1e-9);
+  EXPECT_NEAR(pr.meanSecondsWhenFound(), 2.0, 1e-9);
+  EXPECT_NEAR(pr.meanGenerationsWhenFound(), 20.0, 1e-9);
+}
+
+// -------------------------------------------------------------- runner ----
+
+namespace {
+
+/// Stub method: succeeds iff the target ends with a list function, spending
+/// a fixed candidate count.
+class StubMethod final : public nb::Method {
+ public:
+  std::string name() const override { return "Stub"; }
+  nc::SynthesisResult synthesize(const nd::Spec& spec, std::size_t,
+                                 std::size_t budget,
+                                 netsyn::util::Rng&) override {
+    nc::SynthesisResult r;
+    r.found = spec.examples.front().output.isList();
+    r.candidatesSearched = r.found ? 42 : budget;
+    r.generations = 3;
+    ++calls;
+    return r;
+  }
+  int calls = 0;
+};
+
+}  // namespace
+
+TEST(Runner, RunsKTimesPerProgramAndAggregates) {
+  auto cfg = nh::ExperimentConfig::forScale("ci");
+  cfg.programsPerLength = 4;  // 2 singleton + 2 list
+  cfg.runsPerProgram = 3;
+  const auto workload = nh::makeWorkload(cfg, 4);
+  StubMethod method;
+  const auto report = nh::runMethod(method, workload, cfg, false);
+  EXPECT_EQ(method.calls, 12);
+  EXPECT_EQ(report.programs.size(), 4u);
+  // Stub solves exactly the list programs -> 50%.
+  EXPECT_NEAR(report.synthesizedFraction(), 0.5, 1e-9);
+  EXPECT_NEAR(report.meanSynthesisRate(), 0.5, 1e-9);
+  EXPECT_NEAR(report.meanGenerations(), 3.0, 1e-9);
+}
+
+TEST(Runner, OracleMethodReceivesTarget) {
+  auto cfg = nh::ExperimentConfig::forScale("ci");
+  cfg.programsPerLength = 2;
+  cfg.runsPerProgram = 1;
+  cfg.searchBudget = 20000;
+  cfg.synthesizer.ga.populationSize = 30;
+  const auto workload = nh::makeWorkload(cfg, 3);
+  auto oracle = nh::makeOracle(cfg, nf::BalanceMetric::LCS);
+  const auto report = nh::runMethod(*oracle, workload, cfg, false);
+  // Oracle fitness on length-3 targets should solve essentially everything.
+  EXPECT_GE(report.synthesizedFraction(), 0.5);
+}
+
+// ------------------------------------------------------------- models -----
+
+TEST(Models, BuildModelHeadsAndFpExampleWidth) {
+  auto cfg = nh::ExperimentConfig::forScale("ci");
+  cfg.modelConfig.embedDim = 8;
+  cfg.modelConfig.hiddenDim = 10;
+  const auto cls = nh::buildModel(cfg, nf::HeadKind::Classifier);
+  EXPECT_TRUE(cls->config().useTrace);
+  EXPECT_EQ(cls->config().maxExamples, cfg.modelConfig.maxExamples);
+  const auto fp = nh::buildModel(cfg, nf::HeadKind::Multilabel);
+  EXPECT_FALSE(fp->config().useTrace);
+  EXPECT_EQ(fp->config().maxExamples, cfg.examplesPerProgram);
+}
+
+TEST(Models, LoadOrTrainCachesToDisk) {
+  auto cfg = nh::ExperimentConfig::forScale("ci");
+  cfg.trainingPrograms = 30;
+  cfg.validationPrograms = 10;
+  cfg.trainConfig.epochs = 1;
+  cfg.modelConfig.embedDim = 6;
+  cfg.modelConfig.hiddenDim = 8;
+  cfg.modelDir =
+      (std::filesystem::temp_directory_path() / "netsyn_cache_test").string();
+  std::filesystem::remove_all(cfg.modelDir);
+
+  auto model = nh::buildModel(cfg, nf::HeadKind::Classifier);
+  const bool fromCache1 =
+      nh::loadOrTrain(cfg, *model, nf::BalanceMetric::CF, "cf", true);
+  EXPECT_FALSE(fromCache1);
+  EXPECT_TRUE(std::filesystem::exists(nh::modelCachePath(cfg, "cf")));
+
+  auto model2 = nh::buildModel(cfg, nf::HeadKind::Classifier);
+  const bool fromCache2 =
+      nh::loadOrTrain(cfg, *model2, nf::BalanceMetric::CF, "cf", true);
+  EXPECT_TRUE(fromCache2);
+  std::filesystem::remove_all(cfg.modelDir);
+}
+
+// ------------------------------------------------------------ registry ----
+
+TEST(Registry, AllMethodsHaveUniqueNames) {
+  auto cfg = nh::ExperimentConfig::forScale("ci");
+  cfg.modelConfig.embedDim = 6;
+  cfg.modelConfig.hiddenDim = 8;
+  nh::TrainedModels models;
+  models.cf = nh::buildModel(cfg, nf::HeadKind::Classifier);
+  models.lcs = nh::buildModel(cfg, nf::HeadKind::Classifier);
+  models.fp = nh::buildModel(cfg, nf::HeadKind::Multilabel);
+  const auto methods = nh::makeAllMethods(cfg, models);
+  EXPECT_GE(methods.size(), 9u);
+  std::set<std::string> names;
+  for (const auto& m : methods) names.insert(m->name());
+  EXPECT_EQ(names.size(), methods.size());
+  EXPECT_TRUE(names.count("NetSyn_CF"));
+  EXPECT_TRUE(names.count("DeepCoder"));
+  EXPECT_TRUE(names.count("Oracle_LCS"));
+}
+
+TEST(Registry, NetSynVariantsUseNsAndFpMutation) {
+  auto cfg = nh::ExperimentConfig::forScale("ci");
+  cfg.modelConfig.embedDim = 6;
+  cfg.modelConfig.hiddenDim = 8;
+  nh::TrainedModels models;
+  models.cf = nh::buildModel(cfg, nf::HeadKind::Classifier);
+  models.lcs = nh::buildModel(cfg, nf::HeadKind::Classifier);
+  models.fp = nh::buildModel(cfg, nf::HeadKind::Multilabel);
+  // Construction itself validates the wiring (fpGuidedMutation requires a
+  // ProbMapProvider; NeuralFitness requires a classifier head).
+  for (auto variant : {nh::NetSynVariant::CF, nh::NetSynVariant::LCS,
+                       nh::NetSynVariant::FP}) {
+    EXPECT_NO_THROW(nh::makeNetSyn(cfg, models, variant));
+  }
+}

@@ -1,0 +1,327 @@
+// Layer tests: shapes, gradient flow through LSTM, end-to-end learning on
+// toy problems, optimizer behaviour, and serialization round-trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "nn/layers.hpp"
+#include "nn/optim.hpp"
+#include "nn/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace nn = netsyn::nn;
+using netsyn::util::Rng;
+
+TEST(Layers, XavierBoundsScaleWithFanInOut) {
+  Rng rng(1);
+  const auto m = nn::xavierUniform(10, 10, rng);
+  const float bound = std::sqrt(6.0f / 20.0f);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_LE(std::fabs(m.at(i)), bound);
+  }
+}
+
+TEST(Embedding, LookupReturnsTableRow) {
+  Rng rng(2);
+  nn::ParamStore store;
+  nn::Embedding emb(5, 3, store, rng);
+  const auto v = emb.lookup(2);
+  EXPECT_EQ(v->value().rows(), 1u);
+  EXPECT_EQ(v->value().cols(), 3u);
+  EXPECT_EQ(emb.vocab(), 5u);
+  EXPECT_EQ(emb.dim(), 3u);
+}
+
+TEST(Embedding, GradientFlowsOnlyToLookedUpRows) {
+  Rng rng(3);
+  nn::ParamStore store;
+  nn::Embedding emb(4, 2, store, rng);
+  auto loss = nn::meanAll(emb.lookup(1));
+  store.zeroGrad();
+  nn::backward(loss);
+  const auto& table = store.params()[0];
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      if (r == 1) EXPECT_NE(table->grad()(r, c), 0.0f);
+      else EXPECT_EQ(table->grad()(r, c), 0.0f);
+    }
+  }
+}
+
+TEST(Linear, OutputShapeAndAffine) {
+  Rng rng(4);
+  nn::ParamStore store;
+  nn::Linear lin(3, 2, store, rng);
+  auto y = lin.forward(nn::constant(nn::Matrix(1, 3, 1.0f)));
+  EXPECT_EQ(y->value().rows(), 1u);
+  EXPECT_EQ(y->value().cols(), 2u);
+}
+
+TEST(Lstm, StepAndEncodeShapes) {
+  Rng rng(5);
+  nn::ParamStore store;
+  nn::Lstm lstm(4, 6, store, rng);
+  auto st = lstm.initialState();
+  EXPECT_EQ(st.h->value().cols(), 6u);
+  st = lstm.step(nn::constant(nn::Matrix(1, 4, 0.5f)), st);
+  EXPECT_EQ(st.h->value().cols(), 6u);
+  EXPECT_EQ(st.c->value().cols(), 6u);
+
+  std::vector<nn::Var> seq;
+  for (int i = 0; i < 5; ++i) seq.push_back(nn::constant(nn::Matrix(1, 4, 0.1f * float(i))));
+  auto h = lstm.encode(seq);
+  EXPECT_EQ(h->value().cols(), 6u);
+}
+
+TEST(Lstm, EmptySequenceEncodesToZero) {
+  Rng rng(6);
+  nn::ParamStore store;
+  nn::Lstm lstm(4, 3, store, rng);
+  const auto h = lstm.encode({});
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(h->value().at(i), 0.0f);
+}
+
+TEST(Lstm, HiddenStateIsBounded) {
+  // h = o * tanh(c): |h| <= 1 elementwise regardless of inputs.
+  Rng rng(7);
+  nn::ParamStore store;
+  nn::Lstm lstm(2, 4, store, rng);
+  std::vector<nn::Var> seq;
+  for (int i = 0; i < 20; ++i)
+    seq.push_back(nn::constant(nn::Matrix(1, 2, 100.0f)));
+  const auto h = lstm.encode(seq);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_LE(std::fabs(h->value().at(i)), 1.0f);
+}
+
+TEST(Lstm, ForgetBiasInitializedToOne) {
+  Rng rng(8);
+  nn::ParamStore store;
+  nn::Lstm lstm(2, 3, store, rng);
+  // Parameter order: wx, wh, b. Forget slice of b is [H, 2H).
+  const auto& b = store.params()[2];
+  for (std::size_t j = 3; j < 6; ++j) EXPECT_EQ(b->value().at(j), 1.0f);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(b->value().at(j), 0.0f);
+}
+
+TEST(Lstm, GradientsReachAllParameters) {
+  Rng rng(9);
+  nn::ParamStore store;
+  nn::Lstm lstm(3, 4, store, rng);
+  std::vector<nn::Var> seq = {nn::constant(nn::Matrix(1, 3, 0.7f)),
+                              nn::constant(nn::Matrix(1, 3, -0.2f))};
+  store.zeroGrad();
+  nn::backward(nn::meanAll(lstm.encode(seq)));
+  for (const auto& p : store.params()) {
+    float absum = 0.0f;
+    for (std::size_t i = 0; i < p->grad().size(); ++i)
+      absum += std::fabs(p->grad().at(i));
+    EXPECT_GT(absum, 0.0f);
+  }
+}
+
+// ------------------------------------------------------- learning ---------
+
+TEST(Learning, LinearRegressionConvergesWithSgd) {
+  // Fit y = 2x - 1 with a 1->1 linear layer.
+  Rng rng(10);
+  nn::ParamStore store;
+  nn::Linear lin(1, 1, store, rng);
+  nn::Sgd opt(store, 0.05f);
+  float loss_val = 0;
+  for (int step = 0; step < 400; ++step) {
+    store.zeroGrad();
+    const float x = static_cast<float>(rng.uniformReal(-1, 1));
+    nn::Matrix target(1, 1, 2.0f * x - 1.0f);
+    auto loss = nn::mseLoss(lin.forward(nn::constant(nn::Matrix(1, 1, x))),
+                            target);
+    nn::backward(loss);
+    opt.step();
+    loss_val = loss->scalar();
+  }
+  EXPECT_LT(loss_val, 1e-2f);
+}
+
+TEST(Learning, XorWithAdamAndHiddenLayer) {
+  Rng rng(11);
+  nn::ParamStore store;
+  nn::Linear l1(2, 8, store, rng);
+  nn::Linear l2(8, 2, store, rng);
+  nn::Adam opt(store, 0.02f);
+  const float xs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const std::size_t ys[4] = {0, 1, 1, 0};
+  for (int epoch = 0; epoch < 300; ++epoch) {
+    store.zeroGrad();
+    nn::Var total = nn::constant(nn::Matrix(1, 1, 0.0f));
+    for (int k = 0; k < 4; ++k) {
+      nn::Matrix in(1, 2);
+      in.at(0) = xs[k][0];
+      in.at(1) = xs[k][1];
+      auto h = nn::tanhOp(l1.forward(nn::constant(in)));
+      total = nn::add(total, nn::softmaxCrossEntropy(l2.forward(h), ys[k]));
+    }
+    nn::backward(total);
+    opt.step();
+  }
+  int correct = 0;
+  for (int k = 0; k < 4; ++k) {
+    nn::Matrix in(1, 2);
+    in.at(0) = xs[k][0];
+    in.at(1) = xs[k][1];
+    auto h = nn::tanhOp(l1.forward(nn::constant(in)));
+    const auto probs = nn::softmaxValue(l2.forward(h)->value());
+    const std::size_t pred = probs.at(0) > probs.at(1) ? 0 : 1;
+    correct += (pred == ys[k]) ? 1 : 0;
+  }
+  EXPECT_EQ(correct, 4);
+}
+
+TEST(Learning, LstmLearnsLastTokenClass) {
+  // Sequence of 2-dim one-hots; label = class of the last token. An LSTM
+  // plus linear head should learn this quickly.
+  Rng rng(12);
+  nn::ParamStore store;
+  nn::Lstm lstm(2, 8, store, rng);
+  nn::Linear head(8, 2, store, rng);
+  nn::Adam opt(store, 0.02f);
+  Rng data(13);
+  for (int step = 0; step < 250; ++step) {
+    store.zeroGrad();
+    std::vector<nn::Var> seq;
+    std::size_t label = 0;
+    const int len = 2 + int(data.uniform(4));
+    for (int t = 0; t < len; ++t) {
+      const std::size_t cls = data.uniform(2);
+      nn::Matrix x(1, 2, 0.0f);
+      x.at(cls) = 1.0f;
+      seq.push_back(nn::constant(x));
+      label = cls;
+    }
+    auto loss = nn::softmaxCrossEntropy(head.forward(lstm.encode(seq)), label);
+    nn::backward(loss);
+    opt.step();
+  }
+  int correct = 0;
+  const int trials = 50;
+  for (int k = 0; k < trials; ++k) {
+    std::vector<nn::Var> seq;
+    std::size_t label = 0;
+    const int len = 2 + int(data.uniform(4));
+    for (int t = 0; t < len; ++t) {
+      const std::size_t cls = data.uniform(2);
+      nn::Matrix x(1, 2, 0.0f);
+      x.at(cls) = 1.0f;
+      seq.push_back(nn::constant(x));
+      label = cls;
+    }
+    const auto probs =
+        nn::softmaxValue(head.forward(lstm.encode(seq))->value());
+    const std::size_t pred = probs.at(0) > probs.at(1) ? 0 : 1;
+    correct += (pred == label) ? 1 : 0;
+  }
+  EXPECT_GE(correct, 45);
+}
+
+// ------------------------------------------------------ optimizers --------
+
+TEST(Optim, SgdMovesAgainstGradient) {
+  nn::ParamStore store;
+  auto p = store.make(nn::Matrix(1, 1, 5.0f));
+  p->grad().at(0) = 2.0f;
+  nn::Sgd opt(store, 0.1f);
+  opt.step();
+  EXPECT_NEAR(p->value().at(0), 4.8f, 1e-6f);
+}
+
+TEST(Optim, SgdMomentumAccumulates) {
+  nn::ParamStore store;
+  auto p = store.make(nn::Matrix(1, 1, 0.0f));
+  nn::Sgd opt(store, 1.0f, 0.9f);
+  p->grad().at(0) = 1.0f;
+  opt.step();  // v=1, x=-1
+  opt.step();  // v=1.9, x=-2.9
+  EXPECT_NEAR(p->value().at(0), -2.9f, 1e-5f);
+}
+
+TEST(Optim, AdamFirstStepIsLearningRateSized) {
+  nn::ParamStore store;
+  auto p = store.make(nn::Matrix(1, 1, 1.0f));
+  p->grad().at(0) = 123.0f;  // bias correction makes step ~lr regardless
+  nn::Adam opt(store, 0.01f);
+  opt.step();
+  EXPECT_NEAR(p->value().at(0), 1.0f - 0.01f, 1e-4f);
+}
+
+TEST(Optim, AdamMinimizesQuadratic) {
+  nn::ParamStore store;
+  auto p = store.make(nn::Matrix(1, 1, 4.0f));
+  nn::Adam opt(store, 0.1f);
+  for (int i = 0; i < 300; ++i) {
+    store.zeroGrad();
+    auto loss = nn::mseLoss(p, nn::Matrix(1, 1, 1.5f));
+    nn::backward(loss);
+    opt.step();
+  }
+  EXPECT_NEAR(p->value().at(0), 1.5f, 1e-2f);
+}
+
+// ---------------------------------------------------- serialization -------
+
+TEST(Serialize, RoundTripRestoresExactValues) {
+  Rng rng(14);
+  nn::ParamStore a;
+  nn::Lstm lstmA(3, 4, a, rng);
+  nn::Linear headA(4, 2, a, rng);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "netsyn_params_test.bin")
+          .string();
+  nn::saveParams(a, path);
+
+  Rng rng2(99);  // different init
+  nn::ParamStore b;
+  nn::Lstm lstmB(3, 4, b, rng2);
+  nn::Linear headB(4, 2, b, rng2);
+  nn::loadParams(b, path);
+
+  ASSERT_EQ(a.params().size(), b.params().size());
+  for (std::size_t i = 0; i < a.params().size(); ++i)
+    EXPECT_EQ(a.params()[i]->value(), b.params()[i]->value());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ShapeMismatchThrows) {
+  Rng rng(15);
+  nn::ParamStore a;
+  nn::Linear lin(3, 4, a, rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "netsyn_params_shape.bin")
+          .string();
+  nn::saveParams(a, path);
+
+  nn::ParamStore b;
+  nn::Linear lin2(4, 3, b, rng);
+  EXPECT_THROW(nn::loadParams(b, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  nn::ParamStore s;
+  EXPECT_THROW(nn::loadParams(s, "/nonexistent/netsyn.bin"),
+               std::runtime_error);
+}
+
+TEST(Serialize, CorruptMagicThrows) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "netsyn_bad_magic.bin")
+          .string();
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "JUNKJUNKJUNK";
+  }
+  nn::ParamStore s;
+  EXPECT_THROW(nn::loadParams(s, path), std::runtime_error);
+  std::remove(path.c_str());
+}

@@ -1,0 +1,244 @@
+// Cross-module property tests: totality of the DSL under adversarial
+// inputs, determinism of the synthesizer and generators under fixed seeds,
+// invariants linking DCE / interpreter / metrics, and GA statistical
+// behaviour.
+#include <gtest/gtest.h>
+
+#include "core/synthesizer.hpp"
+#include "dsl/dce.hpp"
+#include "dsl/generator.hpp"
+#include "fitness/dataset.hpp"
+#include "fitness/edit.hpp"
+#include "fitness/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace nc = netsyn::core;
+namespace nd = netsyn::dsl;
+namespace nf = netsyn::fitness;
+using netsyn::util::Rng;
+
+// ---------------------------------------------------------- totality ------
+
+class DslTotality : public ::testing::TestWithParam<int> {};
+
+TEST_P(DslTotality, ArbitraryProgramsNeverCrashOnArbitraryInputs) {
+  Rng rng(9000 + GetParam());
+  // Adversarial input menagerie: empty lists, extreme values, int-only,
+  // no inputs at all, multiple inputs of each type.
+  const std::vector<std::vector<nd::Value>> inputSets = {
+      {},
+      {nd::Value(0)},
+      {nd::Value(std::vector<std::int32_t>{})},
+      {nd::Value(std::vector<std::int32_t>{std::numeric_limits<std::int32_t>::max(),
+                                           std::numeric_limits<std::int32_t>::min()})},
+      {nd::Value(std::vector<std::int32_t>{1, 2, 3}), nd::Value(-7)},
+      {nd::Value(5), nd::Value(std::vector<std::int32_t>{0, 0, 0})},
+  };
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<nd::FuncId> fns;
+    const auto len = 1 + rng.uniform(10);
+    for (std::uint64_t i = 0; i < len; ++i)
+      fns.push_back(static_cast<nd::FuncId>(rng.uniform(nd::kNumFunctions)));
+    const nd::Program p(std::move(fns));
+    for (const auto& inputs : inputSets) {
+      const auto result = nd::run(p, inputs);
+      EXPECT_EQ(result.trace.size(), p.length());
+      // The output type always matches the final function's return type.
+      EXPECT_EQ(result.output.type(),
+                nd::functionInfo(p.at(p.length() - 1)).returnType);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DslTotality, ::testing::Range(0, 6));
+
+TEST(DslTotality, TraceValuesStayWithinInt32) {
+  // Saturation caps every intermediate: squaring the max must not wrap.
+  const auto p = nd::Program::fromString("MAP(^2) | MAP(^2) | SCANL1(*)");
+  ASSERT_TRUE(p.has_value());
+  const auto result = nd::run(
+      *p, {nd::Value(std::vector<std::int32_t>{46341, -46341, 100000})});
+  for (const auto& v : result.trace) {
+    for (auto x : v.asList()) {
+      EXPECT_LE(x, std::numeric_limits<std::int32_t>::max());
+      EXPECT_GE(x, std::numeric_limits<std::int32_t>::min());
+    }
+  }
+}
+
+// -------------------------------------------------------- determinism -----
+
+TEST(Determinism, SynthesizerIsBitwiseRepeatable) {
+  Rng wr(77);
+  const nd::Generator gen;
+  const auto tc = gen.randomTestCase(4, 5, false, wr);
+  ASSERT_TRUE(tc.has_value());
+  nc::SynthesizerConfig cfg;
+  cfg.ga.populationSize = 30;
+  cfg.maxGenerations = 200;
+  nc::Synthesizer syn(cfg, std::make_shared<nf::EditDistanceFitness>());
+  Rng r1(123), r2(123);
+  const auto a = syn.synthesize(tc->spec, 4, 3000, r1);
+  const auto b = syn.synthesize(tc->spec, 4, 3000, r2);
+  EXPECT_EQ(a.found, b.found);
+  EXPECT_EQ(a.candidatesSearched, b.candidatesSearched);
+  EXPECT_EQ(a.generations, b.generations);
+  if (a.found) {
+    EXPECT_EQ(a.solution, b.solution);
+  }
+}
+
+TEST(Determinism, DatasetBuilderRepeatable) {
+  nf::DatasetBuilder builder;
+  Rng r1(5), r2(5);
+  const auto a = builder.build(10, nf::BalanceMetric::LCS, r1);
+  const auto b = builder.build(10, nf::BalanceMetric::LCS, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].target, b[i].target);
+    EXPECT_EQ(a[i].candidate, b[i].candidate);
+    EXPECT_EQ(a[i].cf, b[i].cf);
+  }
+}
+
+// -------------------------------------------------- invariants ------------
+
+class MetricInterplay : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricInterplay, DceNeverIncreasesMetricsAgainstThirdPrograms) {
+  // Removing dead statements can only remove functions, so CF/LCS against
+  // any other program can only decrease or stay equal.
+  Rng rng(4000 + GetParam());
+  const nd::Generator gen;
+  for (int iter = 0; iter < 30; ++iter) {
+    const auto sig = gen.randomSignature(rng);
+    std::vector<nd::FuncId> fns;
+    const auto len = 2 + rng.uniform(7);
+    for (std::uint64_t i = 0; i < len; ++i)
+      fns.push_back(static_cast<nd::FuncId>(rng.uniform(nd::kNumFunctions)));
+    const nd::Program p(std::move(fns));
+    const auto cleaned = nd::eliminateDeadCode(p, sig);
+    const auto other = gen.randomProgram(5, sig, rng);
+    ASSERT_TRUE(other.has_value());
+    EXPECT_LE(nf::commonFunctions(cleaned, *other),
+              nf::commonFunctions(p, *other));
+    EXPECT_LE(nf::longestCommonSubsequence(cleaned, *other),
+              nf::longestCommonSubsequence(p, *other));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricInterplay, ::testing::Range(0, 4));
+
+TEST(Invariants, SatisfiedSpecImpliesZeroEditDistance) {
+  Rng rng(88);
+  const nd::Generator gen;
+  const auto tc = gen.randomTestCase(4, 5, false, rng);
+  ASSERT_TRUE(tc.has_value());
+  std::vector<nd::ExecResult> runs;
+  for (const auto& ex : tc->spec.examples)
+    runs.push_back(nd::run(tc->program, ex.inputs));
+  nf::EditDistanceFitness fit;
+  EXPECT_DOUBLE_EQ(fit.score(tc->program, {tc->spec, runs}), 1.0);
+}
+
+TEST(Invariants, EditDistanceIsAMetricOnValues) {
+  Rng rng(99);
+  const nd::Generator gen;
+  std::vector<nd::Value> values;
+  for (int i = 0; i < 8; ++i)
+    values.push_back(gen.randomValue(
+        rng.bernoulli(0.5) ? nd::Type::List : nd::Type::Int, rng));
+  for (const auto& a : values) {
+    EXPECT_EQ(nf::valueEditDistance(a, a), 0u);  // identity
+    for (const auto& b : values) {
+      EXPECT_EQ(nf::valueEditDistance(a, b), nf::valueEditDistance(b, a));
+      for (const auto& c : values) {  // triangle inequality
+        EXPECT_LE(nf::valueEditDistance(a, c),
+                  nf::valueEditDistance(a, b) + nf::valueEditDistance(b, c));
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------- GA statistics ---
+
+TEST(GaStatistics, EliteAlwaysSurvives) {
+  Rng rng(111);
+  const nd::Generator gen;
+  const nd::InputSignature sig = {nd::Type::List};
+  nc::GaConfig cfg;
+  cfg.populationSize = 20;
+  cfg.eliteCount = 1;
+  nc::Population pop;
+  for (std::size_t i = 0; i < cfg.populationSize; ++i) {
+    pop.push_back({*gen.randomProgram(4, sig, rng), 0.0});
+  }
+  pop[7].fitness = 100.0;  // the champion
+  for (int round = 0; round < 10; ++round) {
+    const auto next = nc::breed(pop, cfg, sig, gen, rng, nullptr);
+    EXPECT_EQ(next.front(), pop[7].program);
+  }
+}
+
+TEST(GaStatistics, MutationWeightsBiasOffspring) {
+  Rng rng(222);
+  const nd::Generator gen;
+  const nd::InputSignature sig = {nd::Type::List};
+  nc::GaConfig cfg;
+  cfg.populationSize = 50;
+  cfg.eliteCount = 0;
+  cfg.crossoverRate = 0.0;   // mutation only
+  cfg.mutationRate = 1.0;
+  nc::Population pop;
+  for (std::size_t i = 0; i < cfg.populationSize; ++i)
+    pop.push_back({*gen.randomProgram(4, sig, rng), 1.0});
+
+  nc::FunctionWeights weights{};
+  const auto sortId = *nd::functionByName("SORT");
+  weights[sortId] = 1.0;  // every mutation that fires should insert SORT
+  const auto next = nc::breed(pop, cfg, sig, gen, rng, &weights);
+  std::size_t sortCount = 0, total = 0;
+  for (const auto& child : next) {
+    for (auto f : child.functions()) {
+      sortCount += (f == sortId) ? 1 : 0;
+      ++total;
+    }
+  }
+  // Random length-4 programs contain SORT at rate ~1/41; with the spiked
+  // map the offspring population must contain far more.
+  EXPECT_GT(static_cast<double>(sortCount) / static_cast<double>(total),
+            2.0 / 41.0);
+}
+
+TEST(GaStatistics, SynthesizerBudgetMonotoneInDifficulty) {
+  // A target of length 2 should on average need (far) fewer candidates than
+  // length 4 under the same oracle-driven search.
+  double cands2 = 0, cands4 = 0;
+  int n2 = 0, n4 = 0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng wr(seed);
+    const nd::Generator gen;
+    for (std::size_t len : {std::size_t{2}, std::size_t{4}}) {
+      const auto tc = gen.randomTestCase(len, 5, false, wr);
+      if (!tc) continue;
+      nc::SynthesizerConfig cfg;
+      cfg.ga.populationSize = 30;
+      cfg.maxGenerations = 2000;
+      nc::Synthesizer syn(cfg,
+                          std::make_shared<nf::OracleCF>(tc->program));
+      Rng rng(seed * 31);
+      const auto r = syn.synthesize(tc->spec, len, 30000, rng);
+      if (!r.found) continue;
+      if (len == 2) {
+        cands2 += double(r.candidatesSearched);
+        ++n2;
+      } else {
+        cands4 += double(r.candidatesSearched);
+        ++n4;
+      }
+    }
+  }
+  ASSERT_GT(n2, 0);
+  ASSERT_GT(n4, 0);
+  EXPECT_LT(cands2 / n2, cands4 / n4);
+}

@@ -1,0 +1,99 @@
+// Reporting-layer tests: percentile table assembly and CSV output — the
+// code paths every bench binary relies on to print the paper's tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "harness/runner.hpp"
+#include "util/table.hpp"
+
+namespace nh = netsyn::harness;
+namespace nu = netsyn::util;
+
+namespace {
+
+nh::MethodReport reportWith(std::vector<double> costs, std::size_t unsolved,
+                            std::size_t budget) {
+  nh::MethodReport report;
+  report.method = "M";
+  report.budget = budget;
+  for (double c : costs) {
+    nh::ProgramResult pr;
+    pr.runs.push_back({true, static_cast<std::size_t>(c), c / 10.0, 1});
+    report.programs.push_back(pr);
+  }
+  for (std::size_t i = 0; i < unsolved; ++i) {
+    nh::ProgramResult pr;
+    pr.runs.push_back({false, budget, 1.0, 1});
+    report.programs.push_back(pr);
+  }
+  return report;
+}
+
+}  // namespace
+
+TEST(Reporting, PercentileHeaderHasTwelveColumns) {
+  const auto header = nh::percentileHeader("space");
+  ASSERT_EQ(header.size(), 12u);
+  EXPECT_EQ(header[0], "Method");
+  EXPECT_EQ(header[1], "Synth%");
+  EXPECT_EQ(header[2], "10% space");
+  EXPECT_EQ(header.back(), "100% space");
+}
+
+TEST(Reporting, AppendPercentileRowSpaceVariant) {
+  const auto report = reportWith({100, 500}, 2, 1000);  // 50% synthesized
+  nu::Table table(nh::percentileHeader("space"));
+  nh::appendPercentileRow(table, report, /*useTime=*/false);
+  const std::string text = table.toString();
+  EXPECT_NE(text.find("M"), std::string::npos);
+  EXPECT_NE(text.find("50%"), std::string::npos);    // synth fraction
+  EXPECT_NE(text.find("10.00%"), std::string::npos);  // 100/1000 budget
+  EXPECT_NE(text.find("-"), std::string::npos);      // unreachable pctiles
+}
+
+TEST(Reporting, AppendPercentileRowTimeVariant) {
+  const auto report = reportWith({100, 500}, 0, 1000);
+  nu::Table table(nh::percentileHeader("secs"));
+  nh::appendPercentileRow(table, report, /*useTime=*/true);
+  const std::string text = table.toString();
+  EXPECT_NE(text.find("10.00"), std::string::npos);  // seconds = cost/10
+  EXPECT_NE(text.find("50.00"), std::string::npos);
+}
+
+TEST(Reporting, CsvRoundTripThroughFile) {
+  nu::Table table({"a", "b"});
+  table.newRow().addInt(1).add("x");
+  table.newRow().addInt(2).add("y,z");
+  const auto path =
+      (std::filesystem::temp_directory_path() / "netsyn_table.csv").string();
+  table.writeCsv(path);
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,x");
+  std::getline(f, line);
+  EXPECT_EQ(line, "2,\"y,z\"");
+  std::remove(path.c_str());
+}
+
+TEST(Reporting, WriteCsvToBadPathThrows) {
+  nu::Table table({"a"});
+  EXPECT_THROW(table.writeCsv("/nonexistent/dir/x.csv"), std::runtime_error);
+}
+
+TEST(Reporting, PercentileRowMatchesTableTwoSemantics) {
+  // 10 programs, 9 solved: the 90% column is defined, the 100% is not.
+  std::vector<double> costs;
+  for (int i = 1; i <= 9; ++i) costs.push_back(i * 100.0);
+  const auto report = reportWith(costs, 1, 1000);
+  const auto row = nh::percentileRow(report, false);
+  EXPECT_FALSE(std::isnan(row[8]));
+  EXPECT_NEAR(row[8], 0.9, 1e-9);  // 900/1000
+  EXPECT_TRUE(std::isnan(row[9]));
+}
