@@ -1,0 +1,135 @@
+// Scalar vs population-batched fitness scoring throughput.
+//
+// Reproduces the GA's actual hot loop: a population evolves by breeding for
+// a number of generations, and every generation is graded twice — once with
+// per-gene FitnessFunction::score calls (the old path) and once with one
+// scoreBatch call (the batched pipeline). Gene execution (the interpreter)
+// is excluded from both timings; this isolates NN scoring throughput.
+//
+//   $ ./bench_batch_inference [--population=100] [--generations=30]
+//                             [--length=5] [--seed=2021]
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "core/ga.hpp"
+#include "dsl/generator.hpp"
+#include "fitness/model.hpp"
+#include "fitness/neural_fitness.hpp"
+#include "util/argparse.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace netsyn;
+
+namespace {
+
+struct GradedPopulation {
+  std::vector<dsl::Program> genes;
+  std::vector<std::vector<dsl::ExecResult>> runs;  // per gene, per example
+};
+
+GradedPopulation execute(const std::vector<dsl::Program>& genes,
+                         const dsl::Spec& spec) {
+  GradedPopulation out;
+  out.genes = genes;
+  out.runs.reserve(genes.size());
+  for (const auto& g : genes) {
+    std::vector<dsl::ExecResult> runs;
+    runs.reserve(spec.size());
+    for (const auto& ex : spec.examples) runs.push_back(dsl::run(g, ex.inputs));
+    out.runs.push_back(std::move(runs));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::ArgParse args(argc, argv);
+  const auto population =
+      static_cast<std::size_t>(args.getInt("population", 100));
+  const auto generations =
+      static_cast<std::size_t>(args.getInt("generations", 30));
+  const auto length = static_cast<std::size_t>(args.getInt("length", 5));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 2021));
+  if (population == 0 || generations == 0) {
+    std::fprintf(stderr, "--population and --generations must be > 0\n");
+    return 1;
+  }
+
+  fitness::NnffConfig mc;
+  mc.encoder = {.vmax = 64, .maxValueTokens = 8};
+  mc.embedDim = 16;
+  mc.hiddenDim = 24;
+  mc.maxExamples = 3;
+  mc.head = fitness::HeadKind::Classifier;
+  auto model = std::make_shared<fitness::NnffModel>(mc);
+  fitness::NeuralFitness fitness(model, "NN_CF");
+
+  util::Rng rng(seed);
+  const dsl::Generator gen;
+  const auto tc = gen.randomTestCase(length, 5, false, rng);
+  if (!tc) {
+    std::fprintf(stderr, "could not generate a test case\n");
+    return 1;
+  }
+  const dsl::InputSignature sig = tc->spec.signature();
+
+  std::printf("=== bench_batch_inference ===\n");
+  std::printf("population=%zu generations=%zu length=%zu hidden=%zu\n\n",
+              population, generations, length, mc.hiddenDim);
+
+  // Initial random population.
+  std::vector<dsl::Program> genes;
+  genes.reserve(population);
+  for (std::size_t i = 0; i < population; ++i)
+    genes.push_back(*gen.randomProgram(length, sig, rng));
+
+  double scalarSeconds = 0.0;
+  double batchSeconds = 0.0;
+  std::size_t graded = 0;
+  core::GaConfig gaConfig;
+  gaConfig.populationSize = population;
+
+  for (std::size_t g = 0; g < generations; ++g) {
+    const GradedPopulation pop = execute(genes, tc->spec);
+    std::deque<fitness::EvalContext> store;
+    std::vector<const fitness::EvalContext*> contexts;
+    std::vector<const dsl::Program*> genePtrs;
+    for (std::size_t b = 0; b < pop.genes.size(); ++b) {
+      store.push_back(fitness::EvalContext{tc->spec, pop.runs[b]});
+      contexts.push_back(&store.back());
+      genePtrs.push_back(&pop.genes[b]);
+    }
+
+    util::Timer scalarTimer;
+    std::vector<double> scalarScores;
+    scalarScores.reserve(pop.genes.size());
+    for (std::size_t b = 0; b < pop.genes.size(); ++b)
+      scalarScores.push_back(fitness.score(pop.genes[b], *contexts[b]));
+    scalarSeconds += scalarTimer.seconds();
+
+    util::Timer batchTimer;
+    const auto batchScores = fitness.scoreBatch(genePtrs, contexts);
+    batchSeconds += batchTimer.seconds();
+
+    graded += pop.genes.size();
+
+    // Evolve with the batched scores so later generations look like the
+    // GA's real workload (shared ancestry, recurring trace values).
+    core::Population scored;
+    for (std::size_t b = 0; b < pop.genes.size(); ++b)
+      scored.push_back(core::Individual{pop.genes[b], batchScores[b]});
+    genes = core::breed(scored, gaConfig, sig, gen, rng, nullptr);
+  }
+
+  const double scalarRate = static_cast<double>(graded) / scalarSeconds;
+  const double batchRate = static_cast<double>(graded) / batchSeconds;
+  std::printf("scalar  score():     %8.0f genes/sec (%.3fs for %zu)\n",
+              scalarRate, scalarSeconds, graded);
+  std::printf("batched scoreBatch:  %8.0f genes/sec (%.3fs for %zu)\n",
+              batchRate, batchSeconds, graded);
+  std::printf("speedup:             %8.2fx\n", batchRate / scalarRate);
+  return 0;
+}

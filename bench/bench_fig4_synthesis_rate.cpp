@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   bench::banner("Figure 4(d-f): synthesis-rate distributions", config);
 
   const auto models = harness::loadOrTrainAll(config);
-  const auto methods = harness::makeAllMethods(config, models);
+  const auto factories = harness::makeAllMethodFactories(config, models);
 
   for (const std::size_t length : config.programLengths) {
     const auto workload = harness::makeWorkload(config, length);
@@ -28,9 +28,9 @@ int main(int argc, char** argv) {
                 workload.size(), config.runsPerProgram);
     util::Table table({"Method", "min", "q1", "median", "q3", "max",
                        "rate=0", "0<rate<100", "rate=100"});
-    for (const auto& method : methods) {
+    for (const auto& factory : factories) {
       const auto report =
-          harness::runMethod(*method, workload, config, /*verbose=*/false);
+          harness::runMethod(factory, workload, config, /*verbose=*/false);
       std::vector<double> rates;
       int zero = 0, partial = 0, full = 0;
       for (const auto& p : report.programs) {
@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
           .addInt(partial)
           .addInt(full);
       std::fprintf(stderr, "[fig4-rate] len %zu: %s done\n", length,
-                   method->name().c_str());
+                   report.method.c_str());
     }
     bench::emit(table, args, "fig4_synthesis_rate.csv");
   }

@@ -18,19 +18,19 @@ int main(int argc, char** argv) {
   bench::banner("Figure 4(g-i) / Table 3: synthesis time (seconds)", config);
 
   const auto models = harness::loadOrTrainAll(config);
-  const auto methods = harness::makeAllMethods(config, models);
+  const auto factories = harness::makeAllMethodFactories(config, models);
 
   for (const std::size_t length : config.programLengths) {
     const auto workload = harness::makeWorkload(config, length);
     std::printf("-- program length %zu (%zu programs) --\n", length,
                 workload.size());
     util::Table table(harness::percentileHeader("secs"));
-    for (const auto& method : methods) {
+    for (const auto& factory : factories) {
       const auto report =
-          harness::runMethod(*method, workload, config, /*verbose=*/false);
+          harness::runMethod(factory, workload, config, /*verbose=*/false);
       harness::appendPercentileRow(table, report, /*useTime=*/true);
       std::fprintf(stderr, "[fig4-time] len %zu: %s done\n", length,
-                   method->name().c_str());
+                   report.method.c_str());
     }
     bench::emit(table, args, "fig4_synthesis_time.csv");
   }

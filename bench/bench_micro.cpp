@@ -123,6 +123,24 @@ void BM_NnffForwardFast(benchmark::State& state) {
 }
 BENCHMARK(BM_NnffForwardFast);
 
+void BM_NnffPredictBatch(benchmark::State& state) {
+  const fitness::NnffModel model(benchModelConfig(fitness::HeadKind::Classifier));
+  fitness::DatasetBuilder builder;
+  util::Rng rng(9);
+  const auto s = *builder.makeSample(3, fitness::BalanceMetric::CF, rng);
+  // A population of copies of the sample's candidate: the per-gene work is
+  // identical to BM_NnffForwardFast, so genes/sec are directly comparable.
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  std::vector<const dsl::Program*> genes(batch, &s.candidate);
+  std::vector<const std::vector<std::vector<dsl::Value>>*> traces(batch,
+                                                                  &s.traces);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predictBatch(s.spec, genes, traces));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_NnffPredictBatch)->Arg(10)->Arg(100);
+
 void BM_ProbMapInference(benchmark::State& state) {
   auto model = std::make_shared<fitness::NnffModel>(
       benchModelConfig(fitness::HeadKind::Multilabel));

@@ -4,6 +4,11 @@
 //
 //   $ ./compare_methods [--scale=ci] [--budget=10000]
 //                       [--programs-per-length=4] [--lengths=4,5]
+//                       [--workers=4]
+//
+// With --workers=N the (program, run) pairs of each method are dispatched
+// onto N threads, each with its own method instance; the report is identical
+// to a sequential run (wall-clock aside).
 #include <cstdio>
 
 #include "harness/registry.hpp"
@@ -28,8 +33,8 @@ int main(int argc, char** argv) {
 
   util::Table table(
       {"Method", "Synthesized", "Avg rate", "Avg candidates", "Avg secs"});
-  for (const auto& method : harness::makeAllMethods(config, models)) {
-    const auto report = harness::runMethod(*method, workload, config,
+  for (const auto& factory : harness::makeAllMethodFactories(config, models)) {
+    const auto report = harness::runMethod(factory, workload, config,
                                            /*verbose=*/false);
     double cands = 0, secs = 0;
     std::size_t n = 0;

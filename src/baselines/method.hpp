@@ -6,6 +6,7 @@
 // 3,000,000-candidate maximum search space).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -30,6 +31,12 @@ class Method {
 };
 
 using MethodPtr = std::shared_ptr<Method>;
+
+/// Produces independent instances of one method. The parallel experiment
+/// runner calls the factory once per worker thread, so a method (and the
+/// models behind it) never has to be thread-safe — isolation is by
+/// construction.
+using MethodFactory = std::function<MethodPtr()>;
 
 /// Adapter exposing a configured NetSyn synthesizer (any fitness function)
 /// through the Method interface.

@@ -51,6 +51,24 @@ class SpecEvaluator {
     return ev;
   }
 
+  /// Batched evaluate(): candidates are charged and executed in order, so
+  /// budget consumption and the dedup'd "distinct candidates searched"
+  /// semantics are identical to calling evaluate() in a loop that stops at
+  /// the first nullopt. Entries after the first budget exhaustion — and,
+  /// when `stopOnSatisfied` is set, after the first satisfying candidate —
+  /// are left nullopt without being charged or executed.
+  std::vector<std::optional<Evaluation>> evaluateBatch(
+      const std::vector<const dsl::Program*>& candidates,
+      bool stopOnSatisfied = true) {
+    std::vector<std::optional<Evaluation>> out(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      out[i] = evaluate(*candidates[i]);
+      if (!out[i].has_value()) break;  // budget exhausted
+      if (stopOnSatisfied && out[i]->satisfied) break;
+    }
+    return out;
+  }
+
   /// Equivalence check only (early exit on first mismatch, no trace kept).
   /// nullopt when the budget is exhausted.
   std::optional<bool> check(const dsl::Program& candidate) {
@@ -71,10 +89,7 @@ class SpecEvaluator {
   }
 
  private:
-  static std::string keyOf(const dsl::Program& p) {
-    return std::string(reinterpret_cast<const char*>(p.functions().data()),
-                       p.length());
-  }
+  static std::string keyOf(const dsl::Program& p) { return p.idKey(); }
 
   /// Charges the candidate unless it was already examined; false only when
   /// the budget is exhausted and the candidate is new.

@@ -32,13 +32,29 @@ NsResult neighborhoodSearchBfs(const std::vector<dsl::Program>& genes,
 NsResult neighborhoodSearchDfs(const std::vector<dsl::Program>& genes,
                                SpecEvaluator& evaluator,
                                const NsScorer& scorer) {
+  return neighborhoodSearchDfs(
+      genes, evaluator,
+      NsBatchScorer([&scorer](const std::vector<const dsl::Program*>& batch) {
+        std::vector<double> out;
+        out.reserve(batch.size());
+        for (const dsl::Program* p : batch) out.push_back(scorer(*p));
+        return out;
+      }));
+}
+
+NsResult neighborhoodSearchDfs(const std::vector<dsl::Program>& genes,
+                               SpecEvaluator& evaluator,
+                               const NsBatchScorer& scorer) {
   NsResult result;
   for (const auto& gene : genes) {
     dsl::Program current = gene;  // mutated greedily per depth
     for (std::size_t depth = 0; depth < current.length(); ++depth) {
       const dsl::FuncId original = current.at(depth);
-      double bestScore = scorer(current);
-      dsl::FuncId bestOp = original;
+      // Equivalence checks run first, in op order (budget semantics match
+      // the per-neighbor variant); survivors are graded as one batch.
+      std::vector<dsl::Program> level;
+      level.reserve(dsl::kNumFunctions);
+      level.push_back(current);
       dsl::Program neighbor = current;
       for (std::size_t op = 0; op < dsl::kNumFunctions; ++op) {
         if (static_cast<dsl::FuncId>(op) == original) continue;
@@ -53,10 +69,20 @@ NsResult neighborhoodSearchDfs(const std::vector<dsl::Program>& genes,
           result.solution = neighbor;
           return result;
         }
-        const double s = scorer(neighbor);
-        if (s > bestScore) {
-          bestScore = s;
-          bestOp = static_cast<dsl::FuncId>(op);
+        level.push_back(neighbor);
+      }
+      std::vector<const dsl::Program*> levelPtrs;
+      levelPtrs.reserve(level.size());
+      for (const auto& p : level) levelPtrs.push_back(&p);
+      const std::vector<double> scores = scorer(levelPtrs);
+      // Greedy descent with the original's op winning ties (strict >), as in
+      // the per-neighbor variant.
+      double bestScore = scores[0];
+      dsl::FuncId bestOp = original;
+      for (std::size_t i = 1; i < level.size(); ++i) {
+        if (scores[i] > bestScore) {
+          bestScore = scores[i];
+          bestOp = level[i].at(depth);
         }
       }
       current.set(depth, bestOp);  // descend with the best gene at this level

@@ -29,6 +29,12 @@ struct NsResult {
 /// passes its budgeted fitness evaluation).
 using NsScorer = std::function<double(const dsl::Program&)>;
 
+/// Batched scorer: result[i] is the grade of *genes[i]. The synthesizer
+/// backs this with FitnessFunction::scoreBatch so a whole depth level of the
+/// DFS descent is graded in one batched NN forward.
+using NsBatchScorer =
+    std::function<std::vector<double>(const std::vector<const dsl::Program*>&)>;
+
 /// BFS neighborhood search over `genes` (Algorithm 1): tries every
 /// single-position substitution; returns on the first equivalent program or
 /// when all neighborhoods are exhausted. Stops early if the budget runs out.
@@ -43,5 +49,13 @@ NsResult neighborhoodSearchBfs(const std::vector<dsl::Program>& genes,
 NsResult neighborhoodSearchDfs(const std::vector<dsl::Program>& genes,
                                SpecEvaluator& evaluator,
                                const NsScorer& scorer);
+
+/// Batch-scored DFS: identical search (same checks in the same order, same
+/// greedy tie-breaking) but each depth level's surviving neighbors are
+/// graded with one NsBatchScorer call instead of one scorer call per
+/// neighbor.
+NsResult neighborhoodSearchDfs(const std::vector<dsl::Program>& genes,
+                               SpecEvaluator& evaluator,
+                               const NsBatchScorer& scorer);
 
 }  // namespace netsyn::core

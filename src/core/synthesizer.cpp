@@ -1,6 +1,8 @@
 #include "core/synthesizer.hpp"
 
+#include <deque>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -8,11 +10,8 @@
 namespace netsyn::core {
 namespace {
 
-/// Cache key: the raw function bytes of a gene (exact, no hash collisions).
-std::string cacheKey(const dsl::Program& p) {
-  return std::string(reinterpret_cast<const char*>(p.functions().data()),
-                     p.length());
-}
+/// Cache key: the full-width function ids of a gene (exact, no collisions).
+std::string cacheKey(const dsl::Program& p) { return p.idKey(); }
 
 }  // namespace
 
@@ -49,50 +48,156 @@ SynthesisResult Synthesizer::synthesize(const dsl::Spec& spec,
     return r;
   };
 
-  // Grades a gene, executing + charging it only on first sight. Returns
-  // nullopt on budget exhaustion; sets `result.solution` when equivalent.
   bool solved = false;
-  auto grade = [&](const dsl::Program& gene) -> std::optional<double> {
-    const std::string key = cacheKey(gene);
-    if (const auto it = cache.find(key); it != cache.end()) return it->second;
-    const auto ev = evaluator.evaluate(gene);
-    if (!ev.has_value()) return std::nullopt;
-    if (ev->satisfied) {
-      solved = true;
-      result.found = true;
-      result.solution = gene;
-      return fitness_->maxScore(targetLength);
+
+  // Grades a whole population. The distinct uncached genes are charged +
+  // executed in order through SpecEvaluator::evaluateBatch — the same budget
+  // consumption, dedup, and early-exit points as grading one gene at a time
+  // — and the genes that survive (not cached, not duplicates, not the
+  // solution) are scored in one FitnessFunction::scoreBatch call (or
+  // per-gene when batchedEvaluation is off; the two modes produce identical
+  // results).
+  //
+  // Returns the number of genes graded: progs.size() normally, or the index
+  // the walk stopped at because the budget ran out or a gene satisfied the
+  // spec (`solved` set, result filled in). scores[i] is valid for every
+  // graded i either way.
+  auto gradePopulation = [&](const std::vector<dsl::Program>& progs,
+                             std::vector<double>& scores) -> std::size_t {
+    scores.assign(progs.size(), 0.0);
+    // Distinct uncached genes in first-seen order.
+    std::vector<const dsl::Program*> pending;
+    std::vector<std::string> pendingKeys;
+    std::vector<std::size_t> pendingOrigin;  // pending slot -> gene index
+    std::unordered_map<std::string, std::size_t> pendingIndex;
+    std::vector<std::ptrdiff_t> aliasOf(progs.size(), -1);
+
+    for (std::size_t i = 0; i < progs.size(); ++i) {
+      std::string key = cacheKey(progs[i]);
+      if (const auto it = cache.find(key); it != cache.end()) {
+        scores[i] = it->second;
+        continue;
+      }
+      if (const auto it = pendingIndex.find(key); it != pendingIndex.end()) {
+        aliasOf[i] = static_cast<std::ptrdiff_t>(it->second);
+        continue;
+      }
+      aliasOf[i] = static_cast<std::ptrdiff_t>(pending.size());
+      pendingIndex.emplace(key, pending.size());
+      pending.push_back(&progs[i]);
+      pendingKeys.push_back(std::move(key));
+      pendingOrigin.push_back(i);
     }
-    const fitness::EvalContext ctx{spec, ev->runs};
-    const double score = fitness_->score(gene, ctx);
-    cache.emplace(key, score);
-    return score;
+
+    auto evals = evaluator.evaluateBatch(pending);
+    std::size_t graded = progs.size();
+    std::size_t scored = pending.size();
+    for (std::size_t j = 0; j < evals.size(); ++j) {
+      if (!evals[j].has_value()) {  // budget ran out at pending gene j
+        graded = pendingOrigin[j];
+        scored = j;
+        break;
+      }
+      if (evals[j]->satisfied) {
+        solved = true;
+        result.found = true;
+        result.solution = *pending[j];
+        graded = pendingOrigin[j];
+        scored = j;
+        break;
+      }
+    }
+
+    // Score the pending genes examined before any cutoff.
+    std::vector<double> pendingScores;
+    if (scored > 0) {
+      std::vector<const dsl::Program*> toScore(pending.begin(),
+                                               pending.begin() + scored);
+      std::deque<fitness::EvalContext> contextStore;
+      std::vector<const fitness::EvalContext*> contexts;
+      contexts.reserve(scored);
+      for (std::size_t j = 0; j < scored; ++j) {
+        contextStore.push_back(fitness::EvalContext{spec, evals[j]->runs});
+        contexts.push_back(&contextStore.back());
+      }
+      if (config_.batchedEvaluation) {
+        pendingScores = fitness_->scoreBatch(toScore, contexts);
+      } else {
+        pendingScores.reserve(scored);
+        for (std::size_t j = 0; j < scored; ++j)
+          pendingScores.push_back(fitness_->score(*toScore[j], *contexts[j]));
+      }
+      for (std::size_t j = 0; j < scored; ++j)
+        cache.emplace(std::move(pendingKeys[j]), pendingScores[j]);
+    }
+    for (std::size_t i = 0; i < graded; ++i) {
+      if (aliasOf[i] >= 0)
+        scores[i] = pendingScores[static_cast<std::size_t>(aliasOf[i])];
+      result.bestFitness = std::max(result.bestFitness, scores[i]);
+    }
+    return graded;
   };
 
-  // DFS-NS greedy scorer: grades without charging the budget (the NS itself
-  // charges each examined neighbor through the evaluator).
-  auto nsScorer = [&](const dsl::Program& gene) -> double {
-    const std::string key = cacheKey(gene);
-    if (const auto it = cache.find(key); it != cache.end()) return it->second;
-    std::vector<dsl::ExecResult> runs;
-    runs.reserve(spec.size());
-    for (const auto& ex : spec.examples) runs.push_back(dsl::run(gene, ex.inputs));
-    const fitness::EvalContext ctx{spec, runs};
-    return fitness_->score(gene, ctx);
+  // Batched scorer for the DFS neighborhood search's greedy descent: grades
+  // without charging the budget (the NS itself charges each examined
+  // neighbor through the evaluator) and without polluting the cache.
+  auto nsBatchScorer = [&](const std::vector<const dsl::Program*>& genes)
+      -> std::vector<double> {
+    std::vector<double> out(genes.size(), 0.0);
+    std::vector<const dsl::Program*> pending;
+    std::vector<std::size_t> pendingAt;
+    std::deque<std::vector<dsl::ExecResult>> pendingRuns;
+    std::deque<fitness::EvalContext> contextStore;
+    std::vector<const fitness::EvalContext*> contexts;
+    for (std::size_t i = 0; i < genes.size(); ++i) {
+      if (const auto it = cache.find(cacheKey(*genes[i])); it != cache.end()) {
+        out[i] = it->second;
+        continue;
+      }
+      std::vector<dsl::ExecResult> runs;
+      runs.reserve(spec.size());
+      for (const auto& ex : spec.examples)
+        runs.push_back(dsl::run(*genes[i], ex.inputs));
+      pendingRuns.push_back(std::move(runs));
+      contextStore.push_back(fitness::EvalContext{spec, pendingRuns.back()});
+      contexts.push_back(&contextStore.back());
+      pending.push_back(genes[i]);
+      pendingAt.push_back(i);
+    }
+    if (!pending.empty()) {
+      std::vector<double> scores;
+      if (config_.batchedEvaluation) {
+        scores = fitness_->scoreBatch(pending, contexts);
+      } else {
+        scores.reserve(pending.size());
+        for (std::size_t j = 0; j < pending.size(); ++j)
+          scores.push_back(fitness_->score(*pending[j], *contexts[j]));
+      }
+      for (std::size_t j = 0; j < pending.size(); ++j)
+        out[pendingAt[j]] = scores[j];
+    }
+    return out;
   };
 
   // ---- initial population (Phi_0) ----
-  Population pop;
-  pop.reserve(config_.ga.populationSize);
+  // Programs are generated up front (the generator is the only RNG consumer
+  // here, so the stream matches gene-at-a-time seeding) and graded as one
+  // batch.
+  std::vector<dsl::Program> seedProgs;
+  seedProgs.reserve(config_.ga.populationSize);
   for (std::size_t i = 0; i < config_.ga.populationSize; ++i) {
     auto prog = gen.randomProgram(targetLength, sig, rng);
     if (!prog) throw std::runtime_error("cannot seed initial population");
-    const auto score = grade(*prog);
-    if (solved) return finish(result);
-    if (!score.has_value()) return finish(result);  // budget gone already
-    pop.push_back(Individual{std::move(*prog), *score});
-    result.bestFitness = std::max(result.bestFitness, pop.back().fitness);
+    seedProgs.push_back(std::move(*prog));
   }
+  std::vector<double> scores;
+  std::size_t graded = gradePopulation(seedProgs, scores);
+  if (solved || graded < seedProgs.size()) return finish(result);
+
+  Population pop;
+  pop.reserve(seedProgs.size());
+  for (std::size_t i = 0; i < seedProgs.size(); ++i)
+    pop.push_back(Individual{std::move(seedProgs[i]), scores[i]});
 
   util::SlidingWindowMean window(config_.nsWindow);
 
@@ -112,16 +217,15 @@ SynthesisResult Synthesizer::synthesize(const dsl::Spec& spec,
     const auto offspring =
         breed(pop, config_.ga, sig, gen, rng, weightsPtr);
 
+    graded = gradePopulation(offspring, scores);
+    if (solved || graded < offspring.size()) return finish(result);
+
     Population next;
     next.reserve(offspring.size());
     double fitnessSum = 0.0;
-    for (const auto& prog : offspring) {
-      const auto score = grade(prog);
-      if (solved) return finish(result);
-      if (!score.has_value()) return finish(result);
-      next.push_back(Individual{prog, *score});
-      fitnessSum += *score;
-      result.bestFitness = std::max(result.bestFitness, *score);
+    for (std::size_t i = 0; i < offspring.size(); ++i) {
+      next.push_back(Individual{offspring[i], scores[i]});
+      fitnessSum += scores[i];
     }
     pop = std::move(next);
     window.push(fitnessSum / static_cast<double>(pop.size()));
@@ -147,7 +251,8 @@ SynthesisResult Synthesizer::synthesize(const dsl::Spec& spec,
       const NsResult ns =
           config_.nsKind == NsKind::BFS
               ? neighborhoodSearchBfs(top, evaluator)
-              : neighborhoodSearchDfs(top, evaluator, nsScorer);
+              : neighborhoodSearchDfs(top, evaluator,
+                                      NsBatchScorer(nsBatchScorer));
       if (ns.solution.has_value()) {
         result.found = true;
         result.foundByNs = true;

@@ -27,6 +27,11 @@ struct SynthesizerConfig {
   std::size_t nsTopN = 5;    ///< genes handed to NS
   std::size_t nsWindow = 10; ///< sliding window w of the saturation trigger
   bool fpGuidedMutation = false;  ///< Mutation_FP (needs a ProbMapProvider)
+  /// Grade populations through FitnessFunction::scoreBatch (one batched NN
+  /// forward per generation) instead of per-gene score() calls. The search
+  /// trajectory is identical either way (pinned by tests); the flag exists
+  /// for ablation and as a debugging fallback.
+  bool batchedEvaluation = true;
   dsl::GeneratorConfig generator;
   /// Record per-generation statistics in SynthesisResult::history (off by
   /// default: the history of a 30,000-generation run is sizeable).

@@ -46,6 +46,19 @@ std::optional<Program> Program::fromString(const std::string& text) {
   return Program(std::move(fns));
 }
 
+std::string Program::idKey() const {
+  std::string key;
+  key.reserve(functions_.size() * sizeof(FuncId));
+  for (FuncId f : functions_) {
+    auto v = static_cast<std::uint64_t>(f);
+    for (std::size_t b = 0; b < sizeof(FuncId); ++b) {
+      key.push_back(static_cast<char>(v & 0xff));
+      v >>= 8;
+    }
+  }
+  return key;
+}
+
 std::uint64_t Program::hash() const {
   // FNV-1a over the function bytes; stable across runs and platforms.
   std::uint64_t h = 0xcbf29ce484222325ULL;

@@ -56,6 +56,11 @@ class Program {
   /// duplicate detection in the GA).
   std::uint64_t hash() const;
 
+  /// Exact (collision-free) map key for the function sequence. Serializes
+  /// every id with its full width, so it stays correct if FuncId ever grows
+  /// beyond one byte (a raw reinterpret_cast of the id array would not).
+  std::string idKey() const;
+
  private:
   std::vector<FuncId> functions_;
 };

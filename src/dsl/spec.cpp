@@ -1,6 +1,40 @@
 #include "dsl/spec.hpp"
 
 namespace netsyn::dsl {
+namespace {
+
+inline void hashMix(std::uint64_t& h, std::uint64_t v) {
+  // FNV-1a over the 8 bytes of v.
+  for (std::size_t b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+void hashValue(std::uint64_t& h, const Value& v) {
+  hashMix(h, static_cast<std::uint64_t>(v.type()));
+  if (v.isInt()) {
+    hashMix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(v.asInt())));
+  } else {
+    const auto& list = v.asList();
+    hashMix(h, list.size());
+    for (std::int32_t x : list)
+      hashMix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)));
+  }
+}
+
+}  // namespace
+
+std::uint64_t Spec::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  hashMix(h, examples.size());
+  for (const IOExample& ex : examples) {
+    hashMix(h, ex.inputs.size());
+    for (const Value& in : ex.inputs) hashValue(h, in);
+    hashValue(h, ex.output);
+  }
+  return h;
+}
 
 bool satisfiesSpec(const Program& program, const Spec& spec) {
   for (const IOExample& ex : spec.examples) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "dsl/interpreter.hpp"
@@ -26,6 +27,12 @@ struct Spec {
   std::vector<IOExample> examples;
 
   std::size_t size() const { return examples.size(); }
+
+  /// Stable content fingerprint (FNV-1a over every example's values). Used
+  /// as a cache-invalidation token by per-spec caches: unlike the spec's
+  /// address, it cannot alias when an old spec is freed and a new one is
+  /// allocated in its place.
+  std::uint64_t fingerprint() const;
 
   /// Common input signature of the examples (empty spec -> empty signature).
   InputSignature signature() const {

@@ -34,6 +34,21 @@ class FitnessFunction {
   /// the Roulette Wheel weight.
   virtual double score(const dsl::Program& gene, const EvalContext& ctx) = 0;
 
+  /// Batched grading: result[i] == score(*genes[i], *contexts[i]). The GA
+  /// grades whole populations through this entry point. The default loops
+  /// over score() so oracle/ablation fitnesses keep working unchanged; the
+  /// neural fitnesses override it with a single population-batched forward
+  /// pass (parity pinned to 1e-9 by tests).
+  virtual std::vector<double> scoreBatch(
+      const std::vector<const dsl::Program*>& genes,
+      const std::vector<const EvalContext*>& contexts) {
+    std::vector<double> out;
+    out.reserve(genes.size());
+    for (std::size_t i = 0; i < genes.size(); ++i)
+      out.push_back(score(*genes[i], *contexts[i]));
+    return out;
+  }
+
   /// Upper bound of score() for the given target length (used by the
   /// neighborhood-search trigger's normalization and by reports). May be
   /// +infinity for unbounded graders.

@@ -274,6 +274,206 @@ std::vector<float> NnffModel::forwardIOOnlyFast(const dsl::Spec& spec) const {
   return logits;
 }
 
+const std::vector<float>& NnffModel::traceEncodingMemo(
+    const dsl::Value& value) const {
+  const auto tokens = encoder_.encodeValue(value);
+  std::string key;
+  key.reserve(tokens.size() * 4);
+  for (std::size_t t : tokens) {
+    // Token ids are bounded by vocabSize() = 2*vmax + 2 with a 32-bit vmax;
+    // pack the full 32 bits so distinct tokens can never share a key.
+    for (std::size_t b = 0; b < 4; ++b)
+      key.push_back(static_cast<char>((t >> (8 * b)) & 0xff));
+  }
+  const auto it = traceMemo_.find(key);
+  if (it != traceMemo_.end()) return it->second;
+  // Bound the memo so a long-running service cannot grow it without limit;
+  // a full clear is simpler than LRU and amortizes to nothing.
+  constexpr std::size_t kMaxEntries = 1u << 15;
+  if (traceMemo_.size() >= kMaxEntries) traceMemo_.clear();
+  std::vector<float> h(config_.hiddenDim);
+  nn::lstmEncodeTokensFast(*traceLstm_, *valueEmb_, tokens, h.data(),
+                           scratch_);
+  return traceMemo_.emplace(std::move(key), std::move(h)).first->second;
+}
+
+std::vector<std::vector<float>> NnffModel::predictBatch(
+    const dsl::Spec& spec, const std::vector<const dsl::Program*>& candidates,
+    const std::vector<const std::vector<std::vector<dsl::Value>>*>& traces)
+    const {
+  const std::size_t batch = candidates.size();
+  if (batch == 0) return {};
+  if (config_.useTrace && traces.size() != batch)
+    throw std::invalid_argument("NnffModel: one trace set per candidate");
+  const std::size_t h = config_.hiddenDim;
+  const std::size_t e = config_.embedDim;
+  const std::size_t m = std::min(spec.size(), config_.maxExamples);
+  if (config_.useTrace) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      if (traces[b] == nullptr || traces[b]->size() < m)
+        throw std::invalid_argument("NnffModel: one trace per example required");
+    }
+  }
+
+  // His: example-major blocks of B x h (block i feeds exampleLstm step i).
+  std::vector<float> His(std::max<std::size_t>(m, 1) * batch * h);
+  std::vector<float> hProg(batch * h), cProg(batch * h), hMul(batch * h),
+      hFeat(batch * h);
+  std::vector<float> h1s(h), c1s(h), h2s(h), c2s(h);
+  std::vector<float> hC(batch * h), cC(batch * h), h2(batch * h),
+      c2(batch * h);
+
+  // Shared spec encodings, computed once for the whole population (the
+  // scalar path recomputes these for every gene) and batched across the m
+  // examples.
+  std::vector<std::vector<std::size_t>> inTokens(m), outTokens(m);
+  std::vector<float> ioFeatsAll(m * kIoFeatureDim);
+  for (std::size_t i = 0; i < m; ++i) {
+    const dsl::IOExample& example = spec.examples[i];
+    inTokens[i] = encoder_.encodeInputs(example.inputs);
+    outTokens[i] = encoder_.encodeValue(example.output);
+    const auto feats = ioSummaryFeatures(example.inputs, example.output);
+    std::copy(feats.begin(), feats.end(),
+              ioFeatsAll.begin() + i * kIoFeatureDim);
+  }
+  std::vector<float> hInAll(m * h), hOutAll(m * h), hIoFAll(m * h);
+  nn::lstmEncodeTokensBatchFast(*inputLstm_, *valueEmb_, inTokens,
+                                hInAll.data(), scratch_);
+  nn::lstmEncodeTokensBatchFast(*outputLstm_, *valueEmb_, outTokens,
+                                hOutAll.data(), scratch_);
+  nn::linearForwardBatchFast(*ioFeatProj_, ioFeatsAll.data(), m,
+                             hIoFAll.data());
+  for (float& v : hIoFAll) v = std::tanh(v);
+
+  for (std::size_t i = 0; i < m; ++i) {
+    const dsl::IOExample& example = spec.examples[i];
+    const float* hIn = hInAll.data() + i * h;
+    const float* hOut = hOutAll.data() + i * h;
+    const float* hIoF = hIoFAll.data() + i * h;
+
+    if (config_.useTrace) {
+      // Program branch, batched over genes: step k runs all genes that are
+      // at least k+1 long through stepLstm as one B x (e+h+2) block.
+      const std::size_t stepWidth = e + h + 2;
+      std::size_t maxLen = 0;
+      for (std::size_t b = 0; b < batch; ++b) {
+        const auto& trace = (*traces[b])[i];
+        if (trace.size() != candidates[b]->length())
+          throw std::invalid_argument(
+              "NnffModel: trace length != program length");
+        maxLen = std::max(maxLen, candidates[b]->length());
+      }
+      std::vector<float> xStep(batch * stepWidth, 0.0f);
+      std::vector<std::uint8_t> active(batch);
+      std::vector<std::size_t> exactSteps(batch, 0);
+      std::fill(hProg.begin(), hProg.end(), 0.0f);
+      std::fill(cProg.begin(), cProg.end(), 0.0f);
+      for (std::size_t k = 0; k < maxLen; ++k) {
+        for (std::size_t b = 0; b < batch; ++b) {
+          active[b] = k < candidates[b]->length() ? 1 : 0;
+          if (!active[b]) continue;
+          float* x = xStep.data() + b * stepWidth;
+          const float* fRow = funcEmb_->table().data() +
+                              static_cast<std::size_t>(candidates[b]->at(k)) * e;
+          std::copy(fRow, fRow + e, x);
+          const dsl::Value& tv = (*traces[b])[i][k];
+          const auto& tEnc = traceEncodingMemo(tv);
+          std::copy(tEnc.begin(), tEnc.end(), x + e);
+          const auto dist = valueEditDistance(tv, example.output);
+          x[e + h] = 1.0f / (1.0f + static_cast<float>(dist));
+          x[e + h + 1] = (dist == 0) ? 1.0f : 0.0f;
+          if (dist == 0) ++exactSteps[b];
+        }
+        nn::lstmStepBatchFast(*stepLstm_, xStep.data(), batch, hProg.data(),
+                              cProg.data(), scratch_, active.data());
+      }
+      for (std::size_t b = 0; b < batch; ++b)
+        for (std::size_t j = 0; j < h; ++j)
+          hMul[b * h + j] = hOut[j] * hProg[b * h + j];
+      std::vector<float> g(batch * 4);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const std::size_t len = candidates[b]->length();
+        const dsl::Value& finalValue =
+            len == 0 ? dsl::Value::defaultFor(dsl::Type::List)
+                     : (*traces[b])[i].back();
+        const auto finalDist = valueEditDistance(finalValue, example.output);
+        g[b * 4 + 0] = 1.0f / (1.0f + static_cast<float>(finalDist));
+        g[b * 4 + 1] = (finalDist == 0) ? 1.0f : 0.0f;
+        g[b * 4 + 2] =
+            (finalValue.type() == example.output.type()) ? 1.0f : 0.0f;
+        g[b * 4 + 3] = len == 0 ? 0.0f
+                                : static_cast<float>(exactSteps[b]) /
+                                      static_cast<float>(len);
+      }
+      nn::linearForwardBatchFast(*featProj_, g.data(), batch, hFeat.data());
+      for (float& v : hFeat) v = std::tanh(v);
+    }
+
+    // Stacked combiners. The first three pieces are spec-level — identical
+    // for every gene — so both combiner LSTMs advance through them once on a
+    // single row; the resulting states are broadcast and the gene pieces run
+    // batched. Layer 2 consumes layer 1's hidden right after each step
+    // (equivalent to encodeAll + encode, without materializing the l1
+    // sequence).
+    std::fill(h1s.begin(), h1s.end(), 0.0f);
+    std::fill(c1s.begin(), c1s.end(), 0.0f);
+    std::fill(h2s.begin(), h2s.end(), 0.0f);
+    std::fill(c2s.begin(), c2s.end(), 0.0f);
+    const float* sharedPieces[3] = {hIn, hOut, hIoF};
+    for (const float* piece : sharedPieces) {
+      nn::lstmStepFast(*combine1_, piece, h1s.data(), c1s.data(), scratch_);
+      nn::lstmStepFast(*combine2_, h1s.data(), h2s.data(), c2s.data(),
+                       scratch_);
+    }
+    float* Hi = His.data() + i * batch * h;
+    if (config_.useTrace) {
+      for (std::size_t b = 0; b < batch; ++b) {
+        std::copy(h1s.begin(), h1s.end(), hC.begin() + b * h);
+        std::copy(c1s.begin(), c1s.end(), cC.begin() + b * h);
+        std::copy(h2s.begin(), h2s.end(), h2.begin() + b * h);
+        std::copy(c2s.begin(), c2s.end(), c2.begin() + b * h);
+      }
+      const float* genePieces[3] = {hProg.data(), hMul.data(), hFeat.data()};
+      for (const float* piece : genePieces) {
+        nn::lstmStepBatchFast(*combine1_, piece, batch, hC.data(), cC.data(),
+                              scratch_);
+        nn::lstmStepBatchFast(*combine2_, hC.data(), batch, h2.data(),
+                              c2.data(), scratch_);
+      }
+      std::copy(h2.begin(), h2.end(), Hi);
+    } else {
+      for (std::size_t b = 0; b < batch; ++b)
+        std::copy(h2s.begin(), h2s.end(), Hi + b * h);
+    }
+  }
+
+  std::vector<const float*> hiPtrs(m);
+  for (std::size_t i = 0; i < m; ++i) hiPtrs[i] = His.data() + i * batch * h;
+  std::vector<float> fused(batch * h);
+  nn::lstmEncodeVectorsBatchFast(*exampleLstm_, hiPtrs, batch, fused.data(),
+                                 scratch_);
+  std::vector<float> hidden(batch * fc1_->outDim());
+  nn::linearForwardBatchFast(*fc1_, fused.data(), batch, hidden.data());
+  nn::reluFast(hidden.data(), hidden.size());
+  std::vector<float> logits(batch * fc2_->outDim());
+  nn::linearForwardBatchFast(*fc2_, hidden.data(), batch, logits.data());
+
+  std::vector<std::vector<float>> out(batch);
+  const std::size_t od = fc2_->outDim();
+  for (std::size_t b = 0; b < batch; ++b)
+    out[b].assign(logits.begin() + b * od, logits.begin() + (b + 1) * od);
+  return out;
+}
+
+std::unique_ptr<NnffModel> NnffModel::clone() const {
+  auto copy = std::make_unique<NnffModel>(config_);
+  const auto& src = params_.params();
+  const auto& dst = copy->params_.params();
+  for (std::size_t i = 0; i < src.size(); ++i)
+    dst[i]->value() = src[i]->value();
+  return copy;
+}
+
 nn::Var NnffModel::forwardIOOnly(const dsl::Spec& spec) const {
   if (config_.useTrace)
     throw std::logic_error(

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "dsl/program.hpp"
@@ -71,12 +72,29 @@ class NnffModel {
 
   /// Allocation-free forward passes producing raw logits. Numerically
   /// identical to forward()/forwardIOOnly() (asserted by tests) but ~3-4x
-  /// faster; used on the GA's hot path. Not thread-safe (reuses internal
+  /// faster; used for single-gene scoring. Not thread-safe (reuses internal
   /// scratch buffers); clone the model per worker thread.
   std::vector<float> forwardFast(
       const dsl::Spec& spec, const dsl::Program& candidate,
       const std::vector<std::vector<dsl::Value>>& traces) const;
   std::vector<float> forwardIOOnlyFast(const dsl::Spec& spec) const;
+
+  /// Population-batched forward pass: row i of the result is the logits of
+  /// candidates[i] (bitwise identical to forwardFast on the same gene). The
+  /// GA's hot path: spec encodings are computed once per example instead of
+  /// once per gene, repeated trace values hit a memo, and every LSTM/linear
+  /// layer runs the whole population as one matrix-matrix product.
+  /// `traces[i]` are candidate i's per-example traces (as in forwardFast).
+  /// Not thread-safe; clone the model per worker thread.
+  std::vector<std::vector<float>> predictBatch(
+      const dsl::Spec& spec,
+      const std::vector<const dsl::Program*>& candidates,
+      const std::vector<const std::vector<std::vector<dsl::Value>>*>& traces)
+      const;
+
+  /// Deep copy with identical parameters and its own scratch/memo buffers —
+  /// the unit of per-worker isolation for the parallel experiment runner.
+  std::unique_ptr<NnffModel> clone() const;
 
   void save(const std::string& path) const { nn::saveParams(params_, path); }
   void load(const std::string& path) { nn::loadParams(params_, path); }
@@ -99,6 +117,11 @@ class NnffModel {
                          const std::vector<dsl::Value>* trace,
                          float* out) const;
 
+  /// Memoized traceLstm encoding of one trace value. The encoding is a pure
+  /// function of the token sequence, so entries never go stale; the memo is
+  /// cleared when it outgrows its bound.
+  const std::vector<float>& traceEncodingMemo(const dsl::Value& value) const;
+
   NnffConfig config_;
   TokenEncoder encoder_;
   nn::ParamStore params_;
@@ -116,6 +139,10 @@ class NnffModel {
   std::unique_ptr<nn::Linear> fc1_;
   std::unique_ptr<nn::Linear> fc2_;
   mutable nn::InferenceScratch scratch_;  ///< fast-path buffers
+  /// Trace-value encoding memo for the batched path, keyed by the packed
+  /// token sequence (GA populations re-produce the same intermediate values
+  /// across genes and generations).
+  mutable std::unordered_map<std::string, std::vector<float>> traceMemo_;
 };
 
 }  // namespace netsyn::fitness

@@ -15,20 +15,10 @@ std::vector<std::vector<dsl::Value>> tracesFromRuns(
   return traces;
 }
 
-}  // namespace
-
-NeuralFitness::NeuralFitness(std::shared_ptr<NnffModel> model,
-                             std::string name)
-    : model_(std::move(model)), name_(std::move(name)) {
-  if (model_->config().head != HeadKind::Classifier)
-    throw std::invalid_argument("NeuralFitness requires a Classifier head");
-}
-
-std::vector<double> NeuralFitness::classProbabilities(
-    const dsl::Program& gene, const EvalContext& ctx) const {
-  const auto logits =
-      model_->forwardFast(ctx.spec, gene, tracesFromRuns(ctx.runs));
-  // Stable softmax over the raw logits.
+/// Stable softmax over raw logits (identical arithmetic to
+/// NeuralFitness::classProbabilities, so scalar and batched scores agree
+/// bitwise).
+std::vector<double> softmaxOfLogits(const std::vector<float>& logits) {
   const float mx = *std::max_element(logits.begin(), logits.end());
   std::vector<double> probs(logits.size());
   double sum = 0.0;
@@ -40,13 +30,73 @@ std::vector<double> NeuralFitness::classProbabilities(
   return probs;
 }
 
-double NeuralFitness::score(const dsl::Program& gene,
-                            const EvalContext& ctx) {
-  const auto probs = classProbabilities(gene, ctx);
+double expectationFromLogits(const std::vector<float>& logits) {
+  const auto probs = softmaxOfLogits(logits);
   double expectation = 0.0;
   for (std::size_t j = 0; j < probs.size(); ++j)
     expectation += static_cast<double>(j) * probs[j];
   return expectation;
+}
+
+/// Runs one predictBatch per maximal run of contexts sharing a spec (in the
+/// GA every context shares the generation's spec, so this is one batch) and
+/// maps each gene's logits row through `toScore`.
+template <typename ToScore>
+std::vector<double> batchOverSharedSpecs(
+    NnffModel& model, const std::vector<const dsl::Program*>& genes,
+    const std::vector<const EvalContext*>& contexts, const ToScore& toScore) {
+  std::vector<double> out(genes.size());
+  std::vector<std::vector<std::vector<dsl::Value>>> traceStore;
+  std::size_t begin = 0;
+  while (begin < genes.size()) {
+    std::size_t end = begin + 1;
+    while (end < genes.size() &&
+           &contexts[end]->spec == &contexts[begin]->spec)
+      ++end;
+    const std::size_t n = end - begin;
+    traceStore.clear();
+    traceStore.reserve(n);
+    std::vector<const dsl::Program*> progs(n);
+    std::vector<const std::vector<std::vector<dsl::Value>>*> traces(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      progs[i] = genes[begin + i];
+      traceStore.push_back(tracesFromRuns(contexts[begin + i]->runs));
+      traces[i] = &traceStore.back();
+    }
+    const auto logits =
+        model.predictBatch(contexts[begin]->spec, progs, traces);
+    for (std::size_t i = 0; i < n; ++i) out[begin + i] = toScore(logits[i]);
+    begin = end;
+  }
+  return out;
+}
+
+}  // namespace
+
+NeuralFitness::NeuralFitness(std::shared_ptr<NnffModel> model,
+                             std::string name)
+    : model_(std::move(model)), name_(std::move(name)) {
+  if (model_->config().head != HeadKind::Classifier)
+    throw std::invalid_argument("NeuralFitness requires a Classifier head");
+}
+
+std::vector<double> NeuralFitness::classProbabilities(
+    const dsl::Program& gene, const EvalContext& ctx) const {
+  return softmaxOfLogits(
+      model_->forwardFast(ctx.spec, gene, tracesFromRuns(ctx.runs)));
+}
+
+double NeuralFitness::score(const dsl::Program& gene,
+                            const EvalContext& ctx) {
+  return expectationFromLogits(
+      model_->forwardFast(ctx.spec, gene, tracesFromRuns(ctx.runs)));
+}
+
+std::vector<double> NeuralFitness::scoreBatch(
+    const std::vector<const dsl::Program*>& genes,
+    const std::vector<const EvalContext*>& contexts) {
+  return batchOverSharedSpecs(*model_, genes, contexts,
+                              expectationFromLogits);
 }
 
 ProbMapFitness::ProbMapFitness(std::shared_ptr<NnffModel> fpModel)
@@ -59,13 +109,15 @@ ProbMapFitness::ProbMapFitness(std::shared_ptr<NnffModel> fpModel)
 
 std::array<double, dsl::kNumFunctions> ProbMapFitness::probMap(
     const dsl::Spec& spec) {
-  if (cachedSpec_ == &spec) return cachedMap_;
+  const std::uint64_t fp = spec.fingerprint();
+  if (hasCachedMap_ && cachedFingerprint_ == fp) return cachedMap_;
   const auto logits = model_->forwardIOOnlyFast(spec);
   for (std::size_t j = 0; j < dsl::kNumFunctions; ++j) {
     cachedMap_[j] =
         1.0 / (1.0 + std::exp(-static_cast<double>(logits[j])));
   }
-  cachedSpec_ = &spec;
+  hasCachedMap_ = true;
+  cachedFingerprint_ = fp;
   return cachedMap_;
 }
 
@@ -75,6 +127,27 @@ double ProbMapFitness::score(const dsl::Program& gene,
   double total = 0.0;
   for (dsl::FuncId f : gene.functions()) total += map[f];
   return total;
+}
+
+std::vector<double> ProbMapFitness::scoreBatch(
+    const std::vector<const dsl::Program*>& genes,
+    const std::vector<const EvalContext*>& contexts) {
+  std::vector<double> out(genes.size());
+  std::size_t begin = 0;
+  while (begin < genes.size()) {
+    std::size_t end = begin + 1;
+    while (end < genes.size() &&
+           &contexts[end]->spec == &contexts[begin]->spec)
+      ++end;
+    const auto map = probMap(contexts[begin]->spec);
+    for (std::size_t i = begin; i < end; ++i) {
+      double total = 0.0;
+      for (dsl::FuncId f : genes[i]->functions()) total += map[f];
+      out[i] = total;
+    }
+    begin = end;
+  }
+  return out;
 }
 
 RegressionFitness::RegressionFitness(std::shared_ptr<NnffModel> model)
@@ -88,6 +161,15 @@ double RegressionFitness::score(const dsl::Program& gene,
   const auto pred =
       model_->forwardFast(ctx.spec, gene, tracesFromRuns(ctx.runs));
   return std::max(0.0, static_cast<double>(pred[0]));
+}
+
+std::vector<double> RegressionFitness::scoreBatch(
+    const std::vector<const dsl::Program*>& genes,
+    const std::vector<const EvalContext*>& contexts) {
+  return batchOverSharedSpecs(
+      *model_, genes, contexts, [](const std::vector<float>& pred) {
+        return std::max(0.0, static_cast<double>(pred[0]));
+      });
 }
 
 }  // namespace netsyn::fitness

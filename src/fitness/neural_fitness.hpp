@@ -14,6 +14,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <memory>
 
 #include "fitness/fitness.hpp"
@@ -35,6 +36,10 @@ class NeuralFitness final : public FitnessFunction {
   NeuralFitness(std::shared_ptr<NnffModel> model, std::string name);
 
   double score(const dsl::Program& gene, const EvalContext& ctx) override;
+  /// One batched forward over the whole population (NnffModel::predictBatch).
+  std::vector<double> scoreBatch(
+      const std::vector<const dsl::Program*>& genes,
+      const std::vector<const EvalContext*>& contexts) override;
   double maxScore(std::size_t) const override {
     return static_cast<double>(model_->config().numClasses - 1);
   }
@@ -55,18 +60,26 @@ class ProbMapFitness final : public FitnessFunction, public ProbMapProvider {
   explicit ProbMapFitness(std::shared_ptr<NnffModel> fpModel);
 
   double score(const dsl::Program& gene, const EvalContext& ctx) override;
+  /// Computes (or fetches) the per-spec map once for the whole population
+  /// instead of once per gene.
+  std::vector<double> scoreBatch(
+      const std::vector<const dsl::Program*>& genes,
+      const std::vector<const EvalContext*>& contexts) override;
   double maxScore(std::size_t targetLength) const override {
     return static_cast<double>(targetLength);  // all probabilities <= 1
   }
   std::string name() const override { return "NN_FP"; }
 
-  /// Cached per-spec probability map (recomputed when the spec changes).
+  /// Cached per-spec probability map. Invalidation is by content
+  /// fingerprint, not by address: a different spec allocated where the old
+  /// one lived must not return a stale map.
   std::array<double, dsl::kNumFunctions> probMap(
       const dsl::Spec& spec) override;
 
  private:
   std::shared_ptr<NnffModel> model_;
-  const dsl::Spec* cachedSpec_ = nullptr;
+  bool hasCachedMap_ = false;
+  std::uint64_t cachedFingerprint_ = 0;
   std::array<double, dsl::kNumFunctions> cachedMap_{};
 };
 
@@ -77,6 +90,9 @@ class RegressionFitness final : public FitnessFunction {
   explicit RegressionFitness(std::shared_ptr<NnffModel> model);
 
   double score(const dsl::Program& gene, const EvalContext& ctx) override;
+  std::vector<double> scoreBatch(
+      const std::vector<const dsl::Program*>& genes,
+      const std::vector<const EvalContext*>& contexts) override;
   double maxScore(std::size_t targetLength) const override {
     return static_cast<double>(targetLength);
   }

@@ -101,6 +101,8 @@ ExperimentConfig ExperimentConfig::fromArgs(const util::ArgParse& args) {
       "train-programs", static_cast<long>(cfg.trainingPrograms)));
   cfg.trainConfig.epochs = static_cast<std::size_t>(
       args.getInt("epochs", static_cast<long>(cfg.trainConfig.epochs)));
+  cfg.workers = static_cast<std::size_t>(
+      args.getInt("workers", static_cast<long>(cfg.workers)));
   cfg.seed = static_cast<std::uint64_t>(
       args.getInt("seed", static_cast<long>(cfg.seed)));
   cfg.modelDir = args.getString("model-dir", cfg.modelDir);

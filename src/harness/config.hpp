@@ -39,6 +39,13 @@ struct ExperimentConfig {
   // ---- GA ----
   core::SynthesizerConfig synthesizer;
 
+  /// Worker threads for the experiment runner: (program, run) pairs are
+  /// dispatched onto a pool of this many workers, each owning its own method
+  /// instance. 1 = sequential (default); 0 = one per hardware thread. The
+  /// per-(seed, program, run) seeding makes the resulting MethodReport
+  /// identical to a sequential run (wall-clock `seconds` aside).
+  std::size_t workers = 1;
+
   std::uint64_t seed = 2021;
   std::string modelDir = "netsyn_models";  ///< trained-model cache
 
@@ -47,7 +54,7 @@ struct ExperimentConfig {
 
   /// Preset selected by --scale plus individual flag overrides
   /// (--budget, --runs, --programs-per-length, --train-programs, --epochs,
-  ///  --seed, --model-dir, --lengths=5,7,10).
+  ///  --seed, --model-dir, --lengths=5,7,10, --workers=N).
   static ExperimentConfig fromArgs(const util::ArgParse& args);
 };
 

@@ -7,6 +7,14 @@
 
 namespace netsyn::harness {
 
+TrainedModels TrainedModels::clone() const {
+  TrainedModels copy;
+  if (cf) copy.cf = cf->clone();
+  if (lcs) copy.lcs = lcs->clone();
+  if (fp) copy.fp = fp->clone();
+  return copy;
+}
+
 std::shared_ptr<fitness::NnffModel> buildModel(const ExperimentConfig& config,
                                                fitness::HeadKind head) {
   fitness::NnffConfig mc = config.modelConfig;

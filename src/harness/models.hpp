@@ -20,6 +20,10 @@ struct TrainedModels {
   std::shared_ptr<fitness::NnffModel> cf;   ///< Classifier on CF labels
   std::shared_ptr<fitness::NnffModel> lcs;  ///< Classifier on LCS labels
   std::shared_ptr<fitness::NnffModel> fp;   ///< IO-only multilabel (FP map)
+
+  /// Independent deep copies of every model (NnffModel inference is not
+  /// thread-safe; each runner worker grades with its own clones).
+  TrainedModels clone() const;
 };
 
 /// Builds an untrained model of the configured dimensions for `head`

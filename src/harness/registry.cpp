@@ -52,20 +52,62 @@ baselines::MethodPtr makeOracle(const ExperimentConfig& config,
 
 std::vector<baselines::MethodPtr> makeAllMethods(
     const ExperimentConfig& config, const TrainedModels& models) {
-  auto fpProvider = std::make_shared<fitness::ProbMapFitness>(models.fp);
+  // One instance per factory, so the method list/order lives in exactly one
+  // place (makeAllMethodFactories).
   std::vector<baselines::MethodPtr> methods;
-  methods.push_back(std::make_shared<baselines::PushGpMethod>(
-      config.synthesizer.ga));
-  methods.push_back(makeEdit(config));
-  methods.push_back(std::make_shared<baselines::DeepCoderMethod>(fpProvider));
-  methods.push_back(std::make_shared<baselines::PcCoderMethod>(fpProvider));
-  methods.push_back(
-      std::make_shared<baselines::RobustFillMethod>(fpProvider));
-  methods.push_back(makeNetSyn(config, models, NetSynVariant::FP));
-  methods.push_back(makeNetSyn(config, models, NetSynVariant::LCS));
-  methods.push_back(makeNetSyn(config, models, NetSynVariant::CF));
-  methods.push_back(makeOracle(config, fitness::BalanceMetric::LCS));
+  for (const auto& factory : makeAllMethodFactories(config, models))
+    methods.push_back(factory());
   return methods;
+}
+
+baselines::MethodFactory makeNetSynFactory(const ExperimentConfig& config,
+                                           const TrainedModels& models,
+                                           NetSynVariant variant) {
+  // Capture the trained models by value (shared ownership); every factory
+  // call clones the models the variant actually grades with, so each
+  // instance owns its inference scratch.
+  return [config, models, variant]() {
+    TrainedModels own;
+    own.fp = models.fp->clone();  // every variant mutates with the FP map
+    if (variant == NetSynVariant::CF) own.cf = models.cf->clone();
+    if (variant == NetSynVariant::LCS) own.lcs = models.lcs->clone();
+    return makeNetSyn(config, own, variant);
+  };
+}
+
+baselines::MethodFactory makeEditFactory(const ExperimentConfig& config) {
+  return [config]() { return makeEdit(config); };
+}
+
+baselines::MethodFactory makeOracleFactory(const ExperimentConfig& config,
+                                           fitness::BalanceMetric metric) {
+  return [config, metric]() { return makeOracle(config, metric); };
+}
+
+std::vector<baselines::MethodFactory> makeAllMethodFactories(
+    const ExperimentConfig& config, const TrainedModels& models) {
+  std::vector<baselines::MethodFactory> factories;
+  factories.push_back([config]() {
+    return std::make_shared<baselines::PushGpMethod>(config.synthesizer.ga);
+  });
+  factories.push_back(makeEditFactory(config));
+  factories.push_back([models]() {
+    return std::make_shared<baselines::DeepCoderMethod>(
+        std::make_shared<fitness::ProbMapFitness>(models.fp->clone()));
+  });
+  factories.push_back([models]() {
+    return std::make_shared<baselines::PcCoderMethod>(
+        std::make_shared<fitness::ProbMapFitness>(models.fp->clone()));
+  });
+  factories.push_back([models]() {
+    return std::make_shared<baselines::RobustFillMethod>(
+        std::make_shared<fitness::ProbMapFitness>(models.fp->clone()));
+  });
+  factories.push_back(makeNetSynFactory(config, models, NetSynVariant::FP));
+  factories.push_back(makeNetSynFactory(config, models, NetSynVariant::LCS));
+  factories.push_back(makeNetSynFactory(config, models, NetSynVariant::CF));
+  factories.push_back(makeOracleFactory(config, fitness::BalanceMetric::LCS));
+  return factories;
 }
 
 }  // namespace netsyn::harness

@@ -84,4 +84,26 @@ baselines::MethodPtr makeOracle(const ExperimentConfig& config,
 std::vector<baselines::MethodPtr> makeAllMethods(
     const ExperimentConfig& config, const TrainedModels& models);
 
+// ---- per-worker factories ---------------------------------------------------
+//
+// The parallel runner (runner.hpp) builds one method instance per worker
+// thread. Each factory invocation clones the NN models it uses, so instances
+// never share mutable inference state.
+
+/// Factory for one NetSyn variant (same configuration as makeNetSyn).
+baselines::MethodFactory makeNetSynFactory(const ExperimentConfig& config,
+                                           const TrainedModels& models,
+                                           NetSynVariant variant);
+
+/// Factory for the edit-distance GA (stateless fitness; no models).
+baselines::MethodFactory makeEditFactory(const ExperimentConfig& config);
+
+/// Factory for an oracle method.
+baselines::MethodFactory makeOracleFactory(const ExperimentConfig& config,
+                                           fitness::BalanceMetric metric);
+
+/// Factories for every method of makeAllMethods, in the same order.
+std::vector<baselines::MethodFactory> makeAllMethodFactories(
+    const ExperimentConfig& config, const TrainedModels& models);
+
 }  // namespace netsyn::harness

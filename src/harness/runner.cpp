@@ -1,12 +1,52 @@
 #include "harness/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <thread>
 
 namespace netsyn::harness {
 namespace {
+
+/// Deterministic per-(seed, program, run) RNG: independent of scheduling, so
+/// sequential and parallel runs search identically.
+util::Rng runRng(const ExperimentConfig& config, std::size_t p,
+                 std::size_t k) {
+  return util::Rng(config.seed ^ (p * 0x9e3779b97f4a7c15ULL) ^
+                   (k * 0xbf58476d1ce4e5b9ULL) ^ 0x1234);
+}
+
+/// Skeleton report with every (program, run) slot preallocated, so workers
+/// can write results by index and aggregation order never depends on
+/// scheduling.
+MethodReport emptyReport(const std::string& methodName,
+                         const std::vector<TestProgram>& workload,
+                         const ExperimentConfig& config) {
+  MethodReport report;
+  report.method = methodName;
+  report.budget = config.searchBudget;
+  report.programs.resize(workload.size());
+  for (std::size_t p = 0; p < workload.size(); ++p) {
+    ProgramResult& pr = report.programs[p];
+    pr.programId = workload[p].id;
+    pr.length = workload[p].length;
+    pr.singleton = workload[p].singleton;
+    pr.target = workload[p].target;
+    pr.runs.resize(config.runsPerProgram);
+  }
+  return report;
+}
+
+void reportProgress(const MethodReport& report,
+                    const std::vector<TestProgram>& workload) {
+  for (std::size_t p = 0; p < workload.size(); ++p) {
+    std::fprintf(stderr, "  [%s] len=%zu prog=%zu rate=%.0f%%\n",
+                 report.method.c_str(), workload[p].length, workload[p].id,
+                 report.programs[p].synthesisRate() * 100.0);
+  }
+}
 
 double meanOverFound(const std::vector<RunRecord>& runs,
                      double (*pick)(const RunRecord&)) {
@@ -74,37 +114,80 @@ double MethodReport::meanGenerations() const {
 MethodReport runMethod(baselines::Method& method,
                        const std::vector<TestProgram>& workload,
                        const ExperimentConfig& config, bool verbose) {
-  MethodReport report;
-  report.method = method.name();
-  report.budget = config.searchBudget;
-  report.programs.reserve(workload.size());
-
+  MethodReport report = emptyReport(method.name(), workload, config);
   auto* targetAware = dynamic_cast<TargetAware*>(&method);
   for (std::size_t p = 0; p < workload.size(); ++p) {
     const TestProgram& tp = workload[p];
     if (targetAware) targetAware->setTarget(tp.target);
-
-    ProgramResult pr;
-    pr.programId = tp.id;
-    pr.length = tp.length;
-    pr.singleton = tp.singleton;
-    pr.target = tp.target;
-    pr.runs.reserve(config.runsPerProgram);
     for (std::size_t k = 0; k < config.runsPerProgram; ++k) {
-      util::Rng rng(config.seed ^ (p * 0x9e3779b97f4a7c15ULL) ^
-                    (k * 0xbf58476d1ce4e5b9ULL) ^ 0x1234);
+      util::Rng rng = runRng(config, p, k);
       const auto result = method.synthesize(tp.spec, tp.length,
                                             config.searchBudget, rng);
-      pr.runs.push_back(RunRecord{result.found, result.candidatesSearched,
-                                  result.seconds, result.generations});
+      report.programs[p].runs[k] =
+          RunRecord{result.found, result.candidatesSearched, result.seconds,
+                    result.generations};
     }
     if (verbose) {
       std::fprintf(stderr, "  [%s] len=%zu prog=%zu rate=%.0f%%\n",
                    report.method.c_str(), tp.length, tp.id,
-                   pr.synthesisRate() * 100.0);
+                   report.programs[p].synthesisRate() * 100.0);
     }
-    report.programs.push_back(std::move(pr));
   }
+  return report;
+}
+
+MethodReport runMethod(const baselines::MethodFactory& makeMethod,
+                       const std::vector<TestProgram>& workload,
+                       const ExperimentConfig& config, bool verbose) {
+  std::size_t workers = config.workers;
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const std::size_t totalTasks = workload.size() * config.runsPerProgram;
+  workers = std::min(workers, std::max<std::size_t>(totalTasks, 1));
+
+  if (workers <= 1) {
+    auto method = makeMethod();
+    return runMethod(*method, workload, config, verbose);
+  }
+
+  // Building a method can be expensive (NN model clones), so the instance
+  // used for the name is handed to the first worker instead of discarded.
+  baselines::MethodPtr firstInstance = makeMethod();
+  MethodReport report = emptyReport(firstInstance->name(), workload, config);
+
+  // Work queue: flat (program, run) index, claimed atomically. Each worker
+  // owns one method instance for its whole lifetime; every run derives its
+  // RNG from (seed, p, k) and writes to its preassigned slot, so the
+  // deterministic report fields cannot depend on the schedule.
+  std::atomic<std::size_t> nextTask{0};
+  const std::size_t runsPer = config.runsPerProgram;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w]() {
+      const baselines::MethodPtr method =
+          w == 0 ? std::move(firstInstance) : makeMethod();
+      auto* targetAware = dynamic_cast<TargetAware*>(method.get());
+      while (true) {
+        const std::size_t task = nextTask.fetch_add(1);
+        if (task >= totalTasks) break;
+        const std::size_t p = task / runsPer;
+        const std::size_t k = task % runsPer;
+        const TestProgram& tp = workload[p];
+        if (targetAware) targetAware->setTarget(tp.target);
+        util::Rng rng = runRng(config, p, k);
+        const auto result =
+            method->synthesize(tp.spec, tp.length, config.searchBudget, rng);
+        report.programs[p].runs[k] =
+            RunRecord{result.found, result.candidatesSearched, result.seconds,
+                      result.generations};
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  if (verbose) reportProgress(report, workload);
   return report;
 }
 

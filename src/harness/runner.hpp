@@ -55,10 +55,23 @@ struct MethodReport {
   double meanGenerations() const;
 };
 
-/// Runs `method` over `workload` with config.runsPerProgram repetitions.
-/// Deterministic: run k of program p uses a seed derived from (config.seed,
-/// p, k). Progress lines go to stderr when `verbose`.
+/// Runs `method` over `workload` with config.runsPerProgram repetitions,
+/// sequentially (a single method instance is not thread-safe, so this
+/// overload ignores config.workers). Deterministic: run k of program p uses
+/// a seed derived from (config.seed, p, k). Progress lines go to stderr
+/// when `verbose`.
 MethodReport runMethod(baselines::Method& method,
+                       const std::vector<TestProgram>& workload,
+                       const ExperimentConfig& config, bool verbose = true);
+
+/// Parallel runner: dispatches every (program, run) pair onto a pool of
+/// config.workers threads (0 = one per hardware thread), each worker grading
+/// with its own method instance from `makeMethod`. Because run k of program
+/// p is seeded from (config.seed, p, k) and every result lands in its
+/// preassigned slot, the report's deterministic fields (found / candidates /
+/// generations and everything derived from them) are identical to a
+/// sequential run; only the wall-clock `seconds` fields vary.
+MethodReport runMethod(const baselines::MethodFactory& makeMethod,
                        const std::vector<TestProgram>& workload,
                        const ExperimentConfig& config, bool verbose = true);
 

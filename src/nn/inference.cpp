@@ -1,7 +1,9 @@
 #include "nn/inference.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <vector>
 
 namespace netsyn::nn {
 namespace {
@@ -70,6 +72,88 @@ void lstmEncodeVectorsFast(const Lstm& lstm,
 void linearForwardFast(const Linear& linear, const float* x, float* out) {
   std::memcpy(out, linear.bias().data(), linear.outDim() * sizeof(float));
   addVecMat(x, linear.inDim(), linear.weight(), out);
+}
+
+void lstmStepBatchFast(const Lstm& lstm, const float* x, std::size_t batch,
+                       float* h, float* c, InferenceScratch& scratch,
+                       const std::uint8_t* active) {
+  const std::size_t in = lstm.inDim();
+  const std::size_t hd = lstm.hiddenDim();
+  const std::size_t g4 = 4 * hd;
+  scratch.ensure(batch * g4);
+  float* z = scratch.z.data();
+  // Z = bias broadcast + X * Wx + H * Wh, one matrix-matrix product per
+  // weight. Row-wise accumulation order matches lstmStepFast bitwise.
+  const float* bias = lstm.biasRaw().data();
+  for (std::size_t b = 0; b < batch; ++b)
+    std::memcpy(z + b * g4, bias, g4 * sizeof(float));
+  for (std::size_t b = 0; b < batch; ++b)
+    addVecMat(x + b * in, in, lstm.weightX(), z + b * g4);
+  for (std::size_t b = 0; b < batch; ++b)
+    addVecMat(h + b * hd, hd, lstm.weightH(), z + b * g4);
+  for (std::size_t b = 0; b < batch; ++b) {
+    if (active != nullptr && active[b] == 0) continue;
+    float* zb = z + b * g4;
+    float* hb = h + b * hd;
+    float* cb = c + b * hd;
+    for (std::size_t j = 0; j < hd; ++j) {
+      const float ig = sigmoidf(zb[j]);
+      const float fg = sigmoidf(zb[hd + j]);
+      const float gg = std::tanh(zb[2 * hd + j]);
+      const float og = sigmoidf(zb[3 * hd + j]);
+      cb[j] = fg * cb[j] + ig * gg;
+      hb[j] = og * std::tanh(cb[j]);
+    }
+  }
+}
+
+void lstmEncodeTokensBatchFast(
+    const Lstm& lstm, const Embedding& embedding,
+    const std::vector<std::vector<std::size_t>>& tokens, float* h,
+    InferenceScratch& scratch) {
+  const std::size_t batch = tokens.size();
+  const std::size_t hd = lstm.hiddenDim();
+  const std::size_t e = embedding.dim();
+  std::size_t maxLen = 0;
+  for (const auto& seq : tokens) maxLen = std::max(maxLen, seq.size());
+  std::memset(h, 0, batch * hd * sizeof(float));
+  if (maxLen == 0) return;
+
+  std::vector<float> c(batch * hd, 0.0f);
+  std::vector<float> x(batch * e, 0.0f);
+  std::vector<std::uint8_t> active(batch);
+  const Matrix& table = embedding.table();
+  for (std::size_t t = 0; t < maxLen; ++t) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      active[b] = t < tokens[b].size() ? 1 : 0;
+      if (active[b])
+        std::memcpy(x.data() + b * e, table.data() + tokens[b][t] * e,
+                    e * sizeof(float));
+    }
+    lstmStepBatchFast(lstm, x.data(), batch, h, c.data(), scratch,
+                      active.data());
+  }
+}
+
+void lstmEncodeVectorsBatchFast(const Lstm& lstm,
+                                const std::vector<const float*>& xs,
+                                std::size_t batch, float* h,
+                                InferenceScratch& scratch) {
+  const std::size_t hd = lstm.hiddenDim();
+  std::vector<float> c(batch * hd, 0.0f);
+  std::memset(h, 0, batch * hd * sizeof(float));
+  for (const float* x : xs)
+    lstmStepBatchFast(lstm, x, batch, h, c.data(), scratch);
+}
+
+void linearForwardBatchFast(const Linear& linear, const float* x,
+                            std::size_t batch, float* out) {
+  const std::size_t in = linear.inDim();
+  const std::size_t o = linear.outDim();
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::memcpy(out + b * o, linear.bias().data(), o * sizeof(float));
+    addVecMat(x + b * in, in, linear.weight(), out + b * o);
+  }
 }
 
 void reluFast(float* x, std::size_t n) {

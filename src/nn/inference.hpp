@@ -9,15 +9,17 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "nn/layers.hpp"
 
 namespace netsyn::nn {
 
-/// Reusable buffers for one inference thread.
+/// Reusable buffers for one inference thread. The batched kernels size the
+/// same buffers to batch * 4H, so one scratch serves both paths.
 struct InferenceScratch {
-  std::vector<float> z;  ///< 4H gate pre-activations
+  std::vector<float> z;  ///< gate pre-activations (B x 4H)
   std::vector<float> tmp;
 
   void ensure(std::size_t n) {
@@ -48,5 +50,41 @@ void linearForwardFast(const Linear& linear, const float* x, float* out);
 
 /// In-place ReLU.
 void reluFast(float* x, std::size_t n);
+
+// ---- population-batched kernels --------------------------------------------
+//
+// The batched kernels run B rows through one layer at a time as matrix-matrix
+// products (Z = X*Wx + H*Wh + b broadcast) instead of B separate vector-matrix
+// passes. Per-row accumulation order matches the scalar kernels exactly, so a
+// batched forward is bitwise identical to B scalar forwards (pinned by
+// tests/test_batch_parity.cpp).
+
+/// One batched LSTM step: x is B x inDim, h and c are B x hiddenDim, all
+/// row-major and carrying the previous state. When `active` is non-null,
+/// rows with active[b] == 0 keep their h/c untouched — this is how
+/// variable-length sequences are batched (a finished row's state freezes at
+/// its own final step).
+void lstmStepBatchFast(const Lstm& lstm, const float* x, std::size_t batch,
+                       float* h, float* c, InferenceScratch& scratch,
+                       const std::uint8_t* active = nullptr);
+
+/// Batched variable-length token encoding: row b of `h` (B x hiddenDim)
+/// receives the final hidden state of `tokens[b]` under `lstm`/`embedding`.
+void lstmEncodeTokensBatchFast(
+    const Lstm& lstm, const Embedding& embedding,
+    const std::vector<std::vector<std::size_t>>& tokens, float* h,
+    InferenceScratch& scratch);
+
+/// Batched fixed-length vector-sequence encoding: xs[t] points at the B x
+/// inDim inputs of timestep t; row b of `h` gets the final hidden state.
+void lstmEncodeVectorsBatchFast(const Lstm& lstm,
+                                const std::vector<const float*>& xs,
+                                std::size_t batch, float* h,
+                                InferenceScratch& scratch);
+
+/// out := X * W + b broadcast for a Linear layer (X is B x inDim, out is
+/// B x outDim).
+void linearForwardBatchFast(const Linear& linear, const float* x,
+                            std::size_t batch, float* out);
 
 }  // namespace netsyn::nn

@@ -1,0 +1,412 @@
+// Batched-evaluation parity: the population-batched NN forward, the
+// scoreBatch overrides, the batched synthesizer grading, and the batch-aware
+// evaluator must all agree with their per-gene counterparts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+#include <memory>
+
+#include "core/evaluator.hpp"
+#include "core/synthesizer.hpp"
+#include "dsl/generator.hpp"
+#include "fitness/edit.hpp"
+#include "fitness/metrics.hpp"
+#include "fitness/model.hpp"
+#include "fitness/neural_fitness.hpp"
+#include "nn/inference.hpp"
+#include "util/rng.hpp"
+
+namespace nc = netsyn::core;
+namespace nd = netsyn::dsl;
+namespace nf = netsyn::fitness;
+using netsyn::util::Rng;
+
+namespace {
+
+constexpr double kTol = 1e-9;
+
+nf::NnffConfig smallConfig(nf::HeadKind head) {
+  nf::NnffConfig cfg;
+  cfg.encoder = {.vmax = 64, .maxValueTokens = 8};
+  cfg.embedDim = 16;
+  cfg.hiddenDim = 24;
+  cfg.maxExamples = 3;
+  cfg.head = head;
+  cfg.useTrace = head != nf::HeadKind::Multilabel;
+  cfg.seed = 7;
+  return cfg;
+}
+
+/// A spec plus a random population with per-gene, per-example traces.
+struct PopulationFixture {
+  nd::Spec spec;
+  std::vector<nd::Program> genes;
+  std::vector<std::vector<nd::ExecResult>> runs;  // per gene, per example
+
+  std::vector<std::vector<std::vector<nd::Value>>> traces() const {
+    std::vector<std::vector<std::vector<nd::Value>>> out(runs.size());
+    for (std::size_t b = 0; b < runs.size(); ++b)
+      for (const auto& r : runs[b]) out[b].push_back(r.trace);
+    return out;
+  }
+};
+
+PopulationFixture makePopulation(std::size_t count, std::uint64_t seed,
+                                 bool mixedLengths = false) {
+  Rng rng(seed);
+  const nd::Generator gen;
+  const auto tc = gen.randomTestCase(5, 4, false, rng);
+  EXPECT_TRUE(tc.has_value());
+  PopulationFixture fx;
+  fx.spec = tc->spec;
+  const nd::InputSignature sig = fx.spec.signature();
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t length = mixedLengths ? 3 + (i % 4) : 5;
+    auto prog = gen.randomProgram(length, sig, rng);
+    EXPECT_TRUE(prog.has_value());
+    std::vector<nd::ExecResult> runs;
+    for (const auto& ex : fx.spec.examples)
+      runs.push_back(nd::run(*prog, ex.inputs));
+    fx.genes.push_back(std::move(*prog));
+    fx.runs.push_back(std::move(runs));
+  }
+  return fx;
+}
+
+std::vector<const nd::Program*> genePtrs(const PopulationFixture& fx) {
+  std::vector<const nd::Program*> out;
+  for (const auto& g : fx.genes) out.push_back(&g);
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------ kernel-level parity ------
+
+TEST(BatchKernels, TokenEncodingMatchesScalarPerRow) {
+  Rng rng(5);
+  netsyn::nn::ParamStore store;
+  const netsyn::nn::Embedding emb(12, 6, store, rng);
+  const netsyn::nn::Lstm lstm(6, 10, store, rng);
+  netsyn::nn::InferenceScratch scratch;
+
+  // Variable-length rows, including an empty one (encodes to zero).
+  std::vector<std::vector<std::size_t>> tokens;
+  for (std::size_t b = 0; b < 9; ++b) {
+    std::vector<std::size_t> seq;
+    for (std::size_t t = 0; t < b; ++t)
+      seq.push_back(rng.uniform(emb.vocab()));
+    tokens.push_back(std::move(seq));
+  }
+
+  std::vector<float> batched(tokens.size() * lstm.hiddenDim());
+  netsyn::nn::lstmEncodeTokensBatchFast(lstm, emb, tokens, batched.data(),
+                                        scratch);
+  for (std::size_t b = 0; b < tokens.size(); ++b) {
+    std::vector<float> single(lstm.hiddenDim());
+    netsyn::nn::lstmEncodeTokensFast(lstm, emb, tokens[b], single.data(),
+                                     scratch);
+    for (std::size_t j = 0; j < single.size(); ++j)
+      EXPECT_EQ(batched[b * lstm.hiddenDim() + j], single[j])
+          << "row " << b << " unit " << j;
+  }
+}
+
+// ------------------------------------------------- model-level parity ------
+
+TEST(PredictBatch, MatchesForwardFastPerGene) {
+  const nf::NnffModel model(smallConfig(nf::HeadKind::Classifier));
+  const auto fx = makePopulation(32, 11);
+  const auto traces = fx.traces();
+  std::vector<const std::vector<std::vector<nd::Value>>*> tracePtrs;
+  for (const auto& t : traces) tracePtrs.push_back(&t);
+
+  const auto batched = model.predictBatch(fx.spec, genePtrs(fx), tracePtrs);
+  ASSERT_EQ(batched.size(), fx.genes.size());
+  for (std::size_t b = 0; b < fx.genes.size(); ++b) {
+    const auto single = model.forwardFast(fx.spec, fx.genes[b], traces[b]);
+    ASSERT_EQ(batched[b].size(), single.size());
+    for (std::size_t j = 0; j < single.size(); ++j)
+      EXPECT_NEAR(batched[b][j], single[j], kTol)
+          << "gene " << b << " logit " << j;
+  }
+}
+
+TEST(PredictBatch, HandlesMixedLengthPopulations) {
+  const nf::NnffModel model(smallConfig(nf::HeadKind::Classifier));
+  const auto fx = makePopulation(17, 12, /*mixedLengths=*/true);
+  const auto traces = fx.traces();
+  std::vector<const std::vector<std::vector<nd::Value>>*> tracePtrs;
+  for (const auto& t : traces) tracePtrs.push_back(&t);
+
+  const auto batched = model.predictBatch(fx.spec, genePtrs(fx), tracePtrs);
+  for (std::size_t b = 0; b < fx.genes.size(); ++b) {
+    const auto single = model.forwardFast(fx.spec, fx.genes[b], traces[b]);
+    for (std::size_t j = 0; j < single.size(); ++j)
+      EXPECT_NEAR(batched[b][j], single[j], kTol);
+  }
+}
+
+TEST(PredictBatch, RepeatedCallsHitTraceMemoConsistently) {
+  const nf::NnffModel model(smallConfig(nf::HeadKind::Classifier));
+  const auto fx = makePopulation(8, 13);
+  const auto traces = fx.traces();
+  std::vector<const std::vector<std::vector<nd::Value>>*> tracePtrs;
+  for (const auto& t : traces) tracePtrs.push_back(&t);
+  const auto first = model.predictBatch(fx.spec, genePtrs(fx), tracePtrs);
+  const auto second = model.predictBatch(fx.spec, genePtrs(fx), tracePtrs);
+  for (std::size_t b = 0; b < first.size(); ++b)
+    for (std::size_t j = 0; j < first[b].size(); ++j)
+      EXPECT_EQ(first[b][j], second[b][j]);
+}
+
+TEST(ModelClone, ProducesIdenticalPredictions) {
+  const nf::NnffModel model(smallConfig(nf::HeadKind::Classifier));
+  const auto copy = model.clone();
+  const auto fx = makePopulation(4, 14);
+  const auto traces = fx.traces();
+  for (std::size_t b = 0; b < fx.genes.size(); ++b) {
+    const auto a = model.forwardFast(fx.spec, fx.genes[b], traces[b]);
+    const auto c = copy->forwardFast(fx.spec, fx.genes[b], traces[b]);
+    ASSERT_EQ(a.size(), c.size());
+    for (std::size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a[j], c[j]);
+  }
+}
+
+// ----------------------------------------------- fitness-level parity ------
+
+namespace {
+
+/// scoreBatch-vs-score parity over a fixture for any fitness function.
+void expectScoreBatchParity(nf::FitnessFunction& fit,
+                            const PopulationFixture& fx) {
+  std::vector<const nf::EvalContext*> contexts;
+  std::deque<nf::EvalContext> store;
+  for (const auto& runs : fx.runs) {
+    store.push_back(nf::EvalContext{fx.spec, runs});
+    contexts.push_back(&store.back());
+  }
+  const auto batched = fit.scoreBatch(genePtrs(fx), contexts);
+  ASSERT_EQ(batched.size(), fx.genes.size());
+  for (std::size_t b = 0; b < fx.genes.size(); ++b) {
+    const double single = fit.score(fx.genes[b], *contexts[b]);
+    EXPECT_NEAR(batched[b], single, kTol) << "gene " << b;
+  }
+}
+
+}  // namespace
+
+TEST(ScoreBatch, NeuralClassifierParity) {
+  auto model =
+      std::make_shared<nf::NnffModel>(smallConfig(nf::HeadKind::Classifier));
+  nf::NeuralFitness fit(model, "NN_CF");
+  expectScoreBatchParity(fit, makePopulation(100, 21));
+}
+
+TEST(ScoreBatch, RegressionParity) {
+  auto model =
+      std::make_shared<nf::NnffModel>(smallConfig(nf::HeadKind::Regression));
+  nf::RegressionFitness fit(model);
+  expectScoreBatchParity(fit, makePopulation(50, 22));
+}
+
+TEST(ScoreBatch, ProbMapParity) {
+  auto model =
+      std::make_shared<nf::NnffModel>(smallConfig(nf::HeadKind::Multilabel));
+  nf::ProbMapFitness fit(model);
+  expectScoreBatchParity(fit, makePopulation(30, 23));
+}
+
+TEST(ScoreBatch, DefaultLoopCoversOracleAndEditFitness) {
+  const auto fx = makePopulation(20, 24);
+  nf::EditDistanceFitness edit;
+  expectScoreBatchParity(edit, fx);
+  nf::OracleCF oracle(fx.genes.front());
+  expectScoreBatchParity(oracle, fx);
+}
+
+// ------------------------------------------------ ProbMap cache fix --------
+
+TEST(ProbMapCache, InvalidatesWhenSpecContentsChangeAtSameAddress) {
+  auto model =
+      std::make_shared<nf::NnffModel>(smallConfig(nf::HeadKind::Multilabel));
+  nf::ProbMapFitness fit(model);
+  nf::ProbMapFitness fresh(model);
+
+  Rng rng(31);
+  const nd::Generator gen;
+  const auto tcA = gen.randomTestCase(5, 4, false, rng);
+  const auto tcB = gen.randomTestCase(5, 4, true, rng);
+  ASSERT_TRUE(tcA.has_value() && tcB.has_value());
+
+  // One spec object whose contents are replaced in place: the address stays
+  // the same, so an address-keyed cache would serve map A for spec B.
+  nd::Spec spec = tcA->spec;
+  const auto mapA = fit.probMap(spec);
+  spec = tcB->spec;
+  const auto mapB = fit.probMap(spec);
+  const auto mapBFresh = fresh.probMap(spec);
+  for (std::size_t j = 0; j < mapB.size(); ++j)
+    EXPECT_EQ(mapB[j], mapBFresh[j]) << "stale cached map at op " << j;
+  // And the two specs genuinely disagree somewhere (guards the test).
+  bool anyDiff = false;
+  for (std::size_t j = 0; j < mapA.size(); ++j)
+    if (mapA[j] != mapB[j]) anyDiff = true;
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST(SpecFingerprint, DistinguishesContentsAndIgnoresAddress) {
+  Rng rng(32);
+  const nd::Generator gen;
+  const auto tcA = gen.randomTestCase(4, 3, false, rng);
+  const auto tcB = gen.randomTestCase(4, 3, false, rng);
+  ASSERT_TRUE(tcA.has_value() && tcB.has_value());
+  const nd::Spec copy = tcA->spec;  // different address, same contents
+  EXPECT_EQ(tcA->spec.fingerprint(), copy.fingerprint());
+  EXPECT_NE(tcA->spec.fingerprint(), tcB->spec.fingerprint());
+}
+
+// ------------------------------------------------ evaluator batching -------
+
+TEST(EvaluateBatch, ChargesDistinctCandidatesOnce) {
+  Rng rng(41);
+  const nd::Generator gen;
+  const auto tc = gen.randomTestCase(4, 3, false, rng);
+  ASSERT_TRUE(tc.has_value());
+  const nd::InputSignature sig = tc->spec.signature();
+
+  std::vector<nd::Program> genes;
+  for (std::size_t i = 0; i < 3; ++i)
+    genes.push_back(*gen.randomProgram(4, sig, rng));
+
+  nc::SearchBudget budget(100);
+  nc::SpecEvaluator ev(tc->spec, budget);
+  // a, b, a, c, b: three distinct candidates -> three budget units.
+  const std::vector<const nd::Program*> batch = {&genes[0], &genes[1],
+                                                 &genes[0], &genes[2],
+                                                 &genes[1]};
+  const auto evs = ev.evaluateBatch(batch, /*stopOnSatisfied=*/false);
+  ASSERT_EQ(evs.size(), 5u);
+  for (const auto& e : evs) EXPECT_TRUE(e.has_value());
+  EXPECT_EQ(budget.used(), 3u);
+}
+
+TEST(EvaluateBatch, StopsAtFirstSatisfyingCandidate) {
+  Rng rng(42);
+  const nd::Generator gen;
+  const auto tc = gen.randomTestCase(4, 3, false, rng);
+  ASSERT_TRUE(tc.has_value());
+  const nd::InputSignature sig = tc->spec.signature();
+  const nd::Program decoy = *gen.randomProgram(4, sig, rng);
+
+  nc::SearchBudget budget(100);
+  nc::SpecEvaluator ev(tc->spec, budget);
+  const std::vector<const nd::Program*> batch = {&decoy, &tc->program,
+                                                 &decoy};
+  const auto evs = ev.evaluateBatch(batch);
+  ASSERT_TRUE(evs[1].has_value());
+  EXPECT_TRUE(evs[1]->satisfied);
+  EXPECT_FALSE(evs[2].has_value());  // after the solution: not examined
+  EXPECT_EQ(budget.used(), 2u);
+}
+
+TEST(EvaluateBatch, ExhaustionLeavesRemainingUnexamined) {
+  Rng rng(43);
+  const nd::Generator gen;
+  const auto tc = gen.randomTestCase(4, 3, false, rng);
+  ASSERT_TRUE(tc.has_value());
+  const nd::InputSignature sig = tc->spec.signature();
+  std::vector<nd::Program> genes;
+  for (std::size_t i = 0; i < 4; ++i)
+    genes.push_back(*gen.randomProgram(4, sig, rng));
+
+  nc::SearchBudget budget(2);
+  nc::SpecEvaluator ev(tc->spec, budget);
+  std::vector<const nd::Program*> batch;
+  for (const auto& g : genes) batch.push_back(&g);
+  const auto evs = ev.evaluateBatch(batch, /*stopOnSatisfied=*/false);
+  EXPECT_TRUE(evs[0].has_value());
+  EXPECT_TRUE(evs[1].has_value());
+  EXPECT_FALSE(evs[2].has_value());
+  EXPECT_FALSE(evs[3].has_value());
+  EXPECT_EQ(budget.used(), 2u);
+}
+
+TEST(ProgramIdKey, IsExactAndWidthSafe) {
+  const nd::Program a(std::vector<nd::FuncId>{1, 2});
+  const nd::Program b(std::vector<nd::FuncId>{2, 1});
+  const nd::Program c(std::vector<nd::FuncId>{1});
+  const nd::Program d(std::vector<nd::FuncId>{1, 2});
+  EXPECT_NE(a.idKey(), b.idKey());
+  EXPECT_NE(a.idKey(), c.idKey());
+  EXPECT_EQ(a.idKey(), d.idKey());
+  EXPECT_EQ(a.idKey().size(), 2 * sizeof(nd::FuncId));
+}
+
+// ------------------------------------------- whole-synthesizer parity ------
+
+namespace {
+
+void expectSameResult(const nc::SynthesisResult& a,
+                      const nc::SynthesisResult& b) {
+  EXPECT_EQ(a.found, b.found);
+  if (a.found && b.found) {
+    EXPECT_EQ(a.solution, b.solution);
+  }
+  EXPECT_EQ(a.candidatesSearched, b.candidatesSearched);
+  EXPECT_EQ(a.generations, b.generations);
+  EXPECT_EQ(a.nsInvocations, b.nsInvocations);
+  EXPECT_EQ(a.foundByNs, b.foundByNs);
+  EXPECT_DOUBLE_EQ(a.bestFitness, b.bestFitness);
+}
+
+nc::SynthesisResult runOnce(const nd::Spec& spec, nf::FitnessPtr fit,
+                            bool batched, nc::NsKind nsKind,
+                            std::uint64_t seed) {
+  nc::SynthesizerConfig sc;
+  sc.ga.populationSize = 20;
+  sc.ga.eliteCount = 3;
+  sc.maxGenerations = 60;
+  sc.nsWindow = 5;
+  sc.nsTopN = 2;
+  sc.nsKind = nsKind;
+  sc.batchedEvaluation = batched;
+  const nc::Synthesizer syn(sc, std::move(fit));
+  Rng rng(seed);
+  return syn.synthesize(spec, 5, 1500, rng);
+}
+
+}  // namespace
+
+TEST(SynthesizerParity, BatchedAndScalarGradingSearchIdentically) {
+  auto model =
+      std::make_shared<nf::NnffModel>(smallConfig(nf::HeadKind::Classifier));
+  Rng rng(51);
+  const nd::Generator gen;
+  const auto tc = gen.randomTestCase(5, 4, false, rng);
+  ASSERT_TRUE(tc.has_value());
+  for (const auto nsKind : {nc::NsKind::BFS, nc::NsKind::DFS}) {
+    const auto batched =
+        runOnce(tc->spec, std::make_shared<nf::NeuralFitness>(model, "NN_CF"),
+                true, nsKind, 99);
+    const auto scalar =
+        runOnce(tc->spec, std::make_shared<nf::NeuralFitness>(model, "NN_CF"),
+                false, nsKind, 99);
+    expectSameResult(batched, scalar);
+  }
+}
+
+TEST(SynthesizerParity, EditFitnessUnaffectedByBatchFlag) {
+  Rng rng(52);
+  const nd::Generator gen;
+  const auto tc = gen.randomTestCase(4, 4, false, rng);
+  ASSERT_TRUE(tc.has_value());
+  const auto batched = runOnce(
+      tc->spec, std::make_shared<nf::EditDistanceFitness>(), true,
+      nc::NsKind::BFS, 7);
+  const auto scalar = runOnce(
+      tc->spec, std::make_shared<nf::EditDistanceFitness>(), false,
+      nc::NsKind::BFS, 7);
+  expectSameResult(batched, scalar);
+}
