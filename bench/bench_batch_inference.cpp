@@ -131,5 +131,21 @@ int main(int argc, char** argv) {
   std::printf("batched scoreBatch:  %8.0f genes/sec (%.3fs for %zu)\n",
               batchRate, batchSeconds, graded);
   std::printf("speedup:             %8.2fx\n", batchRate / scalarRate);
+
+  // Machine-readable record so CI can track the NN-scoring perf trajectory.
+  const std::string jsonPath = args.getString("json", "BENCH_nn.json");
+  if (!jsonPath.empty()) {
+    if (std::FILE* f = std::fopen(jsonPath.c_str(), "w")) {
+      std::fprintf(f,
+                   "{\"bench\": \"nn_scoring\", \"population\": %zu, "
+                   "\"generations\": %zu, \"length\": %zu, \"graded\": %zu, "
+                   "\"scalar_genes_per_sec\": %.1f, "
+                   "\"batched_genes_per_sec\": %.1f, \"speedup\": %.3f}\n",
+                   population, generations, length, graded, scalarRate,
+                   batchRate, batchRate / scalarRate);
+      std::fclose(f);
+      std::printf("[json written to %s]\n", jsonPath.c_str());
+    }
+  }
   return 0;
 }

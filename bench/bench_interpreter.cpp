@@ -1,0 +1,226 @@
+// GA-style candidate-execution throughput: legacy interpreter vs the
+// zero-allocation execution engine.
+//
+// Reproduces the synthesizer's execution hot loop: every generation a
+// population is bred and every gene is executed on every spec example with
+// its trace kept. The same populations are timed twice —
+//
+//   legacy: the seed interpreter (recompute the argument plan per call,
+//           copy argument Values into a buffer per statement, allocate a
+//           fresh Value per statement and a fresh trace per example),
+//           reproduced verbatim from the PR 1 code in legacy_baseline.hpp;
+//   engine: dsl::Executor with a cached ExecPlan per (program, signature),
+//           pointer-passed arguments, and pooled trace storage refilled in
+//           place (the path SpecEvaluator uses in production).
+//
+//   $ ./bench_interpreter [--population=100] [--examples=10] [--length=5]
+//                         [--generations=20] [--seed=2021]
+//                         [--json=BENCH_interpreter.json]
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "legacy_baseline.hpp"
+#include "core/ga.hpp"
+#include "dsl/generator.hpp"
+#include "dsl/interpreter.hpp"
+#include "util/argparse.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace netsyn;
+
+namespace {
+
+/// The seed interpreter, kept as the measurement baseline: plan recomputed
+/// on every call, whole-Value argument copies, fresh trace allocation.
+dsl::ExecResult legacyRun(const dsl::Program& program,
+                          const std::vector<dsl::Value>& inputs) {
+  const dsl::ArgPlan plan =
+      dsl::computeArgPlan(program, dsl::signatureOf(inputs));
+  dsl::ExecResult result;
+  result.trace.reserve(program.length());
+  std::array<dsl::Value, dsl::kMaxArity> argbuf;
+  for (std::size_t k = 0; k < program.length(); ++k) {
+    const dsl::StatementPlan& sp = plan[k];
+    const dsl::FunctionInfo& info = dsl::functionInfo(program.at(k));
+    for (std::size_t slot = 0; slot < sp.arity; ++slot) {
+      const dsl::ArgSource& src = sp.args[slot];
+      switch (src.kind) {
+        case dsl::ArgSource::Kind::Statement:
+          argbuf[slot] = result.trace[src.index];
+          break;
+        case dsl::ArgSource::Kind::Input:
+          argbuf[slot] = inputs[src.index];
+          break;
+        case dsl::ArgSource::Kind::Default:
+          argbuf[slot] = dsl::Value::defaultFor(info.argTypes[slot]);
+          break;
+      }
+    }
+    result.trace.push_back(netsyn::bench::legacy::applyFunction(
+        program.at(k), std::span<const dsl::Value>(argbuf.data(), sp.arity)));
+  }
+  return result;
+}
+
+/// Folds a run into a checksum so the compiler cannot elide the work, and
+/// so both paths can be asserted to agree.
+std::uint64_t checksum(const dsl::ExecResult& r) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::int64_t v) {
+    h ^= static_cast<std::uint64_t>(v);
+    h *= 1099511628211ULL;
+  };
+  for (const auto& v : r.trace) {
+    if (v.isInt()) {
+      mix(v.asInt());
+    } else {
+      mix(static_cast<std::int64_t>(v.asList().size()));
+      for (std::int32_t x : v.asList()) mix(x);
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::ArgParse args(argc, argv);
+  const auto population =
+      static_cast<std::size_t>(args.getInt("population", 100));
+  const auto examples = static_cast<std::size_t>(args.getInt("examples", 10));
+  const auto length = static_cast<std::size_t>(args.getInt("length", 5));
+  const auto generations =
+      static_cast<std::size_t>(args.getInt("generations", 20));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 2021));
+  if (population == 0 || generations == 0 || examples == 0) {
+    std::fprintf(stderr,
+                 "--population, --examples, --generations must be > 0\n");
+    return 1;
+  }
+
+  const auto repeats = static_cast<std::size_t>(args.getInt("repeat", 3));
+
+  util::Rng tcRng(seed);
+  const dsl::Generator gen;
+  const auto tc = gen.randomTestCase(length, examples, false, tcRng);
+  if (!tc) {
+    std::fprintf(stderr, "could not generate a test case\n");
+    return 1;
+  }
+  const dsl::InputSignature sig = tc->spec.signature();
+
+  std::printf("=== bench_interpreter ===\n");
+  std::printf(
+      "population=%zu examples=%zu length=%zu generations=%zu repeat=%zu\n\n",
+      population, examples, length, generations, repeats);
+
+  std::size_t planCompiles = 0;
+
+  // One full GA-shaped pass: breed `generations` populations from the same
+  // deterministic RNG stream (so every pass executes identical programs)
+  // and time gene execution only. `engine` selects the measured path; the
+  // checksum (computed outside the timed regions) pins both paths to the
+  // same results and keeps the compiler honest.
+  const auto runPass = [&](bool engine, std::uint64_t* sum) -> double {
+    util::Rng rng(seed + 1);
+    std::vector<dsl::Program> genes;
+    genes.reserve(population);
+    for (std::size_t i = 0; i < population; ++i)
+      genes.push_back(*gen.randomProgram(length, sig, rng));
+
+    dsl::Executor executor;
+    // Pooled per-gene run storage, refilled in place every generation — the
+    // evaluator's recycle() arena, inlined. The legacy pass uses the same
+    // container but each result is a fresh allocation moved in, exactly as
+    // the seed pipeline materialized a generation's runs.
+    std::vector<std::vector<dsl::ExecResult>> results(
+        population, std::vector<dsl::ExecResult>(examples));
+
+    double seconds = 0.0;
+    core::GaConfig gaConfig;
+    gaConfig.populationSize = population;
+    for (std::size_t g = 0; g < generations; ++g) {
+      util::Timer timer;
+      if (engine) {
+        std::vector<const std::vector<dsl::Value>*> inputSets;
+        inputSets.reserve(examples);
+        for (const auto& ex : tc->spec.examples)
+          inputSets.push_back(&ex.inputs);
+        for (std::size_t b = 0; b < genes.size(); ++b) {
+          // One cached-plan lookup per gene, then all examples statement-
+          // major — exactly SpecEvaluator::evaluate's path.
+          const dsl::ExecPlan& plan = executor.planFor(genes[b], sig);
+          dsl::executePlanMulti(plan, inputSets.data(), examples,
+                                results[b].data());
+        }
+      } else {
+        for (std::size_t b = 0; b < genes.size(); ++b) {
+          for (std::size_t j = 0; j < examples; ++j)
+            results[b][j] = legacyRun(genes[b], tc->spec.examples[j].inputs);
+        }
+      }
+      seconds += timer.seconds();
+      for (const auto& perGene : results)
+        for (const auto& r : perGene) *sum ^= checksum(r);
+
+      // Evolve so later generations look like the GA's real workload:
+      // shared ancestry, duplicate subsequences, recurring values.
+      core::Population scored;
+      for (std::size_t b = 0; b < genes.size(); ++b)
+        scored.push_back(core::Individual{genes[b], 1.0 + rng.uniformReal()});
+      genes = core::breed(scored, gaConfig, sig, gen, rng, nullptr);
+    }
+    if (engine) planCompiles = executor.planCompiles();
+    return seconds;
+  };
+
+  const std::size_t executed = population * generations;
+  double legacySeconds = 1e300;
+  double engineSeconds = 1e300;
+  std::uint64_t legacySum = 0;
+  std::uint64_t engineSum = 0;
+  // Best-of-N passes: robust against scheduler noise on shared hardware.
+  for (std::size_t r = 0; r < repeats; ++r) {
+    legacySum = 0;
+    legacySeconds = std::min(legacySeconds, runPass(false, &legacySum));
+    engineSum = 0;
+    engineSeconds = std::min(engineSeconds, runPass(true, &engineSum));
+  }
+
+  if (legacySum != engineSum) {
+    std::fprintf(stderr, "FATAL: engine results diverge from legacy\n");
+    return 1;
+  }
+
+  const double legacyRate = static_cast<double>(executed) / legacySeconds;
+  const double engineRate = static_cast<double>(executed) / engineSeconds;
+  std::printf("legacy interpreter:  %9.0f genes/sec (%.3fs for %zu)\n",
+              legacyRate, legacySeconds, executed);
+  std::printf("exec engine:         %9.0f genes/sec (%.3fs for %zu)\n",
+              engineRate, engineSeconds, executed);
+  std::printf("speedup:             %9.2fx\n", engineRate / legacyRate);
+  std::printf("plan compiles:       %9zu (for %zu gene executions)\n",
+              planCompiles, executed);
+
+  const std::string jsonPath = args.getString("json", "BENCH_interpreter.json");
+  if (!jsonPath.empty()) {
+    if (std::FILE* f = std::fopen(jsonPath.c_str(), "w")) {
+      std::fprintf(f,
+                   "{\"bench\": \"interpreter\", \"population\": %zu, "
+                   "\"examples\": %zu, \"length\": %zu, \"generations\": %zu, "
+                   "\"executed\": %zu, \"legacy_genes_per_sec\": %.1f, "
+                   "\"engine_genes_per_sec\": %.1f, \"speedup\": %.3f, "
+                   "\"plan_compiles\": %zu}\n",
+                   population, examples, length, generations, executed,
+                   legacyRate, engineRate, engineRate / legacyRate,
+                   planCompiles);
+      std::fclose(f);
+      std::printf("[json written to %s]\n", jsonPath.c_str());
+    }
+  }
+  return 0;
+}

@@ -56,6 +56,51 @@ void BM_InterpreterEvalNoTrace(benchmark::State& state) {
 }
 BENCHMARK(BM_InterpreterEvalNoTrace);
 
+void BM_ExecutorRunInto(benchmark::State& state) {
+  // The zero-allocation engine on the same workload as BM_InterpreterRun:
+  // cached plan, pooled result storage refilled in place.
+  const auto tc = makeCase(static_cast<std::size_t>(state.range(0)), 1);
+  const auto& inputs = tc.spec.examples[0].inputs;
+  dsl::Executor executor;
+  dsl::ExecResult pooled;
+  for (auto _ : state) {
+    executor.runInto(tc.program, inputs, pooled);
+    benchmark::DoNotOptimize(pooled);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecutorRunInto)->Arg(5)->Arg(10);
+
+void BM_ExecutorPlanCompile(benchmark::State& state) {
+  const auto tc = makeCase(static_cast<std::size_t>(state.range(0)), 4);
+  const dsl::InputSignature sig = tc.spec.signature();
+  dsl::ExecPlan plan;
+  for (auto _ : state) {
+    dsl::compilePlanInto(tc.program, sig, plan);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_ExecutorPlanCompile)->Arg(5)->Arg(10);
+
+void BM_EvaluatorEvaluate(benchmark::State& state) {
+  // Full evaluator path (plan cache + executePlanMulti + recycle pool) on a
+  // 10-example spec — the GA's per-candidate execution cost.
+  util::Rng rng(14);
+  const dsl::Generator gen;
+  const auto tc = *gen.randomTestCase(5, 10, false, rng);
+  const dsl::InputSignature sig = tc.spec.signature();
+  core::SearchBudget budget(1u << 30);
+  core::SpecEvaluator evaluator(tc.spec, budget, /*dedup=*/false);
+  const auto candidate = *gen.randomProgram(5, sig, rng);
+  for (auto _ : state) {
+    auto ev = evaluator.evaluate(candidate);
+    benchmark::DoNotOptimize(ev);
+    evaluator.recycle(std::move(*ev));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EvaluatorEvaluate);
+
 void BM_DeadCodeAnalysis(benchmark::State& state) {
   const auto tc = makeCase(static_cast<std::size_t>(state.range(0)), 3);
   const dsl::InputSignature sig = tc.spec.signature();

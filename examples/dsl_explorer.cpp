@@ -40,7 +40,7 @@ void show(const dsl::Program& program, const std::vector<dsl::Value>& inputs) {
                 dsl::functionInfo(program.at(k)).name,
                 result.trace[k].toString().c_str());
   }
-  std::printf("Output : %s\n", result.output.toString().c_str());
+  std::printf("Output : %s\n", result.output().toString().c_str());
 
   const auto cleaned = dsl::eliminateDeadCode(program, sig);
   if (cleaned.length() != program.length())

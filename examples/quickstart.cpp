@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
   const dsl::Value fresh(std::vector<std::int32_t>{6, -5, 1});
   const auto run = dsl::run(result.solution, {fresh});
   std::printf("\nOn new input %s it produces %s; trace:\n",
-              fresh.toString().c_str(), run.output.toString().c_str());
+              fresh.toString().c_str(), run.output().toString().c_str());
   for (std::size_t k = 0; k < run.trace.size(); ++k) {
     std::printf("  step %zu (%s): %s\n", k + 1,
                 dsl::functionInfo(result.solution.at(k)).name,

@@ -10,7 +10,13 @@
 namespace netsyn::core {
 namespace {
 
-/// Cache key: the full-width function ids of a gene (exact, no collisions).
+/// Cache key: the full-width function ids of a gene — exact, no collisions.
+/// A stale hit here would skip the gene's execution (and with it the
+/// equivalence check), so unlike the evaluator's dedup — where every
+/// candidate is executed regardless and a fingerprint collision only
+/// perturbs the searched-count metric — this cache must never alias two
+/// genes. idKey() fits in the small-string buffer for every realistic
+/// program length, so lookups stay allocation-free.
 std::string cacheKey(const dsl::Program& p) { return p.idKey(); }
 
 }  // namespace
@@ -130,6 +136,9 @@ SynthesisResult Synthesizer::synthesize(const dsl::Spec& spec,
       for (std::size_t j = 0; j < scored; ++j)
         cache.emplace(std::move(pendingKeys[j]), pendingScores[j]);
     }
+    // Scoring is done with the runs; hand the trace storage back so the
+    // next generation refills it instead of allocating.
+    evaluator.recycle(std::move(evals));
     for (std::size_t i = 0; i < graded; ++i) {
       if (aliasOf[i] >= 0)
         scores[i] = pendingScores[static_cast<std::size_t>(aliasOf[i])];
@@ -140,7 +149,9 @@ SynthesisResult Synthesizer::synthesize(const dsl::Spec& spec,
 
   // Batched scorer for the DFS neighborhood search's greedy descent: grades
   // without charging the budget (the NS itself charges each examined
-  // neighbor through the evaluator) and without polluting the cache.
+  // neighbor through the evaluator) and without polluting the cache. Shares
+  // the evaluator's plan cache and recycles run storage across calls.
+  std::vector<std::vector<dsl::ExecResult>> nsRunsPool;
   auto nsBatchScorer = [&](const std::vector<const dsl::Program*>& genes)
       -> std::vector<double> {
     std::vector<double> out(genes.size(), 0.0);
@@ -155,9 +166,14 @@ SynthesisResult Synthesizer::synthesize(const dsl::Spec& spec,
         continue;
       }
       std::vector<dsl::ExecResult> runs;
-      runs.reserve(spec.size());
-      for (const auto& ex : spec.examples)
-        runs.push_back(dsl::run(*genes[i], ex.inputs));
+      if (!nsRunsPool.empty()) {
+        runs = std::move(nsRunsPool.back());
+        nsRunsPool.pop_back();
+      }
+      runs.resize(spec.size());
+      const dsl::ExecPlan& plan = evaluator.executor().planFor(*genes[i], sig);
+      for (std::size_t j = 0; j < spec.size(); ++j)
+        dsl::executePlan(plan, spec.examples[j].inputs, runs[j]);
       pendingRuns.push_back(std::move(runs));
       contextStore.push_back(fitness::EvalContext{spec, pendingRuns.back()});
       contexts.push_back(&contextStore.back());
@@ -176,6 +192,7 @@ SynthesisResult Synthesizer::synthesize(const dsl::Spec& spec,
       for (std::size_t j = 0; j < pending.size(); ++j)
         out[pendingAt[j]] = scores[j];
     }
+    for (auto& runs : pendingRuns) nsRunsPool.push_back(std::move(runs));
     return out;
   };
 

@@ -18,46 +18,58 @@ bool isOdd(std::int32_t v) { return v % 2 != 0; }
 bool isEven(std::int32_t v) { return v % 2 == 0; }
 
 // ---- function bodies (paper Appendix A) -------------------------------------
+//
+// Every body writes its result into `out` in place: int producers via
+// Value::setInt, list producers by refilling the retained buffer returned by
+// Value::makeList. None of the bodies may read an argument after the first
+// write to `out` unless the argument is a distinct object (the interpreter
+// never aliases `out` with an argument).
 
-Value head(const List& xs) { return xs.empty() ? 0 : xs.front(); }
-Value last(const List& xs) { return xs.empty() ? 0 : xs.back(); }
+void head(const List& xs, Value& out) { out.setInt(xs.empty() ? 0 : xs.front()); }
+void last(const List& xs, Value& out) { out.setInt(xs.empty() ? 0 : xs.back()); }
 
-Value minimum(const List& xs) {
-  return xs.empty() ? 0 : *std::min_element(xs.begin(), xs.end());
+void minimum(const List& xs, Value& out) {
+  out.setInt(xs.empty() ? 0 : *std::min_element(xs.begin(), xs.end()));
 }
-Value maximum(const List& xs) {
-  return xs.empty() ? 0 : *std::max_element(xs.begin(), xs.end());
+void maximum(const List& xs, Value& out) {
+  out.setInt(xs.empty() ? 0 : *std::max_element(xs.begin(), xs.end()));
 }
 
-Value sum(const List& xs) {
+void sum(const List& xs, Value& out) {
   I64 s = 0;
   for (std::int32_t v : xs) s += v;  // no overflow: |xs| * 2^31 << 2^63
-  return saturate(s);
+  out.setInt(saturate(s));
 }
 
 template <bool (*Pred)(std::int32_t)>
-Value count(const List& xs) {
+void count(const List& xs, Value& out) {
   std::int32_t c = 0;
   for (std::int32_t v : xs)
     if (Pred(v)) ++c;
-  return c;
+  out.setInt(c);
 }
 
 template <bool (*Pred)(std::int32_t)>
-Value filter(const List& xs) {
-  List out;
-  out.reserve(xs.size());
-  for (std::int32_t v : xs)
-    if (Pred(v)) out.push_back(v);
-  return out;
+void filter(const List& xs, Value& out) {
+  // Branchless compaction: always store, conditionally advance. The
+  // predicate outcome is data-dependent (≈50% mispredict on random lists),
+  // so this beats the naive `if (...) push_back` loop on both the legacy
+  // and the zero-allocation path.
+  List& o = out.makeList();
+  o.resize(xs.size());
+  std::size_t n = 0;
+  for (std::int32_t v : xs) {
+    o[n] = v;
+    n += Pred(v) ? 1 : 0;
+  }
+  o.resize(n);
 }
 
 template <I64 (*Op)(I64)>
-Value map(const List& xs) {
-  List out;
-  out.reserve(xs.size());
-  for (std::int32_t v : xs) out.push_back(saturate(Op(v)));
-  return out;
+void map(const List& xs, Value& out) {
+  List& o = out.makeList();
+  o.resize(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) o[i] = saturate(Op(xs[i]));
 }
 
 I64 mapAdd1(I64 v) { return v + 1; }
@@ -71,24 +83,64 @@ I64 mapDiv4(I64 v) { return v / 4; }
 I64 mapNeg(I64 v) { return -v; }
 I64 mapSquare(I64 v) { return v * v; }
 
-Value reverse(const List& xs) { return List(xs.rbegin(), xs.rend()); }
+void reverse(const List& xs, Value& out) {
+  out.makeList().assign(xs.rbegin(), xs.rend());
+}
 
-Value sortAsc(const List& xs) {
-  List out = xs;
-  std::sort(out.begin(), out.end());
-  return out;
+void sortAsc(const List& xs, Value& out) {
+  List& o = out.makeList();
+  o.assign(xs.begin(), xs.end());
+  std::sort(o.begin(), o.end());
 }
 
 // SCANL1 per the paper: O_0 = I_0, O_n = lambda(I_n, O_{n-1}) for n > 0.
 template <I64 (*Op)(I64, I64)>
-Value scanl1(const List& xs) {
-  List out;
-  out.reserve(xs.size());
+void scanl1(const List& xs, Value& out) {
+  List& o = out.makeList();
+  o.resize(xs.size());
   for (std::size_t n = 0; n < xs.size(); ++n) {
-    if (n == 0) out.push_back(xs[0]);
-    else out.push_back(saturate(Op(xs[n], out[n - 1])));
+    if (n == 0) o[0] = xs[0];
+    else o[n] = saturate(Op(xs[n], o[n - 1]));
   }
-  return out;
+}
+
+void take(std::int32_t n, const List& xs, Value& out) {
+  const auto k = static_cast<std::size_t>(
+      std::clamp<I64>(n, 0, static_cast<I64>(xs.size())));
+  out.makeList().assign(xs.begin(),
+                        xs.begin() + static_cast<std::ptrdiff_t>(k));
+}
+
+void drop(std::int32_t n, const List& xs, Value& out) {
+  const auto k = static_cast<std::size_t>(
+      std::clamp<I64>(n, 0, static_cast<I64>(xs.size())));
+  out.makeList().assign(xs.begin() + static_cast<std::ptrdiff_t>(k),
+                        xs.end());
+}
+
+void deleteAll(std::int32_t x, const List& xs, Value& out) {
+  List& o = out.makeList();
+  o.resize(xs.size());
+  std::size_t n = 0;
+  for (std::int32_t v : xs) {  // branchless, as in filter
+    o[n] = v;
+    n += v != x ? 1 : 0;
+  }
+  o.resize(n);
+}
+
+void insert(std::int32_t x, const List& xs, Value& out) {
+  List& o = out.makeList();
+  o.assign(xs.begin(), xs.end());
+  o.push_back(x);
+}
+
+template <I64 (*Op)(I64, I64)>
+void zipWith(const List& a, const List& b, Value& out) {
+  const std::size_t n = std::min(a.size(), b.size());
+  List& o = out.makeList();
+  o.resize(n);
+  for (std::size_t i = 0; i < n; ++i) o[i] = saturate(Op(a[i], b[i]));
 }
 
 I64 opAdd(I64 a, I64 b) { return a + b; }
@@ -97,57 +149,26 @@ I64 opMul(I64 a, I64 b) { return a * b; }
 I64 opMin(I64 a, I64 b) { return a < b ? a : b; }
 I64 opMax(I64 a, I64 b) { return a > b ? a : b; }
 
-Value take(std::int32_t n, const List& xs) {
-  const auto k = static_cast<std::size_t>(
-      std::clamp<I64>(n, 0, static_cast<I64>(xs.size())));
-  return List(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(k));
+void access(std::int32_t n, const List& xs, Value& out) {
+  if (n < 0 || static_cast<std::size_t>(n) >= xs.size()) out.setInt(0);
+  else out.setInt(xs[static_cast<std::size_t>(n)]);
 }
 
-Value drop(std::int32_t n, const List& xs) {
-  const auto k = static_cast<std::size_t>(
-      std::clamp<I64>(n, 0, static_cast<I64>(xs.size())));
-  return List(xs.begin() + static_cast<std::ptrdiff_t>(k), xs.end());
-}
-
-Value deleteAll(std::int32_t x, const List& xs) {
-  List out;
-  out.reserve(xs.size());
-  for (std::int32_t v : xs)
-    if (v != x) out.push_back(v);
-  return out;
-}
-
-Value insert(std::int32_t x, const List& xs) {
-  List out = xs;
-  out.push_back(x);
-  return out;
-}
-
-template <I64 (*Op)(I64, I64)>
-Value zipWith(const List& a, const List& b) {
-  const std::size_t n = std::min(a.size(), b.size());
-  List out;
-  out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) out.push_back(saturate(Op(a[i], b[i])));
-  return out;
-}
-
-Value access(std::int32_t n, const List& xs) {
-  if (n < 0 || static_cast<std::size_t>(n) >= xs.size()) return 0;
-  return xs[static_cast<std::size_t>(n)];
-}
-
-Value search(std::int32_t x, const List& xs) {
-  for (std::size_t i = 0; i < xs.size(); ++i)
-    if (xs[i] == x) return static_cast<std::int32_t>(i);
-  return -1;
+void search(std::int32_t x, const List& xs, Value& out) {
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] == x) {
+      out.setInt(static_cast<std::int32_t>(i));
+      return;
+    }
+  }
+  out.setInt(-1);
 }
 
 // ---- dispatch table ---------------------------------------------------------
 
-using Body1 = Value (*)(const List&);
-using BodyIntList = Value (*)(std::int32_t, const List&);
-using BodyListList = Value (*)(const List&, const List&);
+using Body1 = void (*)(const List&, Value&);
+using BodyIntList = void (*)(std::int32_t, const List&, Value&);
+using BodyListList = void (*)(const List&, const List&, Value&);
 
 struct Entry {
   FunctionInfo info;
@@ -216,19 +237,56 @@ const FunctionInfo& functionInfo(FuncId id) {
   return kTable[id].info;
 }
 
-Value applyFunction(FuncId id, std::span<const Value> args) {
+FunctionBody functionBody(FuncId id) {
+  assert(id < kNumFunctions);
+  const Entry& e = kTable[id];
+  return FunctionBody{e.unary, e.intList, e.listList};
+}
+
+void applyFunctionInto(FuncId id, std::span<const Value* const> args,
+                       Value& out) {
   assert(id < kNumFunctions);
   const Entry& e = kTable[id];
   if (args.size() != e.info.arity)
     throw std::invalid_argument("wrong arity for " + std::string(e.info.name));
   for (std::size_t i = 0; i < e.info.arity; ++i) {
-    if (args[i].type() != e.info.argTypes[i])
+    if (args[i]->type() != e.info.argTypes[i])
       throw std::invalid_argument("wrong argument type for " +
                                   std::string(e.info.name));
   }
-  if (e.unary) return e.unary(args[0].asList());
-  if (e.intList) return e.intList(args[0].asInt(), args[1].asList());
-  return e.listList(args[0].asList(), args[1].asList());
+  applyFunctionIntoUnchecked(id, args.data(), out);
+}
+
+void applyFunctionIntoUnchecked(FuncId id, const Value* const* args,
+                                Value& out) {
+  assert(id < kNumFunctions);
+  const Entry& e = kTable[id];
+  assert(args[0] != nullptr && args[0]->type() == e.info.argTypes[0]);
+  assert(e.info.arity < 2 ||
+         (args[1] != nullptr && args[1]->type() == e.info.argTypes[1]));
+  if (e.unary) {
+    e.unary(args[0]->listUnchecked(), out);
+  } else if (e.intList) {
+    e.intList(args[0]->intUnchecked(), args[1]->listUnchecked(), out);
+  } else {
+    e.listList(args[0]->listUnchecked(), args[1]->listUnchecked(), out);
+  }
+}
+
+Value applyFunction(FuncId id, std::span<const Value> args) {
+  assert(id < kNumFunctions);
+  // Arity check before building the pointer span: a span of args.size()
+  // over the kMaxArity-slot array would be ill-formed for oversized input.
+  if (args.size() != kTable[id].info.arity)
+    throw std::invalid_argument("wrong arity for " +
+                                std::string(kTable[id].info.name));
+  std::array<const Value*, kMaxArity> ptrs{};
+  for (std::size_t i = 0; i < args.size(); ++i) ptrs[i] = &args[i];
+  Value out;
+  applyFunctionInto(id,
+                    std::span<const Value* const>(ptrs.data(), args.size()),
+                    out);
+  return out;
 }
 
 std::optional<FuncId> functionByName(const std::string& name) {

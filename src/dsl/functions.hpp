@@ -49,6 +49,38 @@ const FunctionInfo& functionInfo(FuncId id);
 /// signature). Total: never throws for well-typed arguments.
 Value applyFunction(FuncId id, std::span<const Value> args);
 
+/// Allocation-free variant: applies function `id` to the pointed-to
+/// arguments, writing the result into `out` and reusing out's retained list
+/// buffer (see Value::makeList). `out` must not alias any argument — the
+/// interpreter guarantees this because a statement can only read strictly
+/// earlier trace slots and program inputs. Semantically identical to
+/// applyFunction (pinned by tests).
+void applyFunctionInto(FuncId id, std::span<const Value* const> args,
+                       Value& out);
+
+/// applyFunctionInto minus the argument validation: the caller guarantees
+/// args[0..arity-1] are non-null and exactly match the signature. A compiled
+/// ExecPlan is such a guarantee — the plan's sources were resolved from the
+/// same type table — so the executor skips the per-statement re-checks.
+/// Debug builds still assert.
+void applyFunctionIntoUnchecked(FuncId id, const Value* const* args,
+                                Value& out);
+
+/// Resolved in-place body of one function, for plan compilers: exactly one
+/// pointer matching the signature shape is non-null. Statement execution
+/// binds these at compile time and calls the body directly, skipping the
+/// per-statement dispatch-table lookup.
+struct FunctionBody {
+  void (*unary)(const std::vector<std::int32_t>&, Value&) = nullptr;
+  void (*intList)(std::int32_t, const std::vector<std::int32_t>&,
+                  Value&) = nullptr;
+  void (*listList)(const std::vector<std::int32_t>&,
+                   const std::vector<std::int32_t>&, Value&) = nullptr;
+};
+
+/// Body pointers for `id`. Precondition: id < kNumFunctions.
+FunctionBody functionBody(FuncId id);
+
 /// Lookup by display name (exact match, e.g. "FILTER(>0)"); nullopt when the
 /// name is unknown. Used by the program parser.
 std::optional<FuncId> functionByName(const std::string& name);

@@ -5,27 +5,40 @@
 namespace netsyn::dsl {
 namespace {
 
-/// Type of the value a source would produce.
-Type sourceType(const ArgSource& s, const Program& program,
-                const InputSignature& inputs) {
-  switch (s.kind) {
-    case ArgSource::Kind::Statement:
-      return functionInfo(program.at(s.index)).returnType;
-    case ArgSource::Kind::Input:
-      return inputs.at(s.index);
-    case ArgSource::Kind::Default:
-      return Type::Int;  // unused
+/// Argument sources for Default plan entries, indexed by the type tag the
+/// compiler stored in ArgSource::index (0 = Int, 1 = List). The list
+/// default is the one shared kEmptyListValue instance.
+const Value kIntDefault{std::int32_t{0}};
+const Value* const kDefaults[2] = {&kIntDefault, &kEmptyListValue};
+
+/// Shared resolution core: computes each statement's StatementPlan and
+/// hands it to `emit(k, plan)`. Single source of truth for computeArgPlan
+/// (dead-code analysis) and compilePlanInto (execution), so the two can
+/// never drift.
+template <typename Emit>
+void resolveArgs(const Program& program, const InputSignature& inputs,
+                 Emit&& emit) {
+  // Return types of all statements, computed once: the source scans below
+  // consult them O(L) times per slot, and a table lookup beats a repeated
+  // functionInfo call. Stack buffer for every realistic program length.
+  constexpr std::size_t kMaxStackLen = 128;
+  std::array<Type, kMaxStackLen> stackTypes;
+  std::vector<Type> heapTypes;
+  Type* stmtType = stackTypes.data();
+  if (program.length() > kMaxStackLen) {
+    heapTypes.resize(program.length());
+    stmtType = heapTypes.data();
   }
-  return Type::Int;
-}
+  for (std::size_t k = 0; k < program.length(); ++k)
+    stmtType[k] = functionInfo(program.at(k)).returnType;
+  const auto typeOf = [&](const ArgSource& s) {
+    return s.kind == ArgSource::Kind::Statement ? stmtType[s.index]
+                                                : inputs[s.index];
+  };
 
-}  // namespace
-
-ArgPlan computeArgPlan(const Program& program, const InputSignature& inputs) {
-  ArgPlan plan(program.length());
   for (std::size_t k = 0; k < program.length(); ++k) {
     const FunctionInfo& info = functionInfo(program.at(k));
-    StatementPlan& sp = plan[k];
+    StatementPlan sp;
     sp.arity = info.arity;
 
     // Candidate sources in recency order: statements k-1..0, then program
@@ -50,7 +63,7 @@ ArgPlan computeArgPlan(const Program& program, const InputSignature& inputs) {
     for (std::size_t slot = 0; slot < info.arity; ++slot) {
       const Type want = info.argTypes[slot];
       forEachSource([&](const ArgSource& src) {
-        if (sourceType(src, program, inputs) != want) return false;
+        if (typeOf(src) != want) return false;
         for (std::size_t prev = 0; prev < slot; ++prev)
           if (filled[prev] && sp.args[prev] == src) return false;  // consumed
         sp.args[slot] = src;
@@ -65,48 +78,207 @@ ArgPlan computeArgPlan(const Program& program, const InputSignature& inputs) {
       const Type want = info.argTypes[slot];
       sp.args[slot] = ArgSource{};  // Default
       forEachSource([&](const ArgSource& src) {
-        if (sourceType(src, program, inputs) != want) return false;
+        if (typeOf(src) != want) return false;
         sp.args[slot] = src;
         return true;
       });
     }
+    emit(k, sp);
   }
+}
+
+}  // namespace
+
+ArgPlan computeArgPlan(const Program& program, const InputSignature& inputs) {
+  ArgPlan plan(program.length());
+  resolveArgs(program, inputs,
+              [&](std::size_t k, const StatementPlan& sp) { plan[k] = sp; });
   return plan;
 }
 
-ExecResult run(const Program& program, const std::vector<Value>& inputs) {
-  const ArgPlan plan = computeArgPlan(program, signatureOf(inputs));
-  ExecResult result;
-  result.trace.reserve(program.length());
+ExecPlan compilePlan(const Program& program, const InputSignature& inputs) {
+  ExecPlan compiled;
+  compilePlanInto(program, inputs, compiled);
+  return compiled;
+}
 
-  std::array<Value, kMaxArity> argbuf;
-  for (std::size_t k = 0; k < program.length(); ++k) {
-    const StatementPlan& sp = plan[k];
-    const FunctionInfo& info = functionInfo(program.at(k));
-    for (std::size_t slot = 0; slot < sp.arity; ++slot) {
-      const ArgSource& src = sp.args[slot];
+void compilePlanInto(const Program& program, const InputSignature& inputs,
+                     ExecPlan& compiled) {
+  compiled.steps.resize(program.length());
+  resolveArgs(program, inputs, [&](std::size_t k, const StatementPlan& sp) {
+    ExecStep& step = compiled.steps[k];
+    step.fn = program.at(k);
+    step.arity = sp.arity;
+    step.args = sp.args;
+    step.body = functionBody(step.fn);
+    step.shape = step.body.unary ? ExecStep::Shape::Unary
+                 : step.body.intList ? ExecStep::Shape::IntList
+                                     : ExecStep::Shape::ListList;
+    // Default sources carry the slot's type in `index` (0 = Int, 1 = List)
+    // so execution never consults functionInfo for argument types.
+    const FunctionInfo& info = functionInfo(step.fn);
+    for (std::size_t slot = 0; slot < step.arity; ++slot) {
+      if (step.args[slot].kind == ArgSource::Kind::Default)
+        step.args[slot].index =
+            info.argTypes[slot] == Type::List ? 1 : 0;
+    }
+  });
+}
+
+void executePlan(const ExecPlan& plan, const std::vector<Value>& inputs,
+                 ExecResult& out) {
+  const std::size_t n = plan.steps.size();
+  out.trace.resize(n);
+  const auto resolve = [&](const ArgSource& src) -> const Value* {
+    switch (src.kind) {
+      case ArgSource::Kind::Statement:
+        return &out.trace[src.index];
+      case ArgSource::Kind::Input:
+        return &inputs[src.index];
+      case ArgSource::Kind::Default:
+        break;
+    }
+    return kDefaults[src.index];
+  };
+  for (std::size_t k = 0; k < n; ++k) {
+    const ExecStep& step = plan.steps[k];
+    Value& slot = out.trace[k];
+    // Direct body call through the pointer compiled into the step: no
+    // dispatch-table access, no re-validation (the plan is the type proof).
+    switch (step.shape) {
+      case ExecStep::Shape::Unary:
+        step.body.unary(resolve(step.args[0])->listUnchecked(), slot);
+        break;
+      case ExecStep::Shape::IntList:
+        step.body.intList(resolve(step.args[0])->intUnchecked(),
+                          resolve(step.args[1])->listUnchecked(), slot);
+        break;
+      case ExecStep::Shape::ListList:
+        step.body.listList(resolve(step.args[0])->listUnchecked(),
+                           resolve(step.args[1])->listUnchecked(), slot);
+        break;
+    }
+  }
+}
+
+void executePlanMulti(const ExecPlan& plan,
+                      const std::vector<Value>* const* inputSets,
+                      std::size_t count, ExecResult* outs) {
+  const std::size_t n = plan.steps.size();
+  for (std::size_t j = 0; j < count; ++j) outs[j].trace.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const ExecStep& step = plan.steps[k];
+    const auto resolve = [&](std::size_t j,
+                             const ArgSource& src) -> const Value* {
       switch (src.kind) {
         case ArgSource::Kind::Statement:
-          argbuf[slot] = result.trace[src.index];
-          break;
+          return &outs[j].trace[src.index];
         case ArgSource::Kind::Input:
-          argbuf[slot] = inputs[src.index];
-          break;
+          return &(*inputSets[j])[src.index];
         case ArgSource::Kind::Default:
-          argbuf[slot] = Value::defaultFor(info.argTypes[slot]);
           break;
       }
+      return kDefaults[src.index];
+    };
+    switch (step.shape) {
+      case ExecStep::Shape::Unary:
+        for (std::size_t j = 0; j < count; ++j)
+          step.body.unary(resolve(j, step.args[0])->listUnchecked(),
+                          outs[j].trace[k]);
+        break;
+      case ExecStep::Shape::IntList:
+        for (std::size_t j = 0; j < count; ++j)
+          step.body.intList(resolve(j, step.args[0])->intUnchecked(),
+                            resolve(j, step.args[1])->listUnchecked(),
+                            outs[j].trace[k]);
+        break;
+      case ExecStep::Shape::ListList:
+        for (std::size_t j = 0; j < count; ++j)
+          step.body.listList(resolve(j, step.args[0])->listUnchecked(),
+                             resolve(j, step.args[1])->listUnchecked(),
+                             outs[j].trace[k]);
+        break;
     }
-    result.trace.push_back(applyFunction(
-        program.at(k), std::span<const Value>(argbuf.data(), sp.arity)));
   }
-  result.output = program.empty() ? Value::defaultFor(Type::List)
-                                  : result.trace.back();
+}
+
+std::uint64_t Executor::keyOf(const Program& program,
+                              const std::vector<Value>& inputs) {
+  std::uint64_t h = program.hash();
+  h ^= 0xa5;  // domain separator: program bytes vs signature bytes
+  h *= 0x100000001b3ULL;
+  for (const Value& v : inputs) {
+    h ^= static_cast<std::uint64_t>(v.type()) + 1;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t Executor::keyOf(const Program& program,
+                              const InputSignature& sig) {
+  std::uint64_t h = program.hash();
+  h ^= 0xa5;
+  h *= 0x100000001b3ULL;
+  for (Type t : sig) {
+    h ^= static_cast<std::uint64_t>(t) + 1;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+const ExecPlan& Executor::planForKey(std::uint64_t key,
+                                     const Program& program,
+                                     const InputSignature& sig) {
+  Slot& slot = slots_[key & (kSlots - 1)];
+  // Exact hit test: the fingerprint routes to the slot, the stored function
+  // sequence + signature confirm identity (collisions recompile, nothing
+  // more). The compares are short contiguous byte/enum ranges.
+  if (!slot.used || slot.key != key || slot.functions != program.functions() ||
+      slot.sig != sig) {
+    compilePlanInto(program, sig, slot.plan);  // reuses the slot's storage
+    slot.functions.assign(program.functions().begin(),
+                          program.functions().end());
+    slot.sig.assign(sig.begin(), sig.end());
+    if (!slot.used) ++occupied_;
+    slot.key = key;
+    slot.used = true;
+    ++compiles_;
+  }
+  return slot.plan;
+}
+
+const ExecPlan& Executor::planFor(const Program& program,
+                                  const InputSignature& sig) {
+  return planForKey(keyOf(program, sig), program, sig);
+}
+
+void Executor::runInto(const Program& program,
+                       const std::vector<Value>& inputs, ExecResult& out) {
+  sigScratch_.clear();
+  for (const Value& v : inputs) sigScratch_.push_back(v.type());
+  executePlan(planForKey(keyOf(program, inputs), program, sigScratch_),
+              inputs, out);
+}
+
+void Executor::clearPlanCache() {
+  for (Slot& s : slots_) s.used = false;
+  occupied_ = 0;
+}
+
+const Value& Executor::evalInto(const Program& program,
+                                const std::vector<Value>& inputs) {
+  runInto(program, inputs, scratch_);
+  return scratch_.output();
+}
+
+ExecResult run(const Program& program, const std::vector<Value>& inputs) {
+  ExecResult result;
+  executePlan(compilePlan(program, signatureOf(inputs)), inputs, result);
   return result;
 }
 
 Value eval(const Program& program, const std::vector<Value>& inputs) {
-  return run(program, inputs).output;
+  return run(program, inputs).output();
 }
 
 InputSignature signatureOf(const std::vector<Value>& inputs) {

@@ -53,19 +53,142 @@ struct StatementPlan {
 /// Per-statement argument plan for a whole program.
 using ArgPlan = std::vector<StatementPlan>;
 
+/// The default list value, shared so empty-program results need no storage.
+inline const Value kEmptyListValue{std::vector<std::int32_t>{}};
+
 /// Result of executing a program on one input tuple.
 struct ExecResult {
-  Value output;              ///< output of the final statement
   std::vector<Value> trace;  ///< t_k = output of statement k (paper §4.2.1)
+
+  /// Output of the final statement — by definition the last trace entry, so
+  /// it is a view, not a copy (an empty program yields the default list).
+  const Value& output() const {
+    return trace.empty() ? kEmptyListValue : trace.back();
+  }
 };
 
 /// Computes the static argument plan of `program` under `inputs` types.
 /// O(L * (L + |inputs|)); resolution rules documented above.
 ArgPlan computeArgPlan(const Program& program, const InputSignature& inputs);
 
+/// One compiled statement: the function body (resolved to a direct pointer,
+/// tagged by signature shape), its arity, and where each argument comes
+/// from. Everything execution needs, resolved once.
+struct ExecStep {
+  /// Signature shape of `body` — selects which pointer to call.
+  enum class Shape : std::uint8_t { Unary, IntList, ListList };
+
+  FuncId fn = 0;
+  std::uint8_t arity = 0;
+  Shape shape = Shape::Unary;
+  std::array<ArgSource, kMaxArity> args{};
+  FunctionBody body{};
+};
+
+/// A program compiled against one input signature. Depends only on
+/// (function sequence, input types), so it is safe to cache and share across
+/// every concrete input tuple with the same signature — which is exactly how
+/// the spec evaluator runs one gene over all m examples.
+struct ExecPlan {
+  std::vector<ExecStep> steps;
+};
+
+/// Compiles `program` against `inputs` types (computeArgPlan + function
+/// metadata, fused into the step array the executor walks).
+ExecPlan compilePlan(const Program& program, const InputSignature& inputs);
+
+/// In-place variant reusing `out`'s step storage (the Executor's slot
+/// recompile path).
+void compilePlanInto(const Program& program, const InputSignature& inputs,
+                     ExecPlan& out);
+
+/// Executes `plan` on `inputs`, writing into `out` and reusing its storage:
+/// the trace is resized to the plan length and every slot is overwritten in
+/// place, so list buffers retained by previous executions are refilled
+/// without allocating. Results are identical to run() (pinned by tests).
+void executePlan(const ExecPlan& plan, const std::vector<Value>& inputs,
+                 ExecResult& out);
+
+/// Executes `plan` on `count` input tuples at once, statement-major:
+/// every step's body pointer and argument recipe is resolved once and then
+/// applied to all input tuples back to back, which keeps the body code and
+/// its indirect-branch target hot across the whole batch. Equivalent to
+/// executePlan(plan, *inputSets[j], outs[j]) for each j — this is how the
+/// evaluator runs one gene over a spec's m examples.
+void executePlanMulti(const ExecPlan& plan,
+                      const std::vector<Value>* const* inputSets,
+                      std::size_t count, ExecResult* outs);
+
+/// Reusable execution engine: a plan cache keyed by (program, signature)
+/// fingerprint plus pooled result storage. One Executor serves one search
+/// thread (it is not thread-safe); the GA's evaluator keeps one for the
+/// whole synthesis run so plans for elites, duplicates, and re-examined
+/// genes are compiled once instead of once per example.
+///
+/// The cache is direct-mapped (one probe into a fixed power-of-two slot
+/// array, conflicting keys overwrite): a compile is ~100ns, so eviction is
+/// cheaper than the node allocations and cold bucket walks of a growing
+/// hash map — this keeps the cache O(1) in both time and memory across a
+/// budget-3M search. A slot recompile reuses the evicted plan's step
+/// storage, so the steady state allocates nothing. Hits are verified
+/// against the slot's stored (program, signature) — a byte compare of the
+/// function sequence — so a 64-bit fingerprint collision can only cause a
+/// spurious recompile, never execution of the wrong plan.
+class Executor {
+ public:
+  /// Cached compiled plan for (program, signature); compiles on miss. The
+  /// returned reference is valid until the next planFor() call (which may
+  /// overwrite the slot).
+  const ExecPlan& planFor(const Program& program, const InputSignature& sig);
+
+  /// run() with plan caching and storage reuse: executes `program` on
+  /// `inputs` into `out`, overwriting out's trace slots in place.
+  void runInto(const Program& program, const std::vector<Value>& inputs,
+               ExecResult& out);
+
+  /// Output-only variant reusing one internal result slot; the reference is
+  /// valid until the next Executor call. For equivalence checks.
+  const Value& evalInto(const Program& program,
+                        const std::vector<Value>& inputs);
+
+  std::size_t planCacheSize() const { return occupied_; }
+  std::size_t planCompiles() const { return compiles_; }
+  void clearPlanCache();
+
+ private:
+  /// 64-bit fingerprint of (program, signature). FNV-1a, same family as
+  /// Program::hash; collisions would only ever alias two plans, and plans
+  /// are determined by far fewer than 2^32 distinct (sequence, signature)
+  /// pairs in any real run.
+  static std::uint64_t keyOf(const Program& program,
+                             const std::vector<Value>& inputs);
+  static std::uint64_t keyOf(const Program& program,
+                             const InputSignature& sig);
+
+  const ExecPlan& planForKey(std::uint64_t key, const Program& program,
+                             const InputSignature& sig);
+
+  static constexpr std::size_t kSlots = 1u << 12;  ///< direct-mapped slots
+
+  struct Slot {
+    std::uint64_t key = 0;
+    bool used = false;
+    std::vector<FuncId> functions;  ///< exact identity of the cached plan
+    InputSignature sig;
+    ExecPlan plan;
+  };
+  std::vector<Slot> slots_ = std::vector<Slot>(kSlots);
+  ExecResult scratch_;  ///< backing store for evalInto
+  std::size_t compiles_ = 0;
+  std::size_t occupied_ = 0;
+  InputSignature sigScratch_;  ///< reused by runInto/evalInto cache misses
+};
+
 /// Runs `program` on `inputs`, capturing the full execution trace.
 /// Total: never throws for any function sequence (valid by construction).
 /// An empty program yields the default list value and an empty trace.
+/// Convenience wrapper over compilePlan + executePlan; hot paths use an
+/// Executor instead so the plan is compiled once, not per call.
 ExecResult run(const Program& program, const std::vector<Value>& inputs);
 
 /// Runs `program` and returns only its final output (trace discarded).

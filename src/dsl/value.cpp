@@ -1,18 +1,8 @@
 #include "dsl/value.hpp"
 
-#include <limits>
-
 namespace netsyn::dsl {
 
 std::string typeName(Type t) { return t == Type::Int ? "int" : "[int]"; }
-
-std::int32_t saturate(std::int64_t v) {
-  constexpr std::int64_t lo = std::numeric_limits<std::int32_t>::min();
-  constexpr std::int64_t hi = std::numeric_limits<std::int32_t>::max();
-  if (v < lo) return static_cast<std::int32_t>(lo);
-  if (v > hi) return static_cast<std::int32_t>(hi);
-  return static_cast<std::int32_t>(v);
-}
 
 Value Value::defaultFor(Type t) {
   if (t == Type::Int) return Value(std::int32_t{0});

@@ -5,11 +5,18 @@
 // function is total: programs are valid by construction and can never trap,
 // which is the property the paper relies on to avoid pruning/sandboxing in
 // the genetic algorithm.
+//
+// Representation: a type tag plus both payloads, instead of a variant. A
+// Value that once held a list keeps its heap buffer alive even while holding
+// an int, so the interpreter's pooled trace slots stop allocating after
+// warm-up: setInt()/makeList() retarget the slot without freeing, and
+// copy-assignment refills the retained buffer in place. This is what makes
+// candidate execution allocation-free in the GA's steady state.
 #pragma once
 
 #include <cstdint>
 #include <string>
-#include <variant>
+#include <variant>  // std::bad_variant_access, kept for accessor errors
 #include <vector>
 
 namespace netsyn::dsl {
@@ -22,41 +29,89 @@ std::string typeName(Type t);
 
 /// Saturating cast of a 64-bit intermediate into the DSL's 32-bit domain.
 /// MAP(^2), SCANL1(*), ZIPWITH(*) etc. can overflow 32 bits; saturation keeps
-/// every function total and deterministic.
-std::int32_t saturate(std::int64_t v);
+/// every function total and deterministic. Inline (it runs once per produced
+/// list element) so the per-element loops clamp in-register and vectorize.
+constexpr std::int32_t saturate(std::int64_t v) {
+  constexpr std::int64_t lo = INT32_MIN;
+  constexpr std::int64_t hi = INT32_MAX;
+  return static_cast<std::int32_t>(v < lo ? lo : (v > hi ? hi : v));
+}
 
 /// A DSL value: an integer or a list of integers.
 class Value {
  public:
   /// Default value of a missing integer argument (paper: 0).
-  Value() : data_(std::int32_t{0}) {}
-  Value(std::int32_t v) : data_(v) {}                       // NOLINT implicit
-  Value(std::vector<std::int32_t> v) : data_(std::move(v)) {}  // NOLINT
+  Value() = default;
+  Value(std::int32_t v) : int_(v) {}  // NOLINT implicit
+  Value(std::vector<std::int32_t> v)  // NOLINT implicit
+      : type_(Type::List), list_(std::move(v)) {}
+
+  /// Copies refill the retained list buffer instead of reallocating, and an
+  /// int-typed source never drags its dead list storage along.
+  Value(const Value& other) : type_(other.type_), int_(other.int_) {
+    if (type_ == Type::List) list_ = other.list_;
+  }
+  Value& operator=(const Value& other) {
+    if (this == &other) return *this;  // assign() from own range is UB
+    type_ = other.type_;
+    if (type_ == Type::Int) {
+      int_ = other.int_;
+    } else {
+      list_.assign(other.list_.begin(), other.list_.end());
+    }
+    return *this;
+  }
+  Value(Value&&) noexcept = default;
+  Value& operator=(Value&&) noexcept = default;
 
   /// Default value for the given type: 0 or the empty list.
   static Value defaultFor(Type t);
 
-  Type type() const {
-    return std::holds_alternative<std::int32_t>(data_) ? Type::Int
-                                                       : Type::List;
-  }
-  bool isInt() const { return type() == Type::Int; }
-  bool isList() const { return type() == Type::List; }
+  Type type() const { return type_; }
+  bool isInt() const { return type_ == Type::Int; }
+  bool isList() const { return type_ == Type::List; }
 
   /// Accessors; calling the wrong one throws std::bad_variant_access, which
   /// indicates an internal bug (the interpreter always matches types).
-  std::int32_t asInt() const { return std::get<std::int32_t>(data_); }
+  std::int32_t asInt() const {
+    if (type_ != Type::Int) throw std::bad_variant_access{};
+    return int_;
+  }
   const std::vector<std::int32_t>& asList() const {
-    return std::get<std::vector<std::int32_t>>(data_);
+    if (type_ != Type::List) throw std::bad_variant_access{};
+    return list_;
   }
 
-  bool operator==(const Value& other) const = default;
+  /// Unchecked accessors for the executor's hot path, where the compiled
+  /// plan has already established the type. Reading the wrong one returns
+  /// dead storage but is memory-safe (both payloads always exist).
+  std::int32_t intUnchecked() const { return int_; }
+  const std::vector<std::int32_t>& listUnchecked() const { return list_; }
+
+  /// In-place mutation for the zero-allocation execution path. setInt keeps
+  /// the list buffer alive; makeList retargets the slot to its retained
+  /// buffer *without clearing it* — callers overwrite the contents.
+  void setInt(std::int32_t v) {
+    type_ = Type::Int;
+    int_ = v;
+  }
+  std::vector<std::int32_t>& makeList() {
+    type_ = Type::List;
+    return list_;
+  }
+
+  bool operator==(const Value& other) const {
+    if (type_ != other.type_) return false;
+    return type_ == Type::Int ? int_ == other.int_ : list_ == other.list_;
+  }
 
   /// "7" or "[1, -2, 3]".
   std::string toString() const;
 
  private:
-  std::variant<std::int32_t, std::vector<std::int32_t>> data_;
+  Type type_ = Type::Int;
+  std::int32_t int_ = 0;
+  std::vector<std::int32_t> list_;  ///< live iff type_ == List; buffer retained
 };
 
 }  // namespace netsyn::dsl

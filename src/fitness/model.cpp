@@ -22,6 +22,28 @@ nn::Var stepMatchFeatures(const dsl::Value& traceValue,
   return nn::constant(std::move(f));
 }
 
+/// 64-bit FNV-1a fingerprint of a DSL value (type tag + payload). Shared by
+/// the trace-encoding and edit-distance memos.
+std::uint64_t valueFingerprint(const dsl::Value& v) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t x) {
+    for (std::size_t b = 0; b < 8; ++b) {
+      h ^= (x >> (8 * b)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(v.type()));
+  if (v.isInt()) {
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v.asInt())));
+  } else {
+    const auto& xs = v.asList();
+    mix(xs.size());
+    for (std::int32_t x : xs)
+      mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)));
+  }
+  return h;
+}
+
 }  // namespace
 
 NnffModel::NnffModel(NnffConfig config)
@@ -176,6 +198,7 @@ void NnffModel::exampleVectorFast(const dsl::IOExample& example,
     // Program branch: per step, x_k = [funcEmb | traceEnc | match feats].
     const std::size_t stepWidth = e + h + 2;
     const std::size_t len = candidate->length();
+    const std::uint64_t outputFp = valueFingerprint(example.output);
     stepBuf.resize(stepWidth * std::max<std::size_t>(len, 1));
     std::vector<const float*> steps;
     steps.reserve(len);
@@ -185,10 +208,11 @@ void NnffModel::exampleVectorFast(const dsl::IOExample& example,
       const float* fRow = funcEmb_->table().data() +
                           static_cast<std::size_t>(candidate->at(k)) * e;
       std::copy(fRow, fRow + e, x);
-      nn::lstmEncodeTokensFast(*traceLstm_, *valueEmb_,
-                               encoder_.encodeValue((*trace)[k]), x + e,
-                               scratch_);
-      const auto dist = valueEditDistance((*trace)[k], example.output);
+      const std::uint64_t tvFp = valueFingerprint((*trace)[k]);
+      const auto& tEnc = traceEncodingMemo((*trace)[k], tvFp);
+      std::copy(tEnc.begin(), tEnc.end(), x + e);
+      const auto dist =
+          editDistanceMemo((*trace)[k], tvFp, outputFp, example.output);
       x[e + h] = 1.0f / (1.0f + static_cast<float>(dist));
       x[e + h + 1] = (dist == 0) ? 1.0f : 0.0f;
       if (dist == 0) ++exactSteps;
@@ -197,8 +221,9 @@ void NnffModel::exampleVectorFast(const dsl::IOExample& example,
     nn::lstmEncodeVectorsFast(*stepLstm_, steps, hProg.data(), scratch_);
     for (std::size_t j = 0; j < h; ++j) hMul[j] = hOut[j] * hProg[j];
     const dsl::Value& finalValue =
-        len == 0 ? dsl::Value::defaultFor(dsl::Type::List) : trace->back();
-    const auto finalDist = valueEditDistance(finalValue, example.output);
+        len == 0 ? dsl::kEmptyListValue : trace->back();
+    const auto finalDist = editDistanceMemo(
+        finalValue, valueFingerprint(finalValue), outputFp, example.output);
     float g[4];
     g[0] = 1.0f / (1.0f + static_cast<float>(finalDist));
     g[1] = (finalDist == 0) ? 1.0f : 0.0f;
@@ -275,26 +300,37 @@ std::vector<float> NnffModel::forwardIOOnlyFast(const dsl::Spec& spec) const {
 }
 
 const std::vector<float>& NnffModel::traceEncodingMemo(
-    const dsl::Value& value) const {
-  const auto tokens = encoder_.encodeValue(value);
-  std::string key;
-  key.reserve(tokens.size() * 4);
-  for (std::size_t t : tokens) {
-    // Token ids are bounded by vocabSize() = 2*vmax + 2 with a 32-bit vmax;
-    // pack the full 32 bits so distinct tokens can never share a key.
-    for (std::size_t b = 0; b < 4; ++b)
-      key.push_back(static_cast<char>((t >> (8 * b)) & 0xff));
-  }
+    const dsl::Value& value, std::uint64_t valueFp) const {
+  // Keyed by the value's own fingerprint so a hit skips tokenization too
+  // (two values that clamp/truncate to the same token sequence just occupy
+  // two entries with equal encodings — correct either way).
+  const std::uint64_t key = valueFp;
   const auto it = traceMemo_.find(key);
   if (it != traceMemo_.end()) return it->second;
   // Bound the memo so a long-running service cannot grow it without limit;
   // a full clear is simpler than LRU and amortizes to nothing.
   constexpr std::size_t kMaxEntries = 1u << 15;
   if (traceMemo_.size() >= kMaxEntries) traceMemo_.clear();
+  const auto tokens = encoder_.encodeValue(value);
   std::vector<float> h(config_.hiddenDim);
   nn::lstmEncodeTokensFast(*traceLstm_, *valueEmb_, tokens, h.data(),
                            scratch_);
-  return traceMemo_.emplace(std::move(key), std::move(h)).first->second;
+  return traceMemo_.emplace(key, std::move(h)).first->second;
+}
+
+std::size_t NnffModel::editDistanceMemo(const dsl::Value& traceValue,
+                                        std::uint64_t traceFp,
+                                        std::uint64_t outputFp,
+                                        const dsl::Value& output) const {
+  std::uint64_t key = traceFp;
+  key ^= outputFp + 0x9e3779b97f4a7c15ULL + (key << 6) + (key >> 2);
+  const auto it = editMemo_.find(key);
+  if (it != editMemo_.end()) return it->second;
+  constexpr std::size_t kMaxEntries = 1u << 15;
+  if (editMemo_.size() >= kMaxEntries) editMemo_.clear();
+  const std::size_t dist = valueEditDistance(traceValue, output);
+  editMemo_.emplace(key, dist);
+  return dist;
 }
 
 std::vector<std::vector<float>> NnffModel::predictBatch(
@@ -305,15 +341,47 @@ std::vector<std::vector<float>> NnffModel::predictBatch(
   if (batch == 0) return {};
   if (config_.useTrace && traces.size() != batch)
     throw std::invalid_argument("NnffModel: one trace set per candidate");
-  const std::size_t h = config_.hiddenDim;
-  const std::size_t e = config_.embedDim;
   const std::size_t m = std::min(spec.size(), config_.maxExamples);
+  std::vector<const std::vector<dsl::Value>*> table;
   if (config_.useTrace) {
+    table.resize(batch * m);
     for (std::size_t b = 0; b < batch; ++b) {
       if (traces[b] == nullptr || traces[b]->size() < m)
         throw std::invalid_argument("NnffModel: one trace per example required");
+      for (std::size_t i = 0; i < m; ++i) table[b * m + i] = &(*traces[b])[i];
     }
   }
+  return predictBatchImpl(spec, candidates, table);
+}
+
+std::vector<std::vector<float>> NnffModel::predictBatchRuns(
+    const dsl::Spec& spec, const std::vector<const dsl::Program*>& candidates,
+    const std::vector<const std::vector<dsl::ExecResult>*>& runs) const {
+  const std::size_t batch = candidates.size();
+  if (batch == 0) return {};
+  if (config_.useTrace && runs.size() != batch)
+    throw std::invalid_argument("NnffModel: one run set per candidate");
+  const std::size_t m = std::min(spec.size(), config_.maxExamples);
+  std::vector<const std::vector<dsl::Value>*> table;
+  if (config_.useTrace) {
+    table.resize(batch * m);
+    for (std::size_t b = 0; b < batch; ++b) {
+      if (runs[b] == nullptr || runs[b]->size() < m)
+        throw std::invalid_argument("NnffModel: one run per example required");
+      for (std::size_t i = 0; i < m; ++i)
+        table[b * m + i] = &(*runs[b])[i].trace;
+    }
+  }
+  return predictBatchImpl(spec, candidates, table);
+}
+
+std::vector<std::vector<float>> NnffModel::predictBatchImpl(
+    const dsl::Spec& spec, const std::vector<const dsl::Program*>& candidates,
+    const std::vector<const std::vector<dsl::Value>*>& traceTable) const {
+  const std::size_t batch = candidates.size();
+  const std::size_t h = config_.hiddenDim;
+  const std::size_t e = config_.embedDim;
+  const std::size_t m = std::min(spec.size(), config_.maxExamples);
 
   // His: example-major blocks of B x h (block i feeds exampleLstm step i).
   std::vector<float> His(std::max<std::size_t>(m, 1) * batch * h);
@@ -354,10 +422,11 @@ std::vector<std::vector<float>> NnffModel::predictBatch(
     if (config_.useTrace) {
       // Program branch, batched over genes: step k runs all genes that are
       // at least k+1 long through stepLstm as one B x (e+h+2) block.
+      const std::uint64_t outputFp = valueFingerprint(example.output);
       const std::size_t stepWidth = e + h + 2;
       std::size_t maxLen = 0;
       for (std::size_t b = 0; b < batch; ++b) {
-        const auto& trace = (*traces[b])[i];
+        const auto& trace = *traceTable[b * m + i];
         if (trace.size() != candidates[b]->length())
           throw std::invalid_argument(
               "NnffModel: trace length != program length");
@@ -376,10 +445,12 @@ std::vector<std::vector<float>> NnffModel::predictBatch(
           const float* fRow = funcEmb_->table().data() +
                               static_cast<std::size_t>(candidates[b]->at(k)) * e;
           std::copy(fRow, fRow + e, x);
-          const dsl::Value& tv = (*traces[b])[i][k];
-          const auto& tEnc = traceEncodingMemo(tv);
+          const dsl::Value& tv = (*traceTable[b * m + i])[k];
+          const std::uint64_t tvFp = valueFingerprint(tv);
+          const auto& tEnc = traceEncodingMemo(tv, tvFp);
           std::copy(tEnc.begin(), tEnc.end(), x + e);
-          const auto dist = valueEditDistance(tv, example.output);
+          const auto dist =
+              editDistanceMemo(tv, tvFp, outputFp, example.output);
           x[e + h] = 1.0f / (1.0f + static_cast<float>(dist));
           x[e + h + 1] = (dist == 0) ? 1.0f : 0.0f;
           if (dist == 0) ++exactSteps[b];
@@ -394,9 +465,10 @@ std::vector<std::vector<float>> NnffModel::predictBatch(
       for (std::size_t b = 0; b < batch; ++b) {
         const std::size_t len = candidates[b]->length();
         const dsl::Value& finalValue =
-            len == 0 ? dsl::Value::defaultFor(dsl::Type::List)
-                     : (*traces[b])[i].back();
-        const auto finalDist = valueEditDistance(finalValue, example.output);
+            len == 0 ? dsl::kEmptyListValue : (*traceTable[b * m + i]).back();
+        const auto finalDist = editDistanceMemo(
+            finalValue, valueFingerprint(finalValue), outputFp,
+            example.output);
         g[b * 4 + 0] = 1.0f / (1.0f + static_cast<float>(finalDist));
         g[b * 4 + 1] = (finalDist == 0) ? 1.0f : 0.0f;
         g[b * 4 + 2] =

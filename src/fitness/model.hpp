@@ -92,6 +92,15 @@ class NnffModel {
       const std::vector<const std::vector<std::vector<dsl::Value>>*>& traces)
       const;
 
+  /// predictBatch over the evaluator's execution results directly:
+  /// `runs[i]` are candidate i's per-example ExecResults and the traces are
+  /// read in place, so the GA's hot path never deep-copies a trace. Same
+  /// output as predictBatch on the copied traces.
+  std::vector<std::vector<float>> predictBatchRuns(
+      const dsl::Spec& spec,
+      const std::vector<const dsl::Program*>& candidates,
+      const std::vector<const std::vector<dsl::ExecResult>*>& runs) const;
+
   /// Deep copy with identical parameters and its own scratch/memo buffers —
   /// the unit of per-worker isolation for the parallel experiment runner.
   std::unique_ptr<NnffModel> clone() const;
@@ -117,10 +126,30 @@ class NnffModel {
                          const std::vector<dsl::Value>* trace,
                          float* out) const;
 
-  /// Memoized traceLstm encoding of one trace value. The encoding is a pure
-  /// function of the token sequence, so entries never go stale; the memo is
-  /// cleared when it outgrows its bound.
-  const std::vector<float>& traceEncodingMemo(const dsl::Value& value) const;
+  /// Memoized traceLstm encoding of one trace value; `valueFp` is the
+  /// value's fingerprint, computed once per step by the caller and shared
+  /// with editDistanceMemo. The encoding is a pure function of the value,
+  /// so entries never go stale; the memo is cleared when it outgrows its
+  /// bound. On a hit neither the token sequence nor the encoding is
+  /// recomputed.
+  const std::vector<float>& traceEncodingMemo(const dsl::Value& value,
+                                              std::uint64_t valueFp) const;
+
+  /// Memoized valueEditDistance(traceValue, output); both fingerprints are
+  /// precomputed by the caller (the output's once per example, the trace
+  /// value's once per step). Trace values recur heavily across a
+  /// population's shared ancestry, and the DP behind a miss is O(|a|*|b|)
+  /// with three allocations.
+  std::size_t editDistanceMemo(const dsl::Value& traceValue,
+                               std::uint64_t traceFp, std::uint64_t outputFp,
+                               const dsl::Value& output) const;
+
+  /// Shared core of predictBatch/predictBatchRuns: traceTable[b * m + i]
+  /// points at candidate b's trace on example i (empty when !useTrace).
+  std::vector<std::vector<float>> predictBatchImpl(
+      const dsl::Spec& spec,
+      const std::vector<const dsl::Program*>& candidates,
+      const std::vector<const std::vector<dsl::Value>*>& traceTable) const;
 
   NnffConfig config_;
   TokenEncoder encoder_;
@@ -139,10 +168,16 @@ class NnffModel {
   std::unique_ptr<nn::Linear> fc1_;
   std::unique_ptr<nn::Linear> fc2_;
   mutable nn::InferenceScratch scratch_;  ///< fast-path buffers
-  /// Trace-value encoding memo for the batched path, keyed by the packed
-  /// token sequence (GA populations re-produce the same intermediate values
-  /// across genes and generations).
-  mutable std::unordered_map<std::string, std::vector<float>> traceMemo_;
+  /// Trace-value encoding memo for the batched path, keyed by a 64-bit
+  /// FNV-1a fingerprint of the token sequence (GA populations re-produce the
+  /// same intermediate values across genes and generations). The fingerprint
+  /// replaces a per-lookup heap-allocated string key; a collision could only
+  /// substitute one value's encoding for another's in the fitness signal,
+  /// and at < 2^32 distinct trace values per run is negligible.
+  mutable std::unordered_map<std::uint64_t, std::vector<float>> traceMemo_;
+  /// Edit-distance memo, keyed by mixed (trace value, output) fingerprints;
+  /// same bounding and collision reasoning as traceMemo_.
+  mutable std::unordered_map<std::uint64_t, std::size_t> editMemo_;
 };
 
 }  // namespace netsyn::fitness

@@ -38,15 +38,15 @@ double expectationFromLogits(const std::vector<float>& logits) {
   return expectation;
 }
 
-/// Runs one predictBatch per maximal run of contexts sharing a spec (in the
-/// GA every context shares the generation's spec, so this is one batch) and
-/// maps each gene's logits row through `toScore`.
+/// Runs one predictBatchRuns per maximal run of contexts sharing a spec (in
+/// the GA every context shares the generation's spec, so this is one batch)
+/// and maps each gene's logits row through `toScore`. The evaluator's
+/// ExecResults are read in place — no trace is copied.
 template <typename ToScore>
 std::vector<double> batchOverSharedSpecs(
     NnffModel& model, const std::vector<const dsl::Program*>& genes,
     const std::vector<const EvalContext*>& contexts, const ToScore& toScore) {
   std::vector<double> out(genes.size());
-  std::vector<std::vector<std::vector<dsl::Value>>> traceStore;
   std::size_t begin = 0;
   while (begin < genes.size()) {
     std::size_t end = begin + 1;
@@ -54,17 +54,14 @@ std::vector<double> batchOverSharedSpecs(
            &contexts[end]->spec == &contexts[begin]->spec)
       ++end;
     const std::size_t n = end - begin;
-    traceStore.clear();
-    traceStore.reserve(n);
     std::vector<const dsl::Program*> progs(n);
-    std::vector<const std::vector<std::vector<dsl::Value>>*> traces(n);
+    std::vector<const std::vector<dsl::ExecResult>*> runs(n);
     for (std::size_t i = 0; i < n; ++i) {
       progs[i] = genes[begin + i];
-      traceStore.push_back(tracesFromRuns(contexts[begin + i]->runs));
-      traces[i] = &traceStore.back();
+      runs[i] = &contexts[begin + i]->runs;
     }
     const auto logits =
-        model.predictBatch(contexts[begin]->spec, progs, traces);
+        model.predictBatchRuns(contexts[begin]->spec, progs, runs);
     for (std::size_t i = 0; i < n; ++i) out[begin + i] = toScore(logits[i]);
     begin = end;
   }

@@ -25,7 +25,65 @@ inline void addVecMat(const float* x, std::size_t in, const Matrix& w,
   }
 }
 
+/// Four rows of z += x * W sharing one pass over W: each weight row is
+/// loaded once and accumulated into four outputs held in registers. The
+/// weights in this model are L1-resident, so the win is load-port pressure
+/// and instruction-level parallelism rather than DRAM traffic — but it is
+/// the classic register-blocking shape either way. For every row the
+/// accumulation order (ascending i, one multiply-add per j, skip on exact
+/// zero) is addVecMat's, so results are bitwise identical.
+inline void addVecMat4(const float* x0, const float* x1, const float* x2,
+                       const float* x3, std::size_t in, const Matrix& w,
+                       float* z0, float* z1, float* z2, float* z3) {
+  const std::size_t out = w.cols();
+  for (std::size_t i = 0; i < in; ++i) {
+    const float a0 = x0[i], a1 = x1[i], a2 = x2[i], a3 = x3[i];
+    const float* row = w.data() + i * out;
+    if (a0 != 0.0f && a1 != 0.0f && a2 != 0.0f && a3 != 0.0f) {
+      for (std::size_t j = 0; j < out; ++j) {
+        const float r = row[j];
+        z0[j] += a0 * r;
+        z1[j] += a1 * r;
+        z2[j] += a2 * r;
+        z3[j] += a3 * r;
+      }
+    } else {
+      // A zero entry must skip its row's accumulation (addVecMat semantics);
+      // fall back to per-row loops for this i only.
+      if (a0 != 0.0f)
+        for (std::size_t j = 0; j < out; ++j) z0[j] += a0 * row[j];
+      if (a1 != 0.0f)
+        for (std::size_t j = 0; j < out; ++j) z1[j] += a1 * row[j];
+      if (a2 != 0.0f)
+        for (std::size_t j = 0; j < out; ++j) z2[j] += a2 * row[j];
+      if (a3 != 0.0f)
+        for (std::size_t j = 0; j < out; ++j) z3[j] += a3 * row[j];
+    }
+  }
+}
+
 }  // namespace
+
+void addVecMatBatch(const float* x, std::size_t xStride, std::size_t batch,
+                    std::size_t in, const Matrix& w, float* z,
+                    std::size_t zStride, const std::uint8_t* active) {
+  // Compact active rows into blocks of four so masked-out lanes cost
+  // nothing and ragged tails still get the blocked path where possible.
+  std::size_t idx[4];
+  std::size_t n = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    if (active != nullptr && active[b] == 0) continue;
+    idx[n++] = b;
+    if (n < 4) continue;
+    addVecMat4(x + idx[0] * xStride, x + idx[1] * xStride,
+               x + idx[2] * xStride, x + idx[3] * xStride, in, w,
+               z + idx[0] * zStride, z + idx[1] * zStride,
+               z + idx[2] * zStride, z + idx[3] * zStride);
+    n = 0;
+  }
+  for (std::size_t k = 0; k < n; ++k)
+    addVecMat(x + idx[k] * xStride, in, w, z + idx[k] * zStride);
+}
 
 void lstmStepFast(const Lstm& lstm, const float* x, float* h, float* c,
                   InferenceScratch& scratch) {
@@ -51,12 +109,13 @@ void lstmEncodeTokensFast(const Lstm& lstm, const Embedding& embedding,
                           const std::vector<std::size_t>& tokens, float* h,
                           InferenceScratch& scratch) {
   const std::size_t hd = lstm.hiddenDim();
-  std::vector<float> c(hd, 0.0f);
+  float* c = scratch.ensureC(hd);
+  std::memset(c, 0, hd * sizeof(float));
   std::memset(h, 0, hd * sizeof(float));
   const Matrix& table = embedding.table();
   for (std::size_t t : tokens) {
     const float* x = table.data() + t * embedding.dim();
-    lstmStepFast(lstm, x, h, c.data(), scratch);
+    lstmStepFast(lstm, x, h, c, scratch);
   }
 }
 
@@ -64,9 +123,10 @@ void lstmEncodeVectorsFast(const Lstm& lstm,
                            const std::vector<const float*>& xs, float* h,
                            InferenceScratch& scratch) {
   const std::size_t hd = lstm.hiddenDim();
-  std::vector<float> c(hd, 0.0f);
+  float* c = scratch.ensureC(hd);
+  std::memset(c, 0, hd * sizeof(float));
   std::memset(h, 0, hd * sizeof(float));
-  for (const float* x : xs) lstmStepFast(lstm, x, h, c.data(), scratch);
+  for (const float* x : xs) lstmStepFast(lstm, x, h, c, scratch);
 }
 
 void linearForwardFast(const Linear& linear, const float* x, float* out) {
@@ -82,15 +142,16 @@ void lstmStepBatchFast(const Lstm& lstm, const float* x, std::size_t batch,
   const std::size_t g4 = 4 * hd;
   scratch.ensure(batch * g4);
   float* z = scratch.z.data();
-  // Z = bias broadcast + X * Wx + H * Wh, one matrix-matrix product per
-  // weight. Row-wise accumulation order matches lstmStepFast bitwise.
+  // Z = bias broadcast + X * Wx + H * Wh as blocked matrix-matrix products.
+  // Inactive lanes are skipped end to end: no bias copy, no gate math, no
+  // matmul rows — their h/c state (and dead z rows) stay untouched.
   const float* bias = lstm.biasRaw().data();
-  for (std::size_t b = 0; b < batch; ++b)
+  for (std::size_t b = 0; b < batch; ++b) {
+    if (active != nullptr && active[b] == 0) continue;
     std::memcpy(z + b * g4, bias, g4 * sizeof(float));
-  for (std::size_t b = 0; b < batch; ++b)
-    addVecMat(x + b * in, in, lstm.weightX(), z + b * g4);
-  for (std::size_t b = 0; b < batch; ++b)
-    addVecMat(h + b * hd, hd, lstm.weightH(), z + b * g4);
+  }
+  addVecMatBatch(x, in, batch, in, lstm.weightX(), z, g4, active);
+  addVecMatBatch(h, hd, batch, hd, lstm.weightH(), z, g4, active);
   for (std::size_t b = 0; b < batch; ++b) {
     if (active != nullptr && active[b] == 0) continue;
     float* zb = z + b * g4;
@@ -119,19 +180,19 @@ void lstmEncodeTokensBatchFast(
   std::memset(h, 0, batch * hd * sizeof(float));
   if (maxLen == 0) return;
 
-  std::vector<float> c(batch * hd, 0.0f);
-  std::vector<float> x(batch * e, 0.0f);
-  std::vector<std::uint8_t> active(batch);
+  float* c = scratch.ensureC(batch * hd);
+  std::memset(c, 0, batch * hd * sizeof(float));
+  float* x = scratch.ensureX(batch * e);
+  std::uint8_t* active = scratch.ensureActive(batch);
   const Matrix& table = embedding.table();
   for (std::size_t t = 0; t < maxLen; ++t) {
     for (std::size_t b = 0; b < batch; ++b) {
       active[b] = t < tokens[b].size() ? 1 : 0;
       if (active[b])
-        std::memcpy(x.data() + b * e, table.data() + tokens[b][t] * e,
+        std::memcpy(x + b * e, table.data() + tokens[b][t] * e,
                     e * sizeof(float));
     }
-    lstmStepBatchFast(lstm, x.data(), batch, h, c.data(), scratch,
-                      active.data());
+    lstmStepBatchFast(lstm, x, batch, h, c, scratch, active);
   }
 }
 
@@ -140,20 +201,19 @@ void lstmEncodeVectorsBatchFast(const Lstm& lstm,
                                 std::size_t batch, float* h,
                                 InferenceScratch& scratch) {
   const std::size_t hd = lstm.hiddenDim();
-  std::vector<float> c(batch * hd, 0.0f);
+  float* c = scratch.ensureC(batch * hd);
+  std::memset(c, 0, batch * hd * sizeof(float));
   std::memset(h, 0, batch * hd * sizeof(float));
-  for (const float* x : xs)
-    lstmStepBatchFast(lstm, x, batch, h, c.data(), scratch);
+  for (const float* x : xs) lstmStepBatchFast(lstm, x, batch, h, c, scratch);
 }
 
 void linearForwardBatchFast(const Linear& linear, const float* x,
                             std::size_t batch, float* out) {
   const std::size_t in = linear.inDim();
   const std::size_t o = linear.outDim();
-  for (std::size_t b = 0; b < batch; ++b) {
+  for (std::size_t b = 0; b < batch; ++b)
     std::memcpy(out + b * o, linear.bias().data(), o * sizeof(float));
-    addVecMat(x + b * in, in, linear.weight(), out + b * o);
-  }
+  addVecMatBatch(x, in, batch, in, linear.weight(), out, o);
 }
 
 void reluFast(float* x, std::size_t n) {

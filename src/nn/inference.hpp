@@ -17,14 +17,29 @@
 namespace netsyn::nn {
 
 /// Reusable buffers for one inference thread. The batched kernels size the
-/// same buffers to batch * 4H, so one scratch serves both paths.
+/// same buffers to batch * 4H, so one scratch serves both paths. The cell
+/// state, step input, and row-mask buffers the encode loops need live here
+/// too, so a steady-state forward pass performs no heap allocation at all.
 struct InferenceScratch {
-  std::vector<float> z;  ///< gate pre-activations (B x 4H)
-  std::vector<float> tmp;
+  std::vector<float> z;             ///< gate pre-activations (B x 4H)
+  std::vector<float> c;             ///< LSTM cell state (B x H)
+  std::vector<float> x;             ///< embedded step inputs (B x E)
+  std::vector<std::uint8_t> active; ///< per-row live mask (B)
 
   void ensure(std::size_t n) {
     if (z.size() < n) z.resize(n);
-    if (tmp.size() < n) tmp.resize(n);
+  }
+  float* ensureC(std::size_t n) {
+    if (c.size() < n) c.resize(n);
+    return c.data();
+  }
+  float* ensureX(std::size_t n) {
+    if (x.size() < n) x.resize(n);
+    return x.data();
+  }
+  std::uint8_t* ensureActive(std::size_t n) {
+    if (active.size() < n) active.resize(n);
+    return active.data();
   }
 };
 
@@ -53,11 +68,25 @@ void reluFast(float* x, std::size_t n);
 
 // ---- population-batched kernels --------------------------------------------
 //
-// The batched kernels run B rows through one layer at a time as matrix-matrix
-// products (Z = X*Wx + H*Wh + b broadcast) instead of B separate vector-matrix
-// passes. Per-row accumulation order matches the scalar kernels exactly, so a
-// batched forward is bitwise identical to B scalar forwards (pinned by
+// The batched kernels run B rows through one layer at a time as blocked
+// matrix-matrix products (Z = X*Wx + H*Wh + b broadcast): rows are processed
+// in register blocks of four, so every streamed weight row is reused four
+// times from registers instead of being re-read per batch row, and rows
+// masked out by `active` are skipped outright (the block compacts around
+// them). Per-row accumulation order matches the scalar kernels exactly
+// (ascending input index, one fused multiply-add per output), so a batched
+// forward is bitwise identical to B scalar forwards (pinned by
 // tests/test_batch_parity.cpp).
+
+/// Blocked Z += X * W over `batch` rows: X is batch x xStride (first `in`
+/// columns used), Z is batch x zStride (first w.cols() columns used). Rows
+/// with active[b] == 0 are skipped entirely (pass nullptr for all-active).
+/// Bitwise identical per row to calling addVecMat-style accumulation; the
+/// building block behind every batched layer here, exposed for tests.
+void addVecMatBatch(const float* x, std::size_t xStride, std::size_t batch,
+                    std::size_t in, const Matrix& w, float* z,
+                    std::size_t zStride,
+                    const std::uint8_t* active = nullptr);
 
 /// One batched LSTM step: x is B x inDim, h and c are B x hiddenDim, all
 /// row-major and carrying the previous state. When `active` is non-null,

@@ -29,7 +29,7 @@ TEST(Interpreter, PaperTable1Example) {
   // must produce [20, 10, 6, 4] (paper Table 1).
   const auto p = prog({"FILTER(>0)", "MAP(*2)", "SORT", "REVERSE"});
   const auto result = nd::run(p, {nd::Value(List{-2, 10, 3, -4, 5, 2})});
-  EXPECT_EQ(result.output, nd::Value(List{20, 10, 6, 4}));
+  EXPECT_EQ(result.output(), nd::Value(List{20, 10, 6, 4}));
   ASSERT_EQ(result.trace.size(), 4u);
   EXPECT_EQ(result.trace[0], nd::Value(List{10, 3, 5, 2}));
   EXPECT_EQ(result.trace[1], nd::Value(List{20, 6, 10, 4}));
@@ -124,13 +124,13 @@ TEST(Interpreter, TraceHasOneEntryPerStatement) {
   EXPECT_EQ(result.trace[0], nd::Value(List{1, 2, 3}));
   EXPECT_EQ(result.trace[1], nd::Value(List{3, 2, 1}));
   EXPECT_EQ(result.trace[2], nd::Value(3));
-  EXPECT_EQ(result.output, nd::Value(3));
+  EXPECT_EQ(result.output(), nd::Value(3));
 }
 
 TEST(Interpreter, EmptyProgramYieldsDefaultListOutput) {
   const auto result = nd::run(nd::Program{}, {nd::Value(List{1})});
   EXPECT_TRUE(result.trace.empty());
-  EXPECT_EQ(result.output, nd::Value(List{}));
+  EXPECT_EQ(result.output(), nd::Value(List{}));
 }
 
 TEST(Interpreter, SignatureOfExtractsTypes) {

@@ -82,9 +82,9 @@ TEST(EditFitness, IntOutputSpecs) {
   nd::Spec spec;
   spec.examples.push_back({{nd::Value(L{1, 2, 3})}, nd::Value(6)});
   std::vector<nd::ExecResult> exact(1), near(1), far(1);
-  exact[0].output = nd::Value(6);
-  near[0].output = nd::Value(7);
-  far[0].output = nd::Value(L{1, 2, 3, 4, 5});
+  exact[0].trace.push_back(nd::Value(6));
+  near[0].trace.push_back(nd::Value(7));
+  far[0].trace.push_back(nd::Value(L{1, 2, 3, 4, 5}));
   nf::EditDistanceFitness fit;
   const double e = fit.score(nd::Program{}, {spec, exact});
   const double n = fit.score(nd::Program{}, {spec, near});

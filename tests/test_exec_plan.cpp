@@ -1,0 +1,280 @@
+// Parity tests for the zero-allocation execution engine: cached-plan
+// execution must be indistinguishable from a fresh interpreter run, pooled
+// storage must never leak state between candidates, the evaluator's
+// fingerprint dedup must preserve budget semantics, and the blocked NN
+// matmul must stay bitwise identical to the scalar kernel.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/budget.hpp"
+#include "core/evaluator.hpp"
+#include "dsl/functions.hpp"
+#include "dsl/generator.hpp"
+#include "dsl/interpreter.hpp"
+#include "nn/inference.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace nd = netsyn::dsl;
+namespace nc = netsyn::core;
+namespace nn = netsyn::nn;
+using netsyn::util::Rng;
+
+namespace {
+
+using List = std::vector<std::int32_t>;
+
+/// Structural equality of two ExecResults (output view + full trace).
+void expectSameResult(const nd::ExecResult& a, const nd::ExecResult& b) {
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  EXPECT_EQ(a.output(), b.output());
+  for (std::size_t k = 0; k < a.trace.size(); ++k)
+    EXPECT_EQ(a.trace[k], b.trace[k]) << "trace slot " << k;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ Value -------
+
+TEST(ValueInPlace, SetIntKeepsListBufferAlive) {
+  nd::Value v(List{1, 2, 3, 4, 5, 6, 7, 8});
+  const std::int32_t* data = v.asList().data();
+  v.setInt(42);
+  EXPECT_EQ(v, nd::Value(42));
+  // Retargeting back to a list of no larger size must reuse the retained
+  // heap buffer — this is the arena property the executor relies on.
+  List& list = v.makeList();
+  list.assign({9, 8, 7});
+  EXPECT_EQ(v, nd::Value(List{9, 8, 7}));
+  EXPECT_EQ(v.asList().data(), data);
+}
+
+TEST(ValueInPlace, CopyAssignRefillsInPlace) {
+  nd::Value dst(List{1, 2, 3, 4, 5, 6, 7, 8});
+  const std::int32_t* data = dst.asList().data();
+  const nd::Value smaller(List{4, 5});
+  dst = smaller;  // copy-assign (a temporary would move and steal storage)
+  EXPECT_EQ(dst, smaller);
+  EXPECT_EQ(dst.asList().data(), data);  // capacity reused, no realloc
+  const nd::Value seven(7);
+  dst = seven;
+  EXPECT_EQ(dst, nd::Value(7));
+  EXPECT_TRUE(dst.isInt());
+}
+
+TEST(ValueInPlace, EqualityIgnoresDeadStorage) {
+  nd::Value a(List{1, 2, 3});
+  a.setInt(5);  // list storage retained but dead
+  EXPECT_EQ(a, nd::Value(5));
+  EXPECT_NE(a, nd::Value(List{1, 2, 3}));
+}
+
+// ------------------------------------------------- applyFunctionInto ------
+
+TEST(ApplyFunctionInto, MatchesApplyFunctionForEveryFunction) {
+  const nd::Value intArg(3);
+  const nd::Value listA(List{5, -2, 0, 7, -9, 2});
+  const nd::Value listB(List{1, 4, -3});
+  for (std::size_t id = 0; id < nd::kNumFunctions; ++id) {
+    const auto f = static_cast<nd::FuncId>(id);
+    const auto& info = nd::functionInfo(f);
+    std::vector<nd::Value> args;
+    std::vector<const nd::Value*> ptrs;
+    for (std::size_t slot = 0; slot < info.arity; ++slot) {
+      if (info.argTypes[slot] == nd::Type::Int) {
+        args.push_back(intArg);
+      } else {
+        args.push_back(slot == 0 ? listA : listB);
+      }
+    }
+    for (const auto& a : args) ptrs.push_back(&a);
+
+    const nd::Value expected = nd::applyFunction(
+        f, std::span<const nd::Value>(args.data(), args.size()));
+    // Dirty destination: the in-place path must fully overwrite retained
+    // state from a previous (larger) result.
+    nd::Value out(List{99, 99, 99, 99, 99, 99, 99, 99, 99, 99});
+    nd::applyFunctionInto(
+        f, std::span<const nd::Value* const>(ptrs.data(), ptrs.size()), out);
+    EXPECT_EQ(out, expected) << info.name;
+  }
+}
+
+// ------------------------------------------------------- plan cache -------
+
+TEST(Executor, CachedPlanMatchesFreshRunOnRandomPrograms) {
+  Rng rng(7);
+  const nd::Generator gen;
+  nd::Executor executor;
+  nd::ExecResult pooled;  // reused across every iteration: the arena path
+  for (int iter = 0; iter < 300; ++iter) {
+    const bool withInt = iter % 2 == 0;
+    nd::InputSignature sig = {nd::Type::List};
+    if (withInt) sig.push_back(nd::Type::Int);
+    const std::size_t length = 1 + static_cast<std::size_t>(rng.uniform(8));
+    const auto prog = gen.randomProgram(length, sig, rng);
+    ASSERT_TRUE(prog.has_value());
+    const auto inputs = gen.randomInputs(sig, rng);
+
+    const nd::ExecResult fresh = nd::run(*prog, inputs);
+    executor.runInto(*prog, inputs, pooled);
+    expectSameResult(pooled, fresh);
+    EXPECT_EQ(executor.evalInto(*prog, inputs), fresh.output());
+  }
+}
+
+TEST(Executor, PlanIsCompiledOncePerProgramAndSignature) {
+  Rng rng(11);
+  const nd::Generator gen;
+  const nd::InputSignature sig = {nd::Type::List};
+  const auto prog = gen.randomProgram(5, sig, rng);
+  ASSERT_TRUE(prog.has_value());
+
+  nd::Executor executor;
+  nd::ExecResult out;
+  for (int i = 0; i < 10; ++i) {
+    const auto inputs = gen.randomInputs(sig, rng);
+    executor.runInto(*prog, inputs, out);
+  }
+  EXPECT_EQ(executor.planCompiles(), 1u);
+  EXPECT_EQ(executor.planCacheSize(), 1u);
+
+  // Same program under a different signature is a different plan.
+  const nd::InputSignature sig2 = {nd::Type::List, nd::Type::Int};
+  std::vector<nd::Value> inputs2 = {nd::Value(List{1, 2, 3}), nd::Value(2)};
+  executor.runInto(*prog, inputs2, out);
+  EXPECT_EQ(executor.planCompiles(), 2u);
+}
+
+TEST(Executor, PooledStorageNeverLeaksBetweenPrograms) {
+  // A long list-heavy program followed by a short int-producing one: the
+  // pooled trace must shrink exactly and dead list storage must not bleed
+  // into results.
+  const auto big = nd::Program::fromString("MAP(*2) | SORT | REVERSE");
+  const auto small = nd::Program::fromString("SUM");
+  ASSERT_TRUE(big && small);
+  const std::vector<nd::Value> inputs = {nd::Value(List{3, 1, 2})};
+
+  nd::Executor executor;
+  nd::ExecResult pooled;
+  executor.runInto(*big, inputs, pooled);
+  ASSERT_EQ(pooled.trace.size(), 3u);
+  executor.runInto(*small, inputs, pooled);
+  ASSERT_EQ(pooled.trace.size(), 1u);
+  EXPECT_EQ(pooled.output(), nd::Value(6));
+  expectSameResult(pooled, nd::run(*small, inputs));
+}
+
+// --------------------------------------------------------- evaluator ------
+
+TEST(SpecEvaluator, RecycledEvaluationsMatchFreshOnes) {
+  Rng rng(13);
+  const nd::Generator gen;
+  const auto tc = gen.randomTestCase(4, 5, false, rng);
+  ASSERT_TRUE(tc.has_value());
+
+  nc::SearchBudget budgetA(100000), budgetB(100000);
+  nc::SpecEvaluator pooledEval(tc->spec, budgetA);
+  nc::SpecEvaluator freshEval(tc->spec, budgetB);
+
+  const nd::InputSignature sig = tc->spec.signature();
+  for (int round = 0; round < 20; ++round) {
+    const auto prog = gen.randomProgram(4, sig, rng);
+    ASSERT_TRUE(prog.has_value());
+    auto a = pooledEval.evaluate(*prog);
+    auto b = freshEval.evaluate(*prog);
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    EXPECT_EQ(a->satisfied, b->satisfied);
+    ASSERT_EQ(a->runs.size(), b->runs.size());
+    for (std::size_t j = 0; j < a->runs.size(); ++j) {
+      expectSameResult(a->runs[j], b->runs[j]);
+      // Ground truth: a fresh interpreter run.
+      expectSameResult(a->runs[j],
+                       nd::run(*prog, tc->spec.examples[j].inputs));
+    }
+    // Only the pooled evaluator recycles; parity must hold regardless.
+    pooledEval.recycle(std::move(*a));
+  }
+  EXPECT_EQ(budgetA.used(), budgetB.used());
+}
+
+TEST(SpecEvaluator, FingerprintDedupPreservesBudgetSemantics) {
+  Rng rng(17);
+  const nd::Generator gen;
+  const auto tc = gen.randomTestCase(3, 4, false, rng);
+  ASSERT_TRUE(tc.has_value());
+  const nd::InputSignature sig = tc->spec.signature();
+
+  std::vector<nd::Program> progs;
+  for (int i = 0; i < 5; ++i) progs.push_back(*gen.randomProgram(3, sig, rng));
+
+  nc::SearchBudget budget(100000);
+  nc::SpecEvaluator evaluator(tc->spec, budget);
+  for (const auto& p : progs) ASSERT_TRUE(evaluator.evaluate(p).has_value());
+  EXPECT_EQ(budget.used(), progs.size());
+  // Re-examinations are free, in any API.
+  for (const auto& p : progs) ASSERT_TRUE(evaluator.evaluate(p).has_value());
+  for (const auto& p : progs) ASSERT_TRUE(evaluator.check(p).has_value());
+  EXPECT_EQ(budget.used(), progs.size());
+}
+
+TEST(SpecEvaluator, CheckAgreesWithSatisfiesSpec) {
+  Rng rng(19);
+  const nd::Generator gen;
+  const auto tc = gen.randomTestCase(3, 5, false, rng);
+  ASSERT_TRUE(tc.has_value());
+  const nd::InputSignature sig = tc->spec.signature();
+
+  nc::SearchBudget budget(100000);
+  nc::SpecEvaluator evaluator(tc->spec, budget, /*dedup=*/false);
+  // The target program itself must check out; random ones must agree with
+  // the reference satisfiesSpec.
+  EXPECT_TRUE(evaluator.check(tc->program).value());
+  for (int i = 0; i < 50; ++i) {
+    const auto p = gen.randomProgram(3, sig, rng);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(evaluator.check(*p).value(),
+              nd::satisfiesSpec(*p, tc->spec));
+  }
+}
+
+// ------------------------------------------------- blocked NN matmul ------
+
+TEST(BlockedMatmul, BitwiseIdenticalToScalarAccumulation) {
+  Rng rng(23);
+  const std::size_t in = 13, out = 17;
+  nn::Matrix w(in, out);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w.at(i) = static_cast<float>(rng.uniformReal(-1, 1));
+
+  for (std::size_t batch = 1; batch <= 9; ++batch) {
+    std::vector<float> x(batch * in), zBlocked(batch * out),
+        zScalar(batch * out);
+    std::vector<std::uint8_t> active(batch, 1);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      // Sprinkle exact zeros: the scalar kernel's skip-on-zero must be
+      // reproduced exactly by the blocked path.
+      x[i] = (i % 5 == 0) ? 0.0f
+                          : static_cast<float>(rng.uniformReal(-2, 2));
+    }
+    for (std::size_t i = 0; i < batch * out; ++i)
+      zBlocked[i] = zScalar[i] = static_cast<float>(rng.uniformReal(-1, 1));
+    if (batch > 2) active[batch / 2] = 0;  // one masked lane
+
+    nn::addVecMatBatch(x.data(), in, batch, in, w, zBlocked.data(), out,
+                       active.data());
+    // Scalar reference: per-row accumulation in row order via the public
+    // single-row building block (batch of one).
+    for (std::size_t b = 0; b < batch; ++b) {
+      if (active[b] == 0) continue;
+      nn::addVecMatBatch(x.data() + b * in, in, 1, in, w,
+                         zScalar.data() + b * out, out);
+    }
+    // Masked lanes must be untouched; all lanes bitwise equal.
+    EXPECT_EQ(0, std::memcmp(zBlocked.data(), zScalar.data(),
+                             batch * out * sizeof(float)))
+        << "batch " << batch;
+  }
+}

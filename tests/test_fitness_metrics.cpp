@@ -160,8 +160,8 @@ TEST(EditFitness, FartherOutputsScoreLower) {
   spec.examples.push_back({{nd::Value(L{1, 2, 3})}, nd::Value(L{1, 2, 3})});
   nf::EditDistanceFitness fit;
   std::vector<nd::ExecResult> runsA(1), runsB(1);
-  runsA[0].output = nd::Value(L{1, 2, 3, 4});
-  runsB[0].output = nd::Value(L{9, 9, 9, 9, 9});
+  runsA[0].trace.push_back(nd::Value(L{1, 2, 3, 4}));
+  runsB[0].trace.push_back(nd::Value(L{9, 9, 9, 9, 9}));
   const double a = fit.score(nd::Program{}, {spec, runsA});
   const double b = fit.score(nd::Program{}, {spec, runsB});
   EXPECT_GT(a, b);

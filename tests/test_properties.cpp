@@ -44,7 +44,7 @@ TEST_P(DslTotality, ArbitraryProgramsNeverCrashOnArbitraryInputs) {
       const auto result = nd::run(p, inputs);
       EXPECT_EQ(result.trace.size(), p.length());
       // The output type always matches the final function's return type.
-      EXPECT_EQ(result.output.type(),
+      EXPECT_EQ(result.output().type(),
                 nd::functionInfo(p.at(p.length() - 1)).returnType);
     }
   }
