@@ -1,0 +1,138 @@
+// Island-count scaling smoke: solved programs per second vs K islands at a
+// fixed global candidate budget.
+//
+// Every K uses the same workload, the same per-run seeds, and the same
+// budget-ledger semantics, so the sweep isolates exactly two effects:
+// thread-level parallelism across islands (wall-clock) and the search-
+// quality effect of migration + sub-population diversity (solve counts).
+// Uses the edit-distance fitness so the bench needs no trained models.
+//
+//   $ ./bench_islands [--programs=6] [--length=4] [--examples=3]
+//                     [--budget=4000] [--migration-interval=5]
+//                     [--migration-size=2] [--seed=2021]
+//                     [--json=BENCH_islands.json]
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/synthesizer.hpp"
+#include "dsl/generator.hpp"
+#include "fitness/edit.hpp"
+#include "util/argparse.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace netsyn;
+
+int main(int argc, char** argv) {
+  const util::ArgParse args(argc, argv);
+  const auto programs = static_cast<std::size_t>(args.getInt("programs", 6));
+  const auto length = static_cast<std::size_t>(args.getInt("length", 4));
+  const auto examples = static_cast<std::size_t>(args.getInt("examples", 3));
+  const auto budget = static_cast<std::size_t>(args.getInt("budget", 4000));
+  const auto migInterval =
+      static_cast<std::size_t>(args.getInt("migration-interval", 5));
+  const auto migSize =
+      static_cast<std::size_t>(args.getInt("migration-size", 2));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 2021));
+  if (programs == 0 || length == 0 || examples == 0 || budget == 0) {
+    std::fprintf(stderr, "--programs/--length/--examples/--budget must be > 0\n");
+    return 1;
+  }
+
+  // Shared workload: half singleton, half list targets.
+  util::Rng wlRng(seed);
+  const dsl::Generator gen;
+  std::vector<dsl::Generator::TestCase> cases;
+  for (std::size_t p = 0; p < programs; ++p) {
+    auto tc = gen.randomTestCase(length, examples, p < programs / 2, wlRng);
+    if (!tc) {
+      std::fprintf(stderr, "could not generate test case %zu\n", p);
+      return 1;
+    }
+    cases.push_back(std::move(*tc));
+  }
+
+  std::printf("=== bench_islands ===\n");
+  std::printf("programs=%zu length=%zu examples=%zu budget=%zu\n\n", programs,
+              length, examples, budget);
+
+  struct Row {
+    std::size_t islands = 0;
+    std::size_t solved = 0;
+    double seconds = 0.0;
+    std::size_t evals = 0;
+    std::size_t migrations = 0;
+  };
+  std::vector<Row> rows;
+
+  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+    core::SynthesizerConfig sc;
+    sc.ga.populationSize = 24;
+    sc.ga.eliteCount = 2;
+    sc.maxGenerations = 2000;
+    sc.nsTopN = 2;
+    sc.nsWindow = 6;
+    sc.strategy = core::SearchStrategy::Islands;
+    sc.islands.count = k;
+    sc.islands.migrationInterval = migInterval;
+    sc.islands.migrationSize = migSize;
+
+    const core::IslandFitnessFactory factory = [](std::size_t) {
+      return core::IslandFitness{
+          std::make_shared<fitness::EditDistanceFitness>(), nullptr};
+    };
+    const core::Synthesizer syn(
+        sc, std::make_shared<fitness::EditDistanceFitness>(), nullptr,
+        factory);
+
+    Row row;
+    row.islands = k;
+    util::Timer timer;
+    for (std::size_t p = 0; p < cases.size(); ++p) {
+      util::Rng rng(seed ^ (p * 0x9e3779b97f4a7c15ULL) ^ 0xbeef);
+      const auto result =
+          syn.synthesize(cases[p].spec, length, budget, rng);
+      row.solved += result.found ? 1 : 0;
+      row.evals += result.candidatesSearched;
+      for (const auto& s : result.islandStats) row.migrations += s.immigrants;
+    }
+    row.seconds = timer.seconds();
+    rows.push_back(row);
+
+    std::printf(
+        "K=%zu  solved=%2zu/%zu  %7.3fs  %8.2f solved/sec  evals=%8zu  "
+        "migrations=%5zu\n",
+        k, row.solved, cases.size(), row.seconds,
+        row.seconds > 0 ? static_cast<double>(row.solved) / row.seconds : 0.0,
+        row.evals, row.migrations);
+  }
+
+  const std::string jsonPath = args.getString("json", "BENCH_islands.json");
+  if (!jsonPath.empty()) {
+    if (std::FILE* f = std::fopen(jsonPath.c_str(), "w")) {
+      std::fprintf(f,
+                   "{\"bench\": \"islands\", \"programs\": %zu, "
+                   "\"length\": %zu, \"examples\": %zu, \"budget\": %zu, "
+                   "\"sweep\": [",
+                   programs, length, examples, budget);
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        std::fprintf(f,
+                     "%s{\"islands\": %zu, \"solved\": %zu, "
+                     "\"seconds\": %.4f, \"solved_per_sec\": %.3f, "
+                     "\"evals\": %zu, \"migrations\": %zu}",
+                     i ? ", " : "", r.islands, r.solved, r.seconds,
+                     r.seconds > 0
+                         ? static_cast<double>(r.solved) / r.seconds
+                         : 0.0,
+                     r.evals, r.migrations);
+      }
+      std::fprintf(f, "]}\n");
+      std::fclose(f);
+      std::printf("\n[json written to %s]\n", jsonPath.c_str());
+    }
+  }
+  return 0;
+}

@@ -4,11 +4,13 @@
 //
 //   $ ./compare_methods [--scale=ci] [--budget=10000]
 //                       [--programs-per-length=4] [--lengths=4,5]
-//                       [--workers=4]
+//                       [--workers=4] [--islands=4]
 //
 // With --workers=N the (program, run) pairs of each method are dispatched
 // onto N threads, each with its own method instance; the report is identical
-// to a sequential run (wall-clock aside).
+// to a sequential run (wall-clock aside). With --islands=K every GA-based
+// method evolves K cooperating sub-populations under one candidate budget
+// (see README "Search strategies"); results stay deterministic per seed.
 #include <cstdio>
 
 #include "harness/registry.hpp"

@@ -39,15 +39,18 @@ using MethodPtr = std::shared_ptr<Method>;
 using MethodFactory = std::function<MethodPtr()>;
 
 /// Adapter exposing a configured NetSyn synthesizer (any fitness function)
-/// through the Method interface.
+/// through the Method interface. `islandFitness` (optional) supplies
+/// per-island fitness clones for Islands-strategy configurations — the same
+/// isolation rule the parallel runner applies per worker, one level down.
 class SynthesizerMethod final : public Method {
  public:
   SynthesizerMethod(std::string name, core::SynthesizerConfig config,
                     fitness::FitnessPtr fitnessFn,
-                    std::shared_ptr<fitness::ProbMapProvider> probMap = nullptr)
+                    std::shared_ptr<fitness::ProbMapProvider> probMap = nullptr,
+                    core::IslandFitnessFactory islandFitness = nullptr)
       : name_(std::move(name)),
         synthesizer_(std::move(config), std::move(fitnessFn),
-                     std::move(probMap)) {}
+                     std::move(probMap), std::move(islandFitness)) {}
 
   std::string name() const override { return name_; }
 

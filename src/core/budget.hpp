@@ -5,8 +5,62 @@
 // the maximum search space size to 3,000,000 candidate programs"). A method
 // that exhausts the budget without finding an equivalent program concludes
 // "solution not found".
+//
+// ---- Budget-ledger semantics (island-model search) --------------------------
+//
+// The island engine (core/islands.cpp) runs K sub-populations, each charging
+// its own SearchBudget, while the *global* candidate limit stays a single
+// number with single-population semantics: across all islands, at most
+// `limit` candidates count, charged in a deterministic order that does not
+// depend on how islands are scheduled onto threads. BudgetLedger implements
+// this with a lockstep round protocol:
+//
+//   1. openRound(): before every generation, each island's local budget is
+//      extended to `local.used() + ledger.remaining()` — an island may
+//      optimistically examine up to the whole global remainder this round.
+//      Islands then run their generation in parallel, charging only their
+//      local budgets (no shared mutable state, hence no races and no
+//      schedule-dependent interleaving).
+//   2. commit(): at the round barrier the coordinator charges each island's
+//      round usage against the ledger in fixed island order 0..K-1. The
+//      grant is min(used, remaining): the island whose request crosses the
+//      limit is truncated at the exact candidate where a single population
+//      would have stopped, and every later island's round grants 0. The
+//      walk also stops at the first island whose solution fell inside its
+//      grant — in the canonical sequential interleaving (round-major,
+//      island-major) the search ends there, so later islands' round work is
+//      neither examined nor charged.
+//
+// Consequences, all deterministic for a fixed (seed, K) regardless of the
+// thread count:
+//   - committed() never exceeds limit(), and equals the sum of per-island
+//     grants — the reported "candidates searched".
+//   - A solution found by island i in a round stands only if its position
+//     within the island's round stream falls inside island i's grant;
+//     otherwise the ledger was already exhausted when a sequential
+//     interleaving would have reached it, and the search reports failure
+//     (exactly like a single population running out of budget one candidate
+//     short). A truncated grant always exhausts the ledger, so an
+//     invalidated solution can never coexist with budget to spare.
+//   - With K == 1 the protocol degenerates to the plain SearchBudget: the
+//     island's limit is always the global limit, grants always equal usage,
+//     and truncation never fires (pinned by tests/test_islands.cpp).
+//
+// Islands may transiently *execute* more candidates than they are granted in
+// the final round; only granted candidates are counted or allowed to produce
+// the solution, so the metric and the outcome match single-population
+// semantics. Be honest about the bound on that wasted work: one round is one
+// generation *including any saturation-triggered neighborhood search*, and
+// an NS sweep may legitimately run until the island's opened allowance —
+// the whole global remainder — is gone. In the worst case (several islands
+// saturating in the same late round) up to (K-1) x remaining() evaluations
+// of wall-clock work are executed and then discarded at the barrier. That
+// is CPU time, never counted candidates; if it matters for a deployment,
+// lower SynthesizerConfig::nsTopN or disable NS on all but one island via
+// IslandsConfig::tweaks.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 
 namespace netsyn::core {
@@ -28,6 +82,14 @@ class SearchBudget {
     return true;
   }
 
+  /// Re-targets the limit. Used by BudgetLedger::openRound to hand an
+  /// island its per-round allowance; never shrinks below used() (remaining()
+  /// must stay well-defined).
+  void setLimit(std::size_t limit) {
+    assert(limit >= used_);
+    limit_ = limit < used_ ? used_ : limit;
+  }
+
   /// Fraction of the budget consumed, in [0, 1].
   double usedFraction() const {
     return limit_ == 0 ? 1.0
@@ -38,6 +100,37 @@ class SearchBudget {
  private:
   std::size_t limit_;
   std::size_t used_ = 0;
+};
+
+/// Global candidate ledger for multi-population search (semantics above).
+/// Mutated only by the coordinator thread at round barriers; islands never
+/// touch it directly.
+class BudgetLedger {
+ public:
+  explicit BudgetLedger(std::size_t limit) : limit_(limit) {}
+
+  std::size_t limit() const { return limit_; }
+  std::size_t committed() const { return committed_; }
+  std::size_t remaining() const { return limit_ - committed_; }
+  bool exhausted() const { return committed_ >= limit_; }
+
+  /// Step 1 of the round protocol: lets `local` spend up to the global
+  /// remainder on top of what it has already used.
+  void openRound(SearchBudget& local) const {
+    local.setLimit(local.used() + remaining());
+  }
+
+  /// Step 2, called in island order at the barrier: charges `requested`
+  /// candidates, truncating at the global limit. Returns the grant.
+  std::size_t commit(std::size_t requested) {
+    const std::size_t grant = requested < remaining() ? requested : remaining();
+    committed_ += grant;
+    return grant;
+  }
+
+ private:
+  std::size_t limit_;
+  std::size_t committed_ = 0;
 };
 
 }  // namespace netsyn::core

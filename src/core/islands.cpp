@@ -1,0 +1,349 @@
+// Island-model search engine: K SearchStates evolved in deterministic
+// lockstep rounds on a persistent worker gang, with periodic elite
+// migration and a global BudgetLedger (budget.hpp) enforcing the paper's
+// single-population candidate-budget semantics.
+//
+// Determinism contract (pinned by tests/test_islands.cpp): for a fixed
+// (seed, K, config) the result — solution, candidate counts, per-island
+// stats — is byte-identical for every thread count, because
+//   - each island owns its RNG stream, evaluator, and fitness instances
+//     (nothing mutable is shared inside a round),
+//   - rounds are barriers: migration and ledger accounting happen on the
+//     coordinator thread in fixed island order 0..K-1,
+//   - and with K == 1 the engine degenerates to seed()+step() on the
+//     caller's own RNG — the exact SinglePopulation search.
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/search_state.hpp"
+#include "core/synthesizer.hpp"
+#include "util/timer.hpp"
+
+namespace netsyn::core {
+namespace {
+
+/// Persistent worker gang for the lockstep rounds: run(n, fn) executes
+/// fn(0..n-1) across the workers and returns when all calls finished. Task
+/// claiming order is racy on purpose — islands are data-isolated, so the
+/// schedule cannot influence results.
+///
+/// Round lifecycle: workers park on `wake_` until the epoch advances, copy
+/// the round's job under the mutex, and register as running. The shared
+/// claim cursor `next_` is only touched by registered workers, and run()
+/// waits for the previous round's workers to deregister before resetting
+/// it — a straggler from round R can therefore never claim a task of round
+/// R+1 (the bug TSan catches if the cursor is reset while a late worker is
+/// mid-claim). All counters are mutex-guarded; the mutex also publishes the
+/// islands' state back to the coordinator at the end of each round.
+class Gang {
+ public:
+  explicit Gang(std::size_t threads) {
+    workers_.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t)
+      workers_.emplace_back([this] { workerLoop(); });
+  }
+
+  ~Gang() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  void run(std::size_t tasks, const std::function<void(std::size_t)>& fn) {
+    if (tasks == 0) return;
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return running_ == 0; });  // round R-1 fully parked
+    fn_ = &fn;
+    tasks_ = tasks;
+    next_.store(0);
+    pending_ = tasks;
+    ++epoch_;
+    wake_.notify_all();
+    done_.wait(lock, [&] { return pending_ == 0 && running_ == 0; });
+    fn_ = nullptr;
+    if (error_) {
+      auto e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void workerLoop() {
+    std::uint64_t seen = 0;
+    while (true) {
+      const std::function<void(std::size_t)>* fn = nullptr;
+      std::size_t tasks = 0;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+        if (stop_) return;
+        seen = epoch_;
+        fn = fn_;
+        tasks = tasks_;
+        ++running_;
+      }
+      while (true) {
+        const std::size_t t = next_.fetch_add(1);
+        if (t >= tasks) break;
+        try {
+          (*fn)(t);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (!error_) error_ = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_ == 0) done_.notify_all();
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--running_ == 0) done_.notify_all();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::vector<std::thread> workers_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;  // guarded by mutex_
+  std::size_t tasks_ = 0;                                 // guarded by mutex_
+  std::atomic<std::size_t> next_{0};  ///< claim cursor; see lifecycle above
+  std::size_t pending_ = 0;           // guarded by mutex_
+  std::size_t running_ = 0;           // guarded by mutex_
+  std::uint64_t epoch_ = 0;           // guarded by mutex_
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+/// The tweak cycle in effect: explicit tweaks win; `heterogeneous` falls
+/// back to a fixed operator-diversity portfolio (island 0 stays the
+/// baseline configuration so the flagship stream is always present).
+std::vector<IslandTweak> tweakCycle(const IslandsConfig& ic) {
+  if (!ic.tweaks.empty()) return ic.tweaks;
+  if (!ic.heterogeneous) return {};
+  std::vector<IslandTweak> cycle(4);
+  cycle[1].mutationRateScale = 1.5;              // explore harder
+  cycle[2].mutationRateScale = 0.75;             // exploit + DFS descent
+  cycle[2].crossoverRateScale = 1.25;
+  cycle[2].nsKind = NsKind::DFS;
+  cycle[3].mutationRateScale = 0.5;              // uniform-mutation island
+  cycle[3].fpGuidedMutation = false;
+  return cycle;
+}
+
+void applyTweak(SynthesizerConfig& cfg, const IslandTweak& tweak,
+                bool hasProbMap) {
+  cfg.ga.mutationRate =
+      std::clamp(cfg.ga.mutationRate * tweak.mutationRateScale, 0.0, 1.0);
+  cfg.ga.crossoverRate =
+      std::clamp(cfg.ga.crossoverRate * tweak.crossoverRateScale, 0.0, 1.0);
+  if (tweak.nsKind.has_value()) cfg.nsKind = *tweak.nsKind;
+  if (tweak.fpGuidedMutation.has_value())
+    cfg.fpGuidedMutation = *tweak.fpGuidedMutation && hasProbMap;
+}
+
+}  // namespace
+
+SynthesisResult runIslandSearch(
+    const SynthesizerConfig& config, const fitness::FitnessPtr& sharedFitness,
+    const std::shared_ptr<fitness::ProbMapProvider>& sharedProbMap,
+    const IslandFitnessFactory& factory, const dsl::Spec& spec,
+    std::size_t targetLength, std::size_t budgetLimit, util::Rng& rng) {
+  util::Timer timer;
+  const IslandsConfig& ic = config.islands;
+  const std::size_t K = std::max<std::size_t>(1, ic.count);
+
+  // ---- per-island lanes: config (tweaked), fitness, RNG stream ----
+  std::vector<IslandFitness> lanes(K);
+  for (std::size_t i = 0; i < K; ++i) {
+    lanes[i] = factory ? factory(i)
+                       : IslandFitness{sharedFitness, sharedProbMap};
+    if (!lanes[i].fitness)
+      throw std::invalid_argument("island fitness factory returned null");
+  }
+
+  std::vector<SynthesizerConfig> laneCfg(K, config);
+  const std::vector<IslandTweak> cycle = tweakCycle(ic);
+  for (std::size_t i = 0; i < K; ++i) {
+    laneCfg[i].strategy = SearchStrategy::SinglePopulation;
+    if (!cycle.empty())
+      applyTweak(laneCfg[i], cycle[i % cycle.size()],
+                 static_cast<bool>(lanes[i].probMap));
+    if (laneCfg[i].fpGuidedMutation && !lanes[i].probMap)
+      throw std::invalid_argument(
+          "island fitness factory must supply a ProbMapProvider for "
+          "fpGuidedMutation");
+  }
+
+  // K == 1 consumes the caller's RNG directly — that is what makes the
+  // one-island search bit-identical to SinglePopulation. K > 1 forks one
+  // independent stream per island, in island order.
+  std::vector<util::Rng> rngs;
+  if (K > 1) {
+    rngs.reserve(K);
+    for (std::size_t i = 0; i < K; ++i) rngs.push_back(rng.fork());
+  }
+
+  BudgetLedger ledger(budgetLimit);
+  std::deque<SearchBudget> budgets;  // deque: stable addresses for the states
+  std::vector<std::unique_ptr<SearchState>> states;
+  states.reserve(K);
+  for (std::size_t i = 0; i < K; ++i) {
+    budgets.emplace_back(0);  // opened per round by the ledger
+    states.push_back(std::make_unique<SearchState>(
+        laneCfg[i], lanes[i].fitness, lanes[i].probMap, spec, targetLength,
+        budgets[i], K == 1 ? rng : rngs[i]));
+  }
+
+  // Parallel stepping needs per-island fitness isolation; without a factory
+  // the islands share the caller's instances and must run on one thread
+  // (results are identical either way — the point of the lockstep design).
+  std::size_t threads = 1;
+  if (factory && K > 1) {
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    threads = ic.threads == 0 ? std::min(K, hw) : std::min(ic.threads, K);
+  }
+  std::optional<Gang> gang;
+  if (threads > 1) gang.emplace(threads);
+
+  std::vector<SearchState::Status> status(K, SearchState::Status::Running);
+  std::vector<std::size_t> usedBefore(K, 0);
+  std::vector<IslandStats> stats(K);
+  for (std::size_t i = 0; i < K; ++i) stats[i].island = i;
+  int winner = -1;
+
+  // One lockstep round over `active` (ascending island indices): open the
+  // ledger, run seed()/step() in parallel, then commit + detect the winner
+  // in island order at the barrier.
+  const auto runRound = [&](const std::vector<std::size_t>& active,
+                            bool seedRound) {
+    for (std::size_t i : active) {
+      ledger.openRound(budgets[i]);
+      usedBefore[i] = budgets[i].used();
+    }
+    const std::function<void(std::size_t)> job = [&](std::size_t slot) {
+      const std::size_t i = active[slot];
+      status[i] = seedRound ? states[i]->seed() : states[i]->step();
+    };
+    if (gang) {
+      gang->run(active.size(), job);
+    } else {
+      for (std::size_t slot = 0; slot < active.size(); ++slot) job(slot);
+    }
+    for (std::size_t i : active) {
+      const std::size_t used = budgets[i].used() - usedBefore[i];
+      const std::size_t grant = ledger.commit(used);
+      stats[i].evals += grant;
+      if (status[i] == SearchState::Status::Solved) {
+        // The solution stands only if its position in the island's round
+        // stream fell inside the grant (budget.hpp's ledger semantics).
+        const std::size_t pos = states[i]->solvedAtUsed() - usedBefore[i];
+        if (pos <= grant) {
+          // In the canonical sequential interleaving (round-major, island-
+          // major) the search stops here: later islands' round work is
+          // never examined, so it must not be charged either — that keeps
+          // candidatesSearched at single-population semantics.
+          winner = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+  };
+
+  // Elite exchange between the still-running islands. Emigrants are
+  // collected from every sender before any injection, so this round's
+  // arrivals can never be re-exported within the same migration.
+  const auto migrate = [&]() {
+    std::vector<std::size_t> running;
+    for (std::size_t i = 0; i < K; ++i)
+      if (status[i] == SearchState::Status::Running) running.push_back(i);
+    if (running.size() < 2 || ic.migrationSize == 0) return;
+    std::vector<std::vector<SearchState::Migrant>> out(running.size());
+    for (std::size_t j = 0; j < running.size(); ++j)
+      out[j] = states[running[j]]->emigrants(ic.migrationSize);
+    for (std::size_t j = 0; j < running.size(); ++j)
+      stats[running[j]].emigrants += out[j].size();
+    if (ic.topology == Topology::Ring) {
+      for (std::size_t j = 0; j < running.size(); ++j) {
+        const std::size_t to = running[(j + 1) % running.size()];
+        stats[to].immigrants += states[to]->injectMigrants(out[j]);
+      }
+    } else {  // FullyConnected: everyone receives everyone else's elites
+      for (std::size_t j = 0; j < running.size(); ++j) {
+        std::vector<SearchState::Migrant> incoming;
+        for (std::size_t s = 0; s < running.size(); ++s) {
+          if (s == j) continue;
+          incoming.insert(incoming.end(), out[s].begin(), out[s].end());
+        }
+        stats[running[j]].immigrants +=
+            states[running[j]]->injectMigrants(incoming);
+      }
+    }
+  };
+
+  // ---- round 0: seed every island ----
+  std::vector<std::size_t> active(K);
+  for (std::size_t i = 0; i < K; ++i) active[i] = i;
+  runRound(active, true);
+
+  // ---- generation rounds ----
+  if (winner < 0 && !ledger.exhausted()) {
+    for (std::size_t gen = 1;; ++gen) {
+      active.clear();
+      for (std::size_t i = 0; i < K; ++i)
+        if (status[i] == SearchState::Status::Running) active.push_back(i);
+      if (active.empty()) break;
+      runRound(active, false);
+      if (winner >= 0 || ledger.exhausted()) break;
+      if (K > 1 && ic.migrationInterval > 0 && gen % ic.migrationInterval == 0)
+        migrate();
+    }
+  }
+
+  // ---- assemble the result ----
+  SynthesisResult result;
+  if (winner >= 0) {
+    result = states[static_cast<std::size_t>(winner)]->finish();
+    stats[static_cast<std::size_t>(winner)].solved = true;
+  } else {
+    // Base on island 0 (for K == 1 this is the exact SinglePopulation
+    // result, history included); an invalidated solution — found beyond the
+    // island's grant — is erased.
+    result = states[0]->finish();
+    result.found = false;
+    result.foundByNs = false;
+    result.solution = dsl::Program{};
+  }
+
+  std::size_t nsTotal = 0;
+  std::size_t maxGenerations = 0;
+  double best = 0.0;
+  for (std::size_t i = 0; i < K; ++i) {
+    stats[i].bestFitness = states[i]->bestFitness();
+    stats[i].generations = states[i]->generation();
+    stats[i].nsInvocations = states[i]->result().nsInvocations;
+    nsTotal += stats[i].nsInvocations;
+    best = std::max(best, stats[i].bestFitness);
+    maxGenerations = std::max(maxGenerations, stats[i].generations);
+  }
+  result.nsInvocations = nsTotal;
+  result.bestFitness = best;
+  if (winner < 0) result.generations = maxGenerations;
+  result.candidatesSearched = ledger.committed();
+  result.seconds = timer.seconds();
+  result.islandStats = std::move(stats);
+  return result;
+}
+
+}  // namespace netsyn::core

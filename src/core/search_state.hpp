@@ -1,0 +1,129 @@
+// Stepping form of the NetSyn genetic search.
+//
+// SearchState holds everything one evolving population owns — the budgeted
+// evaluator, the fitness cache, the population, the saturation window — and
+// exposes the search one generation at a time. Synthesizer::synthesize
+// (single population) is literally seed() + step() until a terminal status;
+// the island engine (islands.cpp) drives K SearchStates in lockstep and
+// splices migrants between rounds. Extracting the loop body this way is
+// what pins the K=1 island search to the classic search: both run the exact
+// same code on the exact same RNG stream.
+//
+// Not thread-safe; one SearchState per search thread.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/budget.hpp"
+#include "core/evaluator.hpp"
+#include "core/ga.hpp"
+#include "core/synthesizer.hpp"
+#include "dsl/generator.hpp"
+#include "dsl/spec.hpp"
+#include "fitness/fitness.hpp"
+#include "fitness/neural_fitness.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace netsyn::core {
+
+class SearchState {
+ public:
+  enum class Status : std::uint8_t {
+    Running,       ///< keep stepping
+    Solved,        ///< result().found — stop
+    Exhausted,     ///< local budget ran dry mid-generation — stop
+    LimitReached,  ///< maxGenerations completed — stop
+  };
+
+  /// `spec`, `budget`, and `rng` are borrowed and must outlive the state.
+  /// `probMap` is required only when config.fpGuidedMutation is set.
+  SearchState(SynthesizerConfig config, fitness::FitnessPtr fitness,
+              std::shared_ptr<fitness::ProbMapProvider> probMap,
+              const dsl::Spec& spec, std::size_t targetLength,
+              SearchBudget& budget, util::Rng& rng);
+
+  /// Generates and grades the initial population Phi_0. Call exactly once,
+  /// before the first step().
+  Status seed();
+
+  /// One generation: breed, grade, and (on saturation) neighborhood search.
+  /// Only valid while the previous status was Running.
+  Status step();
+
+  /// A graded gene travelling between islands.
+  struct Migrant {
+    dsl::Program program;
+    double fitness = 0.0;
+  };
+
+  /// Copies of the `count` fittest individuals (descending fitness, stable
+  /// on ties), for migration.
+  std::vector<Migrant> emigrants(std::size_t count) const;
+
+  /// Island-model immigration: each migrant replaces the current worst
+  /// individual, skipping migrants whose Program::hash() already exists in
+  /// the population (or arrived twice in this batch). At most
+  /// populationSize - eliteCount slots are replaced, so an oversized batch
+  /// can never evict the island's own elites. Accepted migrants keep their
+  /// fitness and enter the fitness cache, so re-breeding them later is
+  /// charge-free — they were already examined (and charged) by their home
+  /// island. Returns the number accepted.
+  std::size_t injectMigrants(const std::vector<Migrant>& migrants);
+
+  const SynthesizerConfig& config() const { return config_; }
+  const Population& population() const { return pop_; }
+  std::size_t generation() const { return result_.generations; }
+  double bestFitness() const { return result_.bestFitness; }
+  const SearchBudget& budget() const { return budget_; }
+
+  /// Local budget.used() immediately after the satisfying candidate was
+  /// charged (0 until solved). The island ledger uses this to decide whether
+  /// the solution fell inside the island's grant.
+  std::size_t solvedAtUsed() const { return solvedAtUsed_; }
+
+  /// The accumulating result; candidatesSearched/seconds are stamped by
+  /// finish().
+  const SynthesisResult& result() const { return result_; }
+
+  /// Stamps candidatesSearched (local budget) and wall-clock seconds and
+  /// returns the result.
+  SynthesisResult finish();
+
+ private:
+  std::size_t gradePopulation(const std::vector<dsl::Program>& progs,
+                              std::vector<double>& scores);
+  std::vector<double> nsBatchScore(
+      const std::vector<const dsl::Program*>& genes);
+
+  SynthesizerConfig config_;
+  fitness::FitnessPtr fitness_;
+  std::shared_ptr<fitness::ProbMapProvider> probMap_;
+  const dsl::Spec& spec_;
+  std::size_t targetLength_;
+  SearchBudget& budget_;
+  util::Rng& rng_;
+
+  SpecEvaluator evaluator_;
+  dsl::InputSignature sig_;
+  dsl::Generator gen_;
+
+  /// Fitness of already-examined genes; duplicates (elites, re-bred copies,
+  /// accepted migrants) are not re-executed and not re-charged.
+  std::unordered_map<std::string, double> cache_;
+  std::vector<std::vector<dsl::ExecResult>> nsRunsPool_;
+
+  Population pop_;
+  std::vector<double> scores_;  ///< per-call scratch for gradePopulation
+  util::SlidingWindowMean window_;
+  util::Timer timer_;
+  SynthesisResult result_;
+  bool solved_ = false;
+  std::size_t solvedAtUsed_ = 0;
+};
+
+}  // namespace netsyn::core

@@ -1,29 +1,16 @@
 #include "core/synthesizer.hpp"
 
-#include <deque>
+#include <map>
 #include <stdexcept>
-#include <unordered_map>
 
-#include "util/stats.hpp"
-#include "util/timer.hpp"
+#include "core/search_state.hpp"
 
 namespace netsyn::core {
-namespace {
-
-/// Cache key: the full-width function ids of a gene — exact, no collisions.
-/// A stale hit here would skip the gene's execution (and with it the
-/// equivalence check), so unlike the evaluator's dedup — where every
-/// candidate is executed regardless and a fingerprint collision only
-/// perturbs the searched-count metric — this cache must never alias two
-/// genes. idKey() fits in the small-string buffer for every realistic
-/// program length, so lookups stay allocation-free.
-std::string cacheKey(const dsl::Program& p) { return p.idKey(); }
-
-}  // namespace
 
 Synthesizer::Synthesizer(SynthesizerConfig config,
                          fitness::FitnessPtr fitnessFn,
-                         std::shared_ptr<fitness::ProbMapProvider> probMap)
+                         std::shared_ptr<fitness::ProbMapProvider> probMap,
+                         IslandFitnessFactory islandFitness)
     : config_(std::move(config)),
       fitness_(std::move(fitnessFn)),
       probMap_(std::move(probMap)) {
@@ -31,256 +18,39 @@ Synthesizer::Synthesizer(SynthesizerConfig config,
   if (config_.fpGuidedMutation && !probMap_)
     throw std::invalid_argument(
         "fpGuidedMutation requires a ProbMapProvider");
+  if (islandFitness) {
+    // Island kits usually clone NN models — expensive. Memoize per island
+    // index so a method instance clones once per island for its lifetime
+    // (PR 1's one-clone-per-worker pattern), not once per synthesize()
+    // call. Safe without locking: a Synthesizer is single-threaded by
+    // contract, and runIslandSearch resolves all lanes on the coordinator
+    // thread before any island steps.
+    islandFitness_ = [inner = std::move(islandFitness),
+                      kits = std::make_shared<std::map<std::size_t,
+                                                       IslandFitness>>()](
+                         std::size_t island) {
+      if (const auto it = kits->find(island); it != kits->end())
+        return it->second;
+      return kits->emplace(island, inner(island)).first->second;
+    };
+  }
 }
 
 SynthesisResult Synthesizer::synthesize(const dsl::Spec& spec,
                                         std::size_t targetLength,
                                         std::size_t budgetLimit,
                                         util::Rng& rng) const {
-  util::Timer timer;
-  SynthesisResult result;
+  if (config_.strategy == SearchStrategy::Islands)
+    return runIslandSearch(config_, fitness_, probMap_, islandFitness_, spec,
+                           targetLength, budgetLimit, rng);
+
+  // Single population: one SearchState stepped to a terminal status.
   SearchBudget budget(budgetLimit);
-  SpecEvaluator evaluator(spec, budget);
-  const dsl::InputSignature sig = spec.signature();
-  const dsl::Generator gen(config_.generator);
-
-  // Fitness of already-examined genes; duplicates (elites, re-bred copies)
-  // are not re-executed and not re-charged against the budget.
-  std::unordered_map<std::string, double> cache;
-
-  auto finish = [&](SynthesisResult r) {
-    r.candidatesSearched = budget.used();
-    r.seconds = timer.seconds();
-    return r;
-  };
-
-  bool solved = false;
-
-  // Grades a whole population. The distinct uncached genes are charged +
-  // executed in order through SpecEvaluator::evaluateBatch — the same budget
-  // consumption, dedup, and early-exit points as grading one gene at a time
-  // — and the genes that survive (not cached, not duplicates, not the
-  // solution) are scored in one FitnessFunction::scoreBatch call (or
-  // per-gene when batchedEvaluation is off; the two modes produce identical
-  // results).
-  //
-  // Returns the number of genes graded: progs.size() normally, or the index
-  // the walk stopped at because the budget ran out or a gene satisfied the
-  // spec (`solved` set, result filled in). scores[i] is valid for every
-  // graded i either way.
-  auto gradePopulation = [&](const std::vector<dsl::Program>& progs,
-                             std::vector<double>& scores) -> std::size_t {
-    scores.assign(progs.size(), 0.0);
-    // Distinct uncached genes in first-seen order.
-    std::vector<const dsl::Program*> pending;
-    std::vector<std::string> pendingKeys;
-    std::vector<std::size_t> pendingOrigin;  // pending slot -> gene index
-    std::unordered_map<std::string, std::size_t> pendingIndex;
-    std::vector<std::ptrdiff_t> aliasOf(progs.size(), -1);
-
-    for (std::size_t i = 0; i < progs.size(); ++i) {
-      std::string key = cacheKey(progs[i]);
-      if (const auto it = cache.find(key); it != cache.end()) {
-        scores[i] = it->second;
-        continue;
-      }
-      if (const auto it = pendingIndex.find(key); it != pendingIndex.end()) {
-        aliasOf[i] = static_cast<std::ptrdiff_t>(it->second);
-        continue;
-      }
-      aliasOf[i] = static_cast<std::ptrdiff_t>(pending.size());
-      pendingIndex.emplace(key, pending.size());
-      pending.push_back(&progs[i]);
-      pendingKeys.push_back(std::move(key));
-      pendingOrigin.push_back(i);
-    }
-
-    auto evals = evaluator.evaluateBatch(pending);
-    std::size_t graded = progs.size();
-    std::size_t scored = pending.size();
-    for (std::size_t j = 0; j < evals.size(); ++j) {
-      if (!evals[j].has_value()) {  // budget ran out at pending gene j
-        graded = pendingOrigin[j];
-        scored = j;
-        break;
-      }
-      if (evals[j]->satisfied) {
-        solved = true;
-        result.found = true;
-        result.solution = *pending[j];
-        graded = pendingOrigin[j];
-        scored = j;
-        break;
-      }
-    }
-
-    // Score the pending genes examined before any cutoff.
-    std::vector<double> pendingScores;
-    if (scored > 0) {
-      std::vector<const dsl::Program*> toScore(pending.begin(),
-                                               pending.begin() + scored);
-      std::deque<fitness::EvalContext> contextStore;
-      std::vector<const fitness::EvalContext*> contexts;
-      contexts.reserve(scored);
-      for (std::size_t j = 0; j < scored; ++j) {
-        contextStore.push_back(fitness::EvalContext{spec, evals[j]->runs});
-        contexts.push_back(&contextStore.back());
-      }
-      if (config_.batchedEvaluation) {
-        pendingScores = fitness_->scoreBatch(toScore, contexts);
-      } else {
-        pendingScores.reserve(scored);
-        for (std::size_t j = 0; j < scored; ++j)
-          pendingScores.push_back(fitness_->score(*toScore[j], *contexts[j]));
-      }
-      for (std::size_t j = 0; j < scored; ++j)
-        cache.emplace(std::move(pendingKeys[j]), pendingScores[j]);
-    }
-    // Scoring is done with the runs; hand the trace storage back so the
-    // next generation refills it instead of allocating.
-    evaluator.recycle(std::move(evals));
-    for (std::size_t i = 0; i < graded; ++i) {
-      if (aliasOf[i] >= 0)
-        scores[i] = pendingScores[static_cast<std::size_t>(aliasOf[i])];
-      result.bestFitness = std::max(result.bestFitness, scores[i]);
-    }
-    return graded;
-  };
-
-  // Batched scorer for the DFS neighborhood search's greedy descent: grades
-  // without charging the budget (the NS itself charges each examined
-  // neighbor through the evaluator) and without polluting the cache. Shares
-  // the evaluator's plan cache and recycles run storage across calls.
-  std::vector<std::vector<dsl::ExecResult>> nsRunsPool;
-  auto nsBatchScorer = [&](const std::vector<const dsl::Program*>& genes)
-      -> std::vector<double> {
-    std::vector<double> out(genes.size(), 0.0);
-    std::vector<const dsl::Program*> pending;
-    std::vector<std::size_t> pendingAt;
-    std::deque<std::vector<dsl::ExecResult>> pendingRuns;
-    std::deque<fitness::EvalContext> contextStore;
-    std::vector<const fitness::EvalContext*> contexts;
-    for (std::size_t i = 0; i < genes.size(); ++i) {
-      if (const auto it = cache.find(cacheKey(*genes[i])); it != cache.end()) {
-        out[i] = it->second;
-        continue;
-      }
-      std::vector<dsl::ExecResult> runs;
-      if (!nsRunsPool.empty()) {
-        runs = std::move(nsRunsPool.back());
-        nsRunsPool.pop_back();
-      }
-      runs.resize(spec.size());
-      const dsl::ExecPlan& plan = evaluator.executor().planFor(*genes[i], sig);
-      for (std::size_t j = 0; j < spec.size(); ++j)
-        dsl::executePlan(plan, spec.examples[j].inputs, runs[j]);
-      pendingRuns.push_back(std::move(runs));
-      contextStore.push_back(fitness::EvalContext{spec, pendingRuns.back()});
-      contexts.push_back(&contextStore.back());
-      pending.push_back(genes[i]);
-      pendingAt.push_back(i);
-    }
-    if (!pending.empty()) {
-      std::vector<double> scores;
-      if (config_.batchedEvaluation) {
-        scores = fitness_->scoreBatch(pending, contexts);
-      } else {
-        scores.reserve(pending.size());
-        for (std::size_t j = 0; j < pending.size(); ++j)
-          scores.push_back(fitness_->score(*pending[j], *contexts[j]));
-      }
-      for (std::size_t j = 0; j < pending.size(); ++j)
-        out[pendingAt[j]] = scores[j];
-    }
-    for (auto& runs : pendingRuns) nsRunsPool.push_back(std::move(runs));
-    return out;
-  };
-
-  // ---- initial population (Phi_0) ----
-  // Programs are generated up front (the generator is the only RNG consumer
-  // here, so the stream matches gene-at-a-time seeding) and graded as one
-  // batch.
-  std::vector<dsl::Program> seedProgs;
-  seedProgs.reserve(config_.ga.populationSize);
-  for (std::size_t i = 0; i < config_.ga.populationSize; ++i) {
-    auto prog = gen.randomProgram(targetLength, sig, rng);
-    if (!prog) throw std::runtime_error("cannot seed initial population");
-    seedProgs.push_back(std::move(*prog));
-  }
-  std::vector<double> scores;
-  std::size_t graded = gradePopulation(seedProgs, scores);
-  if (solved || graded < seedProgs.size()) return finish(result);
-
-  Population pop;
-  pop.reserve(seedProgs.size());
-  for (std::size_t i = 0; i < seedProgs.size(); ++i)
-    pop.push_back(Individual{std::move(seedProgs[i]), scores[i]});
-
-  util::SlidingWindowMean window(config_.nsWindow);
-
-  // ---- evolutionary loop ----
-  for (std::size_t genIdx = 1; genIdx <= config_.maxGenerations; ++genIdx) {
-    if (budget.exhausted()) break;
-    result.generations = genIdx;
-
-    FunctionWeights weights{};
-    const FunctionWeights* weightsPtr = nullptr;
-    if (config_.fpGuidedMutation) {
-      const auto map = probMap_->probMap(spec);
-      for (std::size_t i = 0; i < map.size(); ++i) weights[i] = map[i];
-      weightsPtr = &weights;
-    }
-
-    const auto offspring =
-        breed(pop, config_.ga, sig, gen, rng, weightsPtr);
-
-    graded = gradePopulation(offspring, scores);
-    if (solved || graded < offspring.size()) return finish(result);
-
-    Population next;
-    next.reserve(offspring.size());
-    double fitnessSum = 0.0;
-    for (std::size_t i = 0; i < offspring.size(); ++i) {
-      next.push_back(Individual{offspring[i], scores[i]});
-      fitnessSum += scores[i];
-    }
-    pop = std::move(next);
-    window.push(fitnessSum / static_cast<double>(pop.size()));
-
-    if (config_.recordHistory) {
-      GenerationStats gs;
-      gs.generation = genIdx;
-      gs.meanFitness = fitnessSum / static_cast<double>(pop.size());
-      for (const auto& ind : pop)
-        gs.bestFitness = std::max(gs.bestFitness, ind.fitness);
-      gs.budgetUsed = budget.used();
-      gs.nsTriggered =
-          config_.useNeighborhoodSearch && window.saturated();
-      result.history.push_back(gs);
-    }
-
-    // ---- saturation-triggered neighborhood search ----
-    if (config_.useNeighborhoodSearch && window.saturated()) {
-      ++result.nsInvocations;
-      std::vector<dsl::Program> top;
-      for (std::size_t i : topIndices(pop, config_.nsTopN))
-        top.push_back(pop[i].program);
-      const NsResult ns =
-          config_.nsKind == NsKind::BFS
-              ? neighborhoodSearchBfs(top, evaluator)
-              : neighborhoodSearchDfs(top, evaluator,
-                                      NsBatchScorer(nsBatchScorer));
-      if (ns.solution.has_value()) {
-        result.found = true;
-        result.foundByNs = true;
-        result.solution = *ns.solution;
-        return finish(result);
-      }
-      if (ns.budgetExhausted) break;
-      window.reset();  // resume evolution with a fresh saturation window
-    }
-  }
-  return finish(result);
+  SearchState state(config_, fitness_, probMap_, spec, targetLength, budget,
+                    rng);
+  SearchState::Status status = state.seed();
+  while (status == SearchState::Status::Running) status = state.step();
+  return state.finish();
 }
 
 }  // namespace netsyn::core

@@ -1,5 +1,6 @@
 #include "harness/config.hpp"
 
+#include <cctype>
 #include <sstream>
 #include <stdexcept>
 
@@ -80,6 +81,287 @@ std::vector<std::size_t> parseLengths(const std::string& text) {
   return out;
 }
 
+core::Topology parseTopology(const std::string& name) {
+  if (name == "ring") return core::Topology::Ring;
+  if (name == "full" || name == "fully-connected")
+    return core::Topology::FullyConnected;
+  throw std::invalid_argument("unknown topology '" + name +
+                              "' (expected ring or full)");
+}
+
+const char* topologyName(core::Topology t) {
+  return t == core::Topology::Ring ? "ring" : "full";
+}
+
+// ---- minimal JSON (only what ExperimentConfig round-trips needs) -----------
+//
+// A strict recursive-descent parser for the subset toJson() emits: objects,
+// arrays, double-quoted strings with backslash escapes, integers/doubles,
+// true/false. Unknown keys are ignored by the loaders so configs stay
+// forward-compatible across PRs.
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  std::string raw;  ///< number token, full precision
+  std::string str;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : members)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parseValue();
+    skipWs();
+    if (pos_ != text_.size())
+      fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("config JSON: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    skipWs();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parseValue() {
+    const char c = peek();
+    if (c == '{') return parseObject();
+    if (c == '[') return parseArray();
+    if (c == '"') return parseString();
+    if (c == 't' || c == 'f') return parseBool();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+      return parseNumber();
+    fail("unexpected character");
+  }
+
+  JsonValue parseObject() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JsonValue key = parseString();
+      expect(':');
+      v.members.emplace_back(std::move(key.str), parseValue());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parseArray() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(parseValue());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  JsonValue parseString() {
+    expect('"');
+    JsonValue v;
+    v.kind = JsonValue::Kind::String;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': v.str.push_back('"'); break;
+          case '\\': v.str.push_back('\\'); break;
+          case '/': v.str.push_back('/'); break;
+          case 'n': v.str.push_back('\n'); break;
+          case 't': v.str.push_back('\t'); break;
+          case 'u': {
+            // \u00XX only — the subset the writer emits for C0 controls.
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("malformed \\u escape");
+            }
+            if (code > 0xFF) fail("unsupported \\u escape (> \\u00ff)");
+            v.str.push_back(static_cast<char>(code));
+            break;
+          }
+          default: fail("unsupported string escape");
+        }
+      } else {
+        v.str.push_back(c);
+      }
+    }
+  }
+
+  JsonValue parseBool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Bool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("expected true/false");
+    }
+    return v;
+  }
+
+  JsonValue parseNumber() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    v.raw = text_.substr(start, pos_ - start);
+    if (v.raw.empty() || v.raw == "-") fail("malformed number");
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::string escapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {  // remaining C0 controls: RFC 8259 forbids them raw
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(hex[u >> 4]);
+          out.push_back(hex[u & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// Typed readers: absent keys keep the preset default; wrong types, signs,
+// exponents, and out-of-range values are loud (std::invalid_argument) —
+// stoull alone would silently truncate "1e4" to 1 or wrap "-4".
+std::uint64_t asUnsigned(const JsonValue& v, const char* key) {
+  if (v.kind != JsonValue::Kind::Number ||
+      v.raw.find_first_not_of("0123456789") != std::string::npos)
+    throw std::invalid_argument(std::string("config JSON: ") + key +
+                                " must be a non-negative integer");
+  try {
+    return std::stoull(v.raw);
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument(std::string("config JSON: ") + key +
+                                " is out of range");
+  }
+}
+
+void readSize(const JsonValue& obj, const char* key, std::size_t& out) {
+  if (const JsonValue* v = obj.find(key))
+    out = static_cast<std::size_t>(asUnsigned(*v, key));
+}
+
+void readU64(const JsonValue& obj, const char* key, std::uint64_t& out) {
+  if (const JsonValue* v = obj.find(key)) out = asUnsigned(*v, key);
+}
+
+void readDouble(const JsonValue& obj, const char* key, double& out) {
+  if (const JsonValue* v = obj.find(key)) {
+    if (v->kind != JsonValue::Kind::Number)
+      throw std::invalid_argument(std::string("config JSON: ") + key +
+                                  " must be a number");
+    std::size_t consumed = 0;
+    double parsed = 0.0;
+    try {
+      parsed = std::stod(v->raw, &consumed);
+    } catch (const std::exception&) {
+      throw std::invalid_argument(std::string("config JSON: ") + key +
+                                  " is not a valid number");
+    }
+    if (consumed != v->raw.size())
+      throw std::invalid_argument(std::string("config JSON: ") + key +
+                                  " is not a valid number");
+    out = parsed;
+  }
+}
+
+void readBool(const JsonValue& obj, const char* key, bool& out) {
+  if (const JsonValue* v = obj.find(key)) {
+    if (v->kind != JsonValue::Kind::Bool)
+      throw std::invalid_argument(std::string("config JSON: ") + key +
+                                  " must be a bool");
+    out = v->boolean;
+  }
+}
+
+void readString(const JsonValue& obj, const char* key, std::string& out) {
+  if (const JsonValue* v = obj.find(key)) {
+    if (v->kind != JsonValue::Kind::String)
+      throw std::invalid_argument(std::string("config JSON: ") + key +
+                                  " must be a string");
+    out = v->str;
+  }
+}
+
 }  // namespace
 
 ExperimentConfig ExperimentConfig::forScale(const std::string& scale) {
@@ -108,6 +390,236 @@ ExperimentConfig ExperimentConfig::fromArgs(const util::ArgParse& args) {
   cfg.modelDir = args.getString("model-dir", cfg.modelDir);
   if (args.has("lengths"))
     cfg.programLengths = parseLengths(args.getString("lengths", ""));
+
+  // ---- island strategy ----
+  // Negative values would wrap through size_t into "never migrate"-sized
+  // numbers; reject them like --islands=0 instead of silently changing the
+  // search.
+  const auto nonNegative = [&args](const char* flag, std::size_t fallback) {
+    const long v = args.getInt(flag, static_cast<long>(fallback));
+    if (v < 0)
+      throw std::invalid_argument(std::string("--") + flag +
+                                  " must be >= 0");
+    return static_cast<std::size_t>(v);
+  };
+  core::IslandsConfig& is = cfg.synthesizer.islands;
+  if (args.has("islands")) {
+    const long k = args.getInt("islands", 1);
+    if (k <= 0) throw std::invalid_argument("--islands must be > 0");
+    is.count = static_cast<std::size_t>(k);
+    cfg.synthesizer.strategy = core::SearchStrategy::Islands;
+  }
+  is.migrationInterval = nonNegative("migration-interval",
+                                     is.migrationInterval);
+  is.migrationSize = nonNegative("migration-size", is.migrationSize);
+  if (args.has("topology"))
+    is.topology = parseTopology(args.getString("topology", "ring"));
+  is.threads = nonNegative("island-threads", is.threads);
+  is.heterogeneous = args.getBool("island-hetero", is.heterogeneous);
+  // Combined parallelism: when the experiment runner already fans out over
+  // worker threads, default each run's island gang to one thread so the two
+  // levels do not multiply into workers x K threads on the same cores.
+  // An explicit --island-threads still wins; results are identical either
+  // way (thread count never affects island results).
+  if (cfg.workers != 1 && !args.has("island-threads")) is.threads = 1;
+  return cfg;
+}
+
+std::string ExperimentConfig::toJson() const {
+  std::ostringstream os;
+  os.precision(17);  // doubles survive the round trip exactly
+  os << "{";
+  os << "\"scale\": \"" << escapeJson(scaleName) << "\"";
+  os << ", \"program_lengths\": [";
+  for (std::size_t i = 0; i < programLengths.size(); ++i)
+    os << (i ? ", " : "") << programLengths[i];
+  os << "]";
+  os << ", \"programs_per_length\": " << programsPerLength;
+  os << ", \"examples_per_program\": " << examplesPerProgram;
+  os << ", \"runs_per_program\": " << runsPerProgram;
+  os << ", \"search_budget\": " << searchBudget;
+  os << ", \"training_programs\": " << trainingPrograms;
+  os << ", \"validation_programs\": " << validationPrograms;
+  os << ", \"training_length\": " << trainingLength;
+  os << ", \"training\": {";
+  os << "\"epochs\": " << trainConfig.epochs;
+  os << ", \"batch_size\": " << trainConfig.batchSize;
+  os << ", \"learning_rate\": " << trainConfig.learningRate;
+  os << "}";
+  os << ", \"workers\": " << workers;
+  os << ", \"seed\": " << seed;
+  os << ", \"model_dir\": \"" << escapeJson(modelDir) << "\"";
+  os << ", \"synthesizer\": {";
+  os << "\"population_size\": " << synthesizer.ga.populationSize;
+  os << ", \"elite_count\": " << synthesizer.ga.eliteCount;
+  os << ", \"crossover_rate\": " << synthesizer.ga.crossoverRate;
+  os << ", \"mutation_rate\": " << synthesizer.ga.mutationRate;
+  os << ", \"max_generations\": " << synthesizer.maxGenerations;
+  os << ", \"neighborhood_search\": "
+     << (synthesizer.useNeighborhoodSearch ? "true" : "false");
+  os << ", \"ns_kind\": \""
+     << (synthesizer.nsKind == core::NsKind::BFS ? "bfs" : "dfs") << "\"";
+  os << ", \"ns_top_n\": " << synthesizer.nsTopN;
+  os << ", \"ns_window\": " << synthesizer.nsWindow;
+  os << ", \"strategy\": \""
+     << (synthesizer.strategy == core::SearchStrategy::Islands ? "islands"
+                                                               : "single")
+     << "\"";
+  os << ", \"islands\": {";
+  os << "\"count\": " << synthesizer.islands.count;
+  os << ", \"migration_interval\": " << synthesizer.islands.migrationInterval;
+  os << ", \"migration_size\": " << synthesizer.islands.migrationSize;
+  os << ", \"topology\": \"" << topologyName(synthesizer.islands.topology)
+     << "\"";
+  os << ", \"threads\": " << synthesizer.islands.threads;
+  os << ", \"heterogeneous\": "
+     << (synthesizer.islands.heterogeneous ? "true" : "false");
+  os << ", \"tweaks\": [";
+  for (std::size_t i = 0; i < synthesizer.islands.tweaks.size(); ++i) {
+    const core::IslandTweak& t = synthesizer.islands.tweaks[i];
+    os << (i ? ", " : "") << "{\"mutation_rate_scale\": "
+       << t.mutationRateScale
+       << ", \"crossover_rate_scale\": " << t.crossoverRateScale;
+    if (t.nsKind)
+      os << ", \"ns_kind\": \""
+         << (*t.nsKind == core::NsKind::BFS ? "bfs" : "dfs") << "\"";
+    if (t.fpGuidedMutation)
+      os << ", \"fp_guided_mutation\": "
+         << (*t.fpGuidedMutation ? "true" : "false");
+    os << "}";
+  }
+  os << "]";
+  os << "}";  // islands
+  os << "}";  // synthesizer
+  os << "}";
+  return os.str();
+}
+
+ExperimentConfig ExperimentConfig::fromJson(const std::string& json) {
+  const JsonValue root = JsonParser(json).parse();
+  if (root.kind != JsonValue::Kind::Object)
+    throw std::invalid_argument("config JSON: top level must be an object");
+
+  std::string scale = "ci";
+  readString(root, "scale", scale);
+  ExperimentConfig cfg = forScale(scale);
+
+  if (const JsonValue* lengths = root.find("program_lengths")) {
+    if (lengths->kind != JsonValue::Kind::Array)
+      throw std::invalid_argument(
+          "config JSON: program_lengths must be an array");
+    cfg.programLengths.clear();
+    for (const JsonValue& v : lengths->items)
+      cfg.programLengths.push_back(
+          static_cast<std::size_t>(asUnsigned(v, "program_lengths")));
+  }
+  readSize(root, "programs_per_length", cfg.programsPerLength);
+  readSize(root, "examples_per_program", cfg.examplesPerProgram);
+  readSize(root, "runs_per_program", cfg.runsPerProgram);
+  readSize(root, "search_budget", cfg.searchBudget);
+  readSize(root, "training_programs", cfg.trainingPrograms);
+  readSize(root, "validation_programs", cfg.validationPrograms);
+  readSize(root, "training_length", cfg.trainingLength);
+  if (const JsonValue* training = root.find("training")) {
+    if (training->kind != JsonValue::Kind::Object)
+      throw std::invalid_argument("config JSON: training must be an object");
+    readSize(*training, "epochs", cfg.trainConfig.epochs);
+    readSize(*training, "batch_size", cfg.trainConfig.batchSize);
+    double lr = static_cast<double>(cfg.trainConfig.learningRate);
+    readDouble(*training, "learning_rate", lr);
+    cfg.trainConfig.learningRate = static_cast<float>(lr);
+  }
+  readSize(root, "workers", cfg.workers);
+  readU64(root, "seed", cfg.seed);
+  readString(root, "model_dir", cfg.modelDir);
+
+  if (const JsonValue* syn = root.find("synthesizer")) {
+    if (syn->kind != JsonValue::Kind::Object)
+      throw std::invalid_argument("config JSON: synthesizer must be an object");
+    readSize(*syn, "population_size", cfg.synthesizer.ga.populationSize);
+    readSize(*syn, "elite_count", cfg.synthesizer.ga.eliteCount);
+    readDouble(*syn, "crossover_rate", cfg.synthesizer.ga.crossoverRate);
+    readDouble(*syn, "mutation_rate", cfg.synthesizer.ga.mutationRate);
+    readSize(*syn, "max_generations", cfg.synthesizer.maxGenerations);
+    readBool(*syn, "neighborhood_search", cfg.synthesizer.useNeighborhoodSearch);
+    std::string nsKind;
+    readString(*syn, "ns_kind", nsKind);
+    if (!nsKind.empty()) {
+      if (nsKind != "bfs" && nsKind != "dfs")
+        throw std::invalid_argument("config JSON: ns_kind must be bfs or dfs");
+      cfg.synthesizer.nsKind =
+          nsKind == "bfs" ? core::NsKind::BFS : core::NsKind::DFS;
+    }
+    readSize(*syn, "ns_top_n", cfg.synthesizer.nsTopN);
+    readSize(*syn, "ns_window", cfg.synthesizer.nsWindow);
+    std::string strategy;
+    readString(*syn, "strategy", strategy);
+    if (!strategy.empty()) {
+      if (strategy != "single" && strategy != "islands")
+        throw std::invalid_argument(
+            "config JSON: strategy must be single or islands");
+      cfg.synthesizer.strategy = strategy == "islands"
+                                     ? core::SearchStrategy::Islands
+                                     : core::SearchStrategy::SinglePopulation;
+    }
+    if (const JsonValue* is = syn->find("islands")) {
+      if (is->kind != JsonValue::Kind::Object)
+        throw std::invalid_argument("config JSON: islands must be an object");
+      readSize(*is, "count", cfg.synthesizer.islands.count);
+      readSize(*is, "migration_interval",
+               cfg.synthesizer.islands.migrationInterval);
+      readSize(*is, "migration_size", cfg.synthesizer.islands.migrationSize);
+      std::string topology;
+      readString(*is, "topology", topology);
+      if (!topology.empty())
+        cfg.synthesizer.islands.topology = parseTopology(topology);
+      readSize(*is, "threads", cfg.synthesizer.islands.threads);
+      readBool(*is, "heterogeneous", cfg.synthesizer.islands.heterogeneous);
+      if (cfg.synthesizer.islands.count == 0)
+        throw std::invalid_argument(
+            "config JSON: islands.count must be >= 1");
+      if (const JsonValue* tweaks = is->find("tweaks")) {
+        if (tweaks->kind != JsonValue::Kind::Array)
+          throw std::invalid_argument(
+              "config JSON: islands.tweaks must be an array");
+        cfg.synthesizer.islands.tweaks.clear();
+        for (const JsonValue& tv : tweaks->items) {
+          if (tv.kind != JsonValue::Kind::Object)
+            throw std::invalid_argument(
+                "config JSON: islands.tweaks entries must be objects");
+          core::IslandTweak tweak;
+          readDouble(tv, "mutation_rate_scale", tweak.mutationRateScale);
+          readDouble(tv, "crossover_rate_scale", tweak.crossoverRateScale);
+          std::string tweakNs;
+          readString(tv, "ns_kind", tweakNs);
+          if (!tweakNs.empty()) {
+            if (tweakNs != "bfs" && tweakNs != "dfs")
+              throw std::invalid_argument(
+                  "config JSON: tweak ns_kind must be bfs or dfs");
+            tweak.nsKind =
+                tweakNs == "bfs" ? core::NsKind::BFS : core::NsKind::DFS;
+          }
+          if (tv.find("fp_guided_mutation")) {
+            bool fp = false;
+            readBool(tv, "fp_guided_mutation", fp);
+            tweak.fpGuidedMutation = fp;
+          }
+          cfg.synthesizer.islands.tweaks.push_back(tweak);
+        }
+      }
+    }
+  }
+
+  // Range sanity at load time: a zero here would only surface much later as
+  // an unrelated exception deep inside the search (or a trivially-empty
+  // workload), long after models were trained. Fail loudly, naming the key.
+  if (cfg.synthesizer.ga.populationSize == 0)
+    throw std::invalid_argument(
+        "config JSON: synthesizer.population_size must be >= 1");
+  for (std::size_t len : cfg.programLengths)
+    if (len == 0)
+      throw std::invalid_argument(
+          "config JSON: program_lengths entries must be >= 1");
   return cfg;
 }
 

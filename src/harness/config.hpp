@@ -54,8 +54,23 @@ struct ExperimentConfig {
 
   /// Preset selected by --scale plus individual flag overrides
   /// (--budget, --runs, --programs-per-length, --train-programs, --epochs,
-  ///  --seed, --model-dir, --lengths=5,7,10, --workers=N).
+  ///  --seed, --model-dir, --lengths=5,7,10, --workers=N, and the island
+  ///  strategy: --islands=K, --migration-interval=M, --migration-size=E,
+  ///  --topology=ring|full, --island-threads=T, --island-hetero).
+  ///  --islands selects SearchStrategy::Islands (also for K=1, which is
+  ///  pinned identical to the single-population search).
   static ExperimentConfig fromArgs(const util::ArgParse& args);
+
+  /// Serializes the experiment-defining fields (workload, budget, GA,
+  /// island strategy, seed) as one JSON object — the scenario record the
+  /// bench JSONs and external sweep drivers consume.
+  std::string toJson() const;
+
+  /// Parses toJson() output (strict on structure, unknown keys ignored).
+  /// Round-trip identity — fromJson(c.toJson()) equals c on every
+  /// serialized field — is pinned by tests. Throws std::invalid_argument
+  /// on malformed input.
+  static ExperimentConfig fromJson(const std::string& json);
 };
 
 }  // namespace netsyn::harness

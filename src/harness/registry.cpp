@@ -4,6 +4,36 @@
 
 namespace netsyn::harness {
 
+namespace {
+
+/// Per-island grading kit for one NetSyn variant: every island gets its own
+/// model clones (NnffModel inference scratch is not thread-safe), exactly
+/// like the per-worker clones of the parallel experiment runner. Invoked
+/// lazily — only Islands-strategy searches ever call it.
+core::IslandFitnessFactory netSynIslandFactory(const TrainedModels& models,
+                                               NetSynVariant variant) {
+  return [models, variant](std::size_t) {
+    auto fp = std::make_shared<fitness::ProbMapFitness>(models.fp->clone());
+    fitness::FitnessPtr fit;
+    switch (variant) {
+      case NetSynVariant::CF:
+        fit = std::make_shared<fitness::NeuralFitness>(models.cf->clone(),
+                                                       "NN_CF");
+        break;
+      case NetSynVariant::LCS:
+        fit = std::make_shared<fitness::NeuralFitness>(models.lcs->clone(),
+                                                       "NN_LCS");
+        break;
+      case NetSynVariant::FP:
+        fit = fp;
+        break;
+    }
+    return core::IslandFitness{std::move(fit), fp};
+  };
+}
+
+}  // namespace
+
 baselines::MethodPtr makeNetSyn(const ExperimentConfig& config,
                                 const TrainedModels& models,
                                 NetSynVariant variant) {
@@ -14,20 +44,21 @@ baselines::MethodPtr makeNetSyn(const ExperimentConfig& config,
   sc.fpGuidedMutation = true;
 
   auto fpProvider = std::make_shared<fitness::ProbMapFitness>(models.fp);
+  const auto islandFactory = netSynIslandFactory(models, variant);
   switch (variant) {
     case NetSynVariant::CF:
       return std::make_shared<baselines::SynthesizerMethod>(
           "NetSyn_CF", sc,
           std::make_shared<fitness::NeuralFitness>(models.cf, "NN_CF"),
-          fpProvider);
+          fpProvider, islandFactory);
     case NetSynVariant::LCS:
       return std::make_shared<baselines::SynthesizerMethod>(
           "NetSyn_LCS", sc,
           std::make_shared<fitness::NeuralFitness>(models.lcs, "NN_LCS"),
-          fpProvider);
+          fpProvider, islandFactory);
     case NetSynVariant::FP:
       return std::make_shared<baselines::SynthesizerMethod>(
-          "NetSyn_FP", sc, fpProvider, fpProvider);
+          "NetSyn_FP", sc, fpProvider, fpProvider, islandFactory);
   }
   throw std::logic_error("unknown NetSyn variant");
 }
@@ -38,7 +69,13 @@ baselines::MethodPtr makeEdit(const ExperimentConfig& config) {
   sc.nsKind = core::NsKind::BFS;
   sc.fpGuidedMutation = false;
   return std::make_shared<baselines::SynthesizerMethod>(
-      "Edit", sc, std::make_shared<fitness::EditDistanceFitness>());
+      "Edit", sc, std::make_shared<fitness::EditDistanceFitness>(), nullptr,
+      [](std::size_t) {
+        // Stateless hand-crafted fitness: a fresh instance per island keeps
+        // its internal memo tables thread-private.
+        return core::IslandFitness{
+            std::make_shared<fitness::EditDistanceFitness>(), nullptr};
+      });
 }
 
 baselines::MethodPtr makeOracle(const ExperimentConfig& config,

@@ -49,12 +49,17 @@ class OracleMethod final : public baselines::Method, public TargetAware {
                                    std::size_t targetLength,
                                    std::size_t budgetLimit,
                                    util::Rng& rng) override {
-    fitness::FitnessPtr fit;
-    if (metric_ == fitness::BalanceMetric::CF)
-      fit = std::make_shared<fitness::OracleCF>(target_);
-    else
-      fit = std::make_shared<fitness::OracleLCS>(target_);
-    core::Synthesizer syn(config_, std::move(fit));
+    const auto makeFit = [this]() -> fitness::FitnessPtr {
+      if (metric_ == fitness::BalanceMetric::CF)
+        return std::make_shared<fitness::OracleCF>(target_);
+      return std::make_shared<fitness::OracleLCS>(target_);
+    };
+    // Oracle fitness is cheap to build, so island isolation is simply one
+    // fresh instance per island (parallel-safe like the NN clones).
+    core::Synthesizer syn(config_, makeFit(), nullptr,
+                          [makeFit](std::size_t) {
+                            return core::IslandFitness{makeFit(), nullptr};
+                          });
     return syn.synthesize(spec, targetLength, budgetLimit, rng);
   }
 

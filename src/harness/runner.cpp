@@ -62,6 +62,12 @@ double meanOverFound(const std::vector<RunRecord>& runs,
 
 }  // namespace
 
+std::size_t RunRecord::migrationsAccepted() const {
+  std::size_t total = 0;
+  for (const auto& s : islands) total += s.immigrants;
+  return total;
+}
+
 double ProgramResult::synthesisRate() const {
   if (runs.empty()) return 0.0;
   std::size_t found = 0;
@@ -125,12 +131,24 @@ MethodReport runMethod(baselines::Method& method,
                                             config.searchBudget, rng);
       report.programs[p].runs[k] =
           RunRecord{result.found, result.candidatesSearched, result.seconds,
-                    result.generations};
+                    result.generations, result.islandStats};
     }
     if (verbose) {
-      std::fprintf(stderr, "  [%s] len=%zu prog=%zu rate=%.0f%%\n",
-                   report.method.c_str(), tp.length, tp.id,
-                   report.programs[p].synthesisRate() * 100.0);
+      const auto& runs = report.programs[p].runs;
+      if (runs.empty() || runs.front().islands.empty()) {
+        std::fprintf(stderr, "  [%s] len=%zu prog=%zu rate=%.0f%%\n",
+                     report.method.c_str(), tp.length, tp.id,
+                     report.programs[p].synthesisRate() * 100.0);
+      } else {
+        std::size_t migrations = 0;  // totalled like the rate on this line
+        for (const auto& r : runs) migrations += r.migrationsAccepted();
+        std::fprintf(stderr,
+                     "  [%s] len=%zu prog=%zu rate=%.0f%% islands=%zu "
+                     "migrations=%zu\n",
+                     report.method.c_str(), tp.length, tp.id,
+                     report.programs[p].synthesisRate() * 100.0,
+                     runs.front().islands.size(), migrations);
+      }
     }
   }
   return report;
@@ -181,7 +199,7 @@ MethodReport runMethod(const baselines::MethodFactory& makeMethod,
             method->synthesize(tp.spec, tp.length, config.searchBudget, rng);
         report.programs[p].runs[k] =
             RunRecord{result.found, result.candidatesSearched, result.seconds,
-                      result.generations};
+                      result.generations, result.islandStats};
       }
     });
   }

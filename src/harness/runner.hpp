@@ -19,6 +19,14 @@ struct RunRecord {
   std::size_t candidates = 0;
   double seconds = 0.0;
   std::size_t generations = 0;
+  /// Per-island accounting (best fitness, ledger-granted evals,
+  /// migrations); empty for single-population methods. Deterministic for a
+  /// fixed (seed, K) like the fields above, so parallel and sequential
+  /// runners report identical stats (pinned by tests).
+  std::vector<core::IslandStats> islands;
+
+  /// Sum of migrants accepted across this run's islands.
+  std::size_t migrationsAccepted() const;
 };
 
 struct ProgramResult {

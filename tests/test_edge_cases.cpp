@@ -160,9 +160,9 @@ TEST(MethodReport, NoProgramsYieldsZeroes) {
 TEST(MethodReport, MeanGenerationsIgnoresUnsolved) {
   nh::MethodReport report;
   nh::ProgramResult solved;
-  solved.runs.push_back({true, 10, 0.1, 100});
+  solved.runs.push_back({true, 10, 0.1, 100, {}});
   nh::ProgramResult unsolved;
-  unsolved.runs.push_back({false, 999, 9.9, 5000});
+  unsolved.runs.push_back({false, 999, 9.9, 5000, {}});
   report.programs = {solved, unsolved};
   EXPECT_DOUBLE_EQ(report.meanGenerations(), 100.0);
 }

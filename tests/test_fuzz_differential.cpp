@@ -1,0 +1,277 @@
+// Differential / fuzz harness for the DSL execution engine.
+//
+// A seeded fuzzer cross-checks the production pipeline — cached ExecPlans,
+// in-place function bodies, statement-major executePlanMulti, pooled
+// ExecResult storage — against the frozen seed interpreter embedded in
+// bench/legacy_baseline.hpp (value-returning bodies, fresh allocations,
+// per-call plan recomputation). Any divergence in any trace slot on any
+// random program is a bug in one of the two; the legacy side is a
+// do-not-touch snapshot, so in practice it pins the engine.
+//
+// The suite also locks down the engine's aliasing contract. Audit result
+// (dsl/interpreter.cpp, dsl/functions.cpp, PR 3):
+//   - applyFunctionInto's `out` must never alias an argument. The
+//     interpreter upholds this structurally: a statement's destination is
+//     trace[k] and its arguments resolve only to trace[j] with j < k,
+//     program inputs, or the shared defaults. The fuzzed invariant test
+//     below pins that property over random plans, and the engine/legacy
+//     differential would catch any violation behaviorally (an aliased
+//     in-place body reads its input mid-overwrite).
+//   - Argument-argument aliasing (args[0] == args[1], the dup-reuse rule
+//     for two-list statements with a single producer) IS allowed and must
+//     stay correct: bodies only read arguments. Pinned per ZIPWITH below.
+//   - Value retained-buffer reuse (setInt/makeList/copy-assign) must never
+//     leak stale elements between candidates; the pooled-slot stress test
+//     reruns shrinking/growing programs through one ExecResult.
+// No live aliasing bug was found; these tests exist so none can creep in.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "../bench/legacy_baseline.hpp"
+#include "dsl/dce.hpp"
+#include "dsl/functions.hpp"
+#include "dsl/generator.hpp"
+#include "dsl/interpreter.hpp"
+#include "dsl/program.hpp"
+#include "util/rng.hpp"
+
+namespace nd = netsyn::dsl;
+using netsyn::util::Rng;
+
+namespace {
+
+using List = std::vector<std::int32_t>;
+
+/// The seed interpreter, verbatim from PR 1: argument plan recomputed per
+/// call, whole-Value argument copies, a fresh Value per statement.
+nd::ExecResult legacyRun(const nd::Program& program,
+                         const std::vector<nd::Value>& inputs) {
+  const nd::ArgPlan plan =
+      nd::computeArgPlan(program, nd::signatureOf(inputs));
+  nd::ExecResult result;
+  result.trace.reserve(program.length());
+  std::array<nd::Value, nd::kMaxArity> argbuf;
+  for (std::size_t k = 0; k < program.length(); ++k) {
+    const nd::StatementPlan& sp = plan[k];
+    const nd::FunctionInfo& info = nd::functionInfo(program.at(k));
+    for (std::size_t slot = 0; slot < sp.arity; ++slot) {
+      const nd::ArgSource& src = sp.args[slot];
+      switch (src.kind) {
+        case nd::ArgSource::Kind::Statement:
+          argbuf[slot] = result.trace[src.index];
+          break;
+        case nd::ArgSource::Kind::Input:
+          argbuf[slot] = inputs[src.index];
+          break;
+        case nd::ArgSource::Kind::Default:
+          argbuf[slot] = nd::Value::defaultFor(info.argTypes[slot]);
+          break;
+      }
+    }
+    result.trace.push_back(netsyn::bench::legacy::applyFunction(
+        program.at(k), std::span<const nd::Value>(argbuf.data(), sp.arity)));
+  }
+  return result;
+}
+
+/// Uniformly random function sequence — deliberately NOT the generator's
+/// fully-live programs: dead code, duplicate producers, and default-arg
+/// statements are exactly the corners the differential should cover.
+nd::Program randomRawProgram(std::size_t length, Rng& rng) {
+  nd::Program p;
+  for (std::size_t i = 0; i < length; ++i)
+    p.append(static_cast<nd::FuncId>(rng.uniform(nd::kNumFunctions)));
+  return p;
+}
+
+void expectSameTrace(const nd::ExecResult& engine, const nd::ExecResult& legacy,
+                     const nd::Program& program, std::uint64_t caseId) {
+  ASSERT_EQ(engine.trace.size(), legacy.trace.size())
+      << "case " << caseId << ": " << program.toString();
+  for (std::size_t k = 0; k < engine.trace.size(); ++k) {
+    ASSERT_EQ(engine.trace[k], legacy.trace[k])
+        << "case " << caseId << " trace slot " << k << ": "
+        << program.toString();
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------- engine vs legacy fuzz ------
+
+// >= 10k random programs in CI-fast mode (the acceptance floor): one shared
+// Executor so cached plans, direct-mapped slot evictions, and pooled
+// ExecResult buffers are all exercised across wildly different programs.
+TEST(FuzzDifferential, TenThousandRandomProgramsMatchTheLegacyInterpreter) {
+  constexpr std::size_t kPrograms = 12000;
+  constexpr std::size_t kExamples = 3;
+
+  Rng rng(0xF0221);
+  const nd::Generator gen;
+  nd::Executor executor;
+  // Persistent result slots: every program refills the same trace storage,
+  // the retained-buffer path the GA's evaluator runs in steady state.
+  std::vector<nd::ExecResult> engineRuns(kExamples);
+
+  for (std::size_t n = 0; n < kPrograms; ++n) {
+    const nd::InputSignature sig = gen.randomSignature(rng);
+    const std::size_t length = 1 + rng.uniform(8);
+    // 1-in-4 programs come from the fully-live generator (the GA's actual
+    // distribution); the rest are raw uniform sequences.
+    nd::Program program;
+    if (rng.uniform(4) == 0) {
+      auto live = gen.randomProgram(length, sig, rng);
+      ASSERT_TRUE(live.has_value());
+      program = std::move(*live);
+    } else {
+      program = randomRawProgram(length, rng);
+    }
+
+    std::vector<std::vector<nd::Value>> inputs;
+    std::vector<const std::vector<nd::Value>*> inputSets;
+    inputs.reserve(kExamples);
+    inputSets.reserve(kExamples);
+    for (std::size_t j = 0; j < kExamples; ++j) {
+      inputs.push_back(gen.randomInputs(sig, rng));
+      inputSets.push_back(&inputs[j]);
+    }
+
+    const nd::ExecPlan& plan = executor.planFor(program, sig);
+    nd::executePlanMulti(plan, inputSets.data(), kExamples,
+                         engineRuns.data());
+    for (std::size_t j = 0; j < kExamples; ++j) {
+      const nd::ExecResult legacy = legacyRun(program, inputs[j]);
+      expectSameTrace(engineRuns[j], legacy, program, n);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// DCE is semantics-preserving: a program and its dead-code-eliminated form
+// must produce identical outputs on every input (trace lengths differ, the
+// output cannot). Raw random programs carry plenty of dead code.
+TEST(FuzzDifferential, DceNeverChangesProgramOutputs) {
+  constexpr std::size_t kPrograms = 4000;
+  Rng rng(0xDCE5EED);
+  const nd::Generator gen;
+  nd::Executor executor;
+
+  std::size_t programsWithDeadCode = 0;
+  for (std::size_t n = 0; n < kPrograms; ++n) {
+    const nd::InputSignature sig = gen.randomSignature(rng);
+    const nd::Program program = randomRawProgram(1 + rng.uniform(8), rng);
+    const nd::Program stripped = nd::eliminateDeadCode(program, sig);
+    if (stripped.length() < program.length()) ++programsWithDeadCode;
+
+    for (std::size_t j = 0; j < 2; ++j) {
+      const std::vector<nd::Value> in = gen.randomInputs(sig, rng);
+      const nd::Value& full = executor.evalInto(program, in);
+      const nd::Value fullCopy = full;  // evalInto's slot is reused below
+      const nd::Value& reduced = executor.evalInto(stripped, in);
+      ASSERT_EQ(fullCopy, reduced)
+          << "case " << n << ": " << program.toString() << "  ->  "
+          << stripped.toString();
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  // The fuzz distribution must actually exercise the transform.
+  EXPECT_GT(programsWithDeadCode, kPrograms / 4);
+}
+
+// ------------------------------------------------ aliasing lockdown -------
+
+// Structural invariant behind applyFunctionInto's no-alias contract: a
+// compiled statement's arguments may only reference strictly earlier trace
+// slots (or inputs/defaults) — the destination trace[k] is unreachable.
+TEST(FuzzDifferential, CompiledPlansNeverAliasDestinationWithArguments) {
+  Rng rng(0xA11A5);
+  const nd::Generator gen;
+  for (std::size_t n = 0; n < 2000; ++n) {
+    const nd::InputSignature sig = gen.randomSignature(rng);
+    const nd::Program program = randomRawProgram(1 + rng.uniform(10), rng);
+    const nd::ExecPlan plan = nd::compilePlan(program, sig);
+    ASSERT_EQ(plan.steps.size(), program.length());
+    for (std::size_t k = 0; k < plan.steps.size(); ++k) {
+      const nd::ExecStep& step = plan.steps[k];
+      for (std::size_t slot = 0; slot < step.arity; ++slot) {
+        if (step.args[slot].kind == nd::ArgSource::Kind::Statement) {
+          ASSERT_LT(step.args[slot].index, k)
+              << program.toString() << " statement " << k;
+        }
+      }
+    }
+  }
+}
+
+// Argument-argument aliasing is legal (the interpreter's dup-reuse rule
+// feeds one producer to both slots of a two-list statement) and must match
+// the non-aliased evaluation exactly.
+TEST(FuzzDifferential, TwoListBodiesAcceptTheSameValueInBothSlots) {
+  const nd::Value list(List{3, -1, 4, 1, -5, 9});
+  const nd::Value listCopy = list;
+  for (std::size_t id = 0; id < nd::kNumFunctions; ++id) {
+    const nd::FunctionInfo& info = nd::functionInfo(static_cast<nd::FuncId>(id));
+    if (info.arity != 2 || info.argTypes[0] != nd::Type::List) continue;
+    const nd::Value* aliased[2] = {&list, &list};
+    nd::Value out;
+    nd::applyFunctionInto(static_cast<nd::FuncId>(id),
+                          std::span<const nd::Value* const>(aliased, 2), out);
+    const std::array<nd::Value, 2> plain{list, listCopy};
+    const nd::Value expected = nd::applyFunction(
+        static_cast<nd::FuncId>(id),
+        std::span<const nd::Value>(plain.data(), 2));
+    EXPECT_EQ(out, expected) << info.name;
+  }
+}
+
+// Retained-buffer reuse across shrinking and growing results: one pooled
+// ExecResult serves programs whose trace values alternate between long
+// lists, short lists, and ints. Stale elements from a previous (longer)
+// occupant leaking into a refilled slot would diverge from the fresh run.
+TEST(FuzzDifferential, PooledResultSlotsNeverLeakStaleElements) {
+  const auto idOf = [](const char* name) {
+    const auto id = nd::functionByName(name);
+    EXPECT_TRUE(id.has_value()) << name;
+    return *id;
+  };
+  // SORT (long list) -> TAKE (short prefix; int consumed from input) ->
+  // SUM (int) -> INSERT (list again, rebuilt from the int producer).
+  const nd::Program longThenShort(std::vector<nd::FuncId>{
+      idOf("SORT"), idOf("TAKE"), idOf("SUM"), idOf("INSERT")});
+  const nd::Program allLong(std::vector<nd::FuncId>{
+      idOf("REVERSE"), idOf("MAP(*2)"), idOf("SCANL1(+)"), idOf("ZIPWITH(max)")});
+
+  nd::Executor executor;
+  nd::ExecResult pooled;  // shared across every execution below
+  Rng rng(0xB0FFE);
+  const nd::Generator gen;
+  const nd::InputSignature sig = {nd::Type::List, nd::Type::Int};
+  for (std::size_t n = 0; n < 500; ++n) {
+    const std::vector<nd::Value> in = gen.randomInputs(sig, rng);
+    for (const nd::Program* p : {&allLong, &longThenShort}) {
+      nd::executePlan(executor.planFor(*p, sig), in, pooled);
+      const nd::ExecResult fresh = nd::run(*p, in);
+      ASSERT_EQ(pooled.trace.size(), fresh.trace.size());
+      for (std::size_t k = 0; k < fresh.trace.size(); ++k)
+        ASSERT_EQ(pooled.trace[k], fresh.trace[k])
+            << p->toString() << " slot " << k;
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// Value's self-assignment guard (assign() from its own range would be UB).
+TEST(FuzzDifferential, ValueSelfAssignmentIsANoOp) {
+  nd::Value v(List{1, 2, 3, 4});
+  const nd::Value snapshot = v;
+  nd::Value& alias = v;
+  v = alias;
+  EXPECT_EQ(v, snapshot);
+  v.setInt(7);
+  nd::Value& alias2 = v;
+  v = alias2;
+  EXPECT_EQ(v, nd::Value(7));
+}

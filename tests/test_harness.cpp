@@ -61,6 +61,175 @@ TEST(Config, BadLengthsThrow) {
   EXPECT_THROW(nh::ExperimentConfig::fromArgs(args), std::invalid_argument);
 }
 
+TEST(Config, IslandFlagsSelectTheIslandStrategy) {
+  const char* argv[] = {"prog",
+                        "--islands=4",
+                        "--migration-interval=7",
+                        "--migration-size=3",
+                        "--topology=full",
+                        "--island-threads=2",
+                        "--island-hetero"};
+  nu::ArgParse args(7, argv);
+  const auto cfg = nh::ExperimentConfig::fromArgs(args);
+  EXPECT_EQ(cfg.synthesizer.strategy, nc::SearchStrategy::Islands);
+  EXPECT_EQ(cfg.synthesizer.islands.count, 4u);
+  EXPECT_EQ(cfg.synthesizer.islands.migrationInterval, 7u);
+  EXPECT_EQ(cfg.synthesizer.islands.migrationSize, 3u);
+  EXPECT_EQ(cfg.synthesizer.islands.topology, nc::Topology::FullyConnected);
+  EXPECT_EQ(cfg.synthesizer.islands.threads, 2u);
+  EXPECT_TRUE(cfg.synthesizer.islands.heterogeneous);
+
+  // Without --islands the strategy stays single-population.
+  const char* argvNone[] = {"prog"};
+  nu::ArgParse none(1, argvNone);
+  EXPECT_EQ(nh::ExperimentConfig::fromArgs(none).synthesizer.strategy,
+            nc::SearchStrategy::SinglePopulation);
+
+  const char* argvBad[] = {"prog", "--islands=2", "--topology=mesh"};
+  nu::ArgParse bad(3, argvBad);
+  EXPECT_THROW(nh::ExperimentConfig::fromArgs(bad), std::invalid_argument);
+
+  // Negative values must be rejected, not wrapped through size_t into
+  // "never migrate"-sized numbers.
+  const char* argvNeg[] = {"prog", "--islands=2", "--migration-interval=-5"};
+  nu::ArgParse neg(3, argvNeg);
+  EXPECT_THROW(nh::ExperimentConfig::fromArgs(neg), std::invalid_argument);
+  const char* argvNegT[] = {"prog", "--island-threads=-1"};
+  nu::ArgParse negT(2, argvNegT);
+  EXPECT_THROW(nh::ExperimentConfig::fromArgs(negT), std::invalid_argument);
+}
+
+TEST(Config, JsonRoundTripPreservesEveryIslandField) {
+  auto cfg = nh::ExperimentConfig::forScale("ci");
+  cfg.programLengths = {3, 6, 9};
+  cfg.programsPerLength = 12;
+  cfg.searchBudget = 4321;
+  cfg.runsPerProgram = 5;
+  cfg.workers = 6;
+  cfg.seed = 987654321;
+  cfg.modelDir = "some/model \"dir\"";
+  cfg.trainConfig.epochs = 50;
+  cfg.trainConfig.batchSize = 13;
+  cfg.trainConfig.learningRate = 2.5e-3f;
+  cfg.synthesizer.ga.populationSize = 64;
+  cfg.synthesizer.ga.crossoverRate = 0.55;
+  cfg.synthesizer.ga.mutationRate = 0.15;
+  cfg.synthesizer.maxGenerations = 777;
+  cfg.synthesizer.nsKind = nc::NsKind::DFS;
+  cfg.synthesizer.strategy = nc::SearchStrategy::Islands;
+  cfg.synthesizer.islands.count = 8;
+  cfg.synthesizer.islands.migrationInterval = 12;
+  cfg.synthesizer.islands.migrationSize = 4;
+  cfg.synthesizer.islands.topology = nc::Topology::FullyConnected;
+  cfg.synthesizer.islands.threads = 3;
+  cfg.synthesizer.islands.heterogeneous = true;
+  nc::IslandTweak tweakA;  // explicit portfolio must survive the trip
+  tweakA.mutationRateScale = 1.5;
+  tweakA.nsKind = nc::NsKind::DFS;
+  nc::IslandTweak tweakB;
+  tweakB.crossoverRateScale = 0.75;
+  tweakB.fpGuidedMutation = false;
+  cfg.synthesizer.islands.tweaks = {tweakA, tweakB};
+
+  const auto back = nh::ExperimentConfig::fromJson(cfg.toJson());
+  EXPECT_EQ(back.scaleName, cfg.scaleName);
+  EXPECT_EQ(back.programLengths, cfg.programLengths);
+  EXPECT_EQ(back.programsPerLength, cfg.programsPerLength);
+  EXPECT_EQ(back.examplesPerProgram, cfg.examplesPerProgram);
+  EXPECT_EQ(back.runsPerProgram, cfg.runsPerProgram);
+  EXPECT_EQ(back.searchBudget, cfg.searchBudget);
+  EXPECT_EQ(back.trainingPrograms, cfg.trainingPrograms);
+  EXPECT_EQ(back.validationPrograms, cfg.validationPrograms);
+  EXPECT_EQ(back.trainingLength, cfg.trainingLength);
+  EXPECT_EQ(back.trainConfig.epochs, cfg.trainConfig.epochs);
+  EXPECT_EQ(back.trainConfig.batchSize, cfg.trainConfig.batchSize);
+  EXPECT_FLOAT_EQ(back.trainConfig.learningRate, cfg.trainConfig.learningRate);
+  EXPECT_EQ(back.workers, cfg.workers);
+  EXPECT_EQ(back.seed, cfg.seed);
+  EXPECT_EQ(back.modelDir, cfg.modelDir);
+  EXPECT_EQ(back.synthesizer.ga.populationSize,
+            cfg.synthesizer.ga.populationSize);
+  EXPECT_EQ(back.synthesizer.ga.eliteCount, cfg.synthesizer.ga.eliteCount);
+  EXPECT_DOUBLE_EQ(back.synthesizer.ga.crossoverRate,
+                   cfg.synthesizer.ga.crossoverRate);
+  EXPECT_DOUBLE_EQ(back.synthesizer.ga.mutationRate,
+                   cfg.synthesizer.ga.mutationRate);
+  EXPECT_EQ(back.synthesizer.maxGenerations, cfg.synthesizer.maxGenerations);
+  EXPECT_EQ(back.synthesizer.nsKind, cfg.synthesizer.nsKind);
+  EXPECT_EQ(back.synthesizer.strategy, cfg.synthesizer.strategy);
+  EXPECT_EQ(back.synthesizer.islands.count, cfg.synthesizer.islands.count);
+  EXPECT_EQ(back.synthesizer.islands.migrationInterval,
+            cfg.synthesizer.islands.migrationInterval);
+  EXPECT_EQ(back.synthesizer.islands.migrationSize,
+            cfg.synthesizer.islands.migrationSize);
+  EXPECT_EQ(back.synthesizer.islands.topology,
+            cfg.synthesizer.islands.topology);
+  EXPECT_EQ(back.synthesizer.islands.threads, cfg.synthesizer.islands.threads);
+  EXPECT_EQ(back.synthesizer.islands.heterogeneous,
+            cfg.synthesizer.islands.heterogeneous);
+  ASSERT_EQ(back.synthesizer.islands.tweaks.size(), 2u);
+  const auto& ta = back.synthesizer.islands.tweaks[0];
+  EXPECT_DOUBLE_EQ(ta.mutationRateScale, 1.5);
+  EXPECT_DOUBLE_EQ(ta.crossoverRateScale, 1.0);
+  ASSERT_TRUE(ta.nsKind.has_value());
+  EXPECT_EQ(*ta.nsKind, nc::NsKind::DFS);
+  EXPECT_FALSE(ta.fpGuidedMutation.has_value());
+  const auto& tb = back.synthesizer.islands.tweaks[1];
+  EXPECT_DOUBLE_EQ(tb.crossoverRateScale, 0.75);
+  EXPECT_FALSE(tb.nsKind.has_value());
+  ASSERT_TRUE(tb.fpGuidedMutation.has_value());
+  EXPECT_FALSE(*tb.fpGuidedMutation);
+}
+
+TEST(Config, FromJsonRejectsMalformedInput) {
+  EXPECT_THROW(nh::ExperimentConfig::fromJson("not json"),
+               std::invalid_argument);
+  EXPECT_THROW(nh::ExperimentConfig::fromJson("{\"seed\": }"),
+               std::invalid_argument);
+  EXPECT_THROW(nh::ExperimentConfig::fromJson("{\"seed\": 1} trailing"),
+               std::invalid_argument);
+  EXPECT_THROW(nh::ExperimentConfig::fromJson("{\"workers\": \"six\"}"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      nh::ExperimentConfig::fromJson(
+          "{\"synthesizer\": {\"islands\": {\"topology\": \"mesh\"}}}"),
+      std::invalid_argument);
+  // Integer fields must be plain digit runs — no exponents (stoull would
+  // silently read "1e4" as 1), no signs (no wrap-around), no overflow.
+  EXPECT_THROW(nh::ExperimentConfig::fromJson("{\"search_budget\": 1e4}"),
+               std::invalid_argument);
+  EXPECT_THROW(nh::ExperimentConfig::fromJson("{\"workers\": -4}"),
+               std::invalid_argument);
+  EXPECT_THROW(nh::ExperimentConfig::fromJson(
+                   "{\"seed\": 99999999999999999999999999}"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      nh::ExperimentConfig::fromJson(
+          "{\"synthesizer\": {\"mutation_rate\": 1e999}}"),
+      std::invalid_argument);
+  // Range sanity must fail at load time, not deep inside the search.
+  EXPECT_THROW(nh::ExperimentConfig::fromJson(
+                   "{\"synthesizer\": {\"population_size\": 0}}"),
+               std::invalid_argument);
+  EXPECT_THROW(nh::ExperimentConfig::fromJson(
+                   "{\"synthesizer\": {\"islands\": {\"count\": 0}}}"),
+               std::invalid_argument);
+  EXPECT_THROW(nh::ExperimentConfig::fromJson("{\"program_lengths\": [4, 0]}"),
+               std::invalid_argument);
+}
+
+TEST(Config, JsonEscapesControlCharactersPerRfc8259) {
+  auto cfg = nh::ExperimentConfig::forScale("ci");
+  cfg.modelDir = "models\nrun\t2\x01" "end";
+  const std::string json = cfg.toJson();
+  // No raw control characters may appear inside the document.
+  for (char c : json) EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_EQ(nh::ExperimentConfig::fromJson(json).modelDir, cfg.modelDir);
+}
+
 // ---------------------------------------------------------- workload ------
 
 TEST(Workload, HalfSingletonHalfListAndDeterministic) {
@@ -103,12 +272,12 @@ nh::MethodReport syntheticReport(std::vector<double> costs,
   for (double c : costs) {
     nh::ProgramResult pr;
     pr.runs.push_back(
-        {true, static_cast<std::size_t>(c), c, 1});
+        {true, static_cast<std::size_t>(c), c, 1, {}});
     report.programs.push_back(pr);
   }
   for (std::size_t i = 0; i < unsolved; ++i) {
     nh::ProgramResult pr;
-    pr.runs.push_back({false, budget, 1.0, 1});
+    pr.runs.push_back({false, budget, 1.0, 1, {}});
     report.programs.push_back(pr);
   }
   return report;
@@ -141,9 +310,9 @@ TEST(PercentileRow, AllUnsolvedIsAllNaN) {
 
 TEST(ProgramResult, RateAndMeansOverFoundRuns) {
   nh::ProgramResult pr;
-  pr.runs.push_back({true, 100, 1.0, 10});
-  pr.runs.push_back({false, 500, 5.0, 50});
-  pr.runs.push_back({true, 300, 3.0, 30});
+  pr.runs.push_back({true, 100, 1.0, 10, {}});
+  pr.runs.push_back({false, 500, 5.0, 50, {}});
+  pr.runs.push_back({true, 300, 3.0, 30, {}});
   EXPECT_NEAR(pr.synthesisRate(), 2.0 / 3.0, 1e-9);
   EXPECT_TRUE(pr.synthesized());
   EXPECT_NEAR(pr.meanCandidatesWhenFound(), 200.0, 1e-9);
@@ -201,6 +370,54 @@ TEST(Runner, OracleMethodReceivesTarget) {
   const auto report = nh::runMethod(*oracle, workload, cfg, false);
   // Oracle fitness on length-3 targets should solve essentially everything.
   EXPECT_GE(report.synthesizedFraction(), 0.5);
+}
+
+TEST(Runner, IslandMethodsReportPerIslandStatsDeterministically) {
+  // Registry-built oracle methods running the island strategy across the
+  // parallel experiment runner: per-island stats must land in the report
+  // and, like every other deterministic field, be identical for any worker
+  // count.
+  auto cfg = nh::ExperimentConfig::forScale("ci");
+  cfg.programsPerLength = 2;
+  cfg.runsPerProgram = 2;
+  cfg.searchBudget = 4000;
+  cfg.synthesizer.ga.populationSize = 16;
+  cfg.synthesizer.maxGenerations = 200;
+  cfg.synthesizer.strategy = nc::SearchStrategy::Islands;
+  cfg.synthesizer.islands.count = 2;
+  cfg.synthesizer.islands.migrationInterval = 3;
+  const auto workload = nh::makeWorkload(cfg, 3);
+  const auto factory = nh::makeOracleFactory(cfg, nf::BalanceMetric::CF);
+
+  cfg.workers = 1;
+  const auto sequential = nh::runMethod(factory, workload, cfg, false);
+  cfg.workers = 3;
+  const auto parallel = nh::runMethod(factory, workload, cfg, false);
+
+  ASSERT_EQ(sequential.programs.size(), parallel.programs.size());
+  for (std::size_t p = 0; p < sequential.programs.size(); ++p) {
+    const auto& runsA = sequential.programs[p].runs;
+    const auto& runsB = parallel.programs[p].runs;
+    ASSERT_EQ(runsA.size(), runsB.size());
+    for (std::size_t k = 0; k < runsA.size(); ++k) {
+      EXPECT_EQ(runsA[k].found, runsB[k].found);
+      EXPECT_EQ(runsA[k].candidates, runsB[k].candidates);
+      ASSERT_EQ(runsA[k].islands.size(), 2u);
+      ASSERT_EQ(runsB[k].islands.size(), 2u);
+      std::size_t evals = 0;
+      for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(runsA[k].islands[i].evals, runsB[k].islands[i].evals);
+        EXPECT_EQ(runsA[k].islands[i].immigrants,
+                  runsB[k].islands[i].immigrants);
+        EXPECT_EQ(runsA[k].islands[i].bestFitness,
+                  runsB[k].islands[i].bestFitness);
+        evals += runsA[k].islands[i].evals;
+      }
+      EXPECT_EQ(evals, runsA[k].candidates);
+      EXPECT_EQ(runsA[k].migrationsAccepted(), runsB[k].migrationsAccepted());
+    }
+  }
+  EXPECT_GE(sequential.synthesizedFraction(), 0.5);  // oracle still solves
 }
 
 // ------------------------------------------------------------- models -----

@@ -1,0 +1,436 @@
+// Island-model search engine: K=1 must be pinned identical to the classic
+// single-population search, fixed-seed results must be bit-identical for
+// every thread count, migration must follow the elite-replaces-worst
+// (dedup'd) contract, and the global budget ledger must keep the ensemble's
+// candidate count within the single-population budget semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/budget.hpp"
+#include "core/islands.hpp"
+#include "core/search_state.hpp"
+#include "core/synthesizer.hpp"
+#include "dsl/generator.hpp"
+#include "fitness/edit.hpp"
+#include "fitness/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace nc = netsyn::core;
+namespace nd = netsyn::dsl;
+namespace nf = netsyn::fitness;
+using netsyn::util::Rng;
+
+namespace {
+
+/// A small but non-trivial test case (fixed seed, so every test sees the
+/// same spec/target).
+nd::Generator::TestCase makeCase(std::uint64_t seed, std::size_t length = 4) {
+  Rng rng(seed);
+  const nd::Generator gen;
+  auto tc = gen.randomTestCase(length, 3, false, rng);
+  EXPECT_TRUE(tc.has_value());
+  return *tc;
+}
+
+nc::SynthesizerConfig tinyConfig() {
+  nc::SynthesizerConfig cfg;
+  cfg.ga.populationSize = 16;
+  cfg.ga.eliteCount = 2;
+  cfg.maxGenerations = 120;
+  cfg.nsTopN = 2;
+  cfg.nsWindow = 6;
+  return cfg;
+}
+
+nc::IslandFitnessFactory editFactory() {
+  return [](std::size_t) {
+    return nc::IslandFitness{std::make_shared<nf::EditDistanceFitness>(),
+                             nullptr};
+  };
+}
+
+/// Every schedule-independent field of two synthesis results, including the
+/// per-island ledger accounting.
+void expectSameResult(const nc::SynthesisResult& a,
+                      const nc::SynthesisResult& b) {
+  EXPECT_EQ(a.found, b.found);
+  EXPECT_EQ(a.solution, b.solution);
+  EXPECT_EQ(a.candidatesSearched, b.candidatesSearched);
+  EXPECT_EQ(a.generations, b.generations);
+  EXPECT_EQ(a.nsInvocations, b.nsInvocations);
+  EXPECT_EQ(a.foundByNs, b.foundByNs);
+  EXPECT_EQ(a.bestFitness, b.bestFitness);  // bitwise: same op order
+  ASSERT_EQ(a.islandStats.size(), b.islandStats.size());
+  for (std::size_t i = 0; i < a.islandStats.size(); ++i) {
+    const auto& sa = a.islandStats[i];
+    const auto& sb = b.islandStats[i];
+    EXPECT_EQ(sa.island, sb.island);
+    EXPECT_EQ(sa.bestFitness, sb.bestFitness) << "island " << i;
+    EXPECT_EQ(sa.evals, sb.evals) << "island " << i;
+    EXPECT_EQ(sa.generations, sb.generations) << "island " << i;
+    EXPECT_EQ(sa.emigrants, sb.emigrants) << "island " << i;
+    EXPECT_EQ(sa.immigrants, sb.immigrants) << "island " << i;
+    EXPECT_EQ(sa.nsInvocations, sb.nsInvocations) << "island " << i;
+    EXPECT_EQ(sa.solved, sb.solved) << "island " << i;
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------- BudgetLedger -----
+
+TEST(BudgetLedger, CommitsInOrderAndTruncatesAtTheLimit) {
+  nc::BudgetLedger ledger(100);
+  EXPECT_EQ(ledger.remaining(), 100u);
+  EXPECT_EQ(ledger.commit(40), 40u);   // island 0
+  EXPECT_EQ(ledger.commit(50), 50u);   // island 1
+  EXPECT_EQ(ledger.commit(30), 10u);   // island 2: truncated
+  EXPECT_EQ(ledger.commit(5), 0u);     // island 3: nothing left
+  EXPECT_EQ(ledger.committed(), 100u);
+  EXPECT_TRUE(ledger.exhausted());
+}
+
+TEST(BudgetLedger, OpenRoundGrantsTheGlobalRemainder) {
+  nc::BudgetLedger ledger(100);
+  nc::SearchBudget local(0);
+  ledger.openRound(local);
+  EXPECT_EQ(local.limit(), 100u);
+  for (int i = 0; i < 30; ++i) EXPECT_TRUE(local.tryConsume());
+  EXPECT_EQ(ledger.commit(30), 30u);
+  ledger.openRound(local);  // used 30, may spend the remaining 70
+  EXPECT_EQ(local.limit(), 100u);
+  EXPECT_EQ(local.remaining(), 70u);
+}
+
+TEST(BudgetLedger, KEqualsOneNeverTruncates) {
+  // With one island the ledger degenerates to the plain SearchBudget: the
+  // opened limit is always the global limit and every commit is granted.
+  nc::BudgetLedger ledger(50);
+  nc::SearchBudget local(0);
+  std::size_t granted = 0;
+  while (!ledger.exhausted()) {
+    ledger.openRound(local);
+    EXPECT_EQ(local.limit(), 50u);
+    std::size_t used = 0;
+    for (int i = 0; i < 7 && local.tryConsume(); ++i) ++used;
+    granted += ledger.commit(used);
+    if (used == 0) break;
+  }
+  EXPECT_EQ(granted, 50u);
+  EXPECT_EQ(local.used(), 50u);
+}
+
+// ------------------------------------------------ K=1 pinned identical ----
+
+TEST(Islands, KOneIsExactlyTheSinglePopulationSearch) {
+  const auto tc = makeCase(77);
+  for (const std::size_t budget : {250u, 2500u}) {  // exhausted and solved
+    nc::SynthesizerConfig single = tinyConfig();
+    nc::SynthesizerConfig island = tinyConfig();
+    island.strategy = nc::SearchStrategy::Islands;
+    island.islands.count = 1;
+    island.islands.migrationInterval = 3;  // must be a no-op with K=1
+
+    // Oracle fitness solves quickly at the larger budget, so both terminal
+    // paths (budget exhaustion, solution) are exercised.
+    Rng rngA(123), rngB(123);
+    nc::Synthesizer a(single, std::make_shared<nf::OracleCF>(tc.program));
+    nc::Synthesizer b(island, std::make_shared<nf::OracleCF>(tc.program));
+    const auto ra = a.synthesize(tc.spec, tc.program.length(), budget, rngA);
+    const auto rb = b.synthesize(tc.spec, tc.program.length(), budget, rngB);
+
+    EXPECT_EQ(ra.found, rb.found) << "budget " << budget;
+    EXPECT_EQ(ra.solution, rb.solution);
+    EXPECT_EQ(ra.candidatesSearched, rb.candidatesSearched);
+    EXPECT_EQ(ra.generations, rb.generations);
+    EXPECT_EQ(ra.nsInvocations, rb.nsInvocations);
+    EXPECT_EQ(ra.foundByNs, rb.foundByNs);
+    EXPECT_EQ(ra.bestFitness, rb.bestFitness);
+    // The island run additionally reports its one island's ledger stats.
+    EXPECT_TRUE(ra.islandStats.empty());
+    ASSERT_EQ(rb.islandStats.size(), 1u);
+    EXPECT_EQ(rb.islandStats[0].evals, rb.candidatesSearched);
+    EXPECT_EQ(rb.islandStats[0].immigrants, 0u);
+  }
+}
+
+TEST(Islands, KOneConsumesTheCallersRngStream) {
+  // After a K=1 island search the caller's RNG must be in the exact state
+  // the single-population search leaves it in (no hidden forks).
+  const auto tc = makeCase(31);
+  nc::SynthesizerConfig island = tinyConfig();
+  island.strategy = nc::SearchStrategy::Islands;
+  island.islands.count = 1;
+
+  Rng rngA(9), rngB(9);
+  nc::Synthesizer single(tinyConfig(),
+                         std::make_shared<nf::EditDistanceFitness>());
+  nc::Synthesizer islands(island,
+                          std::make_shared<nf::EditDistanceFitness>());
+  (void)single.synthesize(tc.spec, tc.program.length(), 300, rngA);
+  (void)islands.synthesize(tc.spec, tc.program.length(), 300, rngB);
+  EXPECT_EQ(rngA(), rngB());
+}
+
+// ------------------------------------------- thread-count determinism -----
+
+TEST(Islands, FixedSeedResultsAreIdenticalAcrossThreadCounts) {
+  const auto tc = makeCase(5);
+  for (const std::size_t k : {2u, 4u}) {
+    nc::SynthesizerConfig cfg = tinyConfig();
+    cfg.strategy = nc::SearchStrategy::Islands;
+    cfg.islands.count = k;
+    cfg.islands.migrationInterval = 4;
+    cfg.islands.migrationSize = 2;
+
+    std::vector<nc::SynthesisResult> results;
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      cfg.islands.threads = threads;
+      Rng rng(2024);
+      nc::Synthesizer syn(cfg, std::make_shared<nf::EditDistanceFitness>(),
+                          nullptr, editFactory());
+      results.push_back(
+          syn.synthesize(tc.spec, tc.program.length(), 1500, rng));
+    }
+    expectSameResult(results[0], results[1]);
+    expectSameResult(results[0], results[2]);
+  }
+}
+
+TEST(Islands, TopologiesAndTweaksStayDeterministic) {
+  const auto tc = makeCase(11);
+  for (const nc::Topology topo :
+       {nc::Topology::Ring, nc::Topology::FullyConnected}) {
+    nc::SynthesizerConfig cfg = tinyConfig();
+    cfg.strategy = nc::SearchStrategy::Islands;
+    cfg.islands.count = 3;
+    cfg.islands.migrationInterval = 2;
+    cfg.islands.topology = topo;
+    cfg.islands.heterogeneous = true;  // per-island operator tweaks
+
+    cfg.islands.threads = 1;
+    Rng rngA(7);
+    nc::Synthesizer a(cfg, std::make_shared<nf::EditDistanceFitness>(),
+                      nullptr, editFactory());
+    const auto ra = a.synthesize(tc.spec, tc.program.length(), 900, rngA);
+
+    cfg.islands.threads = 3;
+    Rng rngB(7);
+    nc::Synthesizer b(cfg, std::make_shared<nf::EditDistanceFitness>(),
+                      nullptr, editFactory());
+    const auto rb = b.synthesize(tc.spec, tc.program.length(), 900, rngB);
+    expectSameResult(ra, rb);
+  }
+}
+
+TEST(Islands, SharedFitnessWithoutFactoryMatchesFactoryRun) {
+  // Without per-island instances the engine must fall back to sequential
+  // stepping and still produce the factory run's exact result (the fitness
+  // itself is deterministic and spec-keyed, so sharing cannot leak state
+  // across islands).
+  const auto tc = makeCase(42);
+  nc::SynthesizerConfig cfg = tinyConfig();
+  cfg.strategy = nc::SearchStrategy::Islands;
+  cfg.islands.count = 3;
+  cfg.islands.migrationInterval = 5;
+  cfg.islands.threads = 4;  // ignored without a factory
+
+  Rng rngA(1), rngB(1);
+  nc::Synthesizer shared(cfg, std::make_shared<nf::EditDistanceFitness>());
+  nc::Synthesizer isolated(cfg, std::make_shared<nf::EditDistanceFitness>(),
+                           nullptr, editFactory());
+  expectSameResult(
+      shared.synthesize(tc.spec, tc.program.length(), 800, rngA),
+      isolated.synthesize(tc.spec, tc.program.length(), 800, rngB));
+}
+
+// ------------------------------------------------------- migration --------
+
+TEST(Islands, InjectMigrantsReplacesWorstAndDedupsByHash) {
+  const auto tc = makeCase(3);
+  nc::SynthesizerConfig cfg = tinyConfig();
+  cfg.ga.populationSize = 8;
+  nc::SearchBudget budget(10000);
+  Rng rng(55);
+  nc::SearchState state(cfg, std::make_shared<nf::EditDistanceFitness>(),
+                        nullptr, tc.spec, tc.program.length(), budget, rng);
+  ASSERT_EQ(state.seed(), nc::SearchState::Status::Running);
+
+  const nc::Population before = state.population();
+  // Worst resident, as injectMigrants ranks them.
+  std::size_t worstIdx = 0;
+  for (std::size_t i = 1; i < before.size(); ++i)
+    if (before[i].fitness < before[worstIdx].fitness) worstIdx = i;
+
+  // Three migrants: one duplicate of a resident (must be skipped), two
+  // fresh programs with recognizable fitness.
+  const nd::Generator gen;
+  Rng mrng(99);
+  std::vector<nc::SearchState::Migrant> migrants;
+  migrants.push_back({before[0].program, before[0].fitness});
+  for (int i = 0; i < 2; ++i) {
+    auto prog = gen.randomProgram(tc.program.length(), tc.signature, mrng);
+    ASSERT_TRUE(prog.has_value());
+    migrants.push_back({*prog, 10.0 + i});
+  }
+  // One of the fresh migrants repeated: the batch itself must dedup.
+  migrants.push_back(migrants[1]);
+
+  const std::size_t accepted = state.injectMigrants(migrants);
+  EXPECT_EQ(accepted, 2u);
+
+  const nc::Population& after = state.population();
+  ASSERT_EQ(after.size(), before.size());
+  // The two worst residents were evicted; the migrants sit in their slots.
+  std::size_t migrantsFound = 0;
+  for (const auto& ind : after)
+    if (ind.fitness >= 10.0) ++migrantsFound;
+  EXPECT_EQ(migrantsFound, 2u);
+  EXPECT_NE(after[worstIdx].program, before[worstIdx].program);
+  // No duplicate programs were introduced.
+  for (std::size_t i = 0; i < after.size(); ++i)
+    for (std::size_t j = i + 1; j < after.size(); ++j)
+      EXPECT_FALSE(after[i].program == after[j].program &&
+                   after[i].fitness >= 10.0);
+}
+
+TEST(Islands, OversizedMigrantBatchNeverEvictsTheIslandsElites) {
+  const auto tc = makeCase(19);
+  nc::SynthesizerConfig cfg = tinyConfig();
+  cfg.ga.populationSize = 8;
+  cfg.ga.eliteCount = 2;
+  nc::SearchBudget budget(10000);
+  Rng rng(7);
+  nc::SearchState state(cfg, std::make_shared<nf::EditDistanceFitness>(),
+                        nullptr, tc.spec, tc.program.length(), budget, rng);
+  ASSERT_EQ(state.seed(), nc::SearchState::Status::Running);
+  const auto elites = state.emigrants(2);  // the island's own top-2
+
+  // A fully-connected storm: more migrants than population slots.
+  const nd::Generator gen;
+  Rng mrng(1234);
+  std::vector<nc::SearchState::Migrant> migrants;
+  for (int i = 0; i < 12; ++i) {
+    auto prog = gen.randomProgram(tc.program.length(), tc.signature, mrng);
+    ASSERT_TRUE(prog.has_value());
+    migrants.push_back({*prog, 100.0 + i});
+  }
+  const std::size_t accepted = state.injectMigrants(migrants);
+  EXPECT_LE(accepted, 6u);  // populationSize - eliteCount
+
+  // Both original elites survived the storm.
+  for (const auto& elite : elites) {
+    bool found = false;
+    for (const auto& ind : state.population())
+      if (ind.program == elite.program) found = true;
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Islands, EmigrantsAreTheTopElitesInDescendingOrder) {
+  const auto tc = makeCase(8);
+  nc::SynthesizerConfig cfg = tinyConfig();
+  nc::SearchBudget budget(10000);
+  Rng rng(21);
+  nc::SearchState state(cfg, std::make_shared<nf::EditDistanceFitness>(),
+                        nullptr, tc.spec, tc.program.length(), budget, rng);
+  ASSERT_EQ(state.seed(), nc::SearchState::Status::Running);
+
+  const auto top = state.emigrants(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_GE(top[0].fitness, top[1].fitness);
+  EXPECT_GE(top[1].fitness, top[2].fitness);
+  double maxFitness = 0.0;
+  for (const auto& ind : state.population())
+    maxFitness = std::max(maxFitness, ind.fitness);
+  EXPECT_EQ(top[0].fitness, maxFitness);
+}
+
+TEST(Islands, MigrationActuallyHappensOnTheRing) {
+  const auto tc = makeCase(13);
+  nc::SynthesizerConfig cfg = tinyConfig();
+  cfg.strategy = nc::SearchStrategy::Islands;
+  cfg.useNeighborhoodSearch = false;  // keep generations cheap
+  cfg.islands.count = 3;
+  cfg.islands.migrationInterval = 2;
+  cfg.islands.migrationSize = 2;
+  cfg.maxGenerations = 20;
+
+  Rng rng(17);
+  nc::Synthesizer syn(cfg, std::make_shared<nf::EditDistanceFitness>(),
+                      nullptr, editFactory());
+  const auto r = syn.synthesize(tc.spec, tc.program.length(), 100000, rng);
+  ASSERT_EQ(r.islandStats.size(), 3u);
+  std::size_t emigrants = 0, immigrants = 0;
+  for (const auto& s : r.islandStats) {
+    emigrants += s.emigrants;
+    immigrants += s.immigrants;
+  }
+  EXPECT_GT(emigrants, 0u);
+  EXPECT_GT(immigrants, 0u);
+  EXPECT_LE(immigrants, emigrants);  // dedup can only drop migrants
+}
+
+// ------------------------------------------------- ledger exhaustion ------
+
+TEST(Islands, RacingIslandsNeverExceedTheGlobalBudget) {
+  const auto tc = makeCase(23);
+  for (const std::size_t budget : {40u, 120u, 350u}) {
+    nc::SynthesizerConfig cfg = tinyConfig();
+    cfg.strategy = nc::SearchStrategy::Islands;
+    cfg.islands.count = 4;
+    cfg.islands.migrationInterval = 3;
+    cfg.islands.threads = 4;
+
+    Rng rng(100 + budget);
+    nc::Synthesizer syn(cfg, std::make_shared<nf::EditDistanceFitness>(),
+                        nullptr, editFactory());
+    const auto r = syn.synthesize(tc.spec, tc.program.length(), budget, rng);
+    EXPECT_LE(r.candidatesSearched, budget);
+    // The report's total is exactly the sum of the per-island grants.
+    std::size_t total = 0;
+    for (const auto& s : r.islandStats) total += s.evals;
+    EXPECT_EQ(total, r.candidatesSearched);
+    // Small budgets must be fully consumed by the racing islands (nothing
+    // is lost at the barrier).
+    if (!r.found) {
+      EXPECT_EQ(r.candidatesSearched, budget);
+    }
+  }
+}
+
+TEST(Islands, SolvedRunsChargeOnlyGrantedCandidates) {
+  // Oracle fitness drives all islands toward the target; whoever wins, the
+  // accounting must stay within the global limit and deterministic.
+  const auto tc = makeCase(61);
+  nc::SynthesizerConfig cfg = tinyConfig();
+  cfg.strategy = nc::SearchStrategy::Islands;
+  cfg.islands.count = 3;
+  cfg.islands.migrationInterval = 4;
+
+  const auto oracleFactory = [&tc](std::size_t) {
+    return nc::IslandFitness{std::make_shared<nf::OracleCF>(tc.program),
+                             nullptr};
+  };
+  Rng rngA(3), rngB(3);
+  nc::Synthesizer a(cfg, std::make_shared<nf::OracleCF>(tc.program), nullptr,
+                    oracleFactory);
+  const auto ra = a.synthesize(tc.spec, tc.program.length(), 4000, rngA);
+  cfg.islands.threads = 3;
+  nc::Synthesizer b(cfg, std::make_shared<nf::OracleCF>(tc.program), nullptr,
+                    oracleFactory);
+  const auto rb = b.synthesize(tc.spec, tc.program.length(), 4000, rngB);
+
+  expectSameResult(ra, rb);
+  EXPECT_LE(ra.candidatesSearched, 4000u);
+  if (ra.found) {
+    ASSERT_EQ(ra.islandStats.size(), 3u);
+    std::size_t solvedIslands = 0;
+    for (const auto& s : ra.islandStats) solvedIslands += s.solved ? 1 : 0;
+    EXPECT_EQ(solvedIslands, 1u);  // exactly one deterministic winner
+    EXPECT_TRUE(netsyn::dsl::satisfiesSpec(ra.solution, tc.spec));
+  }
+}

@@ -22,12 +22,12 @@ nh::MethodReport reportWith(std::vector<double> costs, std::size_t unsolved,
   report.budget = budget;
   for (double c : costs) {
     nh::ProgramResult pr;
-    pr.runs.push_back({true, static_cast<std::size_t>(c), c / 10.0, 1});
+    pr.runs.push_back({true, static_cast<std::size_t>(c), c / 10.0, 1, {}});
     report.programs.push_back(pr);
   }
   for (std::size_t i = 0; i < unsolved; ++i) {
     nh::ProgramResult pr;
-    pr.runs.push_back({false, budget, 1.0, 1});
+    pr.runs.push_back({false, budget, 1.0, 1, {}});
     report.programs.push_back(pr);
   }
   return report;
