@@ -1,0 +1,285 @@
+// synth_client — drives a synthd session end to end.
+//
+// Spawns the daemon, holds a pipe session speaking the NDJSON protocol,
+// submits N concurrent jobs (job i uses seed+i, so the jobs are distinct
+// searches), waits for all of them, and prints a per-job summary including
+// the cross-request plan-cache counters. Then resubmits job 0's config to
+// demonstrate the warm path (a result-cache hit answered without running a
+// single search).
+//
+// With --verify, every job's config is additionally run one-shot
+// (in-process, sequential, the PR 1 experiment runner) and the daemon's
+// per-(program, run) found/candidates/generations are compared
+// bit-for-bit; any divergence exits nonzero. This is the service-smoke
+// assertion CI runs: concurrent daemon jobs == one-shot runs.
+//
+// Usage:
+//   synth_client --synthd=./synthd [--jobs=2] [--method=Edit]
+//                [--daemon-workers=2] [--verify]
+//                [experiment flags: --scale --budget --runs --lengths
+//                 --programs-per-length --seed ...]
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/config.hpp"
+#include "harness/runner.hpp"
+#include "harness/workload.hpp"
+#include "service/service.hpp"
+#include "util/argparse.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace netsyn;
+
+/// A spawned synthd with a line-oriented pipe session.
+class DaemonSession {
+ public:
+  DaemonSession(const std::string& path, long workers) {
+    int toChild[2];
+    int fromChild[2];
+    if (pipe(toChild) != 0 || pipe(fromChild) != 0)
+      throw std::runtime_error("pipe() failed");
+    pid_ = fork();
+    if (pid_ < 0) throw std::runtime_error("fork() failed");
+    if (pid_ == 0) {
+      dup2(toChild[0], STDIN_FILENO);
+      dup2(fromChild[1], STDOUT_FILENO);
+      close(toChild[0]);
+      close(toChild[1]);
+      close(fromChild[0]);
+      close(fromChild[1]);
+      const std::string workersFlag = "--workers=" + std::to_string(workers);
+      execl(path.c_str(), path.c_str(), workersFlag.c_str(),
+            static_cast<char*>(nullptr));
+      std::perror("execl synthd");
+      _exit(127);
+    }
+    close(toChild[0]);
+    close(fromChild[1]);
+    writeFd_ = toChild[1];
+    reader_ = fdopen(fromChild[0], "r");
+    if (!reader_) throw std::runtime_error("fdopen() failed");
+  }
+
+  ~DaemonSession() {
+    if (writeFd_ >= 0) close(writeFd_);
+    if (reader_) fclose(reader_);
+    if (pid_ > 0) waitpid(pid_, nullptr, 0);
+  }
+
+  /// Sends one request line and returns the parsed response.
+  util::JsonValue request(const std::string& line) {
+    const std::string framed = line + "\n";
+    const char* data = framed.c_str();
+    std::size_t left = framed.size();
+    while (left > 0) {
+      const ssize_t n = write(writeFd_, data, left);
+      if (n <= 0) throw std::runtime_error("write to synthd failed");
+      data += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    char* buf = nullptr;
+    std::size_t cap = 0;
+    const ssize_t got = getline(&buf, &cap, reader_);
+    if (got < 0) {
+      free(buf);
+      throw std::runtime_error("synthd closed the session");
+    }
+    std::string response(buf, static_cast<std::size_t>(got));
+    free(buf);
+    return util::parseJson(response);
+  }
+
+ private:
+  pid_t pid_ = -1;
+  int writeFd_ = -1;
+  FILE* reader_ = nullptr;
+};
+
+std::uint64_t member(const util::JsonValue& v, const char* key) {
+  const util::JsonValue* m = v.find(key);
+  if (!m) throw std::runtime_error(std::string("response missing ") + key);
+  return util::jsonUnsigned(*m, key);
+}
+
+bool okField(const util::JsonValue& v) {
+  const util::JsonValue* ok = v.find("ok");
+  return ok && ok->kind == util::JsonValue::Kind::Bool && ok->boolean;
+}
+
+struct TaskTriple {
+  bool found;
+  std::uint64_t candidates;
+  std::uint64_t generations;
+};
+
+/// tasks array -> (program, run)-indexed triples.
+std::vector<TaskTriple> tasksOf(const util::JsonValue& response,
+                                std::size_t programs, std::size_t runs) {
+  std::vector<TaskTriple> out(programs * runs,
+                              TaskTriple{false, 0, 0});
+  const util::JsonValue* tasks = response.find("tasks");
+  if (!tasks || tasks->kind != util::JsonValue::Kind::Array)
+    throw std::runtime_error("terminal response has no tasks array");
+  for (const util::JsonValue& t : tasks->items) {
+    const std::size_t p = member(t, "program");
+    const std::size_t k = member(t, "run");
+    bool found = false;
+    util::readBool(t, "found", found);
+    if (p * runs + k < out.size())
+      out[p * runs + k] = TaskTriple{found, member(t, "candidates"),
+                                     member(t, "generations")};
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::ArgParse args(argc, argv);
+    const std::string synthdPath = args.getString("synthd", "./synthd");
+    const long jobs = args.getInt("jobs", 2);
+    const std::string method = args.getString("method", "Edit");
+    const long daemonWorkers = args.getInt("daemon-workers", 2);
+    const bool verify = args.getBool("verify", false);
+    if (jobs <= 0) throw std::invalid_argument("--jobs must be > 0");
+
+    const harness::ExperimentConfig base =
+        harness::ExperimentConfig::fromArgs(args);
+
+    DaemonSession session(synthdPath, daemonWorkers);
+    const util::JsonValue pong = session.request("{\"op\": \"ping\"}");
+    if (!okField(pong)) throw std::runtime_error("synthd ping failed");
+
+    // Submit every job before waiting on any: the daemon runs them
+    // concurrently on its shared pool.
+    std::vector<harness::ExperimentConfig> configs;
+    std::vector<std::uint64_t> ids;
+    for (long i = 0; i < jobs; ++i) {
+      harness::ExperimentConfig cfg = base;
+      cfg.seed = base.seed + static_cast<std::uint64_t>(i);
+      configs.push_back(cfg);
+      const util::JsonValue resp = session.request(
+          "{\"op\": \"submit\", \"method\": \"" + method +
+          "\", \"config\": " + cfg.toJson() + "}");
+      if (!okField(resp)) throw std::runtime_error("submit rejected");
+      ids.push_back(member(resp, "job"));
+      std::printf("[client] submitted job %llu (seed=%llu)\n",
+                  static_cast<unsigned long long>(ids.back()),
+                  static_cast<unsigned long long>(cfg.seed));
+    }
+
+    bool allMatch = true;
+    // One store for every verification run: NetSyn methods load/train their
+    // models once per (modelDir, scale), not once per job.
+    service::ModelStore verifyModels;
+    for (long i = 0; i < jobs; ++i) {
+      const util::JsonValue done = session.request(
+          "{\"op\": \"wait\", \"job\": " + std::to_string(ids[i]) + "}");
+      if (!okField(done)) throw std::runtime_error("wait failed");
+      std::string state;
+      util::readString(done, "state", state);
+      const std::size_t programs = member(done, "programs");
+      const std::size_t runs = member(done, "runs_per_program");
+      double fraction = 0.0;
+      util::readDouble(done, "synthesized_fraction", fraction);
+      std::printf(
+          "[client] job %llu %s: synthesized %.0f%% of %zu programs, "
+          "plan compiles=%llu hits=%llu\n",
+          static_cast<unsigned long long>(ids[i]), state.c_str(),
+          fraction * 100.0, programs,
+          static_cast<unsigned long long>(member(done, "plan_compiles")),
+          static_cast<unsigned long long>(member(done, "plan_hits")));
+      if (state != "done") {
+        allMatch = false;
+        continue;
+      }
+
+      if (verify) {
+        // One-shot comparison: same config, sequential in-process run.
+        const std::vector<TaskTriple> daemonTasks =
+            tasksOf(done, programs, runs);
+        const baselines::MethodPtr oneShot =
+            service::makeOneShotMethod(method, configs[i], verifyModels);
+        const auto workload = harness::makeFullWorkload(configs[i]);
+        const harness::MethodReport report =
+            harness::runMethod(*oneShot, workload, configs[i],
+                               /*verbose=*/false);
+        if (daemonTasks.size() != report.programs.size() * runs) {
+          std::printf(
+              "[client] MISMATCH job %llu: daemon reported %zu x %zu "
+              "tasks, one-shot ran %zu programs\n",
+              static_cast<unsigned long long>(ids[i]), programs, runs,
+              report.programs.size());
+          allMatch = false;
+          continue;
+        }
+        for (std::size_t p = 0; p < report.programs.size(); ++p) {
+          for (std::size_t k = 0; k < report.programs[p].runs.size(); ++k) {
+            const harness::RunRecord& r = report.programs[p].runs[k];
+            const TaskTriple& d = daemonTasks[p * runs + k];
+            if (r.found != d.found || r.candidates != d.candidates ||
+                r.generations != d.generations) {
+              std::printf(
+                  "[client] MISMATCH job %llu p=%zu k=%zu: daemon "
+                  "(found=%d cand=%llu gen=%llu) vs one-shot (found=%d "
+                  "cand=%zu gen=%zu)\n",
+                  static_cast<unsigned long long>(ids[i]), p, k, d.found,
+                  static_cast<unsigned long long>(d.candidates),
+                  static_cast<unsigned long long>(d.generations), r.found,
+                  r.candidates, r.generations);
+              allMatch = false;
+            }
+          }
+        }
+        if (allMatch)
+          std::printf("[client] job %llu verified against one-shot run\n",
+                      static_cast<unsigned long long>(ids[i]));
+      }
+    }
+
+    // Warm path: resubmitting job 0's exact config is answered from the
+    // completed-job memo.
+    const util::JsonValue warm = session.request(
+        "{\"op\": \"submit\", \"method\": \"" + method +
+        "\", \"config\": " + configs[0].toJson() + "}");
+    bool fromCache = false;
+    util::readBool(warm, "from_cache", fromCache);
+    std::printf("[client] identical resubmission: from_cache=%s\n",
+                fromCache ? "true" : "false");
+
+    const util::JsonValue stats = session.request("{\"op\": \"stats\"}");
+    std::printf(
+        "[client] session: %llu jobs, %llu tasks, %llu result-cache hits, "
+        "plan compiles=%llu hits=%llu\n",
+        static_cast<unsigned long long>(member(stats, "jobs_submitted")),
+        static_cast<unsigned long long>(member(stats, "tasks_executed")),
+        static_cast<unsigned long long>(member(stats, "result_cache_hits")),
+        static_cast<unsigned long long>(member(stats, "plan_compiles")),
+        static_cast<unsigned long long>(member(stats, "plan_hits")));
+
+    session.request("{\"op\": \"shutdown\"}");
+
+    if (!allMatch) {
+      std::printf("[client] FAILED: daemon results diverge from one-shot\n");
+      return 1;
+    }
+    if (!fromCache) {
+      std::printf("[client] FAILED: resubmission missed the result cache\n");
+      return 1;
+    }
+    std::printf("[client] OK\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[client] fatal: %s\n", e.what());
+    return 1;
+  }
+}

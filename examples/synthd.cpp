@@ -1,0 +1,49 @@
+// synthd — the long-lived synthesis daemon.
+//
+// Serves the line-delimited JSON protocol (service/protocol.hpp) on
+// stdin/stdout, so any parent process — synth_client, a CI step, a shell
+// pipeline — can hold a session over a pipe pair. Jobs submitted on the
+// session run concurrently on one shared worker pool with cross-request
+// plan/model/result caches (service/service.hpp); responses come back one
+// JSON object per line, flushed.
+//
+// Usage:
+//   synthd [--workers=N] [--no-result-cache]
+//
+//   --workers=N          worker threads (0 = one per hardware thread;
+//                        default 2)
+//   --no-result-cache    disable the completed-job memo (plan/model caches
+//                        stay on)
+//
+// Exits when stdin closes or a {"op": "shutdown"} request arrives.
+// Diagnostics go to stderr; stdout carries protocol responses only.
+#include <cstdio>
+#include <iostream>
+
+#include "service/protocol.hpp"
+#include "service/service.hpp"
+#include "util/argparse.hpp"
+
+int main(int argc, char** argv) {
+  using namespace netsyn;
+  try {
+    const util::ArgParse args(argc, argv);
+    service::ServiceConfig cfg;
+    const long workers = args.getInt("workers", 2);
+    if (workers < 0) throw std::invalid_argument("--workers must be >= 0");
+    cfg.workers = static_cast<std::size_t>(workers);
+    cfg.resultCache = !args.getBool("no-result-cache", false);
+
+    service::SynthService svc(cfg);
+    std::fprintf(stderr,
+                 "[synthd] serving NDJSON on stdin/stdout (workers=%ld, "
+                 "result-cache=%s)\n",
+                 workers, cfg.resultCache ? "on" : "off");
+    service::serveLines(svc, std::cin, std::cout);
+    std::fprintf(stderr, "[synthd] session closed\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[synthd] fatal: %s\n", e.what());
+    return 1;
+  }
+}

@@ -69,6 +69,18 @@ class SearchBudget {
  public:
   explicit SearchBudget(std::size_t limit) : limit_(limit) {}
 
+  /// Rebuilds a budget mid-flight: `used` candidates already charged
+  /// against `limit`. This is the checkpoint/resume handoff — the synthesis
+  /// service snapshots a paused search's budget as a plain used-count and
+  /// reconstructs it here, so the resumed search charges its (limit - used)
+  /// remainder exactly where the original would have.
+  static SearchBudget resumed(std::size_t limit, std::size_t used) {
+    assert(used <= limit);
+    SearchBudget b(limit);
+    b.used_ = used < limit ? used : limit;
+    return b;
+  }
+
   std::size_t limit() const { return limit_; }
   std::size_t used() const { return used_; }
   std::size_t remaining() const { return limit_ - used_; }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cassert>
+#include <memory>
 #include <optional>
 #include <unordered_set>
 #include <utility>
@@ -34,12 +35,23 @@ class SpecEvaluator {
   /// `dedup` charges each distinct candidate at most once (default; matches
   /// the paper's "candidate programs searched" metric). Disable to charge
   /// every examination.
+  ///
+  /// `sharedExec` (optional, borrowed, must outlive the evaluator) replaces
+  /// the evaluator's private execution engine so its plan cache persists
+  /// beyond this evaluator's lifetime — the synthesis service hands every
+  /// search on a worker the worker's long-lived Executor, so repeat/similar
+  /// specs hit plans compiled by earlier jobs. Purely a perf channel: plans
+  /// are deterministic functions of (program, signature), so results are
+  /// identical with or without sharing. The executor is single-threaded;
+  /// share only within one worker thread.
   SpecEvaluator(const dsl::Spec& spec, SearchBudget& budget,
-                bool dedup = true)
+                bool dedup = true, dsl::Executor* sharedExec = nullptr)
       : spec_(spec),
         budget_(budget),
         dedup_(dedup),
-        signature_(spec.signature()) {
+        signature_(spec.signature()),
+        ownedExec_(sharedExec ? nullptr : std::make_unique<dsl::Executor>()),
+        exec_(sharedExec ? sharedExec : ownedExec_.get()) {
     inputSets_.reserve(spec_.size());
     for (const auto& ex : spec_.examples) {
       // Spec contract: all examples share one input signature (spec.hpp).
@@ -68,7 +80,7 @@ class SpecEvaluator {
     ev.satisfied = true;
     // One plan lookup per candidate (every example shares the signature);
     // all examples execute statement-major through the compiled plan.
-    const dsl::ExecPlan& plan = exec_.planFor(candidate, signature_);
+    const dsl::ExecPlan& plan = exec_->planFor(candidate, signature_);
     dsl::executePlanMulti(plan, inputSets_.data(), spec_.size(),
                           ev.runs.data());
     for (std::size_t j = 0; j < spec_.size(); ++j) {
@@ -125,7 +137,7 @@ class SpecEvaluator {
     } else if (!budget_.tryConsume()) {
       return std::nullopt;
     }
-    const dsl::ExecPlan& plan = exec_.planFor(candidate, signature_);
+    const dsl::ExecPlan& plan = exec_->planFor(candidate, signature_);
     for (const auto& ex : spec_.examples) {
       dsl::executePlan(plan, ex.inputs, checkScratch_);
       if (!(checkScratch_.output() == ex.output)) return false;
@@ -136,7 +148,19 @@ class SpecEvaluator {
   /// The execution engine (plan cache + pooled result storage). Exposed so
   /// callers that execute candidates outside the budget (the DFS
   /// neighborhood scorer) share the same plan cache.
-  dsl::Executor& executor() { return exec_; }
+  dsl::Executor& executor() { return *exec_; }
+
+  /// The dedup fingerprints charged so far. Part of a search checkpoint:
+  /// without them, a resumed search would re-charge candidates the
+  /// original run already examined and drift off the uninterrupted budget
+  /// trajectory.
+  const std::unordered_set<std::uint64_t>& seenKeys() const { return seen_; }
+
+  /// Restores a checkpointed dedup set (checkpoint/resume counterpart of
+  /// seenKeys()).
+  void restoreSeenKeys(std::unordered_set<std::uint64_t> seen) {
+    seen_ = std::move(seen);
+  }
 
  private:
   /// 64-bit dedup fingerprint. Replaces the per-examination std::string
@@ -173,7 +197,8 @@ class SpecEvaluator {
   dsl::InputSignature signature_;  ///< shared by all examples
   std::vector<const std::vector<dsl::Value>*> inputSets_;  ///< per example
   std::unordered_set<std::uint64_t> seen_;
-  dsl::Executor exec_;
+  std::unique_ptr<dsl::Executor> ownedExec_;  ///< null when sharing
+  dsl::Executor* exec_;                       ///< owned or borrowed engine
   std::vector<Evaluation> pool_;
   dsl::ExecResult checkScratch_;  ///< reused by check()
 };

@@ -23,7 +23,8 @@ SearchState::SearchState(SynthesizerConfig config,
                          fitness::FitnessPtr fitness,
                          std::shared_ptr<fitness::ProbMapProvider> probMap,
                          const dsl::Spec& spec, std::size_t targetLength,
-                         SearchBudget& budget, util::Rng& rng)
+                         SearchBudget& budget, util::Rng& rng,
+                         dsl::Executor* sharedExec)
     : config_(std::move(config)),
       fitness_(std::move(fitness)),
       probMap_(std::move(probMap)),
@@ -31,13 +32,45 @@ SearchState::SearchState(SynthesizerConfig config,
       targetLength_(targetLength),
       budget_(budget),
       rng_(rng),
-      evaluator_(spec, budget),
+      evaluator_(spec, budget, /*dedup=*/true, sharedExec),
       sig_(spec.signature()),
       gen_(config_.generator),
       window_(config_.nsWindow) {
   if (!fitness_) throw std::invalid_argument("fitness function required");
   if (config_.fpGuidedMutation && !probMap_)
     throw std::invalid_argument("fpGuidedMutation requires a ProbMapProvider");
+}
+
+SearchState::SearchState(const Snapshot& snap, fitness::FitnessPtr fitness,
+                         std::shared_ptr<fitness::ProbMapProvider> probMap,
+                         const dsl::Spec& spec, SearchBudget& budget,
+                         util::Rng& rng, dsl::Executor* sharedExec)
+    : SearchState(snap.config, std::move(fitness), std::move(probMap), spec,
+                  snap.targetLength, budget, rng, sharedExec) {
+  if (budget.limit() != snap.budgetLimit || budget.used() != snap.budgetUsed)
+    throw std::invalid_argument(
+        "resume budget must be SearchBudget::resumed(snapshot limit, used)");
+  pop_ = snap.pop;
+  result_ = snap.result;
+  cache_ = snap.cache;
+  evaluator_.restoreSeenKeys(snap.seen);
+  window_ = snap.window;
+  secondsOffset_ = snap.priorSeconds;
+}
+
+SearchState::Snapshot SearchState::snapshot() const {
+  Snapshot snap;
+  snap.config = config_;
+  snap.targetLength = targetLength_;
+  snap.pop = pop_;
+  snap.result = result_;
+  snap.cache = cache_;
+  snap.seen = evaluator_.seenKeys();
+  snap.window = window_;
+  snap.budgetLimit = budget_.limit();
+  snap.budgetUsed = budget_.used();
+  snap.priorSeconds = secondsOffset_ + timer_.seconds();
+  return snap;
 }
 
 // Grades a whole population. The distinct uncached genes are charged +
@@ -321,7 +354,7 @@ std::size_t SearchState::injectMigrants(const std::vector<Migrant>& migrants) {
 
 SynthesisResult SearchState::finish() {
   result_.candidatesSearched = budget_.used();
-  result_.seconds = timer_.seconds();
+  result_.seconds = secondsOffset_ + timer_.seconds();
   return result_;
 }
 

@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/budget.hpp"
@@ -42,10 +43,48 @@ class SearchState {
 
   /// `spec`, `budget`, and `rng` are borrowed and must outlive the state.
   /// `probMap` is required only when config.fpGuidedMutation is set.
+  /// `sharedExec` (optional, borrowed) is handed through to the evaluator so
+  /// the compiled-plan cache outlives this search — the synthesis service's
+  /// cross-request warm path. Results are identical with or without it.
   SearchState(SynthesizerConfig config, fitness::FitnessPtr fitness,
               std::shared_ptr<fitness::ProbMapProvider> probMap,
               const dsl::Spec& spec, std::size_t targetLength,
-              SearchBudget& budget, util::Rng& rng);
+              SearchBudget& budget, util::Rng& rng,
+              dsl::Executor* sharedExec = nullptr);
+
+  /// A paused search, frozen between generations: everything a fresh
+  /// SearchState needs to continue the exact trajectory — population,
+  /// accumulated result, fitness cache, the evaluator's charged-candidate
+  /// dedup set, the saturation window, and the budget's usage. The borrowed
+  /// collaborators are the caller's to checkpoint alongside: copy the Rng by
+  /// value and rebuild the budget with SearchBudget::resumed(limit, used).
+  /// A resumed run finishes with byte-identical outcome (winner, candidate
+  /// counts, generations) to the uninterrupted run; tests pin this.
+  struct Snapshot {
+    SynthesizerConfig config;
+    std::size_t targetLength = 0;
+    Population pop;
+    SynthesisResult result;
+    std::unordered_map<std::string, double> cache;
+    std::unordered_set<std::uint64_t> seen;
+    util::SlidingWindowMean window{1};
+    std::size_t budgetLimit = 0;
+    std::size_t budgetUsed = 0;
+    double priorSeconds = 0.0;  ///< wall clock accumulated before the pause
+  };
+
+  /// Freezes the current state. Valid only at a generation boundary while
+  /// the last status was Running (i.e. after seed(), between step() calls).
+  Snapshot snapshot() const;
+
+  /// Rebuilds a search from a Snapshot. `budget` must be
+  /// SearchBudget::resumed(snap.budgetLimit, snap.budgetUsed) (or
+  /// equivalent) and `rng` the checkpointed generator copy. seed() must NOT
+  /// be called on a restored state — continue with step().
+  SearchState(const Snapshot& snap, fitness::FitnessPtr fitness,
+              std::shared_ptr<fitness::ProbMapProvider> probMap,
+              const dsl::Spec& spec, SearchBudget& budget, util::Rng& rng,
+              dsl::Executor* sharedExec = nullptr);
 
   /// Generates and grades the initial population Phi_0. Call exactly once,
   /// before the first step().
@@ -90,8 +129,9 @@ class SearchState {
   /// finish().
   const SynthesisResult& result() const { return result_; }
 
-  /// Stamps candidatesSearched (local budget) and wall-clock seconds and
-  /// returns the result.
+  /// Stamps candidatesSearched (local budget) and wall-clock seconds
+  /// (including time accumulated before a checkpoint) and returns the
+  /// result.
   SynthesisResult finish();
 
  private:
@@ -121,6 +161,7 @@ class SearchState {
   std::vector<double> scores_;  ///< per-call scratch for gradePopulation
   util::SlidingWindowMean window_;
   util::Timer timer_;
+  double secondsOffset_ = 0.0;  ///< wall clock carried over a resume
   SynthesisResult result_;
   bool solved_ = false;
   std::size_t solvedAtUsed_ = 0;

@@ -229,6 +229,7 @@ std::uint64_t Executor::keyOf(const Program& program,
 const ExecPlan& Executor::planForKey(std::uint64_t key,
                                      const Program& program,
                                      const InputSignature& sig) {
+  ++lookups_;
   Slot& slot = slots_[key & (kSlots - 1)];
   // Exact hit test: the fingerprint routes to the slot, the stored function
   // sequence + signature confirm identity (collisions recompile, nothing

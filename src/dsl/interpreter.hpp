@@ -153,6 +153,10 @@ class Executor {
 
   std::size_t planCacheSize() const { return occupied_; }
   std::size_t planCompiles() const { return compiles_; }
+  /// Total planFor/runInto plan lookups. lookups - compiles = cache hits;
+  /// the synthesis service diffs these around each job to report how warm
+  /// the cross-request plan cache ran.
+  std::size_t planLookups() const { return lookups_; }
   void clearPlanCache();
 
  private:
@@ -180,6 +184,7 @@ class Executor {
   std::vector<Slot> slots_ = std::vector<Slot>(kSlots);
   ExecResult scratch_;  ///< backing store for evalInto
   std::size_t compiles_ = 0;
+  std::size_t lookups_ = 0;
   std::size_t occupied_ = 0;
   InputSignature sigScratch_;  ///< reused by runInto/evalInto cache misses
 };

@@ -1,11 +1,21 @@
 #include "harness/config.hpp"
 
-#include <cctype>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/json.hpp"
+
 namespace netsyn::harness {
 namespace {
+
+using util::JsonValue;
+using util::escapeJson;
+using util::jsonUnsigned;
+using util::readBool;
+using util::readDouble;
+using util::readSize;
+using util::readString;
+using util::readU64;
 
 ExperimentConfig ciScale() {
   ExperimentConfig cfg;
@@ -93,274 +103,10 @@ const char* topologyName(core::Topology t) {
   return t == core::Topology::Ring ? "ring" : "full";
 }
 
-// ---- minimal JSON (only what ExperimentConfig round-trips needs) -----------
-//
-// A strict recursive-descent parser for the subset toJson() emits: objects,
-// arrays, double-quoted strings with backslash escapes, integers/doubles,
-// true/false. Unknown keys are ignored by the loaders so configs stay
+// The JSON parser and typed readers live in util/json.{hpp,cpp} — shared
+// with the synthesis-service protocol and the bench regression gate.
+// Unknown keys are ignored by the loaders so configs stay
 // forward-compatible across PRs.
-
-struct JsonValue {
-  enum class Kind { Null, Bool, Number, String, Array, Object };
-  Kind kind = Kind::Null;
-  bool boolean = false;
-  std::string raw;  ///< number token, full precision
-  std::string str;
-  std::vector<JsonValue> items;
-  std::vector<std::pair<std::string, JsonValue>> members;
-
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : members)
-      if (k == key) return &v;
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = parseValue();
-    skipWs();
-    if (pos_ != text_.size())
-      fail("trailing characters after JSON document");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::invalid_argument("config JSON: " + what + " at offset " +
-                                std::to_string(pos_));
-  }
-
-  void skipWs() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-
-  char peek() {
-    skipWs();
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  JsonValue parseValue() {
-    const char c = peek();
-    if (c == '{') return parseObject();
-    if (c == '[') return parseArray();
-    if (c == '"') return parseString();
-    if (c == 't' || c == 'f') return parseBool();
-    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
-      return parseNumber();
-    fail("unexpected character");
-  }
-
-  JsonValue parseObject() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::Object;
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      JsonValue key = parseString();
-      expect(':');
-      v.members.emplace_back(std::move(key.str), parseValue());
-      const char c = peek();
-      ++pos_;
-      if (c == '}') return v;
-      if (c != ',') fail("expected ',' or '}' in object");
-    }
-  }
-
-  JsonValue parseArray() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::Array;
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.items.push_back(parseValue());
-      const char c = peek();
-      ++pos_;
-      if (c == ']') return v;
-      if (c != ',') fail("expected ',' or ']' in array");
-    }
-  }
-
-  JsonValue parseString() {
-    expect('"');
-    JsonValue v;
-    v.kind = JsonValue::Kind::String;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return v;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("unterminated escape");
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': v.str.push_back('"'); break;
-          case '\\': v.str.push_back('\\'); break;
-          case '/': v.str.push_back('/'); break;
-          case 'n': v.str.push_back('\n'); break;
-          case 't': v.str.push_back('\t'); break;
-          case 'u': {
-            // \u00XX only — the subset the writer emits for C0 controls.
-            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f')
-                code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F')
-                code |= static_cast<unsigned>(h - 'A' + 10);
-              else fail("malformed \\u escape");
-            }
-            if (code > 0xFF) fail("unsupported \\u escape (> \\u00ff)");
-            v.str.push_back(static_cast<char>(code));
-            break;
-          }
-          default: fail("unsupported string escape");
-        }
-      } else {
-        v.str.push_back(c);
-      }
-    }
-  }
-
-  JsonValue parseBool() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::Bool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      v.boolean = true;
-      pos_ += 4;
-    } else if (text_.compare(pos_, 5, "false") == 0) {
-      v.boolean = false;
-      pos_ += 5;
-    } else {
-      fail("expected true/false");
-    }
-    return v;
-  }
-
-  JsonValue parseNumber() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::Number;
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-'))
-      ++pos_;
-    v.raw = text_.substr(start, pos_ - start);
-    if (v.raw.empty() || v.raw == "-") fail("malformed number");
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-std::string escapeJson(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    const auto u = static_cast<unsigned char>(c);
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (u < 0x20) {  // remaining C0 controls: RFC 8259 forbids them raw
-          static const char* hex = "0123456789abcdef";
-          out += "\\u00";
-          out.push_back(hex[u >> 4]);
-          out.push_back(hex[u & 0xF]);
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
-
-// Typed readers: absent keys keep the preset default; wrong types, signs,
-// exponents, and out-of-range values are loud (std::invalid_argument) —
-// stoull alone would silently truncate "1e4" to 1 or wrap "-4".
-std::uint64_t asUnsigned(const JsonValue& v, const char* key) {
-  if (v.kind != JsonValue::Kind::Number ||
-      v.raw.find_first_not_of("0123456789") != std::string::npos)
-    throw std::invalid_argument(std::string("config JSON: ") + key +
-                                " must be a non-negative integer");
-  try {
-    return std::stoull(v.raw);
-  } catch (const std::out_of_range&) {
-    throw std::invalid_argument(std::string("config JSON: ") + key +
-                                " is out of range");
-  }
-}
-
-void readSize(const JsonValue& obj, const char* key, std::size_t& out) {
-  if (const JsonValue* v = obj.find(key))
-    out = static_cast<std::size_t>(asUnsigned(*v, key));
-}
-
-void readU64(const JsonValue& obj, const char* key, std::uint64_t& out) {
-  if (const JsonValue* v = obj.find(key)) out = asUnsigned(*v, key);
-}
-
-void readDouble(const JsonValue& obj, const char* key, double& out) {
-  if (const JsonValue* v = obj.find(key)) {
-    if (v->kind != JsonValue::Kind::Number)
-      throw std::invalid_argument(std::string("config JSON: ") + key +
-                                  " must be a number");
-    std::size_t consumed = 0;
-    double parsed = 0.0;
-    try {
-      parsed = std::stod(v->raw, &consumed);
-    } catch (const std::exception&) {
-      throw std::invalid_argument(std::string("config JSON: ") + key +
-                                  " is not a valid number");
-    }
-    if (consumed != v->raw.size())
-      throw std::invalid_argument(std::string("config JSON: ") + key +
-                                  " is not a valid number");
-    out = parsed;
-  }
-}
-
-void readBool(const JsonValue& obj, const char* key, bool& out) {
-  if (const JsonValue* v = obj.find(key)) {
-    if (v->kind != JsonValue::Kind::Bool)
-      throw std::invalid_argument(std::string("config JSON: ") + key +
-                                  " must be a bool");
-    out = v->boolean;
-  }
-}
-
-void readString(const JsonValue& obj, const char* key, std::string& out) {
-  if (const JsonValue* v = obj.find(key)) {
-    if (v->kind != JsonValue::Kind::String)
-      throw std::invalid_argument(std::string("config JSON: ") + key +
-                                  " must be a string");
-    out = v->str;
-  }
-}
 
 }  // namespace
 
@@ -496,7 +242,10 @@ std::string ExperimentConfig::toJson() const {
 }
 
 ExperimentConfig ExperimentConfig::fromJson(const std::string& json) {
-  const JsonValue root = JsonParser(json).parse();
+  return fromJsonValue(util::parseJson(json));
+}
+
+ExperimentConfig ExperimentConfig::fromJsonValue(const util::JsonValue& root) {
   if (root.kind != JsonValue::Kind::Object)
     throw std::invalid_argument("config JSON: top level must be an object");
 
@@ -511,7 +260,7 @@ ExperimentConfig ExperimentConfig::fromJson(const std::string& json) {
     cfg.programLengths.clear();
     for (const JsonValue& v : lengths->items)
       cfg.programLengths.push_back(
-          static_cast<std::size_t>(asUnsigned(v, "program_lengths")));
+          static_cast<std::size_t>(jsonUnsigned(v, "program_lengths")));
   }
   readSize(root, "programs_per_length", cfg.programsPerLength);
   readSize(root, "examples_per_program", cfg.examplesPerProgram);

@@ -16,6 +16,7 @@
 #include "fitness/model.hpp"
 #include "fitness/trainer.hpp"
 #include "util/argparse.hpp"
+#include "util/json.hpp"
 
 namespace netsyn::harness {
 
@@ -71,6 +72,11 @@ struct ExperimentConfig {
   /// serialized field — is pinned by tests. Throws std::invalid_argument
   /// on malformed input.
   static ExperimentConfig fromJson(const std::string& json);
+
+  /// fromJson() on an already-parsed document — the synthesis service's
+  /// protocol handler carries configs as sub-objects of a request and loads
+  /// them without re-serializing.
+  static ExperimentConfig fromJsonValue(const util::JsonValue& root);
 };
 
 }  // namespace netsyn::harness

@@ -34,14 +34,27 @@ core::IslandFitnessFactory netSynIslandFactory(const TrainedModels& models,
 
 }  // namespace
 
-baselines::MethodPtr makeNetSyn(const ExperimentConfig& config,
-                                const TrainedModels& models,
-                                NetSynVariant variant) {
-  // §5.1: each NetSyn variant uses NS_BFS and FP-based mutation.
+core::SynthesizerConfig methodSearchConfig(const ExperimentConfig& config,
+                                           const std::string& method) {
   core::SynthesizerConfig sc = config.synthesizer;
   sc.useNeighborhoodSearch = true;
   sc.nsKind = core::NsKind::BFS;
-  sc.fpGuidedMutation = true;
+  // §5.1: the NetSyn variants mutate FP-guided; Edit and the Oracles keep
+  // uniform mutation (they carry no probability map).
+  sc.fpGuidedMutation = method.rfind("NetSyn_", 0) == 0;
+  if (method != "Edit" && method != "Oracle_CF" && method != "Oracle_LCS" &&
+      method != "NetSyn_CF" && method != "NetSyn_LCS" && method != "NetSyn_FP")
+    throw std::invalid_argument("unknown GA method '" + method + "'");
+  return sc;
+}
+
+baselines::MethodPtr makeNetSyn(const ExperimentConfig& config,
+                                const TrainedModels& models,
+                                NetSynVariant variant) {
+  const char* name = variant == NetSynVariant::CF    ? "NetSyn_CF"
+                     : variant == NetSynVariant::LCS ? "NetSyn_LCS"
+                                                     : "NetSyn_FP";
+  const core::SynthesizerConfig sc = methodSearchConfig(config, name);
 
   auto fpProvider = std::make_shared<fitness::ProbMapFitness>(models.fp);
   const auto islandFactory = netSynIslandFactory(models, variant);
@@ -64,10 +77,8 @@ baselines::MethodPtr makeNetSyn(const ExperimentConfig& config,
 }
 
 baselines::MethodPtr makeEdit(const ExperimentConfig& config) {
-  core::SynthesizerConfig sc = config.synthesizer;
-  sc.useNeighborhoodSearch = true;  // same framework, hand-crafted fitness
-  sc.nsKind = core::NsKind::BFS;
-  sc.fpGuidedMutation = false;
+  // Same framework as NetSyn, hand-crafted fitness.
+  const core::SynthesizerConfig sc = methodSearchConfig(config, "Edit");
   return std::make_shared<baselines::SynthesizerMethod>(
       "Edit", sc, std::make_shared<fitness::EditDistanceFitness>(), nullptr,
       [](std::size_t) {
@@ -80,10 +91,9 @@ baselines::MethodPtr makeEdit(const ExperimentConfig& config) {
 
 baselines::MethodPtr makeOracle(const ExperimentConfig& config,
                                 fitness::BalanceMetric metric) {
-  core::SynthesizerConfig sc = config.synthesizer;
-  sc.useNeighborhoodSearch = true;
-  sc.nsKind = core::NsKind::BFS;
-  sc.fpGuidedMutation = false;
+  const core::SynthesizerConfig sc = methodSearchConfig(
+      config,
+      metric == fitness::BalanceMetric::CF ? "Oracle_CF" : "Oracle_LCS");
   return std::make_shared<OracleMethod>(sc, metric);
 }
 

@@ -72,6 +72,17 @@ class OracleMethod final : public baselines::Method, public TargetAware {
 /// NetSyn variant selector for makeNetSyn().
 enum class NetSynVariant { CF, LCS, FP };
 
+/// The SynthesizerConfig a registry-built GA method actually searches with:
+/// config.synthesizer plus the per-method operator settings of §5.1 — the
+/// NetSyn variants enable NS_BFS + Mutation_FP, Edit and the Oracles enable
+/// NS_BFS with uniform mutation. `method` accepts the registry names
+/// ("NetSyn_CF", "NetSyn_LCS", "NetSyn_FP", "Edit", "Oracle_CF",
+/// "Oracle_LCS"). makeNetSyn/makeEdit/makeOracle and the synthesis
+/// service's per-job search instantiation all derive their configuration
+/// here, which is what keeps daemon jobs bit-identical to one-shot runs.
+core::SynthesizerConfig methodSearchConfig(const ExperimentConfig& config,
+                                           const std::string& method);
+
 /// The §5.1 NetSyn configuration for one learned fitness function
 /// (NS_BFS + Mutation_FP enabled; pass overrides for ablations).
 baselines::MethodPtr makeNetSyn(const ExperimentConfig& config,

@@ -8,15 +8,14 @@
 #include <thread>
 
 namespace netsyn::harness {
-namespace {
 
-/// Deterministic per-(seed, program, run) RNG: independent of scheduling, so
-/// sequential and parallel runs search identically.
-util::Rng runRng(const ExperimentConfig& config, std::size_t p,
-                 std::size_t k) {
+util::Rng runSeedRng(const ExperimentConfig& config, std::size_t p,
+                     std::size_t k) {
   return util::Rng(config.seed ^ (p * 0x9e3779b97f4a7c15ULL) ^
                    (k * 0xbf58476d1ce4e5b9ULL) ^ 0x1234);
 }
+
+namespace {
 
 /// Skeleton report with every (program, run) slot preallocated, so workers
 /// can write results by index and aggregation order never depends on
@@ -126,7 +125,7 @@ MethodReport runMethod(baselines::Method& method,
     const TestProgram& tp = workload[p];
     if (targetAware) targetAware->setTarget(tp.target);
     for (std::size_t k = 0; k < config.runsPerProgram; ++k) {
-      util::Rng rng = runRng(config, p, k);
+      util::Rng rng = runSeedRng(config, p, k);
       const auto result = method.synthesize(tp.spec, tp.length,
                                             config.searchBudget, rng);
       report.programs[p].runs[k] =
@@ -194,7 +193,7 @@ MethodReport runMethod(const baselines::MethodFactory& makeMethod,
         const std::size_t k = task % runsPer;
         const TestProgram& tp = workload[p];
         if (targetAware) targetAware->setTarget(tp.target);
-        util::Rng rng = runRng(config, p, k);
+        util::Rng rng = runSeedRng(config, p, k);
         const auto result =
             method->synthesize(tp.spec, tp.length, config.searchBudget, rng);
         report.programs[p].runs[k] =

@@ -63,6 +63,14 @@ struct MethodReport {
   double meanGenerations() const;
 };
 
+/// The deterministic RNG for run `k` of workload program `p`: derived from
+/// (config.seed, p, k) only, never from scheduling. Every executor of
+/// (program, run) tasks — the sequential runner, the parallel runner, and
+/// the synthesis service's shared worker pool — seeds through this one
+/// function, which is what makes their reports bit-identical.
+util::Rng runSeedRng(const ExperimentConfig& config, std::size_t p,
+                     std::size_t k);
+
 /// Runs `method` over `workload` with config.runsPerProgram repetitions,
 /// sequentially (a single method instance is not thread-safe, so this
 /// overload ignores config.workers). Deterministic: run k of program p uses

@@ -1,0 +1,176 @@
+#include "service/protocol.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace netsyn::service {
+namespace {
+
+std::string errorJson(const std::string& op, const std::string& message) {
+  std::ostringstream os;
+  os << "{\"ok\": false";
+  if (!op.empty()) os << ", \"op\": \"" << util::escapeJson(op) << "\"";
+  os << ", \"error\": \"" << util::escapeJson(message) << "\"}";
+  return os.str();
+}
+
+/// Per-program synthesis aggregates over the completed tasks (matches
+/// MethodReport::synthesizedFraction / meanSynthesisRate on a Done job).
+void synthesisAggregates(const JobStatus& st, double& synthesizedFraction,
+                         double& meanRate) {
+  synthesizedFraction = 0.0;
+  meanRate = 0.0;
+  if (st.programs == 0 || st.runsPerProgram == 0) return;
+  std::vector<std::size_t> foundPerProgram(st.programs, 0);
+  for (const TaskRecord& t : st.tasks)
+    if (t.found && t.program < st.programs) ++foundPerProgram[t.program];
+  std::size_t synthesized = 0;
+  double rateSum = 0.0;
+  for (std::size_t f : foundPerProgram) {
+    synthesized += f > 0 ? 1 : 0;
+    rateSum += static_cast<double>(f) / static_cast<double>(st.runsPerProgram);
+  }
+  synthesizedFraction =
+      static_cast<double>(synthesized) / static_cast<double>(st.programs);
+  meanRate = rateSum / static_cast<double>(st.programs);
+}
+
+std::uint64_t requireJobId(const util::JsonValue& root) {
+  const util::JsonValue* job = root.find("job");
+  if (!job) throw std::invalid_argument("missing \"job\" id");
+  return util::jsonUnsigned(*job, "job");
+}
+
+std::string statsJson(const SessionStats& s) {
+  std::ostringstream os;
+  os << "{\"ok\": true, \"op\": \"stats\""
+     << ", \"jobs_submitted\": " << s.jobsSubmitted
+     << ", \"jobs_completed\": " << s.jobsCompleted
+     << ", \"jobs_cancelled\": " << s.jobsCancelled
+     << ", \"jobs_failed\": " << s.jobsFailed
+     << ", \"tasks_executed\": " << s.tasksExecuted
+     << ", \"result_cache_hits\": " << s.resultCacheHits
+     << ", \"checkpoints_taken\": " << s.checkpointsTaken
+     << ", \"tasks_resumed\": " << s.tasksResumed
+     << ", \"plan_compiles\": " << s.planCompiles
+     << ", \"plan_lookups\": " << s.planLookups
+     << ", \"plan_hits\": " << (s.planLookups - s.planCompiles) << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string jobStatusJson(const JobStatus& st, const std::string& op) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"ok\": true, \"op\": \"" << util::escapeJson(op) << "\""
+     << ", \"job\": " << st.id
+     << ", \"state\": \"" << jobStateName(st.state) << "\""
+     << ", \"method\": \"" << util::escapeJson(st.method) << "\""
+     << ", \"programs\": " << st.programs
+     << ", \"runs_per_program\": " << st.runsPerProgram
+     << ", \"tasks_total\": " << st.tasksTotal
+     << ", \"tasks_done\": " << st.tasksDone
+     << ", \"from_cache\": " << (st.fromCache ? "true" : "false")
+     << ", \"plan_compiles\": " << st.planCompiles
+     << ", \"plan_lookups\": " << st.planLookups
+     << ", \"plan_hits\": " << st.planHits();
+  if (!st.error.empty())
+    os << ", \"error\": \"" << util::escapeJson(st.error) << "\"";
+  if (isTerminal(st.state)) {
+    double fraction = 0.0;
+    double meanRate = 0.0;
+    synthesisAggregates(st, fraction, meanRate);
+    os << ", \"synthesized_fraction\": " << fraction
+       << ", \"mean_synthesis_rate\": " << meanRate;
+    os << ", \"tasks\": [";
+    for (std::size_t i = 0; i < st.tasks.size(); ++i) {
+      const TaskRecord& t = st.tasks[i];
+      os << (i ? ", " : "") << "{\"program\": " << t.program
+         << ", \"run\": " << t.run
+         << ", \"found\": " << (t.found ? "true" : "false")
+         << ", \"candidates\": " << t.candidates
+         << ", \"generations\": " << t.generations
+         << ", \"seconds\": " << t.seconds << "}";
+    }
+    os << "]";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string handleRequestLine(SynthService& service, const std::string& line,
+                              bool& shutdownRequested) {
+  std::string op;
+  try {
+    const util::JsonValue root = util::parseJson(line);
+    if (root.kind != util::JsonValue::Kind::Object)
+      throw std::invalid_argument("request must be a JSON object");
+    util::readString(root, "op", op);
+    if (op.empty()) throw std::invalid_argument("missing \"op\"");
+
+    if (op == "ping") return "{\"ok\": true, \"op\": \"ping\"}";
+
+    if (op == "submit") {
+      const util::JsonValue* cfg = root.find("config");
+      if (!cfg) throw std::invalid_argument("missing \"config\"");
+      const harness::ExperimentConfig config =
+          harness::ExperimentConfig::fromJsonValue(*cfg);
+      std::string method = "Edit";
+      util::readString(root, "method", method);
+      bool useCache = true;
+      util::readBool(root, "use_result_cache", useCache);
+      const std::uint64_t id = service.submit(config, method, useCache);
+      const JobStatus st = service.status(id);
+      return jobStatusJson(st, op);
+    }
+
+    if (op == "status") return jobStatusJson(service.status(requireJobId(root)), op);
+    if (op == "wait") return jobStatusJson(service.wait(requireJobId(root)), op);
+
+    if (op == "cancel" || op == "pause" || op == "resume") {
+      const std::uint64_t id = requireJobId(root);
+      bool applied = false;
+      if (op == "cancel") applied = service.cancel(id);
+      else if (op == "pause") applied = service.pause(id);
+      else applied = service.resume(id);
+      std::ostringstream os;
+      os << "{\"ok\": true, \"op\": \"" << op << "\", \"job\": " << id
+         << ", \"applied\": " << (applied ? "true" : "false")
+         << ", \"state\": \"" << jobStateName(service.status(id).state)
+         << "\"}";
+      return os.str();
+    }
+
+    if (op == "stats") return statsJson(service.stats());
+
+    if (op == "shutdown") {
+      shutdownRequested = true;
+      return "{\"ok\": true, \"op\": \"shutdown\"}";
+    }
+
+    throw std::invalid_argument("unknown op '" + op + "'");
+  } catch (const std::exception& e) {
+    return errorJson(op, e.what());
+  }
+}
+
+void serveLines(SynthService& service, std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    bool shutdownRequested = false;
+    out << handleRequestLine(service, line, shutdownRequested) << "\n";
+    out.flush();
+    if (shutdownRequested) {
+      service.shutdown();
+      return;
+    }
+  }
+}
+
+}  // namespace netsyn::service

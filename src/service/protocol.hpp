@@ -1,0 +1,49 @@
+// Line-delimited JSON protocol for the synthesis service.
+//
+// One request object per line in, one response object per line out (flushed
+// per response, so a pipe peer can read synchronously). Requests:
+//
+//   {"op": "ping"}
+//   {"op": "submit", "method": "Edit", "config": { ...ExperimentConfig
+//       JSON (the toJson()/fromJson schema)... }, "use_result_cache": true}
+//   {"op": "status", "job": 1}
+//   {"op": "wait",   "job": 1}   // blocks until terminal (or paused:
+//                                // a paused job returns immediately, since
+//                                // only this session could resume it)
+//   {"op": "cancel", "job": 1}
+//   {"op": "pause",  "job": 1}
+//   {"op": "resume", "job": 1}
+//   {"op": "stats"}
+//   {"op": "shutdown"}
+//
+// Every response carries "ok" plus the echoed "op". Job responses carry
+// id/state/progress and the plan-cache counters; terminal states include
+// the per-(program, run) "tasks" array and the derived synthesized_fraction
+// / mean_synthesis_rate. Failures of any kind come back as
+// {"ok": false, "op": ..., "error": "..."} — a malformed line never kills
+// the session.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "service/service.hpp"
+
+namespace netsyn::service {
+
+/// Handles one request line and returns the response line (no trailing
+/// newline). Sets `shutdownRequested` when the request was a shutdown op
+/// (the response still has to be delivered). Never throws for bad input —
+/// errors become ok:false responses.
+std::string handleRequestLine(SynthService& service, const std::string& line,
+                              bool& shutdownRequested);
+
+/// Serves NDJSON requests from `in` until EOF or a shutdown op. Blank
+/// lines are ignored. Responses are flushed per line.
+void serveLines(SynthService& service, std::istream& in, std::ostream& out);
+
+/// Renders a JobStatus as the protocol's response object (exposed for the
+/// daemon/tests; `op` is echoed into the response).
+std::string jobStatusJson(const JobStatus& st, const std::string& op);
+
+}  // namespace netsyn::service

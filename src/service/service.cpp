@@ -1,0 +1,654 @@
+#include "service/service.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "core/search_state.hpp"
+#include "dsl/interpreter.hpp"
+#include "fitness/edit.hpp"
+#include "fitness/metrics.hpp"
+#include "fitness/neural_fitness.hpp"
+#include "harness/registry.hpp"
+#include "harness/runner.hpp"
+#include "harness/workload.hpp"
+
+namespace netsyn::service {
+
+const char* jobStateName(JobState s) {
+  switch (s) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Paused: return "paused";
+    case JobState::Done: return "done";
+    case JobState::Cancelled: return "cancelled";
+    case JobState::Failed: return "failed";
+  }
+  return "?";
+}
+
+bool isTerminal(JobState s) {
+  return s == JobState::Done || s == JobState::Cancelled ||
+         s == JobState::Failed;
+}
+
+bool isKnownMethod(const std::string& name) {
+  return name == "Edit" || name == "Oracle_CF" || name == "Oracle_LCS" ||
+         name == "NetSyn_CF" || name == "NetSyn_LCS" || name == "NetSyn_FP";
+}
+
+harness::TrainedModels ModelStore::get(
+    const harness::ExperimentConfig& config) {
+  // Model identity is keyed by the on-disk cache location (directory +
+  // scale tag), matching harness::modelCachePath — two configs that would
+  // share cache files share store entries. Training-dimension variations
+  // under one (modelDir, scale) are not distinguished; use distinct
+  // modelDirs for those.
+  const std::string key = config.modelDir + "|" + config.scaleName;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = store_.find(key); it != store_.end()) return it->second;
+  harness::TrainedModels models = loadOrTrainAll(config, /*quiet=*/true);
+  store_.emplace(key, models);
+  return models;
+}
+
+baselines::MethodPtr makeOneShotMethod(const std::string& method,
+                                       const harness::ExperimentConfig& config,
+                                       ModelStore& models) {
+  if (method == "Edit") return harness::makeEdit(config);
+  if (method == "Oracle_CF")
+    return harness::makeOracle(config, fitness::BalanceMetric::CF);
+  if (method == "Oracle_LCS")
+    return harness::makeOracle(config, fitness::BalanceMetric::LCS);
+  if (method == "NetSyn_CF")
+    return harness::makeNetSyn(config, models.get(config),
+                               harness::NetSynVariant::CF);
+  if (method == "NetSyn_LCS")
+    return harness::makeNetSyn(config, models.get(config),
+                               harness::NetSynVariant::LCS);
+  if (method == "NetSyn_FP")
+    return harness::makeNetSyn(config, models.get(config),
+                               harness::NetSynVariant::FP);
+  throw std::invalid_argument("unknown method '" + method + "'");
+}
+
+namespace {
+
+// Per-job poll signal, read by workers once per generation without taking
+// the service lock.
+constexpr std::uint8_t kPollContinue = 0;
+constexpr std::uint8_t kPollPause = 1;
+constexpr std::uint8_t kPollCancel = 2;
+
+/// Per-task scheduling phase. Queue-entry invariant: a queue entry exists
+/// for a task iff its phase is Queued (plus at most one consumed entry
+/// while Running); Parked/Checkpointed tasks re-enter the queue only
+/// through resume().
+enum class Phase : std::uint8_t {
+  Queued,        ///< waiting in (or owed to) the task queue
+  Running,       ///< a worker is executing it
+  Parked,        ///< popped while the job was paused; not yet restartable
+  Checkpointed,  ///< paused mid-search; snapshot held
+  Done,          ///< TaskRecord recorded
+};
+
+struct TaskCheckpoint {
+  core::SearchState::Snapshot snap;
+  util::Rng rng{0};
+  bool valid = false;
+};
+
+struct Job {
+  std::uint64_t id = 0;
+  std::string method;
+  harness::ExperimentConfig config;
+  core::SynthesizerConfig searchConfig;  ///< methodSearchConfig(config, method)
+  /// Released once the job is terminal and idle (trimIfIdleLocked) — report
+  /// fields must come from programCount/runsPer, never workload.size().
+  std::vector<harness::TestProgram> workload;
+  std::size_t programCount = 0;
+  std::size_t runsPer = 1;
+  bool useResultCache = true;
+  std::string cacheKey;
+
+  JobState state = JobState::Queued;
+  std::atomic<std::uint8_t> pollSignal{kPollContinue};
+  std::vector<Phase> phase;
+  std::vector<TaskCheckpoint> checkpoints;
+  std::vector<TaskRecord> tasks;
+  std::size_t tasksDone = 0;
+  std::size_t running = 0;  ///< tasks currently on a worker
+  bool fromCache = false;
+  std::size_t planCompiles = 0;
+  std::size_t planLookups = 0;
+  std::string error;
+};
+
+/// One worker's cross-request hot state: the plan-cache-bearing execution
+/// engine and the per-method grading kits (NN clones and their
+/// fingerprint-keyed caches included). Lives as long as the worker thread.
+struct WorkerContext {
+  dsl::Executor executor;
+
+  struct MethodKit {
+    fitness::FitnessPtr fitness;  ///< persistent; null for oracle methods
+    std::shared_ptr<fitness::ProbMapProvider> probMap;
+    bool oracle = false;
+    fitness::BalanceMetric oracleMetric = fitness::BalanceMetric::CF;
+  };
+  std::unordered_map<std::string, MethodKit> kits;
+};
+
+enum class TaskOutcome { Completed, Checkpointed, Cancelled, Failed };
+
+/// Completed-job memo key. config.toJson() covers every serialized field;
+/// the fields it does NOT serialize but which still steer the search — the
+/// program-generator ranges (they shape the workload and every random
+/// candidate) and the NN model dimensions/seed — are appended explicitly,
+/// so two embedded callers whose configs differ only there never alias to
+/// one memo entry. (Protocol clients can only vary serialized fields, but
+/// the public submit() API has no such restriction.)
+std::string resultCacheKey(const std::string& method,
+                           const harness::ExperimentConfig& config) {
+  std::ostringstream os;
+  os.precision(17);
+  const dsl::GeneratorConfig& g = config.synthesizer.generator;
+  const fitness::NnffConfig& m = config.modelConfig;
+  os << method << '\x1f' << config.toJson() << '\x1f' << g.minListLength
+     << ',' << g.maxListLength << ',' << g.minValue << ',' << g.maxValue
+     << ',' << g.intInputProbability << ',' << g.maxAttempts << '\x1f'
+     << m.encoder.vmax << ',' << m.encoder.maxValueTokens << ','
+     << m.embedDim << ',' << m.hiddenDim << ',' << m.numClasses << ','
+     << m.maxExamples << ',' << static_cast<int>(m.head) << ','
+     << m.useTrace << ',' << m.seed << ',' << m.multilabelDim;
+  return os.str();
+}
+
+}  // namespace
+
+struct SynthService::Impl {
+  explicit Impl(ServiceConfig config) : cfg(config) {
+    std::size_t n = cfg.workers == 0
+                        ? std::max(1u, std::thread::hardware_concurrency())
+                        : cfg.workers;
+    workers.reserve(n);
+    for (std::size_t w = 0; w < n; ++w)
+      workers.emplace_back([this, w] { workerLoop(w); });
+  }
+
+  // ---- worker side ----------------------------------------------------------
+
+  void workerLoop(std::size_t /*workerIndex*/);
+  WorkerContext::MethodKit& kitFor(WorkerContext& ctx, const Job& job);
+  TaskOutcome runTask(WorkerContext& ctx, const Job& job, std::size_t idx,
+                      TaskCheckpoint& cp, TaskRecord& out);
+
+  // ---- guarded state --------------------------------------------------------
+
+  mutable std::mutex mu;
+  std::condition_variable taskCv;  ///< workers wait for queue entries
+  std::condition_variable jobCv;   ///< wait() callers wait for terminal jobs
+  bool stop = false;
+
+  ServiceConfig cfg;
+  std::uint64_t nextId = 1;
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs;
+  std::deque<std::pair<std::uint64_t, std::size_t>> queue;  ///< (job, task)
+  std::map<std::string, std::vector<TaskRecord>> resultCache;
+  std::deque<std::string> resultCacheOrder;  ///< FIFO eviction order
+  std::deque<std::uint64_t> terminalOrder;   ///< terminal jobs, oldest first
+  SessionStats sessionStats;
+
+  ModelStore models;  ///< thread-safe on its own lock
+
+  std::vector<std::thread> workers;
+
+  // The daemon is long-lived: without retention bounds, per-job state
+  // (generated workloads, checkpoints) and the result memo would grow with
+  // every request for the process lifetime. Terminal jobs keep their
+  // TaskRecords (status/wait still work) but drop workload + checkpoint
+  // storage; the oldest terminal jobs and memo entries are evicted outright
+  // past these caps (an evicted job id then reads as unknown).
+  static constexpr std::size_t kMaxTerminalJobs = 256;
+  static constexpr std::size_t kMaxResultCacheEntries = 256;
+
+  JobStatus statusLocked(const Job& job) const;
+  void finalizeIfComplete(Job& job);
+  void markTerminalLocked(Job& job);
+  void trimIfIdleLocked(Job& job);
+  void storeResultLocked(const std::string& key,
+                         const std::vector<TaskRecord>& tasks);
+};
+
+JobStatus SynthService::Impl::statusLocked(const Job& job) const {
+  JobStatus st;
+  st.id = job.id;
+  st.state = job.state;
+  st.method = job.method;
+  st.programs = job.programCount;
+  st.runsPerProgram = job.runsPer;
+  st.tasksTotal = job.tasks.size();
+  st.tasksDone = job.tasksDone;
+  st.fromCache = job.fromCache;
+  st.planCompiles = job.planCompiles;
+  st.planLookups = job.planLookups;
+  st.error = job.error;
+  for (std::size_t i = 0; i < job.tasks.size(); ++i)
+    if (job.phase[i] == Phase::Done) st.tasks.push_back(job.tasks[i]);
+  return st;
+}
+
+void SynthService::Impl::finalizeIfComplete(Job& job) {
+  if (job.tasksDone != job.tasks.size() || isTerminal(job.state)) return;
+  job.state = JobState::Done;
+  ++sessionStats.jobsCompleted;
+  if (cfg.resultCache && job.useResultCache)
+    storeResultLocked(job.cacheKey, job.tasks);
+  markTerminalLocked(job);
+  jobCv.notify_all();
+}
+
+void SynthService::Impl::markTerminalLocked(Job& job) {
+  terminalOrder.push_back(job.id);
+  trimIfIdleLocked(job);
+  while (terminalOrder.size() > kMaxTerminalJobs) {
+    const std::uint64_t oldest = terminalOrder.front();
+    terminalOrder.pop_front();
+    // Waiters hold the shared_ptr; erasing the map entry only forgets the
+    // id. A job can never be running here: it was terminal when enqueued
+    // and kMaxTerminalJobs of newer terminals have since arrived.
+    jobs.erase(oldest);
+  }
+}
+
+void SynthService::Impl::trimIfIdleLocked(Job& job) {
+  // Workers reference job.workload by pointer off-lock, so the storage may
+  // only be released once no task of this job is executing.
+  if (!isTerminal(job.state) || job.running > 0) return;
+  job.workload.clear();
+  job.workload.shrink_to_fit();
+  job.checkpoints.clear();
+  job.checkpoints.shrink_to_fit();
+}
+
+void SynthService::Impl::storeResultLocked(
+    const std::string& key, const std::vector<TaskRecord>& tasks) {
+  if (resultCache.emplace(key, tasks).second) resultCacheOrder.push_back(key);
+  while (resultCacheOrder.size() > kMaxResultCacheEntries) {
+    resultCache.erase(resultCacheOrder.front());
+    resultCacheOrder.pop_front();
+  }
+}
+
+WorkerContext::MethodKit& SynthService::Impl::kitFor(WorkerContext& ctx,
+                                                     const Job& job) {
+  const std::string key =
+      job.method + "|" + job.config.modelDir + "|" + job.config.scaleName;
+  if (const auto it = ctx.kits.find(key); it != ctx.kits.end())
+    return it->second;
+
+  WorkerContext::MethodKit kit;
+  if (job.method == "Edit") {
+    kit.fitness = std::make_shared<fitness::EditDistanceFitness>();
+  } else if (job.method == "Oracle_CF" || job.method == "Oracle_LCS") {
+    kit.oracle = true;
+    kit.oracleMetric = job.method == "Oracle_CF" ? fitness::BalanceMetric::CF
+                                                 : fitness::BalanceMetric::LCS;
+  } else {
+    // NetSyn_{CF,LCS,FP}: clone from the shared store once per worker; the
+    // clones (and the prob-map's spec-fingerprint-keyed cache) then serve
+    // every job of this method on this worker.
+    const harness::TrainedModels shared = models.get(job.config);
+    auto fp = std::make_shared<fitness::ProbMapFitness>(shared.fp->clone());
+    kit.probMap = fp;
+    if (job.method == "NetSyn_CF")
+      kit.fitness = std::make_shared<fitness::NeuralFitness>(
+          shared.cf->clone(), "NN_CF");
+    else if (job.method == "NetSyn_LCS")
+      kit.fitness = std::make_shared<fitness::NeuralFitness>(
+          shared.lcs->clone(), "NN_LCS");
+    else
+      kit.fitness = fp;
+  }
+  return ctx.kits.emplace(key, std::move(kit)).first->second;
+}
+
+TaskOutcome SynthService::Impl::runTask(WorkerContext& ctx, const Job& job,
+                                        std::size_t idx, TaskCheckpoint& cp,
+                                        TaskRecord& out) {
+  const std::size_t p = idx / job.runsPer;
+  const std::size_t k = idx % job.runsPer;
+  const harness::TestProgram& tp = job.workload[p];
+
+  WorkerContext::MethodKit& kit = kitFor(ctx, job);
+  fitness::FitnessPtr fit = kit.fitness;
+  if (kit.oracle) {
+    // Oracle fitness is target-specific and cheap: one fresh instance per
+    // task, like the registry's per-island oracle instances.
+    if (kit.oracleMetric == fitness::BalanceMetric::CF)
+      fit = std::make_shared<fitness::OracleCF>(tp.target);
+    else
+      fit = std::make_shared<fitness::OracleLCS>(tp.target);
+  }
+
+  out = TaskRecord{};
+  out.program = p;
+  out.run = k;
+
+  if (job.searchConfig.strategy == core::SearchStrategy::Islands) {
+    // Island searches run through the engine's own coordinator (factory
+    // omitted: islands step sequentially inside this one task, which is the
+    // right parallelism split when the service pool is already fanned out).
+    // They are cancel/pause-atomic: signals take effect between tasks.
+    if (job.pollSignal.load(std::memory_order_relaxed) == kPollCancel)
+      return TaskOutcome::Cancelled;
+    util::Rng rng = harness::runSeedRng(job.config, p, k);
+    const core::SynthesisResult result = core::runIslandSearch(
+        job.searchConfig, fit, kit.probMap, nullptr, tp.spec, tp.length,
+        job.config.searchBudget, rng);
+    out.found = result.found;
+    out.candidates = result.candidatesSearched;
+    out.generations = result.generations;
+    out.seconds = result.seconds;
+    return TaskOutcome::Completed;
+  }
+
+  // Single population: stepped one generation at a time so cancel/pause
+  // land at generation boundaries, through the worker's persistent executor
+  // so the plan cache carries over between jobs.
+  util::Rng rng = cp.valid ? cp.rng : harness::runSeedRng(job.config, p, k);
+  core::SearchBudget budget =
+      cp.valid ? core::SearchBudget::resumed(cp.snap.budgetLimit,
+                                             cp.snap.budgetUsed)
+               : core::SearchBudget(job.config.searchBudget);
+  std::optional<core::SearchState> state;
+  if (cp.valid)
+    state.emplace(cp.snap, fit, kit.probMap, tp.spec, budget, rng,
+                  &ctx.executor);
+  else
+    state.emplace(job.searchConfig, fit, kit.probMap, tp.spec, tp.length,
+                  budget, rng, &ctx.executor);
+  core::SearchState::Status status = cp.valid
+                                         ? core::SearchState::Status::Running
+                                         : state->seed();
+  cp.valid = false;
+  while (status == core::SearchState::Status::Running) {
+    const std::uint8_t sig = job.pollSignal.load(std::memory_order_relaxed);
+    if (sig == kPollCancel) return TaskOutcome::Cancelled;
+    if (sig == kPollPause) {
+      cp.snap = state->snapshot();
+      cp.rng = rng;
+      cp.valid = true;
+      return TaskOutcome::Checkpointed;
+    }
+    status = state->step();
+  }
+  const core::SynthesisResult result = state->finish();
+  out.found = result.found;
+  out.candidates = result.candidatesSearched;
+  out.generations = result.generations;
+  out.seconds = result.seconds;
+  return TaskOutcome::Completed;
+}
+
+void SynthService::Impl::workerLoop(std::size_t /*workerIndex*/) {
+  WorkerContext ctx;
+  std::unique_lock<std::mutex> lock(mu);
+  while (true) {
+    taskCv.wait(lock, [&] { return stop || !queue.empty(); });
+    if (stop) return;
+    const auto [jobId, idx] = queue.front();
+    queue.pop_front();
+
+    const auto it = jobs.find(jobId);
+    if (it == jobs.end()) continue;
+    const std::shared_ptr<Job> job = it->second;
+    if (isTerminal(job->state)) continue;
+    if (job->state == JobState::Paused) {
+      // Popped while parked: owed back to the queue by resume().
+      job->phase[idx] = Phase::Parked;
+      continue;
+    }
+    if (job->state == JobState::Queued) job->state = JobState::Running;
+    job->phase[idx] = Phase::Running;
+    ++job->running;
+    TaskCheckpoint cp = std::move(job->checkpoints[idx]);
+    job->checkpoints[idx] = TaskCheckpoint{};
+    const bool resumed = cp.valid;
+
+    lock.unlock();
+    const std::size_t compilesBefore = ctx.executor.planCompiles();
+    const std::size_t lookupsBefore = ctx.executor.planLookups();
+    TaskRecord record;
+    TaskOutcome outcome = TaskOutcome::Failed;
+    std::string error;
+    try {
+      outcome = runTask(ctx, *job, idx, cp, record);
+    } catch (const std::exception& e) {
+      error = e.what();
+    } catch (...) {
+      error = "unknown task error";
+    }
+    const std::size_t compilesDelta =
+        ctx.executor.planCompiles() - compilesBefore;
+    const std::size_t lookupsDelta =
+        ctx.executor.planLookups() - lookupsBefore;
+    lock.lock();
+
+    --job->running;
+    job->planCompiles += compilesDelta;
+    job->planLookups += lookupsDelta;
+    sessionStats.planCompiles += compilesDelta;
+    sessionStats.planLookups += lookupsDelta;
+    if (resumed && outcome != TaskOutcome::Failed)
+      ++sessionStats.tasksResumed;
+    switch (outcome) {
+      case TaskOutcome::Completed:
+        job->tasks[idx] = record;
+        job->phase[idx] = Phase::Done;
+        ++job->tasksDone;
+        ++sessionStats.tasksExecuted;
+        finalizeIfComplete(*job);
+        break;
+      case TaskOutcome::Checkpointed:
+        job->checkpoints[idx] = std::move(cp);
+        ++sessionStats.checkpointsTaken;
+        if (job->state == JobState::Paused) {
+          job->phase[idx] = Phase::Checkpointed;
+        } else if (!isTerminal(job->state)) {
+          // resume() already ran while this worker was mid-snapshot and
+          // found the task still Running, so nobody else will re-enqueue
+          // it: requeue here or the job never completes.
+          job->phase[idx] = Phase::Queued;
+          queue.emplace_back(job->id, idx);
+          taskCv.notify_one();
+        }
+        break;
+      case TaskOutcome::Cancelled:
+        // Job state already Cancelled; leave the task unfinished.
+        break;
+      case TaskOutcome::Failed:
+        if (!isTerminal(job->state)) {
+          job->state = JobState::Failed;
+          job->error = error;
+          job->pollSignal.store(kPollCancel, std::memory_order_relaxed);
+          ++sessionStats.jobsFailed;
+          markTerminalLocked(*job);
+          jobCv.notify_all();
+        }
+        break;
+    }
+    // The last in-flight task of a job that went terminal mid-run releases
+    // its retained storage.
+    trimIfIdleLocked(*job);
+  }
+}
+
+SynthService::SynthService(ServiceConfig config)
+    : impl_(std::make_unique<Impl>(config)) {}
+
+SynthService::~SynthService() { shutdown(); }
+
+std::uint64_t SynthService::submit(const harness::ExperimentConfig& config,
+                                   const std::string& method,
+                                   bool useResultCache) {
+  if (!isKnownMethod(method))
+    throw std::invalid_argument("unknown method '" + method +
+                                "' (service methods: Edit, Oracle_CF, "
+                                "Oracle_LCS, NetSyn_CF, NetSyn_LCS, "
+                                "NetSyn_FP)");
+
+  // Off-lock preparation: validation, search-config derivation, workload
+  // generation (deterministic from the config, same as the one-shot
+  // harness).
+  auto job = std::make_shared<Job>();
+  job->method = method;
+  job->config = config;
+  job->searchConfig = harness::methodSearchConfig(config, method);
+  job->workload = harness::makeFullWorkload(config);
+  job->programCount = job->workload.size();
+  job->runsPer = std::max<std::size_t>(1, config.runsPerProgram);
+  job->useResultCache = useResultCache;
+  job->cacheKey = resultCacheKey(method, config);
+  const std::size_t total = job->workload.size() * job->runsPer;
+  job->phase.assign(total, Phase::Queued);
+  job->checkpoints.resize(total);
+  job->tasks.assign(total, TaskRecord{});
+
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->stop) throw std::runtime_error("service is shut down");
+  job->id = impl_->nextId++;
+  ++impl_->sessionStats.jobsSubmitted;
+
+  if (impl_->cfg.resultCache && useResultCache) {
+    if (const auto it = impl_->resultCache.find(job->cacheKey);
+        it != impl_->resultCache.end()) {
+      job->tasks = it->second;
+      job->tasksDone = total;
+      job->phase.assign(total, Phase::Done);
+      job->state = JobState::Done;
+      job->fromCache = true;
+      ++impl_->sessionStats.resultCacheHits;
+      ++impl_->sessionStats.jobsCompleted;
+      impl_->jobs.emplace(job->id, job);
+      impl_->markTerminalLocked(*job);
+      impl_->jobCv.notify_all();
+      return job->id;
+    }
+  }
+
+  impl_->jobs.emplace(job->id, job);
+  for (std::size_t i = 0; i < total; ++i)
+    impl_->queue.emplace_back(job->id, i);
+  impl_->taskCv.notify_all();
+  return job->id;
+}
+
+JobStatus SynthService::status(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->jobs.find(id);
+  if (it == impl_->jobs.end())
+    throw std::out_of_range("unknown job " + std::to_string(id));
+  return impl_->statusLocked(*it->second);
+}
+
+JobStatus SynthService::wait(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  const auto it = impl_->jobs.find(id);
+  if (it == impl_->jobs.end())
+    throw std::out_of_range("unknown job " + std::to_string(id));
+  const std::shared_ptr<Job> job = it->second;
+  // Paused also unblocks: a single-threaded protocol session that waits on
+  // a job it paused earlier must get the status back — the resume that
+  // would make the job terminal can only arrive over that same session.
+  impl_->jobCv.wait(lock, [&] {
+    return isTerminal(job->state) || job->state == JobState::Paused;
+  });
+  return impl_->statusLocked(*job);
+}
+
+bool SynthService::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->jobs.find(id);
+  if (it == impl_->jobs.end())
+    throw std::out_of_range("unknown job " + std::to_string(id));
+  Job& job = *it->second;
+  if (isTerminal(job.state)) return false;
+  job.state = JobState::Cancelled;
+  job.pollSignal.store(kPollCancel, std::memory_order_relaxed);
+  ++impl_->sessionStats.jobsCancelled;
+  impl_->markTerminalLocked(job);
+  impl_->jobCv.notify_all();
+  return true;
+}
+
+bool SynthService::pause(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->jobs.find(id);
+  if (it == impl_->jobs.end())
+    throw std::out_of_range("unknown job " + std::to_string(id));
+  Job& job = *it->second;
+  if (job.state != JobState::Queued && job.state != JobState::Running)
+    return false;
+  job.state = JobState::Paused;
+  job.pollSignal.store(kPollPause, std::memory_order_relaxed);
+  impl_->jobCv.notify_all();  // wait() callers observe Paused
+  return true;
+}
+
+bool SynthService::resume(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->jobs.find(id);
+  if (it == impl_->jobs.end())
+    throw std::out_of_range("unknown job " + std::to_string(id));
+  Job& job = *it->second;
+  if (job.state != JobState::Paused) return false;
+  job.state = JobState::Running;
+  job.pollSignal.store(kPollContinue, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < job.phase.size(); ++i) {
+    if (job.phase[i] == Phase::Parked || job.phase[i] == Phase::Checkpointed) {
+      job.phase[i] = Phase::Queued;
+      impl_->queue.emplace_back(job.id, i);
+    }
+  }
+  // Every task may have finished before the pause landed; completes as Done.
+  impl_->finalizeIfComplete(job);
+  impl_->taskCv.notify_all();
+  return true;
+}
+
+SessionStats SynthService::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->sessionStats;
+}
+
+void SynthService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->stop) return;
+    impl_->stop = true;
+    impl_->queue.clear();
+    // markTerminalLocked may evict old terminal entries from the map, so
+    // iterate over a snapshot of the live jobs.
+    std::vector<std::shared_ptr<Job>> live;
+    for (auto& [id, job] : impl_->jobs)
+      if (!isTerminal(job->state)) live.push_back(job);
+    for (const auto& job : live) {
+      job->state = JobState::Cancelled;
+      job->pollSignal.store(kPollCancel, std::memory_order_relaxed);
+      ++impl_->sessionStats.jobsCancelled;
+      impl_->markTerminalLocked(*job);
+    }
+    impl_->taskCv.notify_all();
+    impl_->jobCv.notify_all();
+  }
+  for (auto& w : impl_->workers) w.join();
+  impl_->workers.clear();
+}
+
+}  // namespace netsyn::service

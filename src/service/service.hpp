@@ -1,0 +1,194 @@
+// Long-lived synthesis service: the daemon core behind `synthd`.
+//
+// One SynthService multiplexes many synthesis jobs — (ExperimentConfig,
+// method) pairs, the same scenario records the bench drivers and the PR 3
+// experiment runner consume — over a single persistent worker pool. What a
+// one-shot CLI run rebuilds from scratch every invocation stays warm here
+// across requests (the MizAR-style serving argument: amortize the engine,
+// multiplex the queries):
+//
+//   - each worker owns a long-lived dsl::Executor, so compiled program
+//     plans persist across jobs; a repeat/similar spec re-executes through
+//     plans cached by earlier jobs (per-job planCompiles/planLookups deltas
+//     are reported so clients can observe the warm path),
+//   - each worker keeps its method kits — cloned NN fitness models,
+//     probability-map providers with their Spec::fingerprint()-keyed
+//     caches, the hand-crafted fitness instances — alive between jobs,
+//   - trained models are loaded/trained once per (modelDir, scale) in a
+//     service-wide ModelStore and cloned per worker,
+//   - completed jobs are memoized by (method, config) so an identical
+//     resubmission is answered instantly from the result cache.
+//
+// Determinism: a job expands to (program, run) tasks over the config's
+// generated workload, each seeded by harness::runSeedRng(config, p, k) and
+// searched single-threadedly — exactly the parallel experiment runner's
+// contract — so a job's found/candidates/generations are bit-identical to
+// a one-shot run of the same config, regardless of pool size, concurrent
+// jobs, or cache temperature (pinned by tests/test_service.cpp).
+//
+// Job lifecycle: submit -> Queued -> Running -> Done, with cancel (takes
+// effect at the next generation boundary of every in-flight task; queued
+// tasks are dropped, other jobs are untouched) and pause/resume (in-flight
+// single-population tasks checkpoint their SearchState at a generation
+// boundary and later resume on any worker with the same outcome as an
+// uninterrupted run; Islands-strategy tasks are pause-atomic — they finish
+// their current task before the job parks).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "baselines/method.hpp"
+#include "harness/config.hpp"
+#include "harness/models.hpp"
+
+namespace netsyn::service {
+
+struct ServiceConfig {
+  /// Worker threads serving tasks (0 = one per hardware thread).
+  std::size_t workers = 2;
+  /// Memoize completed jobs by (method, config) and answer identical
+  /// resubmissions from the memo.
+  bool resultCache = true;
+};
+
+enum class JobState : std::uint8_t {
+  Queued,     ///< accepted, no task started yet
+  Running,    ///< at least one task started
+  Paused,     ///< checkpointed at generation boundaries; resume() continues
+  Done,       ///< every task finished; results available
+  Cancelled,  ///< cancel() or shutdown() stopped it
+  Failed,     ///< a task threw; JobStatus::error holds the message
+};
+
+const char* jobStateName(JobState s);
+bool isTerminal(JobState s);
+
+/// One (program, run) outcome — the service-side RunRecord.
+struct TaskRecord {
+  std::size_t program = 0;  ///< index into the job's generated workload
+  std::size_t run = 0;      ///< repetition k
+  bool found = false;
+  std::size_t candidates = 0;
+  std::size_t generations = 0;
+  double seconds = 0.0;
+};
+
+struct JobStatus {
+  std::uint64_t id = 0;
+  JobState state = JobState::Queued;
+  std::string method;
+  std::size_t programs = 0;        ///< workload size
+  std::size_t runsPerProgram = 0;  ///< K
+  std::size_t tasksTotal = 0;
+  std::size_t tasksDone = 0;
+  bool fromCache = false;  ///< answered from the job-result memo
+  /// Plan-cache traffic this job caused across the workers that ran it.
+  /// planHits() on a resubmitted spec is the warm-cache signal: the second
+  /// identical job recompiles (almost) nothing.
+  std::size_t planCompiles = 0;
+  std::size_t planLookups = 0;
+  std::size_t planHits() const { return planLookups - planCompiles; }
+  std::string error;  ///< set when state == Failed
+  /// Completed task outcomes (every slot for Done; the finished subset for
+  /// Cancelled/Failed/Paused). Order: task index = program * K + run.
+  std::vector<TaskRecord> tasks;
+};
+
+/// Whole-session accounting, served by the protocol's "stats" op.
+struct SessionStats {
+  std::size_t jobsSubmitted = 0;
+  std::size_t jobsCompleted = 0;
+  std::size_t jobsCancelled = 0;
+  std::size_t jobsFailed = 0;
+  std::size_t tasksExecuted = 0;     ///< completed task executions
+  std::size_t resultCacheHits = 0;   ///< jobs answered from the memo
+  std::size_t checkpointsTaken = 0;  ///< tasks parked by pause()
+  std::size_t tasksResumed = 0;      ///< checkpointed tasks continued
+  std::size_t planCompiles = 0;      ///< across all workers
+  std::size_t planLookups = 0;
+};
+
+/// Trained-model store shared by every worker: the NN fitness models for a
+/// given (modelDir, scale) are loaded from the on-disk cache (or trained)
+/// exactly once per service lifetime; workers clone from the stored
+/// instances. Thread-safe.
+class ModelStore {
+ public:
+  /// Models for `config` (loads/trains on first use — training can take a
+  /// while when no disk cache exists; NetSyn_* jobs are the only users).
+  harness::TrainedModels get(const harness::ExperimentConfig& config);
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, harness::TrainedModels> store_;
+};
+
+/// GA method names the service schedules through its steppable search path:
+/// "Edit", "Oracle_CF", "Oracle_LCS", "NetSyn_CF", "NetSyn_LCS",
+/// "NetSyn_FP" (registry spelling).
+bool isKnownMethod(const std::string& name);
+
+/// A one-shot method instance for `method` built through the same registry
+/// transforms the service applies per job — the comparison path
+/// tests/test_service.cpp and `synth_client --verify` run jobs through.
+baselines::MethodPtr makeOneShotMethod(const std::string& method,
+                                       const harness::ExperimentConfig& config,
+                                       ModelStore& models);
+
+class SynthService {
+ public:
+  explicit SynthService(ServiceConfig config = {});
+  ~SynthService();  ///< shutdown()
+  SynthService(const SynthService&) = delete;
+  SynthService& operator=(const SynthService&) = delete;
+
+  /// Accepts a job and enqueues its (program, run) tasks. Workload
+  /// generation and method validation run on the caller's thread; throws
+  /// std::invalid_argument / std::runtime_error on a bad method name or
+  /// config. `useResultCache = false` opts this job out of the completed-
+  /// job memo (both lookup and store) — the search still enjoys the warm
+  /// plan caches.
+  std::uint64_t submit(const harness::ExperimentConfig& config,
+                       const std::string& method, bool useResultCache = true);
+
+  /// Snapshot of a job (throws std::out_of_range on unknown id). The
+  /// service retains a bounded history: the oldest terminal jobs are
+  /// eventually evicted and their ids read as unknown again.
+  JobStatus status(std::uint64_t id) const;
+
+  /// Blocks until the job reaches a terminal state — or Paused, which
+  /// returns immediately rather than deadlocking callers (like a
+  /// single-threaded protocol session) that are themselves the only source
+  /// of the eventual resume(). Terminal statuses carry the tasks.
+  JobStatus wait(std::uint64_t id);
+
+  /// Requests cancellation; running tasks stop at their next generation
+  /// boundary, queued tasks are dropped. Returns false when the job was
+  /// already terminal.
+  bool cancel(std::uint64_t id);
+
+  /// Parks a Queued/Running job: in-flight single-population tasks
+  /// checkpoint at their next generation boundary. Returns false otherwise.
+  bool pause(std::uint64_t id);
+
+  /// Re-enqueues a Paused job's unfinished tasks (checkpointed ones resume
+  /// their exact trajectory). Returns false when the job is not Paused.
+  bool resume(std::uint64_t id);
+
+  SessionStats stats() const;
+
+  /// Stops the pool: outstanding jobs are cancelled, workers join. Called
+  /// by the destructor; idempotent.
+  void shutdown();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace netsyn::service
