@@ -1,0 +1,137 @@
+// String-domain synthesis smoke: solve counts and throughput of the search
+// engine on the str DSL, in the search modes that need no trained models
+// (edit-distance fitness, which on char-code lists is classic string edit
+// distance).
+//
+// Modes: the single-population NetSyn GA and the K=4 island ensemble, both
+// over the same workload with the same per-run seeds — solve counts are
+// deterministic and gated in CI via bench_gate against
+// bench/baselines/BENCH_strdsl.json; wall-clock rates are info-only.
+//
+//   $ ./bench_strdsl [--programs=10] [--length=6] [--examples=4]
+//                    [--budget=3000] [--seed=2021]
+//                    [--json=BENCH_strdsl.json]
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/synthesizer.hpp"
+#include "dsl/domain.hpp"
+#include "dsl/generator.hpp"
+#include "fitness/edit.hpp"
+#include "util/argparse.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace netsyn;
+
+int main(int argc, char** argv) {
+  const util::ArgParse args(argc, argv);
+  const auto programs = static_cast<std::size_t>(args.getInt("programs", 10));
+  const auto length = static_cast<std::size_t>(args.getInt("length", 6));
+  const auto examples = static_cast<std::size_t>(args.getInt("examples", 4));
+  const auto budget = static_cast<std::size_t>(args.getInt("budget", 3000));
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed", 2021));
+  if (programs == 0 || length == 0 || examples == 0 || budget == 0) {
+    std::fprintf(stderr,
+                 "--programs/--length/--examples/--budget must be > 0\n");
+    return 1;
+  }
+
+  const dsl::Domain& domain = dsl::strDomain();
+  util::Rng wlRng(seed);
+  const dsl::Generator gen(domain);
+  std::vector<dsl::Generator::TestCase> cases;
+  for (std::size_t p = 0; p < programs; ++p) {
+    auto tc = gen.randomTestCase(length, examples, p < programs / 2, wlRng);
+    if (!tc) {
+      std::fprintf(stderr, "could not generate test case %zu\n", p);
+      return 1;
+    }
+    cases.push_back(std::move(*tc));
+  }
+
+  std::printf("=== bench_strdsl ===\n");
+  std::printf("programs=%zu length=%zu examples=%zu budget=%zu\n", programs,
+              length, examples, budget);
+  std::printf("sample target: %s\n\n",
+              cases.front().program.toString().c_str());
+
+  struct Row {
+    std::string mode;
+    std::size_t solved = 0;
+    double seconds = 0.0;
+    std::size_t evals = 0;
+  };
+  std::vector<Row> rows;
+
+  const auto makeFit = [&domain]() {
+    return std::make_shared<fitness::EditDistanceFitness>(&domain);
+  };
+  const auto runMode = [&](const std::string& mode, std::size_t islands) {
+    core::SynthesizerConfig sc;
+    sc.ga.populationSize = 30;
+    sc.ga.eliteCount = 3;
+    sc.maxGenerations = 2000;
+    sc.nsTopN = 3;
+    sc.nsWindow = 6;
+    sc.generator = domain.makeGeneratorConfig();
+    if (islands > 1) {
+      sc.strategy = core::SearchStrategy::Islands;
+      sc.islands.count = islands;
+      sc.islands.migrationInterval = 5;
+      sc.islands.migrationSize = 2;
+    }
+    const core::Synthesizer syn(sc, makeFit(), nullptr, [&](std::size_t) {
+      return core::IslandFitness{makeFit(), nullptr};
+    });
+    Row row;
+    row.mode = mode;
+    util::Timer timer;
+    for (std::size_t p = 0; p < cases.size(); ++p) {
+      util::Rng rng(seed ^ (p * 0x9e3779b97f4a7c15ULL) ^ 0x57d);
+      const auto result = syn.synthesize(cases[p].spec, length, budget, rng);
+      row.solved += result.found ? 1 : 0;
+      row.evals += result.candidatesSearched;
+    }
+    row.seconds = timer.seconds();
+    rows.push_back(row);
+    std::printf("%-10s solved=%2zu/%zu  %7.3fs  %8.2f solved/sec  evals=%8zu\n",
+                mode.c_str(), row.solved, cases.size(), row.seconds,
+                row.seconds > 0
+                    ? static_cast<double>(row.solved) / row.seconds
+                    : 0.0,
+                row.evals);
+  };
+
+  runMode("single", 1);
+  runMode("islands4", 4);
+
+  const std::string jsonPath = args.getString("json", "BENCH_strdsl.json");
+  if (!jsonPath.empty()) {
+    if (std::FILE* f = std::fopen(jsonPath.c_str(), "w")) {
+      std::fprintf(f,
+                   "{\"bench\": \"strdsl\", \"programs\": %zu, "
+                   "\"length\": %zu, \"examples\": %zu, \"budget\": %zu, "
+                   "\"modes\": [",
+                   programs, length, examples, budget);
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row& r = rows[i];
+        std::fprintf(f,
+                     "%s{\"mode\": \"%s\", \"solved\": %zu, "
+                     "\"seconds\": %.4f, \"solved_per_sec\": %.3f, "
+                     "\"evals\": %zu}",
+                     i ? ", " : "", r.mode.c_str(), r.solved, r.seconds,
+                     r.seconds > 0
+                         ? static_cast<double>(r.solved) / r.seconds
+                         : 0.0,
+                     r.evals);
+      }
+      std::fprintf(f, "]}\n");
+      std::fclose(f);
+      std::printf("\n[json written to %s]\n", jsonPath.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Dead-link check for the repo's markdown docs (lychee-style, offline).
+
+Walks every tracked *.md file, extracts [text](target) links, and fails when
+a *relative* target (optionally with a #fragment) does not exist on disk.
+External links (http/https/mailto) are skipped — CI must not depend on the
+network. Run from the repository root:
+
+    python3 scripts/check_doc_links.py
+"""
+import os
+import re
+import subprocess
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def tracked_markdown():
+    out = subprocess.run(["git", "ls-files", "*.md", "**/*.md"],
+                         capture_output=True, text=True, check=True)
+    return sorted(set(p for p in out.stdout.splitlines() if p))
+
+
+def main():
+    bad = []
+    files = tracked_markdown()
+    checked = 0
+    for md in files:
+        with open(md, encoding="utf-8") as f:
+            text = f.read()
+        base = os.path.dirname(md)
+        for target in LINK.findall(text):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = os.path.normpath(os.path.join(base, path))
+            if resolved.startswith(".."):
+                # Escapes the repo (e.g. the GitHub badge URL
+                # ../../actions/...): site-relative, not checkable offline.
+                continue
+            checked += 1
+            if not os.path.exists(resolved):
+                bad.append(f"{md}: broken relative link '{target}'")
+    for line in bad:
+        print(line, file=sys.stderr)
+    print(f"checked {checked} relative links across {len(files)} files: "
+          f"{'FAIL' if bad else 'ok'}")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,13 +53,15 @@ core::SynthesisResult DeepCoderMethod::synthesize(const dsl::Spec& spec,
   core::SpecEvaluator evaluator(spec, budget);
   const dsl::InputSignature sig = spec.signature();
 
+  // Enumerate the provider's domain vocabulary, most probable first (the
+  // map is domain-local-indexed; for the list domain this is the classic
+  // all-Sigma sort).
+  const dsl::Domain& dom = probMap_->domain();
   const auto map = probMap_->probMap(spec);
-  std::vector<dsl::FuncId> order(dsl::kNumFunctions);
-  for (std::size_t i = 0; i < order.size(); ++i)
-    order[i] = static_cast<dsl::FuncId>(i);
+  std::vector<dsl::FuncId> order = dom.vocabulary;
   std::stable_sort(order.begin(), order.end(),
-                   [&map](dsl::FuncId a, dsl::FuncId b) {
-                     return map[a] > map[b];
+                   [&map, &dom](dsl::FuncId a, dsl::FuncId b) {
+                     return map[dom.localIndex(a)] > map[dom.localIndex(b)];
                    });
 
   // Iterative deepening: shorter equivalents are found first (and cheaply).

@@ -24,9 +24,13 @@ core::SynthesisResult PcCoderMethod::synthesize(const dsl::Spec& spec,
   core::SearchBudget budget(budgetLimit);
   core::SpecEvaluator evaluator(spec, budget);
 
+  // Beam expansion ranges over the provider's domain vocabulary; log-probs
+  // are domain-local-indexed like the map itself.
+  const dsl::Domain& dom = probMap_->domain();
+  const std::size_t vocab = dom.vocabSize();
   const auto map = probMap_->probMap(spec);
-  std::array<double, dsl::kNumFunctions> logp{};
-  for (std::size_t i = 0; i < dsl::kNumFunctions; ++i)
+  std::vector<double> logp(vocab);
+  for (std::size_t i = 0; i < vocab; ++i)
     logp[i] = std::log(std::max(map[i], 1e-6));
 
   // CAB: widen the beam and restart until found or budget exhausted.
@@ -37,12 +41,12 @@ core::SynthesisResult PcCoderMethod::synthesize(const dsl::Spec& spec,
          depth <= targetLength && !result.found && !budget.exhausted();
          ++depth) {
       std::vector<BeamEntry> expanded;
-      expanded.reserve(beam.size() * dsl::kNumFunctions);
+      expanded.reserve(beam.size() * vocab);
       for (const auto& entry : beam) {
-        for (std::size_t f = 0; f < dsl::kNumFunctions; ++f) {
+        for (std::size_t f = 0; f < vocab; ++f) {
           BeamEntry next;
           next.prefix = entry.prefix;
-          next.prefix.push_back(static_cast<dsl::FuncId>(f));
+          next.prefix.push_back(dom.vocabulary[f]);
           next.logProb = entry.logProb + logp[f];
           expanded.push_back(std::move(next));
         }
@@ -67,9 +71,8 @@ core::SynthesisResult PcCoderMethod::synthesize(const dsl::Spec& spec,
       beam = std::move(expanded);
     }
     // Safety: beyond |Sigma|^targetLength the beam cannot grow further.
-    const double full =
-        std::pow(static_cast<double>(dsl::kNumFunctions),
-                 static_cast<double>(targetLength));
+    const double full = std::pow(static_cast<double>(vocab),
+                                 static_cast<double>(targetLength));
     if (static_cast<double>(width) > full) break;
   }
 

@@ -3,9 +3,11 @@
 namespace netsyn::baselines {
 namespace {
 
-core::SynthesizerConfig plainGpConfig(core::GaConfig ga) {
+core::SynthesizerConfig plainGpConfig(core::GaConfig ga,
+                                      dsl::GeneratorConfig gen) {
   core::SynthesizerConfig cfg;
   cfg.ga = ga;
+  cfg.generator = gen;
   cfg.useNeighborhoodSearch = false;  // no NetSyn machinery
   cfg.fpGuidedMutation = false;
   return cfg;
@@ -13,9 +15,12 @@ core::SynthesizerConfig plainGpConfig(core::GaConfig ga) {
 
 }  // namespace
 
-PushGpMethod::PushGpMethod(core::GaConfig ga)
-    : synthesizer_(plainGpConfig(ga),
-                   std::make_shared<fitness::EditDistanceFitness>()) {}
+PushGpMethod::PushGpMethod(core::GaConfig ga, dsl::GeneratorConfig gen)
+    : synthesizer_(plainGpConfig(ga, gen),
+                   // Grade with the domain's output metric, like the Edit
+                   // method this baseline is compared against.
+                   std::make_shared<fitness::EditDistanceFitness>(
+                       gen.domain)) {}
 
 core::SynthesisResult PushGpMethod::synthesize(const dsl::Spec& spec,
                                                std::size_t targetLength,

@@ -15,7 +15,9 @@ namespace netsyn::baselines {
 
 class PushGpMethod final : public Method {
  public:
-  explicit PushGpMethod(core::GaConfig ga = {});
+  /// `gen` carries the domain (null = list) so plain GP runs on the same
+  /// vocabulary and input shapes as the methods it is compared against.
+  explicit PushGpMethod(core::GaConfig ga = {}, dsl::GeneratorConfig gen = {});
 
   std::string name() const override { return "PushGP"; }
 

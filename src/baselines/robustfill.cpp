@@ -16,11 +16,14 @@ core::SynthesisResult RobustFillMethod::synthesize(const dsl::Spec& spec,
   core::SearchBudget budget(budgetLimit);
   core::SpecEvaluator evaluator(spec, budget);
 
+  // Tokens are sampled from the provider's domain vocabulary (the map is
+  // domain-local-indexed).
+  const dsl::Domain& dom = probMap_->domain();
   const auto map = probMap_->probMap(spec);
   double temperature = temperature_;
   auto weightsFor = [&](double temp) {
-    std::vector<double> w(dsl::kNumFunctions);
-    for (std::size_t i = 0; i < dsl::kNumFunctions; ++i)
+    std::vector<double> w(dom.vocabSize());
+    for (std::size_t i = 0; i < w.size(); ++i)
       w[i] = std::pow(std::max(map[i], 1e-6), 1.0 / temp);
     return w;
   };
@@ -36,7 +39,7 @@ core::SynthesisResult RobustFillMethod::synthesize(const dsl::Spec& spec,
     const std::size_t length =
         1 + static_cast<std::size_t>(rng.uniform(targetLength));
     for (std::size_t k = 0; k < length; ++k)
-      fns.push_back(static_cast<dsl::FuncId>(rng.roulette(weights)));
+      fns.push_back(dom.vocabulary[rng.roulette(weights)]);
     const dsl::Program candidate(std::move(fns));
 
     const std::string key(

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "dsl/domain.hpp"
+
 namespace netsyn::core {
 
 dsl::Program crossover(const dsl::Program& a, const dsl::Program& b,
@@ -21,31 +23,36 @@ dsl::Program crossover(const dsl::Program& a, const dsl::Program& b,
 }
 
 dsl::Program mutate(const dsl::Program& gene, util::Rng& rng,
-                    const FunctionWeights* weights) {
+                    const FunctionWeights* weights,
+                    const dsl::Domain* domain) {
   if (gene.empty()) throw std::invalid_argument("cannot mutate empty gene");
+  // All arithmetic runs in domain-local index space; for the list domain
+  // local == global FuncId, so draws and RNG consumption match the
+  // pre-domain operator exactly (pinned by test_domain_parity).
+  const dsl::Domain& dom = dsl::resolveDomain(domain);
+  const std::size_t vocab = dom.vocabSize();
   dsl::Program out = gene;
   const std::size_t pos =
       static_cast<std::size_t>(rng.uniform(gene.length()));
-  const dsl::FuncId old = gene.at(pos);
+  const std::size_t old = dom.localIndex(gene.at(pos));
 
-  dsl::FuncId next = old;
+  std::size_t next = old;
   if (weights != nullptr) {
     // Roulette over the probability map, excluding the current function
     // (z' != z_k is required by the paper).
-    std::vector<double> w(weights->begin(), weights->end());
+    if (weights->size() != vocab)
+      throw std::invalid_argument("mutation weights/vocabulary size mismatch");
+    std::vector<double> w(*weights);
     w[old] = 0.0;
-    next = static_cast<dsl::FuncId>(rng.roulette(w));
+    next = rng.roulette(w);
     if (next == old) {  // all-zero map fallback chose `old` uniformly
-      next = static_cast<dsl::FuncId>((old + 1 + rng.uniform(
-                                          dsl::kNumFunctions - 1)) %
-                                      dsl::kNumFunctions);
+      next = (old + 1 + rng.uniform(vocab - 1)) % vocab;
     }
   } else {
     // Uniform over the other |Sigma|-1 functions.
-    next = static_cast<dsl::FuncId>(
-        (old + 1 + rng.uniform(dsl::kNumFunctions - 1)) % dsl::kNumFunctions);
+    next = (old + 1 + rng.uniform(vocab - 1)) % vocab;
   }
-  out.set(pos, next);
+  out.set(pos, dom.vocabulary[next]);
   return out;
 }
 
@@ -97,7 +104,7 @@ std::vector<dsl::Program> breed(const Population& pop, const GaConfig& config,
       } else if (roll < config.crossoverRate + config.mutationRate) {
         candidate =
             mutate(pop[rouletteSelect(pop, rng)].program, rng,
-                   mutationWeights);
+                   mutationWeights, &gen.domain());
       } else {
         candidate = pop[rouletteSelect(pop, rng)].program;  // reproduction
       }

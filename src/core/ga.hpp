@@ -4,7 +4,6 @@
 // has no dead code, paper §4.2).
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -13,6 +12,10 @@
 #include "dsl/generator.hpp"
 #include "dsl/program.hpp"
 #include "util/rng.hpp"
+
+namespace netsyn::dsl {
+struct Domain;  // domain.hpp
+}
 
 namespace netsyn::core {
 
@@ -33,19 +36,24 @@ struct Individual {
 
 using Population = std::vector<Individual>;
 
-/// Optional per-function weights for FP-guided mutation (Mutation_FP).
-using FunctionWeights = std::array<double, dsl::kNumFunctions>;
+/// Optional per-function weights for FP-guided mutation (Mutation_FP),
+/// indexed by *domain-local* function index (the order of the domain's
+/// vocabulary; equal to global FuncId for the list domain). Size must be
+/// the domain's vocabSize().
+using FunctionWeights = std::vector<double>;
 
 /// Single-point crossover of two equal-length parents: child takes the
 /// prefix of `a` up to a random cut and the suffix of `b`.
 dsl::Program crossover(const dsl::Program& a, const dsl::Program& b,
                        util::Rng& rng);
 
-/// Replaces one uniformly chosen position with a different function. When
-/// `weights` is provided the replacement is Roulette-Wheel drawn from it
-/// (the paper's Mutation_FP); otherwise uniform.
+/// Replaces one uniformly chosen position with a different function drawn
+/// from the domain's vocabulary (nullptr = list domain). When `weights` is
+/// provided the replacement is Roulette-Wheel drawn from it (the paper's
+/// Mutation_FP); otherwise uniform over the other vocabSize()-1 functions.
 dsl::Program mutate(const dsl::Program& gene, util::Rng& rng,
-                    const FunctionWeights* weights = nullptr);
+                    const FunctionWeights* weights = nullptr,
+                    const dsl::Domain* domain = nullptr);
 
 /// Roulette-Wheel index over the population's fitness values.
 std::size_t rouletteSelect(const Population& pop, util::Rng& rng);

@@ -1,17 +1,24 @@
 #include "core/neighborhood.hpp"
 
+#include "dsl/domain.hpp"
+
 namespace netsyn::core {
 
 NsResult neighborhoodSearchBfs(const std::vector<dsl::Program>& genes,
-                               SpecEvaluator& evaluator) {
+                               SpecEvaluator& evaluator,
+                               const dsl::Domain* domain) {
+  // Substitutions walk the vocabulary in domain order; for the list domain
+  // that is FuncId order 0..kNumFunctions-1, the pre-domain sweep.
+  const std::vector<dsl::FuncId>& vocab =
+      dsl::resolveDomain(domain).vocabulary;
   NsResult result;
   for (const auto& gene : genes) {
     for (std::size_t i = 0; i < gene.length(); ++i) {
       const dsl::FuncId original = gene.at(i);
       dsl::Program neighbor = gene;
-      for (std::size_t op = 0; op < dsl::kNumFunctions; ++op) {
-        if (static_cast<dsl::FuncId>(op) == original) continue;
-        neighbor.set(i, static_cast<dsl::FuncId>(op));
+      for (const dsl::FuncId op : vocab) {
+        if (op == original) continue;
+        neighbor.set(i, op);
         const auto ok = evaluator.check(neighbor);
         if (!ok.has_value()) {
           result.budgetExhausted = true;
@@ -31,7 +38,8 @@ NsResult neighborhoodSearchBfs(const std::vector<dsl::Program>& genes,
 
 NsResult neighborhoodSearchDfs(const std::vector<dsl::Program>& genes,
                                SpecEvaluator& evaluator,
-                               const NsScorer& scorer) {
+                               const NsScorer& scorer,
+                               const dsl::Domain* domain) {
   return neighborhoodSearchDfs(
       genes, evaluator,
       NsBatchScorer([&scorer](const std::vector<const dsl::Program*>& batch) {
@@ -39,26 +47,30 @@ NsResult neighborhoodSearchDfs(const std::vector<dsl::Program>& genes,
         out.reserve(batch.size());
         for (const dsl::Program* p : batch) out.push_back(scorer(*p));
         return out;
-      }));
+      }),
+      domain);
 }
 
 NsResult neighborhoodSearchDfs(const std::vector<dsl::Program>& genes,
                                SpecEvaluator& evaluator,
-                               const NsBatchScorer& scorer) {
+                               const NsBatchScorer& scorer,
+                               const dsl::Domain* domain) {
+  const std::vector<dsl::FuncId>& vocab =
+      dsl::resolveDomain(domain).vocabulary;
   NsResult result;
   for (const auto& gene : genes) {
     dsl::Program current = gene;  // mutated greedily per depth
     for (std::size_t depth = 0; depth < current.length(); ++depth) {
       const dsl::FuncId original = current.at(depth);
-      // Equivalence checks run first, in op order (budget semantics match
-      // the per-neighbor variant); survivors are graded as one batch.
+      // Equivalence checks run first, in vocabulary order (budget semantics
+      // match the per-neighbor variant); survivors are graded as one batch.
       std::vector<dsl::Program> level;
-      level.reserve(dsl::kNumFunctions);
+      level.reserve(vocab.size());
       level.push_back(current);
       dsl::Program neighbor = current;
-      for (std::size_t op = 0; op < dsl::kNumFunctions; ++op) {
-        if (static_cast<dsl::FuncId>(op) == original) continue;
-        neighbor.set(depth, static_cast<dsl::FuncId>(op));
+      for (const dsl::FuncId op : vocab) {
+        if (op == original) continue;
+        neighbor.set(depth, op);
         const auto ok = evaluator.check(neighbor);
         if (!ok.has_value()) {
           result.budgetExhausted = true;

@@ -36,10 +36,13 @@ using NsBatchScorer =
     std::function<std::vector<double>(const std::vector<const dsl::Program*>&)>;
 
 /// BFS neighborhood search over `genes` (Algorithm 1): tries every
-/// single-position substitution; returns on the first equivalent program or
-/// when all neighborhoods are exhausted. Stops early if the budget runs out.
+/// single-position substitution from the domain's vocabulary (nullptr =
+/// list domain, the pre-domain behaviour); returns on the first equivalent
+/// program or when all neighborhoods are exhausted. Stops early if the
+/// budget runs out.
 NsResult neighborhoodSearchBfs(const std::vector<dsl::Program>& genes,
-                               SpecEvaluator& evaluator);
+                               SpecEvaluator& evaluator,
+                               const dsl::Domain* domain = nullptr);
 
 /// DFS neighborhood search: per gene, per position (depth), evaluates all
 /// substitutions; if none is equivalent, replaces the gene's function at
@@ -48,7 +51,8 @@ NsResult neighborhoodSearchBfs(const std::vector<dsl::Program>& genes,
 /// charges each examined candidate itself via `evaluator`).
 NsResult neighborhoodSearchDfs(const std::vector<dsl::Program>& genes,
                                SpecEvaluator& evaluator,
-                               const NsScorer& scorer);
+                               const NsScorer& scorer,
+                               const dsl::Domain* domain = nullptr);
 
 /// Batch-scored DFS: identical search (same checks in the same order, same
 /// greedy tie-breaking) but each depth level's surviving neighbors are
@@ -56,6 +60,7 @@ NsResult neighborhoodSearchDfs(const std::vector<dsl::Program>& genes,
 /// neighbor.
 NsResult neighborhoodSearchDfs(const std::vector<dsl::Program>& genes,
                                SpecEvaluator& evaluator,
-                               const NsBatchScorer& scorer);
+                               const NsBatchScorer& scorer,
+                               const dsl::Domain* domain = nullptr);
 
 }  // namespace netsyn::core

@@ -240,11 +240,12 @@ SearchState::Status SearchState::step() {
     return Status::LimitReached;
   const std::size_t genIdx = ++result_.generations;
 
-  FunctionWeights weights{};
+  // The FP probability map is already in domain-local order (the shape
+  // FunctionWeights expects); providers cache it per spec.
+  FunctionWeights weights;
   const FunctionWeights* weightsPtr = nullptr;
   if (config_.fpGuidedMutation) {
-    const auto map = probMap_->probMap(spec_);
-    for (std::size_t i = 0; i < map.size(); ++i) weights[i] = map[i];
+    weights = probMap_->probMap(spec_);
     weightsPtr = &weights;
   }
 
@@ -283,13 +284,14 @@ SearchState::Status SearchState::step() {
       top.push_back(pop_[i].program);
     const NsResult ns =
         config_.nsKind == NsKind::BFS
-            ? neighborhoodSearchBfs(top, evaluator_)
+            ? neighborhoodSearchBfs(top, evaluator_, &gen_.domain())
             : neighborhoodSearchDfs(
                   top, evaluator_,
                   NsBatchScorer([this](const std::vector<const dsl::Program*>&
                                            genes) {
                     return nsBatchScore(genes);
-                  }));
+                  }),
+                  &gen_.domain());
     if (ns.solution.has_value()) {
       solved_ = true;
       solvedAtUsed_ = budget_.used();

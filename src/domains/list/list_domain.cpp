@@ -1,0 +1,21 @@
+#include "domains/list/list_domain.hpp"
+
+namespace netsyn::domains::list {
+
+const dsl::Domain& domain() {
+  static const dsl::Domain d = [] {
+    dsl::Domain d;
+    d.name = "list";
+    d.summary = "integer/list DSL of the paper (Appendix A, 41 functions)";
+    d.vocabulary.reserve(dsl::kNumFunctions);
+    for (std::size_t i = 0; i < dsl::kNumFunctions; ++i)
+      d.vocabulary.push_back(static_cast<dsl::FuncId>(i));
+    // generatorDefaults / tokenVmax / maxValueTokens keep their struct
+    // defaults: those *are* the list domain's historical settings.
+    d.finalize();
+    return d;
+  }();
+  return d;
+}
+
+}  // namespace netsyn::domains::list

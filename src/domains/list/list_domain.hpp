@@ -1,0 +1,16 @@
+// The classic NetSyn list domain (paper Appendix A) packaged as a
+// dsl::Domain. This is a pure re-description of the pre-domain defaults:
+// vocabulary = the whole paper Sigma (FuncIds 0..kNumFunctions-1, so
+// domain-local indices equal global FuncIds), generator knobs =
+// GeneratorConfig{}, encoder hints = the EncoderConfig{} defaults, no
+// custom hooks. test_domain_parity pins that searching through this Domain
+// is bit-identical to the pre-domain engine.
+#pragma once
+
+#include "dsl/domain.hpp"
+
+namespace netsyn::domains::list {
+
+const dsl::Domain& domain();
+
+}  // namespace netsyn::domains::list

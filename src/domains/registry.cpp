@@ -1,0 +1,26 @@
+// Domain registry: resolves the dsl::Domain lookups declared in
+// dsl/domain.hpp. Lives above the dsl layer so dsl headers never include
+// domains/ — only this translation unit knows the concrete list. To register
+// a new domain, add its src/domains/<name>/ pair and one entry here (see
+// ARCHITECTURE.md "Adding a domain").
+#include "dsl/domain.hpp"
+#include "domains/list/list_domain.hpp"
+#include "domains/strdsl/str_domain.hpp"
+
+namespace netsyn::dsl {
+
+const Domain& listDomain() { return domains::list::domain(); }
+const Domain& strDomain() { return domains::strdsl::domain(); }
+
+const std::vector<const Domain*>& allDomains() {
+  static const std::vector<const Domain*> all = {&listDomain(), &strDomain()};
+  return all;
+}
+
+const Domain* findDomain(std::string_view name) {
+  for (const Domain* d : allDomains())
+    if (d->name == name) return d;
+  return nullptr;
+}
+
+}  // namespace netsyn::dsl

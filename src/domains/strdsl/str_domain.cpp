@@ -1,0 +1,66 @@
+#include "domains/strdsl/str_domain.hpp"
+
+#include "util/rng.hpp"
+
+namespace netsyn::domains::strdsl {
+namespace {
+
+/// Word-shaped text sampler: 1-3 words of 2-6 chars separated by single
+/// spaces; a word is lowercase letters (30% Capitalized) or, 15% of the
+/// time, digits. Spec outputs stay informative for every STR.* op — case
+/// ops see mixed case, word ops see multi-word strings, STR.DIGITS/ALPHA
+/// see both character classes — unlike uniform char soup, on which half the
+/// vocabulary would be a no-op or constant.
+dsl::Value sampleText(const dsl::GeneratorConfig&, util::Rng& rng) {
+  std::vector<std::int32_t> xs;
+  const int words = 1 + static_cast<int>(rng.uniform(3));
+  for (int w = 0; w < words; ++w) {
+    if (w > 0) xs.push_back(' ');
+    const bool digits = rng.bernoulli(0.15);
+    const bool capitalized = !digits && rng.bernoulli(0.3);
+    const int len = 2 + static_cast<int>(rng.uniform(5));
+    for (int i = 0; i < len; ++i) {
+      if (digits) {
+        xs.push_back('0' + static_cast<std::int32_t>(rng.uniform(10)));
+      } else if (i == 0 && capitalized) {
+        xs.push_back('A' + static_cast<std::int32_t>(rng.uniform(26)));
+      } else {
+        xs.push_back('a' + static_cast<std::int32_t>(rng.uniform(26)));
+      }
+    }
+  }
+  return dsl::Value(std::move(xs));
+}
+
+}  // namespace
+
+const dsl::Domain& domain() {
+  static const dsl::Domain d = [] {
+    dsl::Domain d;
+    d.name = "str";
+    d.summary = "string-manipulation DSL (strings as char-code lists)";
+    d.vocabulary.reserve(dsl::kNumStrFunctions);
+    for (std::size_t i = dsl::kNumFunctions; i < dsl::kTotalFunctions; ++i)
+      d.vocabulary.push_back(static_cast<dsl::FuncId>(i));
+
+    // The text sampler below fully owns the string shape (word counts,
+    // word lengths, character classes), so the generic minValue/maxValue/
+    // list-length knobs are deliberately left untouched — they are never
+    // consulted while sampleListValue is set. Int inputs are the small
+    // counts/indices STR.TAKE/DROP/WORD/CHARAT consume.
+    d.generatorDefaults.useIntRange = true;
+    d.generatorDefaults.intMinValue = 0;
+    d.generatorDefaults.intMaxValue = 9;
+    d.generatorDefaults.intInputProbability = 0.4;
+
+    d.tokenVmax = 128;      // char codes embed unclamped
+    d.maxValueTokens = 16;  // strings run longer than the paper's lists
+    d.textual = true;
+    d.sampleListValue = sampleText;
+    d.finalize();
+    return d;
+  }();
+  return d;
+}
+
+}  // namespace netsyn::domains::strdsl

@@ -1,0 +1,18 @@
+// The string-manipulation domain ("str"): RobustFill/FlashFill-style text
+// transformation as a second NetSyn workload.
+//
+// Strings are char-code lists (see str_ops.hpp), so the whole execution
+// stack is shared with the list domain; this file contributes the Domain
+// bundle: the STR.* vocabulary, a word-shaped text sampler for random
+// inputs/specs, small-integer int-input ranges (counts and indices for
+// STR.TAKE/DROP/WORD/CHARAT), and NN-encoder hints wide enough for ASCII
+// (tokenVmax 128 covers char codes 32..126 without clamping).
+#pragma once
+
+#include "dsl/domain.hpp"
+
+namespace netsyn::domains::strdsl {
+
+const dsl::Domain& domain();
+
+}  // namespace netsyn::domains::strdsl

@@ -1,0 +1,173 @@
+#include "domains/strdsl/str_ops.hpp"
+
+#include <algorithm>
+
+namespace netsyn::domains::strdsl {
+namespace {
+
+constexpr std::int32_t kSpace = ' ';
+
+bool isLower(std::int32_t c) { return c >= 'a' && c <= 'z'; }
+bool isUpper(std::int32_t c) { return c >= 'A' && c <= 'Z'; }
+bool isAlpha(std::int32_t c) { return isLower(c) || isUpper(c); }
+bool isDigit(std::int32_t c) { return c >= '0' && c <= '9'; }
+
+std::int32_t toUpper(std::int32_t c) { return isLower(c) ? c - 32 : c; }
+std::int32_t toLower(std::int32_t c) { return isUpper(c) ? c + 32 : c; }
+
+/// Calls fn(first, last) for every maximal space-free run of `s`, in order.
+template <typename Fn>
+void forEachWord(const CharList& s, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && s[i] == kSpace) ++i;
+    const std::size_t begin = i;
+    while (i < s.size() && s[i] != kSpace) ++i;
+    if (i > begin) fn(begin, i);
+  }
+}
+
+template <bool (*Keep)(std::int32_t)>
+void keepOnly(const CharList& s, dsl::Value& out) {
+  // Branchless compaction, same pattern as the list domain's FILTER bodies.
+  CharList& o = out.makeList();
+  o.resize(s.size());
+  std::size_t n = 0;
+  for (std::int32_t c : s) {
+    o[n] = c;
+    n += Keep(c) ? 1 : 0;
+  }
+  o.resize(n);
+}
+
+template <std::int32_t (*CharMap)(std::int32_t)>
+void mapChars(const CharList& s, dsl::Value& out) {
+  CharList& o = out.makeList();
+  o.resize(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) o[i] = CharMap(s[i]);
+}
+
+}  // namespace
+
+void concat(const CharList& a, const CharList& b, dsl::Value& out) {
+  CharList& o = out.makeList();
+  o.assign(a.begin(), a.end());
+  o.insert(o.end(), b.begin(), b.end());
+}
+
+void upper(const CharList& s, dsl::Value& out) { mapChars<toUpper>(s, out); }
+void lower(const CharList& s, dsl::Value& out) { mapChars<toLower>(s, out); }
+
+void title(const CharList& s, dsl::Value& out) {
+  CharList& o = out.makeList();
+  o.resize(s.size());
+  bool atWordStart = true;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    o[i] = atWordStart ? toUpper(s[i]) : toLower(s[i]);
+    atWordStart = s[i] == kSpace;
+  }
+}
+
+void capitalize(const CharList& s, dsl::Value& out) {
+  CharList& o = out.makeList();
+  o.resize(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i)
+    o[i] = i == 0 ? toUpper(s[i]) : toLower(s[i]);
+}
+
+void trim(const CharList& s, dsl::Value& out) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && s[b] == kSpace) ++b;
+  while (e > b && s[e - 1] == kSpace) --e;
+  out.makeList().assign(s.begin() + static_cast<std::ptrdiff_t>(b),
+                        s.begin() + static_cast<std::ptrdiff_t>(e));
+}
+
+void reverse(const CharList& s, dsl::Value& out) {
+  out.makeList().assign(s.rbegin(), s.rend());
+}
+
+void firstWord(const CharList& s, dsl::Value& out) {
+  CharList& o = out.makeList();
+  o.clear();
+  forEachWord(s, [&](std::size_t b, std::size_t e) {
+    if (o.empty()) o.assign(s.begin() + static_cast<std::ptrdiff_t>(b),
+                            s.begin() + static_cast<std::ptrdiff_t>(e));
+  });
+}
+
+void lastWord(const CharList& s, dsl::Value& out) {
+  std::size_t wb = 0, we = 0;
+  forEachWord(s, [&](std::size_t b, std::size_t e) { wb = b; we = e; });
+  out.makeList().assign(s.begin() + static_cast<std::ptrdiff_t>(wb),
+                        s.begin() + static_cast<std::ptrdiff_t>(we));
+}
+
+void initials(const CharList& s, dsl::Value& out) {
+  CharList& o = out.makeList();
+  o.clear();
+  forEachWord(s, [&](std::size_t b, std::size_t) { o.push_back(s[b]); });
+}
+
+void squeeze(const CharList& s, dsl::Value& out) {
+  CharList& o = out.makeList();
+  o.resize(s.size());
+  std::size_t n = 0;
+  bool prevSpace = false;
+  for (std::int32_t c : s) {
+    const bool space = c == kSpace;
+    o[n] = c;
+    n += (space && prevSpace) ? 0 : 1;
+    prevSpace = space;
+  }
+  o.resize(n);
+}
+
+void hyphenate(const CharList& s, dsl::Value& out) {
+  CharList& o = out.makeList();
+  o.resize(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i)
+    o[i] = s[i] == kSpace ? '-' : s[i];
+}
+
+void alphaOnly(const CharList& s, dsl::Value& out) { keepOnly<isAlpha>(s, out); }
+void digitsOnly(const CharList& s, dsl::Value& out) { keepOnly<isDigit>(s, out); }
+
+void strLen(const CharList& s, dsl::Value& out) {
+  out.setInt(static_cast<std::int32_t>(s.size()));
+}
+
+void wordCount(const CharList& s, dsl::Value& out) {
+  std::int32_t n = 0;
+  forEachWord(s, [&](std::size_t, std::size_t) { ++n; });
+  out.setInt(n);
+}
+
+void strTake(std::int32_t n, const CharList& s, dsl::Value& out) {
+  const auto k = static_cast<std::size_t>(std::clamp<std::int64_t>(
+      n, 0, static_cast<std::int64_t>(s.size())));
+  out.makeList().assign(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(k));
+}
+
+void strDrop(std::int32_t n, const CharList& s, dsl::Value& out) {
+  const auto k = static_cast<std::size_t>(std::clamp<std::int64_t>(
+      n, 0, static_cast<std::int64_t>(s.size())));
+  out.makeList().assign(s.begin() + static_cast<std::ptrdiff_t>(k), s.end());
+}
+
+void word(std::int32_t n, const CharList& s, dsl::Value& out) {
+  std::size_t wb = 0, we = 0;
+  std::int32_t idx = 0;
+  forEachWord(s, [&](std::size_t b, std::size_t e) {
+    if (idx++ == n) { wb = b; we = e; }
+  });
+  out.makeList().assign(s.begin() + static_cast<std::ptrdiff_t>(wb),
+                        s.begin() + static_cast<std::ptrdiff_t>(we));
+}
+
+void charAt(std::int32_t n, const CharList& s, dsl::Value& out) {
+  if (n < 0 || static_cast<std::size_t>(n) >= s.size()) out.setInt(0);
+  else out.setInt(s[static_cast<std::size_t>(n)]);
+}
+
+}  // namespace netsyn::domains::strdsl

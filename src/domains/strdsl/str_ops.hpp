@@ -1,0 +1,61 @@
+// Function bodies of the string-manipulation DSL (the "str" domain).
+//
+// Strings are dsl::Values of list type holding character codes, so the
+// entire execution stack — Value's retained buffers, ExecPlan compilation,
+// the statement-major executor, DCE — is shared with the list domain
+// unchanged. Each body below matches one of the three FunctionBody shapes of
+// dsl/functions.hpp and obeys the same contract as the Appendix-A bodies:
+// total on any int32 content (non-ASCII codes pass through untouched), write
+// the result into `out` in place, and never read an argument after the first
+// write to `out`.
+//
+// This header is a leaf (it depends only on dsl/value.hpp): the global
+// dispatch table in dsl/functions.cpp includes it to register these ops as
+// FuncIds kNumFunctions..kTotalFunctions-1. Domain membership — which ops a
+// search may use — lives in str_domain.cpp, not here.
+//
+// Word-oriented ops treat the space character (0x20) as the only separator;
+// runs of spaces delimit empty-free word lists (leading/trailing spaces
+// produce no empty words).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsl/value.hpp"
+
+namespace netsyn::domains::strdsl {
+
+using CharList = std::vector<std::int32_t>;
+
+// ---- [str], [str] -> [str] --------------------------------------------------
+void concat(const CharList& a, const CharList& b, dsl::Value& out);
+
+// ---- [str] -> [str] ---------------------------------------------------------
+void upper(const CharList& s, dsl::Value& out);       ///< a-z -> A-Z
+void lower(const CharList& s, dsl::Value& out);       ///< A-Z -> a-z
+void title(const CharList& s, dsl::Value& out);       ///< Each Word Like This
+void capitalize(const CharList& s, dsl::Value& out);  ///< First char up, rest low
+void trim(const CharList& s, dsl::Value& out);        ///< strip edge spaces
+void reverse(const CharList& s, dsl::Value& out);
+void firstWord(const CharList& s, dsl::Value& out);
+void lastWord(const CharList& s, dsl::Value& out);
+void initials(const CharList& s, dsl::Value& out);    ///< first char per word
+void squeeze(const CharList& s, dsl::Value& out);     ///< collapse space runs
+void hyphenate(const CharList& s, dsl::Value& out);   ///< ' ' -> '-'
+void alphaOnly(const CharList& s, dsl::Value& out);   ///< keep letters
+void digitsOnly(const CharList& s, dsl::Value& out);  ///< keep 0-9
+
+// ---- [str] -> int -----------------------------------------------------------
+void strLen(const CharList& s, dsl::Value& out);
+void wordCount(const CharList& s, dsl::Value& out);
+
+// ---- int, [str] -> [str] ----------------------------------------------------
+void strTake(std::int32_t n, const CharList& s, dsl::Value& out);  ///< prefix
+void strDrop(std::int32_t n, const CharList& s, dsl::Value& out);  ///< suffix
+void word(std::int32_t n, const CharList& s, dsl::Value& out);     ///< n-th word ("" OOR)
+
+// ---- int, [str] -> int ------------------------------------------------------
+void charAt(std::int32_t n, const CharList& s, dsl::Value& out);  ///< 0 OOR
+
+}  // namespace netsyn::domains::strdsl

@@ -1,0 +1,56 @@
+#include "dsl/domain.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace netsyn::dsl {
+
+GeneratorConfig Domain::makeGeneratorConfig() const {
+  GeneratorConfig cfg = generatorDefaults;
+  cfg.domain = this;
+  return cfg;
+}
+
+void Domain::finalize() {
+  assert(!vocabulary.empty());
+  localOf.assign(kTotalFunctions, -1);
+  intReturning.clear();
+  listReturning.clear();
+  for (std::size_t i = 0; i < vocabulary.size(); ++i) {
+    const FuncId id = vocabulary[i];
+    assert(id < kTotalFunctions);
+    assert(i == 0 || vocabulary[i - 1] < id);  // ascending, no duplicates
+    localOf[id] = static_cast<std::int32_t>(i);
+    (functionInfo(id).returnType == Type::Int ? intReturning : listReturning)
+        .push_back(id);
+  }
+}
+
+std::string knownDomainNames() {
+  std::string out;
+  for (const Domain* d : allDomains()) {
+    if (!out.empty()) out += ", ";
+    out += d->name;
+  }
+  return out;
+}
+
+std::string renderValue(const Domain& domain, const Value& v) {
+  if (!domain.textual || !v.isList()) return v.toString();
+  std::string out = "\"";
+  for (std::int32_t c : v.asList()) {
+    if (c >= 0x20 && c < 0x7f) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += static_cast<char>(c);
+    } else {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "\\x%02x",
+                    static_cast<unsigned>(c) & 0xff);
+      out += buf;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace netsyn::dsl

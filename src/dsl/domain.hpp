@@ -1,0 +1,129 @@
+// Domain: the bundle of choices that makes the NetSyn search engine
+// DSL-generic (ROADMAP "as many scenarios as you can imagine").
+//
+// The pipeline — generate candidates, evolve them with a GA, grade them with
+// a (learned) fitness function — never needed to know it was searching the
+// paper's integer-list DSL. What it does need, per workload, is:
+//
+//   * a *vocabulary*: which FuncIds of the global function table
+//     (functions.hpp) the search may use; mutation, neighborhood search,
+//     enumeration baselines, and the NN probability map all range over it,
+//   * *value generation*: the shapes of random inputs (int ranges, list
+//     lengths, or a custom sampler — the str domain emits word-like text),
+//   * *NN encoding hints*: the token-id range and truncation length the
+//     fitness models embed values with,
+//   * an *output-distance metric* for the hand-crafted edit fitness
+//     (both shipped domains use token-level Levenshtein, which on
+//     strings-as-char-lists *is* string edit distance),
+//   * *rendering*: how values print (char lists display as "quoted text").
+//
+// A Domain is exactly that bundle. Everything else — Value, the ExecPlan
+// compiler, the statement-major executor, DCE, budgets, islands, the service
+// — is shared verbatim across domains. Per-function indexing (NN heads, FP
+// probability maps, mutation roulette) uses *domain-local* indices
+// 0..vocabSize()-1; `localIndex`/`vocabulary` translate to and from global
+// FuncIds. For the list domain local == global, which is what keeps the
+// refactored engine bit-identical to the pre-domain code (pinned by
+// test_domain_parity).
+//
+// Domains are immutable singletons registered in src/domains/ (one
+// subdirectory per domain); `findDomain` resolves the `--domain` flag.
+// APIs that accept a `const Domain*` treat nullptr as "the classic list
+// domain" so every pre-domain call site keeps working unchanged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dsl/functions.hpp"
+#include "dsl/generator.hpp"
+#include "dsl/value.hpp"
+
+namespace netsyn::dsl {
+
+struct Domain {
+  std::string name;     ///< registry key, e.g. "list", "str"
+  std::string summary;  ///< one-line description for --help / explorers
+
+  /// Global FuncIds this domain searches over, ascending. Dense domain-local
+  /// indices are positions in this vector.
+  std::vector<FuncId> vocabulary;
+
+  /// Default random-generation knobs (value ranges, list lengths, input
+  /// shapes). makeGeneratorConfig() stamps the back-pointer.
+  GeneratorConfig generatorDefaults;
+
+  // ---- NN encoding hints (consumed by fitness::EncoderConfig) ----
+  std::int32_t tokenVmax = 64;     ///< token ids cover [-vmax, vmax)
+  std::size_t maxValueTokens = 10; ///< per-value truncation length
+
+  /// Render list values as quoted text (char codes) instead of [a, b, c].
+  bool textual = false;
+
+  /// Custom list-value sampler (nullptr = uniform elements in the config's
+  /// [minValue, maxValue], the list domain's behaviour). The str domain
+  /// plugs in a word-shaped text sampler here.
+  Value (*sampleListValue)(const GeneratorConfig&, util::Rng&) = nullptr;
+
+  /// Output distance for the hand-crafted edit fitness (nullptr = the
+  /// shared token-level Levenshtein in fitness/edit.cpp).
+  std::size_t (*editDistance)(const Value&, const Value&) = nullptr;
+
+  // ---- derived tables (filled by finalize()) ----
+  /// Global FuncId -> domain-local index; -1 when the function is outside
+  /// the vocabulary. Size kTotalFunctions.
+  std::vector<std::int32_t> localOf;
+  std::vector<FuncId> intReturning;   ///< vocabulary subset returning Int
+  std::vector<FuncId> listReturning;  ///< vocabulary subset returning List
+
+  std::size_t vocabSize() const { return vocabulary.size(); }
+  bool contains(FuncId id) const { return localOf[id] >= 0; }
+  /// Precondition: contains(id).
+  std::size_t localIndex(FuncId id) const {
+    return static_cast<std::size_t>(localOf[id]);
+  }
+  /// Vocabulary functions whose return type is `t` (ascending FuncId; equals
+  /// functionsReturning(t) for the list domain).
+  const std::vector<FuncId>& returning(Type t) const {
+    return t == Type::Int ? intReturning : listReturning;
+  }
+
+  /// generatorDefaults with `domain` pointing back at this Domain — what a
+  /// Generator / harness config should be seeded with.
+  GeneratorConfig makeGeneratorConfig() const;
+
+  /// Builds localOf / intReturning / listReturning from `vocabulary`.
+  /// Called once at registration; vocabulary must be non-empty, ascending,
+  /// and in-range.
+  void finalize();
+};
+
+/// The paper's integer/list DSL (Appendix A): FuncIds 0..kNumFunctions-1.
+const Domain& listDomain();
+
+/// The string-manipulation DSL (strings as char-code lists).
+const Domain& strDomain();
+
+/// Registered domains in registration order (list first).
+const std::vector<const Domain*>& allDomains();
+
+/// Case-sensitive lookup by name; nullptr when unknown.
+const Domain* findDomain(std::string_view name);
+
+/// "list, str" — for error messages listing the valid --domain values.
+std::string knownDomainNames();
+
+/// `domain` or the list domain when null — the nullptr convention every
+/// Domain-pointer API follows.
+inline const Domain& resolveDomain(const Domain* domain) {
+  return domain ? *domain : listDomain();
+}
+
+/// Domain-aware display: textual domains print list values as quoted
+/// strings (non-printable codes escape as \xNN), everything else via
+/// Value::toString().
+std::string renderValue(const Domain& domain, const Value& v);
+
+}  // namespace netsyn::dsl

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "domains/strdsl/str_ops.hpp"
+
 namespace netsyn::dsl {
 namespace {
 
@@ -180,8 +182,16 @@ struct Entry {
 constexpr Type kInt = Type::Int;
 constexpr Type kList = Type::List;
 
-// Order defines FuncId; paperNumber preserves the paper's 1..41 numbering.
-const std::array<Entry, kNumFunctions> kTable = {{
+// Order defines FuncId; paperNumber preserves the paper's 1..41 numbering
+// for the list DSL (str ops carry 0: they are not in the paper's Sigma).
+// Ids 0..kNumFunctions-1 are the paper's Appendix A; the str-domain ops
+// (bodies in domains/strdsl/str_ops.cpp) follow and must never be
+// interleaved — generators, NN probability maps, and saved corpora all rely
+// on the list prefix staying dense and stable.
+namespace str = netsyn::domains::strdsl;
+
+const std::array<Entry, kTotalFunctions> kTable = {{
+
     {{"ACCESS", 1, 2, {kInt, kList}, kInt}, nullptr, access, nullptr},
     {{"COUNT(>0)", 2, 1, {kList, kList}, kInt}, count<isPositive>},
     {{"COUNT(<0)", 3, 1, {kList, kList}, kInt}, count<isNegative>},
@@ -228,24 +238,46 @@ const std::array<Entry, kNumFunctions> kTable = {{
      zipWith<opMin>},
     {{"ZIPWITH(max)", 41, 2, {kList, kList}, kList}, nullptr, nullptr,
      zipWith<opMax>},
+    // ---- str domain (strings as char-code lists) ----
+    {{"STR.CONCAT", 0, 2, {kList, kList}, kList}, nullptr, nullptr,
+     str::concat},
+    {{"STR.UPPER", 0, 1, {kList, kList}, kList}, str::upper},
+    {{"STR.LOWER", 0, 1, {kList, kList}, kList}, str::lower},
+    {{"STR.TITLE", 0, 1, {kList, kList}, kList}, str::title},
+    {{"STR.CAPITALIZE", 0, 1, {kList, kList}, kList}, str::capitalize},
+    {{"STR.TRIM", 0, 1, {kList, kList}, kList}, str::trim},
+    {{"STR.REVERSE", 0, 1, {kList, kList}, kList}, str::reverse},
+    {{"STR.FIRSTWORD", 0, 1, {kList, kList}, kList}, str::firstWord},
+    {{"STR.LASTWORD", 0, 1, {kList, kList}, kList}, str::lastWord},
+    {{"STR.INITIALS", 0, 1, {kList, kList}, kList}, str::initials},
+    {{"STR.SQUEEZE", 0, 1, {kList, kList}, kList}, str::squeeze},
+    {{"STR.HYPHENATE", 0, 1, {kList, kList}, kList}, str::hyphenate},
+    {{"STR.ALPHA", 0, 1, {kList, kList}, kList}, str::alphaOnly},
+    {{"STR.DIGITS", 0, 1, {kList, kList}, kList}, str::digitsOnly},
+    {{"STR.LEN", 0, 1, {kList, kList}, kInt}, str::strLen},
+    {{"STR.WORDS", 0, 1, {kList, kList}, kInt}, str::wordCount},
+    {{"STR.TAKE", 0, 2, {kInt, kList}, kList}, nullptr, str::strTake, nullptr},
+    {{"STR.DROP", 0, 2, {kInt, kList}, kList}, nullptr, str::strDrop, nullptr},
+    {{"STR.WORD", 0, 2, {kInt, kList}, kList}, nullptr, str::word, nullptr},
+    {{"STR.CHARAT", 0, 2, {kInt, kList}, kInt}, nullptr, str::charAt, nullptr},
 }};
 
 }  // namespace
 
 const FunctionInfo& functionInfo(FuncId id) {
-  assert(id < kNumFunctions);
+  assert(id < kTotalFunctions);
   return kTable[id].info;
 }
 
 FunctionBody functionBody(FuncId id) {
-  assert(id < kNumFunctions);
+  assert(id < kTotalFunctions);
   const Entry& e = kTable[id];
   return FunctionBody{e.unary, e.intList, e.listList};
 }
 
 void applyFunctionInto(FuncId id, std::span<const Value* const> args,
                        Value& out) {
-  assert(id < kNumFunctions);
+  assert(id < kTotalFunctions);
   const Entry& e = kTable[id];
   if (args.size() != e.info.arity)
     throw std::invalid_argument("wrong arity for " + std::string(e.info.name));
@@ -259,7 +291,7 @@ void applyFunctionInto(FuncId id, std::span<const Value* const> args,
 
 void applyFunctionIntoUnchecked(FuncId id, const Value* const* args,
                                 Value& out) {
-  assert(id < kNumFunctions);
+  assert(id < kTotalFunctions);
   const Entry& e = kTable[id];
   assert(args[0] != nullptr && args[0]->type() == e.info.argTypes[0]);
   assert(e.info.arity < 2 ||
@@ -274,7 +306,7 @@ void applyFunctionIntoUnchecked(FuncId id, const Value* const* args,
 }
 
 Value applyFunction(FuncId id, std::span<const Value> args) {
-  assert(id < kNumFunctions);
+  assert(id < kTotalFunctions);
   // Arity check before building the pointer span: a span of args.size()
   // over the kMaxArity-slot array would be ill-formed for oversized input.
   if (args.size() != kTable[id].info.arity)
@@ -290,12 +322,13 @@ Value applyFunction(FuncId id, std::span<const Value> args) {
 }
 
 std::optional<FuncId> functionByName(const std::string& name) {
-  for (std::size_t i = 0; i < kNumFunctions; ++i)
+  for (std::size_t i = 0; i < kTotalFunctions; ++i)
     if (name == kTable[i].info.name) return static_cast<FuncId>(i);
   return std::nullopt;
 }
 
 std::vector<FuncId> functionsReturning(Type t) {
+  // Paper-Sigma scan only (see header): domain vocabularies own the str ops.
   std::vector<FuncId> out;
   for (std::size_t i = 0; i < kNumFunctions; ++i)
     if (kTable[i].info.returnType == t) out.push_back(static_cast<FuncId>(i));

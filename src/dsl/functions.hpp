@@ -1,16 +1,22 @@
-// The 41 functions of NetSyn's list DSL (paper Appendix A).
+// The global function table: the 41 functions of NetSyn's list DSL (paper
+// Appendix A) followed by the string-manipulation ops of the "str" domain.
 //
 // Functions are identified by a dense 0-based `FuncId`; `paperNumber()` maps
-// to the 1-based numbering used in the paper's Figure 6 and appendix. Each
-// function has one of five signatures:
-//   [int] -> int        (HEAD, LAST, MINIMUM, MAXIMUM, SUM, COUNT x4)
-//   [int] -> [int]      (REVERSE, SORT, MAP x10, FILTER x4, SCANL1 x5)
-//   int,[int] -> [int]  (TAKE, DROP, DELETE, INSERT)
-//   [int],[int] -> [int] (ZIPWITH x5)
-//   int,[int] -> int    (ACCESS, SEARCH)
+// to the 1-based numbering used in the paper's Figure 6 and appendix (0 for
+// ops outside the paper's Sigma). Each function has one of the signature
+// shapes below — string ops reuse them with strings-as-char-lists:
+//   [int] -> int        (HEAD, LAST, MINIMUM, ..., STR.LEN, STR.WORDS)
+//   [int] -> [int]      (REVERSE, SORT, MAP x10, ..., STR.UPPER, STR.TRIM)
+//   int,[int] -> [int]  (TAKE, DROP, DELETE, INSERT, STR.TAKE, STR.WORD)
+//   [int],[int] -> [int] (ZIPWITH x5, STR.CONCAT)
+//   int,[int] -> int    (ACCESS, SEARCH, STR.CHARAT)
 // All functions are total: out-of-range accesses return defaults and
 // arithmetic saturates (see value.hpp), so any function sequence is a valid
 // program.
+//
+// The table is the *union* vocabulary; which functions a search may actually
+// use is decided by the dsl::Domain (domain.hpp) it runs under. Ids never
+// shift: 0..kNumFunctions-1 are the paper's list DSL, the str ops follow.
 #pragma once
 
 #include <array>
@@ -24,11 +30,19 @@
 
 namespace netsyn::dsl {
 
-/// Dense function identifier, 0 .. kNumFunctions-1.
+/// Dense function identifier, 0 .. kTotalFunctions-1.
 using FuncId = std::uint8_t;
 
-/// Size of Sigma_DSL: the DSL has exactly 41 functions.
+/// Size of the paper's Sigma_DSL: the list DSL has exactly 41 functions,
+/// occupying FuncIds 0..40 of the table.
 inline constexpr std::size_t kNumFunctions = 41;
+
+/// Number of string-manipulation ops (FuncIds kNumFunctions..).
+inline constexpr std::size_t kNumStrFunctions = 20;
+
+/// Total size of the function table across all registered domains.
+inline constexpr std::size_t kTotalFunctions =
+    kNumFunctions + kNumStrFunctions;
 
 /// Maximum arity of any DSL function.
 inline constexpr std::size_t kMaxArity = 2;
@@ -42,7 +56,7 @@ struct FunctionInfo {
   Type returnType;
 };
 
-/// Metadata for `id`. Precondition: id < kNumFunctions.
+/// Metadata for `id`. Precondition: id < kTotalFunctions.
 const FunctionInfo& functionInfo(FuncId id);
 
 /// Applies function `id` to `args` (args.size() == arity, types matching the
@@ -78,15 +92,18 @@ struct FunctionBody {
                    const std::vector<std::int32_t>&, Value&) = nullptr;
 };
 
-/// Body pointers for `id`. Precondition: id < kNumFunctions.
+/// Body pointers for `id`. Precondition: id < kTotalFunctions.
 FunctionBody functionBody(FuncId id);
 
 /// Lookup by display name (exact match, e.g. "FILTER(>0)"); nullopt when the
 /// name is unknown. Used by the program parser.
 std::optional<FuncId> functionByName(const std::string& name);
 
-/// All FuncIds whose return type is `t` (useful for generators that must end
-/// a program with a specific output type).
+/// All *list-DSL* FuncIds (the paper's Sigma, ids < kNumFunctions) whose
+/// return type is `t`. Domain-scoped generation goes through
+/// Domain::returning (domain.hpp) instead, which restricts to the domain's
+/// vocabulary; this helper keeps the paper-Sigma semantics its existing
+/// callers rely on.
 std::vector<FuncId> functionsReturning(Type t);
 
 /// True if the function's return type is Int. The paper observes that these

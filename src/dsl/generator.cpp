@@ -1,6 +1,13 @@
 #include "dsl/generator.hpp"
 
+#include "dsl/domain.hpp"
+
 namespace netsyn::dsl {
+
+Generator::Generator(const Domain& domain)
+    : Generator(domain.makeGeneratorConfig()) {}
+
+const Domain& Generator::domain() const { return resolveDomain(config_.domain); }
 
 InputSignature Generator::randomSignature(util::Rng& rng) const {
   InputSignature sig{Type::List};
@@ -10,9 +17,13 @@ InputSignature Generator::randomSignature(util::Rng& rng) const {
 
 Value Generator::randomValue(Type t, util::Rng& rng) const {
   if (t == Type::Int) {
-    return Value(static_cast<std::int32_t>(
-        rng.uniformInt(config_.minValue, config_.maxValue)));
+    const std::int32_t lo = config_.useIntRange ? config_.intMinValue
+                                                : config_.minValue;
+    const std::int32_t hi = config_.useIntRange ? config_.intMaxValue
+                                                : config_.maxValue;
+    return Value(static_cast<std::int32_t>(rng.uniformInt(lo, hi)));
   }
+  if (auto* sample = domain().sampleListValue) return sample(config_, rng);
   const int len = static_cast<int>(
       rng.uniformInt(config_.minListLength, config_.maxListLength));
   std::vector<std::int32_t> xs;
@@ -37,14 +48,20 @@ std::optional<Program> Generator::randomProgram(
     std::optional<Type> outputType) const {
   if (length == 0) return Program{};
 
-  auto randomFunc = [&rng]() {
-    return static_cast<FuncId>(rng.uniform(kNumFunctions));
+  // Sample in domain-local index space. For the list domain the vocabulary
+  // is the identity over 0..kNumFunctions-1, so the draws (and the RNG
+  // stream) are exactly the pre-domain generator's.
+  const Domain& dom = domain();
+  const std::vector<FuncId>& vocab = dom.vocabulary;
+  auto randomFunc = [&rng, &vocab]() {
+    return vocab[rng.uniform(vocab.size())];
   };
-  const std::vector<FuncId> finals =
-      outputType ? functionsReturning(*outputType) : std::vector<FuncId>{};
+  const std::vector<FuncId>& finals =
+      outputType ? dom.returning(*outputType) : vocab;
   auto randomFinal = [&]() {
     return outputType ? rng.pick(finals) : randomFunc();
   };
+  if (outputType && finals.empty()) return std::nullopt;  // domain lacks type
 
   std::vector<FuncId> fns(length);
   for (std::size_t i = 0; i + 1 < length; ++i) fns[i] = randomFunc();

@@ -18,6 +18,8 @@
 
 namespace netsyn::dsl {
 
+struct Domain;  // domain.hpp — vocabulary + value shapes of one DSL
+
 /// Knobs for random generation. Defaults follow DeepCoder-style conventions
 /// scaled to this repo's CPU-only setting (documented in DESIGN.md §5).
 struct GeneratorConfig {
@@ -27,13 +29,28 @@ struct GeneratorConfig {
   std::int32_t maxValue = 64;
   double intInputProbability = 0.5;  ///< P(program also takes an int input)
   int maxAttempts = 1000;  ///< rejection-sampling budget per artifact
+  /// Separate range for Int *inputs* when useIntRange is set (the str domain
+  /// draws list elements as char codes but int inputs as small counts /
+  /// indices). Off by default: ints share [minValue, maxValue], the list
+  /// domain's classic behaviour.
+  bool useIntRange = false;
+  std::int32_t intMinValue = 0;
+  std::int32_t intMaxValue = 0;
+  /// Which DSL to generate for: vocabulary for function sampling plus value
+  /// hooks. nullptr selects the classic list domain (bit-identical to the
+  /// pre-domain generator; pinned by test_domain_parity).
+  const Domain* domain = nullptr;
 };
 
 class Generator {
  public:
   explicit Generator(GeneratorConfig config = {}) : config_(config) {}
+  /// Generator for `domain` with the domain's default knobs.
+  explicit Generator(const Domain& domain);
 
   const GeneratorConfig& config() const { return config_; }
+  /// The domain generated for (config().domain, null resolving to list).
+  const Domain& domain() const;
 
   /// Random input signature: always a list first, optionally an int.
   InputSignature randomSignature(util::Rng& rng) const;

@@ -1,5 +1,7 @@
 #include "fitness/corpus_io.hpp"
 
+#include "dsl/domain.hpp"
+
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -52,15 +54,16 @@ void writeProgram(std::ofstream& f, const dsl::Program& p) {
   for (dsl::FuncId id : p.functions()) writePod<std::uint8_t>(f, id);
 }
 
-dsl::Program readProgram(std::ifstream& f) {
+dsl::Program readProgram(std::ifstream& f, const dsl::Domain& domain) {
   const auto n = readPod<std::uint32_t>(f);
   if (n > 4096) throw std::runtime_error("corpus program length corrupt");
   std::vector<dsl::FuncId> fns;
   fns.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     const auto id = readPod<std::uint8_t>(f);
-    if (id >= dsl::kNumFunctions)
-      throw std::runtime_error("corpus function id corrupt");
+    if (id >= dsl::kTotalFunctions || !domain.contains(id))
+      throw std::runtime_error("corpus function id outside domain '" +
+                               domain.name + "'");
     fns.push_back(static_cast<dsl::FuncId>(id));
   }
   return dsl::Program(std::move(fns));
@@ -95,7 +98,9 @@ void saveSamples(const std::vector<Sample>& samples,
   if (!f) throw std::runtime_error("saveSamples: write failed for " + path);
 }
 
-std::vector<Sample> loadSamples(const std::string& path) {
+std::vector<Sample> loadSamples(const std::string& path,
+                                const dsl::Domain* domain) {
+  const dsl::Domain& dom = dsl::resolveDomain(domain);
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("loadSamples: cannot open " + path);
   char magic[4];
@@ -111,8 +116,8 @@ std::vector<Sample> loadSamples(const std::string& path) {
   samples.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     Sample s;
-    s.target = readProgram(f);
-    s.candidate = readProgram(f);
+    s.target = readProgram(f, dom);
+    s.candidate = readProgram(f, dom);
     const auto m = readPod<std::uint32_t>(f);
     s.spec.examples.reserve(m);
     for (std::uint32_t j = 0; j < m; ++j) {
@@ -136,8 +141,9 @@ std::vector<Sample> loadSamples(const std::string& path) {
     s.cf = readPod<std::uint32_t>(f);
     s.lcs = readPod<std::uint32_t>(f);
     // Function presence is derivable; rebuild rather than store.
-    s.funcPresence.assign(dsl::kNumFunctions, 0.0f);
-    for (dsl::FuncId id : s.target.functions()) s.funcPresence[id] = 1.0f;
+    s.funcPresence.assign(dom.vocabSize(), 0.0f);
+    for (dsl::FuncId id : s.target.functions())
+      s.funcPresence[dom.localIndex(id)] = 1.0f;
     samples.push_back(std::move(s));
   }
   return samples;

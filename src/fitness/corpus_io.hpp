@@ -19,7 +19,11 @@ namespace netsyn::fitness {
 void saveSamples(const std::vector<Sample>& samples, const std::string& path);
 
 /// Reads a sample set written by saveSamples. Throws std::runtime_error on
-/// I/O failure or malformed input.
-std::vector<Sample> loadSamples(const std::string& path);
+/// I/O failure or malformed input. `domain` (nullptr = list) scopes the
+/// rebuilt funcPresence vectors and validates that every stored program
+/// stays inside the domain's vocabulary — loading a list corpus into a
+/// str-domain trainer fails loudly instead of mis-indexing the FP head.
+std::vector<Sample> loadSamples(const std::string& path,
+                                const dsl::Domain* domain = nullptr);
 
 }  // namespace netsyn::fitness

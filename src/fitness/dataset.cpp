@@ -4,20 +4,23 @@
 #include <array>
 #include <stdexcept>
 
+#include "dsl/domain.hpp"
 #include "dsl/interpreter.hpp"
 #include "fitness/metrics.hpp"
 
 namespace netsyn::fitness {
 namespace {
 
-/// Functions that appear nowhere in `target` (filler pool that cannot
-/// increase CF or LCS).
-std::vector<dsl::FuncId> absentFunctions(const dsl::Program& target) {
-  std::array<bool, dsl::kNumFunctions> present{};
+/// Domain-vocabulary functions that appear nowhere in `target` (filler pool
+/// that cannot increase CF or LCS). Vocabulary order, so the list domain's
+/// pool is the classic ascending-FuncId scan.
+std::vector<dsl::FuncId> absentFunctions(const dsl::Program& target,
+                                         const dsl::Domain& domain) {
+  std::array<bool, dsl::kTotalFunctions> present{};
   for (dsl::FuncId f : target.functions()) present[f] = true;
   std::vector<dsl::FuncId> pool;
-  for (std::size_t i = 0; i < dsl::kNumFunctions; ++i)
-    if (!present[i]) pool.push_back(static_cast<dsl::FuncId>(i));
+  for (dsl::FuncId f : domain.vocabulary)
+    if (!present[f]) pool.push_back(f);
   return pool;
 }
 
@@ -40,7 +43,8 @@ dsl::Program DatasetBuilder::makeCandidateWithLabel(
   const std::size_t len = target.length();
   if (label > len)
     throw std::invalid_argument("label exceeds program length");
-  const auto pool = absentFunctions(target);
+  const auto pool =
+      absentFunctions(target, dsl::resolveDomain(config_.generator.domain));
   if (pool.empty() && label < len)
     throw std::invalid_argument("target uses the whole DSL; cannot dilute");
 
@@ -94,8 +98,10 @@ std::optional<Sample> DatasetBuilder::makeSample(std::size_t label,
   s.traces = tracesFor(s.candidate, s.spec);
   s.cf = commonFunctions(s.candidate, s.target);
   s.lcs = longestCommonSubsequence(s.candidate, s.target);
-  s.funcPresence.assign(dsl::kNumFunctions, 0.0f);
-  for (dsl::FuncId f : s.target.functions()) s.funcPresence[f] = 1.0f;
+  const dsl::Domain& dom = dsl::resolveDomain(config_.generator.domain);
+  s.funcPresence.assign(dom.vocabSize(), 0.0f);
+  for (dsl::FuncId f : s.target.functions())
+    s.funcPresence[dom.localIndex(f)] = 1.0f;
   return s;
 }
 

@@ -28,7 +28,9 @@ struct Sample {
   std::vector<std::vector<dsl::Value>> traces;
   std::size_t cf = 0;   ///< commonFunctions(candidate, target)
   std::size_t lcs = 0;  ///< longestCommonSubsequence(candidate, target)
-  std::vector<float> funcPresence;  ///< 41 multi-hot: f in elems(target)
+  /// Multi-hot target-function presence, indexed by domain-local function
+  /// index (vocabSize entries; 41 global-id slots for the list domain).
+  std::vector<float> funcPresence;
 };
 
 /// Which oracle metric the label-balancing targets.
@@ -37,7 +39,7 @@ enum class BalanceMetric : std::uint8_t { CF, LCS };
 struct DatasetConfig {
   std::size_t programLength = 5;  ///< length of targets and candidates
   std::size_t numExamples = 5;    ///< m IO examples per spec
-  dsl::GeneratorConfig generator;
+  dsl::GeneratorConfig generator;  ///< carries the domain (null = list)
 };
 
 class DatasetBuilder {

@@ -36,8 +36,8 @@ double EditDistanceFitness::score(const dsl::Program&,
   if (ctx.spec.examples.empty()) return 1.0;
   double total = 0.0;
   for (std::size_t j = 0; j < ctx.spec.examples.size(); ++j) {
-    total += static_cast<double>(valueEditDistance(
-        ctx.runs[j].output(), ctx.spec.examples[j].output));
+    total += static_cast<double>(
+        dist_(ctx.runs[j].output(), ctx.spec.examples[j].output));
   }
   const double meanDist = total / static_cast<double>(ctx.spec.size());
   return 1.0 / (1.0 + meanDist);

@@ -8,20 +8,33 @@
 // Roulette Wheel weight) and increases as outputs get closer.
 #pragma once
 
+#include "dsl/domain.hpp"
 #include "fitness/fitness.hpp"
 
 namespace netsyn::fitness {
 
 /// Levenshtein distance between two DSL values, token-wise: lists compare
 /// element sequences; ints compare as single-token sequences; comparing an
-/// int against a list treats the int as a one-element sequence.
+/// int against a list treats the int as a one-element sequence. On the str
+/// domain's char-code lists this *is* classic string edit distance, which is
+/// why both shipped domains use it as their output metric.
 std::size_t valueEditDistance(const dsl::Value& a, const dsl::Value& b);
 
 class EditDistanceFitness final : public FitnessFunction {
  public:
+  /// Grades with the domain's output metric (Domain::editDistance; nullptr
+  /// domain or hook falls back to the shared token-level Levenshtein).
+  explicit EditDistanceFitness(const dsl::Domain* domain = nullptr)
+      : dist_(dsl::resolveDomain(domain).editDistance
+                  ? dsl::resolveDomain(domain).editDistance
+                  : &valueEditDistance) {}
+
   double score(const dsl::Program& gene, const EvalContext& ctx) override;
   double maxScore(std::size_t) const override { return 1.0; }
   std::string name() const override { return "Edit"; }
+
+ private:
+  std::size_t (*dist_)(const dsl::Value&, const dsl::Value&);
 };
 
 }  // namespace netsyn::fitness

@@ -6,11 +6,12 @@
 namespace netsyn::fitness {
 
 std::size_t commonFunctions(const dsl::Program& a, const dsl::Program& b) {
-  std::array<std::size_t, dsl::kNumFunctions> ca{}, cb{};
+  // Counters span the whole table so str-domain programs index in range.
+  std::array<std::size_t, dsl::kTotalFunctions> ca{}, cb{};
   for (dsl::FuncId f : a.functions()) ++ca[f];
   for (dsl::FuncId f : b.functions()) ++cb[f];
   std::size_t common = 0;
-  for (std::size_t i = 0; i < dsl::kNumFunctions; ++i)
+  for (std::size_t i = 0; i < dsl::kTotalFunctions; ++i)
     common += std::min(ca[i], cb[i]);
   return common;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsl/domain.hpp"
 #include "fitness/edit.hpp"
 
 namespace netsyn::fitness {
@@ -47,7 +48,9 @@ std::uint64_t valueFingerprint(const dsl::Value& v) {
 }  // namespace
 
 NnffModel::NnffModel(NnffConfig config)
-    : config_(config), encoder_(config.encoder) {
+    : config_(config),
+      resolvedDomain_(&dsl::resolveDomain(config.domain)),
+      encoder_(config.encoder) {
   util::Rng rng(config_.seed);
   const std::size_t e = config_.embedDim;
   const std::size_t h = config_.hiddenDim;
@@ -58,7 +61,7 @@ NnffModel::NnffModel(NnffConfig config)
   outputLstm_ = std::make_unique<nn::Lstm>(e, h, params_, rng);
   if (config_.useTrace) {
     funcEmb_ =
-        std::make_unique<nn::Embedding>(dsl::kNumFunctions, e, params_, rng);
+        std::make_unique<nn::Embedding>(funcVocabSize(), e, params_, rng);
     traceLstm_ = std::make_unique<nn::Lstm>(e, h, params_, rng);
     stepLstm_ = std::make_unique<nn::Lstm>(e + h + 2, h, params_, rng);
     featProj_ = std::make_unique<nn::Linear>(4, h, params_, rng);
@@ -76,12 +79,20 @@ std::size_t NnffModel::outDim() const {
     case HeadKind::Classifier:
       return config_.numClasses;
     case HeadKind::Multilabel:
-      return config_.multilabelDim == 0 ? dsl::kNumFunctions
+      return config_.multilabelDim == 0 ? funcVocabSize()
                                         : config_.multilabelDim;
     case HeadKind::Regression:
       return 1;
   }
   return 1;
+}
+
+std::size_t NnffModel::funcVocabSize() const {
+  return resolvedDomain_->vocabSize();
+}
+
+std::size_t NnffModel::funcRow(dsl::FuncId id) const {
+  return resolvedDomain_->localIndex(id);
 }
 
 nn::Var NnffModel::encodeTokens(const nn::Lstm& lstm,
@@ -120,7 +131,7 @@ nn::Var NnffModel::exampleVector(const dsl::IOExample& example,
     steps.reserve(candidate->length());
     std::size_t exactSteps = 0;
     for (std::size_t k = 0; k < candidate->length(); ++k) {
-      const nn::Var fVec = funcEmb_->lookup(candidate->at(k));
+      const nn::Var fVec = funcEmb_->lookup(funcRow(candidate->at(k)));
       const nn::Var tVec =
           encodeTokens(*traceLstm_, encoder_.encodeValue((*trace)[k]));
       const nn::Var mVec = stepMatchFeatures((*trace)[k], example.output);
@@ -205,8 +216,8 @@ void NnffModel::exampleVectorFast(const dsl::IOExample& example,
     std::size_t exactSteps = 0;
     for (std::size_t k = 0; k < len; ++k) {
       float* x = stepBuf.data() + k * stepWidth;
-      const float* fRow = funcEmb_->table().data() +
-                          static_cast<std::size_t>(candidate->at(k)) * e;
+      const float* fRow =
+          funcEmb_->table().data() + funcRow(candidate->at(k)) * e;
       std::copy(fRow, fRow + e, x);
       const std::uint64_t tvFp = valueFingerprint((*trace)[k]);
       const auto& tEnc = traceEncodingMemo((*trace)[k], tvFp);
@@ -442,8 +453,8 @@ std::vector<std::vector<float>> NnffModel::predictBatchImpl(
           active[b] = k < candidates[b]->length() ? 1 : 0;
           if (!active[b]) continue;
           float* x = xStep.data() + b * stepWidth;
-          const float* fRow = funcEmb_->table().data() +
-                              static_cast<std::size_t>(candidates[b]->at(k)) * e;
+          const float* fRow =
+              funcEmb_->table().data() + funcRow(candidates[b]->at(k)) * e;
           std::copy(fRow, fRow + e, x);
           const dsl::Value& tv = (*traceTable[b * m + i])[k];
           const std::uint64_t tvFp = valueFingerprint(tv);

@@ -28,6 +28,10 @@
 #include "nn/layers.hpp"
 #include "nn/serialize.hpp"
 
+namespace netsyn::dsl {
+struct Domain;  // domain.hpp
+}
+
 namespace netsyn::fitness {
 
 enum class HeadKind : std::uint8_t { Classifier, Multilabel, Regression };
@@ -41,9 +45,16 @@ struct NnffConfig {
   HeadKind head = HeadKind::Classifier;
   bool useTrace = true;        ///< false for the FP (IO-only) model
   std::uint64_t seed = 1;      ///< weight-init seed
-  /// Output width of a Multilabel head: kNumFunctions (0 means default) for
-  /// the FP probability map, kNumFunctions^2 for the §5.3.1 bigram model.
+  /// Output width of a Multilabel head: the domain's vocabulary size (0
+  /// means default) for the FP probability map, kNumFunctions^2 for the
+  /// §5.3.1 bigram model (list domain only).
   std::size_t multilabelDim = 0;
+  /// The DSL domain the model grades: sizes the function-embedding table
+  /// and the default Multilabel width, and maps program FuncIds to
+  /// embedding rows. nullptr = list domain, whose local indices equal
+  /// global FuncIds — weight shapes and forward passes are then exactly
+  /// the pre-domain model's.
+  const dsl::Domain* domain = nullptr;
 };
 
 class NnffModel {
@@ -58,8 +69,13 @@ class NnffModel {
   nn::ParamStore& params() { return params_; }
   const nn::ParamStore& params() const { return params_; }
 
-  /// Output width: numClasses, 41, or 1 depending on the head.
+  /// Output width: numClasses, the domain vocabulary size, or 1 depending
+  /// on the head.
   std::size_t outDim() const;
+
+  /// Rows of the function-embedding table: the domain's vocabulary size
+  /// (kNumFunctions for the list domain).
+  std::size_t funcVocabSize() const;
 
   /// Full forward pass: logits (1 x outDim). `traces[i]` is the execution
   /// trace of `candidate` on spec example i (traces[i].size() ==
@@ -113,6 +129,10 @@ class NnffModel {
   nn::Var encodeTokens(const nn::Lstm& lstm,
                        const std::vector<std::size_t>& tokens) const;
 
+  /// Embedding row of a program function: its domain-local index (identity
+  /// for the list domain).
+  std::size_t funcRow(dsl::FuncId id) const;
+
   /// H_i for one example (program/trace branch included iff useTrace).
   nn::Var exampleVector(const dsl::IOExample& example,
                         const dsl::Program* candidate,
@@ -152,6 +172,7 @@ class NnffModel {
       const std::vector<const std::vector<dsl::Value>*>& traceTable) const;
 
   NnffConfig config_;
+  const dsl::Domain* resolvedDomain_;  ///< config_.domain, null -> list
   TokenEncoder encoder_;
   nn::ParamStore params_;
   std::unique_ptr<nn::Embedding> valueEmb_;

@@ -97,19 +97,23 @@ std::vector<double> NeuralFitness::scoreBatch(
 }
 
 ProbMapFitness::ProbMapFitness(std::shared_ptr<NnffModel> fpModel)
-    : model_(std::move(fpModel)) {
+    : model_(std::move(fpModel)),
+      domain_(&dsl::resolveDomain(model_->config().domain)) {
   if (model_->config().head != HeadKind::Multilabel ||
       model_->config().useTrace)
     throw std::invalid_argument(
         "ProbMapFitness requires an IO-only Multilabel model");
+  if (model_->outDim() != domain_->vocabSize())
+    throw std::invalid_argument(
+        "ProbMapFitness: multilabel width != domain vocabulary size");
 }
 
-std::array<double, dsl::kNumFunctions> ProbMapFitness::probMap(
-    const dsl::Spec& spec) {
+std::vector<double> ProbMapFitness::probMap(const dsl::Spec& spec) {
   const std::uint64_t fp = spec.fingerprint();
   if (hasCachedMap_ && cachedFingerprint_ == fp) return cachedMap_;
   const auto logits = model_->forwardIOOnlyFast(spec);
-  for (std::size_t j = 0; j < dsl::kNumFunctions; ++j) {
+  cachedMap_.resize(domain_->vocabSize());
+  for (std::size_t j = 0; j < cachedMap_.size(); ++j) {
     cachedMap_[j] =
         1.0 / (1.0 + std::exp(-static_cast<double>(logits[j])));
   }
@@ -122,7 +126,7 @@ double ProbMapFitness::score(const dsl::Program& gene,
                              const EvalContext& ctx) {
   const auto map = probMap(ctx.spec);
   double total = 0.0;
-  for (dsl::FuncId f : gene.functions()) total += map[f];
+  for (dsl::FuncId f : gene.functions()) total += map[domain_->localIndex(f)];
   return total;
 }
 
@@ -139,7 +143,8 @@ std::vector<double> ProbMapFitness::scoreBatch(
     const auto map = probMap(contexts[begin]->spec);
     for (std::size_t i = begin; i < end; ++i) {
       double total = 0.0;
-      for (dsl::FuncId f : genes[i]->functions()) total += map[f];
+      for (dsl::FuncId f : genes[i]->functions())
+        total += map[domain_->localIndex(f)];
       out[i] = total;
     }
     begin = end;

@@ -5,7 +5,7 @@
 // ranking signal than argmax for the Roulette Wheel).
 //
 // ProbMapFitness wraps the Multilabel (FP) model: the probability map
-// p = (p_1..p_41) depends only on the spec, so it is computed once and
+// p = (p_1..p_|Sigma|) depends only on the spec, so it is computed once and
 // cached; a gene's grade is sum of p_k over its functions (paper §4.2.1).
 // The same map drives the FP-guided mutation operator and the
 // DeepCoder-style baseline, via the ProbMapProvider interface.
@@ -13,21 +13,27 @@
 // RegressionFitness wraps the Regression-head ablation model (§5.3.1).
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
+#include "dsl/domain.hpp"
 #include "fitness/fitness.hpp"
 #include "fitness/model.hpp"
 
 namespace netsyn::fitness {
 
-/// Anything that can produce Prob(op in P_t | spec) for all 41 ops.
+/// Anything that can produce Prob(op in P_t | spec) for every op of one
+/// domain's vocabulary. The map is indexed by *domain-local* function index
+/// (vocabulary order; equal to global FuncId for the list domain) and has
+/// exactly domain().vocabSize() entries — consumers translate through
+/// domain().vocabulary / localIndex().
 class ProbMapProvider {
  public:
   virtual ~ProbMapProvider() = default;
-  virtual std::array<double, dsl::kNumFunctions> probMap(
-      const dsl::Spec& spec) = 0;
+  virtual std::vector<double> probMap(const dsl::Spec& spec) = 0;
+  /// The domain whose vocabulary the map ranges over.
+  virtual const dsl::Domain& domain() const { return dsl::listDomain(); }
 };
 
 /// f_CF / f_LCS: expectation of the classifier's predicted fitness class.
@@ -54,7 +60,8 @@ class NeuralFitness final : public FitnessFunction {
   std::string name_;
 };
 
-/// f_FP: sum of learned per-function probabilities over the gene.
+/// f_FP: sum of learned per-function probabilities over the gene. The map's
+/// width and indexing follow the FP model's domain (NnffConfig::domain).
 class ProbMapFitness final : public FitnessFunction, public ProbMapProvider {
  public:
   explicit ProbMapFitness(std::shared_ptr<NnffModel> fpModel);
@@ -70,17 +77,19 @@ class ProbMapFitness final : public FitnessFunction, public ProbMapProvider {
   }
   std::string name() const override { return "NN_FP"; }
 
-  /// Cached per-spec probability map. Invalidation is by content
-  /// fingerprint, not by address: a different spec allocated where the old
-  /// one lived must not return a stale map.
-  std::array<double, dsl::kNumFunctions> probMap(
-      const dsl::Spec& spec) override;
+  /// Cached per-spec probability map (domain-local order). Invalidation is
+  /// by content fingerprint, not by address: a different spec allocated
+  /// where the old one lived must not return a stale map.
+  std::vector<double> probMap(const dsl::Spec& spec) override;
+
+  const dsl::Domain& domain() const override { return *domain_; }
 
  private:
   std::shared_ptr<NnffModel> model_;
+  const dsl::Domain* domain_;  ///< resolved from the model's config
   bool hasCachedMap_ = false;
   std::uint64_t cachedFingerprint_ = 0;
-  std::array<double, dsl::kNumFunctions> cachedMap_{};
+  std::vector<double> cachedMap_;
 };
 
 /// §5.3.1 ablation: raw scalar prediction as fitness (clamped to >= 0 so it

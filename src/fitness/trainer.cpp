@@ -30,8 +30,8 @@ nn::Var Trainer::sampleLoss(const NnffModel& model,
       const auto logits = model.forwardIOOnly(sample.spec);
       const std::size_t out = model.outDim();
       nn::Matrix targets(1, out);
-      if (out == dsl::kNumFunctions) {
-        for (std::size_t i = 0; i < dsl::kNumFunctions; ++i)
+      if (out == sample.funcPresence.size()) {
+        for (std::size_t i = 0; i < out; ++i)
           targets.at(i) = sample.funcPresence[i];
       } else {
         // Bigram model (§5.3.1): adjacent-pair presence of the target.
@@ -125,8 +125,8 @@ std::pair<double, double> Trainer::evaluate(
         const auto logits = model.forwardIOOnly(s.spec);
         const std::size_t out = model.outDim();
         const std::vector<float> targets =
-            out == dsl::kNumFunctions ? s.funcPresence
-                                      : bigramTargets(s.target);
+            out == s.funcPresence.size() ? s.funcPresence
+                                         : bigramTargets(s.target);
         std::size_t hits = 0;
         for (std::size_t j = 0; j < out; ++j) {
           const bool predicted = logits->value().at(j) >= 0.0f;  // p >= 0.5
@@ -180,7 +180,7 @@ double Trainer::multilabelAccuracy(const NnffModel& model,
   for (const Sample& s : set) {
     const auto logits = model.forwardIOOnly(s.spec);
     const std::size_t out = model.outDim();
-    const std::vector<float> targets = out == dsl::kNumFunctions
+    const std::vector<float> targets = out == s.funcPresence.size()
                                            ? s.funcPresence
                                            : bigramTargets(s.target);
     std::size_t hits = 0;

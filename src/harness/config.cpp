@@ -117,8 +117,34 @@ ExperimentConfig ExperimentConfig::forScale(const std::string& scale) {
                               "' (expected ci or paper)");
 }
 
+const dsl::Domain& ExperimentConfig::domain() const {
+  const dsl::Domain* d = dsl::findDomain(domainName);
+  if (!d)
+    throw std::invalid_argument("unknown domain '" + domainName +
+                                "' (expected one of: " +
+                                dsl::knownDomainNames() + ")");
+  return *d;
+}
+
+void ExperimentConfig::applyDomain() {
+  const dsl::Domain& d = domain();  // validates the name
+  if (d.name == "list") {
+    // The list domain is the historical default: leave every knob exactly
+    // as the scale preset set it (generator.domain stays null, which the
+    // whole engine treats as "list"). test_domain_parity separately pins
+    // that an *explicit* list-domain pointer changes nothing.
+    return;
+  }
+  synthesizer.generator = d.makeGeneratorConfig();
+  modelConfig.domain = &d;
+  modelConfig.encoder.vmax = d.tokenVmax;
+  modelConfig.encoder.maxValueTokens = d.maxValueTokens;
+}
+
 ExperimentConfig ExperimentConfig::fromArgs(const util::ArgParse& args) {
   ExperimentConfig cfg = forScale(args.getString("scale", "ci"));
+  cfg.domainName = args.getString("domain", cfg.domainName);
+  cfg.applyDomain();  // validates --domain and re-seeds domain knobs
   cfg.searchBudget = static_cast<std::size_t>(
       args.getInt("budget", static_cast<long>(cfg.searchBudget)));
   cfg.runsPerProgram = static_cast<std::size_t>(
@@ -176,6 +202,7 @@ std::string ExperimentConfig::toJson() const {
   os.precision(17);  // doubles survive the round trip exactly
   os << "{";
   os << "\"scale\": \"" << escapeJson(scaleName) << "\"";
+  os << ", \"domain\": \"" << escapeJson(domainName) << "\"";
   os << ", \"program_lengths\": [";
   for (std::size_t i = 0; i < programLengths.size(); ++i)
     os << (i ? ", " : "") << programLengths[i];
@@ -252,6 +279,12 @@ ExperimentConfig ExperimentConfig::fromJsonValue(const util::JsonValue& root) {
   std::string scale = "ci";
   readString(root, "scale", scale);
   ExperimentConfig cfg = forScale(scale);
+  readString(root, "domain", cfg.domainName);
+  // Validate and apply *before* the overrides below, so an explicit
+  // generator/model setting in the JSON could later win over the domain
+  // defaults, and an unknown name fails with the flag-style message rather
+  // than deep inside a search.
+  cfg.applyDomain();
 
   if (const JsonValue* lengths = root.find("program_lengths")) {
     if (lengths->kind != JsonValue::Kind::Array)

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/synthesizer.hpp"
+#include "dsl/domain.hpp"
 #include "fitness/model.hpp"
 #include "fitness/trainer.hpp"
 #include "util/argparse.hpp"
@@ -22,6 +23,12 @@ namespace netsyn::harness {
 
 struct ExperimentConfig {
   std::string scaleName = "ci";
+
+  /// Which DSL the experiment runs on ("list" or "str"; dsl::findDomain
+  /// names). Selecting a non-list domain re-seeds the generator knobs and
+  /// NN-encoder hints from the domain's defaults (applyDomain); the list
+  /// domain keeps the historical values bit-identically.
+  std::string domainName = "list";
 
   // ---- workload ----
   std::vector<std::size_t> programLengths = {4, 5};
@@ -50,14 +57,25 @@ struct ExperimentConfig {
   std::uint64_t seed = 2021;
   std::string modelDir = "netsyn_models";  ///< trained-model cache
 
+  /// The resolved domain (throws std::invalid_argument with the known
+  /// names when domainName is unknown).
+  const dsl::Domain& domain() const;
+
+  /// Re-seeds the domain-dependent knobs (synthesizer.generator, NN encoder
+  /// hints, modelConfig.domain) from domainName. Called by fromArgs /
+  /// fromJson after the name is set; call it yourself after assigning
+  /// domainName directly. Throws std::invalid_argument on unknown names.
+  void applyDomain();
+
   /// Named presets: "ci" (default) or "paper".
   static ExperimentConfig forScale(const std::string& scale);
 
   /// Preset selected by --scale plus individual flag overrides
-  /// (--budget, --runs, --programs-per-length, --train-programs, --epochs,
-  ///  --seed, --model-dir, --lengths=5,7,10, --workers=N, and the island
-  ///  strategy: --islands=K, --migration-interval=M, --migration-size=E,
-  ///  --topology=ring|full, --island-threads=T, --island-hetero).
+  /// (--domain=list|str, --budget, --runs, --programs-per-length,
+  ///  --train-programs, --epochs, --seed, --model-dir, --lengths=5,7,10,
+  ///  --workers=N, and the island strategy: --islands=K,
+  ///  --migration-interval=M, --migration-size=E, --topology=ring|full,
+  ///  --island-threads=T, --island-hetero).
   ///  --islands selects SearchStrategy::Islands (also for K=1, which is
   ///  pinned identical to the single-population search).
   static ExperimentConfig fromArgs(const util::ArgParse& args);

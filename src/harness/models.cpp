@@ -17,7 +17,7 @@ TrainedModels TrainedModels::clone() const {
 
 std::shared_ptr<fitness::NnffModel> buildModel(const ExperimentConfig& config,
                                                fitness::HeadKind head) {
-  fitness::NnffConfig mc = config.modelConfig;
+  fitness::NnffConfig mc = config.modelConfig;  // carries encoder + domain
   mc.head = head;
   mc.useTrace = (head != fitness::HeadKind::Multilabel);
   // The IO-only FP model is cheap (no per-step branch): give it every
@@ -35,6 +35,7 @@ std::vector<fitness::Sample> buildCorpus(const ExperimentConfig& config,
   fitness::DatasetConfig dc;
   dc.programLength = config.trainingLength;
   dc.numExamples = config.examplesPerProgram;
+  dc.generator = config.synthesizer.generator;  // domain + value shapes
   fitness::DatasetBuilder builder(dc);
   util::Rng rng(seed);
   return builder.build(count, metric, rng);
@@ -42,7 +43,14 @@ std::vector<fitness::Sample> buildCorpus(const ExperimentConfig& config,
 
 std::string modelCachePath(const ExperimentConfig& config,
                            const std::string& tag) {
-  return config.modelDir + "/" + config.scaleName + "_" + tag + ".bin";
+  // Non-list domains get their own cache namespace: the weight shapes
+  // differ (vocab-sized embeddings, wider token tables), so a list cache
+  // must never be loaded into a str model or vice versa. The list path is
+  // unchanged so existing caches stay valid.
+  const std::string domainTag =
+      config.domainName == "list" ? "" : config.domainName + "_";
+  return config.modelDir + "/" + config.scaleName + "_" + domainTag + tag +
+         ".bin";
 }
 
 bool loadOrTrain(const ExperimentConfig& config, fitness::NnffModel& model,

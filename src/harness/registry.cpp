@@ -77,15 +77,17 @@ baselines::MethodPtr makeNetSyn(const ExperimentConfig& config,
 }
 
 baselines::MethodPtr makeEdit(const ExperimentConfig& config) {
-  // Same framework as NetSyn, hand-crafted fitness.
+  // Same framework as NetSyn, hand-crafted fitness graded with the domain's
+  // output metric.
   const core::SynthesizerConfig sc = methodSearchConfig(config, "Edit");
+  const dsl::Domain* domain = sc.generator.domain;
   return std::make_shared<baselines::SynthesizerMethod>(
-      "Edit", sc, std::make_shared<fitness::EditDistanceFitness>(), nullptr,
-      [](std::size_t) {
+      "Edit", sc, std::make_shared<fitness::EditDistanceFitness>(domain),
+      nullptr, [domain](std::size_t) {
         // Stateless hand-crafted fitness: a fresh instance per island keeps
         // its internal memo tables thread-private.
         return core::IslandFitness{
-            std::make_shared<fitness::EditDistanceFitness>(), nullptr};
+            std::make_shared<fitness::EditDistanceFitness>(domain), nullptr};
       });
 }
 
@@ -135,7 +137,8 @@ std::vector<baselines::MethodFactory> makeAllMethodFactories(
     const ExperimentConfig& config, const TrainedModels& models) {
   std::vector<baselines::MethodFactory> factories;
   factories.push_back([config]() {
-    return std::make_shared<baselines::PushGpMethod>(config.synthesizer.ga);
+    return std::make_shared<baselines::PushGpMethod>(
+        config.synthesizer.ga, config.synthesizer.generator);
   });
   factories.push_back(makeEditFactory(config));
   factories.push_back([models]() {

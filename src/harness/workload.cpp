@@ -6,7 +6,10 @@ namespace netsyn::harness {
 
 std::vector<TestProgram> makeWorkload(const ExperimentConfig& config,
                                       std::size_t length) {
-  const dsl::Generator gen;
+  // The generator knobs (and with them the domain) come from the config;
+  // for the list domain these are the GeneratorConfig defaults, so the
+  // workload RNG stream is unchanged from the pre-domain harness.
+  const dsl::Generator gen(config.synthesizer.generator);
   util::Rng rng(config.seed ^ (0x9e37u + length * 0x85ebca6bULL));
   std::vector<TestProgram> out;
   out.reserve(config.programsPerLength);

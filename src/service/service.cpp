@@ -45,11 +45,12 @@ bool isKnownMethod(const std::string& name) {
 harness::TrainedModels ModelStore::get(
     const harness::ExperimentConfig& config) {
   // Model identity is keyed by the on-disk cache location (directory +
-  // scale tag), matching harness::modelCachePath — two configs that would
-  // share cache files share store entries. Training-dimension variations
-  // under one (modelDir, scale) are not distinguished; use distinct
-  // modelDirs for those.
-  const std::string key = config.modelDir + "|" + config.scaleName;
+  // scale + domain tags), matching harness::modelCachePath — two configs
+  // that would share cache files share store entries. Training-dimension
+  // variations under one (modelDir, scale, domain) are not distinguished;
+  // use distinct modelDirs for those.
+  const std::string key =
+      config.modelDir + "|" + config.scaleName + "|" + config.domainName;
   std::lock_guard<std::mutex> lock(mu_);
   if (const auto it = store_.find(key); it != store_.end()) return it->second;
   harness::TrainedModels models = loadOrTrainAll(config, /*quiet=*/true);
@@ -287,14 +288,15 @@ void SynthService::Impl::storeResultLocked(
 
 WorkerContext::MethodKit& SynthService::Impl::kitFor(WorkerContext& ctx,
                                                      const Job& job) {
-  const std::string key =
-      job.method + "|" + job.config.modelDir + "|" + job.config.scaleName;
+  const std::string key = job.method + "|" + job.config.modelDir + "|" +
+                          job.config.scaleName + "|" + job.config.domainName;
   if (const auto it = ctx.kits.find(key); it != ctx.kits.end())
     return it->second;
 
   WorkerContext::MethodKit kit;
   if (job.method == "Edit") {
-    kit.fitness = std::make_shared<fitness::EditDistanceFitness>();
+    kit.fitness = std::make_shared<fitness::EditDistanceFitness>(
+        job.config.synthesizer.generator.domain);
   } else if (job.method == "Oracle_CF" || job.method == "Oracle_LCS") {
     kit.oracle = true;
     kit.oracleMetric = job.method == "Oracle_CF" ? fitness::BalanceMetric::CF

@@ -92,6 +92,35 @@ BenchComparison compareBenchRecords(const std::string& baselineJson,
                                     numberAt(*other, "solved_per_sec"), true,
                                     false});
     }
+  } else if (baseTag == "strdsl") {
+    // String-domain synthesis record: one entry per search mode, matched by
+    // name. Solve counts are deterministic per seed: gated. Rates: info.
+    const JsonValue* modes = baseline.find("modes");
+    if (!modes || modes->kind != JsonValue::Kind::Array)
+      throw std::invalid_argument("strdsl record missing modes array");
+    const JsonValue* freshModes = fresh.find("modes");
+    if (!freshModes || freshModes->kind != JsonValue::Kind::Array)
+      throw std::invalid_argument("fresh strdsl record missing modes array");
+    for (const JsonValue& entry : modes->items) {
+      std::string mode;
+      readString(entry, "mode", mode);
+      const JsonValue* other = nullptr;
+      for (const JsonValue& cand : freshModes->items) {
+        std::string name;
+        readString(cand, "mode", name);
+        if (name == mode) other = &cand;
+      }
+      if (!other)
+        throw std::invalid_argument("fresh strdsl record lost mode '" + mode +
+                                    "'");
+      cmp.rows.push_back(BenchDelta{mode + " solved",
+                                    numberAt(entry, "solved"),
+                                    numberAt(*other, "solved"), true, true});
+      cmp.rows.push_back(BenchDelta{mode + " solved/sec",
+                                    numberAt(entry, "solved_per_sec"),
+                                    numberAt(*other, "solved_per_sec"), true,
+                                    false});
+    }
   } else {
     throw std::invalid_argument("unknown bench tag '" + baseTag + "'");
   }

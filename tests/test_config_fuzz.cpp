@@ -104,6 +104,32 @@ TEST(ConfigFuzz, WrongShapesAreRejected) {
   EXPECT_THROW(nh::ExperimentConfig::fromJson("   "), std::invalid_argument);
 }
 
+TEST(ConfigFuzz, UnknownOrMalformedDomainIsRejected) {
+  // Unknown names fail with a message naming the valid domains — a typo'd
+  // --domain in a service request must not silently search the wrong DSL.
+  try {
+    nh::ExperimentConfig::fromJson("{\"domain\": \"flashfil\"}");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("flashfil"), std::string::npos);
+    EXPECT_NE(msg.find("list, str"), std::string::npos);
+  }
+  // Wrong JSON types for the key are shape errors, not crashes.
+  EXPECT_THROW(nh::ExperimentConfig::fromJson("{\"domain\": 12}"),
+               std::invalid_argument);
+  EXPECT_THROW(nh::ExperimentConfig::fromJson("{\"domain\": [\"str\"]}"),
+               std::invalid_argument);
+  EXPECT_THROW(nh::ExperimentConfig::fromJson("{\"domain\": \"\"}"),
+               std::invalid_argument);
+  // Valid names load, round-trip, and resolve their Domain pointers.
+  EXPECT_EQ(nh::ExperimentConfig::fromJson("{\"domain\": \"str\"}").domainName,
+            "str");
+  EXPECT_EQ(nh::ExperimentConfig::fromJson("{\"domain\": \"list\"}")
+                .synthesizer.generator.domain,
+            nullptr);
+}
+
 TEST(ConfigFuzz, DeepNestingHitsTheDepthCapNotTheStack) {
   // Without the parser's depth cap these are a stack overflow (the
   // recursive-descent parser recurses per '['/'{').

@@ -161,7 +161,7 @@ TEST(Mutate, ChangesExactlyOnePosition) {
 TEST(Mutate, WeightedMutationFollowsProbabilityMap) {
   Rng rng(7);
   const auto gene = prog("SORT");
-  nc::FunctionWeights weights{};
+  nc::FunctionWeights weights(nd::kNumFunctions, 0.0);
   const auto target = *nd::functionByName("REVERSE");
   weights[target] = 1.0;  // all other functions weight 0
   for (int i = 0; i < 30; ++i) {
@@ -173,7 +173,7 @@ TEST(Mutate, WeightedMutationFollowsProbabilityMap) {
 TEST(Mutate, NeverProducesTheOriginalFunction) {
   Rng rng(8);
   const auto gene = prog("SORT");
-  nc::FunctionWeights weights{};
+  nc::FunctionWeights weights(nd::kNumFunctions, 0.0);
   weights[*nd::functionByName("SORT")] = 1.0;  // only the original is weighted
   for (int i = 0; i < 30; ++i) {
     const auto mutated = nc::mutate(gene, rng, &weights);

@@ -1,0 +1,203 @@
+// Domain-refactor parity: the list domain routed through the Domain
+// interface must be BIT-IDENTICAL to the pre-refactor engine. Every
+// constant below (winner program, candidate counts, generations, best
+// fitness, post-run RNG probe, workload targets, spec fingerprints) was
+// captured by running the exact same seeds against the pre-domain library
+// (PR 4 head) before the Domain abstraction was introduced. A mismatch
+// means the refactor changed the search trajectory — an RNG draw, a
+// vocabulary ordering, or a weights indexing — and must be fixed, not
+// re-pinned.
+//
+// Each scenario runs twice: once with the implicit domain (GeneratorConfig
+// defaults, domain == nullptr — the legacy call shape every old caller
+// still uses) and once with an explicit &listDomain() pointer threaded
+// through SynthesizerConfig. Both must reproduce the pinned values.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/synthesizer.hpp"
+#include "dsl/domain.hpp"
+#include "fitness/edit.hpp"
+#include "harness/config.hpp"
+#include "harness/workload.hpp"
+
+namespace nc = netsyn::core;
+namespace nd = netsyn::dsl;
+namespace nf = netsyn::fitness;
+namespace nh = netsyn::harness;
+using netsyn::util::Rng;
+
+namespace {
+
+// ---- pinned pre-refactor values (see header comment) ------------------------
+
+constexpr char kTarget[] = "DROP | ZIPWITH(min) | FILTER(odd) | MAP(^2)";
+constexpr std::uint64_t kSpecFp = 2111853876781834111ULL;
+
+constexpr char kSingleSolution[] =
+    "FILTER(odd) | INSERT | MAP(^2) | FILTER(odd)";
+constexpr std::size_t kSingleCands = 1380;
+constexpr std::size_t kSingleGens = 73;
+constexpr std::size_t kSingleNs = 2;
+constexpr double kSingleBest = 0.7142857142857143;
+constexpr std::uint64_t kSingleRngNext = 26759686;
+
+constexpr char kIslandsSolution[] = "INSERT | FILTER(odd) | MAP(^2) | DELETE";
+constexpr std::size_t kIslandsCands = 553;
+constexpr std::size_t kIslandsGens = 7;
+constexpr std::size_t kIslandsEvalsSum = 553;
+constexpr std::size_t kIslandsImmigrants = 7;
+constexpr double kIslandsBest = 0.625;
+constexpr std::uint64_t kIslandsRngNext = 1051942587;
+
+constexpr char kWorkload0[] = "DROP | MAP(/4) | SORT | COUNT(even)";
+constexpr std::uint64_t kWorkload0Fp = 17061368034953412628ULL;
+constexpr char kWorkload3[] = "SCANL1(+) | ZIPWITH(*) | MAP(/3) | ZIPWITH(max)";
+constexpr std::uint64_t kWorkload3Fp = 18349756513069241585ULL;
+
+constexpr char kGenProg[] = "ZIPWITH(*) | TAKE | MAP(/4) | MAP(+1) | MAP(/3)";
+constexpr std::uint64_t kGenRngNext = 695360485;
+
+// ---- scenario plumbing ------------------------------------------------------
+
+nc::SynthesizerConfig probeConfig(bool explicitDomain) {
+  nc::SynthesizerConfig sc;
+  sc.ga.populationSize = 30;
+  sc.ga.eliteCount = 3;
+  sc.maxGenerations = 400;
+  sc.nsTopN = 3;
+  sc.nsWindow = 5;
+  sc.useNeighborhoodSearch = true;
+  sc.nsKind = nc::NsKind::BFS;
+  if (explicitDomain) sc.generator = nd::listDomain().makeGeneratorConfig();
+  return sc;
+}
+
+nd::Generator::TestCase probeCase(bool explicitDomain) {
+  const nd::Generator gen = explicitDomain
+                                ? nd::Generator(nd::listDomain())
+                                : nd::Generator();
+  Rng rng(12345);
+  auto tc = gen.randomTestCase(4, 5, false, rng);
+  EXPECT_TRUE(tc.has_value());
+  return *tc;
+}
+
+class DomainParity : public ::testing::TestWithParam<bool> {};
+
+}  // namespace
+
+TEST_P(DomainParity, TestCaseGenerationMatchesPin) {
+  const auto tc = probeCase(GetParam());
+  EXPECT_EQ(tc.program.toString(), kTarget);
+  EXPECT_EQ(tc.spec.fingerprint(), kSpecFp);
+}
+
+TEST_P(DomainParity, SinglePopulationMatchesPin) {
+  const auto tc = probeCase(GetParam());
+  nc::Synthesizer syn(probeConfig(GetParam()),
+                      std::make_shared<nf::EditDistanceFitness>(
+                          GetParam() ? &nd::listDomain() : nullptr));
+  Rng rng(777);
+  const auto r = syn.synthesize(tc.spec, 4, 6000, rng);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.solution.toString(), kSingleSolution);
+  EXPECT_EQ(r.candidatesSearched, kSingleCands);
+  EXPECT_EQ(r.generations, kSingleGens);
+  EXPECT_EQ(r.nsInvocations, kSingleNs);
+  EXPECT_DOUBLE_EQ(r.bestFitness, kSingleBest);
+  // The strongest pin: the search consumed *exactly* the same RNG draws.
+  EXPECT_EQ(rng.uniform(1u << 30), kSingleRngNext);
+}
+
+TEST_P(DomainParity, IslandsK4MatchesPin) {
+  const auto tc = probeCase(GetParam());
+  auto sc = probeConfig(GetParam());
+  sc.strategy = nc::SearchStrategy::Islands;
+  sc.islands.count = 4;
+  sc.islands.migrationInterval = 5;
+  sc.islands.migrationSize = 2;
+  sc.islands.threads = 2;
+  const bool explicitDomain = GetParam();
+  auto makeFit = [explicitDomain]() {
+    return std::make_shared<nf::EditDistanceFitness>(
+        explicitDomain ? &nd::listDomain() : nullptr);
+  };
+  nc::Synthesizer syn(sc, makeFit(), nullptr, [makeFit](std::size_t) {
+    return nc::IslandFitness{makeFit(), nullptr};
+  });
+  Rng rng(777);
+  const auto r = syn.synthesize(tc.spec, 4, 6000, rng);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.solution.toString(), kIslandsSolution);
+  EXPECT_EQ(r.candidatesSearched, kIslandsCands);
+  EXPECT_EQ(r.generations, kIslandsGens);
+  std::size_t evals = 0, immigrants = 0;
+  for (const auto& is : r.islandStats) {
+    evals += is.evals;
+    immigrants += is.immigrants;
+  }
+  EXPECT_EQ(evals, kIslandsEvalsSum);
+  EXPECT_EQ(immigrants, kIslandsImmigrants);
+  EXPECT_DOUBLE_EQ(r.bestFitness, kIslandsBest);
+  EXPECT_EQ(rng.uniform(1u << 30), kIslandsRngNext);
+}
+
+TEST_P(DomainParity, GeneratorRngStreamMatchesPin) {
+  const nd::Generator gen = GetParam() ? nd::Generator(nd::listDomain())
+                                       : nd::Generator();
+  Rng rng(424242);
+  const auto p =
+      gen.randomProgram(5, {nd::Type::List, nd::Type::Int}, rng);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->toString(), kGenProg);
+  EXPECT_EQ(rng.uniform(1u << 30), kGenRngNext);
+}
+
+INSTANTIATE_TEST_SUITE_P(ImplicitAndExplicitDomain, DomainParity,
+                         ::testing::Values(false, true),
+                         [](const auto& info) {
+                           return info.param ? "ExplicitListDomain"
+                                             : "ImplicitDefault";
+                         });
+
+// ---- harness-level pins -----------------------------------------------------
+
+TEST(DomainParityHarness, WorkloadMatchesPin) {
+  auto cfg = nh::ExperimentConfig::forScale("ci");
+  cfg.programsPerLength = 4;
+  const auto wl = nh::makeWorkload(cfg, 4);
+  ASSERT_EQ(wl.size(), 4u);
+  EXPECT_EQ(wl[0].target.toString(), kWorkload0);
+  EXPECT_EQ(wl[0].spec.fingerprint(), kWorkload0Fp);
+  EXPECT_EQ(wl[3].target.toString(), kWorkload3);
+  EXPECT_EQ(wl[3].spec.fingerprint(), kWorkload3Fp);
+}
+
+TEST(DomainParityHarness, ExplicitListDomainFlagChangesNothing) {
+  // --domain=list through the config layer must leave the workload
+  // untouched (applyDomain is a no-op for the list domain).
+  auto cfg = nh::ExperimentConfig::forScale("ci");
+  cfg.programsPerLength = 4;
+  cfg.domainName = "list";
+  cfg.applyDomain();
+  const auto wl = nh::makeWorkload(cfg, 4);
+  ASSERT_EQ(wl.size(), 4u);
+  EXPECT_EQ(wl[0].target.toString(), kWorkload0);
+  EXPECT_EQ(wl[3].spec.fingerprint(), kWorkload3Fp);
+}
+
+TEST(DomainParityHarness, ListDomainVocabularyIsIdentity) {
+  // The bit-identity argument rests on local index == global FuncId for the
+  // list domain; pin it structurally, not just behaviourally.
+  const nd::Domain& d = nd::listDomain();
+  ASSERT_EQ(d.vocabSize(), nd::kNumFunctions);
+  for (std::size_t i = 0; i < d.vocabSize(); ++i) {
+    EXPECT_EQ(d.vocabulary[i], static_cast<nd::FuncId>(i));
+    EXPECT_EQ(d.localIndex(static_cast<nd::FuncId>(i)), i);
+  }
+  EXPECT_EQ(d.returning(nd::Type::Int), nd::functionsReturning(nd::Type::Int));
+  EXPECT_EQ(d.returning(nd::Type::List),
+            nd::functionsReturning(nd::Type::List));
+}

@@ -103,10 +103,8 @@ TEST(DeepCoder, DeadCodeProgramsAreSkippedFree) {
   spec.examples.push_back(
       {{nd::Value(L{1, 2})}, nd::Value(L{9, 9, 9, 9, 9, 9, 9, 9, 9})});
   struct Uniform final : nf::ProbMapProvider {
-    std::array<double, nd::kNumFunctions> probMap(const nd::Spec&) override {
-      std::array<double, nd::kNumFunctions> m{};
-      m.fill(0.5);
-      return m;
+    std::vector<double> probMap(const nd::Spec&) override {
+      return std::vector<double>(nd::kNumFunctions, 0.5);
     }
   };
   nb::DeepCoderMethod method(std::make_shared<Uniform>());

@@ -193,7 +193,7 @@ TEST(GaStatistics, MutationWeightsBiasOffspring) {
   for (std::size_t i = 0; i < cfg.populationSize; ++i)
     pop.push_back({*gen.randomProgram(4, sig, rng), 1.0});
 
-  nc::FunctionWeights weights{};
+  nc::FunctionWeights weights(nd::kNumFunctions, 0.0);
   const auto sortId = *nd::functionByName("SORT");
   weights[sortId] = 1.0;  // every mutation that fires should insert SORT
   const auto next = nc::breed(pop, cfg, sig, gen, rng, &weights);
