@@ -11,7 +11,26 @@
 //           reproduced verbatim from the PR 1 code in legacy_baseline.hpp;
 //   engine: dsl::Executor with a cached ExecPlan per (program, signature),
 //           pointer-passed arguments, and pooled trace storage refilled in
-//           place (the path SpecEvaluator uses in production).
+//           place (the scalar statement-major executePlanMulti);
+//   lanes:  the SIMD example-lane executor (executePlanMultiLanes):
+//           structure-of-arrays traces, vectorized function bodies where the
+//           build enables them (Executor::backendName()), per-lane fallback
+//           elsewhere — the path SpecEvaluator::evaluate uses in production
+//           when simd_executor is on (the default).
+//
+// Two further passes time Definition 3.1 equivalence checking (the
+// SpecEvaluator::check hot path, which never reads traces): the scalar
+// check loop (executePlan per example into one reused scratch) vs the
+// output-only lane path (executePlanMultiLanesOutputs — same kernels,
+// pinned ingest, only the final statement's outputs materialized).
+//
+// The check ratio (`lanes_speedup`) is the machine-independent gate for the
+// SIMD executor: both paths run in the same process, interleaved per
+// generation on the same populations, so host-speed drift cancels out of
+// the ratio. The full-trace ratio (`trace_lanes_speedup`) is reported as
+// info — that path is bound by the per-cell trace scatter, whose cost the
+// scalar engine pays as part of writing its own trace Values, so it sits
+// near parity by construction at the paper's list lengths.
 //
 //   $ ./bench_interpreter [--population=100] [--examples=10] [--length=5]
 //                         [--generations=20] [--seed=2021]
@@ -66,22 +85,25 @@ dsl::ExecResult legacyRun(const dsl::Program& program,
   return result;
 }
 
-/// Folds a run into a checksum so the compiler cannot elide the work, and
-/// so both paths can be asserted to agree.
-std::uint64_t checksum(const dsl::ExecResult& r) {
-  std::uint64_t h = 1469598103934665603ULL;
-  const auto mix = [&h](std::int64_t v) {
-    h ^= static_cast<std::uint64_t>(v);
+/// Folds one value into a checksum so the compiler cannot elide the work,
+/// and so different paths can be asserted to agree.
+std::uint64_t mixValue(const dsl::Value& v, std::uint64_t h) {
+  const auto mix = [&h](std::int64_t x) {
+    h ^= static_cast<std::uint64_t>(x);
     h *= 1099511628211ULL;
   };
-  for (const auto& v : r.trace) {
-    if (v.isInt()) {
-      mix(v.asInt());
-    } else {
-      mix(static_cast<std::int64_t>(v.asList().size()));
-      for (std::int32_t x : v.asList()) mix(x);
-    }
+  if (v.isInt()) {
+    mix(v.asInt());
+  } else {
+    mix(static_cast<std::int64_t>(v.asList().size()));
+    for (std::int32_t x : v.asList()) mix(x);
   }
+  return h;
+}
+
+std::uint64_t checksum(const dsl::ExecResult& r) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& v : r.trace) h = mixValue(v, h);
   return h;
 }
 
@@ -120,52 +142,109 @@ int main(int argc, char** argv) {
 
   std::size_t planCompiles = 0;
 
-  // One full GA-shaped pass: breed `generations` populations from the same
-  // deterministic RNG stream (so every pass executes identical programs)
-  // and time gene execution only. `engine` selects the measured path; the
-  // checksum (computed outside the timed regions) pins both paths to the
-  // same results and keeps the compiler honest.
-  const auto runPass = [&](bool engine, std::uint64_t* sum) -> double {
+  // One full GA-shaped pass: breed `generations` populations from one
+  // deterministic RNG stream and execute every generation through all three
+  // paths back to back, timing each. Interleaving per generation (instead
+  // of one full pass per path) keeps the measured slices of the three paths
+  // within microseconds of each other, so host-speed drift on shared
+  // hardware — which can swing absolute rates several-fold between passes —
+  // cancels out of the speedup ratios. The checksums (computed outside the
+  // timed regions) pin all paths to the same results and keep the compiler
+  // honest.
+  const auto runPass = [&](double* secs, std::uint64_t* sums) {
     util::Rng rng(seed + 1);
     std::vector<dsl::Program> genes;
     genes.reserve(population);
     for (std::size_t i = 0; i < population; ++i)
       genes.push_back(*gen.randomProgram(length, sig, rng));
 
-    dsl::Executor executor;
+    dsl::Executor engineExec;
+    engineExec.setLaneExecution(false);
+    dsl::Executor lanesExec;
+    lanesExec.setLaneExecution(true);
+    // The spec is fixed for the whole pass, so pin its inputs exactly as
+    // SpecEvaluator does on construction — the lane pass then ingests the
+    // examples once per lifetime instead of once per gene.
+    std::vector<const std::vector<dsl::Value>*> inputSets;
+    inputSets.reserve(examples);
+    for (const auto& ex : tc->spec.examples) inputSets.push_back(&ex.inputs);
+    lanesExec.pinExampleInputs(inputSets.data(), examples);
     // Pooled per-gene run storage, refilled in place every generation — the
-    // evaluator's recycle() arena, inlined. The legacy pass uses the same
+    // evaluator's recycle() arena, inlined. The legacy path uses the same
     // container but each result is a fresh allocation moved in, exactly as
     // the seed pipeline materialized a generation's runs.
     std::vector<std::vector<dsl::ExecResult>> results(
         population, std::vector<dsl::ExecResult>(examples));
+    dsl::ExecResult checkScratch;
+    std::vector<dsl::Value> outVals(examples);
+    const auto engineGeneration = [&](dsl::Executor& executor) {
+      for (std::size_t b = 0; b < genes.size(); ++b) {
+        // One cached-plan lookup per gene, then all examples through the
+        // executor's multi-example body — exactly SpecEvaluator::evaluate's
+        // path with the simd_executor flag off (engineExec) or on
+        // (lanesExec).
+        const dsl::ExecPlan& plan = executor.planFor(genes[b], sig);
+        executor.executeMulti(plan, inputSets.data(), examples,
+                              results[b].data());
+      }
+    };
+    const auto fold = [&](std::uint64_t* sum) {
+      for (const auto& perGene : results)
+        for (const auto& r : perGene) *sum ^= checksum(r);
+    };
 
-    double seconds = 0.0;
     core::GaConfig gaConfig;
     gaConfig.populationSize = population;
     for (std::size_t g = 0; g < generations; ++g) {
-      util::Timer timer;
-      if (engine) {
-        std::vector<const std::vector<dsl::Value>*> inputSets;
-        inputSets.reserve(examples);
-        for (const auto& ex : tc->spec.examples)
-          inputSets.push_back(&ex.inputs);
-        for (std::size_t b = 0; b < genes.size(); ++b) {
-          // One cached-plan lookup per gene, then all examples statement-
-          // major — exactly SpecEvaluator::evaluate's path.
-          const dsl::ExecPlan& plan = executor.planFor(genes[b], sig);
-          dsl::executePlanMulti(plan, inputSets.data(), examples,
-                                results[b].data());
-        }
-      } else {
+      {
+        util::Timer timer;
         for (std::size_t b = 0; b < genes.size(); ++b) {
           for (std::size_t j = 0; j < examples; ++j)
             results[b][j] = legacyRun(genes[b], tc->spec.examples[j].inputs);
         }
+        secs[0] += timer.seconds();
       }
-      seconds += timer.seconds();
-      for (const auto& perGene : results)
-        for (const auto& r : perGene) *sum ^= checksum(r);
+      fold(&sums[0]);
+      {
+        util::Timer timer;
+        engineGeneration(engineExec);
+        secs[1] += timer.seconds();
+      }
+      fold(&sums[1]);
+      {
+        util::Timer timer;
+        engineGeneration(lanesExec);
+        secs[2] += timer.seconds();
+      }
+      fold(&sums[2]);
+      // Equivalence-check passes: the scalar production check loop
+      // (executePlan per example into one reused scratch, output read) vs
+      // the output-only lane path. Each reads every example's output into
+      // the checksum inside the timed region — the analogue of check()'s
+      // output comparison — so the work is symmetric and the sums pin the
+      // two paths equal.
+      {
+        util::Timer timer;
+        for (std::size_t b = 0; b < genes.size(); ++b) {
+          const dsl::ExecPlan& plan = engineExec.planFor(genes[b], sig);
+          for (std::size_t j = 0; j < examples; ++j) {
+            dsl::executePlan(plan, *inputSets[j], checkScratch);
+            sums[3] = mixValue(checkScratch.output(), sums[3]);
+          }
+        }
+        secs[3] += timer.seconds();
+      }
+      {
+        util::Timer timer;
+        for (std::size_t b = 0; b < genes.size(); ++b) {
+          const dsl::ExecPlan& plan = lanesExec.planFor(genes[b], sig);
+          lanesExec.executeMultiOutputs(plan, inputSets.data(), examples,
+                                        outVals.data());
+          for (std::size_t j = 0; j < examples; ++j)
+            sums[4] = mixValue(outVals[j], sums[4]);
+        }
+        secs[4] += timer.seconds();
+      }
 
       // Evolve so later generations look like the GA's real workload:
       // shared ancestry, duplicate subsequences, recurring values.
@@ -174,35 +253,75 @@ int main(int argc, char** argv) {
         scored.push_back(core::Individual{genes[b], 1.0 + rng.uniformReal()});
       genes = core::breed(scored, gaConfig, sig, gen, rng, nullptr);
     }
-    if (engine) planCompiles = executor.planCompiles();
-    return seconds;
+    planCompiles = engineExec.planCompiles();
   };
 
   const std::size_t executed = population * generations;
   double legacySeconds = 1e300;
   double engineSeconds = 1e300;
+  double lanesSeconds = 1e300;
+  double checkScalarSeconds = 1e300;
+  double checkLanesSeconds = 1e300;
   std::uint64_t legacySum = 0;
   std::uint64_t engineSum = 0;
+  std::uint64_t lanesSum = 0;
+  std::uint64_t checkScalarSum = 0;
+  std::uint64_t checkLanesSum = 0;
   // Best-of-N passes: robust against scheduler noise on shared hardware.
   for (std::size_t r = 0; r < repeats; ++r) {
-    legacySum = 0;
-    legacySeconds = std::min(legacySeconds, runPass(false, &legacySum));
-    engineSum = 0;
-    engineSeconds = std::min(engineSeconds, runPass(true, &engineSum));
+    double secs[5] = {0.0, 0.0, 0.0, 0.0, 0.0};
+    std::uint64_t sums[5] = {0, 0, 0, 0, 0};
+    runPass(secs, sums);
+    legacySeconds = std::min(legacySeconds, secs[0]);
+    engineSeconds = std::min(engineSeconds, secs[1]);
+    lanesSeconds = std::min(lanesSeconds, secs[2]);
+    checkScalarSeconds = std::min(checkScalarSeconds, secs[3]);
+    checkLanesSeconds = std::min(checkLanesSeconds, secs[4]);
+    legacySum = sums[0];
+    engineSum = sums[1];
+    lanesSum = sums[2];
+    checkScalarSum = sums[3];
+    checkLanesSum = sums[4];
   }
 
   if (legacySum != engineSum) {
     std::fprintf(stderr, "FATAL: engine results diverge from legacy\n");
     return 1;
   }
+  if (lanesSum != engineSum) {
+    std::fprintf(stderr, "FATAL: lane executor diverges from scalar engine\n");
+    return 1;
+  }
+  if (checkLanesSum != checkScalarSum) {
+    std::fprintf(stderr,
+                 "FATAL: output-only lane path diverges from scalar check\n");
+    return 1;
+  }
 
   const double legacyRate = static_cast<double>(executed) / legacySeconds;
   const double engineRate = static_cast<double>(executed) / engineSeconds;
+  const double lanesRate = static_cast<double>(executed) / lanesSeconds;
+  const double checkScalarRate =
+      static_cast<double>(executed) / checkScalarSeconds;
+  const double checkLanesRate =
+      static_cast<double>(executed) / checkLanesSeconds;
   std::printf("legacy interpreter:  %9.0f genes/sec (%.3fs for %zu)\n",
               legacyRate, legacySeconds, executed);
   std::printf("exec engine:         %9.0f genes/sec (%.3fs for %zu)\n",
               engineRate, engineSeconds, executed);
-  std::printf("speedup:             %9.2fx\n", engineRate / legacyRate);
+  std::printf("lane executor (%s): %9.0f genes/sec (%.3fs for %zu)\n",
+              dsl::Executor::backendName(), lanesRate, lanesSeconds, executed);
+  std::printf("scalar check:        %9.0f genes/sec (%.3fs for %zu)\n",
+              checkScalarRate, checkScalarSeconds, executed);
+  std::printf("lane check (%s):   %9.0f genes/sec (%.3fs for %zu)\n",
+              dsl::Executor::backendName(), checkLanesRate, checkLanesSeconds,
+              executed);
+  std::printf("speedup:             %9.2fx (engine vs legacy)\n",
+              engineRate / legacyRate);
+  std::printf("trace lanes speedup: %9.2fx (lane trace path vs scalar engine)\n",
+              lanesRate / engineRate);
+  std::printf("lanes speedup:       %9.2fx (lane check vs scalar check)\n",
+              checkLanesRate / checkScalarRate);
   std::printf("plan compiles:       %9zu (for %zu gene executions)\n",
               planCompiles, executed);
 
@@ -214,10 +333,17 @@ int main(int argc, char** argv) {
                    "\"examples\": %zu, \"length\": %zu, \"generations\": %zu, "
                    "\"executed\": %zu, \"legacy_genes_per_sec\": %.1f, "
                    "\"engine_genes_per_sec\": %.1f, \"speedup\": %.3f, "
-                   "\"plan_compiles\": %zu}\n",
+                   "\"lanes_genes_per_sec\": %.1f, "
+                   "\"trace_lanes_speedup\": %.3f, "
+                   "\"check_scalar_genes_per_sec\": %.1f, "
+                   "\"check_lanes_genes_per_sec\": %.1f, "
+                   "\"lanes_speedup\": %.3f, "
+                   "\"simd_backend\": \"%s\", \"plan_compiles\": %zu}\n",
                    population, examples, length, generations, executed,
-                   legacyRate, engineRate, engineRate / legacyRate,
-                   planCompiles);
+                   legacyRate, engineRate, engineRate / legacyRate, lanesRate,
+                   lanesRate / engineRate, checkScalarRate, checkLanesRate,
+                   checkLanesRate / checkScalarRate,
+                   dsl::Executor::backendName(), planCompiles);
       std::fclose(f);
       std::printf("[json written to %s]\n", jsonPath.c_str());
     }

@@ -9,6 +9,8 @@
 #include "core/neighborhood.hpp"
 #include "dsl/dce.hpp"
 #include "dsl/generator.hpp"
+#include "dsl/interpreter.hpp"
+#include "dsl/lanes.hpp"
 #include "fitness/dataset.hpp"
 #include "fitness/edit.hpp"
 #include "fitness/metrics.hpp"
@@ -81,6 +83,106 @@ void BM_ExecutorPlanCompile(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExecutorPlanCompile)->Arg(5)->Arg(10);
+
+// --------------------------------------------- lane-executor breakdown ----
+//
+// Per-function-family throughput, scalar statement-major executePlanMulti
+// vs the SIMD lane executor, on fixed pipelines of one op family at a time.
+// When the aggregate interpreter-bench ratio moves, these rows localize the
+// regression to a kernel family instead of the aggregate number. Arg(n) is
+// the example count per gene execution (8 = one full AVX2 vector, 32 = one
+// full lane group).
+
+/// One (program, signature, inputs) workload executed whole-spec at a time,
+/// through either multi-example body.
+class LaneWorkload {
+ public:
+  LaneWorkload(const char* source, std::size_t examples)
+      : program_(*dsl::Program::fromString(source)), sig_({dsl::Type::List}) {
+    util::Rng rng(21);
+    const dsl::Generator gen;
+    inputs_.reserve(examples);
+    for (std::size_t j = 0; j < examples; ++j) {
+      inputs_.push_back(gen.randomInputs(sig_, rng));
+      inputSets_.push_back(&inputs_[j]);
+    }
+    runs_.resize(examples);
+    plan_ = &executor_.planFor(program_, sig_);
+  }
+
+  void runScalar() {
+    dsl::executePlanMulti(*plan_, inputSets_.data(), inputSets_.size(),
+                          runs_.data());
+  }
+  void runLanes() {
+    // inputs_ is owned and immutable, so the pinned-ingest fast path is
+    // sound — this measures the executor exactly as SpecEvaluator runs it
+    // (inputs pinned once per spec).
+    dsl::executePlanMultiLanes(*plan_, inputSets_.data(), inputSets_.size(),
+                               runs_.data(), trace_, /*reuseIngest=*/true);
+  }
+  std::size_t examples() const { return inputSets_.size(); }
+
+ private:
+  dsl::Program program_;
+  dsl::InputSignature sig_;
+  dsl::Executor executor_;
+  const dsl::ExecPlan* plan_ = nullptr;
+  std::vector<std::vector<dsl::Value>> inputs_;
+  std::vector<const std::vector<dsl::Value>*> inputSets_;
+  std::vector<dsl::ExecResult> runs_;
+  dsl::SoATrace trace_;
+};
+
+const char* laneFamilySource(int family) {
+  switch (family) {
+    case 0:  // map: element-wise arithmetic, the widen/clamp SIMD kernels
+      return "MAP(+1) | MAP(*2) | MAP(/3) | MAP(*(-1)) | MAP(^2)";
+    case 1:  // zipwith: two-list element-wise kernels
+      return "ZIPWITH(+) | ZIPWITH(*) | ZIPWITH(max) | ZIPWITH(-) | "
+             "ZIPWITH(min)";
+    case 2:  // filter/delete: per-lane branchless compaction
+      return "FILTER(>0) | FILTER(even) | DELETE | FILTER(<0) | FILTER(odd)";
+    case 3:  // scanl1: sequential recurrence, vector only across the copy
+      return "SCANL1(+) | SCANL1(max) | SCANL1(*) | SCANL1(min) | SCANL1(-)";
+    case 4:  // aggregates: list -> int reductions
+      return "SUM | MAXIMUM | MINIMUM | COUNT(>0) | SEARCH";
+    case 5:  // reorder/slice: memmove-bound block ops
+      return "SORT | REVERSE | TAKE | DROP | INSERT";
+    default:
+      return "";
+  }
+}
+
+const char* laneFamilyName(int family) {
+  const char* names[] = {"map",    "zipwith",   "filter",
+                         "scanl1", "aggregate", "reorder"};
+  return names[family];
+}
+
+void BM_LaneFamilyScalar(benchmark::State& state) {
+  LaneWorkload w(laneFamilySource(static_cast<int>(state.range(0))),
+                 static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) w.runScalar();
+  state.SetItemsProcessed(state.iterations() * w.examples());
+  state.SetLabel(laneFamilyName(static_cast<int>(state.range(0))));
+}
+
+void BM_LaneFamilySimd(benchmark::State& state) {
+  LaneWorkload w(laneFamilySource(static_cast<int>(state.range(0))),
+                 static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) w.runLanes();
+  state.SetItemsProcessed(state.iterations() * w.examples());
+  state.SetLabel(std::string(laneFamilyName(static_cast<int>(state.range(0)))) +
+                 "/" + dsl::Executor::backendName());
+}
+
+void laneFamilyArgs(benchmark::internal::Benchmark* b) {
+  for (int family = 0; family < 6; ++family)
+    for (int examples : {8, 32}) b->Args({family, examples});
+}
+BENCHMARK(BM_LaneFamilyScalar)->Apply(laneFamilyArgs);
+BENCHMARK(BM_LaneFamilySimd)->Apply(laneFamilyArgs);
 
 void BM_EvaluatorEvaluate(benchmark::State& state) {
   // Full evaluator path (plan cache + executePlanMulti + recycle pool) on a

@@ -39,6 +39,10 @@ SearchState::SearchState(SynthesizerConfig config,
   if (!fitness_) throw std::invalid_argument("fitness function required");
   if (config_.fpGuidedMutation && !probMap_)
     throw std::invalid_argument("fpGuidedMutation requires a ProbMapProvider");
+  // Backend selection for candidate execution; results are identical either
+  // way, so reconfiguring a shared (service-worker) executor per search is
+  // safe.
+  evaluator_.executor().setLaneExecution(config_.simdExecutor);
 }
 
 SearchState::SearchState(const Snapshot& snap, fitness::FitnessPtr fitness,
@@ -188,8 +192,11 @@ std::vector<double> SearchState::nsBatchScore(
     }
     runs.resize(spec_.size());
     const dsl::ExecPlan& plan = evaluator_.executor().planFor(*genes[i], sig_);
-    for (std::size_t j = 0; j < spec_.size(); ++j)
-      dsl::executePlan(plan, spec_.examples[j].inputs, runs[j]);
+    // The evaluator's own (pinned) input array — not a private copy — so
+    // these out-of-budget runs share the lane executor's cached ingest.
+    evaluator_.executor().executeMulti(plan,
+                                       evaluator_.exampleInputSets().data(),
+                                       spec_.size(), runs.data());
     pendingRuns.push_back(std::move(runs));
     contextStore.push_back(fitness::EvalContext{spec_, pendingRuns.back()});
     contexts.push_back(&contextStore.back());

@@ -43,6 +43,12 @@ struct SynthesizerConfig {
   /// trajectory is identical either way (pinned by tests); the flag exists
   /// for ablation and as a debugging fallback.
   bool batchedEvaluation = true;
+  /// Execute candidates through the SoA SIMD lane executor (default) or the
+  /// scalar statement-major loop. Traces and the whole search trajectory
+  /// are identical either way (the lane path is fuzz-pinned against the
+  /// scalar oracle); the flag exists for ablation and as a debugging
+  /// fallback, mirroring batchedEvaluation.
+  bool simdExecutor = true;
   dsl::GeneratorConfig generator;
   /// Record per-generation statistics in SynthesisResult::history (off by
   /// default: the history of a 30,000-generation run is sizeable).

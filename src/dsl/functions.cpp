@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 
 #include "domains/strdsl/str_ops.hpp"
+#include "dsl/lanes.hpp"
+#include "dsl/simd.hpp"
 
 namespace netsyn::dsl {
 namespace {
@@ -166,6 +169,351 @@ void search(std::int32_t x, const List& xs, Value& out) {
   out.setInt(-1);
 }
 
+// ---- lane-parallel bodies (SoATrace protocol, see lanes.hpp) ---------------
+//
+// Each kernel applies one function to every lane of the group at once. The
+// dense invariant (lane segments of a slot are contiguous in lane order)
+// holds for every argument slot and must be re-established for the output
+// slot. Producers reserve their full output bound with grow() BEFORE taking
+// any arena pointer — grow() may reallocate the arena.
+
+// MAP family: the argument slot's lane segments form one contiguous block
+// and the lambda is elementwise, so the whole group maps in a single SIMD
+// block call; per-lane lengths pass through unchanged.
+template <void (*Block)(const std::int32_t*, std::int32_t*, std::size_t)>
+void laneMap(SoATrace& t, std::uint32_t a0, std::uint32_t, std::uint32_t out) {
+  const std::size_t total = t.listTotal(a0);
+  std::int32_t* dst = t.grow(total);
+  const std::int32_t* src = t.arena.data() + t.offBlock(a0)[0];
+  std::copy_n(t.lenBlock(a0), t.lanes, t.lenBlock(out));
+  Block(src, dst, total);
+  t.finishDense(out);
+}
+
+// ZIPWITH family: when every lane has equally long arguments (the common
+// case — both sides derived from the same input list), the two dense blocks
+// align element-for-element and one SIMD call covers the group; otherwise
+// each lane's min-length prefix pair is combined separately (still through
+// the block kernel, so long lanes vectorize).
+template <void (*Block)(const std::int32_t*, const std::int32_t*,
+                        std::int32_t*, std::size_t)>
+void laneZip(SoATrace& t, std::uint32_t a0, std::uint32_t a1,
+             std::uint32_t out) {
+  const std::uint32_t* la = t.lenBlock(a0);
+  const std::uint32_t* lb = t.lenBlock(a1);
+  std::uint32_t* lo = t.lenBlock(out);
+  bool aligned = true;
+  std::size_t total = 0;
+  for (std::size_t j = 0; j < t.lanes; ++j) {
+    lo[j] = std::min(la[j], lb[j]);
+    total += lo[j];
+    aligned &= la[j] == lb[j];
+  }
+  std::int32_t* dst = t.grow(total);
+  const std::int32_t* base = t.arena.data();
+  if (aligned) {
+    Block(base + t.offBlock(a0)[0], base + t.offBlock(a1)[0], dst, total);
+    t.finishDense(out);
+    return;
+  }
+  const std::uint32_t* oa = t.offBlock(a0);
+  const std::uint32_t* ob = t.offBlock(a1);
+  std::uint32_t* oo = t.offBlock(out);
+  std::uint32_t cursor = static_cast<std::uint32_t>(t.used);
+  for (std::size_t j = 0; j < t.lanes; ++j) {
+    Block(base + oa[j], base + ob[j], dst, lo[j]);
+    oo[j] = cursor;
+    cursor += lo[j];
+    dst += lo[j];
+  }
+  t.used = cursor;
+}
+
+// FILTER family / DELETE: per-lane branchless compaction, same store-always
+// advance-conditionally trick as the scalar bodies.
+template <bool (*Pred)(std::int32_t)>
+void laneFilter(SoATrace& t, std::uint32_t a0, std::uint32_t,
+                std::uint32_t out) {
+  std::int32_t* dst = t.grow(t.listTotal(a0));  // output never exceeds input
+  const std::int32_t* base = t.arena.data();
+  const std::uint32_t* aoff = t.offBlock(a0);
+  const std::uint32_t* alen = t.lenBlock(a0);
+  std::uint32_t* ooff = t.offBlock(out);
+  std::uint32_t* olen = t.lenBlock(out);
+  std::uint32_t cursor = static_cast<std::uint32_t>(t.used);
+  for (std::size_t j = 0; j < t.lanes; ++j) {
+    const std::int32_t* src = base + aoff[j];
+    std::size_t m = 0;
+    for (std::uint32_t i = 0; i < alen[j]; ++i) {
+      dst[m] = src[i];
+      m += Pred(src[i]) ? 1 : 0;
+    }
+    ooff[j] = cursor;
+    olen[j] = static_cast<std::uint32_t>(m);
+    cursor += static_cast<std::uint32_t>(m);
+    dst += m;
+  }
+  t.used = cursor;
+}
+
+void laneDelete(SoATrace& t, std::uint32_t a0, std::uint32_t a1,
+                std::uint32_t out) {
+  std::int32_t* dst = t.grow(t.listTotal(a1));
+  const std::int32_t* base = t.arena.data();
+  const std::int32_t* xs = t.intBlock(a0);
+  const std::uint32_t* aoff = t.offBlock(a1);
+  const std::uint32_t* alen = t.lenBlock(a1);
+  std::uint32_t* ooff = t.offBlock(out);
+  std::uint32_t* olen = t.lenBlock(out);
+  std::uint32_t cursor = static_cast<std::uint32_t>(t.used);
+  for (std::size_t j = 0; j < t.lanes; ++j) {
+    const std::int32_t* src = base + aoff[j];
+    const std::int32_t x = xs[j];
+    std::size_t m = 0;
+    for (std::uint32_t i = 0; i < alen[j]; ++i) {
+      dst[m] = src[i];
+      m += src[i] != x ? 1 : 0;
+    }
+    ooff[j] = cursor;
+    olen[j] = static_cast<std::uint32_t>(m);
+    cursor += static_cast<std::uint32_t>(m);
+    dst += m;
+  }
+  t.used = cursor;
+}
+
+// SCANL1 family: the recurrence is sequential within a lane, so this runs
+// lane by lane; lanes are still batched through one kernel activation.
+template <I64 (*Op)(I64, I64)>
+void laneScan(SoATrace& t, std::uint32_t a0, std::uint32_t,
+              std::uint32_t out) {
+  t.grow(t.listTotal(a0));
+  std::copy_n(t.lenBlock(a0), t.lanes, t.lenBlock(out));
+  t.finishDense(out);
+  std::int32_t* base = t.arena.data();
+  const std::uint32_t* aoff = t.offBlock(a0);
+  const std::uint32_t* ooff = t.offBlock(out);
+  const std::uint32_t* olen = t.lenBlock(out);
+  for (std::size_t j = 0; j < t.lanes; ++j) {
+    const std::uint32_t m = olen[j];
+    if (m == 0) continue;
+    const std::int32_t* src = base + aoff[j];
+    std::int32_t* o = base + ooff[j];
+    // Keep the running value in a register: re-reading o[i-1] from memory
+    // would chain every element through a store-to-load round trip.
+    std::int32_t acc = src[0];
+    o[0] = acc;
+    for (std::uint32_t i = 1; i < m; ++i) {
+      acc = saturate(Op(src[i], acc));
+      o[i] = acc;
+    }
+  }
+}
+
+void laneReverse(SoATrace& t, std::uint32_t a0, std::uint32_t,
+                 std::uint32_t out) {
+  t.grow(t.listTotal(a0));
+  std::copy_n(t.lenBlock(a0), t.lanes, t.lenBlock(out));
+  t.finishDense(out);
+  std::int32_t* base = t.arena.data();
+  const std::uint32_t* aoff = t.offBlock(a0);
+  const std::uint32_t* ooff = t.offBlock(out);
+  const std::uint32_t* olen = t.lenBlock(out);
+  for (std::size_t j = 0; j < t.lanes; ++j) {
+    const std::int32_t* src = base + aoff[j];
+    std::int32_t* o = base + ooff[j];
+    for (std::uint32_t i = 0; i < olen[j]; ++i) o[i] = src[olen[j] - 1 - i];
+  }
+}
+
+void laneSort(SoATrace& t, std::uint32_t a0, std::uint32_t,
+              std::uint32_t out) {
+  const std::size_t total = t.listTotal(a0);
+  std::int32_t* dst = t.grow(total);
+  copyLane(dst, t.arena.data() + t.offBlock(a0)[0], total);
+  std::copy_n(t.lenBlock(a0), t.lanes, t.lenBlock(out));
+  t.finishDense(out);
+  std::int32_t* base = t.arena.data();
+  const std::uint32_t* ooff = t.offBlock(out);
+  const std::uint32_t* olen = t.lenBlock(out);
+  for (std::size_t j = 0; j < t.lanes; ++j)
+    std::sort(base + ooff[j], base + ooff[j] + olen[j]);
+}
+
+void laneTake(SoATrace& t, std::uint32_t a0, std::uint32_t a1,
+              std::uint32_t out) {
+  const std::int32_t* ns = t.intBlock(a0);
+  const std::uint32_t* alen = t.lenBlock(a1);
+  std::uint32_t* olen = t.lenBlock(out);
+  std::size_t total = 0;
+  for (std::size_t j = 0; j < t.lanes; ++j) {
+    olen[j] = static_cast<std::uint32_t>(std::clamp<I64>(
+        ns[j], 0, static_cast<I64>(alen[j])));
+    total += olen[j];
+  }
+  std::int32_t* dst = t.grow(total);
+  const std::int32_t* base = t.arena.data();
+  const std::uint32_t* aoff = t.offBlock(a1);
+  std::uint32_t* ooff = t.offBlock(out);
+  std::uint32_t cursor = static_cast<std::uint32_t>(t.used);
+  for (std::size_t j = 0; j < t.lanes; ++j) {
+    copyLane(dst, base + aoff[j], olen[j]);
+    ooff[j] = cursor;
+    cursor += olen[j];
+    dst += olen[j];
+  }
+  t.used = cursor;
+}
+
+void laneDrop(SoATrace& t, std::uint32_t a0, std::uint32_t a1,
+              std::uint32_t out) {
+  const std::int32_t* ns = t.intBlock(a0);
+  const std::uint32_t* alen = t.lenBlock(a1);
+  std::uint32_t* olen = t.lenBlock(out);
+  std::size_t total = 0;
+  for (std::size_t j = 0; j < t.lanes; ++j) {
+    const auto k = static_cast<std::uint32_t>(std::clamp<I64>(
+        ns[j], 0, static_cast<I64>(alen[j])));
+    olen[j] = alen[j] - k;
+    total += olen[j];
+  }
+  std::int32_t* dst = t.grow(total);
+  const std::int32_t* base = t.arena.data();
+  const std::uint32_t* aoff = t.offBlock(a1);
+  std::uint32_t* ooff = t.offBlock(out);
+  std::uint32_t cursor = static_cast<std::uint32_t>(t.used);
+  for (std::size_t j = 0; j < t.lanes; ++j) {
+    copyLane(dst, base + aoff[j] + (alen[j] - olen[j]), olen[j]);
+    ooff[j] = cursor;
+    cursor += olen[j];
+    dst += olen[j];
+  }
+  t.used = cursor;
+}
+
+void laneInsert(SoATrace& t, std::uint32_t a0, std::uint32_t a1,
+                std::uint32_t out) {
+  std::int32_t* dst = t.grow(t.listTotal(a1) + t.lanes);
+  const std::int32_t* base = t.arena.data();
+  const std::int32_t* xs = t.intBlock(a0);
+  const std::uint32_t* aoff = t.offBlock(a1);
+  const std::uint32_t* alen = t.lenBlock(a1);
+  std::uint32_t* ooff = t.offBlock(out);
+  std::uint32_t* olen = t.lenBlock(out);
+  std::uint32_t cursor = static_cast<std::uint32_t>(t.used);
+  for (std::size_t j = 0; j < t.lanes; ++j) {
+    copyLane(dst, base + aoff[j], alen[j]);
+    dst[alen[j]] = xs[j];
+    ooff[j] = cursor;
+    olen[j] = alen[j] + 1;
+    cursor += olen[j];
+    dst += olen[j];
+  }
+  t.used = cursor;
+}
+
+// Aggregates and element accessors ([int] -> int, int,[int] -> int): short
+// per-lane reductions into the output slot's int block.
+void laneHead(SoATrace& t, std::uint32_t a0, std::uint32_t,
+              std::uint32_t out) {
+  const std::int32_t* base = t.arena.data();
+  const std::uint32_t* aoff = t.offBlock(a0);
+  const std::uint32_t* alen = t.lenBlock(a0);
+  std::int32_t* o = t.intBlock(out);
+  for (std::size_t j = 0; j < t.lanes; ++j)
+    o[j] = alen[j] ? base[aoff[j]] : 0;
+}
+
+void laneLast(SoATrace& t, std::uint32_t a0, std::uint32_t,
+              std::uint32_t out) {
+  const std::int32_t* base = t.arena.data();
+  const std::uint32_t* aoff = t.offBlock(a0);
+  const std::uint32_t* alen = t.lenBlock(a0);
+  std::int32_t* o = t.intBlock(out);
+  for (std::size_t j = 0; j < t.lanes; ++j)
+    o[j] = alen[j] ? base[aoff[j] + alen[j] - 1] : 0;
+}
+
+template <bool kMax>
+void laneExtremum(SoATrace& t, std::uint32_t a0, std::uint32_t,
+                  std::uint32_t out) {
+  const std::int32_t* base = t.arena.data();
+  const std::uint32_t* aoff = t.offBlock(a0);
+  const std::uint32_t* alen = t.lenBlock(a0);
+  std::int32_t* o = t.intBlock(out);
+  for (std::size_t j = 0; j < t.lanes; ++j) {
+    const std::int32_t* src = base + aoff[j];
+    std::int32_t best = 0;
+    for (std::uint32_t i = 0; i < alen[j]; ++i)
+      if (i == 0 || (kMax ? src[i] > best : src[i] < best)) best = src[i];
+    o[j] = best;
+  }
+}
+
+void laneSum(SoATrace& t, std::uint32_t a0, std::uint32_t,
+             std::uint32_t out) {
+  const std::int32_t* base = t.arena.data();
+  const std::uint32_t* aoff = t.offBlock(a0);
+  const std::uint32_t* alen = t.lenBlock(a0);
+  std::int32_t* o = t.intBlock(out);
+  for (std::size_t j = 0; j < t.lanes; ++j) {
+    const std::int32_t* src = base + aoff[j];
+    I64 s = 0;
+    for (std::uint32_t i = 0; i < alen[j]; ++i) s += src[i];
+    o[j] = saturate(s);
+  }
+}
+
+template <bool (*Pred)(std::int32_t)>
+void laneCount(SoATrace& t, std::uint32_t a0, std::uint32_t,
+               std::uint32_t out) {
+  const std::int32_t* base = t.arena.data();
+  const std::uint32_t* aoff = t.offBlock(a0);
+  const std::uint32_t* alen = t.lenBlock(a0);
+  std::int32_t* o = t.intBlock(out);
+  for (std::size_t j = 0; j < t.lanes; ++j) {
+    const std::int32_t* src = base + aoff[j];
+    std::int32_t c = 0;
+    for (std::uint32_t i = 0; i < alen[j]; ++i) c += Pred(src[i]) ? 1 : 0;
+    o[j] = c;
+  }
+}
+
+void laneAccess(SoATrace& t, std::uint32_t a0, std::uint32_t a1,
+                std::uint32_t out) {
+  const std::int32_t* base = t.arena.data();
+  const std::int32_t* ns = t.intBlock(a0);
+  const std::uint32_t* aoff = t.offBlock(a1);
+  const std::uint32_t* alen = t.lenBlock(a1);
+  std::int32_t* o = t.intBlock(out);
+  for (std::size_t j = 0; j < t.lanes; ++j) {
+    const std::int32_t n = ns[j];
+    o[j] = (n < 0 || static_cast<std::uint32_t>(n) >= alen[j])
+               ? 0
+               : base[aoff[j] + static_cast<std::uint32_t>(n)];
+  }
+}
+
+void laneSearch(SoATrace& t, std::uint32_t a0, std::uint32_t a1,
+                std::uint32_t out) {
+  const std::int32_t* base = t.arena.data();
+  const std::int32_t* xs = t.intBlock(a0);
+  const std::uint32_t* aoff = t.offBlock(a1);
+  const std::uint32_t* alen = t.lenBlock(a1);
+  std::int32_t* o = t.intBlock(out);
+  for (std::size_t j = 0; j < t.lanes; ++j) {
+    const std::int32_t* src = base + aoff[j];
+    std::int32_t found = -1;
+    for (std::uint32_t i = 0; i < alen[j]; ++i) {
+      if (src[i] == xs[j]) {
+        found = static_cast<std::int32_t>(i);
+        break;
+      }
+    }
+    o[j] = found;
+  }
+}
+
 // ---- dispatch table ---------------------------------------------------------
 
 using Body1 = void (*)(const List&, Value&);
@@ -177,6 +525,7 @@ struct Entry {
   Body1 unary = nullptr;          // [int] -> *
   BodyIntList intList = nullptr;  // int,[int] -> *
   BodyListList listList = nullptr;  // [int],[int] -> [int]
+  LaneKernel lane = nullptr;  // SoA lane-group body; null -> per-lane fallback
 };
 
 constexpr Type kInt = Type::Int;
@@ -192,52 +541,83 @@ namespace str = netsyn::domains::strdsl;
 
 const std::array<Entry, kTotalFunctions> kTable = {{
 
-    {{"ACCESS", 1, 2, {kInt, kList}, kInt}, nullptr, access, nullptr},
-    {{"COUNT(>0)", 2, 1, {kList, kList}, kInt}, count<isPositive>},
-    {{"COUNT(<0)", 3, 1, {kList, kList}, kInt}, count<isNegative>},
-    {{"COUNT(odd)", 4, 1, {kList, kList}, kInt}, count<isOdd>},
-    {{"COUNT(even)", 5, 1, {kList, kList}, kInt}, count<isEven>},
-    {{"HEAD", 6, 1, {kList, kList}, kInt}, head},
-    {{"LAST", 7, 1, {kList, kList}, kInt}, last},
-    {{"MINIMUM", 8, 1, {kList, kList}, kInt}, minimum},
-    {{"MAXIMUM", 9, 1, {kList, kList}, kInt}, maximum},
-    {{"SEARCH", 10, 2, {kInt, kList}, kInt}, nullptr, search, nullptr},
-    {{"SUM", 11, 1, {kList, kList}, kInt}, sum},
-    {{"DELETE", 12, 2, {kInt, kList}, kList}, nullptr, deleteAll, nullptr},
-    {{"DROP", 13, 2, {kInt, kList}, kList}, nullptr, drop, nullptr},
-    {{"FILTER(>0)", 14, 1, {kList, kList}, kList}, filter<isPositive>},
-    {{"FILTER(<0)", 15, 1, {kList, kList}, kList}, filter<isNegative>},
-    {{"FILTER(odd)", 16, 1, {kList, kList}, kList}, filter<isOdd>},
-    {{"FILTER(even)", 17, 1, {kList, kList}, kList}, filter<isEven>},
-    {{"INSERT", 18, 2, {kInt, kList}, kList}, nullptr, insert, nullptr},
-    {{"MAP(+1)", 19, 1, {kList, kList}, kList}, map<mapAdd1>},
-    {{"MAP(-1)", 20, 1, {kList, kList}, kList}, map<mapSub1>},
-    {{"MAP(*2)", 21, 1, {kList, kList}, kList}, map<mapMul2>},
-    {{"MAP(*3)", 22, 1, {kList, kList}, kList}, map<mapMul3>},
-    {{"MAP(*4)", 23, 1, {kList, kList}, kList}, map<mapMul4>},
-    {{"MAP(/2)", 24, 1, {kList, kList}, kList}, map<mapDiv2>},
-    {{"MAP(/3)", 25, 1, {kList, kList}, kList}, map<mapDiv3>},
-    {{"MAP(/4)", 26, 1, {kList, kList}, kList}, map<mapDiv4>},
-    {{"MAP(*(-1))", 27, 1, {kList, kList}, kList}, map<mapNeg>},
-    {{"MAP(^2)", 28, 1, {kList, kList}, kList}, map<mapSquare>},
-    {{"REVERSE", 29, 1, {kList, kList}, kList}, reverse},
-    {{"SCANL1(+)", 30, 1, {kList, kList}, kList}, scanl1<opAdd>},
-    {{"SCANL1(-)", 31, 1, {kList, kList}, kList}, scanl1<opSub>},
-    {{"SCANL1(*)", 32, 1, {kList, kList}, kList}, scanl1<opMul>},
-    {{"SCANL1(min)", 33, 1, {kList, kList}, kList}, scanl1<opMin>},
-    {{"SCANL1(max)", 34, 1, {kList, kList}, kList}, scanl1<opMax>},
-    {{"SORT", 35, 1, {kList, kList}, kList}, sortAsc},
-    {{"TAKE", 36, 2, {kInt, kList}, kList}, nullptr, take, nullptr},
+    {{"ACCESS", 1, 2, {kInt, kList}, kInt}, nullptr, access, nullptr,
+     laneAccess},
+    {{"COUNT(>0)", 2, 1, {kList, kList}, kInt}, count<isPositive>, nullptr,
+     nullptr, laneCount<isPositive>},
+    {{"COUNT(<0)", 3, 1, {kList, kList}, kInt}, count<isNegative>, nullptr,
+     nullptr, laneCount<isNegative>},
+    {{"COUNT(odd)", 4, 1, {kList, kList}, kInt}, count<isOdd>, nullptr,
+     nullptr, laneCount<isOdd>},
+    {{"COUNT(even)", 5, 1, {kList, kList}, kInt}, count<isEven>, nullptr,
+     nullptr, laneCount<isEven>},
+    {{"HEAD", 6, 1, {kList, kList}, kInt}, head, nullptr, nullptr, laneHead},
+    {{"LAST", 7, 1, {kList, kList}, kInt}, last, nullptr, nullptr, laneLast},
+    {{"MINIMUM", 8, 1, {kList, kList}, kInt}, minimum, nullptr, nullptr,
+     laneExtremum<false>},
+    {{"MAXIMUM", 9, 1, {kList, kList}, kInt}, maximum, nullptr, nullptr,
+     laneExtremum<true>},
+    {{"SEARCH", 10, 2, {kInt, kList}, kInt}, nullptr, search, nullptr,
+     laneSearch},
+    {{"SUM", 11, 1, {kList, kList}, kInt}, sum, nullptr, nullptr, laneSum},
+    {{"DELETE", 12, 2, {kInt, kList}, kList}, nullptr, deleteAll, nullptr,
+     laneDelete},
+    {{"DROP", 13, 2, {kInt, kList}, kList}, nullptr, drop, nullptr, laneDrop},
+    {{"FILTER(>0)", 14, 1, {kList, kList}, kList}, filter<isPositive>,
+     nullptr, nullptr, laneFilter<isPositive>},
+    {{"FILTER(<0)", 15, 1, {kList, kList}, kList}, filter<isNegative>,
+     nullptr, nullptr, laneFilter<isNegative>},
+    {{"FILTER(odd)", 16, 1, {kList, kList}, kList}, filter<isOdd>, nullptr,
+     nullptr, laneFilter<isOdd>},
+    {{"FILTER(even)", 17, 1, {kList, kList}, kList}, filter<isEven>, nullptr,
+     nullptr, laneFilter<isEven>},
+    {{"INSERT", 18, 2, {kInt, kList}, kList}, nullptr, insert, nullptr,
+     laneInsert},
+    {{"MAP(+1)", 19, 1, {kList, kList}, kList}, map<mapAdd1>, nullptr,
+     nullptr, laneMap<simd::mapAdd1>},
+    {{"MAP(-1)", 20, 1, {kList, kList}, kList}, map<mapSub1>, nullptr,
+     nullptr, laneMap<simd::mapSub1>},
+    {{"MAP(*2)", 21, 1, {kList, kList}, kList}, map<mapMul2>, nullptr,
+     nullptr, laneMap<simd::mapMul2>},
+    {{"MAP(*3)", 22, 1, {kList, kList}, kList}, map<mapMul3>, nullptr,
+     nullptr, laneMap<simd::mapMul3>},
+    {{"MAP(*4)", 23, 1, {kList, kList}, kList}, map<mapMul4>, nullptr,
+     nullptr, laneMap<simd::mapMul4>},
+    {{"MAP(/2)", 24, 1, {kList, kList}, kList}, map<mapDiv2>, nullptr,
+     nullptr, laneMap<simd::mapDiv2>},
+    {{"MAP(/3)", 25, 1, {kList, kList}, kList}, map<mapDiv3>, nullptr,
+     nullptr, laneMap<simd::mapDiv3>},
+    {{"MAP(/4)", 26, 1, {kList, kList}, kList}, map<mapDiv4>, nullptr,
+     nullptr, laneMap<simd::mapDiv4>},
+    {{"MAP(*(-1))", 27, 1, {kList, kList}, kList}, map<mapNeg>, nullptr,
+     nullptr, laneMap<simd::mapNeg>},
+    {{"MAP(^2)", 28, 1, {kList, kList}, kList}, map<mapSquare>, nullptr,
+     nullptr, laneMap<simd::mapSquare>},
+    {{"REVERSE", 29, 1, {kList, kList}, kList}, reverse, nullptr, nullptr,
+     laneReverse},
+    {{"SCANL1(+)", 30, 1, {kList, kList}, kList}, scanl1<opAdd>, nullptr,
+     nullptr, laneScan<opAdd>},
+    {{"SCANL1(-)", 31, 1, {kList, kList}, kList}, scanl1<opSub>, nullptr,
+     nullptr, laneScan<opSub>},
+    {{"SCANL1(*)", 32, 1, {kList, kList}, kList}, scanl1<opMul>, nullptr,
+     nullptr, laneScan<opMul>},
+    {{"SCANL1(min)", 33, 1, {kList, kList}, kList}, scanl1<opMin>, nullptr,
+     nullptr, laneScan<opMin>},
+    {{"SCANL1(max)", 34, 1, {kList, kList}, kList}, scanl1<opMax>, nullptr,
+     nullptr, laneScan<opMax>},
+    {{"SORT", 35, 1, {kList, kList}, kList}, sortAsc, nullptr, nullptr,
+     laneSort},
+    {{"TAKE", 36, 2, {kInt, kList}, kList}, nullptr, take, nullptr, laneTake},
     {{"ZIPWITH(+)", 37, 2, {kList, kList}, kList}, nullptr, nullptr,
-     zipWith<opAdd>},
+     zipWith<opAdd>, laneZip<simd::zipAdd>},
     {{"ZIPWITH(-)", 38, 2, {kList, kList}, kList}, nullptr, nullptr,
-     zipWith<opSub>},
+     zipWith<opSub>, laneZip<simd::zipSub>},
     {{"ZIPWITH(*)", 39, 2, {kList, kList}, kList}, nullptr, nullptr,
-     zipWith<opMul>},
+     zipWith<opMul>, laneZip<simd::zipMul>},
     {{"ZIPWITH(min)", 40, 2, {kList, kList}, kList}, nullptr, nullptr,
-     zipWith<opMin>},
+     zipWith<opMin>, laneZip<simd::zipMin>},
     {{"ZIPWITH(max)", 41, 2, {kList, kList}, kList}, nullptr, nullptr,
-     zipWith<opMax>},
+     zipWith<opMax>, laneZip<simd::zipMax>},
     // ---- str domain (strings as char-code lists) ----
     {{"STR.CONCAT", 0, 2, {kList, kList}, kList}, nullptr, nullptr,
      str::concat},
@@ -273,6 +653,11 @@ FunctionBody functionBody(FuncId id) {
   assert(id < kTotalFunctions);
   const Entry& e = kTable[id];
   return FunctionBody{e.unary, e.intList, e.listList};
+}
+
+LaneKernel functionLaneKernel(FuncId id) {
+  assert(id < kTotalFunctions);
+  return kTable[id].lane;
 }
 
 void applyFunctionInto(FuncId id, std::span<const Value* const> args,

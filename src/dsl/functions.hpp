@@ -95,6 +95,23 @@ struct FunctionBody {
 /// Body pointers for `id`. Precondition: id < kTotalFunctions.
 FunctionBody functionBody(FuncId id);
 
+struct SoATrace;
+
+/// Lane-parallel function body: applies one function to every lane of a
+/// SoATrace at once, reading the resolved argument slots (arg1 is ignored
+/// for unary shapes) and writing the output slot. List producers append
+/// densely to the trace arena (lanes.hpp documents the protocol). Kernels
+/// exist for the whole list DSL; elementwise families (MAP, ZIPWITH) run
+/// through the SIMD block primitives of simd.hpp.
+using LaneKernel = void (*)(SoATrace&, std::uint32_t arg0, std::uint32_t arg1,
+                            std::uint32_t out);
+
+/// Lane kernel for `id`, or nullptr when the function has none (str-domain
+/// ops): the lane executor then falls back to a per-lane scalar loop over
+/// the ordinary body, so every function works under the SoA path.
+/// Precondition: id < kTotalFunctions.
+LaneKernel functionLaneKernel(FuncId id);
+
 /// Lookup by display name (exact match, e.g. "FILTER(>0)"); nullopt when the
 /// name is unknown. Used by the program parser.
 std::optional<FuncId> functionByName(const std::string& name);

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "dsl/simd.hpp"
+
 namespace netsyn::dsl {
 namespace {
 
@@ -114,9 +116,11 @@ void compilePlanInto(const Program& program, const InputSignature& inputs,
     step.shape = step.body.unary ? ExecStep::Shape::Unary
                  : step.body.intList ? ExecStep::Shape::IntList
                                      : ExecStep::Shape::ListList;
+    step.lane = functionLaneKernel(step.fn);
     // Default sources carry the slot's type in `index` (0 = Int, 1 = List)
     // so execution never consults functionInfo for argument types.
     const FunctionInfo& info = functionInfo(step.fn);
+    step.ret = info.returnType;
     for (std::size_t slot = 0; slot < step.arity; ++slot) {
       if (step.args[slot].kind == ArgSource::Kind::Default)
         step.args[slot].index =
@@ -260,6 +264,8 @@ void Executor::runInto(const Program& program,
   executePlan(planForKey(keyOf(program, inputs), program, sigScratch_),
               inputs, out);
 }
+
+const char* Executor::backendName() { return simd::backendName(); }
 
 void Executor::clearPlanCache() {
   for (Slot& s : slots_) s.used = false;

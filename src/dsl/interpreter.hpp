@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "dsl/lanes.hpp"
 #include "dsl/program.hpp"
 #include "dsl/value.hpp"
 
@@ -81,8 +82,15 @@ struct ExecStep {
   FuncId fn = 0;
   std::uint8_t arity = 0;
   Shape shape = Shape::Unary;
+  /// Output type of `fn` — the SoA scatter path needs it without a
+  /// functionInfo lookup per statement per group.
+  Type ret = Type::List;
   std::array<ArgSource, kMaxArity> args{};
   FunctionBody body{};
+  /// Lane-group body (nullptr for functions without one — the lane executor
+  /// then runs the scalar body per lane). Resolved at compile time like
+  /// `body` so the per-statement dispatch is one pointer test.
+  LaneKernel lane = nullptr;
 };
 
 /// A program compiled against one input signature. Depends only on
@@ -151,12 +159,92 @@ class Executor {
   const Value& evalInto(const Program& program,
                         const std::vector<Value>& inputs);
 
+  /// Executes `plan` over `count` examples through the configured backend:
+  /// the SIMD lane path (executePlanMultiLanes, default) or the scalar
+  /// statement-major path. Both produce identical ExecResult traces — the
+  /// lane path is pinned against the scalar oracle by the differential fuzz
+  /// suite — so callers switch freely via setLaneExecution.
+  void executeMulti(const ExecPlan& plan,
+                    const std::vector<Value>* const* inputSets,
+                    std::size_t count, ExecResult* outs) {
+    if (lanes_)
+      executePlanMultiLanes(
+          plan, inputSets, count, outs, laneScratch_,
+          /*reuseIngest=*/inputSets == pinnedSets_ && count == pinnedCount_);
+    else
+      executePlanMulti(plan, inputSets, count, outs);
+  }
+
+  /// Output-only executeMulti: fills `outs[j]` (refilled in place) with the
+  /// final statement's output for each example, without materializing
+  /// traces. On the lane backend this skips the intermediate-trace scatter
+  /// — the dominant cost of the full-trace path — so equivalence-only
+  /// consumers (SpecEvaluator::check) run several times faster than
+  /// executing per example; the scalar backend loops executePlan into an
+  /// internal scratch as the differential oracle.
+  void executeMultiOutputs(const ExecPlan& plan,
+                           const std::vector<Value>* const* inputSets,
+                           std::size_t count, Value* outs) {
+    if (lanes_) {
+      executePlanMultiLanesOutputs(
+          plan, inputSets, count, outs, laneScratch_,
+          /*reuseIngest=*/inputSets == pinnedSets_ && count == pinnedCount_);
+    } else {
+      for (std::size_t j = 0; j < count; ++j) {
+        executePlan(plan, *inputSets[j], scratch_);
+        outs[j] = scratch_.output();
+      }
+    }
+  }
+
+  /// Declares `sets[0..count)` stable: the array and every pointed-to input
+  /// tuple will not change (contents included) until re-pinned or cleared.
+  /// Lets the lane executor ingest the example inputs into its SoA store
+  /// once per spec instead of once per candidate — the dominant fixed cost
+  /// at the paper's m=5..10 examples. SpecEvaluator pins its spec on
+  /// construction; pin manually only if you own the array's lifetime.
+  /// Unpinned executeMulti calls stay correct and simply re-ingest.
+  void pinExampleInputs(const std::vector<Value>* const* sets,
+                        std::size_t count) {
+    pinnedSets_ = sets;
+    pinnedCount_ = count;
+    // Drop any trace-level pin: a new pin means new inputs, and a recycled
+    // allocation could otherwise alias the previous array's address and
+    // inherit its stale ingest.
+    laneScratch_.pinKey = nullptr;
+    laneScratch_.pinnedUsed = 0;
+  }
+  void clearPinnedInputs() {
+    pinnedSets_ = nullptr;
+    pinnedCount_ = 0;
+    laneScratch_.pinKey = nullptr;
+    laneScratch_.pinnedUsed = 0;
+  }
+
+  /// Selects the executeMulti backend: true (default) = SoA lane executor,
+  /// false = scalar statement-major loop (the differential-fuzz oracle).
+  void setLaneExecution(bool enabled) { lanes_ = enabled; }
+  bool laneExecution() const { return lanes_; }
+
+  /// Compiled SIMD backend of the lane kernels ("avx2" or "scalar"), for
+  /// bench records and service stats.
+  static const char* backendName();
+
   std::size_t planCacheSize() const { return occupied_; }
   std::size_t planCompiles() const { return compiles_; }
   /// Total planFor/runInto plan lookups. lookups - compiles = cache hits;
-  /// the synthesis service diffs these around each job to report how warm
-  /// the cross-request plan cache ran.
+  /// the synthesis service resets both counters at the start of each job
+  /// (resetCounters) and reads them raw afterwards to report how warm the
+  /// cross-request plan cache ran.
   std::size_t planLookups() const { return lookups_; }
+  /// Zeroes planCompiles/planLookups without touching the plan cache
+  /// itself: per-job deltas stay exact even across executor reconfiguration
+  /// (e.g. a backend switch between jobs), where carrying before/after
+  /// snapshots would go stale.
+  void resetCounters() {
+    compiles_ = 0;
+    lookups_ = 0;
+  }
   void clearPlanCache();
 
  private:
@@ -183,6 +271,10 @@ class Executor {
   };
   std::vector<Slot> slots_ = std::vector<Slot>(kSlots);
   ExecResult scratch_;  ///< backing store for evalInto
+  SoATrace laneScratch_;  ///< lane-group storage for executeMulti
+  bool lanes_ = true;     ///< executeMulti backend (see setLaneExecution)
+  const std::vector<Value>* const* pinnedSets_ = nullptr;  ///< see pinExampleInputs
+  std::size_t pinnedCount_ = 0;
   std::size_t compiles_ = 0;
   std::size_t lookups_ = 0;
   std::size_t occupied_ = 0;

@@ -1,0 +1,361 @@
+// SIMD block kernels for the lane executor (lanes.hpp): elementwise
+// saturating transforms over contiguous int32 blocks.
+//
+// The SoA trace store concatenates the per-example ("lane") lists of one
+// statement into a single dense block, so the elementwise op families —
+// MAP's ten lambdas and ZIPWITH's five combiners — can be applied to all
+// examples of a spec in one vector loop, 8 int32 elements per AVX2 vector,
+// with `saturate` clamping performed in-register instead of per scalar.
+//
+// Backend selection is compile-time:
+//   - NETSYN_SIMD (CMake option, default ON) + __AVX2__  -> hand-written
+//     AVX2 intrinsics below ("avx2").
+//   - otherwise -> the portable loops ("scalar"). They are written in the
+//     branchless widen/clamp form the auto-vectorizer handles well, so on
+//     NEON-class targets the compiler still emits vector code; there is no
+//     hand-written NEON path (kept honest: this repo's CI only runs x86).
+//
+// Every kernel is semantically identical to saturate(op(x)) per element —
+// the scalar bodies in functions.cpp stay the oracle, and
+// tests/test_fuzz_differential.cpp pins the two bitwise-equal over 12k
+// random programs. The arithmetic is integral, so there is no
+// backend-dependent rounding: "avx2" and "scalar" agree exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dsl/value.hpp"
+
+#if defined(NETSYN_SIMD) && defined(__AVX2__)
+#define NETSYN_SIMD_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace netsyn::dsl::simd {
+
+/// int32 elements per vector on the widest compiled backend. Kernel tails
+/// shorter than this run scalar; the lane executor's correctness never
+/// depends on it (tests cover counts around every multiple).
+inline constexpr std::size_t kLaneWidth = 8;
+
+/// Compiled SIMD backend, for bench records and service stats: "avx2" when
+/// the intrinsic kernels are active, "scalar" for the portable fallback.
+inline const char* backendName() {
+#if NETSYN_SIMD_AVX2
+  return "avx2";
+#else
+  return "scalar";
+#endif
+}
+
+using I64 = std::int64_t;
+
+#if NETSYN_SIMD_AVX2
+namespace detail {
+
+/// Sign-extends the low / high 4 int32 of `v` to 4 int64 lanes.
+inline __m256i widenLo(__m256i v) {
+  return _mm256_cvtepi32_epi64(_mm256_castsi256_si128(v));
+}
+inline __m256i widenHi(__m256i v) {
+  return _mm256_cvtepi32_epi64(_mm256_extracti128_si256(v, 1));
+}
+
+/// Packs the low dword of each 64-bit lane into 4 int32. Only correct when
+/// the low dwords already hold the final bit patterns (the upper dwords are
+/// discarded unexamined).
+inline __m128i packLow(__m256i x) {
+  const __m256i pick = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  return _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(x, pick));
+}
+
+/// Clamps 4 int64 lanes into [INT32_MIN, INT32_MAX] — `saturate`
+/// in-register — and packs the surviving low dwords into 4 int32.
+inline __m128i clampPack(__m256i x) {
+  const __m256i maxv = _mm256_set1_epi64x(INT32_MAX);
+  const __m256i minv = _mm256_set1_epi64x(INT32_MIN);
+  x = _mm256_blendv_epi8(x, maxv, _mm256_cmpgt_epi64(x, maxv));
+  x = _mm256_blendv_epi8(x, minv, _mm256_cmpgt_epi64(minv, x));
+  return packLow(x);
+}
+
+/// dst[i] = saturate(op64(widen(src[i]))) over the whole block. Op64 maps 4
+/// sign-extended int64 lanes; ScalarOp is the exact per-element formula for
+/// the tail. Both must compute the same mathematical function.
+template <class Op64, class ScalarOp>
+inline void mapWiden(const std::int32_t* src, std::int32_t* dst,
+                     std::size_t n, Op64 op64, ScalarOp sop) {
+  std::size_t i = 0;
+  for (; i + kLaneWidth <= n; i += kLaneWidth) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m128i lo = clampPack(op64(widenLo(v)));
+    const __m128i hi = clampPack(op64(widenHi(v)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_set_m128i(hi, lo));
+  }
+  for (; i < n; ++i) dst[i] = saturate(sop(static_cast<I64>(src[i])));
+}
+
+/// Two-argument widened variant for the ZIPWITH combiners.
+template <class Op64, class ScalarOp>
+inline void zipWiden(const std::int32_t* a, const std::int32_t* b,
+                     std::int32_t* dst, std::size_t n, Op64 op64,
+                     ScalarOp sop) {
+  std::size_t i = 0;
+  for (; i + kLaneWidth <= n; i += kLaneWidth) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m128i lo = clampPack(op64(widenLo(va), widenLo(vb)));
+    const __m128i hi = clampPack(op64(widenHi(va), widenHi(vb)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_set_m128i(hi, lo));
+  }
+  for (; i < n; ++i)
+    dst[i] = saturate(sop(static_cast<I64>(a[i]), static_cast<I64>(b[i])));
+}
+
+}  // namespace detail
+#endif  // NETSYN_SIMD_AVX2
+
+// ---- MAP lambdas over one block ---------------------------------------------
+// dst[i] = saturate(lambda(src[i])); src and dst must not overlap (the SoA
+// arena appends statement outputs after their inputs, so they never do).
+
+inline void mapAdd1(const std::int32_t* src, std::int32_t* dst,
+                    std::size_t n) {
+#if NETSYN_SIMD_AVX2
+  const __m256i one = _mm256_set1_epi64x(1);
+  detail::mapWiden(
+      src, dst, n, [one](__m256i w) { return _mm256_add_epi64(w, one); },
+      [](I64 v) { return v + 1; });
+#else
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = saturate(static_cast<I64>(src[i]) + 1);
+#endif
+}
+
+inline void mapSub1(const std::int32_t* src, std::int32_t* dst,
+                    std::size_t n) {
+#if NETSYN_SIMD_AVX2
+  const __m256i one = _mm256_set1_epi64x(1);
+  detail::mapWiden(
+      src, dst, n, [one](__m256i w) { return _mm256_sub_epi64(w, one); },
+      [](I64 v) { return v - 1; });
+#else
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = saturate(static_cast<I64>(src[i]) - 1);
+#endif
+}
+
+inline void mapMul2(const std::int32_t* src, std::int32_t* dst,
+                    std::size_t n) {
+#if NETSYN_SIMD_AVX2
+  detail::mapWiden(
+      src, dst, n, [](__m256i w) { return _mm256_slli_epi64(w, 1); },
+      [](I64 v) { return v * 2; });
+#else
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = saturate(static_cast<I64>(src[i]) * 2);
+#endif
+}
+
+inline void mapMul3(const std::int32_t* src, std::int32_t* dst,
+                    std::size_t n) {
+#if NETSYN_SIMD_AVX2
+  detail::mapWiden(
+      src, dst, n,
+      [](__m256i w) { return _mm256_add_epi64(_mm256_slli_epi64(w, 1), w); },
+      [](I64 v) { return v * 3; });
+#else
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = saturate(static_cast<I64>(src[i]) * 3);
+#endif
+}
+
+inline void mapMul4(const std::int32_t* src, std::int32_t* dst,
+                    std::size_t n) {
+#if NETSYN_SIMD_AVX2
+  detail::mapWiden(
+      src, dst, n, [](__m256i w) { return _mm256_slli_epi64(w, 2); },
+      [](I64 v) { return v * 4; });
+#else
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = saturate(static_cast<I64>(src[i]) * 4);
+#endif
+}
+
+inline void mapNeg(const std::int32_t* src, std::int32_t* dst,
+                   std::size_t n) {
+#if NETSYN_SIMD_AVX2
+  const __m256i zero = _mm256_setzero_si256();
+  detail::mapWiden(
+      src, dst, n, [zero](__m256i w) { return _mm256_sub_epi64(zero, w); },
+      [](I64 v) { return -v; });
+#else
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = saturate(-static_cast<I64>(src[i]));
+#endif
+}
+
+inline void mapSquare(const std::int32_t* src, std::int32_t* dst,
+                      std::size_t n) {
+#if NETSYN_SIMD_AVX2
+  // mul_epi32 multiplies the sign-extended low dword of each 64-bit lane —
+  // exactly the widened original element — into an exact 64-bit square.
+  detail::mapWiden(
+      src, dst, n, [](__m256i w) { return _mm256_mul_epi32(w, w); },
+      [](I64 v) { return v * v; });
+#else
+  for (std::size_t i = 0; i < n; ++i) {
+    const I64 v = src[i];
+    dst[i] = saturate(v * v);
+  }
+#endif
+}
+
+// Truncating division by 2 / 4 cannot leave the int32 range, so these run
+// directly on 8 int32 lanes: add the sign-dependent bias (d-1 for negative
+// dividends), then shift arithmetically — C's round-toward-zero exactly.
+inline void mapDiv2(const std::int32_t* src, std::int32_t* dst,
+                    std::size_t n) {
+  std::size_t i = 0;
+#if NETSYN_SIMD_AVX2
+  for (; i + kLaneWidth <= n; i += kLaneWidth) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i bias = _mm256_srli_epi32(v, 31);  // 1 iff negative
+    const __m256i q = _mm256_srai_epi32(_mm256_add_epi32(v, bias), 1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), q);
+  }
+#endif
+  for (; i < n; ++i) dst[i] = src[i] / 2;
+}
+
+inline void mapDiv4(const std::int32_t* src, std::int32_t* dst,
+                    std::size_t n) {
+  std::size_t i = 0;
+#if NETSYN_SIMD_AVX2
+  const __m256i three = _mm256_set1_epi32(3);
+  for (; i + kLaneWidth <= n; i += kLaneWidth) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i bias = _mm256_and_si256(_mm256_srai_epi32(v, 31), three);
+    const __m256i q = _mm256_srai_epi32(_mm256_add_epi32(v, bias), 2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), q);
+  }
+#endif
+  for (; i < n; ++i) dst[i] = src[i] / 4;
+}
+
+inline void mapDiv3(const std::int32_t* src, std::int32_t* dst,
+                    std::size_t n) {
+#if NETSYN_SIMD_AVX2
+  // Magic-multiply division: x/3 == hi32(x * 0x55555556) + (x < 0). The
+  // widened product is exact; the logical srli by 32 leaves hi32's bit
+  // pattern in each lane's low dword (upper dword garbage for negative x),
+  // the sign term adds 1 for negative dividends with any carry confined to
+  // the discarded upper dword, and packLow keeps just the low dwords —
+  // clamping is neither needed (quotients are always in range) nor valid
+  // (the 64-bit lanes do not hold sign-extended values here).
+  const __m256i magic = _mm256_set1_epi64x(0x55555556);
+  std::size_t i = 0;
+  for (; i + kLaneWidth <= n; i += kLaneWidth) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const auto div3 = [magic](__m256i w) {
+      const __m256i hi =
+          _mm256_srli_epi64(_mm256_mul_epi32(w, magic), 32);
+      const __m256i sign = _mm256_srli_epi64(w, 63);  // 1 iff negative
+      return _mm256_add_epi64(hi, sign);
+    };
+    const __m128i lo = detail::packLow(div3(detail::widenLo(v)));
+    const __m128i hi = detail::packLow(div3(detail::widenHi(v)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_set_m128i(hi, lo));
+  }
+  for (; i < n; ++i) dst[i] = src[i] / 3;
+#else
+  for (std::size_t i = 0; i < n; ++i) dst[i] = src[i] / 3;
+#endif
+}
+
+// ---- ZIPWITH combiners over two aligned blocks ------------------------------
+// dst[i] = saturate(op(a[i], b[i])); dst must not overlap a or b.
+
+inline void zipAdd(const std::int32_t* a, const std::int32_t* b,
+                   std::int32_t* dst, std::size_t n) {
+#if NETSYN_SIMD_AVX2
+  detail::zipWiden(
+      a, b, dst, n,
+      [](__m256i x, __m256i y) { return _mm256_add_epi64(x, y); },
+      [](I64 x, I64 y) { return x + y; });
+#else
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = saturate(static_cast<I64>(a[i]) + b[i]);
+#endif
+}
+
+inline void zipSub(const std::int32_t* a, const std::int32_t* b,
+                   std::int32_t* dst, std::size_t n) {
+#if NETSYN_SIMD_AVX2
+  detail::zipWiden(
+      a, b, dst, n,
+      [](__m256i x, __m256i y) { return _mm256_sub_epi64(x, y); },
+      [](I64 x, I64 y) { return x - y; });
+#else
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = saturate(static_cast<I64>(a[i]) - b[i]);
+#endif
+}
+
+inline void zipMul(const std::int32_t* a, const std::int32_t* b,
+                   std::int32_t* dst, std::size_t n) {
+#if NETSYN_SIMD_AVX2
+  detail::zipWiden(
+      a, b, dst, n,
+      [](__m256i x, __m256i y) { return _mm256_mul_epi32(x, y); },
+      [](I64 x, I64 y) { return x * y; });
+#else
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = saturate(static_cast<I64>(a[i]) * b[i]);
+#endif
+}
+
+// min/max of two int32 is itself an int32: no widening or clamp needed.
+inline void zipMin(const std::int32_t* a, const std::int32_t* b,
+                   std::int32_t* dst, std::size_t n) {
+  std::size_t i = 0;
+#if NETSYN_SIMD_AVX2
+  for (; i + kLaneWidth <= n; i += kLaneWidth) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_min_epi32(va, vb));
+  }
+#endif
+  for (; i < n; ++i) dst[i] = a[i] < b[i] ? a[i] : b[i];
+}
+
+inline void zipMax(const std::int32_t* a, const std::int32_t* b,
+                   std::int32_t* dst, std::size_t n) {
+  std::size_t i = 0;
+#if NETSYN_SIMD_AVX2
+  for (; i + kLaneWidth <= n; i += kLaneWidth) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_max_epi32(va, vb));
+  }
+#endif
+  for (; i < n; ++i) dst[i] = a[i] > b[i] ? a[i] : b[i];
+}
+
+}  // namespace netsyn::dsl::simd

@@ -73,7 +73,7 @@ struct ExperimentConfig {
   /// Preset selected by --scale plus individual flag overrides
   /// (--domain=list|str, --budget, --runs, --programs-per-length,
   ///  --train-programs, --epochs, --seed, --model-dir, --lengths=5,7,10,
-  ///  --workers=N, and the island strategy: --islands=K,
+  ///  --workers=N, --simd=true|false, and the island strategy: --islands=K,
   ///  --migration-interval=M, --migration-size=E, --topology=ring|full,
   ///  --island-threads=T, --island-hetero).
   ///  --islands selects SearchStrategy::Islands (also for K=1, which is

@@ -424,8 +424,14 @@ void SynthService::Impl::workerLoop(std::size_t /*workerIndex*/) {
     const bool resumed = cp.valid;
 
     lock.unlock();
-    const std::size_t compilesBefore = ctx.executor.planCompiles();
-    const std::size_t lookupsBefore = ctx.executor.planLookups();
+    // Per-task counter window: zero the executor's counters at task start
+    // and read them raw afterwards. Unlike the before/after snapshot this
+    // replaced, the delta cannot go stale when something reconfigures the
+    // executor mid-stream (e.g. a search switching the execution backend):
+    // whatever runs inside the window is attributed to this task, nothing
+    // else. The plan cache itself is untouched — warm-cache behavior across
+    // jobs is exactly as before (pinned by test_service).
+    ctx.executor.resetCounters();
     TaskRecord record;
     TaskOutcome outcome = TaskOutcome::Failed;
     std::string error;
@@ -436,10 +442,8 @@ void SynthService::Impl::workerLoop(std::size_t /*workerIndex*/) {
     } catch (...) {
       error = "unknown task error";
     }
-    const std::size_t compilesDelta =
-        ctx.executor.planCompiles() - compilesBefore;
-    const std::size_t lookupsDelta =
-        ctx.executor.planLookups() - lookupsBefore;
+    const std::size_t compilesDelta = ctx.executor.planCompiles();
+    const std::size_t lookupsDelta = ctx.executor.planLookups();
     lock.lock();
 
     --job->running;

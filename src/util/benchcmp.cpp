@@ -65,6 +65,44 @@ BenchComparison compareBenchRecords(const std::string& baselineJson,
               "engine_genes_per_sec", /*gated=*/false);
     pushDelta(cmp, "legacy genes/sec", baseline, fresh,
               "legacy_genes_per_sec", /*gated=*/false);
+    // SIMD lane-executor rows (records predating the lane executor lack
+    // them; comparing such a baseline just skips these rows).
+    // `lanes_speedup` is the output-only lane path against the scalar
+    // per-example check loop — SpecEvaluator::check's before/after — and is
+    // gated with a hard >= 2x floor, but only when both records ran the
+    // same SIMD backend: comparing an avx2 baseline on a scalar-fallback
+    // host says nothing about the code, so it demotes to info. The
+    // full-trace ratio is info-only by design: that path is bound by the
+    // trace scatter, which the scalar engine pays as part of writing its
+    // own trace Values, so parity there is expected, not a regression.
+    if (baseline.find("lanes_speedup") && fresh.find("lanes_speedup")) {
+      std::string baseBackend;
+      std::string freshBackend;
+      readString(baseline, "simd_backend", baseBackend);
+      readString(fresh, "simd_backend", freshBackend);
+      const bool sameBackend =
+          !baseBackend.empty() && baseBackend == freshBackend;
+      cmp.rows.push_back(BenchDelta{
+          "lane check vs scalar check (" +
+              (sameBackend ? baseBackend
+                           : baseBackend + " baseline, " + freshBackend +
+                                 " fresh"),
+          numberAt(baseline, "lanes_speedup"),
+          numberAt(fresh, "lanes_speedup"),
+          /*higherIsBetter=*/true, /*gated=*/sameBackend,
+          /*floor=*/sameBackend ? 2.0 : 0.0});
+      cmp.rows.back().metric += ")";
+      // Info rows, each guarded on presence so a record written by an older
+      // (or newer) bench binary still compares on what both sides have.
+      for (const auto& [metric, key] :
+           {std::pair<const char*, const char*>{"lanes trace speedup",
+                                                "trace_lanes_speedup"},
+            {"lanes genes/sec", "lanes_genes_per_sec"},
+            {"lane check genes/sec", "check_lanes_genes_per_sec"}}) {
+        if (baseline.find(key) && fresh.find(key))
+          pushDelta(cmp, metric, baseline, fresh, key, /*gated=*/false);
+      }
+    }
   } else if (baseTag == "nn_scoring") {
     pushDelta(cmp, "batched/scalar speedup", baseline, fresh, "speedup",
               /*gated=*/true);

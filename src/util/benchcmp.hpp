@@ -34,15 +34,25 @@ struct BenchDelta {
   bool higherIsBetter = true;
   bool gated = true;  ///< informational rows never fail the gate
 
+  /// Absolute floor for gated higher-is-better rows (0 = none): the row
+  /// fails whenever fresh < floor, regardless of how the baseline moved.
+  /// Used for ratios that carry a hard acceptance bar (the SIMD lane
+  /// executor must stay >= 2x the scalar engine), where drifting the
+  /// committed baseline downward must not quietly lower the bar.
+  double floor = 0.0;
+
   /// fresh/baseline - 1, signed so that positive is "more" (not "better").
   double change() const {
     return baseline == 0.0 ? 0.0 : fresh / baseline - 1.0;
   }
 
   /// True when this row fails at `tolerance` (e.g. 0.15 = 15%). A zero
-  /// baseline can't regress (a solved-count of 0 has nothing to lose).
+  /// baseline can't regress (a solved-count of 0 has nothing to lose) —
+  /// but a floor still applies.
   bool regressed(double tolerance) const {
-    if (!gated || baseline == 0.0) return false;
+    if (!gated) return false;
+    if (floor > 0.0 && fresh < floor) return true;
+    if (baseline == 0.0) return false;
     return higherIsBetter ? fresh < baseline * (1.0 - tolerance)
                           : fresh > baseline * (1.0 + tolerance);
   }

@@ -137,6 +137,58 @@ TEST(BenchCmp, MalformedRecordsAreLoud) {
       std::invalid_argument);
 }
 
+TEST(BenchCmp, LaneRowsAreGatedWithAFloorOnMatchingBackends) {
+  const std::string base =
+      "{\"bench\": \"interpreter\", \"legacy_genes_per_sec\": 100000.0, "
+      "\"engine_genes_per_sec\": 400000.0, \"speedup\": 4.0, "
+      "\"lanes_genes_per_sec\": 1200000.0, \"lanes_speedup\": 3.0, "
+      "\"simd_backend\": \"avx2\"}";
+  // Identity passes; within-tolerance drift passes.
+  EXPECT_FALSE(nu::compareBenchRecords(base, base).anyRegression(0.15));
+
+  // A 20% lanes-ratio drop (3.0 -> 2.4) trips the 15% gate even though the
+  // floor (2.0) is still met.
+  const std::string dropped =
+      "{\"bench\": \"interpreter\", \"legacy_genes_per_sec\": 100000.0, "
+      "\"engine_genes_per_sec\": 400000.0, \"speedup\": 4.0, "
+      "\"lanes_genes_per_sec\": 960000.0, \"lanes_speedup\": 2.4, "
+      "\"simd_backend\": \"avx2\"}";
+  EXPECT_TRUE(nu::compareBenchRecords(base, dropped).anyRegression(0.15));
+
+  // The >= 2x floor is absolute: a fresh ratio below it fails even against
+  // a baseline that had already drifted to the same low value (committing a
+  // weak baseline must not lower the acceptance bar).
+  const std::string weak =
+      "{\"bench\": \"interpreter\", \"legacy_genes_per_sec\": 100000.0, "
+      "\"engine_genes_per_sec\": 400000.0, \"speedup\": 4.0, "
+      "\"lanes_genes_per_sec\": 760000.0, \"lanes_speedup\": 1.9, "
+      "\"simd_backend\": \"avx2\"}";
+  EXPECT_TRUE(nu::compareBenchRecords(weak, weak).anyRegression(0.15));
+}
+
+TEST(BenchCmp, LaneRowsDemoteToInfoAcrossBackendsAndOldBaselines) {
+  const std::string avx2 =
+      "{\"bench\": \"interpreter\", \"legacy_genes_per_sec\": 100000.0, "
+      "\"engine_genes_per_sec\": 400000.0, \"speedup\": 4.0, "
+      "\"lanes_genes_per_sec\": 1200000.0, \"lanes_speedup\": 3.0, "
+      "\"simd_backend\": \"avx2\"}";
+  // A scalar-fallback host comparing against an avx2 baseline says nothing
+  // about the code: the lanes rows must not gate (ratio 1.1 would fail both
+  // the tolerance and the floor if they did).
+  const std::string scalarHost =
+      "{\"bench\": \"interpreter\", \"legacy_genes_per_sec\": 100000.0, "
+      "\"engine_genes_per_sec\": 400000.0, \"speedup\": 4.0, "
+      "\"lanes_genes_per_sec\": 440000.0, \"lanes_speedup\": 1.1, "
+      "\"simd_backend\": \"scalar\"}";
+  EXPECT_FALSE(nu::compareBenchRecords(avx2, scalarHost).anyRegression(0.15));
+
+  // Records predating the lane executor have no lanes keys: comparison
+  // still works and simply has no lane rows.
+  const auto cmp = nu::compareBenchRecords(kInterp, kInterp);
+  for (const auto& row : cmp.rows)
+    EXPECT_EQ(row.metric.find("lane"), std::string::npos) << row.metric;
+}
+
 TEST(BenchCmp, ZeroBaselineCannotRegress) {
   const std::string zero =
       "{\"bench\": \"islands\", \"sweep\": ["

@@ -13,6 +13,7 @@
 #include "dsl/functions.hpp"
 #include "dsl/generator.hpp"
 #include "dsl/interpreter.hpp"
+#include "dsl/lanes.hpp"
 #include "nn/inference.hpp"
 #include "nn/tensor.hpp"
 #include "util/rng.hpp"
@@ -238,6 +239,149 @@ TEST(SpecEvaluator, CheckAgreesWithSatisfiesSpec) {
     EXPECT_EQ(evaluator.check(*p).value(),
               nd::satisfiesSpec(*p, tc->spec));
   }
+}
+
+// ----------------------------------------------------- lane executor ------
+
+namespace {
+
+/// Runs `program` over `examples` random input sets through both the lane
+/// executor and the scalar statement-major path, and asserts trace-for-trace
+/// equality. Shared workhorse for the tail-count sweep below.
+void expectLanesMatchScalar(const nd::Program& program,
+                            const nd::InputSignature& sig,
+                            std::size_t examples, Rng& rng) {
+  const nd::Generator gen;
+  nd::Executor executor;
+  nd::SoATrace trace;
+
+  std::vector<std::vector<nd::Value>> inputs;
+  std::vector<const std::vector<nd::Value>*> inputSets;
+  inputs.reserve(examples);
+  for (std::size_t j = 0; j < examples; ++j) {
+    inputs.push_back(gen.randomInputs(sig, rng));
+    inputSets.push_back(&inputs[j]);
+  }
+
+  const nd::ExecPlan& plan = executor.planFor(program, sig);
+  std::vector<nd::ExecResult> scalar(examples), lanes(examples);
+  std::vector<nd::Value> outs(examples);
+  nd::executePlanMulti(plan, inputSets.data(), examples, scalar.data());
+  nd::executePlanMultiLanes(plan, inputSets.data(), examples, lanes.data(),
+                            trace);
+  nd::executePlanMultiLanesOutputs(plan, inputSets.data(), examples,
+                                   outs.data(), trace);
+  for (std::size_t j = 0; j < examples; ++j) {
+    ASSERT_EQ(lanes[j].trace.size(), scalar[j].trace.size());
+    for (std::size_t k = 0; k < lanes[j].trace.size(); ++k)
+      ASSERT_EQ(lanes[j].trace[k], scalar[j].trace[k])
+          << "example " << j << " of " << examples << ", trace slot " << k
+          << ": " << program.toString();
+    ASSERT_EQ(outs[j], scalar[j].output())
+        << "example " << j << " of " << examples
+        << ", output-only path: " << program.toString();
+  }
+}
+
+}  // namespace
+
+TEST(LaneExecutor, TailCountsMatchScalar) {
+  // Example counts straddling both batching boundaries: the SIMD vector
+  // width (8 int32 per AVX2 register) and the lane-group size
+  // (SoATrace::kMaxLanes = 32): 1, lane-1, lane, lane+1, 2*lane+3 for each.
+  constexpr std::size_t kVec = 8;
+  constexpr std::size_t kGroup = nd::SoATrace::kMaxLanes;
+  const std::size_t counts[] = {1,          kVec - 1,   kVec,
+                                kVec + 1,   2 * kVec + 3, kGroup - 1,
+                                kGroup,     kGroup + 1, 2 * kGroup + 3};
+
+  Rng rng(29);
+  const nd::Generator gen;
+  for (const std::size_t examples : counts) {
+    for (int rep = 0; rep < 8; ++rep) {
+      const nd::InputSignature sig = gen.randomSignature(rng);
+      const auto prog =
+          gen.randomProgram(1 + rng.uniform(6), sig, rng);
+      ASSERT_TRUE(prog.has_value());
+      expectLanesMatchScalar(*prog, sig, examples, rng);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(LaneExecutor, MixedIntAndListOutputsUnderSoA) {
+  // A fixed pipeline that interleaves list- and int-producing statements,
+  // so the SoA trace carries both payload kinds side by side and the
+  // scatter step must pick the right one per statement: list, int, list
+  // (TAKE consumes the int), int, list (again via default/int args), int.
+  const auto prog = nd::Program::fromString(
+      "MAP(*2) | MAXIMUM | TAKE | COUNT(>0) | SCANL1(+) | SUM");
+  ASSERT_TRUE(prog.has_value());
+  const nd::InputSignature sig = {nd::Type::List, nd::Type::Int};
+  Rng rng(31);
+  for (const std::size_t examples : {1u, 7u, 9u, 33u, 67u}) {
+    expectLanesMatchScalar(*prog, sig, examples, rng);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(LaneExecutor, OutputOnlyPathHandlesEmptyPlanOnBothBackends) {
+  // An empty program's output is the default list on every path
+  // (ExecResult::output() on an empty trace); the output-only entry point
+  // has no trace to fall back on, so the n == 0 case is its own branch.
+  nd::Executor executor;
+  const nd::InputSignature sig = {nd::Type::List};
+  const nd::Program empty;
+  const nd::ExecPlan& plan = executor.planFor(empty, sig);
+
+  const std::vector<nd::Value> inputs = {nd::Value{std::vector<std::int32_t>{1, 2}}};
+  const std::vector<nd::Value>* sets[] = {&inputs};
+  const nd::Value emptyList{std::vector<std::int32_t>{}};
+
+  std::vector<nd::Value> outs(1, nd::Value{7});  // refilled in place
+  executor.setLaneExecution(true);
+  executor.executeMultiOutputs(plan, sets, 1, outs.data());
+  EXPECT_EQ(outs[0], emptyList);
+
+  outs[0] = nd::Value{7};
+  executor.setLaneExecution(false);
+  executor.executeMultiOutputs(plan, sets, 1, outs.data());
+  EXPECT_EQ(outs[0], emptyList);
+}
+
+TEST(Executor, ResetCountersClearsDeltasButKeepsPlanCache) {
+  Rng rng(37);
+  const nd::Generator gen;
+  const nd::InputSignature sig = {nd::Type::List};
+  const auto prog = gen.randomProgram(5, sig, rng);
+  ASSERT_TRUE(prog.has_value());
+
+  nd::Executor executor;
+  nd::ExecResult out;
+  for (int i = 0; i < 4; ++i)
+    executor.runInto(*prog, gen.randomInputs(sig, rng), out);
+  EXPECT_EQ(executor.planCompiles(), 1u);
+  EXPECT_EQ(executor.planLookups(), 4u);
+  EXPECT_EQ(executor.planCacheSize(), 1u);
+
+  // The per-job delta reset: counters go to zero, the cache stays warm.
+  executor.resetCounters();
+  EXPECT_EQ(executor.planCompiles(), 0u);
+  EXPECT_EQ(executor.planLookups(), 0u);
+  EXPECT_EQ(executor.planCacheSize(), 1u);
+
+  // Re-running the same program is a pure cache hit: lookups advance from
+  // zero, compiles stay zero — exactly the delta a service worker reports.
+  executor.runInto(*prog, gen.randomInputs(sig, rng), out);
+  EXPECT_EQ(executor.planCompiles(), 0u);
+  EXPECT_EQ(executor.planLookups(), 1u);
+
+  // A genuinely new signature after the reset counts one compile.
+  const nd::InputSignature sig2 = {nd::Type::List, nd::Type::Int};
+  std::vector<nd::Value> inputs2 = {nd::Value(List{1, 2, 3}), nd::Value(2)};
+  executor.runInto(*prog, inputs2, out);
+  EXPECT_EQ(executor.planCompiles(), 1u);
+  EXPECT_EQ(executor.planCacheSize(), 2u);
 }
 
 // ------------------------------------------------- blocked NN matmul ------

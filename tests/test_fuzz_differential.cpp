@@ -32,9 +32,11 @@
 
 #include "../bench/legacy_baseline.hpp"
 #include "dsl/dce.hpp"
+#include "dsl/domain.hpp"
 #include "dsl/functions.hpp"
 #include "dsl/generator.hpp"
 #include "dsl/interpreter.hpp"
+#include "dsl/lanes.hpp"
 #include "dsl/program.hpp"
 #include "util/rng.hpp"
 
@@ -179,6 +181,203 @@ TEST(FuzzDifferential, DceNeverChangesProgramOutputs) {
   }
   // The fuzz distribution must actually exercise the transform.
   EXPECT_GT(programsWithDeadCode, kPrograms / 4);
+}
+
+// ------------------------------------ SIMD lanes vs the scalar oracle -----
+
+namespace {
+
+/// Fuzzes the SoA lane executor against scalar executePlanMulti — the
+/// designated oracle for the SIMD path (the scalar path itself is pinned
+/// against the frozen legacy interpreter above, so equality is transitive
+/// back to the seed). Trace equality is checked slot by slot on every
+/// example. Example counts sweep the lane-group tails: 1, one full SIMD
+/// vector +/- 1, SoATrace::kMaxLanes - 1 / exact / + 1, and two groups
+/// plus a ragged tail.
+void fuzzLanesVsScalar(const nd::Domain& domain, std::uint64_t seed) {
+  constexpr std::size_t kPrograms = 6000;
+  const std::size_t laneTails[] = {1,
+                                   7,
+                                   8,
+                                   9,
+                                   nd::SoATrace::kMaxLanes - 1,
+                                   nd::SoATrace::kMaxLanes,
+                                   nd::SoATrace::kMaxLanes + 1,
+                                   2 * nd::SoATrace::kMaxLanes + 3};
+  constexpr std::size_t kMaxExamples = 2 * nd::SoATrace::kMaxLanes + 3;
+
+  Rng rng(seed);
+  const nd::Generator gen(domain);
+  nd::Executor executor;
+  nd::SoATrace trace;
+  // Persistent slots for both paths: the retained-buffer reuse of each is
+  // part of what the differential covers.
+  std::vector<nd::ExecResult> scalarRuns(kMaxExamples);
+  std::vector<nd::ExecResult> laneRuns(kMaxExamples);
+  std::vector<nd::Value> laneOuts(kMaxExamples);
+
+  for (std::size_t n = 0; n < kPrograms; ++n) {
+    const nd::InputSignature sig = gen.randomSignature(rng);
+    const std::size_t length = 1 + rng.uniform(8);
+    // 1-in-4 fully-live generator programs; the rest uniform over the
+    // domain's vocabulary (dead code, duplicate producers, default args).
+    nd::Program program;
+    if (rng.uniform(4) == 0) {
+      auto live = gen.randomProgram(length, sig, rng);
+      ASSERT_TRUE(live.has_value());
+      program = std::move(*live);
+    } else {
+      for (std::size_t i = 0; i < length; ++i)
+        program.append(
+            domain.vocabulary[rng.uniform(domain.vocabulary.size())]);
+    }
+    const std::size_t examples = laneTails[n % std::size(laneTails)];
+
+    std::vector<std::vector<nd::Value>> inputs;
+    std::vector<const std::vector<nd::Value>*> inputSets;
+    inputs.reserve(examples);
+    inputSets.reserve(examples);
+    for (std::size_t j = 0; j < examples; ++j) {
+      inputs.push_back(gen.randomInputs(sig, rng));
+      inputSets.push_back(&inputs[j]);
+    }
+
+    const nd::ExecPlan& plan = executor.planFor(program, sig);
+    nd::executePlanMulti(plan, inputSets.data(), examples, scalarRuns.data());
+    nd::executePlanMultiLanes(plan, inputSets.data(), examples,
+                              laneRuns.data(), trace);
+    nd::executePlanMultiLanesOutputs(plan, inputSets.data(), examples,
+                                     laneOuts.data(), trace);
+    for (std::size_t j = 0; j < examples; ++j) {
+      ASSERT_EQ(laneRuns[j].trace.size(), scalarRuns[j].trace.size())
+          << "case " << n << " example " << j << ": " << program.toString();
+      for (std::size_t k = 0; k < laneRuns[j].trace.size(); ++k) {
+        ASSERT_EQ(laneRuns[j].trace[k], scalarRuns[j].trace[k])
+            << "case " << n << " example " << j << " (" << examples
+            << " lanes) trace slot " << k << ": " << program.toString();
+      }
+      ASSERT_EQ(laneOuts[j], scalarRuns[j].output())
+          << "case " << n << " example " << j << " (" << examples
+          << " lanes) output-only path: " << program.toString();
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+}  // namespace
+
+// 12k random programs total across the two registered domains, per the
+// acceptance bar for the lane executor (backend under test is whatever this
+// binary was compiled with — CI runs both the AVX2 and scalar builds).
+TEST(FuzzDifferential, LaneExecutorMatchesScalarOracleOnListDomain) {
+  fuzzLanesVsScalar(nd::listDomain(), 0x51D0A);
+}
+
+TEST(FuzzDifferential, LaneExecutorMatchesScalarOracleOnStrDomain) {
+  fuzzLanesVsScalar(nd::strDomain(), 0x51D0B);
+}
+
+// The Executor-level switch: both settings of setLaneExecution must produce
+// identical traces through the same executeMulti entry point (this is the
+// contract SpecEvaluator and the NS scorer rely on when the config flag
+// flips), and the compiled backend must report a known name.
+TEST(FuzzDifferential, ExecutorBackendSwitchIsTraceInvisible) {
+  const std::string backend = nd::Executor::backendName();
+  EXPECT_TRUE(backend == "avx2" || backend == "scalar") << backend;
+
+  Rng rng(0xBAC63D);
+  const nd::Generator gen;
+  nd::Executor executor;
+  constexpr std::size_t kExamples = 10;
+  std::vector<nd::ExecResult> laneRuns(kExamples), scalarRuns(kExamples);
+  for (std::size_t n = 0; n < 500; ++n) {
+    const nd::InputSignature sig = gen.randomSignature(rng);
+    const nd::Program program = randomRawProgram(1 + rng.uniform(8), rng);
+    std::vector<std::vector<nd::Value>> inputs;
+    std::vector<const std::vector<nd::Value>*> inputSets;
+    inputs.reserve(kExamples);
+    for (std::size_t j = 0; j < kExamples; ++j) {
+      inputs.push_back(gen.randomInputs(sig, rng));
+      inputSets.push_back(&inputs[j]);
+    }
+    const nd::ExecPlan& plan = executor.planFor(program, sig);
+    executor.setLaneExecution(true);
+    ASSERT_TRUE(executor.laneExecution());
+    executor.executeMulti(plan, inputSets.data(), kExamples, laneRuns.data());
+    executor.setLaneExecution(false);
+    executor.executeMulti(plan, inputSets.data(), kExamples,
+                          scalarRuns.data());
+    for (std::size_t j = 0; j < kExamples; ++j)
+      for (std::size_t k = 0; k < laneRuns[j].trace.size(); ++k)
+        ASSERT_EQ(laneRuns[j].trace[k], scalarRuns[j].trace[k])
+            << "case " << n << ": " << program.toString();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// The pinned-ingest fast path in production shape: one immutable spec, many
+// candidate programs through one Executor with pinExampleInputs (exactly how
+// SpecEvaluator drives it). Both executeMulti and executeMultiOutputs must
+// match the scalar oracle on every candidate — the ingest is only ever
+// transposed once, so any lane-table corruption by a plan would poison all
+// later candidates and be caught here. Then the pin lifecycle: re-pinning
+// the same array after its contents changed must force a fresh ingest (the
+// trace-level pin is keyed by address, so stale-ingest reuse is the failure
+// mode this pins down).
+TEST(FuzzDifferential, PinnedIngestMatchesScalarOracleAcrossCandidates) {
+  Rng rng(0xF1A7ED);
+  const nd::Generator gen;
+  constexpr std::size_t kExamples = 10;
+
+  for (std::size_t round = 0; round < 40; ++round) {
+    const nd::InputSignature sig = gen.randomSignature(rng);
+    std::vector<std::vector<nd::Value>> inputs;
+    std::vector<const std::vector<nd::Value>*> inputSets;
+    inputs.reserve(kExamples);
+    inputSets.reserve(kExamples);
+    for (std::size_t j = 0; j < kExamples; ++j) {
+      inputs.push_back(gen.randomInputs(sig, rng));
+      inputSets.push_back(&inputs[j]);
+    }
+    nd::Executor executor;
+    executor.pinExampleInputs(inputSets.data(), kExamples);
+
+    std::vector<nd::ExecResult> laneRuns(kExamples), scalarRuns(kExamples);
+    std::vector<nd::Value> laneOuts(kExamples);
+    const auto checkCandidates = [&](std::size_t cases) {
+      for (std::size_t n = 0; n < cases; ++n) {
+        const nd::Program program = randomRawProgram(1 + rng.uniform(8), rng);
+        const nd::ExecPlan& plan = executor.planFor(program, sig);
+        executor.executeMulti(plan, inputSets.data(), kExamples,
+                              laneRuns.data());
+        executor.executeMultiOutputs(plan, inputSets.data(), kExamples,
+                                     laneOuts.data());
+        nd::executePlanMulti(plan, inputSets.data(), kExamples,
+                             scalarRuns.data());
+        for (std::size_t j = 0; j < kExamples; ++j) {
+          for (std::size_t k = 0; k < laneRuns[j].trace.size(); ++k)
+            ASSERT_EQ(laneRuns[j].trace[k], scalarRuns[j].trace[k])
+                << "round " << round << " case " << n << ": "
+                << program.toString();
+          ASSERT_EQ(laneOuts[j], scalarRuns[j].output())
+              << "round " << round << " case " << n << ": "
+              << program.toString();
+        }
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    };
+    checkCandidates(25);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // Mutate the example inputs in place (same addresses — the hostile case
+    // for an address-keyed pin) and re-pin: results must reflect the new
+    // contents, not the stale ingest.
+    for (std::size_t j = 0; j < kExamples; ++j)
+      inputs[j] = gen.randomInputs(sig, rng);
+    executor.pinExampleInputs(inputSets.data(), kExamples);
+    checkCandidates(25);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
 }
 
 // ------------------------------------------------ aliasing lockdown -------
