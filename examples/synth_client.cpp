@@ -13,16 +13,30 @@
 // bit-for-bit; any divergence exits nonzero. This is the service-smoke
 // assertion CI runs: concurrent daemon jobs == one-shot runs.
 //
+// Resilience: SIGPIPE is ignored, so a daemon death surfaces as an EPIPE
+// write error / EOF (DaemonDied) instead of killing the client. The client
+// then respawns synthd and resubmits every job idempotently by key
+// ("attach": true — identical submissions are deterministic, so joining a
+// recovered in-flight job is always safe). With --chaos-kill the client
+// does this on purpose: it SIGKILLs the daemon mid-run, restarts it on the
+// same --state-dir, reattaches, and verifies the recovered results — the
+// kill-and-restart recovery pass CI runs.
+//
 // Usage:
 //   synth_client --synthd=./synthd [--jobs=2] [--method=Edit]
 //                [--daemon-workers=2] [--verify]
+//                [--chaos-kill] [--state-dir=DIR] [--checkpoint-interval=G]
+//                [--daemon-faults=SPEC]
 //                [experiment flags: --scale --budget --runs --lengths
 //                 --programs-per-length --seed ...]
+#include <csignal>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -38,10 +52,18 @@ namespace {
 
 using namespace netsyn;
 
+/// The daemon end of the session is gone (EPIPE on write, EOF on read).
+/// Distinct from protocol-level errors so the caller can reconnect.
+class DaemonDied : public std::runtime_error {
+ public:
+  explicit DaemonDied(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// A spawned synthd with a line-oriented pipe session.
 class DaemonSession {
  public:
-  DaemonSession(const std::string& path, long workers) {
+  DaemonSession(const std::string& path,
+                const std::vector<std::string>& extraArgs) {
     int toChild[2];
     int fromChild[2];
     if (pipe(toChild) != 0 || pipe(fromChild) != 0)
@@ -55,10 +77,14 @@ class DaemonSession {
       close(toChild[1]);
       close(fromChild[0]);
       close(fromChild[1]);
-      const std::string workersFlag = "--workers=" + std::to_string(workers);
-      execl(path.c_str(), path.c_str(), workersFlag.c_str(),
-            static_cast<char*>(nullptr));
-      std::perror("execl synthd");
+      std::vector<std::string> argStore;
+      argStore.push_back(path);
+      for (const std::string& a : extraArgs) argStore.push_back(a);
+      std::vector<char*> argv;
+      for (std::string& a : argStore) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      execv(path.c_str(), argv.data());
+      std::perror("execv synthd");
       _exit(127);
     }
     close(toChild[0]);
@@ -69,19 +95,23 @@ class DaemonSession {
   }
 
   ~DaemonSession() {
-    if (writeFd_ >= 0) close(writeFd_);
-    if (reader_) fclose(reader_);
+    closeFds();
     if (pid_ > 0) waitpid(pid_, nullptr, 0);
   }
 
-  /// Sends one request line and returns the parsed response.
+  /// Sends one request line and returns the parsed response. Throws
+  /// DaemonDied when the daemon is gone (write error or EOF) — with
+  /// SIGPIPE ignored this is a clean failure, not a client death.
   util::JsonValue request(const std::string& line) {
     const std::string framed = line + "\n";
     const char* data = framed.c_str();
     std::size_t left = framed.size();
     while (left > 0) {
       const ssize_t n = write(writeFd_, data, left);
-      if (n <= 0) throw std::runtime_error("write to synthd failed");
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0)
+        throw DaemonDied(std::string("write to synthd failed (") +
+                         std::strerror(errno) + ")");
       data += n;
       left -= static_cast<std::size_t>(n);
     }
@@ -90,14 +120,36 @@ class DaemonSession {
     const ssize_t got = getline(&buf, &cap, reader_);
     if (got < 0) {
       free(buf);
-      throw std::runtime_error("synthd closed the session");
+      throw DaemonDied("synthd closed the session");
     }
     std::string response(buf, static_cast<std::size_t>(got));
     free(buf);
     return util::parseJson(response);
   }
 
+  /// Simulated daemon crash: SIGKILL (no shutdown handshake, no destructor
+  /// runs daemon-side — durable state is whatever already hit disk).
+  void kill() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      waitpid(pid_, nullptr, 0);
+      pid_ = -1;
+    }
+    closeFds();
+  }
+
  private:
+  void closeFds() {
+    if (writeFd_ >= 0) {
+      close(writeFd_);
+      writeFd_ = -1;
+    }
+    if (reader_) {
+      fclose(reader_);
+      reader_ = nullptr;
+    }
+  }
+
   pid_t pid_ = -1;
   int writeFd_ = -1;
   FILE* reader_ = nullptr;
@@ -112,6 +164,12 @@ std::uint64_t member(const util::JsonValue& v, const char* key) {
 bool okField(const util::JsonValue& v) {
   const util::JsonValue* ok = v.find("ok");
   return ok && ok->kind == util::JsonValue::Kind::Bool && ok->boolean;
+}
+
+bool boolField(const util::JsonValue& v, const char* key) {
+  bool b = false;
+  util::readBool(v, key, b);
+  return b;
 }
 
 struct TaskTriple {
@@ -143,6 +201,9 @@ std::vector<TaskTriple> tasksOf(const util::JsonValue& response,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A dead daemon must surface as an EPIPE error we can handle, not kill
+  // the client outright.
+  std::signal(SIGPIPE, SIG_IGN);
   try {
     const util::ArgParse args(argc, argv);
     const std::string synthdPath = args.getString("synthd", "./synthd");
@@ -150,31 +211,103 @@ int main(int argc, char** argv) {
     const std::string method = args.getString("method", "Edit");
     const long daemonWorkers = args.getInt("daemon-workers", 2);
     const bool verify = args.getBool("verify", false);
+    const bool chaosKill = args.getBool("chaos-kill", false);
+    const std::string stateDir =
+        args.getString("state-dir", chaosKill ? "synth_client_state" : "");
+    const long ckptInterval = args.getInt("checkpoint-interval", 5);
+    const std::string daemonFaults = args.getString("daemon-faults", "");
     if (jobs <= 0) throw std::invalid_argument("--jobs must be > 0");
+    if (chaosKill && stateDir.empty())
+      throw std::invalid_argument("--chaos-kill needs a --state-dir");
 
     const harness::ExperimentConfig base =
         harness::ExperimentConfig::fromArgs(args);
 
-    DaemonSession session(synthdPath, daemonWorkers);
-    const util::JsonValue pong = session.request("{\"op\": \"ping\"}");
-    if (!okField(pong)) throw std::runtime_error("synthd ping failed");
+    const auto spawn = [&]() {
+      std::vector<std::string> extra;
+      extra.push_back("--workers=" + std::to_string(daemonWorkers));
+      if (!stateDir.empty()) {
+        extra.push_back("--state-dir=" + stateDir);
+        extra.push_back("--checkpoint-interval=" +
+                        std::to_string(ckptInterval));
+      }
+      if (!daemonFaults.empty()) extra.push_back("--faults=" + daemonFaults);
+      auto s = std::make_unique<DaemonSession>(synthdPath, extra);
+      if (!okField(s->request("{\"op\": \"ping\"}")))
+        throw std::runtime_error("synthd ping failed");
+      return s;
+    };
 
-    // Submit every job before waiting on any: the daemon runs them
-    // concurrently on its shared pool.
+    std::unique_ptr<DaemonSession> session = spawn();
+
     std::vector<harness::ExperimentConfig> configs;
-    std::vector<std::uint64_t> ids;
     for (long i = 0; i < jobs; ++i) {
       harness::ExperimentConfig cfg = base;
       cfg.seed = base.seed + static_cast<std::uint64_t>(i);
       configs.push_back(cfg);
-      const util::JsonValue resp = session.request(
-          "{\"op\": \"submit\", \"method\": \"" + method +
-          "\", \"config\": " + cfg.toJson() + "}");
-      if (!okField(resp)) throw std::runtime_error("submit rejected");
-      ids.push_back(member(resp, "job"));
-      std::printf("[client] submitted job %llu (seed=%llu)\n",
-                  static_cast<unsigned long long>(ids.back()),
-                  static_cast<unsigned long long>(cfg.seed));
+    }
+
+    // Submit every job before waiting on any: the daemon runs them
+    // concurrently on its shared pool. `attach` makes the submission
+    // idempotent by (method, config) key, so the same call re-joins the
+    // jobs after a reconnect.
+    std::vector<std::uint64_t> ids(configs.size(), 0);
+    const auto submitAll = [&](bool attach) {
+      for (std::size_t i = 0; i < configs.size(); ++i) {
+        const util::JsonValue resp = session->request(
+            "{\"op\": \"submit\", \"method\": \"" + method +
+            "\", \"config\": " + configs[i].toJson() +
+            (attach ? ", \"attach\": true" : "") + "}");
+        if (!okField(resp)) throw std::runtime_error("submit rejected");
+        ids[i] = member(resp, "job");
+        std::printf(
+            "[client] submitted job %llu (seed=%llu%s%s)\n",
+            static_cast<unsigned long long>(ids[i]),
+            static_cast<unsigned long long>(configs[i].seed),
+            boolField(resp, "attached") ? ", attached" : "",
+            boolField(resp, "recovered") ? ", recovered" : "");
+      }
+    };
+    submitAll(/*attach=*/false);
+
+    // Reconnect path: respawn the daemon (it recovers its durable state)
+    // and resubmit everything by key.
+    int reconnects = 0;
+    const auto reconnect = [&]() {
+      if (++reconnects > 3)
+        throw std::runtime_error("synthd died repeatedly; giving up");
+      std::printf("[client] synthd is gone; respawning and reattaching\n");
+      session = spawn();
+      submitAll(/*attach=*/true);
+    };
+    // Built per attempt: a reconnect reassigns ids, so the retried request
+    // must use the fresh one.
+    const auto waitJob = [&](std::size_t i) {
+      for (;;) {
+        try {
+          return session->request("{\"op\": \"wait\", \"job\": " +
+                                  std::to_string(ids[i]) + "}");
+        } catch (const DaemonDied& e) {
+          std::printf("[client] %s\n", e.what());
+          reconnect();
+        }
+      }
+    };
+
+    if (chaosKill) {
+      // Let the daemon make (and persist) some progress, then kill -9 it
+      // mid-run and recover on a fresh process over the same state dir.
+      for (int poll = 0; poll < 500; ++poll) {
+        const util::JsonValue st = session->request(
+            "{\"op\": \"status\", \"job\": " + std::to_string(ids[0]) + "}");
+        std::string state;
+        util::readString(st, "state", state);
+        if (state == "done" || member(st, "tasks_done") > 0) break;
+        usleep(20 * 1000);
+      }
+      std::printf("[client] chaos: SIGKILL synthd mid-run\n");
+      session->kill();
+      reconnect();
     }
 
     bool allMatch = true;
@@ -182,8 +315,7 @@ int main(int argc, char** argv) {
     // models once per (modelDir, scale), not once per job.
     service::ModelStore verifyModels;
     for (long i = 0; i < jobs; ++i) {
-      const util::JsonValue done = session.request(
-          "{\"op\": \"wait\", \"job\": " + std::to_string(ids[i]) + "}");
+      const util::JsonValue done = waitJob(static_cast<std::size_t>(i));
       if (!okField(done)) throw std::runtime_error("wait failed");
       std::string state;
       util::readString(done, "state", state);
@@ -193,11 +325,13 @@ int main(int argc, char** argv) {
       util::readDouble(done, "synthesized_fraction", fraction);
       std::printf(
           "[client] job %llu %s: synthesized %.0f%% of %zu programs, "
-          "plan compiles=%llu hits=%llu\n",
+          "plan compiles=%llu hits=%llu, retries=%llu%s\n",
           static_cast<unsigned long long>(ids[i]), state.c_str(),
           fraction * 100.0, programs,
           static_cast<unsigned long long>(member(done, "plan_compiles")),
-          static_cast<unsigned long long>(member(done, "plan_hits")));
+          static_cast<unsigned long long>(member(done, "plan_hits")),
+          static_cast<unsigned long long>(member(done, "retries")),
+          boolField(done, "recovered") ? ", recovered" : "");
       if (state != "done") {
         allMatch = false;
         continue;
@@ -247,16 +381,20 @@ int main(int argc, char** argv) {
     }
 
     // Warm path: resubmitting job 0's exact config is answered from the
-    // completed-job memo.
-    const util::JsonValue warm = session.request(
+    // completed-job memo — or, when the run went through a kill/recover
+    // cycle, attaches to the completed job by key (same idempotence, the
+    // memo may have died with the first daemon before the job finished).
+    const util::JsonValue warm = session->request(
         "{\"op\": \"submit\", \"method\": \"" + method +
-        "\", \"config\": " + configs[0].toJson() + "}");
-    bool fromCache = false;
-    util::readBool(warm, "from_cache", fromCache);
-    std::printf("[client] identical resubmission: from_cache=%s\n",
-                fromCache ? "true" : "false");
+        "\", \"config\": " + configs[0].toJson() +
+        (chaosKill ? ", \"attach\": true" : "") + "}");
+    const bool fromCache = boolField(warm, "from_cache");
+    const bool attached = boolField(warm, "attached");
+    std::printf("[client] identical resubmission: from_cache=%s attached=%s\n",
+                fromCache ? "true" : "false", attached ? "true" : "false");
+    const bool warmOk = chaosKill ? (fromCache || attached) : fromCache;
 
-    const util::JsonValue stats = session.request("{\"op\": \"stats\"}");
+    const util::JsonValue stats = session->request("{\"op\": \"stats\"}");
     std::printf(
         "[client] session: %llu jobs, %llu tasks, %llu result-cache hits, "
         "plan compiles=%llu hits=%llu\n",
@@ -266,13 +404,30 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(member(stats, "plan_compiles")),
         static_cast<unsigned long long>(member(stats, "plan_hits")));
 
-    session.request("{\"op\": \"shutdown\"}");
+    const util::JsonValue metrics = session->request("{\"op\": \"metrics\"}");
+    std::printf(
+        "[client] metrics: queue=%llu retry-waiting=%llu recovered=%llu "
+        "ckpt written=%llu loaded=%llu rejected=%llu, fault hits=%llu "
+        "fires=%llu\n",
+        static_cast<unsigned long long>(member(metrics, "queue_depth")),
+        static_cast<unsigned long long>(member(metrics, "retry_waiting")),
+        static_cast<unsigned long long>(member(metrics, "jobs_recovered")),
+        static_cast<unsigned long long>(
+            member(metrics, "durable_checkpoints_written")),
+        static_cast<unsigned long long>(
+            member(metrics, "durable_checkpoints_loaded")),
+        static_cast<unsigned long long>(
+            member(metrics, "checkpoints_rejected")),
+        static_cast<unsigned long long>(member(metrics, "fault_hits")),
+        static_cast<unsigned long long>(member(metrics, "fault_fires")));
+
+    session->request("{\"op\": \"shutdown\"}");
 
     if (!allMatch) {
       std::printf("[client] FAILED: daemon results diverge from one-shot\n");
       return 1;
     }
-    if (!fromCache) {
+    if (!warmOk) {
       std::printf("[client] FAILED: resubmission missed the result cache\n");
       return 1;
     }

@@ -8,12 +8,33 @@
 // JSON object per line, flushed.
 //
 // Usage:
-//   synthd [--workers=N] [--no-result-cache]
+//   synthd [--workers=N] [--no-result-cache] [--state-dir=DIR]
+//          [--deadline-seconds=S] [--stall-seconds=S] [--max-retries=N]
+//          [--checkpoint-interval=G] [--max-queue=N]
+//          [--faults=SPEC] [--fault-seed=N]
 //
-//   --workers=N          worker threads (0 = one per hardware thread;
-//                        default 2)
-//   --no-result-cache    disable the completed-job memo (plan/model caches
-//                        stay on)
+//   --workers=N            worker threads (0 = one per hardware thread;
+//                          default 2)
+//   --no-result-cache      disable the completed-job memo (plan/model
+//                          caches stay on)
+//   --state-dir=DIR        durable job state under DIR/jobs/; on startup
+//                          the daemon recovers jobs found there and resumes
+//                          unfinished tasks from their last checkpoint
+//   --deadline-seconds=S   default per-job wall-clock deadline (0 = none)
+//   --stall-seconds=S      per-task stall budget before the watchdog aborts
+//                          and retries the task (0 = off)
+//   --max-retries=N        task retries before the job fails (default 3)
+//   --checkpoint-interval=G  snapshot running tasks every G generations
+//                          (default 25; 0 = only on pause)
+//   --max-queue=N          reject submissions that would push the task
+//                          queue past N ("rejected": "overloaded"; 0 = off)
+//   --faults=SPEC          arm deterministic fault injection, e.g.
+//                          "service.task.generation=throw@40;
+//                           checkpoint.write=delay:5/3" (util/faultinject.hpp)
+//   --fault-seed=N         seed for probabilistic fault draws
+//
+// The NETSYN_FAULTS / NETSYN_FAULT_SEED environment variables arm the same
+// registry (applied after the flags, so the environment wins in CI).
 //
 // Exits when stdin closes or a {"op": "shutdown"} request arrives.
 // Diagnostics go to stderr; stdout carries protocol responses only.
@@ -23,6 +44,7 @@
 #include "service/protocol.hpp"
 #include "service/service.hpp"
 #include "util/argparse.hpp"
+#include "util/faultinject.hpp"
 
 int main(int argc, char** argv) {
   using namespace netsyn;
@@ -33,12 +55,34 @@ int main(int argc, char** argv) {
     if (workers < 0) throw std::invalid_argument("--workers must be >= 0");
     cfg.workers = static_cast<std::size_t>(workers);
     cfg.resultCache = !args.getBool("no-result-cache", false);
+    cfg.stateDir = args.getString("state-dir", "");
+    cfg.defaultDeadlineSeconds = args.getDouble("deadline-seconds", 0.0);
+    cfg.stallSeconds = args.getDouble("stall-seconds", 0.0);
+    const long retries = args.getInt("max-retries", 3);
+    if (retries < 0) throw std::invalid_argument("--max-retries must be >= 0");
+    cfg.maxTaskRetries = static_cast<std::size_t>(retries);
+    const long ckpt = args.getInt("checkpoint-interval", 25);
+    if (ckpt < 0)
+      throw std::invalid_argument("--checkpoint-interval must be >= 0");
+    cfg.checkpointEveryGenerations = static_cast<std::size_t>(ckpt);
+    const long maxQueue = args.getInt("max-queue", 0);
+    if (maxQueue < 0) throw std::invalid_argument("--max-queue must be >= 0");
+    cfg.maxQueuedTasks = static_cast<std::size_t>(maxQueue);
+
+    if (args.has("fault-seed"))
+      util::FaultRegistry::instance().setSeed(
+          static_cast<std::uint64_t>(args.getInt("fault-seed", 0)));
+    const std::string faults = args.getString("faults", "");
+    if (!faults.empty()) util::FaultRegistry::instance().armFromText(faults);
+    util::FaultRegistry::instance().armFromEnv();
 
     service::SynthService svc(cfg);
     std::fprintf(stderr,
                  "[synthd] serving NDJSON on stdin/stdout (workers=%ld, "
-                 "result-cache=%s)\n",
-                 workers, cfg.resultCache ? "on" : "off");
+                 "result-cache=%s%s%s)\n",
+                 workers, cfg.resultCache ? "on" : "off",
+                 cfg.stateDir.empty() ? "" : ", state-dir=",
+                 cfg.stateDir.c_str());
     service::serveLines(svc, std::cin, std::cout);
     std::fprintf(stderr, "[synthd] session closed\n");
     return 0;

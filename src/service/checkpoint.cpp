@@ -1,0 +1,427 @@
+#include "service/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "util/faultinject.hpp"
+
+namespace netsyn::service {
+namespace {
+
+constexpr char kMagic[8] = {'N', 'E', 'T', 'S', 'Y', 'N', 'C', 'K'};
+
+// ---- little-endian primitive writers/readers --------------------------------
+
+void putU64(std::string& b, std::uint64_t v) {
+  char raw[8];
+  for (int i = 0; i < 8; ++i) raw[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  b.append(raw, 8);
+}
+
+void putU32(std::string& b, std::uint32_t v) {
+  char raw[4];
+  for (int i = 0; i < 4; ++i) raw[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  b.append(raw, 4);
+}
+
+void putDouble(std::string& b, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  putU64(b, bits);
+}
+
+void putString(std::string& b, const std::string& s) {
+  putU64(b, s.size());
+  b.append(s);
+}
+
+/// Bounds-checked sequential reader over the payload; any overrun throws,
+/// which decodeTaskCheckpoint turns into a false return.
+struct Reader {
+  const char* p;
+  std::size_t left;
+
+  void need(std::size_t n) const {
+    if (n > left) throw std::runtime_error("payload truncated");
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+           << (8 * i);
+    p += 8;
+    left -= 8;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+           << (8 * i);
+    p += 4;
+    left -= 4;
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(p, n);
+    p += n;
+    left -= n;
+    return s;
+  }
+  /// Count fields double as offsets into the remaining payload; a corrupted
+  /// count must fail bounds-checking instead of driving a multi-gigabyte
+  /// allocation, so counts are validated against a per-element floor.
+  std::uint64_t count(std::uint64_t minBytesPer) {
+    const std::uint64_t n = u64();
+    if (minBytesPer > 0 && n > left / minBytesPer)
+      throw std::runtime_error("payload count exceeds remaining bytes");
+    return n;
+  }
+};
+
+void putProgram(std::string& b, const dsl::Program& p) {
+  const std::vector<dsl::FuncId>& fs = p.functions();
+  putU64(b, fs.size());
+  for (dsl::FuncId f : fs) b.push_back(static_cast<char>(f));
+}
+
+dsl::Program readProgram(Reader& r) {
+  const std::uint64_t n = r.count(1);
+  r.need(n);
+  std::vector<dsl::FuncId> fs(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    fs[i] = static_cast<dsl::FuncId>(static_cast<unsigned char>(r.p[i]));
+  r.p += n;
+  r.left -= n;
+  return dsl::Program(std::move(fs));
+}
+
+std::string encodePayload(const core::SearchState::Snapshot& snap,
+                          const util::Rng& rng) {
+  if (!snap.result.islandStats.empty())
+    throw std::logic_error(
+        "island searches are checkpoint-atomic; a snapshot with islandStats "
+        "cannot be serialized");
+
+  std::string b;
+  putU64(b, snap.targetLength);
+
+  // Rng (xoshiro256** raw state).
+  for (std::uint64_t w : rng.state()) putU64(b, w);
+
+  // Population (order-preserving: the GA trajectory depends on it).
+  putU64(b, snap.pop.size());
+  for (const core::Individual& ind : snap.pop) {
+    putProgram(b, ind.program);
+    putDouble(b, ind.fitness);
+  }
+
+  // Accumulated result.
+  const core::SynthesisResult& res = snap.result;
+  b.push_back(res.found ? 1 : 0);
+  putProgram(b, res.solution);
+  putU64(b, res.candidatesSearched);
+  putU64(b, res.generations);
+  putDouble(b, res.seconds);
+  putU64(b, res.nsInvocations);
+  b.push_back(res.foundByNs ? 1 : 0);
+  putDouble(b, res.bestFitness);
+  putU64(b, res.history.size());
+  for (const core::GenerationStats& g : res.history) {
+    putU64(b, g.generation);
+    putDouble(b, g.bestFitness);
+    putDouble(b, g.meanFitness);
+    putU64(b, g.budgetUsed);
+    b.push_back(g.nsTriggered ? 1 : 0);
+  }
+
+  // Fitness cache, key-sorted so identical snapshots encode to identical
+  // bytes (unordered_map iteration order is unspecified).
+  std::vector<const std::pair<const std::string, double>*> cache;
+  cache.reserve(snap.cache.size());
+  for (const auto& kv : snap.cache) cache.push_back(&kv);
+  std::sort(cache.begin(), cache.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  putU64(b, cache.size());
+  for (const auto* kv : cache) {
+    putString(b, kv->first);
+    putDouble(b, kv->second);
+  }
+
+  // Evaluator dedup set, sorted for the same reason.
+  std::vector<std::uint64_t> seen(snap.seen.begin(), snap.seen.end());
+  std::sort(seen.begin(), seen.end());
+  putU64(b, seen.size());
+  for (std::uint64_t k : seen) putU64(b, k);
+
+  // Saturation window.
+  putU64(b, snap.window.window());
+  const std::deque<double>& recent = snap.window.recentValues();
+  putU64(b, recent.size());
+  for (double v : recent) putDouble(b, v);
+  putDouble(b, snap.window.priorSum());
+  putU64(b, snap.window.priorCount());
+  putU64(b, snap.window.count());
+
+  // Budget + carried wall clock.
+  putU64(b, snap.budgetLimit);
+  putU64(b, snap.budgetUsed);
+  putDouble(b, snap.priorSeconds);
+  return b;
+}
+
+void decodePayload(Reader& r, core::SearchState::Snapshot& snap,
+                   util::Rng& rng) {
+  snap.targetLength = r.u64();
+
+  std::array<std::uint64_t, 4> s;
+  for (std::uint64_t& w : s) w = r.u64();
+  rng.setState(s);
+
+  const std::uint64_t popSize = r.count(16);
+  snap.pop.clear();
+  snap.pop.reserve(popSize);
+  for (std::uint64_t i = 0; i < popSize; ++i) {
+    core::Individual ind;
+    ind.program = readProgram(r);
+    ind.fitness = r.f64();
+    snap.pop.push_back(std::move(ind));
+  }
+
+  core::SynthesisResult& res = snap.result;
+  res = core::SynthesisResult{};
+  r.need(1);
+  res.found = *r.p != 0;
+  ++r.p;
+  --r.left;
+  res.solution = readProgram(r);
+  res.candidatesSearched = r.u64();
+  res.generations = r.u64();
+  res.seconds = r.f64();
+  res.nsInvocations = r.u64();
+  r.need(1);
+  res.foundByNs = *r.p != 0;
+  ++r.p;
+  --r.left;
+  res.bestFitness = r.f64();
+  const std::uint64_t histSize = r.count(33);
+  res.history.reserve(histSize);
+  for (std::uint64_t i = 0; i < histSize; ++i) {
+    core::GenerationStats g;
+    g.generation = r.u64();
+    g.bestFitness = r.f64();
+    g.meanFitness = r.f64();
+    g.budgetUsed = r.u64();
+    r.need(1);
+    g.nsTriggered = *r.p != 0;
+    ++r.p;
+    --r.left;
+    res.history.push_back(g);
+  }
+
+  const std::uint64_t cacheSize = r.count(16);
+  snap.cache.clear();
+  snap.cache.reserve(cacheSize);
+  for (std::uint64_t i = 0; i < cacheSize; ++i) {
+    std::string key = r.str();
+    const double v = r.f64();
+    snap.cache.emplace(std::move(key), v);
+  }
+
+  const std::uint64_t seenSize = r.count(8);
+  snap.seen.clear();
+  snap.seen.reserve(seenSize);
+  for (std::uint64_t i = 0; i < seenSize; ++i) snap.seen.insert(r.u64());
+
+  const std::uint64_t window = r.u64();
+  if (window == 0) throw std::runtime_error("window size 0");
+  const std::uint64_t recentSize = r.count(8);
+  if (recentSize > window)
+    throw std::runtime_error("window holds more values than its size");
+  std::deque<double> recent;
+  for (std::uint64_t i = 0; i < recentSize; ++i) recent.push_back(r.f64());
+  const double priorSum = r.f64();
+  const std::uint64_t priorCount = r.u64();
+  const std::uint64_t total = r.u64();
+  if (total != priorCount + recentSize)
+    throw std::runtime_error("window counters inconsistent");
+  snap.window = util::SlidingWindowMean::restored(window, std::move(recent),
+                                                  priorSum, priorCount, total);
+
+  snap.budgetLimit = r.u64();
+  snap.budgetUsed = r.u64();
+  if (snap.budgetUsed > snap.budgetLimit)
+    throw std::runtime_error("budget used exceeds limit");
+  snap.priorSeconds = r.f64();
+
+  if (r.left != 0) throw std::runtime_error("trailing bytes after payload");
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string encodeTaskCheckpoint(const core::SearchState::Snapshot& snap,
+                                 const util::Rng& rng) {
+  const std::string payload = encodePayload(snap, rng);
+  std::string framed;
+  framed.reserve(28 + payload.size());
+  framed.append(kMagic, sizeof(kMagic));
+  putU32(framed, kCheckpointVersion);
+  putU64(framed, payload.size());
+  putU64(framed, fnv1a64(payload));
+  framed.append(payload);
+  // Chaos site: flips one byte of the finished frame. The checksum above
+  // was computed first, so the flip is always detectable on read — the
+  // "corrupt and detect" contract.
+  FAULT_CORRUPT("checkpoint.corrupt", framed);
+  return framed;
+}
+
+bool decodeTaskCheckpoint(const std::string& bytes,
+                          core::SearchState::Snapshot& snap, util::Rng& rng,
+                          std::string& error) {
+  try {
+    if (bytes.size() < 28) throw std::runtime_error("file shorter than header");
+    if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+      throw std::runtime_error("bad magic");
+    Reader r{bytes.data() + 8, bytes.size() - 8};
+    const std::uint32_t version = r.u32();
+    if (version != kCheckpointVersion)
+      throw std::runtime_error("unsupported version " +
+                               std::to_string(version));
+    const std::uint64_t length = r.u64();
+    const std::uint64_t checksum = r.u64();
+    if (length != r.left)
+      throw std::runtime_error("length field disagrees with file size");
+    const std::string payload(r.p, r.left);
+    if (fnv1a64(payload) != checksum)
+      throw std::runtime_error("checksum mismatch (corrupt checkpoint)");
+    decodePayload(r, snap, rng);
+    return true;
+  } catch (const std::exception& e) {
+    error = e.what();
+    return false;
+  }
+}
+
+bool atomicWriteFile(const std::string& path, const std::string& bytes,
+                     std::string& error) {
+  try {
+    FAULT_POINT("checkpoint.write");
+  } catch (const std::exception& e) {
+    error = e.what();
+    return false;
+  }
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    error = "open " + tmp + ": " + std::strerror(errno);
+    return false;
+  }
+  const char* data = bytes.data();
+  std::size_t leftover = bytes.size();
+  while (leftover > 0) {
+    const ssize_t n = ::write(fd, data, leftover);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error = "write " + tmp + ": " + std::strerror(errno);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    data += n;
+    leftover -= static_cast<std::size_t>(n);
+  }
+  // Flush data before the rename publishes the file: a crash after rename
+  // must never leave a renamed-but-empty checkpoint.
+  if (::fsync(fd) != 0) {
+    error = "fsync " + tmp + ": " + std::strerror(errno);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    error = "rename " + tmp + " -> " + path + ": " + std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool readFileBytes(const std::string& path, std::string& out,
+                   std::string& error) {
+  try {
+    FAULT_POINT("checkpoint.read");
+  } catch (const std::exception& e) {
+    error = e.what();
+    return false;
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    error = "open " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  out.clear();
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error = "read " + path + ": " + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return true;
+}
+
+bool appendLogLine(const std::string& path, const std::string& line,
+                   std::string& error) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    error = "open " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  const std::string framed = line + "\n";
+  // One write: O_APPEND makes the whole line land contiguously or (on a
+  // crash) not at all — recovery tolerates a torn *last* line only.
+  const ssize_t n = ::write(fd, framed.data(), framed.size());
+  ::close(fd);
+  if (n != static_cast<ssize_t>(framed.size())) {
+    error = "append " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace netsyn::service

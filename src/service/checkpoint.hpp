@@ -1,0 +1,78 @@
+// Durable task checkpoints: versioned, checksummed serialization of
+// core::SearchState::Snapshot (+ the task's Rng) to files under the
+// daemon's --state-dir, plus the small POSIX file helpers the durability
+// layer needs (atomic write-then-rename, whole-file read, O_APPEND line
+// append).
+//
+// Format (all integers little-endian):
+//
+//   magic    8 bytes  "NETSYNCK"
+//   version  u32      kCheckpointVersion
+//   length   u64      payload byte count
+//   checksum u64      FNV-1a 64 of the payload bytes
+//   payload  ...      the serialized snapshot (below)
+//
+// Any mismatch — short file, wrong magic/version, length disagreeing with
+// the actual byte count, checksum failure, or a payload that runs past its
+// own bounds — makes decode fail loudly with a reason; the service then
+// falls back to restarting that task from its seed (same deterministic
+// outcome, just more work). Corruption is detectable by construction: the
+// checksum is computed before the FAULT_CORRUPT site can flip a byte, so a
+// chaos run's bit-flips always land on checksummed bytes.
+//
+// The payload deliberately does NOT serialize Snapshot::config
+// (SynthesizerConfig holds a domain pointer and is a pure function of the
+// job's ExperimentConfig + method, both stored in the job manifest); the
+// caller rederives it with harness::methodSearchConfig and assigns it after
+// decode. targetLength IS serialized and cross-checked by the service so a
+// checkpoint can never silently resume against the wrong task.
+//
+// Byte-stability: unordered containers (fitness cache, dedup set) are
+// written in sorted order, so encode(decode(encode(x))) == encode(x) —
+// pinned by tests/test_checkpoint_io.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/search_state.hpp"
+#include "util/rng.hpp"
+
+namespace netsyn::service {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Snapshot + rng -> framed, checksummed bytes (header format above).
+std::string encodeTaskCheckpoint(const core::SearchState::Snapshot& snap,
+                                 const util::Rng& rng);
+
+/// Inverse of encodeTaskCheckpoint. Fills every dynamic Snapshot field
+/// (config is left untouched — see header comment) and the rng. Returns
+/// false with a human-readable reason in `error` on any frame, checksum,
+/// or bounds violation; `snap`/`rng` contents are unspecified on failure.
+bool decodeTaskCheckpoint(const std::string& bytes,
+                          core::SearchState::Snapshot& snap, util::Rng& rng,
+                          std::string& error);
+
+/// Writes `bytes` to `path` atomically: a sibling tmp file is written,
+/// flushed, and renamed over `path`, so readers only ever observe the old
+/// or the new complete contents, never a torn write. False + error on any
+/// I/O failure (the tmp file is cleaned up).
+bool atomicWriteFile(const std::string& path, const std::string& bytes,
+                     std::string& error);
+
+/// Reads the whole file into `out`. False + error when it cannot be opened
+/// or read (a missing file is a normal "no checkpoint yet" miss).
+bool readFileBytes(const std::string& path, std::string& out,
+                   std::string& error);
+
+/// Appends `line` + '\n' with a single O_APPEND write, so concurrent
+/// appenders (and a crash mid-run) can only lose the tail line, never
+/// interleave bytes. Used for the job's completed-task NDJSON log.
+bool appendLogLine(const std::string& path, const std::string& line,
+                   std::string& error);
+
+/// FNV-1a 64 over a byte string (exposed for the tamper tests).
+std::uint64_t fnv1a64(const std::string& bytes);
+
+}  // namespace netsyn::service

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/faultinject.hpp"
 #include "util/json.hpp"
 
 namespace netsyn::service {
@@ -45,10 +46,9 @@ std::uint64_t requireJobId(const util::JsonValue& root) {
   return util::jsonUnsigned(*job, "job");
 }
 
-std::string statsJson(const SessionStats& s) {
-  std::ostringstream os;
-  os << "{\"ok\": true, \"op\": \"stats\""
-     << ", \"jobs_submitted\": " << s.jobsSubmitted
+/// Shared body of the stats/metrics responses (every SessionStats counter).
+void appendStatsFields(std::ostringstream& os, const SessionStats& s) {
+  os << ", \"jobs_submitted\": " << s.jobsSubmitted
      << ", \"jobs_completed\": " << s.jobsCompleted
      << ", \"jobs_cancelled\": " << s.jobsCancelled
      << ", \"jobs_failed\": " << s.jobsFailed
@@ -58,13 +58,47 @@ std::string statsJson(const SessionStats& s) {
      << ", \"tasks_resumed\": " << s.tasksResumed
      << ", \"plan_compiles\": " << s.planCompiles
      << ", \"plan_lookups\": " << s.planLookups
-     << ", \"plan_hits\": " << (s.planLookups - s.planCompiles) << "}";
+     << ", \"plan_hits\": " << (s.planLookups - s.planCompiles)
+     << ", \"submits_rejected\": " << s.submitsRejected
+     << ", \"attach_hits\": " << s.attachHits
+     << ", \"tasks_retried\": " << s.tasksRetried
+     << ", \"tasks_abandoned\": " << s.tasksAbandoned
+     << ", \"jobs_deadline_failed\": " << s.jobsDeadlineFailed
+     << ", \"jobs_recovered\": " << s.jobsRecovered
+     << ", \"durable_checkpoints_written\": " << s.durableCheckpointsWritten
+     << ", \"durable_checkpoints_loaded\": " << s.durableCheckpointsLoaded
+     << ", \"checkpoints_rejected\": " << s.checkpointsRejected
+     << ", \"durable_write_errors\": " << s.durableWriteErrors;
+}
+
+std::string statsJson(const SessionStats& s) {
+  std::ostringstream os;
+  os << "{\"ok\": true, \"op\": \"stats\"";
+  appendStatsFields(os, s);
+  os << "}";
+  return os.str();
+}
+
+std::string metricsJson(const ServiceMetrics& m) {
+  std::ostringstream os;
+  os << "{\"ok\": true, \"op\": \"metrics\""
+     << ", \"queue_depth\": " << m.queueDepth
+     << ", \"retry_waiting\": " << m.retryWaiting
+     << ", \"max_queued_tasks\": " << m.maxQueuedTasks
+     << ", \"jobs_tracked\": " << m.jobsTracked
+     << ", \"jobs_active\": " << m.jobsActive
+     << ", \"result_cache_entries\": " << m.resultCacheEntries
+     << ", \"fault_hits\": " << m.faultHits
+     << ", \"fault_fires\": " << m.faultFires;
+  appendStatsFields(os, m.stats);
+  os << "}";
   return os.str();
 }
 
 }  // namespace
 
-std::string jobStatusJson(const JobStatus& st, const std::string& op) {
+std::string jobStatusJson(const JobStatus& st, const std::string& op,
+                          const std::string& extraJson) {
   std::ostringstream os;
   os.precision(17);
   os << "{\"ok\": true, \"op\": \"" << util::escapeJson(op) << "\""
@@ -76,11 +110,15 @@ std::string jobStatusJson(const JobStatus& st, const std::string& op) {
      << ", \"tasks_total\": " << st.tasksTotal
      << ", \"tasks_done\": " << st.tasksDone
      << ", \"from_cache\": " << (st.fromCache ? "true" : "false")
+     << ", \"recovered\": " << (st.recovered ? "true" : "false")
+     << ", \"retries\": " << st.retries
      << ", \"plan_compiles\": " << st.planCompiles
      << ", \"plan_lookups\": " << st.planLookups
      << ", \"plan_hits\": " << st.planHits();
   if (!st.error.empty())
     os << ", \"error\": \"" << util::escapeJson(st.error) << "\"";
+  if (!st.errorKind.empty())
+    os << ", \"error_kind\": \"" << util::escapeJson(st.errorKind) << "\"";
   if (isTerminal(st.state)) {
     double fraction = 0.0;
     double meanRate = 0.0;
@@ -99,7 +137,7 @@ std::string jobStatusJson(const JobStatus& st, const std::string& op) {
     }
     os << "]";
   }
-  os << "}";
+  os << extraJson << "}";
   return os.str();
 }
 
@@ -107,6 +145,11 @@ std::string handleRequestLine(SynthService& service, const std::string& line,
                               bool& shutdownRequested) {
   std::string op;
   try {
+    // Chaos hook on the request path: an armed throw fault here becomes a
+    // clean ok:false response (the session survives); a crash fault kills
+    // the daemon mid-request, which is exactly what the recovery tests
+    // want to simulate.
+    FAULT_POINT("protocol.request");
     const util::JsonValue root = util::parseJson(line);
     if (root.kind != util::JsonValue::Kind::Object)
       throw std::invalid_argument("request must be a JSON object");
@@ -122,11 +165,14 @@ std::string handleRequestLine(SynthService& service, const std::string& line,
           harness::ExperimentConfig::fromJsonValue(*cfg);
       std::string method = "Edit";
       util::readString(root, "method", method);
-      bool useCache = true;
-      util::readBool(root, "use_result_cache", useCache);
-      const std::uint64_t id = service.submit(config, method, useCache);
-      const JobStatus st = service.status(id);
-      return jobStatusJson(st, op);
+      SubmitOptions opts;
+      util::readBool(root, "use_result_cache", opts.useResultCache);
+      util::readBool(root, "attach", opts.attach);
+      util::readDouble(root, "deadline_seconds", opts.deadlineSeconds);
+      const SubmitResult res = service.submit(config, method, opts);
+      const JobStatus st = service.status(res.id);
+      return jobStatusJson(
+          st, op, res.attached ? ", \"attached\": true" : ", \"attached\": false");
     }
 
     if (op == "status") return jobStatusJson(service.status(requireJobId(root)), op);
@@ -147,6 +193,7 @@ std::string handleRequestLine(SynthService& service, const std::string& line,
     }
 
     if (op == "stats") return statsJson(service.stats());
+    if (op == "metrics") return metricsJson(service.metrics());
 
     if (op == "shutdown") {
       shutdownRequested = true;
@@ -154,6 +201,14 @@ std::string handleRequestLine(SynthService& service, const std::string& line,
     }
 
     throw std::invalid_argument("unknown op '" + op + "'");
+  } catch (const OverloadedError& e) {
+    // Backpressure rejection: structurally distinguishable from a bad
+    // request so clients can back off and resubmit.
+    std::ostringstream os;
+    os << "{\"ok\": false, \"op\": \"" << util::escapeJson(op)
+       << "\", \"error\": \"" << util::escapeJson(e.what())
+       << "\", \"rejected\": \"overloaded\"}";
+    return os.str();
   } catch (const std::exception& e) {
     return errorJson(op, e.what());
   }

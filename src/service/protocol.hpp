@@ -5,7 +5,8 @@
 //
 //   {"op": "ping"}
 //   {"op": "submit", "method": "Edit", "config": { ...ExperimentConfig
-//       JSON (the toJson()/fromJson schema)... }, "use_result_cache": true}
+//       JSON (the toJson()/fromJson schema)... }, "use_result_cache": true,
+//       "attach": false, "deadline_seconds": 0}
 //   {"op": "status", "job": 1}
 //   {"op": "wait",   "job": 1}   // blocks until terminal (or paused:
 //                                // a paused job returns immediately, since
@@ -14,6 +15,7 @@
 //   {"op": "pause",  "job": 1}
 //   {"op": "resume", "job": 1}
 //   {"op": "stats"}
+//   {"op": "metrics"}
 //   {"op": "shutdown"}
 //
 // Every response carries "ok" plus the echoed "op". Job responses carry
@@ -22,6 +24,17 @@
 // / mean_synthesis_rate. Failures of any kind come back as
 // {"ok": false, "op": ..., "error": "..."} — a malformed line never kills
 // the session.
+//
+// Fault-tolerance surface: "submit" takes "attach" (idempotent
+// resubmission by (method, config) key; the response's "attached" says
+// whether an existing job was joined) and "deadline_seconds" (per-job
+// wall-clock deadline override). A submission rejected by backpressure
+// answers {"ok": false, "rejected": "overloaded", ...} so clients can
+// distinguish an overloaded daemon from a bad request. Failed jobs carry
+// "error_kind" ("task" / "stall" / "deadline"), recovered jobs
+// "recovered": true, and "retries" counts watchdog retries. "metrics"
+// returns the ServiceMetrics gauges + counters (queue depth, retry
+// backlog, fault-injection traffic, durable-checkpoint accounting).
 #pragma once
 
 #include <iosfwd>
@@ -43,7 +56,10 @@ std::string handleRequestLine(SynthService& service, const std::string& line,
 void serveLines(SynthService& service, std::istream& in, std::ostream& out);
 
 /// Renders a JobStatus as the protocol's response object (exposed for the
-/// daemon/tests; `op` is echoed into the response).
-std::string jobStatusJson(const JobStatus& st, const std::string& op);
+/// daemon/tests; `op` is echoed into the response). `extraJson`, when
+/// non-empty, is spliced verbatim before the closing brace and must start
+/// with ", " (used for submit's "attached" flag).
+std::string jobStatusJson(const JobStatus& st, const std::string& op,
+                          const std::string& extraJson = std::string());
 
 }  // namespace netsyn::service

@@ -1,8 +1,13 @@
 #include "service/service.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
+#include <filesystem>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -17,6 +22,9 @@
 #include "harness/registry.hpp"
 #include "harness/runner.hpp"
 #include "harness/workload.hpp"
+#include "service/checkpoint.hpp"
+#include "util/faultinject.hpp"
+#include "util/json.hpp"
 
 namespace netsyn::service {
 
@@ -89,12 +97,14 @@ constexpr std::uint8_t kPollCancel = 2;
 /// Per-task scheduling phase. Queue-entry invariant: a queue entry exists
 /// for a task iff its phase is Queued (plus at most one consumed entry
 /// while Running); Parked/Checkpointed tasks re-enter the queue only
-/// through resume().
+/// through resume(), RetryWait tasks only through the watchdog once their
+/// backoff elapses.
 enum class Phase : std::uint8_t {
   Queued,        ///< waiting in (or owed to) the task queue
   Running,       ///< a worker is executing it
   Parked,        ///< popped while the job was paused; not yet restartable
   Checkpointed,  ///< paused mid-search; snapshot held
+  RetryWait,     ///< failed/stalled; re-queued after its backoff delay
   Done,          ///< TaskRecord recorded
 };
 
@@ -116,18 +126,31 @@ struct Job {
   std::size_t runsPer = 1;
   bool useResultCache = true;
   std::string cacheKey;
+  std::uint64_t keyHash = 0;  ///< fnv1a64(cacheKey): attach + state-dir name
+  double deadlineSeconds = 0.0;  ///< 0 = none
+  std::chrono::steady_clock::time_point start;
+  bool recovered = false;        ///< rebuilt from the durable state dir
+  std::string stateDirPath;      ///< empty = this job is not persisted
 
   JobState state = JobState::Queued;
   std::atomic<std::uint8_t> pollSignal{kPollContinue};
   std::vector<Phase> phase;
   std::vector<TaskCheckpoint> checkpoints;
   std::vector<TaskRecord> tasks;
+  std::vector<std::size_t> retryCount;  ///< per task
+  std::size_t retriesTotal = 0;
+  /// Per-task liveness beat (steady-clock ms of the last generation
+  /// boundary; -1 = not running) and stall-abort request, both written/read
+  /// off-lock. vector<atomic> is non-movable, hence the raw arrays.
+  std::unique_ptr<std::atomic<std::int64_t>[]> beatMs;
+  std::unique_ptr<std::atomic<bool>[]> abortFlag;
   std::size_t tasksDone = 0;
   std::size_t running = 0;  ///< tasks currently on a worker
   bool fromCache = false;
   std::size_t planCompiles = 0;
   std::size_t planLookups = 0;
   std::string error;
+  std::string errorKind;
 };
 
 /// One worker's cross-request hot state: the plan-cache-bearing execution
@@ -145,7 +168,13 @@ struct WorkerContext {
   std::unordered_map<std::string, MethodKit> kits;
 };
 
-enum class TaskOutcome { Completed, Checkpointed, Cancelled, Failed };
+enum class TaskOutcome {
+  Completed,
+  Checkpointed,
+  Cancelled,
+  Failed,     ///< the task threw (FaultInjected included)
+  Abandoned,  ///< the stall watchdog aborted it at a generation boundary
+};
 
 /// Completed-job memo key. config.toJson() covers every serialized field;
 /// the fields it does NOT serialize but which still steer the search — the
@@ -170,44 +199,101 @@ std::string resultCacheKey(const std::string& method,
   return os.str();
 }
 
+std::int64_t nowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// State-dir job directory name: 16 hex digits of the job key hash.
+std::string key16(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+void initTaskState(Job& job, std::size_t total) {
+  job.phase.assign(total, Phase::Queued);
+  job.checkpoints.clear();
+  job.checkpoints.resize(total);
+  job.tasks.assign(total, TaskRecord{});
+  job.retryCount.assign(total, 0);
+  job.beatMs = std::make_unique<std::atomic<std::int64_t>[]>(total);
+  job.abortFlag = std::make_unique<std::atomic<bool>[]>(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    job.beatMs[i].store(-1, std::memory_order_relaxed);
+    job.abortFlag[i].store(false, std::memory_order_relaxed);
+  }
+}
+
+/// Single-line rendering for the done marker / error fields.
+std::string oneLine(std::string s) {
+  for (char& c : s)
+    if (c == '\n' || c == '\r') c = ' ';
+  return s;
+}
+
 }  // namespace
 
 struct SynthService::Impl {
   explicit Impl(ServiceConfig config) : cfg(config) {
+    // Recovery runs single-threaded before any worker or the watchdog
+    // exists, so the *Locked helpers are safe to call bare here.
+    if (!cfg.stateDir.empty()) recoverStateDir();
     std::size_t n = cfg.workers == 0
                         ? std::max(1u, std::thread::hardware_concurrency())
                         : cfg.workers;
     workers.reserve(n);
     for (std::size_t w = 0; w < n; ++w)
       workers.emplace_back([this, w] { workerLoop(w); });
+    watchdog = std::thread([this] { watchdogLoop(); });
   }
 
   // ---- worker side ----------------------------------------------------------
 
   void workerLoop(std::size_t /*workerIndex*/);
+  void watchdogLoop();
   WorkerContext::MethodKit& kitFor(WorkerContext& ctx, const Job& job);
   TaskOutcome runTask(WorkerContext& ctx, const Job& job, std::size_t idx,
                       TaskCheckpoint& cp, TaskRecord& out);
+  void persistTaskCheckpoint(const Job& job, std::size_t idx,
+                             const TaskCheckpoint& cp);
 
   // ---- guarded state --------------------------------------------------------
 
   mutable std::mutex mu;
   std::condition_variable taskCv;  ///< workers wait for queue entries
   std::condition_variable jobCv;   ///< wait() callers wait for terminal jobs
+  std::condition_variable wdCv;    ///< wakes the watchdog early on shutdown
   bool stop = false;
+  bool shuttingDown = false;  ///< suppresses done markers: see shutdown()
 
   ServiceConfig cfg;
   std::uint64_t nextId = 1;
   std::map<std::uint64_t, std::shared_ptr<Job>> jobs;
+  std::map<std::uint64_t, std::uint64_t> byKey;  ///< keyHash -> latest job id
   std::deque<std::pair<std::uint64_t, std::size_t>> queue;  ///< (job, task)
+  struct RetryEntry {
+    std::uint64_t jobId = 0;
+    std::size_t idx = 0;
+    std::int64_t readyAtMs = 0;
+  };
+  std::vector<RetryEntry> retryWait;  ///< tasks sleeping out their backoff
   std::map<std::string, std::vector<TaskRecord>> resultCache;
   std::deque<std::string> resultCacheOrder;  ///< FIFO eviction order
   std::deque<std::uint64_t> terminalOrder;   ///< terminal jobs, oldest first
   SessionStats sessionStats;
 
+  /// Durable-write counters live off-lock (runTask persists snapshots while
+  /// not holding mu); folded into SessionStats by statsLocked().
+  std::atomic<std::size_t> durableWrites{0};
+  std::atomic<std::size_t> durableErrors{0};
+
   ModelStore models;  ///< thread-safe on its own lock
 
   std::vector<std::thread> workers;
+  std::thread watchdog;
 
   // The daemon is long-lived: without retention bounds, per-job state
   // (generated workloads, checkpoints) and the result memo would grow with
@@ -218,13 +304,29 @@ struct SynthService::Impl {
   static constexpr std::size_t kMaxTerminalJobs = 256;
   static constexpr std::size_t kMaxResultCacheEntries = 256;
 
+  SessionStats statsLocked() const;
   JobStatus statusLocked(const Job& job) const;
   void finalizeIfComplete(Job& job);
+  void failJobLocked(Job& job, const std::string& kind,
+                     const std::string& message);
   void markTerminalLocked(Job& job);
   void trimIfIdleLocked(Job& job);
   void storeResultLocked(const std::string& key,
                          const std::vector<TaskRecord>& tasks);
+  void claimStateDirLocked(Job& job);
+  void appendTaskRecordLocked(Job& job, std::size_t idx,
+                              const TaskRecord& rec);
+  void writeDoneMarkerLocked(const Job& job);
+  void recoverStateDir();
+  void recoverJobDir(const std::string& dir);
 };
+
+SessionStats SynthService::Impl::statsLocked() const {
+  SessionStats s = sessionStats;
+  s.durableCheckpointsWritten = durableWrites.load(std::memory_order_relaxed);
+  s.durableWriteErrors = durableErrors.load(std::memory_order_relaxed);
+  return s;
+}
 
 JobStatus SynthService::Impl::statusLocked(const Job& job) const {
   JobStatus st;
@@ -236,9 +338,12 @@ JobStatus SynthService::Impl::statusLocked(const Job& job) const {
   st.tasksTotal = job.tasks.size();
   st.tasksDone = job.tasksDone;
   st.fromCache = job.fromCache;
+  st.recovered = job.recovered;
+  st.retries = job.retriesTotal;
   st.planCompiles = job.planCompiles;
   st.planLookups = job.planLookups;
   st.error = job.error;
+  st.errorKind = job.errorKind;
   for (std::size_t i = 0; i < job.tasks.size(); ++i)
     if (job.phase[i] == Phase::Done) st.tasks.push_back(job.tasks[i]);
   return st;
@@ -254,7 +359,23 @@ void SynthService::Impl::finalizeIfComplete(Job& job) {
   jobCv.notify_all();
 }
 
+void SynthService::Impl::failJobLocked(Job& job, const std::string& kind,
+                                       const std::string& message) {
+  if (isTerminal(job.state)) return;
+  job.state = JobState::Failed;
+  job.error = oneLine(message);
+  job.errorKind = kind;
+  job.pollSignal.store(kPollCancel, std::memory_order_relaxed);
+  ++sessionStats.jobsFailed;
+  markTerminalLocked(job);
+  jobCv.notify_all();
+}
+
 void SynthService::Impl::markTerminalLocked(Job& job) {
+  // shutdown() deliberately leaves no marker: a shut-down daemon's live
+  // jobs must recover (state dir intact), while user-visible terminal
+  // transitions (Done / Failed / explicit cancel) are final and durable.
+  if (!job.stateDirPath.empty() && !shuttingDown) writeDoneMarkerLocked(job);
   terminalOrder.push_back(job.id);
   trimIfIdleLocked(job);
   while (terminalOrder.size() > kMaxTerminalJobs) {
@@ -285,6 +406,233 @@ void SynthService::Impl::storeResultLocked(
     resultCacheOrder.pop_front();
   }
 }
+
+// ---- durable state ----------------------------------------------------------
+
+void SynthService::Impl::claimStateDirLocked(Job& job) {
+  if (cfg.stateDir.empty()) return;
+  // One directory per job key. If another live job already persists under
+  // this key (an identical concurrent submission), the duplicate runs
+  // without durability — its results are identical anyway.
+  for (const auto& [id, other] : jobs)
+    if (other.get() != &job && other->keyHash == job.keyHash &&
+        !isTerminal(other->state) && !other->stateDirPath.empty())
+      return;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path dir = fs::path(cfg.stateDir) / "jobs" / key16(job.keyHash);
+  // A previous terminal run of the same key left records behind; this run
+  // replaces them wholesale.
+  fs::remove_all(dir, ec);
+  ec.clear();
+  fs::create_directories(dir, ec);
+  if (ec) {
+    durableErrors.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::ostringstream m;
+  m.precision(17);
+  m << "{\"method\": \"" << util::escapeJson(job.method) << "\""
+    << ", \"use_result_cache\": " << (job.useResultCache ? "true" : "false")
+    << ", \"deadline_seconds\": " << job.deadlineSeconds
+    << ", \"config\": " << job.config.toJson() << "}";
+  std::string err;
+  if (!atomicWriteFile((dir / "manifest.json").string(), m.str(), err)) {
+    durableErrors.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  job.stateDirPath = dir.string();
+}
+
+void SynthService::Impl::appendTaskRecordLocked(Job& job, std::size_t idx,
+                                                const TaskRecord& rec) {
+  if (job.stateDirPath.empty()) return;
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"task\": " << idx << ", \"program\": " << rec.program
+     << ", \"run\": " << rec.run
+     << ", \"found\": " << (rec.found ? "true" : "false")
+     << ", \"candidates\": " << rec.candidates
+     << ", \"generations\": " << rec.generations
+     << ", \"seconds\": " << rec.seconds << "}";
+  std::string err;
+  if (!appendLogLine(job.stateDirPath + "/tasks.ndjson", os.str(), err))
+    durableErrors.fetch_add(1, std::memory_order_relaxed);
+  // The completed task's snapshot can never be resumed again.
+  ::unlink((job.stateDirPath + "/task-" + std::to_string(idx) + ".ckpt")
+               .c_str());
+}
+
+void SynthService::Impl::writeDoneMarkerLocked(const Job& job) {
+  std::string err;
+  if (!atomicWriteFile(job.stateDirPath + "/done",
+                       std::string(jobStateName(job.state)) + "\n" +
+                           oneLine(job.errorKind) + "\n" + oneLine(job.error) +
+                           "\n",
+                       err))
+    durableErrors.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SynthService::Impl::persistTaskCheckpoint(const Job& job,
+                                               std::size_t idx,
+                                               const TaskCheckpoint& cp) {
+  if (job.stateDirPath.empty()) return;
+  try {
+    const std::string bytes = encodeTaskCheckpoint(cp.snap, cp.rng);
+    std::string err;
+    if (atomicWriteFile(
+            job.stateDirPath + "/task-" + std::to_string(idx) + ".ckpt",
+            bytes, err))
+      durableWrites.fetch_add(1, std::memory_order_relaxed);
+    else
+      durableErrors.fetch_add(1, std::memory_order_relaxed);
+  } catch (...) {
+    // A failed snapshot write never fails the search — the task just has a
+    // staler (or no) resume point.
+    durableErrors.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SynthService::Impl::recoverStateDir() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path root = fs::path(cfg.stateDir) / "jobs";
+  fs::create_directories(root, ec);
+  if (ec) return;
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (!entry.is_directory()) continue;
+    try {
+      recoverJobDir(entry.path().string());
+    } catch (...) {
+      // One unreadable job dir (corrupt manifest, stale schema) must not
+      // stop the daemon from serving; the dir is simply skipped.
+      ++sessionStats.checkpointsRejected;
+    }
+  }
+}
+
+void SynthService::Impl::recoverJobDir(const std::string& dir) {
+  std::string bytes;
+  std::string err;
+  if (!readFileBytes(dir + "/manifest.json", bytes, err)) return;
+  const util::JsonValue root = util::parseJson(bytes);
+  std::string method;
+  util::readString(root, "method", method);
+  if (!isKnownMethod(method)) return;
+  const util::JsonValue* cfgJson = root.find("config");
+  if (!cfgJson) return;
+  const harness::ExperimentConfig config =
+      harness::ExperimentConfig::fromJsonValue(*cfgJson);
+  bool useCache = true;
+  util::readBool(root, "use_result_cache", useCache);
+  double deadline = 0.0;
+  util::readDouble(root, "deadline_seconds", deadline);
+
+  auto job = std::make_shared<Job>();
+  job->method = method;
+  job->config = config;
+  job->searchConfig = harness::methodSearchConfig(config, method);
+  job->workload = harness::makeFullWorkload(config);
+  job->programCount = job->workload.size();
+  job->runsPer = std::max<std::size_t>(1, config.runsPerProgram);
+  job->useResultCache = useCache;
+  job->cacheKey = resultCacheKey(method, config);
+  job->keyHash = fnv1a64(job->cacheKey);
+  job->deadlineSeconds = deadline;
+  job->recovered = true;
+  job->stateDirPath = dir;
+  // The deadline clock restarts: wall time spent dead doesn't count
+  // against the job.
+  job->start = std::chrono::steady_clock::now();
+  const std::size_t total = job->programCount * job->runsPer;
+  if (total == 0) return;
+  initTaskState(*job, total);
+
+  // Completed-task log: every fully recorded line is a finished task the
+  // restarted daemon never re-runs. A torn tail line (crash mid-append)
+  // invalidates only itself.
+  if (readFileBytes(dir + "/tasks.ndjson", bytes, err)) {
+    std::istringstream lines(bytes);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty()) continue;
+      try {
+        const util::JsonValue t = util::parseJson(line);
+        std::size_t idx = total;
+        util::readSize(t, "task", idx);
+        if (idx >= total || job->phase[idx] == Phase::Done) continue;
+        TaskRecord rec;
+        util::readSize(t, "program", rec.program);
+        util::readSize(t, "run", rec.run);
+        util::readBool(t, "found", rec.found);
+        util::readSize(t, "candidates", rec.candidates);
+        util::readSize(t, "generations", rec.generations);
+        util::readDouble(t, "seconds", rec.seconds);
+        job->tasks[idx] = rec;
+        job->phase[idx] = Phase::Done;
+        ++job->tasksDone;
+      } catch (...) {
+        break;
+      }
+    }
+  }
+
+  job->id = nextId++;
+  byKey[job->keyHash] = job->id;
+
+  if (readFileBytes(dir + "/done", bytes, err)) {
+    // Terminal marker: the job finished in a previous life; restore it as
+    // queryable history (and re-seed the result memo from a Done job).
+    std::istringstream ms(bytes);
+    std::string stateName;
+    std::getline(ms, stateName);
+    std::getline(ms, job->errorKind);
+    std::getline(ms, job->error);
+    if (stateName == "done") job->state = JobState::Done;
+    else if (stateName == "failed") job->state = JobState::Failed;
+    else if (stateName == "cancelled") job->state = JobState::Cancelled;
+    else throw std::runtime_error("unreadable done marker");
+    jobs.emplace(job->id, job);
+    terminalOrder.push_back(job->id);
+    trimIfIdleLocked(*job);
+    if (job->state == JobState::Done && job->tasksDone == total &&
+        cfg.resultCache && useCache)
+      storeResultLocked(job->cacheKey, job->tasks);
+    ++sessionStats.jobsRecovered;
+    return;
+  }
+
+  // Interrupted job: load what snapshots survived, re-enqueue the rest.
+  for (std::size_t i = 0; i < total; ++i) {
+    if (job->phase[i] == Phase::Done) continue;
+    std::string ck;
+    if (!readFileBytes(dir + "/task-" + std::to_string(i) + ".ckpt", ck, err))
+      continue;  // no snapshot: the task restarts from its seed
+    TaskCheckpoint cp;
+    std::string why;
+    if (decodeTaskCheckpoint(ck, cp.snap, cp.rng, why) &&
+        cp.snap.targetLength == job->workload[i / job->runsPer].length) {
+      cp.snap.config = job->searchConfig;
+      cp.valid = true;
+      job->checkpoints[i] = std::move(cp);
+      ++sessionStats.durableCheckpointsLoaded;
+    } else {
+      // Corrupt/truncated/stale snapshot: rejected loudly by the checksum
+      // layer; the task restarts from its deterministic seed instead.
+      ++sessionStats.checkpointsRejected;
+    }
+  }
+  jobs.emplace(job->id, job);
+  ++sessionStats.jobsRecovered;
+  if (job->tasksDone == total) {
+    finalizeIfComplete(*job);
+    return;
+  }
+  for (std::size_t i = 0; i < total; ++i)
+    if (job->phase[i] != Phase::Done) queue.emplace_back(job->id, i);
+}
+
+// ---- task execution ---------------------------------------------------------
 
 WorkerContext::MethodKit& SynthService::Impl::kitFor(WorkerContext& ctx,
                                                      const Job& job) {
@@ -323,6 +671,7 @@ WorkerContext::MethodKit& SynthService::Impl::kitFor(WorkerContext& ctx,
 TaskOutcome SynthService::Impl::runTask(WorkerContext& ctx, const Job& job,
                                         std::size_t idx, TaskCheckpoint& cp,
                                         TaskRecord& out) {
+  FAULT_POINT("service.task.start");
   const std::size_t p = idx / job.runsPer;
   const std::size_t k = idx % job.runsPer;
   const harness::TestProgram& tp = job.workload[p];
@@ -346,7 +695,8 @@ TaskOutcome SynthService::Impl::runTask(WorkerContext& ctx, const Job& job,
     // Island searches run through the engine's own coordinator (factory
     // omitted: islands step sequentially inside this one task, which is the
     // right parallelism split when the service pool is already fanned out).
-    // They are cancel/pause-atomic: signals take effect between tasks.
+    // They are cancel/pause/stall-atomic: signals take effect between
+    // tasks, and the stall watchdog skips them.
     if (job.pollSignal.load(std::memory_order_relaxed) == kPollCancel)
       return TaskOutcome::Cancelled;
     util::Rng rng = harness::runSeedRng(job.config, p, k);
@@ -360,9 +710,9 @@ TaskOutcome SynthService::Impl::runTask(WorkerContext& ctx, const Job& job,
     return TaskOutcome::Completed;
   }
 
-  // Single population: stepped one generation at a time so cancel/pause
-  // land at generation boundaries, through the worker's persistent executor
-  // so the plan cache carries over between jobs.
+  // Single population: stepped one generation at a time so cancel/pause/
+  // stall-abort land at generation boundaries, through the worker's
+  // persistent executor so the plan cache carries over between jobs.
   util::Rng rng = cp.valid ? cp.rng : harness::runSeedRng(job.config, p, k);
   core::SearchBudget budget =
       cp.valid ? core::SearchBudget::resumed(cp.snap.budgetLimit,
@@ -379,7 +729,17 @@ TaskOutcome SynthService::Impl::runTask(WorkerContext& ctx, const Job& job,
                                          ? core::SearchState::Status::Running
                                          : state->seed();
   cp.valid = false;
+  std::size_t sinceSnap = 0;
   while (status == core::SearchState::Status::Running) {
+    if (job.abortFlag[idx].load(std::memory_order_relaxed)) {
+      // Stall abort: freeze at this generation boundary so the retry
+      // continues the exact trajectory instead of redoing the whole task.
+      cp.snap = state->snapshot();
+      cp.rng = rng;
+      cp.valid = true;
+      return TaskOutcome::Abandoned;
+    }
+    FAULT_POINT("service.task.generation");
     const std::uint8_t sig = job.pollSignal.load(std::memory_order_relaxed);
     if (sig == kPollCancel) return TaskOutcome::Cancelled;
     if (sig == kPollPause) {
@@ -389,6 +749,16 @@ TaskOutcome SynthService::Impl::runTask(WorkerContext& ctx, const Job& job,
       return TaskOutcome::Checkpointed;
     }
     status = state->step();
+    job.beatMs[idx].store(nowMs(), std::memory_order_relaxed);
+    if (cfg.checkpointEveryGenerations > 0 &&
+        ++sinceSnap >= cfg.checkpointEveryGenerations &&
+        status == core::SearchState::Status::Running) {
+      sinceSnap = 0;
+      cp.snap = state->snapshot();
+      cp.rng = rng;
+      cp.valid = true;
+      persistTaskCheckpoint(job, idx, cp);
+    }
   }
   const core::SynthesisResult result = state->finish();
   out.found = result.found;
@@ -419,6 +789,8 @@ void SynthService::Impl::workerLoop(std::size_t /*workerIndex*/) {
     if (job->state == JobState::Queued) job->state = JobState::Running;
     job->phase[idx] = Phase::Running;
     ++job->running;
+    job->abortFlag[idx].store(false, std::memory_order_relaxed);
+    job->beatMs[idx].store(nowMs(), std::memory_order_relaxed);
     TaskCheckpoint cp = std::move(job->checkpoints[idx]);
     job->checkpoints[idx] = TaskCheckpoint{};
     const bool resumed = cp.valid;
@@ -447,6 +819,7 @@ void SynthService::Impl::workerLoop(std::size_t /*workerIndex*/) {
     lock.lock();
 
     --job->running;
+    job->beatMs[idx].store(-1, std::memory_order_relaxed);
     job->planCompiles += compilesDelta;
     job->planLookups += lookupsDelta;
     sessionStats.planCompiles += compilesDelta;
@@ -459,6 +832,7 @@ void SynthService::Impl::workerLoop(std::size_t /*workerIndex*/) {
         job->phase[idx] = Phase::Done;
         ++job->tasksDone;
         ++sessionStats.tasksExecuted;
+        appendTaskRecordLocked(*job, idx, record);
         finalizeIfComplete(*job);
         break;
       case TaskOutcome::Checkpointed:
@@ -478,22 +852,118 @@ void SynthService::Impl::workerLoop(std::size_t /*workerIndex*/) {
       case TaskOutcome::Cancelled:
         // Job state already Cancelled; leave the task unfinished.
         break;
-      case TaskOutcome::Failed:
-        if (!isTerminal(job->state)) {
-          job->state = JobState::Failed;
-          job->error = error;
-          job->pollSignal.store(kPollCancel, std::memory_order_relaxed);
-          ++sessionStats.jobsFailed;
-          markTerminalLocked(*job);
-          jobCv.notify_all();
+      case TaskOutcome::Abandoned:
+      case TaskOutcome::Failed: {
+        const bool stalled = outcome == TaskOutcome::Abandoned;
+        if (stalled) ++sessionStats.tasksAbandoned;
+        if (isTerminal(job->state)) break;
+        if (job->retryCount[idx] < cfg.maxTaskRetries) {
+          // Retry with capped exponential backoff, from the freshest
+          // snapshot when one exists (in-memory from this attempt, or the
+          // durable one loaded at recovery) — otherwise from the task's
+          // deterministic seed. Either way the eventual record is
+          // bit-identical to an undisturbed run.
+          ++job->retryCount[idx];
+          ++job->retriesTotal;
+          ++sessionStats.tasksRetried;
+          if (cp.valid) job->checkpoints[idx] = std::move(cp);
+          job->phase[idx] = Phase::RetryWait;
+          job->abortFlag[idx].store(false, std::memory_order_relaxed);
+          const double factor = static_cast<double>(
+              1ull << std::min<std::size_t>(job->retryCount[idx] - 1, 20));
+          const double delay =
+              std::min(cfg.retryBackoffMs * factor, cfg.retryBackoffCapMs);
+          retryWait.push_back(
+              {job->id, idx,
+               nowMs() + static_cast<std::int64_t>(delay)});
+        } else {
+          const std::size_t p = idx / job->runsPer;
+          const std::size_t k = idx % job->runsPer;
+          failJobLocked(
+              *job, stalled ? "stall" : "task",
+              "task (program " + std::to_string(p) + ", run " +
+                  std::to_string(k) + ") " +
+                  (stalled ? "stalled" : "failed") + " after " +
+                  std::to_string(job->retryCount[idx]) + " retries" +
+                  (error.empty() ? std::string()
+                                 : std::string(": ") + error));
         }
         break;
+      }
     }
     // The last in-flight task of a job that went terminal mid-run releases
     // its retained storage.
     trimIfIdleLocked(*job);
   }
 }
+
+void SynthService::Impl::watchdogLoop() {
+  std::unique_lock<std::mutex> lock(mu);
+  while (!stop) {
+    wdCv.wait_for(lock, std::chrono::milliseconds(20));
+    if (stop) return;
+    const std::int64_t now = nowMs();
+
+    // Promote retry-backoff tasks whose delay has elapsed.
+    bool wake = false;
+    for (std::size_t i = 0; i < retryWait.size();) {
+      if (retryWait[i].readyAtMs > now) {
+        ++i;
+        continue;
+      }
+      const RetryEntry e = retryWait[i];
+      retryWait[i] = retryWait.back();
+      retryWait.pop_back();
+      const auto it = jobs.find(e.jobId);
+      if (it != jobs.end() && !isTerminal(it->second->state) &&
+          it->second->phase[e.idx] == Phase::RetryWait) {
+        it->second->phase[e.idx] = Phase::Queued;
+        queue.emplace_back(e.jobId, e.idx);
+        wake = true;
+      }
+    }
+    if (wake) taskCv.notify_all();
+
+    // Deadlines + stall detection. Deadline failures are collected first:
+    // failJobLocked -> markTerminalLocked can evict map entries, which
+    // would invalidate the iterator mid-loop.
+    std::vector<std::shared_ptr<Job>> deadlined;
+    for (const auto& [id, job] : jobs) {
+      if (isTerminal(job->state) || job->state == JobState::Paused) continue;
+      if (job->deadlineSeconds > 0) {
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          job->start)
+                .count();
+        if (elapsed > job->deadlineSeconds) {
+          deadlined.push_back(job);
+          continue;
+        }
+      }
+      if (cfg.stallSeconds > 0 &&
+          job->searchConfig.strategy != core::SearchStrategy::Islands) {
+        const auto stallMs =
+            static_cast<std::int64_t>(cfg.stallSeconds * 1000.0);
+        for (std::size_t i = 0; i < job->phase.size(); ++i) {
+          if (job->phase[i] != Phase::Running) continue;
+          const std::int64_t beat =
+              job->beatMs[i].load(std::memory_order_relaxed);
+          if (beat >= 0 && now - beat > stallMs)
+            job->abortFlag[i].store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+    for (const auto& job : deadlined) {
+      if (isTerminal(job->state)) continue;
+      ++sessionStats.jobsDeadlineFailed;
+      std::ostringstream os;
+      os << "deadline exceeded (" << job->deadlineSeconds << "s)";
+      failJobLocked(*job, "deadline", os.str());
+    }
+  }
+}
+
+// ---- public API -------------------------------------------------------------
 
 SynthService::SynthService(ServiceConfig config)
     : impl_(std::make_unique<Impl>(config)) {}
@@ -503,6 +973,14 @@ SynthService::~SynthService() { shutdown(); }
 std::uint64_t SynthService::submit(const harness::ExperimentConfig& config,
                                    const std::string& method,
                                    bool useResultCache) {
+  SubmitOptions opts;
+  opts.useResultCache = useResultCache;
+  return submit(config, method, opts).id;
+}
+
+SubmitResult SynthService::submit(const harness::ExperimentConfig& config,
+                                  const std::string& method,
+                                  const SubmitOptions& opts) {
   if (!isKnownMethod(method))
     throw std::invalid_argument("unknown method '" + method +
                                 "' (service methods: Edit, Oracle_CF, "
@@ -519,21 +997,41 @@ std::uint64_t SynthService::submit(const harness::ExperimentConfig& config,
   job->workload = harness::makeFullWorkload(config);
   job->programCount = job->workload.size();
   job->runsPer = std::max<std::size_t>(1, config.runsPerProgram);
-  job->useResultCache = useResultCache;
+  job->useResultCache = opts.useResultCache;
   job->cacheKey = resultCacheKey(method, config);
+  job->keyHash = fnv1a64(job->cacheKey);
+  job->deadlineSeconds = opts.deadlineSeconds > 0
+                             ? opts.deadlineSeconds
+                             : impl_->cfg.defaultDeadlineSeconds;
+  job->start = std::chrono::steady_clock::now();
   const std::size_t total = job->workload.size() * job->runsPer;
-  job->phase.assign(total, Phase::Queued);
-  job->checkpoints.resize(total);
-  job->tasks.assign(total, TaskRecord{});
+  initTaskState(*job, total);
 
   std::lock_guard<std::mutex> lock(impl_->mu);
   if (impl_->stop) throw std::runtime_error("service is shut down");
-  job->id = impl_->nextId++;
-  ++impl_->sessionStats.jobsSubmitted;
 
-  if (impl_->cfg.resultCache && useResultCache) {
+  if (opts.attach) {
+    // Idempotent resubmission: join the newest job with this key unless it
+    // ended badly (a Cancelled/Failed predecessor should be re-run).
+    if (const auto bit = impl_->byKey.find(job->keyHash);
+        bit != impl_->byKey.end()) {
+      if (const auto jit = impl_->jobs.find(bit->second);
+          jit != impl_->jobs.end()) {
+        const JobState st = jit->second->state;
+        if (st != JobState::Cancelled && st != JobState::Failed) {
+          ++impl_->sessionStats.attachHits;
+          return {jit->second->id, true};
+        }
+      }
+    }
+  }
+
+  job->id = impl_->nextId++;
+
+  if (impl_->cfg.resultCache && opts.useResultCache) {
     if (const auto it = impl_->resultCache.find(job->cacheKey);
         it != impl_->resultCache.end()) {
+      ++impl_->sessionStats.jobsSubmitted;
       job->tasks = it->second;
       job->tasksDone = total;
       job->phase.assign(total, Phase::Done);
@@ -542,17 +1040,32 @@ std::uint64_t SynthService::submit(const harness::ExperimentConfig& config,
       ++impl_->sessionStats.resultCacheHits;
       ++impl_->sessionStats.jobsCompleted;
       impl_->jobs.emplace(job->id, job);
+      impl_->byKey[job->keyHash] = job->id;
       impl_->markTerminalLocked(*job);
       impl_->jobCv.notify_all();
-      return job->id;
+      return {job->id, false};
     }
   }
 
+  // Backpressure: reject before any state is registered, so an overloaded
+  // daemon stays exactly as loaded as it was.
+  if (impl_->cfg.maxQueuedTasks > 0 &&
+      impl_->queue.size() + total > impl_->cfg.maxQueuedTasks) {
+    ++impl_->sessionStats.submitsRejected;
+    throw OverloadedError(
+        "task queue overloaded: " + std::to_string(impl_->queue.size()) +
+        " queued + " + std::to_string(total) + " requested > cap " +
+        std::to_string(impl_->cfg.maxQueuedTasks));
+  }
+
+  ++impl_->sessionStats.jobsSubmitted;
   impl_->jobs.emplace(job->id, job);
+  impl_->byKey[job->keyHash] = job->id;
+  impl_->claimStateDirLocked(*job);
   for (std::size_t i = 0; i < total; ++i)
     impl_->queue.emplace_back(job->id, i);
   impl_->taskCv.notify_all();
-  return job->id;
+  return {job->id, false};
 }
 
 JobStatus SynthService::status(std::uint64_t id) const {
@@ -630,7 +1143,25 @@ bool SynthService::resume(std::uint64_t id) {
 
 SessionStats SynthService::stats() const {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  return impl_->sessionStats;
+  return impl_->statsLocked();
+}
+
+ServiceMetrics SynthService::metrics() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  ServiceMetrics m;
+  m.stats = impl_->statsLocked();
+  m.queueDepth = impl_->queue.size();
+  m.retryWaiting = impl_->retryWait.size();
+  m.maxQueuedTasks = impl_->cfg.maxQueuedTasks;
+  m.jobsTracked = impl_->jobs.size();
+  for (const auto& [id, job] : impl_->jobs)
+    if (!isTerminal(job->state)) ++m.jobsActive;
+  m.resultCacheEntries = impl_->resultCache.size();
+  if (util::FaultRegistry::armed()) {
+    m.faultHits = util::FaultRegistry::instance().totalHits();
+    m.faultFires = util::FaultRegistry::instance().totalFires();
+  }
+  return m;
 }
 
 void SynthService::shutdown() {
@@ -638,7 +1169,9 @@ void SynthService::shutdown() {
     std::lock_guard<std::mutex> lock(impl_->mu);
     if (impl_->stop) return;
     impl_->stop = true;
+    impl_->shuttingDown = true;
     impl_->queue.clear();
+    impl_->retryWait.clear();
     // markTerminalLocked may evict old terminal entries from the map, so
     // iterate over a snapshot of the live jobs.
     std::vector<std::shared_ptr<Job>> live;
@@ -652,9 +1185,11 @@ void SynthService::shutdown() {
     }
     impl_->taskCv.notify_all();
     impl_->jobCv.notify_all();
+    impl_->wdCv.notify_all();
   }
   for (auto& w : impl_->workers) w.join();
   impl_->workers.clear();
+  if (impl_->watchdog.joinable()) impl_->watchdog.join();
 }
 
 }  // namespace netsyn::service

@@ -26,6 +26,22 @@
 // a one-shot run of the same config, regardless of pool size, concurrent
 // jobs, or cache temperature (pinned by tests/test_service.cpp).
 //
+// Fault tolerance (see ARCHITECTURE.md "Fault tolerance"): a watchdog
+// thread enforces per-job wall-clock deadlines, detects stalled tasks (no
+// generation progress within `stallSeconds`) and aborts them at the next
+// opportunity, and re-runs failed/stalled tasks with capped exponential
+// backoff — from the task's last generation-boundary snapshot when one
+// exists, from the task's deterministic seed otherwise, so a retried task
+// finishes bit-identical to an undisturbed one either way. After
+// `maxTaskRetries` failures of one task the job reports Failed with a
+// structured reason (JobStatus::errorKind). With `stateDir` set, snapshots
+// and completed-task records are additionally persisted (versioned +
+// checksummed, written via atomic rename; service/checkpoint.hpp) and a
+// restarted service recovers its job table and resumes unfinished tasks
+// from their last durable checkpoint. `maxQueuedTasks` bounds the task
+// queue; a submission that would exceed it is rejected with
+// OverloadedError instead of growing the queue without limit.
+//
 // Job lifecycle: submit -> Queued -> Running -> Done, with cancel (takes
 // effect at the next generation boundary of every in-flight task; queued
 // tasks are dropped, other jobs are untouched) and pause/resume (in-flight
@@ -39,6 +55,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -54,6 +71,44 @@ struct ServiceConfig {
   /// Memoize completed jobs by (method, config) and answer identical
   /// resubmissions from the memo.
   bool resultCache = true;
+
+  // ---- fault tolerance ----
+
+  /// Durable-state directory. Empty (default) disables durability; set, the
+  /// service persists job manifests, completed-task records, and task
+  /// snapshots under `<stateDir>/jobs/` and recovers them on construction.
+  std::string stateDir;
+  /// Default per-job wall-clock deadline in seconds (0 = none). A job past
+  /// its deadline fails with errorKind "deadline". SubmitOptions can
+  /// override per job.
+  double defaultDeadlineSeconds = 0.0;
+  /// Stall budget: a Running single-population task that makes no
+  /// generation progress for this long is aborted at its next opportunity
+  /// and retried (0 = stall detection off). Islands-strategy tasks are
+  /// exempt (they are scheduling-atomic).
+  double stallSeconds = 0.0;
+  /// Times one task may fail/stall before the whole job reports Failed.
+  std::size_t maxTaskRetries = 3;
+  /// Retry backoff: attempt n waits min(retryBackoffMs * 2^(n-1),
+  /// retryBackoffCapMs) milliseconds before re-entering the queue.
+  double retryBackoffMs = 50.0;
+  double retryBackoffCapMs = 2000.0;
+  /// Snapshot cadence: running single-population tasks refresh their
+  /// retry/durability snapshot every this many generations (0 = only on
+  /// pause). Purely a recovery-cost knob — results are identical for every
+  /// value, since a retry without a snapshot restarts from the task seed.
+  std::size_t checkpointEveryGenerations = 0;
+  /// Backpressure: maximum queued tasks across all jobs; a submission whose
+  /// tasks would not fit throws OverloadedError (0 = unbounded).
+  std::size_t maxQueuedTasks = 0;
+};
+
+/// submit() backpressure rejection (queue full). The protocol maps this to
+/// {"ok": false, "rejected": "overloaded"}.
+class OverloadedError : public std::runtime_error {
+ public:
+  explicit OverloadedError(const std::string& what)
+      : std::runtime_error(what) {}
 };
 
 enum class JobState : std::uint8_t {
@@ -87,16 +142,41 @@ struct JobStatus {
   std::size_t tasksTotal = 0;
   std::size_t tasksDone = 0;
   bool fromCache = false;  ///< answered from the job-result memo
+  bool recovered = false;  ///< restored from the durable state dir
+  std::size_t retries = 0; ///< task retries spent by this job so far
   /// Plan-cache traffic this job caused across the workers that ran it.
   /// planHits() on a resubmitted spec is the warm-cache signal: the second
   /// identical job recompiles (almost) nothing.
   std::size_t planCompiles = 0;
   std::size_t planLookups = 0;
   std::size_t planHits() const { return planLookups - planCompiles; }
-  std::string error;  ///< set when state == Failed
+  std::string error;      ///< set when state == Failed
+  /// Structured failure class when state == Failed: "task" (a task
+  /// exhausted its retries), "stall" (the exhausting failure was a stall
+  /// abort), or "deadline" (the job ran past its wall-clock deadline).
+  std::string errorKind;
   /// Completed task outcomes (every slot for Done; the finished subset for
   /// Cancelled/Failed/Paused). Order: task index = program * K + run.
   std::vector<TaskRecord> tasks;
+};
+
+struct SubmitOptions {
+  /// Memo participation (both lookup and store), as in the bool overload.
+  bool useResultCache = true;
+  /// Idempotent resubmission: when a job with the same (method, config) key
+  /// is already tracked and not Cancelled/Failed, return its id (with
+  /// SubmitResult::attached set) instead of starting a duplicate run. The
+  /// reconnecting synth_client resubmits this way after a daemon death —
+  /// safe because identical submissions are deterministic.
+  bool attach = false;
+  /// Per-job wall-clock deadline override (seconds; 0 = the service
+  /// default).
+  double deadlineSeconds = 0.0;
+};
+
+struct SubmitResult {
+  std::uint64_t id = 0;
+  bool attached = false;  ///< joined an existing job by key (opts.attach)
 };
 
 /// Whole-session accounting, served by the protocol's "stats" op.
@@ -111,6 +191,31 @@ struct SessionStats {
   std::size_t tasksResumed = 0;      ///< checkpointed tasks continued
   std::size_t planCompiles = 0;      ///< across all workers
   std::size_t planLookups = 0;
+  // ---- fault tolerance ----
+  std::size_t submitsRejected = 0;   ///< backpressure (OverloadedError)
+  std::size_t attachHits = 0;        ///< submissions joined by key
+  std::size_t tasksRetried = 0;      ///< failed/stalled tasks re-enqueued
+  std::size_t tasksAbandoned = 0;    ///< stall-watchdog aborts
+  std::size_t jobsDeadlineFailed = 0;
+  std::size_t jobsRecovered = 0;     ///< rebuilt from the state dir
+  std::size_t durableCheckpointsWritten = 0;
+  std::size_t durableCheckpointsLoaded = 0;  ///< decoded + accepted
+  std::size_t checkpointsRejected = 0;  ///< bad checksum/frame, or stale
+  std::size_t durableWriteErrors = 0;   ///< persistence failures (non-fatal)
+};
+
+/// Point-in-time gauges + counters for scraping (the protocol "metrics"
+/// op). Everything here is one consistent snapshot under the service lock.
+struct ServiceMetrics {
+  SessionStats stats;
+  std::size_t queueDepth = 0;     ///< tasks waiting for a worker
+  std::size_t retryWaiting = 0;   ///< tasks parked in retry backoff
+  std::size_t maxQueuedTasks = 0; ///< configured cap (0 = unbounded)
+  std::size_t jobsTracked = 0;    ///< jobs currently in the table
+  std::size_t jobsActive = 0;     ///< tracked and not terminal
+  std::size_t resultCacheEntries = 0;
+  std::uint64_t faultHits = 0;    ///< armed fault-site traffic (0 disarmed)
+  std::uint64_t faultFires = 0;
 };
 
 /// Trained-model store shared by every worker: the NN fitness models for a
@@ -142,6 +247,11 @@ baselines::MethodPtr makeOneShotMethod(const std::string& method,
 
 class SynthService {
  public:
+  /// Construction also runs durable recovery when config.stateDir is set:
+  /// jobs found under the state dir are rebuilt before the worker pool
+  /// starts — terminal ones become queryable history (Done jobs re-seed the
+  /// result memo), interrupted ones re-enter the queue and resume from
+  /// their last valid checkpoint.
   explicit SynthService(ServiceConfig config = {});
   ~SynthService();  ///< shutdown()
   SynthService(const SynthService&) = delete;
@@ -155,6 +265,11 @@ class SynthService {
   /// plan caches.
   std::uint64_t submit(const harness::ExperimentConfig& config,
                        const std::string& method, bool useResultCache = true);
+
+  /// submit() with the full option set (attach-by-key, per-job deadline).
+  /// Throws OverloadedError when the task queue is at its configured cap.
+  SubmitResult submit(const harness::ExperimentConfig& config,
+                      const std::string& method, const SubmitOptions& opts);
 
   /// Snapshot of a job (throws std::out_of_range on unknown id). The
   /// service retains a bounded history: the oldest terminal jobs are
@@ -182,8 +297,13 @@ class SynthService {
 
   SessionStats stats() const;
 
+  /// One consistent snapshot of counters + gauges for scraping.
+  ServiceMetrics metrics() const;
+
   /// Stops the pool: outstanding jobs are cancelled, workers join. Called
-  /// by the destructor; idempotent.
+  /// by the destructor; idempotent. Durable state is deliberately NOT
+  /// marked terminal — a shut-down (or killed) daemon's unfinished jobs
+  /// recover on the next construction with the same stateDir.
   void shutdown();
 
  private:

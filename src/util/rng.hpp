@@ -7,6 +7,7 @@
 // fast, high quality, and has a tiny state that is cheap to fork per worker.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -90,6 +91,17 @@ class Rng {
   /// or worker its own stream while keeping the parent stream untouched by
   /// the amount of work a child performs.
   Rng fork();
+
+  /// The raw xoshiro256** state, for durable checkpoints. A generator
+  /// rebuilt via setState() continues the exact stream.
+  std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+
+  /// Restores a state captured by state(). The caller is responsible for
+  /// never passing the all-zero state (xoshiro's one forbidden point);
+  /// reseed() can never produce it.
+  void setState(const std::array<std::uint64_t, 4>& s) {
+    s_[0] = s[0]; s_[1] = s[1]; s_[2] = s[2]; s_[3] = s[3];
+  }
 
  private:
   std::uint64_t next();

@@ -47,6 +47,30 @@ class SlidingWindowMean {
 
   void reset();
 
+  // ---- durable-checkpoint accessors (service/checkpoint.cpp) ----
+  // The full dynamic state is (window, recent values, prior_sum,
+  // prior_count, total_count); recent_sum_ is recomputed on restore.
+
+  std::size_t window() const { return window_; }
+  const std::deque<double>& recentValues() const { return recent_; }
+  double priorSum() const { return prior_sum_; }
+  std::size_t priorCount() const { return prior_count_; }
+
+  /// Rebuilds a window frozen by the accessors above. `total` must equal
+  /// `prior_count + recent.size()` for a state captured from a live window.
+  static SlidingWindowMean restored(std::size_t window,
+                                    std::deque<double> recent,
+                                    double prior_sum, std::size_t prior_count,
+                                    std::size_t total) {
+    SlidingWindowMean w(window);
+    w.recent_ = std::move(recent);
+    for (double v : w.recent_) w.recent_sum_ += v;
+    w.prior_sum_ = prior_sum;
+    w.prior_count_ = prior_count;
+    w.total_count_ = total;
+    return w;
+  }
+
  private:
   std::size_t window_;
   std::deque<double> recent_;

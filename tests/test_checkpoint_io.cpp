@@ -1,0 +1,292 @@
+// Durable-checkpoint codec tests: the on-disk snapshot format must be
+// byte-stable, resume onto the exact trajectory of the in-memory snapshot
+// it froze, and reject every corruption — truncations, bit flips anywhere
+// in the frame, and the chaos registry's injected byte flips — loudly via
+// the checksum layer rather than resuming a wrong search.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "core/search_state.hpp"
+#include "fitness/edit.hpp"
+#include "harness/runner.hpp"
+#include "harness/workload.hpp"
+#include "service/checkpoint.hpp"
+#include "util/faultinject.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace nc = netsyn::core;
+namespace nf = netsyn::fitness;
+namespace nh = netsyn::harness;
+namespace ns = netsyn::service;
+namespace nu = netsyn::util;
+
+namespace {
+
+nh::ExperimentConfig tinyConfig(std::uint64_t seed = 3,
+                                std::size_t budget = 2000) {
+  auto cfg = nh::ExperimentConfig::forScale("ci");
+  cfg.programLengths = {3};
+  cfg.programsPerLength = 2;
+  cfg.examplesPerProgram = 3;
+  cfg.runsPerProgram = 2;
+  cfg.searchBudget = budget;
+  cfg.synthesizer.ga.populationSize = 16;
+  cfg.synthesizer.ga.eliteCount = 2;
+  cfg.synthesizer.maxGenerations = 150;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// A real mid-search state frozen after a few generations, plus the result
+/// the same search reaches when left alone.
+struct Frozen {
+  nc::SearchState::Snapshot snap;
+  nu::Rng rng{0};
+  nc::SynthesisResult expected;
+  nc::SynthesizerConfig sc;
+  nh::TestProgram tp;
+};
+
+Frozen freeze(std::size_t steps = 3) {
+  const auto cfg = tinyConfig();
+  const auto workload = nh::makeFullWorkload(cfg);
+  Frozen f;
+  f.tp = workload[1];
+  f.sc = nh::methodSearchConfig(cfg, "Edit");
+  const auto fit = std::make_shared<nf::EditDistanceFitness>();
+
+  // Uninterrupted reference run.
+  nu::Rng rngA = nh::runSeedRng(cfg, 1, 0);
+  nc::SearchBudget budgetA(cfg.searchBudget);
+  nc::SearchState stateA(f.sc, fit, nullptr, f.tp.spec, f.tp.length, budgetA,
+                         rngA);
+  auto statusA = stateA.seed();
+  while (statusA == nc::SearchState::Status::Running) statusA = stateA.step();
+  f.expected = stateA.finish();
+
+  // Same search frozen mid-flight.
+  nu::Rng rngB = nh::runSeedRng(cfg, 1, 0);
+  nc::SearchBudget budgetB(cfg.searchBudget);
+  nc::SearchState stateB(f.sc, fit, nullptr, f.tp.spec, f.tp.length, budgetB,
+                         rngB);
+  auto statusB = stateB.seed();
+  std::size_t taken = 0;
+  while (statusB == nc::SearchState::Status::Running && taken < steps) {
+    statusB = stateB.step();
+    ++taken;
+  }
+  EXPECT_EQ(statusB, nc::SearchState::Status::Running)
+      << "config too easy: search finished before the snapshot point";
+  f.snap = stateB.snapshot();
+  f.rng = rngB;
+  return f;
+}
+
+std::string tmpPath(const std::string& name) {
+  return "checkpoint_io_" + name + "." + std::to_string(::getpid());
+}
+
+}  // namespace
+
+// ------------------------------------------------- codec ------------------
+
+TEST(CheckpointCodec, RoundTripRestoresEveryFieldAndIsByteStable) {
+  const Frozen f = freeze();
+  const std::string bytes = ns::encodeTaskCheckpoint(f.snap, f.rng);
+
+  nc::SearchState::Snapshot back;
+  nu::Rng backRng{0};
+  std::string error;
+  ASSERT_TRUE(ns::decodeTaskCheckpoint(bytes, back, backRng, error)) << error;
+
+  EXPECT_EQ(back.targetLength, f.snap.targetLength);
+  ASSERT_EQ(back.pop.size(), f.snap.pop.size());
+  for (std::size_t i = 0; i < back.pop.size(); ++i) {
+    EXPECT_EQ(back.pop[i].program.functions(),
+              f.snap.pop[i].program.functions());
+    EXPECT_DOUBLE_EQ(back.pop[i].fitness, f.snap.pop[i].fitness);
+  }
+  EXPECT_EQ(back.result.candidatesSearched, f.snap.result.candidatesSearched);
+  EXPECT_EQ(back.result.generations, f.snap.result.generations);
+  EXPECT_EQ(back.result.history.size(), f.snap.result.history.size());
+  EXPECT_EQ(back.cache, f.snap.cache);
+  EXPECT_EQ(back.seen, f.snap.seen);
+  EXPECT_EQ(back.window.count(), f.snap.window.count());
+  EXPECT_DOUBLE_EQ(back.window.windowMean(), f.snap.window.windowMean());
+  EXPECT_DOUBLE_EQ(back.window.priorMean(), f.snap.window.priorMean());
+  EXPECT_EQ(back.budgetLimit, f.snap.budgetLimit);
+  EXPECT_EQ(back.budgetUsed, f.snap.budgetUsed);
+  EXPECT_EQ(backRng.state(), f.rng.state());
+
+  // Byte stability: unordered containers are serialized in sorted order, so
+  // re-encoding the decoded snapshot reproduces the identical frame.
+  EXPECT_EQ(ns::encodeTaskCheckpoint(back, backRng), bytes);
+}
+
+TEST(CheckpointCodec, DecodedSnapshotResumesPinnedEqualToInMemoryResume) {
+  const Frozen f = freeze();
+  const std::string bytes = ns::encodeTaskCheckpoint(f.snap, f.rng);
+
+  nc::SearchState::Snapshot back;
+  nu::Rng backRng{0};
+  std::string error;
+  ASSERT_TRUE(ns::decodeTaskCheckpoint(bytes, back, backRng, error)) << error;
+  // config is deliberately not serialized; the caller rederives it.
+  back.config = f.sc;
+
+  const auto fit = std::make_shared<nf::EditDistanceFitness>();
+  nc::SearchBudget budget =
+      nc::SearchBudget::resumed(back.budgetLimit, back.budgetUsed);
+  nc::SearchState state(back, fit, nullptr, f.tp.spec, budget, backRng);
+  auto status = nc::SearchState::Status::Running;
+  while (status == nc::SearchState::Status::Running) status = state.step();
+  const nc::SynthesisResult resumed = state.finish();
+
+  EXPECT_EQ(resumed.found, f.expected.found);
+  EXPECT_EQ(resumed.candidatesSearched, f.expected.candidatesSearched);
+  EXPECT_EQ(resumed.generations, f.expected.generations);
+  EXPECT_EQ(resumed.nsInvocations, f.expected.nsInvocations);
+  EXPECT_DOUBLE_EQ(resumed.bestFitness, f.expected.bestFitness);
+  if (f.expected.found) {
+    EXPECT_EQ(resumed.solution.functions(), f.expected.solution.functions());
+  }
+}
+
+TEST(CheckpointCodec, EncodeRefusesIslandSnapshots) {
+  Frozen f = freeze();
+  f.snap.result.islandStats.emplace_back();
+  EXPECT_THROW(ns::encodeTaskCheckpoint(f.snap, f.rng), std::logic_error);
+}
+
+// ------------------------------------------------- corruption -------------
+
+TEST(CheckpointCodec, EveryTruncationIsRejected) {
+  const Frozen f = freeze();
+  const std::string bytes = ns::encodeTaskCheckpoint(f.snap, f.rng);
+  // Cuts through the header, through the payload, and just one byte short.
+  const std::size_t cuts[] = {0,  4,  8,  12, 20, 27, 28,
+                              bytes.size() / 2, bytes.size() - 1};
+  for (std::size_t cut : cuts) {
+    ASSERT_LT(cut, bytes.size());
+    nc::SearchState::Snapshot sink;
+    nu::Rng sinkRng{0};
+    std::string error;
+    EXPECT_FALSE(ns::decodeTaskCheckpoint(bytes.substr(0, cut), sink, sinkRng,
+                                          error))
+        << "truncation to " << cut << " bytes was accepted";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(CheckpointCodec, EveryBitFlipIsRejected) {
+  const Frozen f = freeze();
+  const std::string bytes = ns::encodeTaskCheckpoint(f.snap, f.rng);
+  // A flip in the magic/version/length/checksum header fails frame checks;
+  // a flip anywhere in the payload fails the FNV checksum (single-byte
+  // changes always alter it: xor-then-odd-multiply is injective).
+  for (std::size_t i = 0; i < bytes.size(); i += 3) {
+    std::string bad = bytes;
+    bad[i] = static_cast<char>(bad[i] ^ (1 << (i % 8)));
+    nc::SearchState::Snapshot sink;
+    nu::Rng sinkRng{0};
+    std::string error;
+    EXPECT_FALSE(ns::decodeTaskCheckpoint(bad, sink, sinkRng, error))
+        << "bit flip at byte " << i << " was accepted";
+  }
+}
+
+TEST(CheckpointCodec, InjectedCorruptionIsAlwaysDetected) {
+  // The corrupt-and-detect contract: a chaos-armed byte flip in the write
+  // path must never produce a frame that decodes successfully.
+  auto& reg = nu::FaultRegistry::instance();
+  reg.disarmAll();
+  reg.setSeed(0xc0ffee);
+  reg.armFromText("checkpoint.corrupt=corrupt@1/1x0");
+  const Frozen f = freeze();
+  for (int i = 0; i < 16; ++i) {
+    const std::string bytes = ns::encodeTaskCheckpoint(f.snap, f.rng);
+    nc::SearchState::Snapshot sink;
+    nu::Rng sinkRng{0};
+    std::string error;
+    EXPECT_FALSE(ns::decodeTaskCheckpoint(bytes, sink, sinkRng, error))
+        << "injected corruption " << i << " went undetected";
+  }
+  EXPECT_EQ(reg.stats("checkpoint.corrupt").fires, 16u);
+  reg.disarmAll();
+
+  // Disarmed again: the same encode is clean.
+  const std::string clean = ns::encodeTaskCheckpoint(f.snap, f.rng);
+  nc::SearchState::Snapshot sink;
+  nu::Rng sinkRng{0};
+  std::string error;
+  EXPECT_TRUE(ns::decodeTaskCheckpoint(clean, sink, sinkRng, error)) << error;
+}
+
+// ------------------------------------------------- file helpers -----------
+
+TEST(CheckpointFiles, AtomicWriteThenReadRoundTrips) {
+  const std::string path = tmpPath("atomic");
+  std::string error;
+  ASSERT_TRUE(ns::atomicWriteFile(path, "first contents", error)) << error;
+  std::string back;
+  ASSERT_TRUE(ns::readFileBytes(path, back, error)) << error;
+  EXPECT_EQ(back, "first contents");
+  // Overwrite is atomic too (rename over the old file).
+  ASSERT_TRUE(ns::atomicWriteFile(path, "second", error)) << error;
+  ASSERT_TRUE(ns::readFileBytes(path, back, error)) << error;
+  EXPECT_EQ(back, "second");
+  // No stray tmp file left behind.
+  EXPECT_FALSE(ns::readFileBytes(path + ".tmp", back, error));
+  ::unlink(path.c_str());
+}
+
+TEST(CheckpointFiles, MissingFileReadsFalseNotThrow) {
+  std::string out;
+  std::string error;
+  EXPECT_FALSE(ns::readFileBytes(tmpPath("never-written"), out, error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(CheckpointFiles, AppendLogLineAppends) {
+  const std::string path = tmpPath("log");
+  std::string error;
+  ASSERT_TRUE(ns::appendLogLine(path, "{\"a\": 1}", error)) << error;
+  ASSERT_TRUE(ns::appendLogLine(path, "{\"b\": 2}", error)) << error;
+  std::string back;
+  ASSERT_TRUE(ns::readFileBytes(path, back, error)) << error;
+  EXPECT_EQ(back, "{\"a\": 1}\n{\"b\": 2}\n");
+  ::unlink(path.c_str());
+}
+
+// ------------------------------------------------- restored state ---------
+
+TEST(CheckpointState, SlidingWindowRestoredBehavesIdentically) {
+  nu::SlidingWindowMean live(4);
+  for (int i = 0; i < 10; ++i) live.push(1.0 + 0.25 * i);
+  nu::SlidingWindowMean back = nu::SlidingWindowMean::restored(
+      live.window(), live.recentValues(), live.priorSum(), live.priorCount(),
+      live.count());
+  EXPECT_EQ(back.count(), live.count());
+  EXPECT_DOUBLE_EQ(back.windowMean(), live.windowMean());
+  EXPECT_DOUBLE_EQ(back.priorMean(), live.priorMean());
+  EXPECT_EQ(back.saturated(), live.saturated());
+  // And the restored window keeps evolving exactly like the live one.
+  live.push(0.5);
+  back.push(0.5);
+  EXPECT_DOUBLE_EQ(back.windowMean(), live.windowMean());
+  EXPECT_DOUBLE_EQ(back.priorMean(), live.priorMean());
+}
+
+TEST(CheckpointState, RngStateRoundTripContinuesTheStream) {
+  nu::Rng a(42);
+  for (int i = 0; i < 5; ++i) a();
+  nu::Rng b(0);
+  b.setState(a.state());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(b(), a());
+}
