@@ -12,6 +12,7 @@
 // method evolves K cooperating sub-populations under one candidate budget
 // (see README "Search strategies"); results stay deterministic per seed.
 #include <cstdio>
+#include <exception>
 
 #include "harness/registry.hpp"
 #include "harness/runner.hpp"
@@ -19,7 +20,10 @@
 
 using namespace netsyn;
 
-int main(int argc, char** argv) {
+// The real body; main() wraps it so flag-parse errors (bad --lengths,
+// non-numeric --budget, unknown --domain...) print their message instead of
+// tearing the process down through std::terminate.
+int run(int argc, char** argv) {
   const util::ArgParse args(argc, argv);
   auto config = harness::ExperimentConfig::fromArgs(args);
   // Keep the no-argument demo small; flags scale it up.
@@ -56,4 +60,13 @@ int main(int argc, char** argv) {
   }
   std::printf("\n%s", table.toString().c_str());
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -7,6 +7,7 @@
 //   $ ./dsl_explorer --domain=str --program="STR.TITLE | STR.INITIALS" \
 //                    --text="ada lovelace"
 #include <cstdio>
+#include <exception>
 #include <sstream>
 
 #include "dsl/dce.hpp"
@@ -56,7 +57,10 @@ void show(const dsl::Domain& domain, const dsl::Program& program,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+// The real body; main() wraps it so flag-parse errors (bad --lengths,
+// non-numeric --budget, unknown --domain...) print their message instead of
+// tearing the process down through std::terminate.
+int run(int argc, char** argv) {
   const util::ArgParse args(argc, argv);
 
   const std::string domainName = args.getString("domain", "list");
@@ -142,4 +146,13 @@ int main(int argc, char** argv) {
       gen.randomProgram(5, dsl::signatureOf(inputs), rng);
   if (random) show(domain, *random, inputs);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -5,6 +5,7 @@
 //   $ ./evolution_trace [--length=5] [--budget=20000] [--seed=3]
 #include <algorithm>
 #include <cstdio>
+#include <exception>
 
 #include "core/synthesizer.hpp"
 #include "dsl/generator.hpp"
@@ -13,7 +14,10 @@
 
 using namespace netsyn;
 
-int main(int argc, char** argv) {
+// The real body; main() wraps it so flag-parse errors (bad --lengths,
+// non-numeric --budget, unknown --domain...) print their message instead of
+// tearing the process down through std::terminate.
+int run(int argc, char** argv) {
   const util::ArgParse args(argc, argv);
   const auto length = static_cast<std::size_t>(args.getInt("length", 5));
   const auto budget = static_cast<std::size_t>(args.getInt("budget", 20000));
@@ -69,4 +73,13 @@ int main(int argc, char** argv) {
                 result.candidatesSearched, result.nsInvocations);
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

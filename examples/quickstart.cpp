@@ -8,6 +8,7 @@
 //
 //   $ ./quickstart [--budget=20000] [--seed=7]
 #include <cstdio>
+#include <exception>
 
 #include "core/synthesizer.hpp"
 #include "dsl/interpreter.hpp"
@@ -16,7 +17,10 @@
 
 using namespace netsyn;
 
-int main(int argc, char** argv) {
+// The real body; main() wraps it so flag-parse errors (bad --lengths,
+// non-numeric --budget, unknown --domain...) print their message instead of
+// tearing the process down through std::terminate.
+int run(int argc, char** argv) {
   const util::ArgParse args(argc, argv);
   const auto budget =
       static_cast<std::size_t>(args.getInt("budget", 20000));
@@ -79,4 +83,13 @@ int main(int argc, char** argv) {
                 run.trace[k].toString().c_str());
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -7,13 +7,17 @@
 //   $ ./train_fitness [--metric=cf|lcs|fp] [--train-programs=4000]
 //                     [--epochs=6] [--out=model.bin] [--scale=ci]
 #include <cstdio>
+#include <exception>
 
 #include "harness/models.hpp"
 #include "util/argparse.hpp"
 
 using namespace netsyn;
 
-int main(int argc, char** argv) {
+// The real body; main() wraps it so flag-parse errors (bad --lengths,
+// non-numeric --budget, unknown --domain...) print their message instead of
+// tearing the process down through std::terminate.
+int run(int argc, char** argv) {
   const util::ArgParse args(argc, argv);
   auto config = harness::ExperimentConfig::fromArgs(args);
   // Keep the no-argument run light: a few thousand programs train in about
@@ -68,4 +72,13 @@ int main(int argc, char** argv) {
   model->save(out);
   std::printf("Saved weights to %s\n", out.c_str());
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -96,6 +96,34 @@ class SpecEvaluator {
     return ev;
   }
 
+  /// True when evaluateView() can serve this spec: the executor's lane
+  /// backend is on and all examples fit one lane group (the view spans a
+  /// single SoA block set).
+  bool laneViewCapable() const {
+    return exec_->laneExecution() && spec_.size() > 0 &&
+           spec_.size() <= dsl::SoATrace::kMaxLanes;
+  }
+
+  /// Runs the candidate on every example through the lane executor and
+  /// binds `view` over the un-scattered SoA trace — the NN grading path
+  /// reads it in place, so no per-Value trace is materialized. Budget and
+  /// dedup semantics are exactly evaluate()'s; returns the satisfied
+  /// verdict, or nullopt when the budget is exhausted. The view is valid
+  /// until the executor's next lane execution.
+  std::optional<bool> evaluateView(const dsl::Program& candidate,
+                                   dsl::LaneTraceView& view) {
+    if (!charge(candidate)) return std::nullopt;
+    const dsl::ExecPlan& plan = exec_->planFor(candidate, signature_);
+    const bool ok =
+        exec_->executeMultiView(plan, inputSets_.data(), spec_.size(), view);
+    assert(ok && "evaluateView requires laneViewCapable()");
+    (void)ok;
+    for (std::size_t j = 0; j < spec_.size(); ++j) {
+      if (!view.outputEquals(j, spec_.examples[j].output)) return false;
+    }
+    return true;
+  }
+
   /// Batched evaluate(): candidates are charged and executed in order, so
   /// budget consumption and the dedup'd "distinct candidates searched"
   /// semantics are identical to calling evaluate() in a loop that stops at

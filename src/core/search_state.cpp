@@ -115,23 +115,58 @@ std::size_t SearchState::gradePopulation(
     pendingOrigin.push_back(i);
   }
 
-  auto evals = evaluator_.evaluateBatch(pending);
+  // Lane-view grading: when the batched path is on, the spec fits one lane
+  // group, and the fitness can consume encoded traces, each pending gene is
+  // executed through the lane executor and its trace is encoded in place —
+  // no per-Value scatter, no trace copy. Budget consumption, dedup, and the
+  // early-exit points below are identical to evaluateBatch (and the scores
+  // are bitwise-identical, pinned by the differential fuzz suite).
+  fitness::LaneTraceSink* sink =
+      (config_.batchedEvaluation && evaluator_.laneViewCapable())
+          ? fitness_->laneSink()
+          : nullptr;
+
+  std::vector<std::optional<SpecEvaluator::Evaluation>> evals;
   std::size_t graded = progs.size();
   std::size_t scored = pending.size();
-  for (std::size_t j = 0; j < evals.size(); ++j) {
-    if (!evals[j].has_value()) {  // budget ran out at pending gene j
-      graded = pendingOrigin[j];
-      scored = j;
-      break;
+  if (sink) {
+    sink->beginCapture(spec_, pending.size());
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      dsl::LaneTraceView view;
+      const auto verdict = evaluator_.evaluateView(*pending[j], view);
+      if (!verdict.has_value()) {  // budget ran out at pending gene j
+        graded = pendingOrigin[j];
+        scored = j;
+        break;
+      }
+      if (*verdict) {
+        solved_ = true;
+        solvedAtUsed_ = budget_.used();
+        result_.found = true;
+        result_.solution = *pending[j];
+        graded = pendingOrigin[j];
+        scored = j;
+        break;
+      }
+      sink->capture(j, *pending[j], view);
     }
-    if (evals[j]->satisfied) {
-      solved_ = true;
-      solvedAtUsed_ = budget_.used();
-      result_.found = true;
-      result_.solution = *pending[j];
-      graded = pendingOrigin[j];
-      scored = j;
-      break;
+  } else {
+    evals = evaluator_.evaluateBatch(pending);
+    for (std::size_t j = 0; j < evals.size(); ++j) {
+      if (!evals[j].has_value()) {  // budget ran out at pending gene j
+        graded = pendingOrigin[j];
+        scored = j;
+        break;
+      }
+      if (evals[j]->satisfied) {
+        solved_ = true;
+        solvedAtUsed_ = budget_.used();
+        result_.found = true;
+        result_.solution = *pending[j];
+        graded = pendingOrigin[j];
+        scored = j;
+        break;
+      }
     }
   }
 
@@ -144,7 +179,11 @@ std::size_t SearchState::gradePopulation(
     std::vector<const fitness::EvalContext*> contexts;
     contexts.reserve(scored);
     for (std::size_t j = 0; j < scored; ++j) {
-      contextStore.push_back(fitness::EvalContext{spec_, evals[j]->runs});
+      if (sink)
+        contextStore.push_back(
+            fitness::EvalContext{spec_, fitness::kNoRuns, &sink->at(j)});
+      else
+        contextStore.push_back(fitness::EvalContext{spec_, evals[j]->runs});
       contexts.push_back(&contextStore.back());
     }
     if (config_.batchedEvaluation) {
@@ -180,25 +219,43 @@ std::vector<double> SearchState::nsBatchScore(
   std::deque<std::vector<dsl::ExecResult>> pendingRuns;
   std::deque<fitness::EvalContext> contextStore;
   std::vector<const fitness::EvalContext*> contexts;
+  // Same lane-view gate as gradePopulation; the NS descent's out-of-budget
+  // runs then skip the trace scatter too. Each view is encoded before the
+  // next execution overwrites the SoA blocks.
+  fitness::LaneTraceSink* sink =
+      (config_.batchedEvaluation && evaluator_.laneViewCapable())
+          ? fitness_->laneSink()
+          : nullptr;
+  if (sink) sink->beginCapture(spec_, genes.size());
   for (std::size_t i = 0; i < genes.size(); ++i) {
     if (const auto it = cache_.find(cacheKey(*genes[i])); it != cache_.end()) {
       out[i] = it->second;
       continue;
     }
-    std::vector<dsl::ExecResult> runs;
-    if (!nsRunsPool_.empty()) {
-      runs = std::move(nsRunsPool_.back());
-      nsRunsPool_.pop_back();
-    }
-    runs.resize(spec_.size());
     const dsl::ExecPlan& plan = evaluator_.executor().planFor(*genes[i], sig_);
-    // The evaluator's own (pinned) input array — not a private copy — so
-    // these out-of-budget runs share the lane executor's cached ingest.
-    evaluator_.executor().executeMulti(plan,
-                                       evaluator_.exampleInputSets().data(),
-                                       spec_.size(), runs.data());
-    pendingRuns.push_back(std::move(runs));
-    contextStore.push_back(fitness::EvalContext{spec_, pendingRuns.back()});
+    if (sink) {
+      const std::size_t slot = pending.size();
+      dsl::LaneTraceView view;
+      evaluator_.executor().executeMultiView(
+          plan, evaluator_.exampleInputSets().data(), spec_.size(), view);
+      sink->capture(slot, *genes[i], view);
+      contextStore.push_back(
+          fitness::EvalContext{spec_, fitness::kNoRuns, &sink->at(slot)});
+    } else {
+      std::vector<dsl::ExecResult> runs;
+      if (!nsRunsPool_.empty()) {
+        runs = std::move(nsRunsPool_.back());
+        nsRunsPool_.pop_back();
+      }
+      runs.resize(spec_.size());
+      // The evaluator's own (pinned) input array — not a private copy — so
+      // these out-of-budget runs share the lane executor's cached ingest.
+      evaluator_.executor().executeMulti(plan,
+                                         evaluator_.exampleInputSets().data(),
+                                         spec_.size(), runs.data());
+      pendingRuns.push_back(std::move(runs));
+      contextStore.push_back(fitness::EvalContext{spec_, pendingRuns.back()});
+    }
     contexts.push_back(&contextStore.back());
     pending.push_back(genes[i]);
     pendingAt.push_back(i);

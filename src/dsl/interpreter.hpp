@@ -22,6 +22,7 @@
 // DeepCoder's DSL follows.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
@@ -197,6 +198,22 @@ class Executor {
     }
   }
 
+  /// Lane-view executeMulti: executes `plan` with NO scatter and binds
+  /// `view` over the internal SoA scratch, so trace consumers (the NN
+  /// fitness encoders) read lane blocks in place. Returns false — without
+  /// executing — when the lane backend is off or `count` doesn't fit one
+  /// lane group; the caller then falls back to executeMulti. The view is
+  /// valid until the Executor's next lane execution.
+  bool executeMultiView(const ExecPlan& plan,
+                        const std::vector<Value>* const* inputSets,
+                        std::size_t count, LaneTraceView& view) {
+    if (!lanes_ || count == 0 || count > SoATrace::kMaxLanes) return false;
+    executePlanMultiLanesView(
+        plan, inputSets, count, view, laneScratch_,
+        /*reuseIngest=*/inputSets == pinnedSets_ && count == pinnedCount_);
+    return true;
+  }
+
   /// Declares `sets[0..count)` stable: the array and every pointed-to input
   /// tuple will not change (contents included) until re-pinned or cleared.
   /// Lets the lane executor ingest the example inputs into its SoA store
@@ -280,6 +297,27 @@ class Executor {
   std::size_t occupied_ = 0;
   InputSignature sigScratch_;  ///< reused by runInto/evalInto cache misses
 };
+
+// LaneTraceView members that need ExecStep (lanes.hpp only forward-declares
+// ExecPlan); defined here so every view consumer gets them inline.
+
+inline Type LaneTraceView::stepType(std::size_t k) const {
+  return plan->steps[k].ret;
+}
+
+inline bool LaneTraceView::outputEquals(std::size_t lane,
+                                        const Value& expected) const {
+  if (steps == 0) return expected.isList() && expected.asList().empty();
+  const std::size_t last = steps - 1;
+  if (stepType(last) == Type::Int)
+    return expected.isInt() && expected.asInt() == intAt(last, lane);
+  if (!expected.isList()) return false;
+  std::size_t len = 0;
+  const std::int32_t* seg = listAt(last, lane, &len);
+  const auto& xs = expected.asList();
+  return xs.size() == len &&
+         std::equal(seg, seg + len, xs.begin());
+}
 
 /// Runs `program` on `inputs`, capturing the full execution trace.
 /// Total: never throws for any function sequence (valid by construction).

@@ -48,23 +48,29 @@ void applyLanesGeneric(const ExecStep& step, SoATrace& t, std::uint32_t a0,
   }
 }
 
-/// Shared lane-group driver. kTraceScatter selects what is materialized
-/// after each group executes: the full per-example trace (`outs`, the
-/// executePlanMultiLanes contract) or only the final statement's outputs
-/// (`outVals`, the executePlanMultiLanesOutputs contract). Everything else —
-/// ingest, pinning, kernel dispatch — is identical, so the two entry points
-/// cannot drift apart.
-template <bool kTraceScatter>
+/// What executeLanesImpl materializes after each group executes: the full
+/// per-example trace (the executePlanMultiLanes contract), only the final
+/// statement's outputs (executePlanMultiLanesOutputs), or nothing at all —
+/// the trace stays in SoA form for a LaneTraceView to read in place
+/// (executePlanMultiLanesView).
+enum class ScatterMode { FullTrace, OutputsOnly, None };
+
+/// Shared lane-group driver. kMode selects the scatter phase; everything
+/// else — ingest, pinning, kernel dispatch — is identical, so the three
+/// entry points cannot drift apart.
+template <ScatterMode kMode>
 void executeLanesImpl(const ExecPlan& plan,
                       const std::vector<Value>* const* inputSets,
                       std::size_t count, ExecResult* outs, Value* outVals,
                       SoATrace& t, bool reuseIngest) {
   const std::size_t n = plan.steps.size();
-  if constexpr (kTraceScatter) {
+  if constexpr (kMode == ScatterMode::FullTrace) {
     for (std::size_t j = 0; j < count; ++j) outs[j].trace.resize(n);
-  } else if (n == 0) {
-    // An empty program's output is the default list (scalar output()).
-    for (std::size_t j = 0; j < count; ++j) outVals[j].makeList().clear();
+  } else if constexpr (kMode == ScatterMode::OutputsOnly) {
+    if (n == 0) {
+      // An empty program's output is the default list (scalar output()).
+      for (std::size_t j = 0; j < count; ++j) outVals[j].makeList().clear();
+    }
   }
   if (n == 0 || count == 0) return;
   const std::size_t numInputs = inputSets[0]->size();
@@ -149,7 +155,7 @@ void executeLanesImpl(const ExecPlan& plan,
         applyLanesGeneric(step, t, a0, a1, outSlot, scratch);
     }
 
-    if constexpr (kTraceScatter) {
+    if constexpr (kMode == ScatterMode::FullTrace) {
       // Scatter: materialize the group's slots into the per-example traces,
       // refilling retained Value buffers — consumers see exactly the trace
       // the scalar path produces. Lane-outer: each example's trace Values
@@ -174,7 +180,7 @@ void executeLanesImpl(const ExecPlan& plan,
           }
         }
       }
-    } else {
+    } else if constexpr (kMode == ScatterMode::OutputsOnly) {
       // Output-only scatter: just the final statement's lane block — the
       // whole point of this variant. Equivalence checks never read the
       // intermediate trace, and skipping its materialization removes the
@@ -202,16 +208,30 @@ void executePlanMultiLanes(const ExecPlan& plan,
                            const std::vector<Value>* const* inputSets,
                            std::size_t count, ExecResult* outs, SoATrace& t,
                            bool reuseIngest) {
-  executeLanesImpl<true>(plan, inputSets, count, outs, nullptr, t,
-                         reuseIngest);
+  executeLanesImpl<ScatterMode::FullTrace>(plan, inputSets, count, outs,
+                                           nullptr, t, reuseIngest);
 }
 
 void executePlanMultiLanesOutputs(const ExecPlan& plan,
                                   const std::vector<Value>* const* inputSets,
                                   std::size_t count, Value* outs, SoATrace& t,
                                   bool reuseIngest) {
-  executeLanesImpl<false>(plan, inputSets, count, nullptr, outs, t,
-                          reuseIngest);
+  executeLanesImpl<ScatterMode::OutputsOnly>(plan, inputSets, count, nullptr,
+                                             outs, t, reuseIngest);
+}
+
+void executePlanMultiLanesView(const ExecPlan& plan,
+                               const std::vector<Value>* const* inputSets,
+                               std::size_t count, LaneTraceView& view,
+                               SoATrace& t, bool reuseIngest) {
+  executeLanesImpl<ScatterMode::None>(plan, inputSets, count, nullptr,
+                                      nullptr, t, reuseIngest);
+  view.trace = &t;
+  view.plan = &plan;
+  view.base = SoATrace::kFixedSlots +
+              static_cast<std::uint32_t>(inputSets[0]->size());
+  view.lanes = count;
+  view.steps = plan.steps.size();
 }
 
 }  // namespace netsyn::dsl

@@ -176,6 +176,54 @@ struct SoATrace {
   }
 };
 
+/// Zero-copy, per-statement view over one executed lane group. This is the
+/// seam that lets trace consumers (the NN fitness encoders) read the SoA
+/// blocks in place instead of forcing the executor to scatter every
+/// intermediate value back into per-example `Value`s: `executePlanMultiLanesView`
+/// runs the plan with NO scatter at all and binds one of these over the
+/// scratch trace. Statement k's lane j is `intAt(k, j)` for Int-typed steps
+/// or the arena segment `listAt(k, j, &len)` for List-typed ones.
+///
+/// The view aliases the executor's scratch `SoATrace`: it is valid only
+/// until the next execution (or reset) of that trace, so consume-or-copy
+/// before evaluating the next candidate.
+struct LaneTraceView {
+  const SoATrace* trace = nullptr;
+  const ExecPlan* plan = nullptr;
+  std::uint32_t base = 0;  ///< slot id of statement 0 (kFixedSlots + inputs)
+  std::size_t lanes = 0;   ///< examples in the group
+  std::size_t steps = 0;   ///< plan length (0 for the empty program)
+
+  bool empty() const { return steps == 0; }
+
+  /// Statement k's int lane block (only when stepType(k) == Type::Int).
+  const std::int32_t* intLanes(std::size_t k) const {
+    return trace->intBlock(base + static_cast<std::uint32_t>(k));
+  }
+  std::int32_t intAt(std::size_t k, std::size_t lane) const {
+    return intLanes(k)[lane];
+  }
+
+  /// Statement k, lane `lane`'s list segment: arena pointer + element count
+  /// (only when stepType(k) == Type::List).
+  const std::int32_t* listAt(std::size_t k, std::size_t lane,
+                             std::size_t* lenOut) const {
+    const std::uint32_t slot = base + static_cast<std::uint32_t>(k);
+    *lenOut = trace->lenBlock(slot)[lane];
+    return trace->arena.data() + trace->offBlock(slot)[lane];
+  }
+
+  // Defined inline in interpreter.hpp (they need ExecStep, which this header
+  // only forward-declares; every view consumer already includes the
+  // interpreter).
+
+  /// Return type of statement k.
+  Type stepType(std::size_t k) const;
+  /// True iff the final statement's output in `lane` equals `expected`. An
+  /// empty plan compares against the default list, like ExecResult::output().
+  bool outputEquals(std::size_t lane, const Value& expected) const;
+};
+
 /// Lane-group counterpart of executePlanMulti: executes `plan` on `count`
 /// input tuples through `trace`, scattering each group's results into
 /// `outs[j].trace` (resized to the plan length, slots overwritten in place
@@ -208,5 +256,19 @@ void executePlanMultiLanesOutputs(const ExecPlan& plan,
                                   const std::vector<Value>* const* inputSets,
                                   std::size_t count, Value* outs,
                                   SoATrace& trace, bool reuseIngest = false);
+
+/// No-scatter variant: runs the same lane-group kernels and materializes
+/// NOTHING — `view` is bound over the executed trace so consumers read the
+/// SoA blocks in place. This is the full-trace fast path for the NN fitness
+/// encoders, which tokenize every intermediate value anyway and therefore
+/// never need it as a `Value`. Single group only: requires
+/// 1 <= count <= SoATrace::kMaxLanes (callers above that split per group and
+/// must use the scattering entry points). Same `reuseIngest` contract as
+/// executePlanMultiLanes. The view is valid until `trace` is next executed
+/// or reset.
+void executePlanMultiLanesView(const ExecPlan& plan,
+                               const std::vector<Value>* const* inputSets,
+                               std::size_t count, LaneTraceView& view,
+                               SoATrace& trace, bool reuseIngest = false);
 
 }  // namespace netsyn::dsl

@@ -9,17 +9,20 @@
 //
 // Backend selection is compile-time:
 //   - NETSYN_SIMD (CMake option, default ON) + __AVX2__  -> hand-written
-//     AVX2 intrinsics below ("avx2").
-//   - otherwise -> the portable loops ("scalar"). They are written in the
-//     branchless widen/clamp form the auto-vectorizer handles well, so on
-//     NEON-class targets the compiler still emits vector code; there is no
-//     hand-written NEON path (kept honest: this repo's CI only runs x86).
+//     AVX2 intrinsics ("avx2"), 8 int32 per vector.
+//   - NETSYN_SIMD + __ARM_NEON (aarch64 or armv7-neon)   -> hand-written
+//     NEON intrinsics ("neon"), 4 int32 per vector. NEON's saturating
+//     int32 ops (vqadd/vqsub/vqneg/vqshl) compute exactly
+//     clamp-of-true-result, so most kernels skip the widen/clamp dance the
+//     AVX2 path needs; the multiplies widen through vmull_s32 + vqmovn_s64.
+//   - otherwise -> the portable loops ("scalar"), written in the branchless
+//     widen/clamp form the auto-vectorizer handles well.
 //
 // Every kernel is semantically identical to saturate(op(x)) per element —
 // the scalar bodies in functions.cpp stay the oracle, and
-// tests/test_fuzz_differential.cpp pins the two bitwise-equal over 12k
+// tests/test_fuzz_differential.cpp pins the backends bitwise-equal over 12k
 // random programs. The arithmetic is integral, so there is no
-// backend-dependent rounding: "avx2" and "scalar" agree exactly.
+// backend-dependent rounding: "avx2", "neon", and "scalar" agree exactly.
 #pragma once
 
 #include <cstddef>
@@ -30,20 +33,32 @@
 #if defined(NETSYN_SIMD) && defined(__AVX2__)
 #define NETSYN_SIMD_AVX2 1
 #include <immintrin.h>
+#elif defined(NETSYN_SIMD) && defined(__ARM_NEON)
+#define NETSYN_SIMD_NEON 1
+#include <arm_neon.h>
 #endif
 
 namespace netsyn::dsl::simd {
 
-/// int32 elements per vector on the widest compiled backend. Kernel tails
-/// shorter than this run scalar; the lane executor's correctness never
-/// depends on it (tests cover counts around every multiple).
-inline constexpr std::size_t kLaneWidth = 8;
+/// int32 elements per vector on the compiled backend (8 for AVX2, 4 for
+/// NEON). Kernel tails shorter than this run scalar; the lane executor's
+/// correctness never depends on it (tests cover counts around every
+/// multiple).
+inline constexpr std::size_t kLaneWidth =
+#if NETSYN_SIMD_NEON
+    4;
+#else
+    8;
+#endif
 
-/// Compiled SIMD backend, for bench records and service stats: "avx2" when
-/// the intrinsic kernels are active, "scalar" for the portable fallback.
+/// Compiled SIMD backend, for bench records and service stats: "avx2" or
+/// "neon" when the intrinsic kernels are active, "scalar" for the portable
+/// fallback.
 inline const char* backendName() {
 #if NETSYN_SIMD_AVX2
   return "avx2";
+#elif NETSYN_SIMD_NEON
+  return "neon";
 #else
   return "scalar";
 #endif
@@ -121,6 +136,42 @@ inline void zipWiden(const std::int32_t* a, const std::int32_t* b,
 }  // namespace detail
 #endif  // NETSYN_SIMD_AVX2
 
+#if NETSYN_SIMD_NEON
+namespace detail {
+
+/// dst[i] = opVec(src[i]) vector-wide, scalar-formula tail. Unlike the AVX2
+/// mapWiden there is no shared widen/clamp: each NEON kernel picks its own
+/// saturating instruction, which must equal saturate(sop(widen(x))).
+template <class OpVec, class ScalarOp>
+inline void mapNeon(const std::int32_t* src, std::int32_t* dst,
+                    std::size_t n, OpVec opVec, ScalarOp sop) {
+  std::size_t i = 0;
+  for (; i + kLaneWidth <= n; i += kLaneWidth)
+    vst1q_s32(dst + i, opVec(vld1q_s32(src + i)));
+  for (; i < n; ++i) dst[i] = saturate(sop(static_cast<I64>(src[i])));
+}
+
+/// Two-argument variant for the ZIPWITH combiners.
+template <class OpVec, class ScalarOp>
+inline void zipNeon(const std::int32_t* a, const std::int32_t* b,
+                    std::int32_t* dst, std::size_t n, OpVec opVec,
+                    ScalarOp sop) {
+  std::size_t i = 0;
+  for (; i + kLaneWidth <= n; i += kLaneWidth)
+    vst1q_s32(dst + i, opVec(vld1q_s32(a + i), vld1q_s32(b + i)));
+  for (; i < n; ++i)
+    dst[i] = saturate(sop(static_cast<I64>(a[i]), static_cast<I64>(b[i])));
+}
+
+/// 1 iff negative, as an int32 lane (logical shift of the sign bit) — the
+/// round-toward-zero bias for the division kernels.
+inline int32x4_t signBit(int32x4_t v) {
+  return vreinterpretq_s32_u32(vshrq_n_u32(vreinterpretq_u32_s32(v), 31));
+}
+
+}  // namespace detail
+#endif  // NETSYN_SIMD_NEON
+
 // ---- MAP lambdas over one block ---------------------------------------------
 // dst[i] = saturate(lambda(src[i])); src and dst must not overlap (the SoA
 // arena appends statement outputs after their inputs, so they never do).
@@ -131,6 +182,12 @@ inline void mapAdd1(const std::int32_t* src, std::int32_t* dst,
   const __m256i one = _mm256_set1_epi64x(1);
   detail::mapWiden(
       src, dst, n, [one](__m256i w) { return _mm256_add_epi64(w, one); },
+      [](I64 v) { return v + 1; });
+#elif NETSYN_SIMD_NEON
+  // x+1 fits int33, so the saturating add IS clamp-of-true-sum.
+  const int32x4_t one = vdupq_n_s32(1);
+  detail::mapNeon(
+      src, dst, n, [one](int32x4_t v) { return vqaddq_s32(v, one); },
       [](I64 v) { return v + 1; });
 #else
   for (std::size_t i = 0; i < n; ++i)
@@ -145,6 +202,11 @@ inline void mapSub1(const std::int32_t* src, std::int32_t* dst,
   detail::mapWiden(
       src, dst, n, [one](__m256i w) { return _mm256_sub_epi64(w, one); },
       [](I64 v) { return v - 1; });
+#elif NETSYN_SIMD_NEON
+  const int32x4_t one = vdupq_n_s32(1);
+  detail::mapNeon(
+      src, dst, n, [one](int32x4_t v) { return vqsubq_s32(v, one); },
+      [](I64 v) { return v - 1; });
 #else
   for (std::size_t i = 0; i < n; ++i)
     dst[i] = saturate(static_cast<I64>(src[i]) - 1);
@@ -156,6 +218,10 @@ inline void mapMul2(const std::int32_t* src, std::int32_t* dst,
 #if NETSYN_SIMD_AVX2
   detail::mapWiden(
       src, dst, n, [](__m256i w) { return _mm256_slli_epi64(w, 1); },
+      [](I64 v) { return v * 2; });
+#elif NETSYN_SIMD_NEON
+  detail::mapNeon(
+      src, dst, n, [](int32x4_t v) { return vqaddq_s32(v, v); },
       [](I64 v) { return v * 2; });
 #else
   for (std::size_t i = 0; i < n; ++i)
@@ -170,6 +236,14 @@ inline void mapMul3(const std::int32_t* src, std::int32_t* dst,
       src, dst, n,
       [](__m256i w) { return _mm256_add_epi64(_mm256_slli_epi64(w, 1), w); },
       [](I64 v) { return v * 3; });
+#elif NETSYN_SIMD_NEON
+  // sat(sat(2x) + x) == sat(3x): once 2x saturates, adding x (same sign)
+  // stays pinned at the rail 3x would also hit; otherwise both sums are
+  // exact in int33 and the saturating add clamps the true total.
+  detail::mapNeon(
+      src, dst, n,
+      [](int32x4_t v) { return vqaddq_s32(vqaddq_s32(v, v), v); },
+      [](I64 v) { return v * 3; });
 #else
   for (std::size_t i = 0; i < n; ++i)
     dst[i] = saturate(static_cast<I64>(src[i]) * 3);
@@ -181,6 +255,10 @@ inline void mapMul4(const std::int32_t* src, std::int32_t* dst,
 #if NETSYN_SIMD_AVX2
   detail::mapWiden(
       src, dst, n, [](__m256i w) { return _mm256_slli_epi64(w, 2); },
+      [](I64 v) { return v * 4; });
+#elif NETSYN_SIMD_NEON
+  detail::mapNeon(
+      src, dst, n, [](int32x4_t v) { return vqshlq_n_s32(v, 2); },
       [](I64 v) { return v * 4; });
 #else
   for (std::size_t i = 0; i < n; ++i)
@@ -195,6 +273,11 @@ inline void mapNeg(const std::int32_t* src, std::int32_t* dst,
   detail::mapWiden(
       src, dst, n, [zero](__m256i w) { return _mm256_sub_epi64(zero, w); },
       [](I64 v) { return -v; });
+#elif NETSYN_SIMD_NEON
+  // vqneg maps INT32_MIN to INT32_MAX — exactly saturate(-(I64)x).
+  detail::mapNeon(
+      src, dst, n, [](int32x4_t v) { return vqnegq_s32(v); },
+      [](I64 v) { return -v; });
 #else
   for (std::size_t i = 0; i < n; ++i)
     dst[i] = saturate(-static_cast<I64>(src[i]));
@@ -208,6 +291,17 @@ inline void mapSquare(const std::int32_t* src, std::int32_t* dst,
   // exactly the widened original element — into an exact 64-bit square.
   detail::mapWiden(
       src, dst, n, [](__m256i w) { return _mm256_mul_epi32(w, w); },
+      [](I64 v) { return v * v; });
+#elif NETSYN_SIMD_NEON
+  // vmull_s32 widens to an exact 64-bit square; vqmovn_s64 is the
+  // saturating narrow — together saturate(x*x).
+  detail::mapNeon(
+      src, dst, n,
+      [](int32x4_t v) {
+        const int64x2_t lo = vmull_s32(vget_low_s32(v), vget_low_s32(v));
+        const int64x2_t hi = vmull_s32(vget_high_s32(v), vget_high_s32(v));
+        return vcombine_s32(vqmovn_s64(lo), vqmovn_s64(hi));
+      },
       [](I64 v) { return v * v; });
 #else
   for (std::size_t i = 0; i < n; ++i) {
@@ -231,6 +325,11 @@ inline void mapDiv2(const std::int32_t* src, std::int32_t* dst,
     const __m256i q = _mm256_srai_epi32(_mm256_add_epi32(v, bias), 1);
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), q);
   }
+#elif NETSYN_SIMD_NEON
+  for (; i + kLaneWidth <= n; i += kLaneWidth) {
+    const int32x4_t v = vld1q_s32(src + i);
+    vst1q_s32(dst + i, vshrq_n_s32(vaddq_s32(v, detail::signBit(v)), 1));
+  }
 #endif
   for (; i < n; ++i) dst[i] = src[i] / 2;
 }
@@ -246,6 +345,13 @@ inline void mapDiv4(const std::int32_t* src, std::int32_t* dst,
     const __m256i bias = _mm256_and_si256(_mm256_srai_epi32(v, 31), three);
     const __m256i q = _mm256_srai_epi32(_mm256_add_epi32(v, bias), 2);
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), q);
+  }
+#elif NETSYN_SIMD_NEON
+  const int32x4_t three = vdupq_n_s32(3);
+  for (; i + kLaneWidth <= n; i += kLaneWidth) {
+    const int32x4_t v = vld1q_s32(src + i);
+    const int32x4_t bias = vandq_s32(vshrq_n_s32(v, 31), three);
+    vst1q_s32(dst + i, vshrq_n_s32(vaddq_s32(v, bias), 2));
   }
 #endif
   for (; i < n; ++i) dst[i] = src[i] / 4;
@@ -278,6 +384,22 @@ inline void mapDiv3(const std::int32_t* src, std::int32_t* dst,
                         _mm256_set_m128i(hi, lo));
   }
   for (; i < n; ++i) dst[i] = src[i] / 3;
+#elif NETSYN_SIMD_NEON
+  // Same magic multiply as the AVX2 path: x/3 == hi32(x * 0x55555556) +
+  // (x < 0). vmull_s32 makes the product exact in 64 bits, the arithmetic
+  // shift extracts hi32 (which always fits int32 — quotients are in range),
+  // and vmovn_s64 keeps just that dword.
+  const int32x2_t magic = vdup_n_s32(0x55555556);
+  std::size_t i = 0;
+  for (; i + kLaneWidth <= n; i += kLaneWidth) {
+    const int32x4_t v = vld1q_s32(src + i);
+    const int64x2_t plo = vmull_s32(vget_low_s32(v), magic);
+    const int64x2_t phi = vmull_s32(vget_high_s32(v), magic);
+    const int32x4_t hi32 = vcombine_s32(vmovn_s64(vshrq_n_s64(plo, 32)),
+                                        vmovn_s64(vshrq_n_s64(phi, 32)));
+    vst1q_s32(dst + i, vaddq_s32(hi32, detail::signBit(v)));
+  }
+  for (; i < n; ++i) dst[i] = src[i] / 3;
 #else
   for (std::size_t i = 0; i < n; ++i) dst[i] = src[i] / 3;
 #endif
@@ -293,6 +415,11 @@ inline void zipAdd(const std::int32_t* a, const std::int32_t* b,
       a, b, dst, n,
       [](__m256i x, __m256i y) { return _mm256_add_epi64(x, y); },
       [](I64 x, I64 y) { return x + y; });
+#elif NETSYN_SIMD_NEON
+  detail::zipNeon(
+      a, b, dst, n,
+      [](int32x4_t x, int32x4_t y) { return vqaddq_s32(x, y); },
+      [](I64 x, I64 y) { return x + y; });
 #else
   for (std::size_t i = 0; i < n; ++i)
     dst[i] = saturate(static_cast<I64>(a[i]) + b[i]);
@@ -306,6 +433,11 @@ inline void zipSub(const std::int32_t* a, const std::int32_t* b,
       a, b, dst, n,
       [](__m256i x, __m256i y) { return _mm256_sub_epi64(x, y); },
       [](I64 x, I64 y) { return x - y; });
+#elif NETSYN_SIMD_NEON
+  detail::zipNeon(
+      a, b, dst, n,
+      [](int32x4_t x, int32x4_t y) { return vqsubq_s32(x, y); },
+      [](I64 x, I64 y) { return x - y; });
 #else
   for (std::size_t i = 0; i < n; ++i)
     dst[i] = saturate(static_cast<I64>(a[i]) - b[i]);
@@ -318,6 +450,15 @@ inline void zipMul(const std::int32_t* a, const std::int32_t* b,
   detail::zipWiden(
       a, b, dst, n,
       [](__m256i x, __m256i y) { return _mm256_mul_epi32(x, y); },
+      [](I64 x, I64 y) { return x * y; });
+#elif NETSYN_SIMD_NEON
+  detail::zipNeon(
+      a, b, dst, n,
+      [](int32x4_t x, int32x4_t y) {
+        const int64x2_t lo = vmull_s32(vget_low_s32(x), vget_low_s32(y));
+        const int64x2_t hi = vmull_s32(vget_high_s32(x), vget_high_s32(y));
+        return vcombine_s32(vqmovn_s64(lo), vqmovn_s64(hi));
+      },
       [](I64 x, I64 y) { return x * y; });
 #else
   for (std::size_t i = 0; i < n; ++i)
@@ -338,6 +479,9 @@ inline void zipMin(const std::int32_t* a, const std::int32_t* b,
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
                         _mm256_min_epi32(va, vb));
   }
+#elif NETSYN_SIMD_NEON
+  for (; i + kLaneWidth <= n; i += kLaneWidth)
+    vst1q_s32(dst + i, vminq_s32(vld1q_s32(a + i), vld1q_s32(b + i)));
 #endif
   for (; i < n; ++i) dst[i] = a[i] < b[i] ? a[i] : b[i];
 }
@@ -354,6 +498,9 @@ inline void zipMax(const std::int32_t* a, const std::int32_t* b,
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
                         _mm256_max_epi32(va, vb));
   }
+#elif NETSYN_SIMD_NEON
+  for (; i + kLaneWidth <= n; i += kLaneWidth)
+    vst1q_s32(dst + i, vmaxq_s32(vld1q_s32(a + i), vld1q_s32(b + i)));
 #endif
   for (; i < n; ++i) dst[i] = a[i] > b[i] ? a[i] : b[i];
 }

@@ -12,10 +12,8 @@ std::vector<std::int32_t> tokensOf(const dsl::Value& v) {
 
 }  // namespace
 
-std::size_t valueEditDistance(const dsl::Value& a, const dsl::Value& b) {
-  const auto xs = tokensOf(a);
-  const auto ys = tokensOf(b);
-  const std::size_t n = xs.size(), m = ys.size();
+std::size_t editDistanceSpans(const std::int32_t* xs, std::size_t n,
+                              const std::int32_t* ys, std::size_t m) {
   if (n == 0) return m;
   if (m == 0) return n;
   std::vector<std::size_t> prev(m + 1), curr(m + 1);
@@ -29,6 +27,12 @@ std::size_t valueEditDistance(const dsl::Value& a, const dsl::Value& b) {
     std::swap(prev, curr);
   }
   return prev[m];
+}
+
+std::size_t valueEditDistance(const dsl::Value& a, const dsl::Value& b) {
+  const auto xs = tokensOf(a);
+  const auto ys = tokensOf(b);
+  return editDistanceSpans(xs.data(), xs.size(), ys.data(), ys.size());
 }
 
 double EditDistanceFitness::score(const dsl::Program&,

@@ -20,6 +20,12 @@ namespace netsyn::fitness {
 /// why both shipped domains use it as their output metric.
 std::size_t valueEditDistance(const dsl::Value& a, const dsl::Value& b);
 
+/// The same Levenshtein core over raw token spans. `valueEditDistance` is a
+/// thin wrapper over this; the lane-view trace encoder calls it directly on
+/// SoA arena segments so no `Value` is materialized on the hot path.
+std::size_t editDistanceSpans(const std::int32_t* xs, std::size_t n,
+                              const std::int32_t* ys, std::size_t m);
+
 class EditDistanceFitness final : public FitnessFunction {
  public:
   /// Grades with the domain's output metric (Domain::editDistance; nullptr

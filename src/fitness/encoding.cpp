@@ -14,17 +14,29 @@ std::size_t TokenEncoder::tokenOf(std::int32_t v) const {
 std::vector<std::size_t> TokenEncoder::encodeValue(const dsl::Value& v) const {
   std::vector<std::size_t> out;
   if (v.isInt()) {
-    out.reserve(2);
-    out.push_back(intMarker());
-    out.push_back(tokenOf(v.asInt()));
-    return out;
+    encodeIntInto(v.asInt(), out);
+  } else {
+    const auto& xs = v.asList();
+    encodeListInto(xs.data(), xs.size(), out);
   }
-  const auto& xs = v.asList();
-  const std::size_t n = std::min(xs.size(), config_.maxValueTokens);
-  out.reserve(n + 1);
-  out.push_back(listMarker());
-  for (std::size_t i = 0; i < n; ++i) out.push_back(tokenOf(xs[i]));
   return out;
+}
+
+void TokenEncoder::encodeIntInto(std::int32_t v,
+                                 std::vector<std::size_t>& out) const {
+  out.clear();
+  out.reserve(2);
+  out.push_back(intMarker());
+  out.push_back(tokenOf(v));
+}
+
+void TokenEncoder::encodeListInto(const std::int32_t* xs, std::size_t n,
+                                  std::vector<std::size_t>& out) const {
+  out.clear();
+  const std::size_t take = std::min(n, config_.maxValueTokens);
+  out.reserve(take + 1);
+  out.push_back(listMarker());
+  for (std::size_t i = 0; i < take; ++i) out.push_back(tokenOf(xs[i]));
 }
 
 std::vector<std::size_t> TokenEncoder::encodeInputs(

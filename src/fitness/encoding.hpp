@@ -41,6 +41,14 @@ class TokenEncoder {
   /// Token sequence of a value: [type marker, element tokens...].
   std::vector<std::size_t> encodeValue(const dsl::Value& v) const;
 
+  /// Segment variants of encodeValue for the lane-view trace path: fill a
+  /// caller-owned buffer (clearing it first) straight from an int cell or an
+  /// SoA arena segment, with no Value in between. Token sequences are
+  /// byte-identical to encodeValue on the equivalent Value.
+  void encodeIntInto(std::int32_t v, std::vector<std::size_t>& out) const;
+  void encodeListInto(const std::int32_t* xs, std::size_t n,
+                      std::vector<std::size_t>& out) const;
+
   /// Token sequence of an input tuple: concatenated value encodings.
   std::vector<std::size_t> encodeInputs(
       const std::vector<dsl::Value>& inputs) const;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "dsl/domain.hpp"
+#include "dsl/interpreter.hpp"
 #include "fitness/edit.hpp"
 
 namespace netsyn::fitness {
@@ -23,26 +24,49 @@ nn::Var stepMatchFeatures(const dsl::Value& traceValue,
   return nn::constant(std::move(f));
 }
 
-/// 64-bit FNV-1a fingerprint of a DSL value (type tag + payload). Shared by
-/// the trace-encoding and edit-distance memos.
-std::uint64_t valueFingerprint(const dsl::Value& v) {
+/// 64-bit FNV-1a over (type tag + payload words). The lane-view path
+/// fingerprints arena segments with the segment helpers below; they must
+/// stay byte-for-byte identical to valueFingerprint so both paths hit the
+/// same memo cells (that identity is what makes the encoded scores bitwise
+/// equal to the scalar path's).
+struct FnvMixer {
   std::uint64_t h = 0xcbf29ce484222325ULL;
-  const auto mix = [&h](std::uint64_t x) {
+  void mix(std::uint64_t x) {
     for (std::size_t b = 0; b < 8; ++b) {
       h ^= (x >> (8 * b)) & 0xff;
       h *= 0x100000001b3ULL;
     }
-  };
-  mix(static_cast<std::uint64_t>(v.type()));
-  if (v.isInt()) {
-    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v.asInt())));
-  } else {
-    const auto& xs = v.asList();
-    mix(xs.size());
-    for (std::int32_t x : xs)
-      mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)));
   }
-  return h;
+};
+
+std::uint64_t laneIntFingerprint(std::int32_t v) {
+  FnvMixer f;
+  f.mix(static_cast<std::uint64_t>(dsl::Type::Int));
+  f.mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+  return f.h;
+}
+
+std::uint64_t laneListFingerprint(const std::int32_t* xs, std::size_t n) {
+  FnvMixer f;
+  f.mix(static_cast<std::uint64_t>(dsl::Type::List));
+  f.mix(n);
+  for (std::size_t i = 0; i < n; ++i)
+    f.mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(xs[i])));
+  return f.h;
+}
+
+/// Fingerprint of a DSL value; segment helpers above are its two cases.
+std::uint64_t valueFingerprint(const dsl::Value& v) {
+  if (v.isInt()) return laneIntFingerprint(v.asInt());
+  const auto& xs = v.asList();
+  return laneListFingerprint(xs.data(), xs.size());
+}
+
+/// Combined key of the edit-distance memo (trace fp mixed with output fp).
+std::uint64_t editKey(std::uint64_t traceFp, std::uint64_t outputFp) {
+  std::uint64_t key = traceFp;
+  key ^= outputFp + 0x9e3779b97f4a7c15ULL + (key << 6) + (key >> 2);
+  return key;
 }
 
 }  // namespace
@@ -310,38 +334,226 @@ std::vector<float> NnffModel::forwardIOOnlyFast(const dsl::Spec& spec) const {
   return logits;
 }
 
-const std::vector<float>& NnffModel::traceEncodingMemo(
-    const dsl::Value& value, std::uint64_t valueFp) const {
-  // Keyed by the value's own fingerprint so a hit skips tokenization too
-  // (two values that clamp/truncate to the same token sequence just occupy
-  // two entries with equal encodings — correct either way).
-  const std::uint64_t key = valueFp;
+const std::vector<float>* NnffModel::findTraceMemo(std::uint64_t key) const {
   const auto it = traceMemo_.find(key);
-  if (it != traceMemo_.end()) return it->second;
-  // Bound the memo so a long-running service cannot grow it without limit;
-  // a full clear is simpler than LRU and amortizes to nothing.
-  constexpr std::size_t kMaxEntries = 1u << 15;
-  if (traceMemo_.size() >= kMaxEntries) traceMemo_.clear();
-  const auto tokens = encoder_.encodeValue(value);
+  if (it != traceMemo_.end()) {
+    ++memoStats_.traceHits;
+    return &it->second;
+  }
+  const auto pit = traceMemoPrev_.find(key);
+  if (pit != traceMemoPrev_.end()) {
+    ++memoStats_.traceHits;
+    // Promote previous-generation hits so the working set survives the next
+    // rotation. Node extraction moves the element wholesale — the mapped
+    // vector's heap buffer (and thus the returned reference) stays put.
+    auto node = traceMemoPrev_.extract(pit);
+    return &traceMemo_.insert(std::move(node)).position->second;
+  }
+  ++memoStats_.traceMisses;
+  return nullptr;
+}
+
+const std::vector<float>& NnffModel::insertTraceMemo(
+    std::uint64_t key, const std::vector<std::size_t>& tokens) const {
+  // Rotate generations at capacity: the current map becomes the previous
+  // one (whose stale entries are dropped, their bucket array recycled), so
+  // recently touched entries stay findable instead of being thrown away
+  // wholesale. Live memory is bounded by 2x memoCapacity_ entries.
+  if (traceMemo_.size() >= memoCapacity_) {
+    std::swap(traceMemo_, traceMemoPrev_);
+    traceMemo_.clear();
+  }
   std::vector<float> h(config_.hiddenDim);
   nn::lstmEncodeTokensFast(*traceLstm_, *valueEmb_, tokens, h.data(),
                            scratch_);
   return traceMemo_.emplace(key, std::move(h)).first->second;
 }
 
+const std::vector<float>& NnffModel::traceEncodingMemo(
+    const dsl::Value& value, std::uint64_t valueFp) const {
+  // Keyed by the value's own fingerprint so a hit skips tokenization too
+  // (two values that clamp/truncate to the same token sequence just occupy
+  // two entries with equal encodings — correct either way).
+  if (const auto* hit = findTraceMemo(valueFp)) return *hit;
+  return insertTraceMemo(valueFp, encoder_.encodeValue(value));
+}
+
+const std::vector<float>& NnffModel::traceEncodingMemoSpan(
+    std::uint64_t fp, bool isInt, const std::int32_t* xs,
+    std::size_t n) const {
+  if (const auto* hit = findTraceMemo(fp)) return *hit;
+  // Miss: tokenize straight from the segment into a reused scratch buffer —
+  // same token sequence encodeValue would produce for the equivalent Value.
+  if (isInt)
+    encoder_.encodeIntInto(xs[0], laneTokenScratch_);
+  else
+    encoder_.encodeListInto(xs, n, laneTokenScratch_);
+  return insertTraceMemo(fp, laneTokenScratch_);
+}
+
+const std::size_t* NnffModel::findEditMemo(std::uint64_t key) const {
+  const auto it = editMemo_.find(key);
+  if (it != editMemo_.end()) {
+    ++memoStats_.editHits;
+    return &it->second;
+  }
+  const auto pit = editMemoPrev_.find(key);
+  if (pit != editMemoPrev_.end()) {
+    ++memoStats_.editHits;
+    auto node = editMemoPrev_.extract(pit);
+    return &editMemo_.insert(std::move(node)).position->second;
+  }
+  ++memoStats_.editMisses;
+  return nullptr;
+}
+
 std::size_t NnffModel::editDistanceMemo(const dsl::Value& traceValue,
                                         std::uint64_t traceFp,
                                         std::uint64_t outputFp,
                                         const dsl::Value& output) const {
-  std::uint64_t key = traceFp;
-  key ^= outputFp + 0x9e3779b97f4a7c15ULL + (key << 6) + (key >> 2);
-  const auto it = editMemo_.find(key);
-  if (it != editMemo_.end()) return it->second;
-  constexpr std::size_t kMaxEntries = 1u << 15;
-  if (editMemo_.size() >= kMaxEntries) editMemo_.clear();
+  const std::uint64_t key = editKey(traceFp, outputFp);
+  if (const auto* hit = findEditMemo(key)) return *hit;
+  if (editMemo_.size() >= memoCapacity_) {
+    std::swap(editMemo_, editMemoPrev_);
+    editMemo_.clear();
+  }
   const std::size_t dist = valueEditDistance(traceValue, output);
   editMemo_.emplace(key, dist);
   return dist;
+}
+
+std::size_t NnffModel::editDistanceMemoSpan(
+    std::uint64_t traceFp, std::uint64_t outputFp, const std::int32_t* xs,
+    std::size_t n, const std::vector<std::int32_t>& outToks) const {
+  const std::uint64_t key = editKey(traceFp, outputFp);
+  if (const auto* hit = findEditMemo(key)) return *hit;
+  if (editMemo_.size() >= memoCapacity_) {
+    std::swap(editMemo_, editMemoPrev_);
+    editMemo_.clear();
+  }
+  const std::size_t dist =
+      editDistanceSpans(xs, n, outToks.data(), outToks.size());
+  editMemo_.emplace(key, dist);
+  return dist;
+}
+
+void NnffModel::setMemoCapacity(std::size_t cap) {
+  memoCapacity_ = std::max<std::size_t>(cap, 1);
+  traceMemo_.clear();
+  traceMemoPrev_.clear();
+  editMemo_.clear();
+  editMemoPrev_.clear();
+  memoStats_ = MemoStats{};
+}
+
+void NnffModel::beginLaneCapture(const dsl::Spec& spec) const {
+  const std::size_t m = std::min(spec.size(), config_.maxExamples);
+  laneOutputFps_.resize(m);
+  laneOutputToks_.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const dsl::Value& out = spec.examples[i].output;
+    laneOutputFps_[i] = valueFingerprint(out);
+    if (out.isList())
+      laneOutputToks_[i] = out.asList();
+    else
+      laneOutputToks_[i].assign(1, out.asInt());
+  }
+  laneCaptureSpec_ = &spec;
+}
+
+void NnffModel::encodeLaneTrace(const dsl::Spec& spec,
+                                const dsl::Program& candidate,
+                                const dsl::LaneTraceView& view,
+                                EncodedTrace& out) const {
+  if (!config_.useTrace)
+    throw std::logic_error("NnffModel::encodeLaneTrace requires useTrace=true");
+  if (&spec != laneCaptureSpec_) beginLaneCapture(spec);
+  if (view.steps != candidate.length())
+    throw std::invalid_argument("NnffModel: trace length != program length");
+  const std::size_t e = config_.embedDim;
+  const std::size_t h = config_.hiddenDim;
+  const std::size_t m = std::min(spec.size(), config_.maxExamples);
+  const std::size_t len = candidate.length();
+  const std::size_t stepWidth = e + h + 2;
+  out.length = len;
+  out.examples = m;
+  out.stepWidth = stepWidth;
+  out.steps.resize(m * len * stepWidth);
+  out.gfeat.resize(m * 4);
+
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint64_t outputFp = laneOutputFps_[i];
+    const std::vector<std::int32_t>& outToks = laneOutputToks_[i];
+    std::size_t exactSteps = 0;
+    std::size_t lastDist = 0;
+    dsl::Type lastType = dsl::Type::List;
+    for (std::size_t k = 0; k < len; ++k) {
+      float* x = out.steps.data() + (i * len + k) * stepWidth;
+      const float* fRow =
+          funcEmb_->table().data() + funcRow(candidate.at(k)) * e;
+      std::copy(fRow, fRow + e, x);
+      std::size_t dist;
+      if (view.stepType(k) == dsl::Type::Int) {
+        const std::int32_t v = view.intAt(k, i);
+        const std::uint64_t tvFp = laneIntFingerprint(v);
+        const auto& tEnc = traceEncodingMemoSpan(tvFp, /*isInt=*/true, &v, 1);
+        std::copy(tEnc.begin(), tEnc.end(), x + e);
+        dist = editDistanceMemoSpan(tvFp, outputFp, &v, 1, outToks);
+        lastType = dsl::Type::Int;
+      } else {
+        std::size_t segLen = 0;
+        const std::int32_t* seg = view.listAt(k, i, &segLen);
+        const std::uint64_t tvFp = laneListFingerprint(seg, segLen);
+        const auto& tEnc =
+            traceEncodingMemoSpan(tvFp, /*isInt=*/false, seg, segLen);
+        std::copy(tEnc.begin(), tEnc.end(), x + e);
+        dist = editDistanceMemoSpan(tvFp, outputFp, seg, segLen, outToks);
+        lastType = dsl::Type::List;
+      }
+      x[e + h] = 1.0f / (1.0f + static_cast<float>(dist));
+      x[e + h + 1] = (dist == 0) ? 1.0f : 0.0f;
+      if (dist == 0) ++exactSteps;
+      lastDist = dist;
+    }
+    // Example-level features. An empty program's final value is the default
+    // (empty) list; otherwise the last step's distance is reused — it was
+    // just computed against the same memo key the scalar path probes.
+    std::size_t finalDist;
+    dsl::Type finalType;
+    if (len == 0) {
+      finalType = dsl::Type::List;
+      finalDist = editDistanceMemoSpan(laneListFingerprint(nullptr, 0),
+                                       outputFp, nullptr, 0, outToks);
+    } else {
+      finalType = lastType;
+      finalDist = lastDist;
+    }
+    float* g = out.gfeat.data() + i * 4;
+    g[0] = 1.0f / (1.0f + static_cast<float>(finalDist));
+    g[1] = (finalDist == 0) ? 1.0f : 0.0f;
+    g[2] = (finalType == spec.examples[i].output.type()) ? 1.0f : 0.0f;
+    g[3] = len == 0 ? 0.0f
+                    : static_cast<float>(exactSteps) / static_cast<float>(len);
+  }
+}
+
+std::vector<std::vector<float>> NnffModel::predictBatchEncoded(
+    const dsl::Spec& spec, const std::vector<const dsl::Program*>& candidates,
+    const std::vector<const EncodedTrace*>& encoded) const {
+  const std::size_t batch = candidates.size();
+  if (batch == 0) return {};
+  if (!config_.useTrace)
+    throw std::logic_error(
+        "NnffModel::predictBatchEncoded requires useTrace=true");
+  if (encoded.size() != batch)
+    throw std::invalid_argument("NnffModel: one encoded trace per candidate");
+  const std::size_t m = std::min(spec.size(), config_.maxExamples);
+  for (std::size_t b = 0; b < batch; ++b) {
+    if (encoded[b] == nullptr || encoded[b]->examples < m)
+      throw std::invalid_argument(
+          "NnffModel: encoded trace covers too few examples");
+  }
+  return predictBatchImpl(spec, candidates, {}, &encoded);
 }
 
 std::vector<std::vector<float>> NnffModel::predictBatch(
@@ -388,7 +600,8 @@ std::vector<std::vector<float>> NnffModel::predictBatchRuns(
 
 std::vector<std::vector<float>> NnffModel::predictBatchImpl(
     const dsl::Spec& spec, const std::vector<const dsl::Program*>& candidates,
-    const std::vector<const std::vector<dsl::Value>*>& traceTable) const {
+    const std::vector<const std::vector<dsl::Value>*>& traceTable,
+    const std::vector<const EncodedTrace*>* encoded) const {
   const std::size_t batch = candidates.size();
   const std::size_t h = config_.hiddenDim;
   const std::size_t e = config_.embedDim;
@@ -433,12 +646,14 @@ std::vector<std::vector<float>> NnffModel::predictBatchImpl(
     if (config_.useTrace) {
       // Program branch, batched over genes: step k runs all genes that are
       // at least k+1 long through stepLstm as one B x (e+h+2) block.
-      const std::uint64_t outputFp = valueFingerprint(example.output);
+      const std::uint64_t outputFp =
+          encoded ? 0 : valueFingerprint(example.output);
       const std::size_t stepWidth = e + h + 2;
       std::size_t maxLen = 0;
       for (std::size_t b = 0; b < batch; ++b) {
-        const auto& trace = *traceTable[b * m + i];
-        if (trace.size() != candidates[b]->length())
+        const std::size_t traceLen = encoded ? (*encoded)[b]->length
+                                             : traceTable[b * m + i]->size();
+        if (traceLen != candidates[b]->length())
           throw std::invalid_argument(
               "NnffModel: trace length != program length");
         maxLen = std::max(maxLen, candidates[b]->length());
@@ -453,6 +668,16 @@ std::vector<std::vector<float>> NnffModel::predictBatchImpl(
           active[b] = k < candidates[b]->length() ? 1 : 0;
           if (!active[b]) continue;
           float* x = xStep.data() + b * stepWidth;
+          if (encoded) {
+            // Lane path: the full stepLstm input row was produced by
+            // encodeLaneTrace; feed it verbatim (exactSteps is already
+            // folded into the encoded example features).
+            const EncodedTrace& et = *(*encoded)[b];
+            const float* row =
+                et.steps.data() + (i * et.length + k) * et.stepWidth;
+            std::copy(row, row + stepWidth, x);
+            continue;
+          }
           const float* fRow =
               funcEmb_->table().data() + funcRow(candidates[b]->at(k)) * e;
           std::copy(fRow, fRow + e, x);
@@ -474,6 +699,12 @@ std::vector<std::vector<float>> NnffModel::predictBatchImpl(
           hMul[b * h + j] = hOut[j] * hProg[b * h + j];
       std::vector<float> g(batch * 4);
       for (std::size_t b = 0; b < batch; ++b) {
+        if (encoded) {
+          const EncodedTrace& et = *(*encoded)[b];
+          std::copy(et.gfeat.data() + i * 4, et.gfeat.data() + (i + 1) * 4,
+                    g.data() + b * 4);
+          continue;
+        }
         const std::size_t len = candidates[b]->length();
         const dsl::Value& finalValue =
             len == 0 ? dsl::kEmptyListValue : (*traceTable[b * m + i]).back();

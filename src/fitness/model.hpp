@@ -29,10 +29,25 @@
 #include "nn/serialize.hpp"
 
 namespace netsyn::dsl {
-struct Domain;  // domain.hpp
+struct Domain;         // domain.hpp
+struct LaneTraceView;  // lanes.hpp
 }
 
 namespace netsyn::fitness {
+
+/// One candidate's NN-ready trace features, encoded straight from a
+/// LaneTraceView by NnffModel::encodeLaneTrace: per (example i, step k) the
+/// full stepLstm input row [funcEmb | trace encoding | match features], plus
+/// the four example-level summary features. predictBatchEncoded feeds the
+/// rows into the batched LSTMs directly, so the lane path never
+/// materializes a trace Value.
+struct EncodedTrace {
+  std::size_t length = 0;     ///< candidate length (steps per example)
+  std::size_t examples = 0;   ///< encoded examples: min(spec size, maxExamples)
+  std::size_t stepWidth = 0;  ///< embedDim + hiddenDim + 2
+  std::vector<float> steps;   ///< rows at [(i * length + k) * stepWidth]
+  std::vector<float> gfeat;   ///< [i * 4]: final-dist features, exact fraction
+};
 
 enum class HeadKind : std::uint8_t { Classifier, Multilabel, Regression };
 
@@ -117,6 +132,42 @@ class NnffModel {
       const std::vector<const dsl::Program*>& candidates,
       const std::vector<const std::vector<dsl::ExecResult>*>& runs) const;
 
+  /// The lane-view trace path. beginLaneCapture caches per-example output
+  /// fingerprints and token spans for `spec`; encodeLaneTrace then fills
+  /// `out` with `candidate`'s step rows and example features read straight
+  /// from the SoA lane blocks — fingerprints over the lane segment, memoized
+  /// encodings copied into LSTM-ready rows, no Value materialized anywhere.
+  /// The rows are bitwise-identical to what predictBatchRuns computes from
+  /// scattered traces (same memos, same float expressions), so
+  /// predictBatchEncoded's scores equal the scalar path exactly — pinned by
+  /// the differential fuzz suite. Not thread-safe, like the other fast paths.
+  void beginLaneCapture(const dsl::Spec& spec) const;
+  void encodeLaneTrace(const dsl::Spec& spec, const dsl::Program& candidate,
+                       const dsl::LaneTraceView& view,
+                       EncodedTrace& out) const;
+
+  /// predictBatch over pre-encoded lane traces: `encoded[i]` must come from
+  /// encodeLaneTrace on candidates[i] against the same spec. Output is
+  /// bitwise-identical to predictBatchRuns on the scattered traces.
+  std::vector<std::vector<float>> predictBatchEncoded(
+      const dsl::Spec& spec,
+      const std::vector<const dsl::Program*>& candidates,
+      const std::vector<const EncodedTrace*>& encoded) const;
+
+  /// Hit/miss counters of the trace-encoding and edit-distance memos, for
+  /// tests and service stats (proves the two-generation eviction keeps the
+  /// hit rate high when the working set sits at the capacity boundary).
+  struct MemoStats {
+    std::uint64_t traceHits = 0, traceMisses = 0;
+    std::uint64_t editHits = 0, editMisses = 0;
+  };
+  MemoStats memoStats() const { return memoStats_; }
+
+  /// Test hook: shrinks the memo capacity (entries per generation map) so
+  /// boundary behavior is testable without 32k distinct values. Clears both
+  /// memos and the counters.
+  void setMemoCapacity(std::size_t cap);
+
   /// Deep copy with identical parameters and its own scratch/memo buffers —
   /// the unit of per-worker isolation for the parallel experiment runner.
   std::unique_ptr<NnffModel> clone() const;
@@ -149,11 +200,27 @@ class NnffModel {
   /// Memoized traceLstm encoding of one trace value; `valueFp` is the
   /// value's fingerprint, computed once per step by the caller and shared
   /// with editDistanceMemo. The encoding is a pure function of the value,
-  /// so entries never go stale; the memo is cleared when it outgrows its
-  /// bound. On a hit neither the token sequence nor the encoding is
-  /// recomputed.
+  /// so entries never go stale. Bounded by a two-generation scheme (see
+  /// the memo members below). On a hit neither the token sequence nor the
+  /// encoding is recomputed.
   const std::vector<float>& traceEncodingMemo(const dsl::Value& value,
                                               std::uint64_t valueFp) const;
+
+  /// Segment counterpart for the lane-view path: same memo maps, same keys
+  /// (the fingerprint of the equivalent Value), tokens drawn straight from
+  /// the arena segment (`xs[0]` for an int cell).
+  const std::vector<float>& traceEncodingMemoSpan(std::uint64_t fp,
+                                                  bool isInt,
+                                                  const std::int32_t* xs,
+                                                  std::size_t n) const;
+
+  /// Memo plumbing shared by the Value and span entry points: lookup with
+  /// previous-generation promotion, and miss-path insert (rotating the
+  /// generations at capacity).
+  const std::vector<float>* findTraceMemo(std::uint64_t key) const;
+  const std::vector<float>& insertTraceMemo(
+      std::uint64_t key, const std::vector<std::size_t>& tokens) const;
+  const std::size_t* findEditMemo(std::uint64_t key) const;
 
   /// Memoized valueEditDistance(traceValue, output); both fingerprints are
   /// precomputed by the caller (the output's once per example, the trace
@@ -164,12 +231,25 @@ class NnffModel {
                                std::uint64_t traceFp, std::uint64_t outputFp,
                                const dsl::Value& output) const;
 
-  /// Shared core of predictBatch/predictBatchRuns: traceTable[b * m + i]
-  /// points at candidate b's trace on example i (empty when !useTrace).
+  /// Segment counterpart (lane-view path): the trace side is an arena
+  /// segment, the output side the cached token span from beginLaneCapture.
+  std::size_t editDistanceMemoSpan(std::uint64_t traceFp,
+                                   std::uint64_t outputFp,
+                                   const std::int32_t* xs, std::size_t n,
+                                   const std::vector<std::int32_t>& outToks)
+      const;
+
+  /// Shared core of predictBatch/predictBatchRuns/predictBatchEncoded:
+  /// traceTable[b * m + i] points at candidate b's trace on example i (empty
+  /// when !useTrace). When `encoded` is non-null it supplies the step rows
+  /// and example features instead and traceTable is ignored — every LSTM and
+  /// combiner below the feed is the same code either way, which is what
+  /// makes the two paths bitwise-identical.
   std::vector<std::vector<float>> predictBatchImpl(
       const dsl::Spec& spec,
       const std::vector<const dsl::Program*>& candidates,
-      const std::vector<const std::vector<dsl::Value>*>& traceTable) const;
+      const std::vector<const std::vector<dsl::Value>*>& traceTable,
+      const std::vector<const EncodedTrace*>* encoded = nullptr) const;
 
   NnffConfig config_;
   const dsl::Domain* resolvedDomain_;  ///< config_.domain, null -> list
@@ -190,15 +270,36 @@ class NnffModel {
   std::unique_ptr<nn::Linear> fc2_;
   mutable nn::InferenceScratch scratch_;  ///< fast-path buffers
   /// Trace-value encoding memo for the batched path, keyed by a 64-bit
-  /// FNV-1a fingerprint of the token sequence (GA populations re-produce the
-  /// same intermediate values across genes and generations). The fingerprint
+  /// FNV-1a fingerprint of the value (GA populations re-produce the same
+  /// intermediate values across genes and generations). The fingerprint
   /// replaces a per-lookup heap-allocated string key; a collision could only
   /// substitute one value's encoding for another's in the fitness signal,
   /// and at < 2^32 distinct trace values per run is negligible.
+  ///
+  /// Bounding is two-generation: when the current map reaches capacity it
+  /// becomes the previous generation and a fresh map starts; lookups probe
+  /// current then previous, promoting previous-generation hits. A working
+  /// set sitting at the capacity boundary therefore keeps hitting (the old
+  /// wholesale clear() thrashed it to a 0% hit rate every generation), live
+  /// memory stays <= 2x capacity, and stale-but-cold entries still age out.
   mutable std::unordered_map<std::uint64_t, std::vector<float>> traceMemo_;
+  mutable std::unordered_map<std::uint64_t, std::vector<float>>
+      traceMemoPrev_;
   /// Edit-distance memo, keyed by mixed (trace value, output) fingerprints;
   /// same bounding and collision reasoning as traceMemo_.
   mutable std::unordered_map<std::uint64_t, std::size_t> editMemo_;
+  mutable std::unordered_map<std::uint64_t, std::size_t> editMemoPrev_;
+  std::size_t memoCapacity_ = 1u << 15;  ///< entries per generation map
+  mutable MemoStats memoStats_;
+
+  // Lane-capture state (beginLaneCapture): per-example output fingerprints
+  // and full token spans, so encodeLaneTrace computes them once per spec
+  // instead of once per candidate. The spec pointer detects capture context
+  // switches; encodeLaneTrace refreshes lazily when it changes.
+  mutable const dsl::Spec* laneCaptureSpec_ = nullptr;
+  mutable std::vector<std::uint64_t> laneOutputFps_;
+  mutable std::vector<std::vector<std::int32_t>> laneOutputToks_;
+  mutable std::vector<std::size_t> laneTokenScratch_;
 };
 
 }  // namespace netsyn::fitness

@@ -38,10 +38,14 @@ double expectationFromLogits(const std::vector<float>& logits) {
   return expectation;
 }
 
-/// Runs one predictBatchRuns per maximal run of contexts sharing a spec (in
+/// Runs one batched forward per maximal run of contexts sharing a spec (in
 /// the GA every context shares the generation's spec, so this is one batch)
-/// and maps each gene's logits row through `toScore`. The evaluator's
-/// ExecResults are read in place — no trace is copied.
+/// and maps each gene's logits row through `toScore`. Contexts that carry
+/// lane-encoded traces go through predictBatchEncoded; the rest read the
+/// evaluator's ExecResults in place via predictBatchRuns — either way no
+/// trace is copied. Grouping also splits on encoded-ness so a mixed
+/// population (e.g. lane-graded generation plus scatter-graded stragglers)
+/// batches each flavor separately.
 template <typename ToScore>
 std::vector<double> batchOverSharedSpecs(
     NnffModel& model, const std::vector<const dsl::Program*>& genes,
@@ -49,19 +53,27 @@ std::vector<double> batchOverSharedSpecs(
   std::vector<double> out(genes.size());
   std::size_t begin = 0;
   while (begin < genes.size()) {
+    const bool laneEncoded = contexts[begin]->encoded != nullptr;
     std::size_t end = begin + 1;
     while (end < genes.size() &&
-           &contexts[end]->spec == &contexts[begin]->spec)
+           &contexts[end]->spec == &contexts[begin]->spec &&
+           (contexts[end]->encoded != nullptr) == laneEncoded)
       ++end;
     const std::size_t n = end - begin;
     std::vector<const dsl::Program*> progs(n);
-    std::vector<const std::vector<dsl::ExecResult>*> runs(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      progs[i] = genes[begin + i];
-      runs[i] = &contexts[begin + i]->runs;
+    for (std::size_t i = 0; i < n; ++i) progs[i] = genes[begin + i];
+    std::vector<std::vector<float>> logits;
+    if (laneEncoded) {
+      std::vector<const EncodedTrace*> encoded(n);
+      for (std::size_t i = 0; i < n; ++i)
+        encoded[i] = contexts[begin + i]->encoded;
+      logits =
+          model.predictBatchEncoded(contexts[begin]->spec, progs, encoded);
+    } else {
+      std::vector<const std::vector<dsl::ExecResult>*> runs(n);
+      for (std::size_t i = 0; i < n; ++i) runs[i] = &contexts[begin + i]->runs;
+      logits = model.predictBatchRuns(contexts[begin]->spec, progs, runs);
     }
-    const auto logits =
-        model.predictBatchRuns(contexts[begin]->spec, progs, runs);
     for (std::size_t i = 0; i < n; ++i) out[begin + i] = toScore(logits[i]);
     begin = end;
   }
@@ -72,19 +84,25 @@ std::vector<double> batchOverSharedSpecs(
 
 NeuralFitness::NeuralFitness(std::shared_ptr<NnffModel> model,
                              std::string name)
-    : model_(std::move(model)), name_(std::move(name)) {
+    : model_(std::move(model)), name_(std::move(name)), sink_(model_.get()) {
   if (model_->config().head != HeadKind::Classifier)
     throw std::invalid_argument("NeuralFitness requires a Classifier head");
 }
 
 std::vector<double> NeuralFitness::classProbabilities(
     const dsl::Program& gene, const EvalContext& ctx) const {
+  if (ctx.encoded)
+    return softmaxOfLogits(
+        model_->predictBatchEncoded(ctx.spec, {&gene}, {ctx.encoded})[0]);
   return softmaxOfLogits(
       model_->forwardFast(ctx.spec, gene, tracesFromRuns(ctx.runs)));
 }
 
 double NeuralFitness::score(const dsl::Program& gene,
                             const EvalContext& ctx) {
+  if (ctx.encoded)
+    return expectationFromLogits(
+        model_->predictBatchEncoded(ctx.spec, {&gene}, {ctx.encoded})[0]);
   return expectationFromLogits(
       model_->forwardFast(ctx.spec, gene, tracesFromRuns(ctx.runs)));
 }
@@ -153,7 +171,7 @@ std::vector<double> ProbMapFitness::scoreBatch(
 }
 
 RegressionFitness::RegressionFitness(std::shared_ptr<NnffModel> model)
-    : model_(std::move(model)) {
+    : model_(std::move(model)), sink_(model_.get()) {
   if (model_->config().head != HeadKind::Regression)
     throw std::invalid_argument("RegressionFitness requires Regression head");
 }
@@ -161,7 +179,9 @@ RegressionFitness::RegressionFitness(std::shared_ptr<NnffModel> model)
 double RegressionFitness::score(const dsl::Program& gene,
                                 const EvalContext& ctx) {
   const auto pred =
-      model_->forwardFast(ctx.spec, gene, tracesFromRuns(ctx.runs));
+      ctx.encoded
+          ? model_->predictBatchEncoded(ctx.spec, {&gene}, {ctx.encoded})[0]
+          : model_->forwardFast(ctx.spec, gene, tracesFromRuns(ctx.runs));
   return std::max(0.0, static_cast<double>(pred[0]));
 }
 

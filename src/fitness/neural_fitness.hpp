@@ -36,6 +36,34 @@ class ProbMapProvider {
   virtual const dsl::Domain& domain() const { return dsl::listDomain(); }
 };
 
+/// LaneTraceSink that encodes views straight into NN-ready features via
+/// NnffModel::encodeLaneTrace. Slots are preallocated in beginCapture so
+/// at(slot) references stay stable while the generation is graded.
+class ModelLaneSink final : public LaneTraceSink {
+ public:
+  explicit ModelLaneSink(const NnffModel* model) : model_(model) {}
+
+  void beginCapture(const dsl::Spec& spec, std::size_t count) override {
+    model_->beginLaneCapture(spec);
+    spec_ = &spec;
+    if (slots_.size() < count) slots_.resize(count);
+  }
+
+  void capture(std::size_t slot, const dsl::Program& candidate,
+               const dsl::LaneTraceView& view) override {
+    model_->encodeLaneTrace(*spec_, candidate, view, slots_[slot]);
+  }
+
+  const EncodedTrace& at(std::size_t slot) const override {
+    return slots_[slot];
+  }
+
+ private:
+  const NnffModel* model_;
+  const dsl::Spec* spec_ = nullptr;
+  std::vector<EncodedTrace> slots_;
+};
+
 /// f_CF / f_LCS: expectation of the classifier's predicted fitness class.
 class NeuralFitness final : public FitnessFunction {
  public:
@@ -51,6 +79,11 @@ class NeuralFitness final : public FitnessFunction {
   }
   std::string name() const override { return name_; }
 
+  /// Lane-view grading is available whenever the model reads traces.
+  LaneTraceSink* laneSink() override {
+    return model_->config().useTrace ? &sink_ : nullptr;
+  }
+
   /// Full predicted class distribution (used by tests and diagnostics).
   std::vector<double> classProbabilities(const dsl::Program& gene,
                                          const EvalContext& ctx) const;
@@ -58,6 +91,7 @@ class NeuralFitness final : public FitnessFunction {
  private:
   std::shared_ptr<NnffModel> model_;
   std::string name_;
+  ModelLaneSink sink_{nullptr};
 };
 
 /// f_FP: sum of learned per-function probabilities over the gene. The map's
@@ -107,8 +141,13 @@ class RegressionFitness final : public FitnessFunction {
   }
   std::string name() const override { return "NN_Regression"; }
 
+  LaneTraceSink* laneSink() override {
+    return model_->config().useTrace ? &sink_ : nullptr;
+  }
+
  private:
   std::shared_ptr<NnffModel> model_;
+  ModelLaneSink sink_{nullptr};
 };
 
 }  // namespace netsyn::fitness

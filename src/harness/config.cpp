@@ -1,5 +1,7 @@
 #include "harness/config.hpp"
 
+#include <cerrno>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
@@ -83,8 +85,19 @@ std::vector<std::size_t> parseLengths(const std::string& text) {
   std::string item;
   while (std::getline(ss, item, ',')) {
     if (item.empty()) continue;
-    const long v = std::stol(item);
-    if (v <= 0) throw std::invalid_argument("program length must be > 0");
+    // Range-checked parse: std::stol would throw bare std::invalid_argument
+    // / std::out_of_range on junk like "5x" or "99999999999999999999999",
+    // which surfaces as an unhelpful terminate in tools without a top-level
+    // handler. Name the flag and the offending item instead.
+    errno = 0;
+    char* end = nullptr;
+    const long v = std::strtol(item.c_str(), &end, 10);
+    if (end == item.c_str() || *end != '\0')
+      throw std::invalid_argument("--lengths: '" + item +
+                                  "' is not a number");
+    if (errno == ERANGE || v <= 0)
+      throw std::invalid_argument(
+          "--lengths: '" + item + "' is out of range (lengths must be > 0)");
     out.push_back(static_cast<std::size_t>(v));
   }
   if (out.empty()) throw std::invalid_argument("--lengths needs a value");

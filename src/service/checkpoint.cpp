@@ -372,6 +372,31 @@ bool atomicWriteFile(const std::string& path, const std::string& bytes,
     ::unlink(tmp.c_str());
     return false;
   }
+  // The rename only updated the directory entry in memory; until the parent
+  // directory itself is fsync'd, a power loss can roll the directory back
+  // and the checkpoint silently vanishes even though the rename returned
+  // success. (The file's own fsync above does not cover its directory
+  // entry.)
+  try {
+    FAULT_POINT("checkpoint.dirsync");
+  } catch (const std::exception& e) {
+    error = e.what();
+    return false;
+  }
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : slash == 0 ? "/" : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) {
+    error = "open " + dir + ": " + std::strerror(errno);
+    return false;
+  }
+  if (::fsync(dfd) != 0) {
+    error = "fsync " + dir + ": " + std::strerror(errno);
+    ::close(dfd);
+    return false;
+  }
+  ::close(dfd);
   return true;
 }
 

@@ -1,6 +1,8 @@
 #include "util/faultinject.hpp"
 
+#include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <thread>
 
@@ -25,16 +27,20 @@ std::uint64_t hashName(const std::string& s) {
 }
 
 std::uint64_t parseU64(const std::string& text, const std::string& clause) {
-  std::size_t pos = 0;
-  unsigned long long v = 0;
-  try {
-    v = std::stoull(text, &pos);
-  } catch (...) {
-    pos = 0;
-  }
-  if (pos != text.size() || text.empty())
+  // std::stoull happily parses "-1" (wrapping to 2^64-1) and leading
+  // whitespace/plus signs; a fault schedule that silently turns a typo'd
+  // count into "fire forever" is exactly the kind of bug the injector is
+  // meant to find, not introduce. Require a pure digit string.
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos)
     throw std::invalid_argument("fault spec: bad number '" + text + "' in '" +
                                 clause + "'");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE)
+    throw std::invalid_argument("fault spec: number out of range '" + text +
+                                "' in '" + clause + "'");
   return static_cast<std::uint64_t>(v);
 }
 
@@ -46,7 +52,11 @@ double parseProb(const std::string& text, const std::string& clause) {
   } catch (...) {
     pos = 0;
   }
-  if (pos != text.size() || text.empty() || v < 0.0 || v > 1.0)
+  // NaN compares false to everything, so it sails through a plain
+  // range check and later poisons the fire decision; reject non-finite
+  // values explicitly.
+  if (pos != text.size() || text.empty() || !std::isfinite(v) || v < 0.0 ||
+      v > 1.0)
     throw std::invalid_argument("fault spec: bad probability '" + text +
                                 "' in '" + clause + "'");
   return v;

@@ -226,6 +226,83 @@ TEST(ScoreBatch, DefaultLoopCoversOracleAndEditFitness) {
   expectScoreBatchParity(oracle, fx);
 }
 
+// ------------------------------------------------ memo eviction ------------
+
+TEST(TraceMemo, SecondPassIsAllHitsAtDefaultCapacity) {
+  nf::NnffModel model(smallConfig(nf::HeadKind::Classifier));
+  const auto fx = makePopulation(12, 61);
+  const auto traces = fx.traces();
+  std::vector<const std::vector<std::vector<nd::Value>>*> tracePtrs;
+  for (const auto& t : traces) tracePtrs.push_back(&t);
+
+  EXPECT_EQ(model.memoStats().traceHits, 0u);
+  EXPECT_EQ(model.memoStats().traceMisses, 0u);
+  (void)model.predictBatch(fx.spec, genePtrs(fx), tracePtrs);
+  const auto first = model.memoStats();
+  EXPECT_GT(first.traceMisses, 0u);
+  EXPECT_GT(first.editMisses, 0u);
+  (void)model.predictBatch(fx.spec, genePtrs(fx), tracePtrs);
+  const auto second = model.memoStats();
+  EXPECT_EQ(second.traceMisses, first.traceMisses)
+      << "re-encoded an already-memoized trace span";
+  EXPECT_EQ(second.editMisses, first.editMisses)
+      << "re-computed an already-memoized edit distance";
+  EXPECT_GT(second.traceHits, first.traceHits);
+}
+
+TEST(TraceMemo, CapacityBoundaryKeepsTheWorkingSetWarm) {
+  // The memos used to evict by wholesale clear() at capacity: the first
+  // insert past the limit threw away every live entry, so the next pass
+  // over an already-encoded population started cold. Two-generation
+  // eviction demotes the full map to "previous" instead, and hits there
+  // promote back — a working set that fits in one generation survives the
+  // boundary.
+  nf::NnffModel model(smallConfig(nf::HeadKind::Classifier));
+  const auto fx = makePopulation(12, 62);
+  const auto traces = fx.traces();
+  std::vector<const std::vector<std::vector<nd::Value>>*> tracePtrs;
+  for (const auto& t : traces) tracePtrs.push_back(&t);
+
+  // Measure the unique-span working set at the default (ample) capacity...
+  (void)model.predictBatch(fx.spec, genePtrs(fx), tracePtrs);
+  const std::size_t unique = model.memoStats().traceMisses;
+  ASSERT_GT(unique, 4u) << "fixture too small to exercise rotation";
+
+  // ...then make the capacity exactly that working set, so the cold pass
+  // fills the current generation to the brim without rotating.
+  // setMemoCapacity clears the memos and stats.
+  model.setMemoCapacity(unique);
+  const auto cold = model.predictBatch(fx.spec, genePtrs(fx), tracePtrs);
+  const auto first = model.memoStats();
+  EXPECT_EQ(first.traceMisses, unique) << "capacity changed the key space";
+
+  // A second, smaller population pushes the memo over capacity: its first
+  // novel span rotates generations, demoting everything the first pass
+  // encoded.
+  const auto fxB = makePopulation(2, 63);
+  const auto tracesB = fxB.traces();
+  std::vector<const std::vector<std::vector<nd::Value>>*> tracePtrsB;
+  for (const auto& t : tracesB) tracePtrsB.push_back(&t);
+  (void)model.predictBatch(fxB.spec, genePtrs(fxB), tracePtrsB);
+  const auto mid = model.memoStats();
+  ASSERT_GT(mid.traceMisses, first.traceMisses) << "no rotation was forced";
+
+  // Crossing back is where clear() used to start cold: with two
+  // generations the whole first working set is still readable, so the
+  // repeat pass adds no misses.
+  const auto warm = model.predictBatch(fx.spec, genePtrs(fx), tracePtrs);
+  const auto second = model.memoStats();
+  EXPECT_EQ(second.traceMisses, mid.traceMisses)
+      << "the rotation evicted part of the live working set";
+  EXPECT_GT(second.traceHits, mid.traceHits);
+
+  // Eviction policy must never change scores — only recompute them.
+  ASSERT_EQ(cold.size(), warm.size());
+  for (std::size_t b = 0; b < cold.size(); ++b)
+    for (std::size_t j = 0; j < cold[b].size(); ++j)
+      EXPECT_EQ(cold[b][j], warm[b][j]) << "gene " << b << " logit " << j;
+}
+
 // ------------------------------------------------ ProbMap cache fix --------
 
 TEST(ProbMapCache, InvalidatesWhenSpecContentsChangeAtSameAddress) {

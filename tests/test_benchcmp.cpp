@@ -166,6 +166,50 @@ TEST(BenchCmp, LaneRowsAreGatedWithAFloorOnMatchingBackends) {
   EXPECT_TRUE(nu::compareBenchRecords(weak, weak).anyRegression(0.15));
 }
 
+TEST(BenchCmp, TraceLaneRowGatesAtItsOwnFloor) {
+  const std::string base =
+      "{\"bench\": \"interpreter\", \"legacy_genes_per_sec\": 100000.0, "
+      "\"engine_genes_per_sec\": 400000.0, \"speedup\": 4.0, "
+      "\"lanes_genes_per_sec\": 720000.0, \"lanes_speedup\": 3.0, "
+      "\"trace_lanes_speedup\": 1.8, \"simd_backend\": \"avx2\"}";
+  EXPECT_FALSE(nu::compareBenchRecords(base, base).anyRegression(0.15));
+
+  // 1.8 -> 1.4 is a 22% drop AND below the 1.5 floor: trips.
+  const std::string dropped =
+      "{\"bench\": \"interpreter\", \"legacy_genes_per_sec\": 100000.0, "
+      "\"engine_genes_per_sec\": 400000.0, \"speedup\": 4.0, "
+      "\"lanes_genes_per_sec\": 560000.0, \"lanes_speedup\": 3.0, "
+      "\"trace_lanes_speedup\": 1.4, \"simd_backend\": \"avx2\"}";
+  EXPECT_TRUE(nu::compareBenchRecords(base, dropped).anyRegression(0.15));
+
+  // The >= 1.5x floor is absolute: a weak committed baseline cannot lower
+  // the bar for itself.
+  const std::string weak =
+      "{\"bench\": \"interpreter\", \"legacy_genes_per_sec\": 100000.0, "
+      "\"engine_genes_per_sec\": 400000.0, \"speedup\": 4.0, "
+      "\"lanes_genes_per_sec\": 560000.0, \"lanes_speedup\": 3.0, "
+      "\"trace_lanes_speedup\": 1.4, \"simd_backend\": \"avx2\"}";
+  EXPECT_TRUE(nu::compareBenchRecords(weak, weak).anyRegression(0.15));
+
+  // A baseline written by the older bench (no trace key) still compares —
+  // the trace row is simply absent.
+  const std::string old =
+      "{\"bench\": \"interpreter\", \"legacy_genes_per_sec\": 100000.0, "
+      "\"engine_genes_per_sec\": 400000.0, \"speedup\": 4.0, "
+      "\"lanes_genes_per_sec\": 720000.0, \"lanes_speedup\": 3.0, "
+      "\"simd_backend\": \"avx2\"}";
+  EXPECT_FALSE(nu::compareBenchRecords(old, base).anyRegression(0.15));
+
+  // Cross-backend comparisons demote the trace row to info like the check
+  // row: a scalar host's 1.0x against an avx2 baseline is not a regression.
+  const std::string scalarHost =
+      "{\"bench\": \"interpreter\", \"legacy_genes_per_sec\": 100000.0, "
+      "\"engine_genes_per_sec\": 400000.0, \"speedup\": 4.0, "
+      "\"lanes_genes_per_sec\": 400000.0, \"lanes_speedup\": 1.1, "
+      "\"trace_lanes_speedup\": 1.0, \"simd_backend\": \"scalar\"}";
+  EXPECT_FALSE(nu::compareBenchRecords(base, scalarHost).anyRegression(0.15));
+}
+
 TEST(BenchCmp, LaneRowsDemoteToInfoAcrossBackendsAndOldBaselines) {
   const std::string avx2 =
       "{\"bench\": \"interpreter\", \"legacy_genes_per_sec\": 100000.0, "

@@ -183,6 +183,30 @@ TEST(FaultRegistry, MalformedSpecsAreLoud) {
   reg.disarmAll();
 }
 
+TEST(FaultRegistry, NumericEdgeCasesInSpecsAreLoud) {
+  auto& reg = nu::FaultRegistry::instance();
+  reg.disarmAll();
+  // "x-1" used to slip through std::stoull by wrapping to 2^64-1: a typo'd
+  // count silently meant "fire forever". Signs, whitespace, and overflow
+  // must all be rejected as whole items.
+  EXPECT_THROW(reg.armFromText("a=throwx-1"), std::invalid_argument);
+  EXPECT_THROW(reg.armFromText("a=throw@+1"), std::invalid_argument);
+  EXPECT_THROW(reg.armFromText("a=throw@ 1"), std::invalid_argument);
+  EXPECT_THROW(reg.armFromText("a=throw@99999999999999999999999"),
+               std::invalid_argument);
+  EXPECT_THROW(reg.armFromText("a=delay:99999999999999999999999"),
+               std::invalid_argument);
+  // NaN compares false to every bound, so it used to pass the probability
+  // range check and poison the fire decision; infinities likewise.
+  EXPECT_THROW(reg.armFromText("a=throw~nan"), std::invalid_argument);
+  EXPECT_THROW(reg.armFromText("a=throw~inf"), std::invalid_argument);
+  EXPECT_THROW(reg.armFromText("a=throw~1e999"), std::invalid_argument);
+  EXPECT_FALSE(nu::FaultRegistry::armed()) << "a rejected clause was armed";
+  // The boundary itself is legal: x0 means uncapped, ~1 always fires.
+  EXPECT_NO_THROW(reg.armFromText("a=throw@1/1x0~1.0"));
+  reg.disarmAll();
+}
+
 // ------------------------------------------------- watchdog retries -------
 
 TEST(Chaos, ThrownTaskFaultsAreRetriedToBitIdenticalResults) {

@@ -5,6 +5,7 @@
 // the checksum layer rather than resuming a wrong search.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstddef>
@@ -243,6 +244,62 @@ TEST(CheckpointFiles, AtomicWriteThenReadRoundTrips) {
   EXPECT_EQ(back, "second");
   // No stray tmp file left behind.
   EXPECT_FALSE(ns::readFileBytes(path + ".tmp", back, error));
+  ::unlink(path.c_str());
+}
+
+TEST(CheckpointFiles, KillBetweenRenameAndDirsyncKeepsThePublishedFile) {
+  // The write protocol is write-tmp, fsync-tmp, rename, fsync-dir. A death
+  // in the window between rename and the directory fsync must leave the
+  // *new* contents at the path: the file's data was flushed before the
+  // rename published it, so the entry the parent observes after the child's
+  // hard exit is complete — the dir fsync only defends against the entry
+  // itself rolling back on power loss, not against torn contents.
+  const std::string path = tmpPath("dirsync-crash");
+  std::string error;
+  ASSERT_TRUE(ns::atomicWriteFile(path, "old contents", error)) << error;
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: die at the dirsync fault point (std::_Exit — no flushes, the
+    // closest an in-process test gets to kill -9 at that instant).
+    auto& reg = nu::FaultRegistry::instance();
+    reg.disarmAll();
+    reg.armFromText("checkpoint.dirsync=crash:7");
+    std::string childError;
+    ns::atomicWriteFile(path, "new contents", childError);
+    ::_exit(1);  // fault did not fire — report failure
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 7) << "child survived the dirsync crash";
+
+  std::string back;
+  ASSERT_TRUE(ns::readFileBytes(path, back, error)) << error;
+  EXPECT_EQ(back, "new contents");
+  // The tmp file was consumed by the rename before the crash.
+  EXPECT_FALSE(ns::readFileBytes(path + ".tmp", back, error));
+  ::unlink(path.c_str());
+}
+
+TEST(CheckpointFiles, DirsyncFailureIsSurfacedNotSwallowed) {
+  // An fsync error on the parent directory means the rename may not be
+  // durable: atomicWriteFile must report failure (so the watchdog retries)
+  // even though the in-memory rename already succeeded and readers see the
+  // new contents.
+  auto& reg = nu::FaultRegistry::instance();
+  reg.disarmAll();
+  reg.armFromText("checkpoint.dirsync=throw");
+  const std::string path = tmpPath("dirsync-throw");
+  std::string error;
+  EXPECT_FALSE(ns::atomicWriteFile(path, "published", error));
+  EXPECT_NE(error.find("injected fault"), std::string::npos) << error;
+  reg.disarmAll();
+
+  std::string back;
+  ASSERT_TRUE(ns::readFileBytes(path, back, error)) << error;
+  EXPECT_EQ(back, "published");
   ::unlink(path.c_str());
 }
 

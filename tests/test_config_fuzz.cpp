@@ -9,6 +9,7 @@
 #include <string>
 
 #include "harness/config.hpp"
+#include "util/argparse.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 
@@ -128,6 +129,33 @@ TEST(ConfigFuzz, UnknownOrMalformedDomainIsRejected) {
   EXPECT_EQ(nh::ExperimentConfig::fromJson("{\"domain\": \"list\"}")
                 .synthesizer.generator.domain,
             nullptr);
+}
+
+TEST(ConfigFuzz, MalformedLengthsFlagIsRejectedNamingTheFlag) {
+  // --lengths used to go through bare std::stol: junk like "5x" silently
+  // parsed its prefix, and overflow threw an unnamed std::out_of_range that
+  // surfaced as terminate in tools without a top-level handler. The parse
+  // must reject whole-item, range-check, and name the flag in the message.
+  const auto parse = [](const char* lengths) {
+    const char* argv[] = {"prog", "--scale=ci", lengths};
+    const nu::ArgParse args(3, argv);
+    return nh::ExperimentConfig::fromArgs(args);
+  };
+  EXPECT_EQ(parse("--lengths=3,5,7").programLengths,
+            (std::vector<std::size_t>{3, 5, 7}));
+  for (const char* bad :
+       {"--lengths=5x", "--lengths=99999999999999999999999", "--lengths=-3",
+        "--lengths=0", "--lengths=", "--lengths=1,two,3",
+        "--lengths=4294967295x7", "--lengths=nan"}) {
+    try {
+      parse(bad);
+      FAIL() << bad << " was accepted";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("--lengths"), std::string::npos)
+          << "message for '" << bad << "' does not name the flag: "
+          << e.what();
+    }
+  }
 }
 
 TEST(ConfigFuzz, DeepNestingHitsTheDepthCapNotTheStack) {

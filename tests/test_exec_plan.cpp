@@ -349,6 +349,104 @@ TEST(LaneExecutor, OutputOnlyPathHandlesEmptyPlanOnBothBackends) {
   EXPECT_EQ(outs[0], emptyList);
 }
 
+TEST(LaneTraceView, ViewMatchesScalarTraceCellByCell) {
+  // The no-scatter view path must expose exactly the cells the scalar
+  // engine scatters: statement k, lane j reads back the same int or the
+  // same list segment, and outputEquals agrees with the scalar output.
+  Rng rng(37);
+  const nd::Generator gen;
+  nd::Executor executor;
+  executor.setLaneExecution(true);
+  for (int rep = 0; rep < 20; ++rep) {
+    const nd::InputSignature sig = gen.randomSignature(rng);
+    const auto prog = gen.randomProgram(1 + rng.uniform(6), sig, rng);
+    ASSERT_TRUE(prog.has_value());
+    const std::size_t examples = 1 + rng.uniform(nd::SoATrace::kMaxLanes);
+    std::vector<std::vector<nd::Value>> inputs;
+    std::vector<const std::vector<nd::Value>*> inputSets;
+    inputs.reserve(examples);
+    for (std::size_t j = 0; j < examples; ++j) {
+      inputs.push_back(gen.randomInputs(sig, rng));
+      inputSets.push_back(&inputs[j]);
+    }
+    const nd::ExecPlan& plan = executor.planFor(*prog, sig);
+    std::vector<nd::ExecResult> scalar(examples);
+    nd::executePlanMulti(plan, inputSets.data(), examples, scalar.data());
+
+    nd::LaneTraceView view;
+    ASSERT_TRUE(
+        executor.executeMultiView(plan, inputSets.data(), examples, view));
+    ASSERT_EQ(view.steps, prog->length());
+    ASSERT_EQ(view.lanes, examples);
+    for (std::size_t k = 0; k < view.steps; ++k) {
+      for (std::size_t j = 0; j < examples; ++j) {
+        const nd::Value& v = scalar[j].trace[k];
+        if (view.stepType(k) == nd::Type::Int) {
+          ASSERT_TRUE(v.isInt());
+          EXPECT_EQ(view.intAt(k, j), v.asInt());
+        } else {
+          ASSERT_FALSE(v.isInt());
+          std::size_t len = 0;
+          const std::int32_t* seg = view.listAt(k, j, &len);
+          ASSERT_EQ(len, v.asList().size());
+          for (std::size_t t = 0; t < len; ++t)
+            EXPECT_EQ(seg[t], v.asList()[t]) << "slot " << k << " lane " << j;
+        }
+      }
+    }
+    for (std::size_t j = 0; j < examples; ++j) {
+      const nd::Value& out = scalar[j].output();
+      EXPECT_TRUE(view.outputEquals(j, out));
+      // A value guaranteed different — same type, perturbed contents — and
+      // a cross-type probe must both miss.
+      if (out.isInt()) {
+        EXPECT_FALSE(view.outputEquals(
+            j, nd::Value{static_cast<std::int32_t>(out.asInt() + 1)}));
+        EXPECT_FALSE(view.outputEquals(j, nd::Value{List{}}));
+      } else {
+        List longer = out.asList();
+        longer.push_back(1);
+        EXPECT_FALSE(view.outputEquals(j, nd::Value{longer}));
+        EXPECT_FALSE(view.outputEquals(j, nd::Value{0}));
+      }
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(LaneTraceView, EmptyProgramAndLaneLimits) {
+  nd::Executor executor;
+  executor.setLaneExecution(true);
+  const nd::InputSignature sig = {nd::Type::List};
+  const nd::Program empty;
+  const nd::ExecPlan& plan = executor.planFor(empty, sig);
+  const std::vector<nd::Value> in = {nd::Value{List{1, 2, 3}}};
+  const std::vector<nd::Value>* sets[] = {&in};
+
+  // An empty plan yields an empty view whose output is the default list,
+  // matching ExecResult::output() on an empty trace.
+  nd::LaneTraceView view;
+  ASSERT_TRUE(executor.executeMultiView(plan, sets, 1, view));
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.steps, 0u);
+  EXPECT_TRUE(view.outputEquals(0, nd::Value{List{}}));
+  EXPECT_FALSE(view.outputEquals(0, nd::Value{List{1}}));
+  EXPECT_FALSE(view.outputEquals(0, nd::Value{0}));
+
+  // The view path is single-group only: counts beyond kMaxLanes (and the
+  // degenerate zero) are refused so callers fall back to the scatter path.
+  std::vector<std::vector<nd::Value>> many(nd::SoATrace::kMaxLanes + 1, in);
+  std::vector<const std::vector<nd::Value>*> manySets;
+  for (auto& m : many) manySets.push_back(&m);
+  EXPECT_FALSE(executor.executeMultiView(plan, manySets.data(),
+                                         manySets.size(), view));
+  EXPECT_FALSE(executor.executeMultiView(plan, sets, 0, view));
+
+  // And it requires lane execution to be on.
+  executor.setLaneExecution(false);
+  EXPECT_FALSE(executor.executeMultiView(plan, sets, 1, view));
+}
+
 TEST(Executor, ResetCountersClearsDeltasButKeepsPlanCache) {
   Rng rng(37);
   const nd::Generator gen;

@@ -38,9 +38,11 @@
 #include "dsl/interpreter.hpp"
 #include "dsl/lanes.hpp"
 #include "dsl/program.hpp"
+#include "fitness/model.hpp"
 #include "util/rng.hpp"
 
 namespace nd = netsyn::dsl;
+namespace nf = netsyn::fitness;
 using netsyn::util::Rng;
 
 namespace {
@@ -376,6 +378,103 @@ TEST(FuzzDifferential, PinnedIngestMatchesScalarOracleAcrossCandidates) {
       inputs[j] = gen.randomInputs(sig, rng);
     executor.pinExampleInputs(inputSets.data(), kExamples);
     checkCandidates(25);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ------------------------------- lane-view NN encoding parity -------------
+
+// The NN fitness stack reads traces two ways: scattered per-example Values
+// (predictBatchRuns) and un-scattered SoA lane blocks through a
+// LaneTraceView (encodeLaneTrace + predictBatchEncoded). The lane encoder
+// recomputes fingerprints and token spans straight off the lane segments,
+// so any mismatch with the Value-walking tokenizer — ordering, sign
+// extension, empty-list defaults, the final-output edit distance — shows up
+// as a score difference here. Scores must be bitwise-equal, not just close:
+// both paths feed the same memos and the same batched LSTM rows.
+TEST(FuzzDifferential, LaneViewEncodingMatchesScalarNnScoresBitwise) {
+  nf::NnffConfig cfg;
+  cfg.encoder = {.vmax = 64, .maxValueTokens = 8};
+  cfg.embedDim = 16;
+  cfg.hiddenDim = 24;
+  cfg.maxExamples = 4;
+  cfg.head = nf::HeadKind::Classifier;
+  cfg.useTrace = true;
+  cfg.seed = 7;
+  const nf::NnffModel model(cfg);
+
+  Rng rng(0x1A2E51);
+  const nd::Generator gen;
+  constexpr std::size_t kRounds = 30;
+  constexpr std::size_t kGenes = 12;
+
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    const std::size_t length = 2 + rng.uniform(4);
+    const std::size_t examples = 3 + rng.uniform(4);
+    const auto tc = gen.randomTestCase(length, examples, false, rng);
+    ASSERT_TRUE(tc.has_value());
+    const nd::Spec& spec = tc->spec;
+    const nd::InputSignature sig = spec.signature();
+
+    std::vector<const std::vector<nd::Value>*> inputSets;
+    for (const auto& ex : spec.examples) inputSets.push_back(&ex.inputs);
+
+    // Mixed population: live generator programs and raw uniform sequences,
+    // lengths 1..6 (the encoder keys rows on per-candidate length).
+    std::vector<nd::Program> genes;
+    for (std::size_t i = 0; i < kGenes; ++i) {
+      const std::size_t len = 1 + rng.uniform(6);
+      nd::Program program = randomRawProgram(len, rng);
+      if (rng.uniform(2) == 0) {
+        if (auto live = gen.randomProgram(len, sig, rng))
+          program = std::move(*live);
+      }
+      genes.push_back(std::move(program));
+    }
+    std::vector<const nd::Program*> genePtrs;
+    for (const auto& g : genes) genePtrs.push_back(&g);
+
+    // Scalar oracle: scattered traces through predictBatchRuns.
+    nd::Executor scalarExec;
+    scalarExec.setLaneExecution(false);
+    std::vector<std::vector<nd::ExecResult>> runs(
+        kGenes, std::vector<nd::ExecResult>(examples));
+    std::vector<const std::vector<nd::ExecResult>*> runPtrs;
+    for (std::size_t b = 0; b < kGenes; ++b) {
+      const nd::ExecPlan& plan = scalarExec.planFor(genes[b], sig);
+      scalarExec.executeMulti(plan, inputSets.data(), examples,
+                              runs[b].data());
+      runPtrs.push_back(&runs[b]);
+    }
+    const auto scalar = model.predictBatchRuns(spec, genePtrs, runPtrs);
+
+    // Lane path: the view aliases the executor's scratch SoA trace, so each
+    // gene is encoded before the next execution overwrites it — the same
+    // consume-before-advance discipline the synthesizer uses.
+    nd::Executor lanesExec;
+    lanesExec.setLaneExecution(true);
+    lanesExec.pinExampleInputs(inputSets.data(), examples);
+    model.beginLaneCapture(spec);
+    std::vector<nf::EncodedTrace> encoded(kGenes);
+    std::vector<const nf::EncodedTrace*> encodedPtrs;
+    nd::LaneTraceView view;
+    for (std::size_t b = 0; b < kGenes; ++b) {
+      const nd::ExecPlan& plan = lanesExec.planFor(genes[b], sig);
+      ASSERT_TRUE(
+          lanesExec.executeMultiView(plan, inputSets.data(), examples, view));
+      model.encodeLaneTrace(spec, genes[b], view, encoded[b]);
+      encodedPtrs.push_back(&encoded[b]);
+    }
+    const auto lane = model.predictBatchEncoded(spec, genePtrs, encodedPtrs);
+
+    ASSERT_EQ(lane.size(), scalar.size());
+    for (std::size_t b = 0; b < kGenes; ++b) {
+      ASSERT_EQ(lane[b].size(), scalar[b].size());
+      for (std::size_t j = 0; j < lane[b].size(); ++j)
+        ASSERT_EQ(lane[b][j], scalar[b][j])
+            << "round " << round << " gene " << b << " logit " << j << ": "
+            << genes[b].toString();
+    }
     if (::testing::Test::HasFatalFailure()) return;
   }
 }
