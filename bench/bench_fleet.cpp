@@ -1,0 +1,115 @@
+// Fleet scaling smoke: one synthesis job spread over N synthd backend
+// subprocesses, N in {1, 2, 4}.
+//
+// Every host count runs the SAME workload with the SAME per-(seed,
+// program, run) task seeds, so the solve count must be identical across
+// the sweep (the coordinator's determinism contract — the gated metric);
+// what varies is wall-clock, which isolates the fleet's process-level
+// parallelism against its coordination overhead (hello/claim/poll round
+// trips and subprocess spawn). Uses the Edit method so the bench needs no
+// trained models.
+//
+//   $ ./bench_fleet [--synthd=./synthd] [--budget=2000] [--lengths=4]
+//                   [--programs-per-length=3] [--runs=2] [--seed=2021]
+//                   [--host-workers=1] [--json=BENCH_fleet.json]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/config.hpp"
+#include "service/fleet.hpp"
+#include "util/argparse.hpp"
+#include "util/timer.hpp"
+
+using namespace netsyn;
+
+int main(int argc, char** argv) {
+  try {
+    const util::ArgParse args(argc, argv);
+    harness::ExperimentConfig config = harness::ExperimentConfig::fromArgs(args);
+    // Bench-sized defaults unless the caller overrode them explicitly.
+    if (!args.has("lengths")) config.programLengths = {4};
+    if (!args.has("programs-per-length")) config.programsPerLength = 3;
+    if (!args.has("runs")) config.runsPerProgram = 2;
+    if (!args.has("budget")) config.searchBudget = 2000;
+
+    service::LocalBackendConfig backend;
+    backend.synthdPath = args.getString("synthd", "./synthd");
+    backend.workers =
+        static_cast<std::size_t>(args.getInt("host-workers", 1));
+
+    std::printf("=== bench_fleet ===\n");
+    std::printf("budget=%zu lengths=%zu programs/len=%zu runs=%zu\n\n",
+                config.searchBudget, config.programLengths.size(),
+                config.programsPerLength, config.runsPerProgram);
+
+    struct Row {
+      std::size_t hosts = 0;
+      std::size_t solved = 0;
+      std::size_t tasks = 0;
+      double seconds = 0.0;
+      double solvedPerSec() const {
+        return seconds > 0.0 ? static_cast<double>(solved) / seconds : 0.0;
+      }
+    };
+    std::vector<Row> rows;
+
+    for (const std::size_t hosts : {1u, 2u, 4u}) {
+      service::FleetConfig fc;
+      fc.hosts = hosts;
+      fc.pollIntervalMs = 5.0;
+
+      Row row;
+      row.hosts = hosts;
+      util::Timer timer;
+      service::FleetCoordinator fleet(fc, backend);
+      const service::FleetReport report = fleet.run(config, "Edit");
+      fleet.shutdownBackends();
+      row.seconds = timer.seconds();
+      row.tasks = report.tasks.size();
+      for (const service::TaskRecord& t : report.tasks)
+        row.solved += t.found ? 1 : 0;
+      rows.push_back(row);
+
+      std::printf("hosts=%zu  solved=%2zu/%zu  %7.3fs  %6.2f solved/sec\n",
+                  hosts, row.solved, row.tasks, row.seconds,
+                  row.solvedPerSec());
+      if (row.solved != rows.front().solved) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: hosts=%zu solved %zu but "
+                     "hosts=%zu solved %zu\n",
+                     hosts, row.solved, rows.front().hosts,
+                     rows.front().solved);
+        return 1;
+      }
+    }
+
+    const std::string jsonPath = args.getString("json", "BENCH_fleet.json");
+    if (!jsonPath.empty()) {
+      if (std::FILE* f = std::fopen(jsonPath.c_str(), "w")) {
+        std::fprintf(f,
+                     "{\"bench\": \"fleet\", \"budget\": %zu, "
+                     "\"tasks\": %zu, \"sweep\": [",
+                     config.searchBudget, rows.front().tasks);
+        const double base = rows.front().solvedPerSec();
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          const Row& r = rows[i];
+          std::fprintf(f,
+                       "%s{\"hosts\": %zu, \"solved\": %zu, "
+                       "\"seconds\": %.4f, \"solved_per_sec\": %.3f, "
+                       "\"scaling_vs_1host\": %.3f}",
+                       i ? ", " : "", r.hosts, r.solved, r.seconds,
+                       r.solvedPerSec(),
+                       base > 0.0 ? r.solvedPerSec() / base : 0.0);
+        }
+        std::fprintf(f, "]}\n");
+        std::fclose(f);
+        std::printf("\n[json written to %s]\n", jsonPath.c_str());
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[bench_fleet] fatal: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,123 @@
+// fleet_coord — deterministic multi-host synthesis coordinator.
+//
+// Spawns N synthd backends (one subprocess per "host", each with its own
+// durable state dir), partitions a job's (program, run) tasks across them
+// by rendezvous hashing, and merges their claim results into one report
+// whose bytes are identical for any host count — including runs where a
+// backend is killed mid-claim and its tasks fail over to the survivors
+// (service/fleet.hpp).
+//
+// Usage:
+//   fleet_coord [--hosts=N] [--synthd=PATH] [--method=NAME]
+//               [--host-workers=N] [--state-dir=DIR]
+//               [--checkpoint-interval=G] [--max-queue=N]
+//               [--daemon-faults=SPEC] [--token=STR] [--host-timeout=S]
+//               [--poll-ms=MS] [--chaos-kill-host=I|auto]
+//               [--report=FILE] [--metrics-json=FILE] [--verbose]
+//               [experiment flags: --scale / --config-file, --budget, ...]
+//
+//   --hosts=N              backend count (default 2)
+//   --synthd=PATH          backend binary (default ./synthd)
+//   --method=NAME          synthesis method (default Edit)
+//   --host-workers=N       worker threads per backend (default 1)
+//   --state-dir=DIR        fleet durability root; host i persists under
+//                          DIR/host-i. Enables snapshot adoption on
+//                          failover; omitted, dead hosts' tasks replay
+//                          from seed (identical results, more compute)
+//   --checkpoint-interval=G  backend snapshot cadence (default 5)
+//   --max-queue=N          per-backend task-queue cap (overload shedding)
+//   --daemon-faults=SPEC   fault-injection spec passed to every backend
+//   --token=STR            fleet session token (default fleet-1)
+//   --host-timeout=S       per-request receive budget before a silent
+//                          backend is declared dead (default 120)
+//   --chaos-kill-host=I|auto  SIGKILL backend I (or the busiest one) once
+//                          it is mid-claim; the run must still complete
+//   --report=FILE          write the canonical report line to FILE
+//                          (default stdout)
+//   --metrics-json=FILE    write the aggregated fleet metrics to FILE
+//
+// Experiment flags are the shared harness set (--scale=ci|paper,
+// --config-file=PATH, --budget, --runs, --lengths, --seed, ...).
+//
+// Exit 0 on a completed run; diagnostics go to stderr.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "harness/config.hpp"
+#include "service/fleet.hpp"
+#include "util/argparse.hpp"
+
+int main(int argc, char** argv) {
+  using namespace netsyn;
+  try {
+    const util::ArgParse args(argc, argv);
+    const harness::ExperimentConfig config =
+        harness::ExperimentConfig::fromArgs(args);
+    const std::string method = args.getString("method", "Edit");
+
+    service::FleetConfig fc;
+    const long hosts = args.getInt("hosts", 2);
+    if (hosts <= 0) throw std::invalid_argument("--hosts must be > 0");
+    fc.hosts = static_cast<std::size_t>(hosts);
+    fc.token = args.getString("token", "fleet-1");
+    fc.pollIntervalMs = args.getDouble("poll-ms", 20.0);
+    fc.hostTimeoutSeconds = args.getDouble("host-timeout", 120.0);
+    fc.verbose = args.getBool("verbose", false);
+    if (args.has("chaos-kill-host")) {
+      fc.chaosKill = true;
+      const std::string victim = args.getString("chaos-kill-host", "auto");
+      fc.chaosKillHost = victim == "auto" ? -1 : std::stol(victim);
+    }
+
+    service::LocalBackendConfig backend;
+    backend.synthdPath = args.getString("synthd", "./synthd");
+    const long workers = args.getInt("host-workers", 1);
+    if (workers < 0)
+      throw std::invalid_argument("--host-workers must be >= 0");
+    backend.workers = static_cast<std::size_t>(workers);
+    backend.stateDir = args.getString("state-dir", "");
+    const long ckpt = args.getInt("checkpoint-interval", 5);
+    if (ckpt < 0)
+      throw std::invalid_argument("--checkpoint-interval must be >= 0");
+    backend.checkpointInterval = static_cast<std::size_t>(ckpt);
+    backend.faults = args.getString("daemon-faults", "");
+    if (args.has("max-queue"))
+      backend.extraArgs.push_back("--max-queue=" +
+                                  std::to_string(args.getInt("max-queue", 0)));
+
+    service::FleetCoordinator fleet(fc, backend);
+    const service::FleetReport report = fleet.run(config, method);
+    fleet.shutdownBackends();
+    const service::FleetMetrics metrics = fleet.metrics();
+
+    const std::string reportPath = args.getString("report", "");
+    if (reportPath.empty()) {
+      std::cout << report.render() << "\n";
+    } else {
+      std::ofstream out(reportPath, std::ios::trunc);
+      if (!out) throw std::runtime_error("cannot write " + reportPath);
+      out << report.render() << "\n";
+    }
+    const std::string metricsPath = args.getString("metrics-json", "");
+    if (!metricsPath.empty()) {
+      std::ofstream out(metricsPath, std::ios::trunc);
+      if (!out) throw std::runtime_error("cannot write " + metricsPath);
+      out << metrics.toJson() << "\n";
+    }
+    std::fprintf(stderr,
+                 "[fleet_coord] done: hosts=%zu lost=%zu restarted=%zu "
+                 "reassigned=%zu shed=%zu recovered=%zu "
+                 "synthesized_fraction=%.3f\n",
+                 metrics.hostsSpawned, metrics.hostsLost,
+                 metrics.hostsRestarted, metrics.tasksReassigned,
+                 metrics.claimsShed, metrics.recovered(),
+                 report.synthesizedFraction);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[fleet_coord] fatal: %s\n", e.what());
+    return 1;
+  }
+}

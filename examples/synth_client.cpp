@@ -13,29 +13,33 @@
 // bit-for-bit; any divergence exits nonzero. This is the service-smoke
 // assertion CI runs: concurrent daemon jobs == one-shot runs.
 //
-// Resilience: SIGPIPE is ignored, so a daemon death surfaces as an EPIPE
-// write error / EOF (DaemonDied) instead of killing the client. The client
-// then respawns synthd and resubmits every job idempotently by key
+// Resilience: SIGPIPE is ignored, so a daemon death surfaces as a
+// TransportClosed error (EPIPE on write / EOF on read) instead of killing
+// the client. The client then respawns synthd — after a deterministic
+// seeded backoff (util::RetrySchedule: same seed, same delays) and up to
+// --max-retries times — and resubmits every job idempotently by key
 // ("attach": true — identical submissions are deterministic, so joining a
 // recovered in-flight job is always safe). With --chaos-kill the client
 // does this on purpose: it SIGKILLs the daemon mid-run, restarts it on the
 // same --state-dir, reattaches, and verifies the recovered results — the
 // kill-and-restart recovery pass CI runs.
 //
+// With --fleet=N the client runs the same job through an in-process
+// FleetCoordinator driving N synthd backends instead of one daemon session
+// (service/fleet.hpp); --verify then compares the merged fleet report
+// against the one-shot run — the fleet determinism invariant.
+//
 // Usage:
 //   synth_client --synthd=./synthd [--jobs=2] [--method=Edit]
-//                [--daemon-workers=2] [--verify]
+//                [--daemon-workers=2] [--verify] [--max-retries=5]
 //                [--chaos-kill] [--state-dir=DIR] [--checkpoint-interval=G]
-//                [--daemon-faults=SPEC]
-//                [experiment flags: --scale --budget --runs --lengths
-//                 --programs-per-length --seed ...]
+//                [--daemon-faults=SPEC] [--fleet=N]
+//                [experiment flags: --scale --config-file --budget --runs
+//                 --lengths --programs-per-length --seed ...]
 #include <csignal>
-#include <sys/wait.h>
 #include <unistd.h>
 
-#include <cerrno>
 #include <cstdio>
-#include <cstring>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -44,115 +48,34 @@
 #include "harness/config.hpp"
 #include "harness/runner.hpp"
 #include "harness/workload.hpp"
+#include "service/fleet.hpp"
 #include "service/service.hpp"
 #include "util/argparse.hpp"
 #include "util/json.hpp"
+#include "util/transport.hpp"
 
 namespace {
 
 using namespace netsyn;
 
-/// The daemon end of the session is gone (EPIPE on write, EOF on read).
-/// Distinct from protocol-level errors so the caller can reconnect.
-class DaemonDied : public std::runtime_error {
- public:
-  explicit DaemonDied(const std::string& what) : std::runtime_error(what) {}
-};
-
-/// A spawned synthd with a line-oriented pipe session.
+/// A spawned synthd pipe session that parses responses. Daemon death
+/// surfaces as util::TransportClosed from the underlying transport.
 class DaemonSession {
  public:
   DaemonSession(const std::string& path,
-                const std::vector<std::string>& extraArgs) {
-    int toChild[2];
-    int fromChild[2];
-    if (pipe(toChild) != 0 || pipe(fromChild) != 0)
-      throw std::runtime_error("pipe() failed");
-    pid_ = fork();
-    if (pid_ < 0) throw std::runtime_error("fork() failed");
-    if (pid_ == 0) {
-      dup2(toChild[0], STDIN_FILENO);
-      dup2(fromChild[1], STDOUT_FILENO);
-      close(toChild[0]);
-      close(toChild[1]);
-      close(fromChild[0]);
-      close(fromChild[1]);
-      std::vector<std::string> argStore;
-      argStore.push_back(path);
-      for (const std::string& a : extraArgs) argStore.push_back(a);
-      std::vector<char*> argv;
-      for (std::string& a : argStore) argv.push_back(a.data());
-      argv.push_back(nullptr);
-      execv(path.c_str(), argv.data());
-      std::perror("execv synthd");
-      _exit(127);
-    }
-    close(toChild[0]);
-    close(fromChild[1]);
-    writeFd_ = toChild[1];
-    reader_ = fdopen(fromChild[0], "r");
-    if (!reader_) throw std::runtime_error("fdopen() failed");
-  }
+                const std::vector<std::string>& extraArgs)
+      : transport_(path, extraArgs) {}
 
-  ~DaemonSession() {
-    closeFds();
-    if (pid_ > 0) waitpid(pid_, nullptr, 0);
-  }
-
-  /// Sends one request line and returns the parsed response. Throws
-  /// DaemonDied when the daemon is gone (write error or EOF) — with
-  /// SIGPIPE ignored this is a clean failure, not a client death.
   util::JsonValue request(const std::string& line) {
-    const std::string framed = line + "\n";
-    const char* data = framed.c_str();
-    std::size_t left = framed.size();
-    while (left > 0) {
-      const ssize_t n = write(writeFd_, data, left);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0)
-        throw DaemonDied(std::string("write to synthd failed (") +
-                         std::strerror(errno) + ")");
-      data += n;
-      left -= static_cast<std::size_t>(n);
-    }
-    char* buf = nullptr;
-    std::size_t cap = 0;
-    const ssize_t got = getline(&buf, &cap, reader_);
-    if (got < 0) {
-      free(buf);
-      throw DaemonDied("synthd closed the session");
-    }
-    std::string response(buf, static_cast<std::size_t>(got));
-    free(buf);
-    return util::parseJson(response);
+    return util::parseJson(transport_.request(line));
   }
 
   /// Simulated daemon crash: SIGKILL (no shutdown handshake, no destructor
   /// runs daemon-side — durable state is whatever already hit disk).
-  void kill() {
-    if (pid_ > 0) {
-      ::kill(pid_, SIGKILL);
-      waitpid(pid_, nullptr, 0);
-      pid_ = -1;
-    }
-    closeFds();
-  }
+  void kill() { transport_.kill(); }
 
  private:
-  void closeFds() {
-    if (writeFd_ >= 0) {
-      close(writeFd_);
-      writeFd_ = -1;
-    }
-    if (reader_) {
-      fclose(reader_);
-      reader_ = nullptr;
-    }
-  }
-
-  pid_t pid_ = -1;
-  int writeFd_ = -1;
-  FILE* reader_ = nullptr;
+  util::PipeTransport transport_;
 };
 
 std::uint64_t member(const util::JsonValue& v, const char* key) {
@@ -198,6 +121,99 @@ std::vector<TaskTriple> tasksOf(const util::JsonValue& response,
   return out;
 }
 
+/// Compares service-reported task triples against a one-shot in-process
+/// run of the same config. Returns false (and prints MISMATCH lines) on
+/// any divergence.
+bool verifyAgainstOneShot(const std::string& label,
+                          const std::vector<TaskTriple>& serviceTasks,
+                          const harness::ExperimentConfig& config,
+                          const std::string& method,
+                          service::ModelStore& models) {
+  const baselines::MethodPtr oneShot =
+      service::makeOneShotMethod(method, config, models);
+  const auto workload = harness::makeFullWorkload(config);
+  const harness::MethodReport report =
+      harness::runMethod(*oneShot, workload, config, /*verbose=*/false);
+  const std::size_t runs =
+      report.programs.empty() ? 0 : report.programs.front().runs.size();
+  if (serviceTasks.size() != report.programs.size() * runs) {
+    std::printf("[client] MISMATCH %s: service reported %zu tasks, one-shot "
+                "ran %zu programs x %zu runs\n",
+                label.c_str(), serviceTasks.size(), report.programs.size(),
+                runs);
+    return false;
+  }
+  bool match = true;
+  for (std::size_t p = 0; p < report.programs.size(); ++p) {
+    for (std::size_t k = 0; k < report.programs[p].runs.size(); ++k) {
+      const harness::RunRecord& r = report.programs[p].runs[k];
+      const TaskTriple& d = serviceTasks[p * runs + k];
+      if (r.found != d.found || r.candidates != d.candidates ||
+          r.generations != d.generations) {
+        std::printf(
+            "[client] MISMATCH %s p=%zu k=%zu: service (found=%d cand=%llu "
+            "gen=%llu) vs one-shot (found=%d cand=%zu gen=%zu)\n",
+            label.c_str(), p, k, d.found,
+            static_cast<unsigned long long>(d.candidates),
+            static_cast<unsigned long long>(d.generations), r.found,
+            r.candidates, r.generations);
+        match = false;
+      }
+    }
+  }
+  if (match)
+    std::printf("[client] %s verified against one-shot run\n", label.c_str());
+  return match;
+}
+
+/// --fleet=N mode: the same job, run through an in-process FleetCoordinator
+/// over N synthd backends; --verify compares the merged report one-shot.
+int runFleetMode(const harness::ExperimentConfig& config,
+                 const std::string& method, const std::string& synthdPath,
+                 std::size_t hosts, std::size_t daemonWorkers,
+                 const std::string& stateDir, std::size_t ckptInterval,
+                 const std::string& daemonFaults, bool chaosKill,
+                 bool verify, bool verbose) {
+  service::FleetConfig fc;
+  fc.hosts = hosts;
+  fc.chaosKill = chaosKill;
+  fc.verbose = verbose;
+  service::LocalBackendConfig backend;
+  backend.synthdPath = synthdPath;
+  backend.workers = daemonWorkers;
+  backend.stateDir = stateDir;
+  backend.checkpointInterval = ckptInterval;
+  backend.faults = daemonFaults;
+
+  service::FleetCoordinator fleet(fc, backend);
+  const service::FleetReport report = fleet.run(config, method);
+  fleet.shutdownBackends();
+  const service::FleetMetrics m = fleet.metrics();
+  std::printf(
+      "[client] fleet(%zu hosts) done: synthesized %.0f%% of %zu programs, "
+      "lost=%zu reassigned=%zu recovered=%zu\n",
+      hosts, report.synthesizedFraction * 100.0, report.programs,
+      m.hostsLost, m.tasksReassigned, m.recovered());
+  if (chaosKill && m.recovered() == 0) {
+    std::printf("[client] FAILED: chaos fleet run recovered nothing\n");
+    return 1;
+  }
+  if (verify) {
+    std::vector<TaskTriple> fleetTasks;
+    fleetTasks.reserve(report.tasks.size());
+    for (const service::TaskRecord& t : report.tasks)
+      fleetTasks.push_back(TaskTriple{t.found, t.candidates, t.generations});
+    service::ModelStore models;
+    if (!verifyAgainstOneShot("fleet report", fleetTasks, config, method,
+                              models)) {
+      std::printf("[client] FAILED: fleet results diverge from one-shot\n");
+      return 1;
+    }
+  }
+  std::printf("[client] OK\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -216,12 +232,25 @@ int main(int argc, char** argv) {
         args.getString("state-dir", chaosKill ? "synth_client_state" : "");
     const long ckptInterval = args.getInt("checkpoint-interval", 5);
     const std::string daemonFaults = args.getString("daemon-faults", "");
+    const long maxRetries = args.getInt("max-retries", 5);
+    const long fleetHosts = args.getInt("fleet", 0);
     if (jobs <= 0) throw std::invalid_argument("--jobs must be > 0");
-    if (chaosKill && stateDir.empty())
+    if (maxRetries < 0)
+      throw std::invalid_argument("--max-retries must be >= 0");
+    if (fleetHosts < 0) throw std::invalid_argument("--fleet must be >= 0");
+    if (chaosKill && fleetHosts == 0 && stateDir.empty())
       throw std::invalid_argument("--chaos-kill needs a --state-dir");
 
     const harness::ExperimentConfig base =
         harness::ExperimentConfig::fromArgs(args);
+
+    if (fleetHosts > 0)
+      return runFleetMode(base, method, synthdPath,
+                          static_cast<std::size_t>(fleetHosts),
+                          static_cast<std::size_t>(daemonWorkers), stateDir,
+                          static_cast<std::size_t>(ckptInterval),
+                          daemonFaults, chaosKill, verify,
+                          args.getBool("verbose", false));
 
     const auto spawn = [&]() {
       std::vector<std::string> extra;
@@ -270,13 +299,23 @@ int main(int argc, char** argv) {
     };
     submitAll(/*attach=*/false);
 
-    // Reconnect path: respawn the daemon (it recovers its durable state)
-    // and resubmit everything by key.
-    int reconnects = 0;
+    // Reconnect path: back off on the deterministic seeded schedule, then
+    // respawn the daemon (it recovers its durable state) and resubmit
+    // everything by key. Bounded by --max-retries rather than a hardcoded
+    // count, and never a tight respawn spin: each attempt waits its draw.
+    long reconnects = 0;
+    util::RetrySchedule backoff(200.0, 2000.0,
+                                base.seed ^ 0x9e3779b97f4a7c15ull);
     const auto reconnect = [&]() {
-      if (++reconnects > 3)
-        throw std::runtime_error("synthd died repeatedly; giving up");
-      std::printf("[client] synthd is gone; respawning and reattaching\n");
+      if (++reconnects > maxRetries)
+        throw std::runtime_error(
+            "synthd died repeatedly; giving up after " +
+            std::to_string(maxRetries) + " reconnects");
+      const double delayMs = backoff.nextDelayMs();
+      std::printf(
+          "[client] synthd is gone; respawning in %.0f ms (attempt %ld/%ld)\n",
+          delayMs, reconnects, maxRetries);
+      usleep(static_cast<useconds_t>(delayMs * 1000.0));
       session = spawn();
       submitAll(/*attach=*/true);
     };
@@ -287,7 +326,7 @@ int main(int argc, char** argv) {
         try {
           return session->request("{\"op\": \"wait\", \"job\": " +
                                   std::to_string(ids[i]) + "}");
-        } catch (const DaemonDied& e) {
+        } catch (const util::TransportClosed& e) {
           std::printf("[client] %s\n", e.what());
           reconnect();
         }
@@ -339,44 +378,12 @@ int main(int argc, char** argv) {
 
       if (verify) {
         // One-shot comparison: same config, sequential in-process run.
-        const std::vector<TaskTriple> daemonTasks =
-            tasksOf(done, programs, runs);
-        const baselines::MethodPtr oneShot =
-            service::makeOneShotMethod(method, configs[i], verifyModels);
-        const auto workload = harness::makeFullWorkload(configs[i]);
-        const harness::MethodReport report =
-            harness::runMethod(*oneShot, workload, configs[i],
-                               /*verbose=*/false);
-        if (daemonTasks.size() != report.programs.size() * runs) {
-          std::printf(
-              "[client] MISMATCH job %llu: daemon reported %zu x %zu "
-              "tasks, one-shot ran %zu programs\n",
-              static_cast<unsigned long long>(ids[i]), programs, runs,
-              report.programs.size());
+        const std::string label =
+            "job " + std::to_string(ids[i]);
+        if (!verifyAgainstOneShot(label, tasksOf(done, programs, runs),
+                                  configs[static_cast<std::size_t>(i)],
+                                  method, verifyModels))
           allMatch = false;
-          continue;
-        }
-        for (std::size_t p = 0; p < report.programs.size(); ++p) {
-          for (std::size_t k = 0; k < report.programs[p].runs.size(); ++k) {
-            const harness::RunRecord& r = report.programs[p].runs[k];
-            const TaskTriple& d = daemonTasks[p * runs + k];
-            if (r.found != d.found || r.candidates != d.candidates ||
-                r.generations != d.generations) {
-              std::printf(
-                  "[client] MISMATCH job %llu p=%zu k=%zu: daemon "
-                  "(found=%d cand=%llu gen=%llu) vs one-shot (found=%d "
-                  "cand=%zu gen=%zu)\n",
-                  static_cast<unsigned long long>(ids[i]), p, k, d.found,
-                  static_cast<unsigned long long>(d.candidates),
-                  static_cast<unsigned long long>(d.generations), r.found,
-                  r.candidates, r.generations);
-              allMatch = false;
-            }
-          }
-        }
-        if (allMatch)
-          std::printf("[client] job %llu verified against one-shot run\n",
-                      static_cast<unsigned long long>(ids[i]));
       }
     }
 

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -155,9 +156,31 @@ void ExperimentConfig::applyDomain() {
 }
 
 ExperimentConfig ExperimentConfig::fromArgs(const util::ArgParse& args) {
-  ExperimentConfig cfg = forScale(args.getString("scale", "ci"));
-  cfg.domainName = args.getString("domain", cfg.domainName);
-  cfg.applyDomain();  // validates --domain and re-seeds domain knobs
+  // --config-file=PATH seeds the config from a toJson() document (the
+  // fleet coordinator and synth_client hand configs around this way);
+  // individual flags still override field-wise below. The file records its
+  // own scale, so combining it with an explicit --scale is ambiguous.
+  const bool fromFile = args.has("config-file");
+  ExperimentConfig cfg;
+  if (fromFile) {
+    if (args.has("scale"))
+      throw std::invalid_argument(
+          "--config-file and --scale are mutually exclusive (the file "
+          "records its scale)");
+    const std::string path = args.getString("config-file", "");
+    std::ifstream in(path);
+    if (!in)
+      throw std::invalid_argument("cannot read --config-file " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    cfg = fromJson(text.str());
+  } else {
+    cfg = forScale(args.getString("scale", "ci"));
+  }
+  if (!fromFile || args.has("domain")) {
+    cfg.domainName = args.getString("domain", cfg.domainName);
+    cfg.applyDomain();  // validates --domain and re-seeds domain knobs
+  }
   cfg.searchBudget = static_cast<std::size_t>(
       args.getInt("budget", static_cast<long>(cfg.searchBudget)));
   cfg.runsPerProgram = static_cast<std::size_t>(

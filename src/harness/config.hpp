@@ -70,7 +70,9 @@ struct ExperimentConfig {
   /// Named presets: "ci" (default) or "paper".
   static ExperimentConfig forScale(const std::string& scale);
 
-  /// Preset selected by --scale plus individual flag overrides
+  /// Preset selected by --scale — or a full toJson() document loaded via
+  /// --config-file=PATH (exclusive with --scale) — plus individual flag
+  /// overrides
   /// (--domain=list|str, --budget, --runs, --programs-per-length,
   ///  --train-programs, --epochs, --seed, --model-dir, --lengths=5,7,10,
   ///  --workers=N, --simd=true|false, and the island strategy: --islands=K,

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/faultinject.hpp"
+#include "util/hashing.hpp"
 
 namespace netsyn::service {
 namespace {
@@ -278,12 +279,7 @@ void decodePayload(Reader& r, core::SearchState::Snapshot& snap,
 }  // namespace
 
 std::uint64_t fnv1a64(const std::string& bytes) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (unsigned char c : bytes) {
-    h ^= c;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
+  return util::fnv1a64(bytes);
 }
 
 std::string encodeTaskCheckpoint(const core::SearchState::Snapshot& snap,

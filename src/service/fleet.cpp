@@ -1,0 +1,611 @@
+#include "service/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "harness/workload.hpp"
+#include "util/hashing.hpp"
+#include "util/json.hpp"
+
+namespace netsyn::service {
+
+namespace {
+
+// Distinct salt from the durability key hash so task placement and job-dir
+// naming draw from unrelated streams.
+constexpr std::uint64_t kTaskKeySalt = 0x5a1ad5eedbeef101ull;
+
+void sleepMs(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+bool responseOk(const util::JsonValue& root) {
+  bool ok = false;
+  util::readBool(root, "ok", ok);
+  return ok;
+}
+
+std::string responseError(const util::JsonValue& root) {
+  std::string err = "unspecified backend error";
+  util::readString(root, "error", err);
+  return err;
+}
+
+}  // namespace
+
+std::uint64_t fleetTaskKey(std::uint64_t seed, std::size_t program,
+                           std::size_t run) {
+  std::uint64_t h = util::mix64(seed ^ kTaskKeySalt);
+  h = util::mix64(h ^ static_cast<std::uint64_t>(program));
+  return util::mix64(h ^ static_cast<std::uint64_t>(run));
+}
+
+std::uint64_t fleetHostId(const std::string& name) {
+  return util::fnv1a64(name);
+}
+
+std::string FleetMetrics::toJson() const {
+  std::ostringstream os;
+  os << "{\"hosts_spawned\": " << hostsSpawned
+     << ", \"hosts_lost\": " << hostsLost
+     << ", \"hosts_restarted\": " << hostsRestarted
+     << ", \"claims_submitted\": " << claimsSubmitted
+     << ", \"claims_shed\": " << claimsShed
+     << ", \"tasks_reassigned\": " << tasksReassigned
+     << ", \"tasks_executed\": " << tasksExecuted
+     << ", \"tasks_adopted\": " << tasksAdopted
+     << ", \"snapshots_adopted\": " << snapshotsAdopted
+     << ", \"jobs_recovered\": " << jobsRecovered
+     << ", \"tasks_retried\": " << tasksRetried
+     << ", \"durable_checkpoints_written\": " << durableCheckpointsWritten
+     << ", \"durable_checkpoints_loaded\": " << durableCheckpointsLoaded
+     << ", \"stale_tokens_rejected\": " << staleTokensRejected
+     << ", \"queue_depth\": " << queueDepth
+     << ", \"recovered\": " << recovered() << "}";
+  return os.str();
+}
+
+std::string FleetReport::render() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"fleet_report\": 1"
+     << ", \"method\": \"" << util::escapeJson(method) << "\""
+     << ", \"programs\": " << programs
+     << ", \"runs_per_program\": " << runsPerProgram
+     << ", \"synthesized_fraction\": " << synthesizedFraction
+     << ", \"mean_synthesis_rate\": " << meanSynthesisRate
+     << ", \"config\": " << configJson << ", \"tasks\": [";
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const TaskRecord& t = tasks[i];
+    os << (i ? ", " : "") << "{\"program\": " << t.program
+       << ", \"run\": " << t.run
+       << ", \"found\": " << (t.found ? "true" : "false")
+       << ", \"candidates\": " << t.candidates
+       << ", \"generations\": " << t.generations << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+namespace {
+
+std::vector<std::string> localStateDirs(const FleetConfig& cfg,
+                                        const LocalBackendConfig& backend) {
+  std::vector<std::string> dirs;
+  if (backend.stateDir.empty()) return dirs;
+  dirs.reserve(cfg.hosts);
+  for (std::size_t i = 0; i < cfg.hosts; ++i)
+    dirs.push_back(backend.stateDir + "/host-" + std::to_string(i));
+  return dirs;
+}
+
+FleetCoordinator::TransportFactory localFactory(const FleetConfig& cfg,
+                                                LocalBackendConfig backend) {
+  const double timeout = cfg.hostTimeoutSeconds;
+  return [backend = std::move(backend),
+          timeout](std::size_t i) -> std::unique_ptr<util::Transport> {
+    std::vector<std::string> args;
+    args.push_back("--workers=" + std::to_string(backend.workers));
+    if (!backend.stateDir.empty()) {
+      args.push_back("--state-dir=" + backend.stateDir + "/host-" +
+                     std::to_string(i));
+      args.push_back("--checkpoint-interval=" +
+                     std::to_string(backend.checkpointInterval));
+    }
+    if (!backend.faults.empty()) args.push_back("--faults=" + backend.faults);
+    for (const std::string& a : backend.extraArgs) args.push_back(a);
+    return std::make_unique<util::PipeTransport>(backend.synthdPath, args,
+                                                 timeout);
+  };
+}
+
+}  // namespace
+
+FleetCoordinator::FleetCoordinator(FleetConfig config, TransportFactory factory,
+                                   std::vector<std::string> hostStateDirs)
+    : cfg_(std::move(config)),
+      factory_(std::move(factory)),
+      shed_(cfg_.shedBackoffMs, cfg_.shedBackoffCapMs, cfg_.retrySeed) {
+  if (cfg_.hosts == 0)
+    throw std::invalid_argument("a fleet needs at least one host");
+  if (!factory_) throw std::invalid_argument("fleet transport factory is null");
+  hosts_.resize(cfg_.hosts);
+  for (std::size_t i = 0; i < cfg_.hosts; ++i) {
+    hosts_[i].name = "host-" + std::to_string(i);
+    hosts_[i].id = fleetHostId(hosts_[i].name);
+    if (i < hostStateDirs.size()) hosts_[i].stateDir = hostStateDirs[i];
+  }
+}
+
+FleetCoordinator::FleetCoordinator(FleetConfig config,
+                                   const LocalBackendConfig& backend)
+    : FleetCoordinator(config, localFactory(config, backend),
+                       localStateDirs(config, backend)) {}
+
+FleetCoordinator::~FleetCoordinator() {
+  try {
+    shutdownBackends();
+  } catch (...) {
+  }
+}
+
+void FleetCoordinator::shutdownBackends() {
+  for (Host& h : hosts_) {
+    if (!h.transport) continue;
+    if (h.alive) {
+      try {
+        h.transport->request("{\"op\": \"shutdown\"}");
+      } catch (...) {
+      }
+      h.alive = false;
+    }
+    try {
+      h.transport->close();
+    } catch (...) {
+    }
+  }
+}
+
+std::vector<std::size_t> FleetCoordinator::aliveHosts() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < hosts_.size(); ++i)
+    if (hosts_[i].alive) out.push_back(i);
+  return out;
+}
+
+std::string FleetCoordinator::claimDirOf(std::size_t host,
+                                         const Claim& claim) const {
+  if (hosts_[host].stateDir.empty()) return std::string();
+  return hosts_[host].stateDir + "/jobs/" + claim.dirName;
+}
+
+std::string FleetCoordinator::requestHost(std::size_t i,
+                                          const std::string& line) {
+  return hosts_[i].transport->request(line);
+}
+
+void FleetCoordinator::connectHost(std::size_t i) {
+  Host& h = hosts_[i];
+  h.transport = factory_(i);
+  if (!h.transport)
+    throw std::runtime_error("transport factory returned null for " + h.name);
+  h.alive = true;
+  ++hostsSpawned_;
+  const std::string resp = requestHost(
+      i, "{\"op\": \"hello\", \"token\": \"" + util::escapeJson(cfg_.token) +
+             "\", \"host\": \"" + util::escapeJson(h.name) + "\"}");
+  const util::JsonValue root = util::parseJson(resp);
+  if (!responseOk(root))
+    throw std::runtime_error(h.name + ": hello rejected: " +
+                             responseError(root));
+  bool resumed = false;
+  util::readBool(root, "resumed", resumed);
+  if (cfg_.verbose)
+    std::fprintf(stderr, "[fleet] %s up%s\n", h.name.c_str(),
+                 resumed ? " (resumed durable jobs)" : "");
+}
+
+void FleetCoordinator::makeClaimsFor(const std::vector<std::size_t>& tasks,
+                                     const std::string& adoptDir) {
+  const std::vector<std::size_t> alive = aliveHosts();
+  if (alive.empty())
+    throw std::runtime_error("cannot place a claim: no host is alive");
+  std::vector<std::uint64_t> ids;
+  ids.reserve(alive.size());
+  for (std::size_t h : alive) ids.push_back(hosts_[h].id);
+  const std::size_t runsPer =
+      std::max<std::size_t>(1, runConfig_->runsPerProgram);
+  // Group by rendezvous owner; tasks arrive sorted, so each group is too.
+  std::vector<std::vector<std::size_t>> byHost(alive.size());
+  for (std::size_t t : tasks) {
+    const std::uint64_t key =
+        fleetTaskKey(runConfig_->seed, t / runsPer, t % runsPer);
+    byHost[util::rendezvousOwner(key, ids)].push_back(t);
+  }
+  for (std::size_t a = 0; a < alive.size(); ++a) {
+    if (byHost[a].empty()) continue;
+    Claim c;
+    c.tasks = std::move(byHost[a]);
+    c.host = alive[a];
+    c.adoptDir = adoptDir;
+    // A claim covering the whole job must use the empty filter so its dir
+    // name (and attach/memo key) matches a plain full submit.
+    c.dirName = jobDirName(runMethod_, *runConfig_,
+                           c.tasks.size() == totalTasks_
+                               ? std::vector<std::size_t>{}
+                               : c.tasks);
+    claims_.push_back(std::move(c));
+  }
+}
+
+void FleetCoordinator::onHostDeath(std::size_t i) {
+  Host& h = hosts_[i];
+  if (h.alive) {
+    h.alive = false;
+    ++hostsLost_;
+    if (h.transport) {
+      try {
+        h.transport->close();
+      } catch (...) {
+      }
+    }
+    if (cfg_.verbose)
+      std::fprintf(stderr, "[fleet] %s lost\n", h.name.c_str());
+  }
+
+  if (aliveHosts().empty()) {
+    // Last host standing died: respawn it in place and re-claim with attach
+    // — the backend recovers its durable jobs at startup, so resubmitted
+    // claims join them instead of restarting.
+    if (h.restarts >= cfg_.maxHostRestarts)
+      throw std::runtime_error("fleet lost every host and " + h.name +
+                               "'s restart budget is spent");
+    ++h.restarts;
+    ++hostsRestarted_;
+    if (cfg_.verbose)
+      std::fprintf(stderr, "[fleet] respawning %s (no survivors)\n",
+                   h.name.c_str());
+    connectHost(i);
+    for (Claim& c : claims_)
+      if (c.host == i && c.state == ClaimState::Submitted)
+        c.state = ClaimState::Pending;
+    return;
+  }
+
+  // Survivors exist: re-partition the dead host's unfinished claims among
+  // them, each successor adopting from the dead claim's durable directory.
+  struct Orphan {
+    std::vector<std::size_t> tasks;
+    std::string adopt;
+  };
+  std::vector<Orphan> orphans;
+  for (Claim& c : claims_) {
+    if (c.host != i) continue;
+    if (c.state != ClaimState::Submitted && c.state != ClaimState::Pending)
+      continue;
+    orphans.push_back({c.tasks, claimDirOf(i, c)});
+    c.state = ClaimState::Reassigned;
+  }
+  for (Orphan& o : orphans) {
+    tasksReassigned_ += o.tasks.size();
+    if (cfg_.verbose)
+      std::fprintf(stderr, "[fleet] reassigning %zu tasks from %s\n",
+                   o.tasks.size(), h.name.c_str());
+    makeClaimsFor(o.tasks, o.adopt);
+  }
+}
+
+bool FleetCoordinator::submitClaim(Claim& claim) {
+  std::size_t sweeps = 0;
+  for (;;) {
+    const std::size_t hostIdx = claim.host;
+    std::ostringstream os;
+    os << "{\"op\": \"claim\", \"token\": \"" << util::escapeJson(cfg_.token)
+       << "\", \"method\": \"" << util::escapeJson(runMethod_)
+       << "\", \"attach\": true";
+    if (!claim.adoptDir.empty())
+      os << ", \"adopt_dir\": \"" << util::escapeJson(claim.adoptDir) << "\"";
+    if (claim.tasks.size() != totalTasks_) {
+      os << ", \"tasks\": [";
+      for (std::size_t k = 0; k < claim.tasks.size(); ++k)
+        os << (k ? ", " : "") << claim.tasks[k];
+      os << "]";
+    }
+    os << ", \"config\": " << runConfig_->toJson() << "}";
+
+    std::string resp;
+    try {
+      resp = requestHost(hostIdx, os.str());
+    } catch (const util::TransportClosed&) {
+      // onHostDeath may grow claims_ (invalidating `claim`); touch nothing
+      // after it. The claim was Pending on the dead host, so it has been
+      // reassigned (or re-queued on the respawned host) already.
+      onHostDeath(hostIdx);
+      return false;
+    }
+    const util::JsonValue root = util::parseJson(resp);
+    if (responseOk(root)) {
+      std::uint64_t id = 0;
+      util::readU64(root, "job", id);
+      claim.jobId = id;
+      claim.state = ClaimState::Submitted;
+      ++claimsSubmitted_;
+      if (cfg_.verbose)
+        std::fprintf(stderr, "[fleet] %s accepted claim of %zu tasks (job %llu)\n",
+                     hosts_[hostIdx].name.c_str(), claim.tasks.size(),
+                     static_cast<unsigned long long>(id));
+      return true;
+    }
+    std::string rejected;
+    util::readString(root, "rejected", rejected);
+    if (rejected != "overloaded")
+      throw std::runtime_error(hosts_[hostIdx].name + ": claim failed: " +
+                               responseError(root));
+
+    // Overloaded: shed to the next host in this claim's rendezvous
+    // preference order; after a full sweep of rejections, back off on the
+    // deterministic schedule and sweep again.
+    ++claimsShed_;
+    const std::vector<std::size_t> alive = aliveHosts();
+    std::vector<std::uint64_t> ids;
+    ids.reserve(alive.size());
+    for (std::size_t h : alive) ids.push_back(hosts_[h].id);
+    const std::size_t runsPer =
+        std::max<std::size_t>(1, runConfig_->runsPerProgram);
+    const std::size_t t0 = claim.tasks.front();
+    const std::vector<std::size_t> rank = util::rendezvousRank(
+        fleetTaskKey(runConfig_->seed, t0 / runsPer, t0 % runsPer), ids);
+    std::size_t pos = 0;
+    for (std::size_t k = 0; k < rank.size(); ++k)
+      if (alive[rank[k]] == hostIdx) {
+        pos = k;
+        break;
+      }
+    const std::size_t nextPos = (pos + 1) % rank.size();
+    claim.host = alive[rank[nextPos]];
+    if (cfg_.verbose)
+      std::fprintf(stderr, "[fleet] %s overloaded; shedding claim to %s\n",
+                   hosts_[hostIdx].name.c_str(),
+                   hosts_[claim.host].name.c_str());
+    if (nextPos <= pos) {  // wrapped: every alive host rejected this sweep
+      if (++sweeps >= cfg_.maxShedSweeps)
+        throw std::runtime_error(
+            "every fleet host stayed overloaded past the shed budget");
+      sleepMs(shed_.nextDelayMs());
+    }
+  }
+}
+
+void FleetCoordinator::submitPendingClaims() {
+  // Index loop: submitClaim can append claims (host-death reassignment).
+  for (std::size_t i = 0; i < claims_.size(); ++i)
+    if (claims_[i].state == ClaimState::Pending) submitClaim(claims_[i]);
+}
+
+void FleetCoordinator::pollClaim(Claim& claim) {
+  const std::size_t hostIdx = claim.host;
+  std::string resp;
+  try {
+    resp = requestHost(hostIdx, "{\"op\": \"status\", \"job\": " +
+                                    std::to_string(claim.jobId) + "}");
+  } catch (const util::TransportClosed&) {
+    onHostDeath(hostIdx);  // may grow claims_; `claim` is dead after this
+    return;
+  }
+  const util::JsonValue root = util::parseJson(resp);
+  if (!responseOk(root))
+    throw std::runtime_error(hosts_[hostIdx].name + ": status failed: " +
+                             responseError(root));
+  std::string state;
+  util::readString(root, "state", state);
+  util::readSize(root, "tasks_done", claim.tasksDone);
+  if (state == "queued" || state == "running" || state == "paused") return;
+  if (state != "done") {
+    std::string kind;
+    util::readString(root, "error_kind", kind);
+    throw std::runtime_error(hosts_[hostIdx].name + ": claim job " + state +
+                             (kind.empty() ? "" : " (" + kind + ")") + ": " +
+                             responseError(root));
+  }
+  claim.results.clear();
+  const util::JsonValue* tasks = root.find("tasks");
+  if (tasks && tasks->kind == util::JsonValue::Kind::Array) {
+    for (const util::JsonValue& item : tasks->items) {
+      TaskRecord r;
+      util::readSize(item, "program", r.program);
+      util::readSize(item, "run", r.run);
+      util::readBool(item, "found", r.found);
+      util::readSize(item, "candidates", r.candidates);
+      util::readSize(item, "generations", r.generations);
+      util::readDouble(item, "seconds", r.seconds);
+      claim.results.push_back(r);
+    }
+  }
+  claim.state = ClaimState::Done;
+  if (cfg_.verbose)
+    std::fprintf(stderr, "[fleet] %s finished claim job %llu (%zu tasks)\n",
+                 hosts_[hostIdx].name.c_str(),
+                 static_cast<unsigned long long>(claim.jobId),
+                 claim.results.size());
+}
+
+void FleetCoordinator::scrapeHostMetrics(std::size_t i) {
+  Host& h = hosts_[i];
+  std::string resp;
+  try {
+    resp = requestHost(i, "{\"op\": \"metrics\"}");
+  } catch (const util::TransportClosed&) {
+    onHostDeath(i);
+    return;
+  }
+  const util::JsonValue root = util::parseJson(resp);
+  if (!responseOk(root)) return;
+  util::readSize(root, "tasks_executed", h.tasksExecuted);
+  util::readSize(root, "tasks_adopted", h.tasksAdopted);
+  util::readSize(root, "snapshots_adopted", h.snapshotsAdopted);
+  util::readSize(root, "jobs_recovered", h.jobsRecovered);
+  util::readSize(root, "tasks_retried", h.tasksRetried);
+  util::readSize(root, "durable_checkpoints_written",
+                 h.durableCheckpointsWritten);
+  util::readSize(root, "durable_checkpoints_loaded",
+                 h.durableCheckpointsLoaded);
+  util::readSize(root, "stale_tokens_rejected", h.staleTokensRejected);
+  util::readSize(root, "queue_depth", h.queueDepth);
+}
+
+void FleetCoordinator::maybeFireChaosKill() {
+  if (!cfg_.chaosKill || chaosFired_) return;
+  std::size_t victim = hosts_.size();
+  if (cfg_.chaosKillHost >= 0) {
+    victim = static_cast<std::size_t>(cfg_.chaosKillHost);
+    if (victim >= hosts_.size())
+      throw std::invalid_argument("chaos kill host index out of range");
+    if (!hosts_[victim].alive) {  // died on its own first; window is gone
+      chaosFired_ = true;
+      return;
+    }
+  } else {
+    // Auto: the alive host holding the largest in-flight claim.
+    std::size_t bestTasks = 0;
+    for (const Claim& c : claims_) {
+      if (c.state != ClaimState::Submitted || !hosts_[c.host].alive) continue;
+      if (c.tasks.size() > bestTasks) {
+        bestTasks = c.tasks.size();
+        victim = c.host;
+      }
+    }
+    if (victim == hosts_.size()) return;
+  }
+  // Fire only mid-claim: the victim has banked durable progress (>= 1 task
+  // done) but is not finished — exactly the window where failover has
+  // something to recover.
+  for (const Claim& c : claims_) {
+    if (c.host != victim || c.state != ClaimState::Submitted) continue;
+    if (c.tasksDone >= 1 && c.tasksDone < c.tasks.size()) {
+      chaosFired_ = true;
+      if (cfg_.verbose)
+        std::fprintf(stderr,
+                     "[fleet] chaos: killing %s mid-claim (%zu/%zu done)\n",
+                     hosts_[victim].name.c_str(), c.tasksDone,
+                     c.tasks.size());
+      hosts_[victim].transport->kill();
+      return;
+    }
+  }
+}
+
+FleetReport FleetCoordinator::run(const harness::ExperimentConfig& config,
+                                  const std::string& method) {
+  if (!isKnownMethod(method))
+    throw std::invalid_argument("unknown method: " + method);
+  runConfig_ = &config;
+  runMethod_ = method;
+  claims_.clear();
+  chaosFired_ = false;
+  shed_.reset(cfg_.retrySeed);
+
+  for (std::size_t i = 0; i < hosts_.size(); ++i)
+    if (!hosts_[i].alive) connectHost(i);
+
+  const std::size_t programs = harness::makeFullWorkload(config).size();
+  const std::size_t runsPer = std::max<std::size_t>(1, config.runsPerProgram);
+  totalTasks_ = programs * runsPer;
+
+  FleetReport report;
+  report.method = method;
+  report.configJson = config.toJson();
+  report.programs = programs;
+  report.runsPerProgram = runsPer;
+  if (totalTasks_ == 0) {
+    runConfig_ = nullptr;
+    return report;
+  }
+
+  std::vector<std::size_t> all(totalTasks_);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  makeClaimsFor(all, std::string());
+
+  std::size_t pollRound = 0;
+  for (;;) {
+    submitPendingClaims();
+    bool live = false;
+    for (std::size_t i = 0; i < claims_.size(); ++i) {
+      if (claims_[i].state == ClaimState::Submitted) pollClaim(claims_[i]);
+      const ClaimState s = claims_[i].state;
+      if (s == ClaimState::Submitted || s == ClaimState::Pending) live = true;
+    }
+    maybeFireChaosKill();
+    if (pollRound % 8 == 0)
+      for (std::size_t i : aliveHosts()) scrapeHostMetrics(i);
+    if (!live) break;
+    ++pollRound;
+    sleepMs(cfg_.pollIntervalMs);
+  }
+  for (std::size_t i : aliveHosts()) scrapeHostMetrics(i);
+
+  // Merge: exactly one Done claim reported each task (dead claims are
+  // Reassigned, never Done, and their successors adopt the same records).
+  std::vector<TaskRecord> merged(totalTasks_);
+  std::vector<bool> have(totalTasks_, false);
+  for (const Claim& c : claims_) {
+    if (c.state != ClaimState::Done) continue;
+    for (const TaskRecord& t : c.results) {
+      const std::size_t idx = t.program * runsPer + t.run;
+      if (idx >= totalTasks_) continue;
+      merged[idx] = t;
+      have[idx] = true;
+    }
+  }
+  for (std::size_t i = 0; i < totalTasks_; ++i)
+    if (!have[i])
+      throw std::runtime_error("fleet run completed with task " +
+                               std::to_string(i) + " unreported");
+  report.tasks = std::move(merged);
+
+  // Same aggregates a single-host terminal status derives (protocol.cpp).
+  std::vector<std::size_t> foundPerProgram(programs, 0);
+  for (const TaskRecord& t : report.tasks)
+    if (t.found && t.program < programs) ++foundPerProgram[t.program];
+  std::size_t synthesized = 0;
+  double rateSum = 0.0;
+  for (std::size_t f : foundPerProgram) {
+    synthesized += f > 0 ? 1 : 0;
+    rateSum += static_cast<double>(f) / static_cast<double>(runsPer);
+  }
+  report.synthesizedFraction =
+      static_cast<double>(synthesized) / static_cast<double>(programs);
+  report.meanSynthesisRate = rateSum / static_cast<double>(programs);
+
+  runConfig_ = nullptr;
+  return report;
+}
+
+FleetMetrics FleetCoordinator::metrics() const {
+  FleetMetrics m;
+  m.hostsSpawned = hostsSpawned_;
+  m.hostsLost = hostsLost_;
+  m.hostsRestarted = hostsRestarted_;
+  m.claimsSubmitted = claimsSubmitted_;
+  m.claimsShed = claimsShed_;
+  m.tasksReassigned = tasksReassigned_;
+  for (const Host& h : hosts_) {
+    m.tasksExecuted += h.tasksExecuted;
+    m.tasksAdopted += h.tasksAdopted;
+    m.snapshotsAdopted += h.snapshotsAdopted;
+    m.jobsRecovered += h.jobsRecovered;
+    m.tasksRetried += h.tasksRetried;
+    m.durableCheckpointsWritten += h.durableCheckpointsWritten;
+    m.durableCheckpointsLoaded += h.durableCheckpointsLoaded;
+    m.staleTokensRejected += h.staleTokensRejected;
+    m.queueDepth += h.queueDepth;
+  }
+  return m;
+}
+
+}  // namespace netsyn::service

@@ -1,0 +1,300 @@
+// Fleet coordinator: one job, N synthd backends, bit-identical results.
+//
+// The coordinator speaks the NDJSON protocol (hello / claim / status /
+// metrics / shutdown) to per-host backends behind util::Transport — local
+// subprocesses today, sockets later. Determinism rests on two facts:
+//
+//   1. every (program, run) task is seeded by harness::runSeedRng(config,
+//      p, k) and searched single-threadedly, so a task's outcome does not
+//      depend on which host runs it (the service's own pinned contract);
+//   2. tasks are partitioned by rendezvous hashing on fleetTaskKey(seed,
+//      p, k) over the healthy hosts' ids, so any host count yields the
+//      same task -> result mapping — the fleet report renders bit-identical
+//      to a single-host run, and a host's death moves only that host's
+//      tasks (every survivor keeps its slice).
+//
+// Lifecycle of one run():
+//
+//   spawn/connect hosts -> hello(token) handshake -> partition tasks ->
+//   claim per host (attach:true, so reconnects are idempotent) -> poll
+//   status -> merge terminal claim results -> render report.
+//
+// Failover: a host that stops answering (EPIPE / EOF / receive timeout)
+// is declared dead; its unfinished claims are re-partitioned over the
+// survivors with adopt_dir pointing at the dead host's durable claim
+// directory, so survivors graft the dead host's finished-task records and
+// last snapshots instead of redoing its work (shared state-dir
+// filesystem; without one, adoption no-ops and the tasks deterministically
+// restart from seed — same report, more compute). When the last host dies
+// the coordinator respawns it and re-claims with attach, riding the
+// backend's own durable recovery. Overloaded hosts ("rejected":
+// "overloaded") shed their claim to the next host in the task's rendezvous
+// preference order, with deterministic seeded backoff between full sweeps.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/config.hpp"
+#include "service/protocol.hpp"
+#include "service/service.hpp"
+#include "util/transport.hpp"
+
+namespace netsyn::service {
+
+/// Placement key of task (program, run) for a job seeded with `seed` —
+/// host-count-independent by construction.
+std::uint64_t fleetTaskKey(std::uint64_t seed, std::size_t program,
+                           std::size_t run);
+
+/// Stable host id from a host name ("host-0", a hostname, ...).
+std::uint64_t fleetHostId(const std::string& name);
+
+struct FleetConfig {
+  std::size_t hosts = 2;
+  /// Session token sent to every backend's hello; rotate it to fence off a
+  /// predecessor coordinator (its requests then fail stale_token).
+  std::string token = "fleet-1";
+  double pollIntervalMs = 20.0;
+  /// Receive budget per backend request (0 = wait forever): a backend
+  /// silent past this is declared dead. Applies to pipe transports.
+  double hostTimeoutSeconds = 120.0;
+  /// Deterministic backoff between full shed sweeps (every alive host
+  /// rejected a claim as overloaded).
+  double shedBackoffMs = 50.0;
+  double shedBackoffCapMs = 2000.0;
+  std::uint64_t retrySeed = 0xf1ee7c0de5eedULL;
+  /// Full shed sweeps before an all-overloaded fleet is a hard error.
+  std::size_t maxShedSweeps = 50;
+  /// Per-host respawn budget, spent only when a host dies with no
+  /// survivors to reassign to.
+  std::size_t maxHostRestarts = 2;
+  /// Chaos: SIGKILL one backend once it has mid-claim progress (>= 1 task
+  /// done, not all). chaosKillHost < 0 picks the host with the largest
+  /// claim. The run must still complete, with the dead host's tasks
+  /// recovered on survivors — the CI fleet-smoke assertion.
+  bool chaosKill = false;
+  long chaosKillHost = -1;
+  bool verbose = false;
+};
+
+/// Backend-spawning recipe for the local (subprocess) transport factory:
+/// host i runs `synthdPath` with its own state dir `<stateDir>/host-<i>`.
+/// Per-host state dirs are required: a backend recovers every job dir it
+/// sees at startup, so hosts sharing one dir would each adopt all claims.
+struct LocalBackendConfig {
+  std::string synthdPath = "./synthd";
+  std::size_t workers = 1;
+  /// Fleet state root (empty disables durability — failover then replays
+  /// dead hosts' tasks from seed instead of resuming their snapshots).
+  std::string stateDir;
+  std::size_t checkpointInterval = 5;
+  std::string faults;  ///< --faults spec passed to every backend
+  std::vector<std::string> extraArgs;
+};
+
+/// Aggregated fleet snapshot: coordinator-side counters plus the sums of
+/// each host's last-known "metrics" response (best-effort for dead hosts:
+/// their final sample is whatever the coordinator last scraped).
+struct FleetMetrics {
+  // ---- coordinator counters ----
+  std::size_t hostsSpawned = 0;
+  std::size_t hostsLost = 0;       ///< declared dead (EPIPE/EOF/timeout)
+  std::size_t hostsRestarted = 0;  ///< respawned for lack of survivors
+  std::size_t claimsSubmitted = 0;
+  std::size_t claimsShed = 0;       ///< overloaded rejections rerouted
+  std::size_t tasksReassigned = 0;  ///< tasks moved off dead hosts
+  // ---- summed per-host counters ----
+  std::size_t tasksExecuted = 0;
+  std::size_t tasksAdopted = 0;
+  std::size_t snapshotsAdopted = 0;
+  std::size_t jobsRecovered = 0;
+  std::size_t tasksRetried = 0;
+  std::size_t durableCheckpointsWritten = 0;
+  std::size_t durableCheckpointsLoaded = 0;
+  std::size_t staleTokensRejected = 0;
+  std::size_t queueDepth = 0;
+
+  /// Work that survived a failure instead of being lost: the `recovered>0`
+  /// aggregate the CI kill-one-backend pass asserts on.
+  std::size_t recovered() const {
+    return tasksReassigned + tasksAdopted + snapshotsAdopted + jobsRecovered;
+  }
+
+  std::string toJson() const;
+};
+
+/// The merged outcome of a fleet run. render() is canonical: method,
+/// config, and per-task found/candidates/generations only — no wall-clock,
+/// no host attribution — so any host count (and any failure history)
+/// yields the same bytes for the same config.
+struct FleetReport {
+  std::string method;
+  std::string configJson;
+  std::size_t programs = 0;
+  std::size_t runsPerProgram = 0;
+  std::vector<TaskRecord> tasks;  ///< index = program * runsPerProgram + run
+  double synthesizedFraction = 0.0;
+  double meanSynthesisRate = 0.0;
+
+  std::string render() const;
+};
+
+/// In-process backend for tests and embedding: a Transport whose peer is a
+/// SynthService driven through handleRequestLine. Requests execute
+/// synchronously inside recvLine(). kill() mimics a daemon SIGKILL at a
+/// request boundary: the connection drops immediately and the service shuts
+/// down (durable state stays recoverable by a successor on the same state
+/// dir).
+class LoopbackTransport : public util::Transport {
+ public:
+  explicit LoopbackTransport(std::shared_ptr<SynthService> service)
+      : service_(std::move(service)) {}
+
+  void sendLine(const std::string& line) override {
+    if (dead_) throw util::TransportClosed("loopback backend is gone");
+    pending_.push_back(line);
+  }
+
+  std::string recvLine() override {
+    if (dead_) throw util::TransportClosed("loopback backend is gone");
+    if (pending_.empty())
+      throw util::TransportClosed("loopback recv with no pending request");
+    const std::string line = pending_.front();
+    pending_.pop_front();
+    bool shutdownRequested = false;
+    const std::string resp =
+        handleRequestLine(*service_, line, shutdownRequested);
+    if (shutdownRequested) {
+      dead_ = true;
+      service_->shutdown();
+    }
+    return resp;
+  }
+
+  bool alive() const override { return !dead_; }
+  void close() override { dead_ = true; }
+
+  void kill() override {
+    dead_ = true;  // before shutdown: no further requests reach the service
+    service_->shutdown();
+  }
+
+ private:
+  std::shared_ptr<SynthService> service_;
+  std::deque<std::string> pending_;
+  bool dead_ = false;
+};
+
+class FleetCoordinator {
+ public:
+  /// Builds transport i when (re)connecting host i. Must be re-invokable
+  /// for the same index (host restart).
+  using TransportFactory =
+      std::function<std::unique_ptr<util::Transport>(std::size_t)>;
+
+  /// Custom transports (tests use LoopbackTransport factories).
+  /// `hostStateDirs[i]` is host i's durable state root (the backend's
+  /// --state-dir); empty, or an empty vector, disables snapshot adoption on
+  /// failover (reassigned tasks replay from seed — identical results).
+  FleetCoordinator(FleetConfig config, TransportFactory factory,
+                   std::vector<std::string> hostStateDirs = {});
+
+  /// Local subprocess fleet: spawns `config.hosts` synthd backends per
+  /// `backend`, each with its own state dir under backend.stateDir.
+  FleetCoordinator(FleetConfig config, const LocalBackendConfig& backend);
+
+  ~FleetCoordinator();
+  FleetCoordinator(const FleetCoordinator&) = delete;
+  FleetCoordinator& operator=(const FleetCoordinator&) = delete;
+
+  /// Runs one job across the fleet and returns the merged report. Throws
+  /// on unrecoverable failure (a claim Failed, every host dead with the
+  /// restart budget spent, or an all-overloaded fleet past maxShedSweeps).
+  FleetReport run(const harness::ExperimentConfig& config,
+                  const std::string& method);
+
+  /// Aggregated snapshot (coordinator counters + summed host metrics).
+  FleetMetrics metrics() const;
+
+  /// Graceful fleet teardown (shutdown op to every live backend);
+  /// idempotent, also run by the destructor.
+  void shutdownBackends();
+
+ private:
+  struct Host {
+    std::unique_ptr<util::Transport> transport;
+    bool alive = false;
+    std::string name;
+    std::uint64_t id = 0;
+    std::string stateDir;  ///< backend's durable root ("" = none)
+    std::size_t restarts = 0;
+    // Last-scraped per-host metrics (survive the host's death).
+    std::size_t tasksExecuted = 0;
+    std::size_t tasksAdopted = 0;
+    std::size_t snapshotsAdopted = 0;
+    std::size_t jobsRecovered = 0;
+    std::size_t tasksRetried = 0;
+    std::size_t durableCheckpointsWritten = 0;
+    std::size_t durableCheckpointsLoaded = 0;
+    std::size_t staleTokensRejected = 0;
+    std::size_t queueDepth = 0;
+  };
+
+  enum class ClaimState : std::uint8_t {
+    Pending,    ///< created, not yet accepted by a backend
+    Submitted,  ///< accepted; polled until terminal
+    Done,       ///< terminal "done"; results merged
+    Reassigned  ///< host died; superseded by Pending successor claims
+  };
+
+  struct Claim {
+    std::vector<std::size_t> tasks;  ///< claimed task indices, sorted
+    std::size_t host = 0;            ///< current owner (index into hosts_)
+    std::uint64_t jobId = 0;
+    ClaimState state = ClaimState::Pending;
+    std::string adoptDir;  ///< dead predecessor's claim dir ("" = none)
+    std::string dirName;   ///< jobDirName of this claim
+    std::size_t tasksDone = 0;       ///< from the last status poll
+    std::vector<TaskRecord> results;  ///< terminal tasks (state == Done)
+  };
+
+  void connectHost(std::size_t i);
+  std::string requestHost(std::size_t i, const std::string& line);
+  void onHostDeath(std::size_t i);
+  void submitPendingClaims();
+  bool submitClaim(Claim& claim);  ///< false: host died mid-submit
+  void pollClaim(Claim& claim);
+  void scrapeHostMetrics(std::size_t i);
+  void maybeFireChaosKill();
+  std::vector<std::size_t> aliveHosts() const;
+  std::string claimDirOf(std::size_t host, const Claim& claim) const;
+  void makeClaimsFor(const std::vector<std::size_t>& tasks,
+                     const std::string& adoptDir);
+
+  FleetConfig cfg_;
+  TransportFactory factory_;
+  std::vector<Host> hosts_;
+  std::vector<Claim> claims_;
+  util::RetrySchedule shed_;
+
+  // Per-run state (reset by run()).
+  const harness::ExperimentConfig* runConfig_ = nullptr;
+  std::string runMethod_;
+  std::size_t totalTasks_ = 0;
+  bool chaosFired_ = false;
+
+  // Coordinator counters.
+  std::size_t hostsSpawned_ = 0;
+  std::size_t hostsLost_ = 0;
+  std::size_t hostsRestarted_ = 0;
+  std::size_t claimsSubmitted_ = 0;
+  std::size_t claimsShed_ = 0;
+  std::size_t tasksReassigned_ = 0;
+};
+
+}  // namespace netsyn::service

@@ -68,7 +68,11 @@ void appendStatsFields(std::ostringstream& os, const SessionStats& s) {
      << ", \"durable_checkpoints_written\": " << s.durableCheckpointsWritten
      << ", \"durable_checkpoints_loaded\": " << s.durableCheckpointsLoaded
      << ", \"checkpoints_rejected\": " << s.checkpointsRejected
-     << ", \"durable_write_errors\": " << s.durableWriteErrors;
+     << ", \"durable_write_errors\": " << s.durableWriteErrors
+     << ", \"hellos_accepted\": " << s.hellosAccepted
+     << ", \"stale_tokens_rejected\": " << s.staleTokensRejected
+     << ", \"tasks_adopted\": " << s.tasksAdopted
+     << ", \"snapshots_adopted\": " << s.snapshotsAdopted;
 }
 
 std::string statsJson(const SessionStats& s) {
@@ -175,6 +179,57 @@ std::string handleRequestLine(SynthService& service, const std::string& line,
           st, op, res.attached ? ", \"attached\": true" : ", \"attached\": false");
     }
 
+    if (op == "hello") {
+      // Fleet session handshake: {"op":"hello","token":T[,"host":NAME]}.
+      std::string token;
+      std::string host;
+      util::readString(root, "token", token);
+      util::readString(root, "host", host);
+      const HelloResult h = service.hello(token);
+      std::ostringstream os;
+      os << "{\"ok\": true, \"op\": \"hello\", \"epoch\": " << h.epoch
+         << ", \"resumed\": " << (h.resumed ? "true" : "false");
+      if (!host.empty())
+        os << ", \"host\": \"" << util::escapeJson(host) << "\"";
+      os << "}";
+      return os.str();
+    }
+
+    if (op == "claim") {
+      // Token-guarded submit of a task slice:
+      //   {"op":"claim","token":T,"method":M,"config":{...},
+      //    "tasks":[i,...][,"attach":B][,"adopt_dir":PATH]}
+      // The token check runs before anything else so a zombie
+      // coordinator's replay can't even parse-validate its way into a
+      // submission.
+      std::string token;
+      util::readString(root, "token", token);
+      service.requireFreshToken(token);
+      const util::JsonValue* cfg = root.find("config");
+      if (!cfg) throw std::invalid_argument("missing \"config\"");
+      const harness::ExperimentConfig config =
+          harness::ExperimentConfig::fromJsonValue(*cfg);
+      std::string method = "Edit";
+      util::readString(root, "method", method);
+      SubmitOptions opts;
+      util::readBool(root, "use_result_cache", opts.useResultCache);
+      util::readBool(root, "attach", opts.attach);
+      util::readDouble(root, "deadline_seconds", opts.deadlineSeconds);
+      util::readString(root, "adopt_dir", opts.adoptDir);
+      if (const util::JsonValue* tasks = root.find("tasks")) {
+        if (tasks->kind != util::JsonValue::Kind::Array)
+          throw std::invalid_argument(
+              "\"tasks\" must be an array of task indices");
+        for (const util::JsonValue& t : tasks->items)
+          opts.taskFilter.push_back(util::jsonUnsigned(t, "tasks[]"));
+      }
+      const SubmitResult res = service.submit(config, method, opts);
+      const JobStatus st = service.status(res.id);
+      return jobStatusJson(st, op,
+                           res.attached ? ", \"attached\": true"
+                                        : ", \"attached\": false");
+    }
+
     if (op == "status") return jobStatusJson(service.status(requireJobId(root)), op);
     if (op == "wait") return jobStatusJson(service.wait(requireJobId(root)), op);
 
@@ -208,6 +263,14 @@ std::string handleRequestLine(SynthService& service, const std::string& line,
     os << "{\"ok\": false, \"op\": \"" << util::escapeJson(op)
        << "\", \"error\": \"" << util::escapeJson(e.what())
        << "\", \"rejected\": \"overloaded\"}";
+    return os.str();
+  } catch (const StaleTokenError& e) {
+    // Superseded-session rejection: structurally distinguishable so a
+    // coordinator can tell "I was replaced" from a malformed request.
+    std::ostringstream os;
+    os << "{\"ok\": false, \"op\": \"" << util::escapeJson(op)
+       << "\", \"error\": \"" << util::escapeJson(e.what())
+       << "\", \"rejected\": \"stale_token\"}";
     return os.str();
   } catch (const std::exception& e) {
     return errorJson(op, e.what());

@@ -17,6 +17,10 @@
 //   {"op": "stats"}
 //   {"op": "metrics"}
 //   {"op": "shutdown"}
+//   {"op": "hello", "token": "fleet-1"}          // fleet session handshake
+//   {"op": "claim", "token": "fleet-1", "method": "Edit",
+//       "config": {...}, "tasks": [0, 3, 5], "attach": true,
+//       "adopt_dir": "/path/to/dead/hosts/job/dir"}
 //
 // Every response carries "ok" plus the echoed "op". Job responses carry
 // id/state/progress and the plan-cache counters; terminal states include
@@ -35,6 +39,15 @@
 // "recovered": true, and "retries" counts watchdog retries. "metrics"
 // returns the ServiceMetrics gauges + counters (queue depth, retry
 // backlog, fault-injection traffic, durable-checkpoint accounting).
+//
+// Fleet surface: "hello" establishes (or rotates) the session token — the
+// same token is idempotent, a new token supersedes and retires the old one,
+// and a retired token answers {"ok": false, "rejected": "stale_token"}.
+// "claim" is a token-guarded submit of a task slice: "tasks" lists the
+// claimed task indices (index = program * runsPerProgram + run; omitted =
+// all), and "adopt_dir" grafts a dead sibling claim's durable records and
+// snapshots before the claim runs (fleet failover). Claims attach, memoize,
+// and persist under the (method, config, claim) key.
 #pragma once
 
 #include <iosfwd>

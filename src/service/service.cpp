@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -9,6 +10,7 @@
 #include <deque>
 #include <filesystem>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -106,6 +108,7 @@ enum class Phase : std::uint8_t {
   Checkpointed,  ///< paused mid-search; snapshot held
   RetryWait,     ///< failed/stalled; re-queued after its backoff delay
   Done,          ///< TaskRecord recorded
+  Unclaimed,     ///< outside this job's fleet claim; never scheduled
 };
 
 struct TaskCheckpoint {
@@ -124,6 +127,11 @@ struct Job {
   std::vector<harness::TestProgram> workload;
   std::size_t programCount = 0;
   std::size_t runsPer = 1;
+  /// Fleet claim: the sorted task indices this job owns (empty = all).
+  /// Unclaimed tasks sit in Phase::Unclaimed and never schedule; the job is
+  /// complete when tasksDone == claimedTotal.
+  std::vector<std::size_t> claimed;
+  std::size_t claimedTotal = 0;
   bool useResultCache = true;
   std::string cacheKey;
   std::uint64_t keyHash = 0;  ///< fnv1a64(cacheKey): attach + state-dir name
@@ -184,7 +192,8 @@ enum class TaskOutcome {
 /// one memo entry. (Protocol clients can only vary serialized fields, but
 /// the public submit() API has no such restriction.)
 std::string resultCacheKey(const std::string& method,
-                           const harness::ExperimentConfig& config) {
+                           const harness::ExperimentConfig& config,
+                           const std::vector<std::size_t>& claim = {}) {
   std::ostringstream os;
   os.precision(17);
   const dsl::GeneratorConfig& g = config.synthesizer.generator;
@@ -196,7 +205,29 @@ std::string resultCacheKey(const std::string& method,
      << m.embedDim << ',' << m.hiddenDim << ',' << m.numClasses << ','
      << m.maxExamples << ',' << static_cast<int>(m.head) << ','
      << m.useTrace << ',' << m.seed << ',' << m.multilabelDim;
+  // A fleet claim is part of the job identity: two hosts claiming disjoint
+  // slices of one workload must get distinct memo entries and distinct
+  // durable state-dir names.
+  if (!claim.empty()) {
+    os << '\x1f' << "claim:";
+    for (std::size_t i = 0; i < claim.size(); ++i)
+      os << (i ? "," : "") << claim[i];
+  }
   return os.str();
+}
+
+/// Sorted, deduped, range-checked claim set. Out-of-range indices are a
+/// coordinator bug and fail loudly instead of being silently dropped.
+std::vector<std::size_t> normalizeClaim(std::vector<std::size_t> claim,
+                                        std::size_t total) {
+  std::sort(claim.begin(), claim.end());
+  claim.erase(std::unique(claim.begin(), claim.end()), claim.end());
+  if (!claim.empty() && claim.back() >= total)
+    throw std::invalid_argument(
+        "task claim index " + std::to_string(claim.back()) +
+        " out of range (job has " + std::to_string(total) + " tasks)");
+  if (claim.size() == total) claim.clear();  // a full claim is no claim
+  return claim;
 }
 
 std::int64_t nowMs() {
@@ -215,6 +246,8 @@ std::string key16(std::uint64_t h) {
 
 void initTaskState(Job& job, std::size_t total) {
   job.phase.assign(total, Phase::Queued);
+  job.claimed.clear();
+  job.claimedTotal = total;
   job.checkpoints.clear();
   job.checkpoints.resize(total);
   job.tasks.assign(total, TaskRecord{});
@@ -225,6 +258,16 @@ void initTaskState(Job& job, std::size_t total) {
     job.beatMs[i].store(-1, std::memory_order_relaxed);
     job.abortFlag[i].store(false, std::memory_order_relaxed);
   }
+}
+
+/// Applies a normalized claim on top of initTaskState: unclaimed tasks park
+/// in Phase::Unclaimed permanently. No-op for an empty (= full) claim.
+void applyClaim(Job& job, std::vector<std::size_t> claim) {
+  if (claim.empty()) return;
+  for (Phase& p : job.phase) p = Phase::Unclaimed;
+  for (const std::size_t idx : claim) job.phase[idx] = Phase::Queued;
+  job.claimedTotal = claim.size();
+  job.claimed = std::move(claim);
 }
 
 /// Single-line rendering for the done marker / error fields.
@@ -285,6 +328,15 @@ struct SynthService::Impl {
   std::deque<std::uint64_t> terminalOrder;   ///< terminal jobs, oldest first
   SessionStats sessionStats;
 
+  /// Fleet session-token handshake state: the current token owns the
+  /// epoch; superseded tokens are retired (bounded FIFO) so their replays
+  /// fail as StaleTokenError instead of silently racing the live session.
+  std::string sessionToken;
+  std::uint64_t sessionEpoch = 0;
+  std::set<std::string> retiredTokens;
+  std::deque<std::string> retiredOrder;
+  static constexpr std::size_t kMaxRetiredTokens = 64;
+
   /// Durable-write counters live off-lock (runTask persists snapshots while
   /// not holding mu); folded into SessionStats by statsLocked().
   std::atomic<std::size_t> durableWrites{0};
@@ -319,6 +371,11 @@ struct SynthService::Impl {
   void writeDoneMarkerLocked(const Job& job);
   void recoverStateDir();
   void recoverJobDir(const std::string& dir);
+  std::size_t loadTaskLogLocked(Job& job, const std::string& dir,
+                                bool persist);
+  void loadTaskSnapshotsLocked(Job& job, const std::string& dir,
+                               std::size_t* accepted = nullptr);
+  void adoptFromDirLocked(Job& job, const std::string& dir);
 };
 
 SessionStats SynthService::Impl::statsLocked() const {
@@ -335,7 +392,7 @@ JobStatus SynthService::Impl::statusLocked(const Job& job) const {
   st.method = job.method;
   st.programs = job.programCount;
   st.runsPerProgram = job.runsPer;
-  st.tasksTotal = job.tasks.size();
+  st.tasksTotal = job.claimedTotal;
   st.tasksDone = job.tasksDone;
   st.fromCache = job.fromCache;
   st.recovered = job.recovered;
@@ -350,7 +407,7 @@ JobStatus SynthService::Impl::statusLocked(const Job& job) const {
 }
 
 void SynthService::Impl::finalizeIfComplete(Job& job) {
-  if (job.tasksDone != job.tasks.size() || isTerminal(job.state)) return;
+  if (job.tasksDone != job.claimedTotal || isTerminal(job.state)) return;
   job.state = JobState::Done;
   ++sessionStats.jobsCompleted;
   if (cfg.resultCache && job.useResultCache)
@@ -434,8 +491,16 @@ void SynthService::Impl::claimStateDirLocked(Job& job) {
   m.precision(17);
   m << "{\"method\": \"" << util::escapeJson(job.method) << "\""
     << ", \"use_result_cache\": " << (job.useResultCache ? "true" : "false")
-    << ", \"deadline_seconds\": " << job.deadlineSeconds
-    << ", \"config\": " << job.config.toJson() << "}";
+    << ", \"deadline_seconds\": " << job.deadlineSeconds;
+  if (!job.claimed.empty()) {
+    // Claimed jobs must recover with the same claim, or a restarted backend
+    // would schedule (and report) tasks that belong to other hosts.
+    m << ", \"claim\": [";
+    for (std::size_t i = 0; i < job.claimed.size(); ++i)
+      m << (i ? ", " : "") << job.claimed[i];
+    m << "]";
+  }
+  m << ", \"config\": " << job.config.toJson() << "}";
   std::string err;
   if (!atomicWriteFile((dir / "manifest.json").string(), m.str(), err)) {
     durableErrors.fetch_add(1, std::memory_order_relaxed);
@@ -493,6 +558,88 @@ void SynthService::Impl::persistTaskCheckpoint(const Job& job,
   }
 }
 
+/// Replays a completed-task NDJSON log from `dir` into `job`: every fully
+/// recorded line whose task is still schedulable here (claimed, Queued)
+/// becomes Done. A torn tail line (crash mid-append) invalidates only
+/// itself. With `persist`, adopted records are re-appended to the job's own
+/// log so they survive the *next* failover too. Returns the tasks marked.
+std::size_t SynthService::Impl::loadTaskLogLocked(Job& job,
+                                                  const std::string& dir,
+                                                  bool persist) {
+  std::string bytes;
+  std::string err;
+  std::size_t marked = 0;
+  const std::size_t total = job.tasks.size();
+  if (!readFileBytes(dir + "/tasks.ndjson", bytes, err)) return 0;
+  std::istringstream lines(bytes);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    try {
+      const util::JsonValue t = util::parseJson(line);
+      std::size_t idx = total;
+      util::readSize(t, "task", idx);
+      if (idx >= total || job.phase[idx] != Phase::Queued) continue;
+      TaskRecord rec;
+      util::readSize(t, "program", rec.program);
+      util::readSize(t, "run", rec.run);
+      util::readBool(t, "found", rec.found);
+      util::readSize(t, "candidates", rec.candidates);
+      util::readSize(t, "generations", rec.generations);
+      util::readDouble(t, "seconds", rec.seconds);
+      job.tasks[idx] = rec;
+      job.phase[idx] = Phase::Done;
+      ++job.tasksDone;
+      ++marked;
+      if (persist) appendTaskRecordLocked(job, idx, rec);
+    } catch (...) {
+      break;
+    }
+  }
+  return marked;
+}
+
+/// Loads per-task snapshot files from `dir` for every still-Queued task:
+/// a decodable, target-matched snapshot becomes the task's resume
+/// checkpoint; anything corrupt/truncated/stale is rejected loudly by the
+/// checksum layer and the task restarts from its deterministic seed.
+void SynthService::Impl::loadTaskSnapshotsLocked(Job& job,
+                                                 const std::string& dir,
+                                                 std::size_t* accepted) {
+  std::string ck;
+  std::string err;
+  for (std::size_t i = 0; i < job.tasks.size(); ++i) {
+    if (job.phase[i] != Phase::Queued) continue;
+    if (!readFileBytes(dir + "/task-" + std::to_string(i) + ".ckpt", ck, err))
+      continue;  // no snapshot: the task restarts from its seed
+    TaskCheckpoint cp;
+    std::string why;
+    if (decodeTaskCheckpoint(ck, cp.snap, cp.rng, why) &&
+        cp.snap.targetLength == job.workload[i / job.runsPer].length) {
+      cp.snap.config = job.searchConfig;
+      cp.valid = true;
+      job.checkpoints[i] = std::move(cp);
+      ++sessionStats.durableCheckpointsLoaded;
+      if (accepted) ++*accepted;
+    } else {
+      ++sessionStats.checkpointsRejected;
+    }
+  }
+}
+
+/// Fleet failover adoption (SubmitOptions::adoptDir): graft a dead sibling
+/// claim's durable progress — its finished-task records and last task
+/// snapshots — into this job before it runs, so the reassigned claim
+/// resumes where the dead host stopped. Reads only; the sibling's
+/// directory is never modified.
+void SynthService::Impl::adoptFromDirLocked(Job& job, const std::string& dir) {
+  const std::size_t adoptedTasks = loadTaskLogLocked(job, dir, /*persist=*/true);
+  sessionStats.tasksAdopted += adoptedTasks;
+  std::size_t adoptedSnaps = 0;
+  loadTaskSnapshotsLocked(job, dir, &adoptedSnaps);
+  sessionStats.snapshotsAdopted += adoptedSnaps;
+}
+
 void SynthService::Impl::recoverStateDir() {
   namespace fs = std::filesystem;
   std::error_code ec;
@@ -527,6 +674,11 @@ void SynthService::Impl::recoverJobDir(const std::string& dir) {
   util::readBool(root, "use_result_cache", useCache);
   double deadline = 0.0;
   util::readDouble(root, "deadline_seconds", deadline);
+  std::vector<std::size_t> claim;
+  if (const util::JsonValue* c = root.find("claim");
+      c && c->kind == util::JsonValue::Kind::Array)
+    for (const util::JsonValue& v : c->items)
+      claim.push_back(util::jsonUnsigned(v, "claim[]"));
 
   auto job = std::make_shared<Job>();
   job->method = method;
@@ -535,8 +687,11 @@ void SynthService::Impl::recoverJobDir(const std::string& dir) {
   job->workload = harness::makeFullWorkload(config);
   job->programCount = job->workload.size();
   job->runsPer = std::max<std::size_t>(1, config.runsPerProgram);
+  claim = normalizeClaim(std::move(claim),
+                         job->workload.size() *
+                             std::max<std::size_t>(1, config.runsPerProgram));
   job->useResultCache = useCache;
-  job->cacheKey = resultCacheKey(method, config);
+  job->cacheKey = resultCacheKey(method, config, claim);
   job->keyHash = fnv1a64(job->cacheKey);
   job->deadlineSeconds = deadline;
   job->recovered = true;
@@ -547,35 +702,11 @@ void SynthService::Impl::recoverJobDir(const std::string& dir) {
   const std::size_t total = job->programCount * job->runsPer;
   if (total == 0) return;
   initTaskState(*job, total);
+  applyClaim(*job, std::move(claim));
 
   // Completed-task log: every fully recorded line is a finished task the
-  // restarted daemon never re-runs. A torn tail line (crash mid-append)
-  // invalidates only itself.
-  if (readFileBytes(dir + "/tasks.ndjson", bytes, err)) {
-    std::istringstream lines(bytes);
-    std::string line;
-    while (std::getline(lines, line)) {
-      if (line.empty()) continue;
-      try {
-        const util::JsonValue t = util::parseJson(line);
-        std::size_t idx = total;
-        util::readSize(t, "task", idx);
-        if (idx >= total || job->phase[idx] == Phase::Done) continue;
-        TaskRecord rec;
-        util::readSize(t, "program", rec.program);
-        util::readSize(t, "run", rec.run);
-        util::readBool(t, "found", rec.found);
-        util::readSize(t, "candidates", rec.candidates);
-        util::readSize(t, "generations", rec.generations);
-        util::readDouble(t, "seconds", rec.seconds);
-        job->tasks[idx] = rec;
-        job->phase[idx] = Phase::Done;
-        ++job->tasksDone;
-      } catch (...) {
-        break;
-      }
-    }
-  }
+  // restarted daemon never re-runs.
+  loadTaskLogLocked(*job, dir, /*persist=*/false);
 
   job->id = nextId++;
   byKey[job->keyHash] = job->id;
@@ -595,7 +726,7 @@ void SynthService::Impl::recoverJobDir(const std::string& dir) {
     jobs.emplace(job->id, job);
     terminalOrder.push_back(job->id);
     trimIfIdleLocked(*job);
-    if (job->state == JobState::Done && job->tasksDone == total &&
+    if (job->state == JobState::Done && job->tasksDone == job->claimedTotal &&
         cfg.resultCache && useCache)
       storeResultLocked(job->cacheKey, job->tasks);
     ++sessionStats.jobsRecovered;
@@ -603,33 +734,15 @@ void SynthService::Impl::recoverJobDir(const std::string& dir) {
   }
 
   // Interrupted job: load what snapshots survived, re-enqueue the rest.
-  for (std::size_t i = 0; i < total; ++i) {
-    if (job->phase[i] == Phase::Done) continue;
-    std::string ck;
-    if (!readFileBytes(dir + "/task-" + std::to_string(i) + ".ckpt", ck, err))
-      continue;  // no snapshot: the task restarts from its seed
-    TaskCheckpoint cp;
-    std::string why;
-    if (decodeTaskCheckpoint(ck, cp.snap, cp.rng, why) &&
-        cp.snap.targetLength == job->workload[i / job->runsPer].length) {
-      cp.snap.config = job->searchConfig;
-      cp.valid = true;
-      job->checkpoints[i] = std::move(cp);
-      ++sessionStats.durableCheckpointsLoaded;
-    } else {
-      // Corrupt/truncated/stale snapshot: rejected loudly by the checksum
-      // layer; the task restarts from its deterministic seed instead.
-      ++sessionStats.checkpointsRejected;
-    }
-  }
+  loadTaskSnapshotsLocked(*job, dir);
   jobs.emplace(job->id, job);
   ++sessionStats.jobsRecovered;
-  if (job->tasksDone == total) {
+  if (job->tasksDone == job->claimedTotal) {
     finalizeIfComplete(*job);
     return;
   }
   for (std::size_t i = 0; i < total; ++i)
-    if (job->phase[i] != Phase::Done) queue.emplace_back(job->id, i);
+    if (job->phase[i] == Phase::Queued) queue.emplace_back(job->id, i);
 }
 
 // ---- task execution ---------------------------------------------------------
@@ -965,6 +1078,19 @@ void SynthService::Impl::watchdogLoop() {
 
 // ---- public API -------------------------------------------------------------
 
+std::string jobDirName(const std::string& method,
+                       const harness::ExperimentConfig& config,
+                       const std::vector<std::size_t>& taskFilter) {
+  // Sort/dedup like submit's normalization, but without the range check (no
+  // workload here) and without full-claim collapsing — callers pass the
+  // exact claim they submitted, and a coordinator never claims every task
+  // of a multi-host job on one host anyway.
+  std::vector<std::size_t> claim = taskFilter;
+  std::sort(claim.begin(), claim.end());
+  claim.erase(std::unique(claim.begin(), claim.end()), claim.end());
+  return key16(fnv1a64(resultCacheKey(method, config, claim)));
+}
+
 SynthService::SynthService(ServiceConfig config)
     : impl_(std::make_unique<Impl>(config)) {}
 
@@ -997,15 +1123,17 @@ SubmitResult SynthService::submit(const harness::ExperimentConfig& config,
   job->workload = harness::makeFullWorkload(config);
   job->programCount = job->workload.size();
   job->runsPer = std::max<std::size_t>(1, config.runsPerProgram);
+  const std::size_t total = job->workload.size() * job->runsPer;
+  std::vector<std::size_t> claim = normalizeClaim(opts.taskFilter, total);
   job->useResultCache = opts.useResultCache;
-  job->cacheKey = resultCacheKey(method, config);
+  job->cacheKey = resultCacheKey(method, config, claim);
   job->keyHash = fnv1a64(job->cacheKey);
   job->deadlineSeconds = opts.deadlineSeconds > 0
                              ? opts.deadlineSeconds
                              : impl_->cfg.defaultDeadlineSeconds;
   job->start = std::chrono::steady_clock::now();
-  const std::size_t total = job->workload.size() * job->runsPer;
   initTaskState(*job, total);
+  applyClaim(*job, std::move(claim));
 
   std::lock_guard<std::mutex> lock(impl_->mu);
   if (impl_->stop) throw std::runtime_error("service is shut down");
@@ -1033,8 +1161,12 @@ SubmitResult SynthService::submit(const harness::ExperimentConfig& config,
         it != impl_->resultCache.end()) {
       ++impl_->sessionStats.jobsSubmitted;
       job->tasks = it->second;
-      job->tasksDone = total;
-      job->phase.assign(total, Phase::Done);
+      job->tasksDone = job->claimedTotal;
+      if (job->claimed.empty())
+        job->phase.assign(total, Phase::Done);
+      else
+        for (const std::size_t idx : job->claimed)
+          job->phase[idx] = Phase::Done;
       job->state = JobState::Done;
       job->fromCache = true;
       ++impl_->sessionStats.resultCacheHits;
@@ -1050,20 +1182,25 @@ SubmitResult SynthService::submit(const harness::ExperimentConfig& config,
   // Backpressure: reject before any state is registered, so an overloaded
   // daemon stays exactly as loaded as it was.
   if (impl_->cfg.maxQueuedTasks > 0 &&
-      impl_->queue.size() + total > impl_->cfg.maxQueuedTasks) {
+      impl_->queue.size() + job->claimedTotal > impl_->cfg.maxQueuedTasks) {
     ++impl_->sessionStats.submitsRejected;
     throw OverloadedError(
         "task queue overloaded: " + std::to_string(impl_->queue.size()) +
-        " queued + " + std::to_string(total) + " requested > cap " +
-        std::to_string(impl_->cfg.maxQueuedTasks));
+        " queued + " + std::to_string(job->claimedTotal) +
+        " requested > cap " + std::to_string(impl_->cfg.maxQueuedTasks));
   }
 
   ++impl_->sessionStats.jobsSubmitted;
   impl_->jobs.emplace(job->id, job);
   impl_->byKey[job->keyHash] = job->id;
   impl_->claimStateDirLocked(*job);
+  // Failover adoption runs after the state dir claim so grafted records
+  // land in this job's own durable log too.
+  if (!opts.adoptDir.empty()) impl_->adoptFromDirLocked(*job, opts.adoptDir);
   for (std::size_t i = 0; i < total; ++i)
-    impl_->queue.emplace_back(job->id, i);
+    if (job->phase[i] == Phase::Queued)
+      impl_->queue.emplace_back(job->id, i);
+  impl_->finalizeIfComplete(*job);  // adoption may have finished everything
   impl_->taskCv.notify_all();
   return {job->id, false};
 }
@@ -1139,6 +1276,56 @@ bool SynthService::resume(std::uint64_t id) {
   impl_->finalizeIfComplete(job);
   impl_->taskCv.notify_all();
   return true;
+}
+
+HelloResult SynthService::hello(const std::string& token) {
+  if (token.empty())
+    throw std::invalid_argument("hello requires a non-empty session token");
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->stop) throw std::runtime_error("service is shut down");
+  HelloResult res;
+  res.resumed = impl_->sessionStats.jobsRecovered > 0;
+  if (token == impl_->sessionToken) {
+    // Idempotent re-hello: a coordinator reconnecting to a live backend
+    // keeps its epoch.
+    res.epoch = impl_->sessionEpoch;
+    return res;
+  }
+  if (impl_->retiredTokens.count(token)) {
+    ++impl_->sessionStats.staleTokensRejected;
+    throw StaleTokenError("session token was superseded at epoch " +
+                          std::to_string(impl_->sessionEpoch) +
+                          "; a retired token cannot be re-established");
+  }
+  if (!impl_->sessionToken.empty()) {
+    if (impl_->retiredTokens.insert(impl_->sessionToken).second)
+      impl_->retiredOrder.push_back(impl_->sessionToken);
+    while (impl_->retiredOrder.size() > Impl::kMaxRetiredTokens) {
+      impl_->retiredTokens.erase(impl_->retiredOrder.front());
+      impl_->retiredOrder.pop_front();
+    }
+  }
+  impl_->sessionToken = token;
+  ++impl_->sessionEpoch;
+  ++impl_->sessionStats.hellosAccepted;
+  res.epoch = impl_->sessionEpoch;
+  return res;
+}
+
+void SynthService::requireFreshToken(const std::string& token) const {
+  if (token.empty())
+    throw std::invalid_argument(
+        "claim requires a session token (send hello first)");
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->sessionToken.empty()) {
+    ++impl_->sessionStats.staleTokensRejected;
+    throw StaleTokenError("no fleet session established: hello before claim");
+  }
+  if (token != impl_->sessionToken) {
+    ++impl_->sessionStats.staleTokensRejected;
+    throw StaleTokenError("stale session token rejected (current epoch " +
+                          std::to_string(impl_->sessionEpoch) + ")");
+  }
 }
 
 SessionStats SynthService::stats() const {

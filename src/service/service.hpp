@@ -111,6 +111,24 @@ class OverloadedError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// A fleet session token that was superseded by a newer hello (or a claim
+/// attempted before any hello). The protocol maps this to {"ok": false,
+/// "rejected": "stale_token"} so a zombie coordinator's replayed requests
+/// are rejected loudly instead of racing the live one.
+class StaleTokenError : public std::runtime_error {
+ public:
+  explicit StaleTokenError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// hello() outcome: the session epoch this token now owns, and whether the
+/// backend rebuilt jobs from its durable state dir at startup (the signal
+/// that a reconnecting coordinator should re-claim with attach).
+struct HelloResult {
+  std::uint64_t epoch = 0;
+  bool resumed = false;
+};
+
 enum class JobState : std::uint8_t {
   Queued,     ///< accepted, no task started yet
   Running,    ///< at least one task started
@@ -172,6 +190,23 @@ struct SubmitOptions {
   /// Per-job wall-clock deadline override (seconds; 0 = the service
   /// default).
   double deadlineSeconds = 0.0;
+  /// Fleet task claim: restrict this job to the given task indices
+  /// (task index = program * runsPerProgram + run); empty claims every
+  /// task. The set is normalized (sorted, deduped) and is part of the job's
+  /// identity — attach, the result memo, and the durable state-dir name all
+  /// key on (method, config, claim) — so two hosts claiming disjoint slices
+  /// of one workload never collide. Out-of-range indices throw
+  /// std::invalid_argument. Unclaimed tasks are never scheduled and the job
+  /// completes when every *claimed* task is done.
+  std::vector<std::size_t> taskFilter;
+  /// Fleet failover: path to a dead sibling claim's durable job directory
+  /// (shared filesystem). At submit, completed-task records found in its
+  /// tasks.ndjson become Done tasks here (re-persisted into this job's own
+  /// log) and its valid task snapshots become resume checkpoints, so the
+  /// reassigned claim continues where the dead host stopped instead of
+  /// redoing its work. Unreadable/corrupt entries are skipped — those
+  /// tasks restart from their deterministic seed with identical results.
+  std::string adoptDir;
 };
 
 struct SubmitResult {
@@ -202,6 +237,11 @@ struct SessionStats {
   std::size_t durableCheckpointsLoaded = 0;  ///< decoded + accepted
   std::size_t checkpointsRejected = 0;  ///< bad checksum/frame, or stale
   std::size_t durableWriteErrors = 0;   ///< persistence failures (non-fatal)
+  // ---- fleet ----
+  std::size_t hellosAccepted = 0;       ///< session tokens accepted/rotated
+  std::size_t staleTokensRejected = 0;  ///< superseded-token replays refused
+  std::size_t tasksAdopted = 0;     ///< finished tasks grafted via adoptDir
+  std::size_t snapshotsAdopted = 0; ///< resume checkpoints grafted likewise
 };
 
 /// Point-in-time gauges + counters for scraping (the protocol "metrics"
@@ -245,6 +285,15 @@ baselines::MethodPtr makeOneShotMethod(const std::string& method,
                                        const harness::ExperimentConfig& config,
                                        ModelStore& models);
 
+/// The directory name (under `<stateDir>/jobs/`) a job with this (method,
+/// config, claim) persists to — 16 hex digits of the job key hash. Exposed
+/// so a fleet coordinator can point a surviving host's claim at a dead
+/// host's job directory (SubmitOptions::adoptDir) without asking the dead
+/// host anything.
+std::string jobDirName(const std::string& method,
+                       const harness::ExperimentConfig& config,
+                       const std::vector<std::size_t>& taskFilter = {});
+
 class SynthService {
  public:
   /// Construction also runs durable recovery when config.stateDir is set:
@@ -266,10 +315,26 @@ class SynthService {
   std::uint64_t submit(const harness::ExperimentConfig& config,
                        const std::string& method, bool useResultCache = true);
 
-  /// submit() with the full option set (attach-by-key, per-job deadline).
-  /// Throws OverloadedError when the task queue is at its configured cap.
+  /// submit() with the full option set (attach-by-key, per-job deadline,
+  /// fleet task claim + snapshot adoption). Throws OverloadedError when the
+  /// task queue is at its configured cap.
   SubmitResult submit(const harness::ExperimentConfig& config,
                       const std::string& method, const SubmitOptions& opts);
+
+  /// Fleet session handshake. A coordinator establishes (or rotates to)
+  /// `token`: the same token re-hello'd is idempotent (same epoch back — a
+  /// reconnect after a backend restart just re-establishes the session);
+  /// a *new* token supersedes the old one, bumping the epoch and retiring
+  /// the predecessor so its replayed requests fail with StaleTokenError.
+  /// Empty tokens throw std::invalid_argument; retired tokens throw
+  /// StaleTokenError. HelloResult::resumed tells the caller whether this
+  /// backend recovered durable jobs at startup (re-claim with attach).
+  HelloResult hello(const std::string& token);
+
+  /// Validates a claim's session token: throws StaleTokenError when it is
+  /// not the current one (or no hello happened yet), std::invalid_argument
+  /// when empty. The protocol's "claim" op calls this before submitting.
+  void requireFreshToken(const std::string& token) const;
 
   /// Snapshot of a job (throws std::out_of_range on unknown id). The
   /// service retains a bounded history: the oldest terminal jobs are

@@ -70,8 +70,9 @@ struct BenchComparison {
 };
 
 /// Compares two bench records of the same kind ("interpreter",
-/// "nn_scoring", or "islands"). Throws std::invalid_argument on malformed
-/// JSON, unknown bench tags, or a tag mismatch between the two records.
+/// "nn_scoring", "islands", "strdsl", or "fleet"). Throws
+/// std::invalid_argument on malformed JSON, unknown bench tags, or a tag
+/// mismatch between the two records.
 BenchComparison compareBenchRecords(const std::string& baselineJson,
                                     const std::string& freshJson);
 

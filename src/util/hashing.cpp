@@ -1,0 +1,60 @@
+#include "util/hashing.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace netsyn::util {
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t rendezvousWeight(std::uint64_t keyHash, std::uint64_t hostId) {
+  // Mix twice so neither operand can cancel structure in the other: a
+  // single xor-then-mix would give correlated weights for host ids that
+  // differ from each other by the same xor delta as two task keys.
+  return mix64(mix64(keyHash ^ 0x8bad5eedc0ffee42ull) ^ hostId);
+}
+
+std::size_t rendezvousOwner(std::uint64_t keyHash,
+                            const std::vector<std::uint64_t>& hostIds) {
+  if (hostIds.empty())
+    throw std::invalid_argument("rendezvousOwner: no hosts");
+  std::size_t best = 0;
+  std::uint64_t bestW = rendezvousWeight(keyHash, hostIds[0]);
+  for (std::size_t i = 1; i < hostIds.size(); ++i) {
+    const std::uint64_t w = rendezvousWeight(keyHash, hostIds[i]);
+    if (w > bestW) {
+      best = i;
+      bestW = w;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> rendezvousRank(
+    std::uint64_t keyHash, const std::vector<std::uint64_t>& hostIds) {
+  std::vector<std::size_t> order(hostIds.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return rendezvousWeight(keyHash, hostIds[a]) >
+                            rendezvousWeight(keyHash, hostIds[b]);
+                   });
+  return order;
+}
+
+}  // namespace netsyn::util

@@ -1,0 +1,45 @@
+// Shared hashing primitives for stable, machine-independent placement:
+// FNV-1a 64 (the checksum/key hash the durability layer already uses), the
+// splitmix64 finalizer as a cheap 64-bit mixer, and rendezvous (highest-
+// random-weight) hashing for fleet task placement.
+//
+// Rendezvous hashing is the fleet's determinism keystone: every (task key,
+// host id) pair gets an independent pseudo-random weight, and the task
+// belongs to the host with the highest weight among the *healthy* hosts.
+// Removing a host therefore moves only the tasks that host owned — every
+// other task keeps its owner — and the full preference order
+// (rendezvousRank) tells a coordinator where a task goes next when its
+// owner dies or sheds load. No coordination, no ring state: any process
+// that knows the host-id list computes the same placement.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace netsyn::util {
+
+/// FNV-1a 64 over a byte string.
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/// splitmix64 finalizer: a fast, well-distributed 64-bit mixer.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Rendezvous weight of `keyHash` on `hostId` (exposed so tests can pin the
+/// argmax identity).
+std::uint64_t rendezvousWeight(std::uint64_t keyHash, std::uint64_t hostId);
+
+/// Index into `hostIds` of the highest-weight host for `keyHash`. Ties
+/// break toward the lower index (deterministic for any input). Throws
+/// std::invalid_argument when `hostIds` is empty.
+std::size_t rendezvousOwner(std::uint64_t keyHash,
+                            const std::vector<std::uint64_t>& hostIds);
+
+/// Full preference order for `keyHash`: indices into `hostIds` sorted by
+/// descending weight (owner first). rank[0] == rendezvousOwner(...), and
+/// erasing any host from the list leaves the relative order of the rest
+/// unchanged — the failover property the fleet coordinator leans on.
+std::vector<std::size_t> rendezvousRank(
+    std::uint64_t keyHash, const std::vector<std::uint64_t>& hostIds);
+
+}  // namespace netsyn::util

@@ -1,0 +1,174 @@
+#include "util/transport.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace netsyn::util {
+
+PipeTransport::PipeTransport(const std::string& path,
+                             const std::vector<std::string>& args,
+                             double recvTimeoutSeconds)
+    : recvTimeoutSeconds_(recvTimeoutSeconds) {
+  int toChild[2];
+  int fromChild[2];
+  if (pipe(toChild) != 0 || pipe(fromChild) != 0)
+    throw std::runtime_error("pipe() failed");
+  pid_ = fork();
+  if (pid_ < 0) throw std::runtime_error("fork() failed");
+  if (pid_ == 0) {
+    dup2(toChild[0], STDIN_FILENO);
+    dup2(fromChild[1], STDOUT_FILENO);
+    ::close(toChild[0]);
+    ::close(toChild[1]);
+    ::close(fromChild[0]);
+    ::close(fromChild[1]);
+    std::vector<std::string> argStore;
+    argStore.push_back(path);
+    for (const std::string& a : args) argStore.push_back(a);
+    std::vector<char*> argv;
+    for (std::string& a : argStore) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    execv(path.c_str(), argv.data());
+    std::perror("execv");
+    _exit(127);
+  }
+  ::close(toChild[0]);
+  ::close(fromChild[1]);
+  writeFd_ = toChild[1];
+  readFd_ = fromChild[0];
+}
+
+PipeTransport::~PipeTransport() { close(); }
+
+void PipeTransport::markClosed() {
+  closed_ = true;
+  if (writeFd_ >= 0) {
+    ::close(writeFd_);
+    writeFd_ = -1;
+  }
+  if (readFd_ >= 0) {
+    ::close(readFd_);
+    readFd_ = -1;
+  }
+}
+
+void PipeTransport::sendLine(const std::string& line) {
+  if (closed_) throw TransportClosed("transport already closed");
+  const std::string framed = line + "\n";
+  const char* data = framed.c_str();
+  std::size_t left = framed.size();
+  while (left > 0) {
+    const ssize_t n = write(writeFd_, data, left);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      const std::string why = std::strerror(errno);
+      markClosed();
+      throw TransportClosed("write to backend failed (" + why + ")");
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+std::string PipeTransport::recvLine() {
+  if (closed_) throw TransportClosed("transport already closed");
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return line;
+    }
+    if (recvTimeoutSeconds_ > 0.0) {
+      struct pollfd pfd {};
+      pfd.fd = readFd_;
+      pfd.events = POLLIN;
+      const int timeoutMs =
+          static_cast<int>(std::max(1.0, recvTimeoutSeconds_ * 1000.0));
+      int r;
+      do {
+        r = poll(&pfd, 1, timeoutMs);
+      } while (r < 0 && errno == EINTR);
+      if (r == 0) {
+        markClosed();
+        throw TransportTimeout("backend silent past the receive timeout");
+      }
+      if (r < 0) {
+        const std::string why = std::strerror(errno);
+        markClosed();
+        throw TransportClosed("poll on backend failed (" + why + ")");
+      }
+    }
+    char chunk[4096];
+    const ssize_t n = read(readFd_, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      markClosed();
+      throw TransportClosed("backend closed the session");
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void PipeTransport::close() {
+  if (pid_ <= 0 && closed_) return;
+  markClosed();
+  if (pid_ > 0) {
+    // Closing stdin is the shutdown signal; give the backend a short grace
+    // window to exit before escalating so close() can never hang.
+    for (int i = 0; i < 200; ++i) {
+      const pid_t r = waitpid(pid_, nullptr, WNOHANG);
+      if (r == pid_ || (r < 0 && errno == ECHILD)) {
+        pid_ = -1;
+        return;
+      }
+      usleep(10 * 1000);
+    }
+    ::kill(pid_, SIGKILL);
+    waitpid(pid_, nullptr, 0);
+    pid_ = -1;
+  }
+}
+
+void PipeTransport::kill() {
+  if (pid_ > 0) {
+    ::kill(pid_, SIGKILL);
+    waitpid(pid_, nullptr, 0);
+    pid_ = -1;
+  }
+  markClosed();
+}
+
+RetrySchedule::RetrySchedule(double baseMs, double capMs, std::uint64_t seed)
+    : baseMs_(baseMs), capMs_(capMs), state_(seed) {}
+
+void RetrySchedule::reset(std::uint64_t seed) {
+  state_ = seed;
+  attempt_ = 0;
+}
+
+double RetrySchedule::nextDelayMs() {
+  ++attempt_;
+  // splitmix64 step — the same generator the fault-injection registry uses
+  // for its probability draws, so every "random" delay in a chaos run comes
+  // from a seeded stream.
+  state_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  const double u =
+      static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);  // [0, 1)
+  const double factor = static_cast<double>(
+      1ull << std::min<std::size_t>(attempt_ - 1, 20));
+  const double capped = std::min(baseMs_ * factor, capMs_);
+  return capped * (0.5 + 0.5 * u);
+}
+
+}  // namespace netsyn::util

@@ -1,0 +1,131 @@
+// Line-oriented transport seam for the NDJSON protocol: one interface the
+// fleet coordinator and synth_client speak through, with a subprocess pipe
+// implementation today and room for sockets later (a remote host is just
+// another Transport).
+//
+// Failure model: every way the peer can be gone — EPIPE on write, EOF on
+// read, a receive that outlives its timeout — surfaces as TransportClosed
+// (timeouts as the TransportTimeout subclass). A transport that threw
+// TransportClosed is dead for good: the coordinator treats the host as
+// lost and reassigns its work; a client respawns and reattaches. kill()
+// simulates abrupt host death (SIGKILL for subprocesses — no shutdown
+// handshake, durable state is whatever already hit disk), which is what
+// the chaos/failover tests lean on.
+//
+// RetrySchedule is the deterministic backoff companion: reconnect/shed
+// delays are seeded draws (splitmix64, the fault-injection registry's
+// generator) rather than wall-clock entropy, so a chaos CI run replays the
+// exact same schedule every time.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace netsyn::util {
+
+/// The peer end of a transport is gone (write error, EOF, or timeout).
+class TransportClosed : public std::runtime_error {
+ public:
+  explicit TransportClosed(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// recvLine() outlived its timeout budget. The transport is closed: a peer
+/// that stopped answering mid-request cannot be resynchronized on a line
+/// protocol, so the caller must treat the host as dead.
+class TransportTimeout : public TransportClosed {
+ public:
+  explicit TransportTimeout(const std::string& what) : TransportClosed(what) {}
+};
+
+/// One bidirectional line session with a protocol peer.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends one request line (no trailing newline). Throws TransportClosed
+  /// when the peer is gone.
+  virtual void sendLine(const std::string& line) = 0;
+
+  /// Receives one response line (newline stripped). Throws TransportClosed
+  /// on EOF, TransportTimeout past the receive budget.
+  virtual std::string recvLine() = 0;
+
+  /// False once the transport has failed or been closed/killed.
+  virtual bool alive() const = 0;
+
+  /// Graceful close: release the session (subprocess peers get EOF on
+  /// stdin and exit on their own). Idempotent.
+  virtual void close() = 0;
+
+  /// Abrupt peer death for chaos tests (SIGKILL a subprocess; in-process
+  /// peers just drop the connection). Defaults to close().
+  virtual void kill() { close(); }
+
+  /// One request/response round trip.
+  std::string request(const std::string& line) {
+    sendLine(line);
+    return recvLine();
+  }
+};
+
+/// A spawned subprocess (synthd-style: NDJSON on stdin/stdout) behind the
+/// Transport interface. The receive timeout (0 = wait forever) is the
+/// coordinator's host-death detector: a backend that stops answering is
+/// indistinguishable from a dead one, and gets treated as such.
+class PipeTransport : public Transport {
+ public:
+  PipeTransport(const std::string& path, const std::vector<std::string>& args,
+                double recvTimeoutSeconds = 0.0);
+  ~PipeTransport() override;
+  PipeTransport(const PipeTransport&) = delete;
+  PipeTransport& operator=(const PipeTransport&) = delete;
+
+  void sendLine(const std::string& line) override;
+  std::string recvLine() override;
+  bool alive() const override { return pid_ > 0 && !closed_; }
+  void close() override;
+  void kill() override;
+
+  pid_t pid() const { return pid_; }
+
+ private:
+  void markClosed();
+
+  pid_t pid_ = -1;
+  int writeFd_ = -1;
+  int readFd_ = -1;
+  bool closed_ = false;
+  double recvTimeoutSeconds_ = 0.0;
+  std::string buf_;  ///< bytes read past the last returned line
+};
+
+/// Deterministic capped-exponential backoff with seeded jitter: attempt n
+/// waits min(baseMs * 2^(n-1), capMs) scaled by a jitter factor in
+/// [0.5, 1.0) drawn from a splitmix64 stream. Same seed, same schedule —
+/// chaos CI replays reconnect timing exactly.
+class RetrySchedule {
+ public:
+  RetrySchedule(double baseMs, double capMs, std::uint64_t seed);
+
+  /// Delay before the next attempt, in milliseconds (advances the stream).
+  double nextDelayMs();
+
+  /// Attempts drawn so far.
+  std::size_t attempts() const { return attempt_; }
+
+  void reset(std::uint64_t seed);
+
+ private:
+  double baseMs_;
+  double capMs_;
+  std::uint64_t state_;
+  std::size_t attempt_ = 0;
+};
+
+}  // namespace netsyn::util

@@ -1,0 +1,473 @@
+// Fleet suite: the distributed coordinator's determinism invariant and its
+// failure handling, exercised subprocess-free over LoopbackTransport
+// backends (each "host" is an in-process SynthService driven through
+// handleRequestLine — sanitizer-friendly and fast).
+//
+// The invariant under test everywhere: the merged fleet report renders
+// byte-identical for any host count and any failure history — one host,
+// three hosts, a host killed mid-claim, an overloaded host shedding its
+// claim — because task placement is rendezvous-hashed on host-independent
+// keys and every task's search is seeded by (config, program, run).
+//
+// Also here: the protocol's fleet surface (hello token rotation, claim
+// validation, stale-token rejection) including a truncated-frame fuzz pass
+// in the test_config_fuzz.cpp style — no prefix of a valid claim line may
+// crash the session or create a job.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "harness/workload.hpp"
+#include "service/fleet.hpp"
+#include "service/protocol.hpp"
+#include "service/service.hpp"
+#include "util/hashing.hpp"
+#include "util/json.hpp"
+#include "util/transport.hpp"
+
+namespace nh = netsyn::harness;
+namespace ns = netsyn::service;
+namespace nu = netsyn::util;
+
+namespace {
+
+nh::ExperimentConfig tinyConfig(std::uint64_t seed = 7,
+                                std::size_t budget = 600) {
+  auto cfg = nh::ExperimentConfig::forScale("ci");
+  cfg.programLengths = {3};
+  cfg.programsPerLength = 2;
+  cfg.examplesPerProgram = 3;
+  cfg.runsPerProgram = 2;
+  cfg.searchBudget = budget;
+  cfg.synthesizer.ga.populationSize = 16;
+  cfg.synthesizer.ga.eliteCount = 2;
+  cfg.synthesizer.maxGenerations = 150;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Tasks long enough that killing a host mid-claim is the common case
+/// (mostly-unsolvable searches that burn their budget), while a full fleet
+/// run still finishes in test time.
+nh::ExperimentConfig mediumConfig(std::uint64_t seed = 41) {
+  auto cfg = tinyConfig(seed, 6000);
+  cfg.programLengths = {4};
+  cfg.programsPerLength = 3;
+  cfg.synthesizer.maxGenerations = 1500;
+  return cfg;
+}
+
+/// Scratch state-dir root unique to this test process.
+class FleetEnv {
+ public:
+  explicit FleetEnv(const std::string& tag) {
+    root_ = "fleet_state_" + tag + "_" +
+            std::to_string(static_cast<unsigned>(::getpid()));
+    std::filesystem::remove_all(root_);
+  }
+  ~FleetEnv() {
+    std::error_code ec;
+    std::filesystem::remove_all(root_, ec);
+  }
+  std::string hostDir(std::size_t i) const {
+    return root_ + "/host-" + std::to_string(i);
+  }
+  std::vector<std::string> hostDirs(std::size_t n) const {
+    std::vector<std::string> dirs;
+    for (std::size_t i = 0; i < n; ++i) dirs.push_back(hostDir(i));
+    return dirs;
+  }
+
+ private:
+  std::string root_;
+};
+
+/// Loopback backend factory: host i is a fresh in-process SynthService
+/// (re-invokable for the same index — the coordinator's restart path).
+ns::FleetCoordinator::TransportFactory loopbackFactory(
+    std::vector<std::string> stateDirs = {},
+    std::vector<std::size_t> maxQueuedPerHost = {}) {
+  return [stateDirs = std::move(stateDirs),
+          maxQueuedPerHost = std::move(maxQueuedPerHost)](std::size_t i)
+             -> std::unique_ptr<nu::Transport> {
+    ns::ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.checkpointEveryGenerations = 1;
+    if (i < stateDirs.size()) cfg.stateDir = stateDirs[i];
+    if (i < maxQueuedPerHost.size()) cfg.maxQueuedTasks = maxQueuedPerHost[i];
+    return std::make_unique<ns::LoopbackTransport>(
+        std::make_shared<ns::SynthService>(cfg));
+  };
+}
+
+ns::FleetConfig fastPoll(std::size_t hosts) {
+  ns::FleetConfig fc;
+  fc.hosts = hosts;
+  fc.pollIntervalMs = 1.0;
+  return fc;
+}
+
+std::string runFleetReport(ns::FleetConfig fc,
+                           ns::FleetCoordinator::TransportFactory factory,
+                           std::vector<std::string> stateDirs,
+                           const nh::ExperimentConfig& cfg,
+                           ns::FleetMetrics* metricsOut = nullptr) {
+  ns::FleetCoordinator fleet(fc, std::move(factory), std::move(stateDirs));
+  const ns::FleetReport report = fleet.run(cfg, "Edit");
+  if (metricsOut) *metricsOut = fleet.metrics();
+  return report.render();
+}
+
+/// One-shot reference: the sequential runner over the same config.
+nh::MethodReport oneShot(const nh::ExperimentConfig& cfg) {
+  ns::ModelStore store;
+  const auto m = ns::makeOneShotMethod("Edit", cfg, store);
+  return nh::runMethod(*m, nh::makeFullWorkload(cfg), cfg, /*verbose=*/false);
+}
+
+nu::JsonValue handled(ns::SynthService& svc, const std::string& line) {
+  bool shutdownRequested = false;
+  return nu::parseJson(ns::handleRequestLine(svc, line, shutdownRequested));
+}
+
+bool okOf(const nu::JsonValue& v) {
+  bool ok = false;
+  nu::readBool(v, "ok", ok);
+  return ok;
+}
+
+std::string rejectedOf(const nu::JsonValue& v) {
+  std::string r;
+  nu::readString(v, "rejected", r);
+  return r;
+}
+
+}  // namespace
+
+// ------------------------------------------------ rendezvous hashing ------
+
+TEST(RendezvousHashing, OwnerIsRankHeadWithDeterministicTieBreak) {
+  std::vector<std::uint64_t> hosts;
+  for (std::size_t i = 0; i < 5; ++i)
+    hosts.push_back(ns::fleetHostId("host-" + std::to_string(i)));
+  for (std::uint64_t key = 1; key <= 200; ++key) {
+    const std::size_t owner = nu::rendezvousOwner(key, hosts);
+    const std::vector<std::size_t> rank = nu::rendezvousRank(key, hosts);
+    ASSERT_EQ(rank.size(), hosts.size());
+    EXPECT_EQ(rank.front(), owner);
+    // Rank is a permutation.
+    std::set<std::size_t> seen(rank.begin(), rank.end());
+    EXPECT_EQ(seen.size(), hosts.size());
+  }
+  EXPECT_THROW(nu::rendezvousOwner(1, {}), std::invalid_argument);
+}
+
+TEST(RendezvousHashing, RemovingAHostMovesOnlyItsKeys) {
+  std::vector<std::uint64_t> hosts;
+  for (std::size_t i = 0; i < 5; ++i)
+    hosts.push_back(ns::fleetHostId("host-" + std::to_string(i)));
+  const std::size_t removed = 2;
+  std::vector<std::uint64_t> survivors;
+  for (std::size_t i = 0; i < hosts.size(); ++i)
+    if (i != removed) survivors.push_back(hosts[i]);
+
+  std::size_t moved = 0;
+  for (std::uint64_t key = 1; key <= 1000; ++key) {
+    const std::size_t before = nu::rendezvousOwner(key, hosts);
+    const std::size_t after = nu::rendezvousOwner(key, survivors);
+    const std::uint64_t afterId = survivors[after];
+    if (before == removed) {
+      ++moved;
+      // Orphaned keys land on their second-choice host.
+      const std::vector<std::size_t> rank = nu::rendezvousRank(key, hosts);
+      EXPECT_EQ(afterId, hosts[rank[1]]) << "key " << key;
+    } else {
+      EXPECT_EQ(afterId, hosts[before]) << "key " << key << " moved "
+                                        << "despite its owner surviving";
+    }
+  }
+  // The removed host owned a nontrivial share (sanity on the hash spread).
+  EXPECT_GT(moved, 100u);
+  EXPECT_LT(moved, 350u);
+}
+
+TEST(FleetTaskKey, DistinctAcrossTasksAndSeeds) {
+  std::set<std::uint64_t> keys;
+  for (std::size_t p = 0; p < 16; ++p)
+    for (std::size_t k = 0; k < 8; ++k)
+      keys.insert(ns::fleetTaskKey(2021, p, k));
+  EXPECT_EQ(keys.size(), 16u * 8u);
+  EXPECT_NE(ns::fleetTaskKey(2021, 0, 0), ns::fleetTaskKey(2022, 0, 0));
+}
+
+// ------------------------------------------------ retry schedule ----------
+
+TEST(RetrySchedule, SameSeedSameScheduleWithCapAndJitterBounds) {
+  nu::RetrySchedule a(100.0, 1000.0, 42);
+  nu::RetrySchedule b(100.0, 1000.0, 42);
+  nu::RetrySchedule c(100.0, 1000.0, 43);
+  bool anyDiffers = false;
+  for (int i = 0; i < 12; ++i) {
+    const double da = a.nextDelayMs();
+    EXPECT_EQ(da, b.nextDelayMs());  // bit-identical replay
+    if (da != c.nextDelayMs()) anyDiffers = true;
+    // Jitter keeps attempt n within [cap/2, cap) of its exponential step.
+    const double cap = std::min(100.0 * static_cast<double>(1 << std::min(i, 20)),
+                                1000.0);
+    EXPECT_GE(da, cap * 0.5);
+    EXPECT_LT(da, cap);
+  }
+  EXPECT_TRUE(anyDiffers);
+  EXPECT_EQ(a.attempts(), 12u);
+  a.reset(42);
+  b.reset(42);
+  EXPECT_EQ(a.nextDelayMs(), b.nextDelayMs());
+}
+
+// ------------------------------------------------ determinism -------------
+
+TEST(FleetCoordinator, OneHostAndThreeHostsRenderIdenticalReports) {
+  const nh::ExperimentConfig cfg = tinyConfig();
+  const std::string one =
+      runFleetReport(fastPoll(1), loopbackFactory(), {}, cfg);
+  const std::string three =
+      runFleetReport(fastPoll(3), loopbackFactory(), {}, cfg);
+  EXPECT_EQ(one, three);
+}
+
+TEST(FleetCoordinator, ReportMatchesOneShotRunner) {
+  const nh::ExperimentConfig cfg = tinyConfig(9);
+  ns::FleetCoordinator fleet(fastPoll(2), loopbackFactory());
+  const ns::FleetReport report = fleet.run(cfg, "Edit");
+  const nh::MethodReport ref = oneShot(cfg);
+  ASSERT_EQ(report.programs, ref.programs.size());
+  ASSERT_EQ(report.tasks.size(), report.programs * report.runsPerProgram);
+  for (const ns::TaskRecord& t : report.tasks) {
+    ASSERT_LT(t.program, ref.programs.size());
+    ASSERT_LT(t.run, ref.programs[t.program].runs.size());
+    const nh::RunRecord& r = ref.programs[t.program].runs[t.run];
+    EXPECT_EQ(t.found, r.found) << "p=" << t.program << " k=" << t.run;
+    EXPECT_EQ(t.candidates, r.candidates) << "p=" << t.program;
+    EXPECT_EQ(t.generations, r.generations) << "p=" << t.program;
+  }
+}
+
+// ------------------------------------------------ overload shedding -------
+
+TEST(FleetCoordinator, OverloadedHostShedsItsClaimToSiblings) {
+  const nh::ExperimentConfig cfg = tinyConfig(13);
+  // Host 0 rejects any claim of more than one task; host 1 is unbounded.
+  ns::FleetConfig fc = fastPoll(2);
+  fc.shedBackoffMs = 1.0;
+  fc.shedBackoffCapMs = 4.0;
+  ns::FleetMetrics metrics;
+  const std::string shedRun = runFleetReport(
+      fc, loopbackFactory({}, {1, 0}), {}, cfg, &metrics);
+  EXPECT_GE(metrics.claimsShed, 1u);
+  EXPECT_EQ(metrics.hostsLost, 0u);
+  const std::string plain =
+      runFleetReport(fastPoll(1), loopbackFactory(), {}, cfg);
+  EXPECT_EQ(shedRun, plain);
+}
+
+// ------------------------------------------------ failover ----------------
+
+TEST(FleetCoordinator, DeadHostTasksFailOverToSurvivorsWithAdoption) {
+  const nh::ExperimentConfig cfg = mediumConfig();
+  const std::string undisturbed =
+      runFleetReport(fastPoll(1), loopbackFactory(), {}, cfg);
+
+  FleetEnv env("failover");
+  ns::FleetConfig fc = fastPoll(3);
+  fc.chaosKill = true;  // auto-pick the busiest host, kill it mid-claim
+  ns::FleetMetrics metrics;
+  const std::string chaosRun =
+      runFleetReport(fc, loopbackFactory(env.hostDirs(3)), env.hostDirs(3),
+                     cfg, &metrics);
+
+  EXPECT_EQ(chaosRun, undisturbed);
+  EXPECT_EQ(metrics.hostsLost, 1u);
+  EXPECT_GE(metrics.tasksReassigned, 1u);
+  EXPECT_GE(metrics.recovered(), 1u);
+  EXPECT_EQ(metrics.hostsRestarted, 0u);  // survivors absorbed the work
+}
+
+TEST(FleetCoordinator, LastHostDeathRespawnsAndResumesFromDurableState) {
+  const nh::ExperimentConfig cfg = mediumConfig(43);
+  const std::string undisturbed =
+      runFleetReport(fastPoll(1), loopbackFactory(), {}, cfg);
+
+  FleetEnv env("respawn");
+  ns::FleetConfig fc = fastPoll(1);
+  fc.chaosKill = true;
+  fc.chaosKillHost = 0;  // the only host: forces the restart path
+  ns::FleetMetrics metrics;
+  const std::string chaosRun =
+      runFleetReport(fc, loopbackFactory(env.hostDirs(1)), env.hostDirs(1),
+                     cfg, &metrics);
+
+  EXPECT_EQ(chaosRun, undisturbed);
+  EXPECT_EQ(metrics.hostsLost, 1u);
+  EXPECT_EQ(metrics.hostsRestarted, 1u);
+  // The respawned backend recovered the claim from its state dir.
+  EXPECT_GE(metrics.jobsRecovered, 1u);
+  EXPECT_GE(metrics.recovered(), 1u);
+}
+
+// ------------------------------------------------ protocol: hello/claim ---
+
+TEST(FleetProtocol, HelloEstablishesRotatesAndRetiresTokens) {
+  ns::ServiceConfig sc;
+  sc.workers = 1;
+  ns::SynthService svc(sc);
+  const std::string cfgJson = tinyConfig(3, 300).toJson();
+
+  // Claim before any hello: rejected loudly, not accepted silently.
+  const nu::JsonValue early = handled(
+      svc, "{\"op\": \"claim\", \"token\": \"tokA\", \"config\": " + cfgJson +
+               ", \"tasks\": [0]}");
+  EXPECT_FALSE(okOf(early));
+  EXPECT_EQ(rejectedOf(early), "stale_token");
+
+  const nu::JsonValue h1 =
+      handled(svc, "{\"op\": \"hello\", \"token\": \"tokA\"}");
+  ASSERT_TRUE(okOf(h1));
+  std::uint64_t epoch1 = 0;
+  nu::readU64(h1, "epoch", epoch1);
+  EXPECT_EQ(epoch1, 1u);
+
+  // Idempotent re-hello: same token, same epoch (a coordinator reconnect).
+  const nu::JsonValue h1again =
+      handled(svc, "{\"op\": \"hello\", \"token\": \"tokA\"}");
+  ASSERT_TRUE(okOf(h1again));
+  std::uint64_t epochAgain = 0;
+  nu::readU64(h1again, "epoch", epochAgain);
+  EXPECT_EQ(epochAgain, epoch1);
+
+  const nu::JsonValue claimed = handled(
+      svc, "{\"op\": \"claim\", \"token\": \"tokA\", \"config\": " + cfgJson +
+               ", \"tasks\": [0, 2]}");
+  ASSERT_TRUE(okOf(claimed)) << "claim with a fresh token must be accepted";
+  std::uint64_t claimedTotal = 0;
+  nu::readU64(claimed, "tasks_total", claimedTotal);
+  EXPECT_EQ(claimedTotal, 2u) << "job scope is the claim, not the workload";
+
+  // Rotation: a new token supersedes, bumping the epoch.
+  const nu::JsonValue h2 =
+      handled(svc, "{\"op\": \"hello\", \"token\": \"tokB\"}");
+  ASSERT_TRUE(okOf(h2));
+  std::uint64_t epoch2 = 0;
+  nu::readU64(h2, "epoch", epoch2);
+  EXPECT_EQ(epoch2, 2u);
+
+  // The zombie coordinator's replays are rejected loudly...
+  const nu::JsonValue stale = handled(
+      svc, "{\"op\": \"claim\", \"token\": \"tokA\", \"config\": " + cfgJson +
+               ", \"tasks\": [1]}");
+  EXPECT_FALSE(okOf(stale));
+  EXPECT_EQ(rejectedOf(stale), "stale_token");
+  // ...and a retired token cannot re-hello its way back in.
+  const nu::JsonValue rehello =
+      handled(svc, "{\"op\": \"hello\", \"token\": \"tokA\"}");
+  EXPECT_FALSE(okOf(rehello));
+  EXPECT_EQ(rejectedOf(rehello), "stale_token");
+
+  // Empty tokens are invalid for both ops.
+  EXPECT_FALSE(okOf(handled(svc, "{\"op\": \"hello\", \"token\": \"\"}")));
+  EXPECT_FALSE(okOf(handled(
+      svc, "{\"op\": \"claim\", \"token\": \"\", \"config\": " + cfgJson +
+               "}")));
+
+  const ns::SessionStats stats = svc.stats();
+  EXPECT_EQ(stats.hellosAccepted, 2u);
+  EXPECT_GE(stats.staleTokensRejected, 3u);
+}
+
+TEST(FleetProtocol, ClaimValidatesTaskIndices) {
+  ns::ServiceConfig sc;
+  sc.workers = 1;
+  ns::SynthService svc(sc);
+  const nh::ExperimentConfig cfg = tinyConfig(5, 300);
+  const std::string cfgJson = cfg.toJson();
+  ASSERT_TRUE(okOf(handled(svc, "{\"op\": \"hello\", \"token\": \"t\"}")));
+
+  // Duplicates normalize away: [1, 1, 2] claims two tasks.
+  const nu::JsonValue dup = handled(
+      svc, "{\"op\": \"claim\", \"token\": \"t\", \"config\": " + cfgJson +
+               ", \"tasks\": [1, 1, 2]}");
+  ASSERT_TRUE(okOf(dup));
+  std::uint64_t total = 0;
+  nu::readU64(dup, "tasks_total", total);
+  EXPECT_EQ(total, 2u);
+
+  // Out-of-range indices are a loud error, not a silent truncation.
+  EXPECT_FALSE(okOf(handled(
+      svc, "{\"op\": \"claim\", \"token\": \"t\", \"config\": " + cfgJson +
+               ", \"tasks\": [999]}")));
+  // Malformed shapes: "tasks" must be an array of indices.
+  EXPECT_FALSE(okOf(handled(
+      svc, "{\"op\": \"claim\", \"token\": \"t\", \"config\": " + cfgJson +
+               ", \"tasks\": 3}")));
+  EXPECT_FALSE(okOf(handled(
+      svc, "{\"op\": \"claim\", \"token\": \"t\", \"config\": " + cfgJson +
+               ", \"tasks\": [-1]}")));
+  // Missing config.
+  EXPECT_FALSE(okOf(handled(svc, "{\"op\": \"claim\", \"token\": \"t\"}")));
+}
+
+TEST(FleetProtocol, TruncatedClaimFramesNeverCrashOrCreateJobs) {
+  ns::ServiceConfig sc;
+  sc.workers = 1;
+  ns::SynthService svc(sc);
+  const std::string cfgJson = tinyConfig(11, 300).toJson();
+  ASSERT_TRUE(okOf(handled(svc, "{\"op\": \"hello\", \"token\": \"t\"}")));
+  const std::string full = "{\"op\": \"claim\", \"token\": \"t\", \"config\": " +
+                           cfgJson + ", \"tasks\": [0, 1]}";
+  const std::size_t jobsBefore = svc.stats().jobsSubmitted;
+  // Every proper prefix is an unterminated JSON document: each must come
+  // back as a clean ok:false error on the same session.
+  for (std::size_t len = 1; len < full.size(); ++len) {
+    const nu::JsonValue resp = handled(svc, full.substr(0, len));
+    EXPECT_FALSE(okOf(resp)) << "prefix length " << len;
+  }
+  EXPECT_EQ(svc.stats().jobsSubmitted, jobsBefore);
+  // The intact line still works afterwards: the session survived the fuzz.
+  EXPECT_TRUE(okOf(handled(svc, full)));
+}
+
+TEST(FleetProtocol, HelloReportsDurableResumption) {
+  FleetEnv env("hello_resume");
+  const nh::ExperimentConfig cfg = tinyConfig(17, 300);
+  {
+    ns::ServiceConfig sc;
+    sc.workers = 1;
+    sc.stateDir = env.hostDir(0);
+    ns::SynthService svc(sc);
+    ASSERT_TRUE(okOf(handled(svc, "{\"op\": \"hello\", \"token\": \"t\"}")));
+    const nu::JsonValue claimed = handled(
+        svc, "{\"op\": \"claim\", \"token\": \"t\", \"config\": " +
+                 cfg.toJson() + ", \"tasks\": [0, 1]}");
+    ASSERT_TRUE(okOf(claimed));
+    std::uint64_t id = 0;
+    nu::readU64(claimed, "job", id);
+    svc.wait(id);
+  }  // dies with durable state on disk
+  ns::ServiceConfig sc;
+  sc.workers = 1;
+  sc.stateDir = env.hostDir(0);
+  ns::SynthService revived(sc);
+  const nu::JsonValue h =
+      handled(revived, "{\"op\": \"hello\", \"token\": \"t\"}");
+  ASSERT_TRUE(okOf(h));
+  bool resumed = false;
+  nu::readBool(h, "resumed", resumed);
+  EXPECT_TRUE(resumed) << "hello must flag recovered durable jobs so the "
+                          "coordinator re-claims with attach";
+}
