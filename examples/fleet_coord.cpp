@@ -7,16 +7,34 @@
 // backend is killed mid-claim and its tasks fail over to the survivors
 // (service/fleet.hpp).
 //
+// With --hosts=H1:P1,H2:P2,... (or --hosts-file) the backends are remote
+// synthd daemons reached over TCP/Unix sockets instead of spawned
+// subprocesses: the coordinator dials each endpoint, and a dropped
+// connection is re-dialed with seeded backoff + re-hello + idempotent
+// claim re-attach (--reconnect-attempts) before failover kicks in. The
+// merged report's bytes are identical across subprocess and socket modes.
+//
 // Usage:
-//   fleet_coord [--hosts=N] [--synthd=PATH] [--method=NAME]
+//   fleet_coord [--hosts=N | --hosts=EP1,EP2,... | --hosts-file=PATH]
+//               [--synthd=PATH] [--method=NAME]
 //               [--host-workers=N] [--state-dir=DIR]
 //               [--checkpoint-interval=G] [--max-queue=N]
 //               [--daemon-faults=SPEC] [--token=STR] [--host-timeout=S]
 //               [--poll-ms=MS] [--chaos-kill-host=I|auto]
+//               [--reconnect-attempts=N]
 //               [--report=FILE] [--metrics-json=FILE] [--verbose]
 //               [experiment flags: --scale / --config-file, --budget, ...]
 //
-//   --hosts=N              backend count (default 2)
+//   --hosts=N              backend count (default 2), spawned as local
+//                          synthd subprocesses; or a comma-separated
+//                          endpoint list ("HOST:PORT" / "unix:PATH"
+//                          entries) of remote daemons to dial
+//   --hosts-file=PATH      endpoint list from a file, one per line
+//                          (# comments and blank lines ignored)
+//   --reconnect-attempts=N re-dial budget per dropped socket connection
+//                          before host-death failover (default 3 for
+//                          socket hosts; subprocess mode has no use for
+//                          it — the peer died with its pipe)
 //   --synthd=PATH          backend binary (default ./synthd)
 //   --method=NAME          synthesis method (default Edit)
 //   --host-workers=N       worker threads per backend (default 1)
@@ -31,7 +49,11 @@
 //   --host-timeout=S       per-request receive budget before a silent
 //                          backend is declared dead (default 120)
 //   --chaos-kill-host=I|auto  SIGKILL backend I (or the busiest one) once
-//                          it is mid-claim; the run must still complete
+//                          it is mid-claim; the run must still complete.
+//                          On socket hosts this severs the connection
+//                          (the daemon keeps running) — with reconnect
+//                          attempts left the coordinator re-attaches, so
+//                          it doubles as the chaos-sever switch
 //   --report=FILE          write the canonical report line to FILE
 //                          (default stdout)
 //   --metrics-json=FILE    write the aggregated fleet metrics to FILE
@@ -43,12 +65,53 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "harness/config.hpp"
 #include "service/fleet.hpp"
 #include "util/argparse.hpp"
+
+namespace {
+
+// "3" is a subprocess count; "a:5001,b:5002" or "unix:/tmp/s.sock" is an
+// endpoint list. All-digits means count — every endpoint form contains a
+// ':' or a non-digit.
+bool looksLikeCount(const std::string& hosts) {
+  return !hosts.empty() &&
+         hosts.find_first_not_of("0123456789") == std::string::npos;
+}
+
+std::vector<netsyn::util::SocketEndpoint> parseEndpointList(
+    const std::string& text) {
+  std::vector<netsyn::util::SocketEndpoint> out;
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, ','))
+    if (!item.empty()) out.push_back(netsyn::util::SocketEndpoint::parse(item));
+  return out;
+}
+
+std::vector<netsyn::util::SocketEndpoint> readHostsFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read hosts file " + path);
+  std::vector<netsyn::util::SocketEndpoint> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    const std::size_t end = line.find_last_not_of(" \t\r");
+    out.push_back(
+        netsyn::util::SocketEndpoint::parse(line.substr(start, end - start + 1)));
+  }
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace netsyn;
@@ -59,9 +122,6 @@ int main(int argc, char** argv) {
     const std::string method = args.getString("method", "Edit");
 
     service::FleetConfig fc;
-    const long hosts = args.getInt("hosts", 2);
-    if (hosts <= 0) throw std::invalid_argument("--hosts must be > 0");
-    fc.hosts = static_cast<std::size_t>(hosts);
     fc.token = args.getString("token", "fleet-1");
     fc.pollIntervalMs = args.getDouble("poll-ms", 20.0);
     fc.hostTimeoutSeconds = args.getDouble("host-timeout", 120.0);
@@ -72,26 +132,53 @@ int main(int argc, char** argv) {
       fc.chaosKillHost = victim == "auto" ? -1 : std::stol(victim);
     }
 
-    service::LocalBackendConfig backend;
-    backend.synthdPath = args.getString("synthd", "./synthd");
-    const long workers = args.getInt("host-workers", 1);
-    if (workers < 0)
-      throw std::invalid_argument("--host-workers must be >= 0");
-    backend.workers = static_cast<std::size_t>(workers);
-    backend.stateDir = args.getString("state-dir", "");
-    const long ckpt = args.getInt("checkpoint-interval", 5);
-    if (ckpt < 0)
-      throw std::invalid_argument("--checkpoint-interval must be >= 0");
-    backend.checkpointInterval = static_cast<std::size_t>(ckpt);
-    backend.faults = args.getString("daemon-faults", "");
-    if (args.has("max-queue"))
-      backend.extraArgs.push_back("--max-queue=" +
-                                  std::to_string(args.getInt("max-queue", 0)));
+    // Socket mode: --hosts is an endpoint list, or --hosts-file names one.
+    const std::string hostsArg = args.getString("hosts", "");
+    const std::string hostsFile = args.getString("hosts-file", "");
+    std::vector<util::SocketEndpoint> endpoints;
+    if (!hostsFile.empty()) {
+      if (!hostsArg.empty())
+        throw std::invalid_argument("--hosts and --hosts-file are exclusive");
+      endpoints = readHostsFile(hostsFile);
+    } else if (!hostsArg.empty() && !looksLikeCount(hostsArg)) {
+      endpoints = parseEndpointList(hostsArg);
+    }
 
-    service::FleetCoordinator fleet(fc, backend);
-    const service::FleetReport report = fleet.run(config, method);
-    fleet.shutdownBackends();
-    const service::FleetMetrics metrics = fleet.metrics();
+    std::unique_ptr<service::FleetCoordinator> fleet;
+    if (!endpoints.empty()) {
+      const long redial = args.getInt("reconnect-attempts", 3);
+      if (redial < 0)
+        throw std::invalid_argument("--reconnect-attempts must be >= 0");
+      fc.maxReconnectAttempts = static_cast<std::size_t>(redial);
+      // The daemons' state dirs are theirs to manage; adoption-on-failover
+      // needs a shared filesystem, which a remote fleet cannot assume.
+      fleet = std::make_unique<service::FleetCoordinator>(fc, endpoints);
+    } else {
+      const long hosts = hostsArg.empty() ? 2 : args.getInt("hosts", 2);
+      if (hosts <= 0) throw std::invalid_argument("--hosts must be > 0");
+      fc.hosts = static_cast<std::size_t>(hosts);
+
+      service::LocalBackendConfig backend;
+      backend.synthdPath = args.getString("synthd", "./synthd");
+      const long workers = args.getInt("host-workers", 1);
+      if (workers < 0)
+        throw std::invalid_argument("--host-workers must be >= 0");
+      backend.workers = static_cast<std::size_t>(workers);
+      backend.stateDir = args.getString("state-dir", "");
+      const long ckpt = args.getInt("checkpoint-interval", 5);
+      if (ckpt < 0)
+        throw std::invalid_argument("--checkpoint-interval must be >= 0");
+      backend.checkpointInterval = static_cast<std::size_t>(ckpt);
+      backend.faults = args.getString("daemon-faults", "");
+      if (args.has("max-queue"))
+        backend.extraArgs.push_back(
+            "--max-queue=" + std::to_string(args.getInt("max-queue", 0)));
+      fleet = std::make_unique<service::FleetCoordinator>(fc, backend);
+    }
+
+    const service::FleetReport report = fleet->run(config, method);
+    fleet->shutdownBackends();
+    const service::FleetMetrics metrics = fleet->metrics();
 
     const std::string reportPath = args.getString("report", "");
     if (reportPath.empty()) {
@@ -109,12 +196,12 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr,
                  "[fleet_coord] done: hosts=%zu lost=%zu restarted=%zu "
-                 "reassigned=%zu shed=%zu recovered=%zu "
+                 "reconnected=%zu reassigned=%zu shed=%zu recovered=%zu "
                  "synthesized_fraction=%.3f\n",
                  metrics.hostsSpawned, metrics.hostsLost,
-                 metrics.hostsRestarted, metrics.tasksReassigned,
-                 metrics.claimsShed, metrics.recovered(),
-                 report.synthesizedFraction);
+                 metrics.hostsRestarted, metrics.hostsReconnected,
+                 metrics.tasksReassigned, metrics.claimsShed,
+                 metrics.recovered(), report.synthesizedFraction);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "[fleet_coord] fatal: %s\n", e.what());

@@ -29,8 +29,15 @@
 // (service/fleet.hpp); --verify then compares the merged fleet report
 // against the one-shot run — the fleet determinism invariant.
 //
+// With --connect=HOST:PORT or --connect=unix:PATH the client dials a
+// running `synthd --listen` daemon instead of spawning one; the reconnect
+// loop then re-dials rather than respawning (the daemon outlives the
+// connection, so --chaos-kill severs and re-attaches without needing a
+// --state-dir).
+//
 // Usage:
-//   synth_client --synthd=./synthd [--jobs=2] [--method=Edit]
+//   synth_client [--synthd=./synthd | --connect=ENDPOINT]
+//                [--jobs=2] [--method=Edit]
 //                [--daemon-workers=2] [--verify] [--max-retries=5]
 //                [--chaos-kill] [--state-dir=DIR] [--checkpoint-interval=G]
 //                [--daemon-faults=SPEC] [--fleet=N]
@@ -58,24 +65,29 @@ namespace {
 
 using namespace netsyn;
 
-/// A spawned synthd pipe session that parses responses. Daemon death
-/// surfaces as util::TransportClosed from the underlying transport.
+/// One synthd session — a spawned subprocess over a pipe, or a dialed
+/// `synthd --listen` daemon over a socket — that parses responses. Daemon
+/// (or connection) death surfaces as util::TransportClosed.
 class DaemonSession {
  public:
   DaemonSession(const std::string& path,
                 const std::vector<std::string>& extraArgs)
-      : transport_(path, extraArgs) {}
+      : transport_(std::make_unique<util::PipeTransport>(path, extraArgs)) {}
+
+  explicit DaemonSession(const util::SocketEndpoint& endpoint)
+      : transport_(std::make_unique<util::SocketTransport>(endpoint)) {}
 
   util::JsonValue request(const std::string& line) {
-    return util::parseJson(transport_.request(line));
+    return util::parseJson(transport_->request(line));
   }
 
-  /// Simulated daemon crash: SIGKILL (no shutdown handshake, no destructor
-  /// runs daemon-side — durable state is whatever already hit disk).
-  void kill() { transport_.kill(); }
+  /// Simulated crash: SIGKILL a subprocess (no shutdown handshake — durable
+  /// state is whatever already hit disk); RST-close a socket (the remote
+  /// daemon keeps running, only the connection dies).
+  void kill() { transport_->kill(); }
 
  private:
-  util::PipeTransport transport_;
+  std::unique_ptr<util::Transport> transport_;
 };
 
 std::uint64_t member(const util::JsonValue& v, const char* key) {
@@ -234,11 +246,16 @@ int main(int argc, char** argv) {
     const std::string daemonFaults = args.getString("daemon-faults", "");
     const long maxRetries = args.getInt("max-retries", 5);
     const long fleetHosts = args.getInt("fleet", 0);
+    const std::string connect = args.getString("connect", "");
     if (jobs <= 0) throw std::invalid_argument("--jobs must be > 0");
     if (maxRetries < 0)
       throw std::invalid_argument("--max-retries must be >= 0");
     if (fleetHosts < 0) throw std::invalid_argument("--fleet must be >= 0");
-    if (chaosKill && fleetHosts == 0 && stateDir.empty())
+    if (!connect.empty() && fleetHosts > 0)
+      throw std::invalid_argument("--connect and --fleet are exclusive");
+    // A severed socket leaves the daemon (and its jobs) running, so the
+    // chaos pass needs no durable state; a SIGKILLed subprocess does.
+    if (chaosKill && fleetHosts == 0 && connect.empty() && stateDir.empty())
       throw std::invalid_argument("--chaos-kill needs a --state-dir");
 
     const harness::ExperimentConfig base =
@@ -253,15 +270,21 @@ int main(int argc, char** argv) {
                           args.getBool("verbose", false));
 
     const auto spawn = [&]() {
-      std::vector<std::string> extra;
-      extra.push_back("--workers=" + std::to_string(daemonWorkers));
-      if (!stateDir.empty()) {
-        extra.push_back("--state-dir=" + stateDir);
-        extra.push_back("--checkpoint-interval=" +
-                        std::to_string(ckptInterval));
+      std::unique_ptr<DaemonSession> s;
+      if (!connect.empty()) {
+        s = std::make_unique<DaemonSession>(
+            util::SocketEndpoint::parse(connect));
+      } else {
+        std::vector<std::string> extra;
+        extra.push_back("--workers=" + std::to_string(daemonWorkers));
+        if (!stateDir.empty()) {
+          extra.push_back("--state-dir=" + stateDir);
+          extra.push_back("--checkpoint-interval=" +
+                          std::to_string(ckptInterval));
+        }
+        if (!daemonFaults.empty()) extra.push_back("--faults=" + daemonFaults);
+        s = std::make_unique<DaemonSession>(synthdPath, extra);
       }
-      if (!daemonFaults.empty()) extra.push_back("--faults=" + daemonFaults);
-      auto s = std::make_unique<DaemonSession>(synthdPath, extra);
       if (!okField(s->request("{\"op\": \"ping\"}")))
         throw std::runtime_error("synthd ping failed");
       return s;
@@ -313,8 +336,9 @@ int main(int argc, char** argv) {
             std::to_string(maxRetries) + " reconnects");
       const double delayMs = backoff.nextDelayMs();
       std::printf(
-          "[client] synthd is gone; respawning in %.0f ms (attempt %ld/%ld)\n",
-          delayMs, reconnects, maxRetries);
+          "[client] synthd is gone; %s in %.0f ms (attempt %ld/%ld)\n",
+          connect.empty() ? "respawning" : "re-dialing", delayMs, reconnects,
+          maxRetries);
       usleep(static_cast<useconds_t>(delayMs * 1000.0));
       session = spawn();
       submitAll(/*attach=*/true);
@@ -344,7 +368,9 @@ int main(int argc, char** argv) {
         if (state == "done" || member(st, "tasks_done") > 0) break;
         usleep(20 * 1000);
       }
-      std::printf("[client] chaos: SIGKILL synthd mid-run\n");
+      std::printf("[client] chaos: %s mid-run\n",
+                  connect.empty() ? "SIGKILL synthd"
+                                  : "severing the daemon connection");
       session->kill();
       reconnect();
     }

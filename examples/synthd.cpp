@@ -7,14 +7,27 @@
 // plan/model/result caches (service/service.hpp); responses come back one
 // JSON object per line, flushed.
 //
+// With --listen the daemon serves the same protocol over a TCP or
+// Unix-domain socket instead: each accepted connection is an independent
+// NDJSON session on its own thread (service::SocketServer), so one daemon
+// can serve a fleet coordinator and ad-hoc synth_client sessions at once.
+// A shutdown op from any session stops the daemon.
+//
 // Usage:
 //   synthd [--workers=N] [--no-result-cache] [--state-dir=DIR]
 //          [--deadline-seconds=S] [--stall-seconds=S] [--max-retries=N]
 //          [--checkpoint-interval=G] [--max-queue=N]
 //          [--faults=SPEC] [--fault-seed=N]
+//          [--listen=HOST:PORT|unix:PATH] [--port-file=PATH]
 //
 //   --workers=N            worker threads (0 = one per hardware thread;
 //                          default 2)
+//   --listen=ENDPOINT      serve connections on a socket instead of
+//                          stdin/stdout: "HOST:PORT" (TCP; PORT 0 asks the
+//                          kernel for an ephemeral port) or "unix:PATH"
+//   --port-file=PATH       write the bound endpoint (one line, the form
+//                          --connect/--hosts accepts) to PATH once
+//                          listening — how CI discovers an ephemeral port
 //   --no-result-cache      disable the completed-job memo (plan/model
 //                          caches stay on)
 //   --state-dir=DIR        durable job state under DIR/jobs/; on startup
@@ -36,15 +49,18 @@
 // The NETSYN_FAULTS / NETSYN_FAULT_SEED environment variables arm the same
 // registry (applied after the flags, so the environment wins in CI).
 //
-// Exits when stdin closes or a {"op": "shutdown"} request arrives.
+// Exits when stdin closes or a {"op": "shutdown"} request arrives (in
+// socket mode: on shutdown only — individual connections may come and go).
 // Diagnostics go to stderr; stdout carries protocol responses only.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "service/protocol.hpp"
 #include "service/service.hpp"
 #include "util/argparse.hpp"
 #include "util/faultinject.hpp"
+#include "util/transport.hpp"
 
 int main(int argc, char** argv) {
   using namespace netsyn;
@@ -77,6 +93,27 @@ int main(int argc, char** argv) {
     util::FaultRegistry::instance().armFromEnv();
 
     service::SynthService svc(cfg);
+    const std::string listen = args.getString("listen", "");
+    if (!listen.empty()) {
+      service::SocketServer server(svc,
+                                   util::SocketEndpoint::parse(listen));
+      const std::string bound = server.boundEndpoint().str();
+      const std::string portFile = args.getString("port-file", "");
+      if (!portFile.empty()) {
+        std::ofstream out(portFile, std::ios::trunc);
+        out << bound << "\n";
+        if (!out) throw std::runtime_error("cannot write " + portFile);
+      }
+      std::fprintf(stderr,
+                   "[synthd] listening on %s (workers=%ld, "
+                   "result-cache=%s%s%s)\n",
+                   bound.c_str(), workers, cfg.resultCache ? "on" : "off",
+                   cfg.stateDir.empty() ? "" : ", state-dir=",
+                   cfg.stateDir.c_str());
+      server.run();  // until a shutdown op
+      std::fprintf(stderr, "[synthd] shut down\n");
+      return 0;
+    }
     std::fprintf(stderr,
                  "[synthd] serving NDJSON on stdin/stdout (workers=%ld, "
                  "result-cache=%s%s%s)\n",

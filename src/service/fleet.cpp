@@ -55,6 +55,7 @@ std::string FleetMetrics::toJson() const {
   os << "{\"hosts_spawned\": " << hostsSpawned
      << ", \"hosts_lost\": " << hostsLost
      << ", \"hosts_restarted\": " << hostsRestarted
+     << ", \"hosts_reconnected\": " << hostsReconnected
      << ", \"claims_submitted\": " << claimsSubmitted
      << ", \"claims_shed\": " << claimsShed
      << ", \"tasks_reassigned\": " << tasksReassigned
@@ -147,6 +148,31 @@ FleetCoordinator::FleetCoordinator(FleetConfig config,
                                    const LocalBackendConfig& backend)
     : FleetCoordinator(config, localFactory(config, backend),
                        localStateDirs(config, backend)) {}
+
+namespace {
+
+FleetConfig withHostCount(FleetConfig config, std::size_t hosts) {
+  config.hosts = hosts;
+  return config;
+}
+
+FleetCoordinator::TransportFactory socketFactory(
+    std::vector<util::SocketEndpoint> endpoints, double timeout) {
+  return [endpoints = std::move(endpoints),
+          timeout](std::size_t i) -> std::unique_ptr<util::Transport> {
+    return std::make_unique<util::SocketTransport>(endpoints.at(i), timeout);
+  };
+}
+
+}  // namespace
+
+FleetCoordinator::FleetCoordinator(
+    FleetConfig config, const std::vector<util::SocketEndpoint>& endpoints,
+    std::vector<std::string> hostStateDirs)
+    : FleetCoordinator(
+          withHostCount(config, endpoints.size()),
+          socketFactory(endpoints, config.hostTimeoutSeconds),
+          std::move(hostStateDirs)) {}
 
 FleetCoordinator::~FleetCoordinator() {
   try {
@@ -244,6 +270,50 @@ void FleetCoordinator::makeClaimsFor(const std::vector<std::size_t>& tasks,
   }
 }
 
+void FleetCoordinator::onHostGone(std::size_t i) {
+  Host& h = hosts_[i];
+  if (cfg_.maxReconnectAttempts == 0 || !h.alive) {
+    onHostDeath(i);
+    return;
+  }
+  // The connection failed but the daemon may well be running (socket
+  // fleets): re-dial on the seeded backoff before declaring the host dead.
+  if (h.transport) {
+    try {
+      h.transport->close();
+    } catch (...) {
+    }
+  }
+  util::RetrySchedule retry(cfg_.reconnectBaseMs, cfg_.reconnectCapMs,
+                            cfg_.retrySeed ^ h.id);
+  for (std::size_t attempt = 0; attempt < cfg_.maxReconnectAttempts;
+       ++attempt) {
+    sleepMs(retry.nextDelayMs());
+    try {
+      connectHost(i);  // re-dial + re-hello (same token: idempotent epoch)
+    } catch (const util::TransportClosed&) {
+      continue;  // still unreachable; take the next backoff step
+    }
+    // connectHost throws runtime_error on a rejected hello (stale_token):
+    // that propagates — a superseded coordinator must fail loudly, not
+    // retry its way past the epoch fence.
+    ++hostsReconnected_;
+    // Re-attach the stranded claims: attach:true makes the resubmission
+    // join the job still running on the daemon instead of restarting it.
+    for (Claim& c : claims_)
+      if (c.host == i && c.state == ClaimState::Submitted)
+        c.state = ClaimState::Pending;
+    if (cfg_.verbose)
+      std::fprintf(stderr, "[fleet] %s reconnected (attempt %zu)\n",
+                   h.name.c_str(), attempt + 1);
+    return;
+  }
+  if (cfg_.verbose)
+    std::fprintf(stderr, "[fleet] %s unreachable past the re-dial budget\n",
+                 h.name.c_str());
+  onHostDeath(i);
+}
+
 void FleetCoordinator::onHostDeath(std::size_t i) {
   Host& h = hosts_[i];
   if (h.alive) {
@@ -323,10 +393,10 @@ bool FleetCoordinator::submitClaim(Claim& claim) {
     try {
       resp = requestHost(hostIdx, os.str());
     } catch (const util::TransportClosed&) {
-      // onHostDeath may grow claims_ (invalidating `claim`); touch nothing
-      // after it. The claim was Pending on the dead host, so it has been
-      // reassigned (or re-queued on the respawned host) already.
-      onHostDeath(hostIdx);
+      // onHostGone may grow claims_ (invalidating `claim`); touch nothing
+      // after it. The claim was Pending on the gone host, so it is either
+      // still Pending (reconnected) or reassigned/re-queued (host death).
+      onHostGone(hostIdx);
       return false;
     }
     const util::JsonValue root = util::parseJson(resp);
@@ -395,7 +465,7 @@ void FleetCoordinator::pollClaim(Claim& claim) {
     resp = requestHost(hostIdx, "{\"op\": \"status\", \"job\": " +
                                     std::to_string(claim.jobId) + "}");
   } catch (const util::TransportClosed&) {
-    onHostDeath(hostIdx);  // may grow claims_; `claim` is dead after this
+    onHostGone(hostIdx);  // may grow claims_; `claim` is dead after this
     return;
   }
   const util::JsonValue root = util::parseJson(resp);
@@ -441,7 +511,7 @@ void FleetCoordinator::scrapeHostMetrics(std::size_t i) {
   try {
     resp = requestHost(i, "{\"op\": \"metrics\"}");
   } catch (const util::TransportClosed&) {
-    onHostDeath(i);
+    onHostGone(i);
     return;
   }
   const util::JsonValue root = util::parseJson(resp);
@@ -591,6 +661,7 @@ FleetMetrics FleetCoordinator::metrics() const {
   m.hostsSpawned = hostsSpawned_;
   m.hostsLost = hostsLost_;
   m.hostsRestarted = hostsRestarted_;
+  m.hostsReconnected = hostsReconnected_;
   m.claimsSubmitted = claimsSubmitted_;
   m.claimsShed = claimsShed_;
   m.tasksReassigned = tasksReassigned_;

@@ -2,7 +2,8 @@
 //
 // The coordinator speaks the NDJSON protocol (hello / claim / status /
 // metrics / shutdown) to per-host backends behind util::Transport — local
-// subprocesses today, sockets later. Determinism rests on two facts:
+// subprocesses over pipes, remote daemons over TCP/Unix sockets, or the
+// in-process loopback below. Determinism rests on two facts:
 //
 //   1. every (program, run) task is seeded by harness::runSeedRng(config,
 //      p, k) and searched single-threadedly, so a task's outcome does not
@@ -30,6 +31,16 @@
 // backend's own durable recovery. Overloaded hosts ("rejected":
 // "overloaded") shed their claim to the next host in the task's rendezvous
 // preference order, with deterministic seeded backoff between full sweeps.
+//
+// Socket fleets add a cheaper failover tier *before* host death: a dropped
+// connection is not a dead daemon, so with maxReconnectAttempts > 0 the
+// coordinator re-dials on the seeded RetrySchedule, re-hellos with the
+// same token (idempotent — same epoch back), and re-submits the stranded
+// claims with attach:true, which joins the jobs still running on the
+// remote daemon instead of restarting them. Only a re-dial budget spent
+// ends in onHostDeath. A coordinator superseded while it was away (a new
+// token hello'd in) finds its re-hello rejected stale_token and fails
+// loudly — reconnect never bypasses the epoch fence.
 #pragma once
 
 #include <cstdint>
@@ -73,6 +84,17 @@ struct FleetConfig {
   /// Per-host respawn budget, spent only when a host dies with no
   /// survivors to reassign to.
   std::size_t maxHostRestarts = 2;
+  /// Reconnect budget per connection drop (socket fleets): a host whose
+  /// transport fails is re-dialed this many times on the seeded backoff
+  /// below — re-hello, then re-submit its claims with attach:true, which
+  /// joins the jobs still running on the remote daemon idempotently — and
+  /// only declared dead (reassignment/respawn failover) once the budget is
+  /// spent. 0 (default, and the right value for subprocess transports,
+  /// where the peer died with its connection) keeps the PR 9 behavior:
+  /// every drop is a host death.
+  std::size_t maxReconnectAttempts = 0;
+  double reconnectBaseMs = 100.0;
+  double reconnectCapMs = 2000.0;
   /// Chaos: SIGKILL one backend once it has mid-claim progress (>= 1 task
   /// done, not all). chaosKillHost < 0 picks the host with the largest
   /// claim. The run must still complete, with the dead host's tasks
@@ -105,6 +127,7 @@ struct FleetMetrics {
   std::size_t hostsSpawned = 0;
   std::size_t hostsLost = 0;       ///< declared dead (EPIPE/EOF/timeout)
   std::size_t hostsRestarted = 0;  ///< respawned for lack of survivors
+  std::size_t hostsReconnected = 0;  ///< dropped connections re-dialed OK
   std::size_t claimsSubmitted = 0;
   std::size_t claimsShed = 0;       ///< overloaded rejections rerouted
   std::size_t tasksReassigned = 0;  ///< tasks moved off dead hosts
@@ -120,9 +143,12 @@ struct FleetMetrics {
   std::size_t queueDepth = 0;
 
   /// Work that survived a failure instead of being lost: the `recovered>0`
-  /// aggregate the CI kill-one-backend pass asserts on.
+  /// aggregate the CI kill-one-backend and chaos-sever passes assert on.
+  /// A reconnect counts — the claims a dropped connection stranded were
+  /// re-attached instead of redone.
   std::size_t recovered() const {
-    return tasksReassigned + tasksAdopted + snapshotsAdopted + jobsRecovered;
+    return tasksReassigned + tasksAdopted + snapshotsAdopted + jobsRecovered +
+           hostsReconnected;
   }
 
   std::string toJson() const;
@@ -208,6 +234,20 @@ class FleetCoordinator {
   /// `backend`, each with its own state dir under backend.stateDir.
   FleetCoordinator(FleetConfig config, const LocalBackendConfig& backend);
 
+  /// Remote socket fleet: one host per endpoint (config.hosts is overridden
+  /// by endpoints.size()), dialed as SocketTransports with the configured
+  /// receive timeout. Host identities stay "host-<i>" — placement depends
+  /// on position in the list, not on the address, so a pipe fleet and a
+  /// socket fleet of the same size partition identically. Set
+  /// maxReconnectAttempts > 0 to ride out connection drops: the daemons
+  /// outlive the connection, so a re-dial + re-hello + attach resumes
+  /// their still-running claims. `hostStateDirs[i]`, when the daemons
+  /// share a filesystem with the coordinator, enables adopt_dir failover
+  /// exactly as in subprocess mode.
+  FleetCoordinator(FleetConfig config,
+                   const std::vector<util::SocketEndpoint>& endpoints,
+                   std::vector<std::string> hostStateDirs = {});
+
   ~FleetCoordinator();
   FleetCoordinator(const FleetCoordinator&) = delete;
   FleetCoordinator& operator=(const FleetCoordinator&) = delete;
@@ -265,6 +305,7 @@ class FleetCoordinator {
 
   void connectHost(std::size_t i);
   std::string requestHost(std::size_t i, const std::string& line);
+  void onHostGone(std::size_t i);  ///< reconnect first, then onHostDeath
   void onHostDeath(std::size_t i);
   void submitPendingClaims();
   bool submitClaim(Claim& claim);  ///< false: host died mid-submit
@@ -292,6 +333,7 @@ class FleetCoordinator {
   std::size_t hostsSpawned_ = 0;
   std::size_t hostsLost_ = 0;
   std::size_t hostsRestarted_ = 0;
+  std::size_t hostsReconnected_ = 0;
   std::size_t claimsSubmitted_ = 0;
   std::size_t claimsShed_ = 0;
   std::size_t tasksReassigned_ = 0;

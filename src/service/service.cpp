@@ -25,6 +25,7 @@
 #include "harness/runner.hpp"
 #include "harness/workload.hpp"
 #include "service/checkpoint.hpp"
+#include "service/protocol.hpp"
 #include "util/faultinject.hpp"
 #include "util/json.hpp"
 
@@ -1377,6 +1378,149 @@ void SynthService::shutdown() {
   for (auto& w : impl_->workers) w.join();
   impl_->workers.clear();
   if (impl_->watchdog.joinable()) impl_->watchdog.join();
+}
+
+// ------------------------------------------------------------ SocketServer
+
+struct SocketServer::Session {
+  std::unique_ptr<util::SocketTransport> transport;
+  std::thread thread;
+  std::atomic<bool> done{false};
+};
+
+SocketServer::SocketServer(SynthService& service,
+                           const util::SocketEndpoint& endpoint,
+                           double recvTimeoutSeconds)
+    : service_(service),
+      listener_(endpoint),
+      recvTimeoutSeconds_(recvTimeoutSeconds) {}
+
+SocketServer::~SocketServer() { stop(); }
+
+const util::SocketEndpoint& SocketServer::boundEndpoint() const {
+  return listener_.boundEndpoint();
+}
+
+void SocketServer::start() {
+  if (started_.exchange(true)) return;
+  acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void SocketServer::run() {
+  start();
+  if (acceptThread_.joinable()) acceptThread_.join();
+  stop();
+}
+
+void SocketServer::acceptLoop() {
+  // Finite poll ticks so stop() never races a blocked accept (the
+  // SocketListener::close contract).
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::unique_ptr<util::SocketTransport> conn;
+    try {
+      conn = listener_.accept(/*timeoutSeconds=*/0.1, recvTimeoutSeconds_);
+    } catch (const util::TransportClosed&) {
+      // A fault-severed or failed accept drops that one connection attempt;
+      // the listener itself is still bound.
+      continue;
+    }
+    reapFinishedSessions();
+    if (!conn) continue;
+    auto session = std::make_unique<Session>();
+    session->transport = std::move(conn);
+    Session* raw = session.get();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      sessions_.push_back(std::move(session));
+      ++served_;
+    }
+    raw->thread = std::thread([this, raw] { serveSession(raw); });
+  }
+}
+
+void SocketServer::serveSession(Session* session) {
+  // `session` outlives this thread: stop() and reapFinishedSessions() both
+  // join the thread before destroying the Session object.
+  bool shutdownRequested = false;
+  try {
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      const std::string line = session->transport->recvLine();
+      if (line.empty()) continue;
+      const std::string response =
+          handleRequestLine(service_, line, shutdownRequested);
+      session->transport->sendLine(response);
+      if (shutdownRequested) break;
+    }
+  } catch (const util::TransportClosed&) {
+    // Peer gone (or dropConnections() severed us): just end this session.
+  }
+  session->transport->close();
+  session->done.store(true, std::memory_order_release);
+  if (shutdownRequested) {
+    // Stop the accept loop but don't join from our own thread — run()/stop()
+    // on the owner's thread does the joining.
+    stopping_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void SocketServer::reapFinishedSessions() {
+  std::vector<std::unique_ptr<Session>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& s : finished)
+    if (s->thread.joinable()) s->thread.join();
+}
+
+void SocketServer::stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  if (acceptThread_.joinable() &&
+      acceptThread_.get_id() != std::this_thread::get_id())
+    acceptThread_.join();
+  std::vector<std::unique_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions.swap(sessions_);
+  }
+  for (auto& s : sessions) {
+    s->transport->sever();  // wakes a session blocked in recvLine
+    if (s->thread.joinable()) s->thread.join();
+  }
+  listener_.close();
+}
+
+std::size_t SocketServer::dropConnections() {
+  std::size_t severed = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& s : sessions_) {
+    if (!s->done.load(std::memory_order_acquire) && s->transport->alive()) {
+      s->transport->sever();
+      ++severed;
+    }
+  }
+  return severed;
+}
+
+std::size_t SocketServer::sessionsServed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return served_;
+}
+
+std::size_t SocketServer::sessionsActive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t active = 0;
+  for (const auto& s : sessions_)
+    if (s && !s->done.load(std::memory_order_acquire)) ++active;
+  return active;
 }
 
 }  // namespace netsyn::service

@@ -51,17 +51,20 @@
 // their current task before the job parks).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/method.hpp"
 #include "harness/config.hpp"
 #include "harness/models.hpp"
+#include "util/transport.hpp"
 
 namespace netsyn::service {
 
@@ -374,6 +377,74 @@ class SynthService {
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
+};
+
+/// Network front end for one SynthService: accepts TCP or Unix-domain
+/// connections on a util::SocketListener and serves each as an independent
+/// NDJSON protocol session on its own thread (the same handleRequestLine
+/// path the stdin/stdout daemon and pipe transports speak, so every
+/// session is fenced by the hello epoch tokens). A "shutdown" op from any
+/// session stops the service and the server.
+///
+/// The accept loop polls in short finite ticks and checks a stop flag
+/// between them — the documented-safe way to stop a SocketListener without
+/// racing a blocked accept. Connection drops are per-session events: one
+/// peer vanishing (TransportClosed) just ends that session's thread, the
+/// listener and the other sessions keep going, and a reconnecting peer is
+/// a fresh accept.
+class SocketServer {
+ public:
+  /// Binds `endpoint` (TCP port 0 = ephemeral; see boundEndpoint()).
+  /// `recvTimeoutSeconds` bounds each session's per-request read (0 = wait
+  /// forever — sessions are request-driven, an idle peer is not an error).
+  SocketServer(SynthService& service, const util::SocketEndpoint& endpoint,
+               double recvTimeoutSeconds = 0.0);
+  ~SocketServer();  ///< stop()
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// The bound address (ephemeral TCP port resolved) — what a client dials.
+  const util::SocketEndpoint& boundEndpoint() const;
+
+  /// Starts the accept loop on a background thread. Idempotent.
+  void start();
+
+  /// Serves on the calling thread until a shutdown op arrives (what
+  /// `synthd --listen` runs as its main loop).
+  void run();
+
+  /// Stops accepting, severs every live session, joins all threads.
+  /// Idempotent. Not callable from a session thread (it joins them) — a
+  /// shutdown op arriving over a session instead raises the stop flag, and
+  /// run()/the owner performs the join.
+  void stop();
+
+  /// Chaos hook: abruptly severs every live session (RST-close) while the
+  /// listener keeps accepting — a network partition between coordinator
+  /// and backend, not a backend death. Returns the number severed.
+  std::size_t dropConnections();
+
+  std::size_t sessionsServed() const;  ///< connections accepted so far
+  std::size_t sessionsActive() const;  ///< sessions currently being served
+
+ private:
+  struct Session;
+
+  void acceptLoop();
+  void serveSession(Session* session);
+  void reapFinishedSessions();
+
+  SynthService& service_;
+  util::SocketListener listener_;
+  double recvTimeoutSeconds_ = 0.0;
+
+  mutable std::mutex mu_;  ///< guards sessions_ and served_
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::size_t served_ = 0;
+
+  std::thread acceptThread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
 };
 
 }  // namespace netsyn::service

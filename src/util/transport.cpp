@@ -1,15 +1,74 @@
 #include "util/transport.hpp"
 
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
 
+#include "util/faultinject.hpp"
+
 namespace netsyn::util {
+
+namespace {
+
+double monotonicSeconds() {
+  struct timespec ts {};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+/// Waits for `events` on fd against a fixed deadline. EINTR resumes with
+/// the *remaining* budget (the deadline was set when the wait began), so a
+/// signal storm can only delay the timeout by its own delivery time, never
+/// restart the budget. Returns false on timeout; throws TransportClosed on
+/// a poll error. timeoutSeconds <= 0 waits forever.
+bool pollFdUntil(int fd, short events, double timeoutSeconds,
+                 const char* what) {
+  const bool bounded = timeoutSeconds > 0.0;
+  const double deadline = bounded ? monotonicSeconds() + timeoutSeconds : 0.0;
+  for (;;) {
+    int timeoutMs = -1;
+    if (bounded) {
+      const double leftMs = (deadline - monotonicSeconds()) * 1000.0;
+      if (leftMs <= 0.0) return false;
+      timeoutMs = static_cast<int>(std::max(1.0, leftMs));
+    }
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int r = poll(&pfd, 1, timeoutMs);
+    if (r > 0) return true;
+    if (r == 0) {
+      if (!bounded) continue;  // spurious zero without a budget: re-arm
+      return false;
+    }
+    if (errno == EINTR) continue;  // loop re-derives the remaining budget
+    throw TransportClosed(std::string(what) + " poll failed (" +
+                          std::strerror(errno) + ")");
+  }
+}
+
+/// Splits one line off buf (consuming the newline) when present.
+bool takeLine(std::string& buf, std::string& line) {
+  const std::size_t nl = buf.find('\n');
+  if (nl == std::string::npos) return false;
+  line.assign(buf, 0, nl);
+  buf.erase(0, nl + 1);
+  return true;
+}
+
+}  // namespace
 
 PipeTransport::PipeTransport(const std::string& path,
                              const std::vector<std::string>& args,
@@ -78,31 +137,30 @@ void PipeTransport::sendLine(const std::string& line) {
 
 std::string PipeTransport::recvLine() {
   if (closed_) throw TransportClosed("transport already closed");
+  // One fixed deadline for the whole line: partial reads and EINTR wakeups
+  // resume the remaining budget rather than restarting it.
+  const bool bounded = recvTimeoutSeconds_ > 0.0;
+  const double deadline =
+      bounded ? monotonicSeconds() + recvTimeoutSeconds_ : 0.0;
+  std::string line;
   for (;;) {
-    const std::size_t nl = buf_.find('\n');
-    if (nl != std::string::npos) {
-      std::string line = buf_.substr(0, nl);
-      buf_.erase(0, nl + 1);
-      return line;
+    if (takeLine(buf_, line)) return line;
+    if (buf_.size() > kMaxLineBytes) {
+      markClosed();
+      throw TransportClosed("backend line exceeds the framing cap");
     }
-    if (recvTimeoutSeconds_ > 0.0) {
-      struct pollfd pfd {};
-      pfd.fd = readFd_;
-      pfd.events = POLLIN;
-      const int timeoutMs =
-          static_cast<int>(std::max(1.0, recvTimeoutSeconds_ * 1000.0));
-      int r;
-      do {
-        r = poll(&pfd, 1, timeoutMs);
-      } while (r < 0 && errno == EINTR);
-      if (r == 0) {
+    if (bounded) {
+      const double left = deadline - monotonicSeconds();
+      bool readable = false;
+      try {
+        readable = left > 0.0 && pollFdUntil(readFd_, POLLIN, left, "backend");
+      } catch (const TransportClosed&) {
+        markClosed();
+        throw;
+      }
+      if (!readable) {
         markClosed();
         throw TransportTimeout("backend silent past the receive timeout");
-      }
-      if (r < 0) {
-        const std::string why = std::strerror(errno);
-        markClosed();
-        throw TransportClosed("poll on backend failed (" + why + ")");
       }
     }
     char chunk[4096];
@@ -143,6 +201,354 @@ void PipeTransport::kill() {
     pid_ = -1;
   }
   markClosed();
+}
+
+// ---------------------------------------------------------------- sockets --
+
+SocketEndpoint SocketEndpoint::parse(const std::string& text) {
+  SocketEndpoint ep;
+  if (text.rfind("unix:", 0) == 0) {
+    ep.isUnix = true;
+    ep.host = text.substr(5);
+    if (ep.host.empty())
+      throw std::invalid_argument("empty unix socket path in '" + text + "'");
+    if (ep.host.size() >= sizeof(sockaddr_un{}.sun_path))
+      throw std::invalid_argument("unix socket path too long: '" + ep.host +
+                                  "'");
+    return ep;
+  }
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0)
+    throw std::invalid_argument("endpoint '" + text +
+                                "' is not HOST:PORT or unix:PATH");
+  ep.host = text.substr(0, colon);
+  const std::string portText = text.substr(colon + 1);
+  if (portText.empty() ||
+      portText.find_first_not_of("0123456789") != std::string::npos)
+    throw std::invalid_argument("bad port in endpoint '" + text + "'");
+  const unsigned long port = std::stoul(portText);
+  if (port > 65535)
+    throw std::invalid_argument("port out of range in endpoint '" + text +
+                                "'");
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+std::string SocketEndpoint::str() const {
+  if (isUnix) return "unix:" + host;
+  return host + ":" + std::to_string(port);
+}
+
+namespace {
+
+/// Severs a socket connection when an armed fault fires at `site`: the
+/// FaultInjected becomes the same TransportClosed a real partition raises.
+void faultSever(const char* site, int& fd) {
+  if (!FaultRegistry::armed()) [[likely]]
+    return;
+  try {
+    FaultRegistry::instance().onHit(site);
+  } catch (const FaultInjected& e) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+    throw TransportClosed(std::string("fault injected at ") + site + ": " +
+                          e.what());
+  }
+}
+
+int dialTcp(const SocketEndpoint& ep) {
+  struct addrinfo hints {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string portText = std::to_string(ep.port);
+  const int rc = getaddrinfo(ep.host.c_str(), portText.c_str(), &hints, &res);
+  if (rc != 0)
+    throw TransportClosed("cannot resolve " + ep.str() + " (" +
+                          gai_strerror(rc) + ")");
+  int fd = -1;
+  std::string lastError = "no addresses";
+  for (struct addrinfo* ai = res; ai; ai = ai->ai_next) {
+    fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      lastError = std::strerror(errno);
+      continue;
+    }
+    int r;
+    do {
+      r = connect(fd, ai->ai_addr, ai->ai_addrlen);
+    } while (r < 0 && errno == EINTR);
+    if (r == 0) break;
+    lastError = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  freeaddrinfo(res);
+  if (fd < 0)
+    throw TransportClosed("cannot connect to " + ep.str() + " (" + lastError +
+                          ")");
+  // Line-oriented request/response traffic: don't batch tiny frames.
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+int dialUnix(const SocketEndpoint& ep) {
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw TransportClosed(std::string("socket() failed (") +
+                          std::strerror(errno) + ")");
+  struct sockaddr_un addr {};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, ep.host.c_str(), sizeof(addr.sun_path) - 1);
+  int r;
+  do {
+    r = connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr);
+  } while (r < 0 && errno == EINTR);
+  if (r != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw TransportClosed("cannot connect to " + ep.str() + " (" + why + ")");
+  }
+  return fd;
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(const SocketEndpoint& endpoint,
+                                 double recvTimeoutSeconds,
+                                 std::size_t maxLineBytes)
+    : recvTimeoutSeconds_(recvTimeoutSeconds),
+      maxLineBytes_(maxLineBytes),
+      peer_(endpoint.str()) {
+  int none = -1;
+  faultSever("transport.dial", none);
+  fd_.store(endpoint.isUnix ? dialUnix(endpoint) : dialTcp(endpoint),
+            std::memory_order_release);
+}
+
+SocketTransport::SocketTransport(int fd, std::string peerName,
+                                 double recvTimeoutSeconds,
+                                 std::size_t maxLineBytes)
+    : fd_(fd),
+      recvTimeoutSeconds_(recvTimeoutSeconds),
+      maxLineBytes_(maxLineBytes),
+      peer_(std::move(peerName)) {
+  if (fd < 0) throw std::invalid_argument("adopted socket fd is invalid");
+}
+
+SocketTransport::~SocketTransport() { close(); }
+
+void SocketTransport::markClosed() {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+}
+
+void SocketTransport::sendBytes(const char* data, std::size_t n) {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) throw TransportClosed("transport already closed");
+  while (n > 0) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE.
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) {
+      const std::string why = std::strerror(errno);
+      markClosed();
+      throw TransportClosed("write to " + peer_ + " failed (" + why + ")");
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void SocketTransport::sendLine(const std::string& line) {
+  const std::string framed = line + "\n";
+  sendBytes(framed.data(), framed.size());
+}
+
+std::string SocketTransport::recvLine() {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) throw TransportClosed("transport already closed");
+  {
+    int none = -1;
+    try {
+      faultSever("transport.recv", none);
+    } catch (const TransportClosed&) {
+      markClosed();
+      throw;
+    }
+  }
+  const bool bounded = recvTimeoutSeconds_ > 0.0;
+  const double deadline =
+      bounded ? monotonicSeconds() + recvTimeoutSeconds_ : 0.0;
+  std::string line;
+  for (;;) {
+    if (takeLine(buf_, line)) return line;
+    if (buf_.size() > maxLineBytes_) {
+      markClosed();
+      throw TransportClosed(peer_ + " sent a line past the framing cap");
+    }
+    if (bounded) {
+      const double left = deadline - monotonicSeconds();
+      bool readable = false;
+      try {
+        readable = left > 0.0 && pollFdUntil(fd, POLLIN, left, peer_.c_str());
+      } catch (const TransportClosed&) {
+        markClosed();
+        throw;
+      }
+      if (!readable) {
+        markClosed();
+        throw TransportTimeout(peer_ + " silent past the receive timeout");
+      }
+    }
+    char chunk[4096];
+    const ssize_t n = recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      const std::string why =
+          n == 0 ? "peer closed the connection" : std::strerror(errno);
+      markClosed();
+      throw TransportClosed("read from " + peer_ + " failed (" + why + ")");
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void SocketTransport::close() {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) shutdown(fd, SHUT_RDWR);
+  markClosed();
+}
+
+void SocketTransport::kill() {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    // RST on close: the peer sees an abrupt reset, as a severed network
+    // path would deliver — no FIN handshake, no pending-data drain.
+    struct linger lg {};
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+  }
+  markClosed();
+}
+
+void SocketTransport::sever() {
+  // Wake a recv blocked on the owning thread without releasing the fd (no
+  // close, so no fd-reuse race): the blocked thread sees EOF and runs
+  // markClosed itself.
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) shutdown(fd, SHUT_RDWR);
+}
+
+SocketListener::SocketListener(const SocketEndpoint& endpoint, int backlog) {
+  bound_ = endpoint;
+  if (endpoint.isUnix) {
+    fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0)
+      throw std::runtime_error(std::string("socket() failed (") +
+                               std::strerror(errno) + ")");
+    struct sockaddr_un addr {};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, endpoint.host.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    // A stale socket file from a dead process would fail the bind; the
+    // listener owns the path, so clearing it is safe.
+    unlink(endpoint.host.c_str());
+    if (bind(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      const std::string why = std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("cannot bind " + endpoint.str() + " (" + why +
+                               ")");
+    }
+    unlinkOnClose_ = true;
+  } else {
+    struct addrinfo hints {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    struct addrinfo* res = nullptr;
+    const std::string portText = std::to_string(endpoint.port);
+    const int rc =
+        getaddrinfo(endpoint.host.c_str(), portText.c_str(), &hints, &res);
+    if (rc != 0)
+      throw std::runtime_error("cannot resolve " + endpoint.str() + " (" +
+                               gai_strerror(rc) + ")");
+    std::string lastError = "no addresses";
+    for (struct addrinfo* ai = res; ai; ai = ai->ai_next) {
+      fd_ = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd_ < 0) {
+        lastError = std::strerror(errno);
+        continue;
+      }
+      int one = 1;
+      setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+      if (bind(fd_, ai->ai_addr, ai->ai_addrlen) == 0) break;
+      lastError = std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+    }
+    freeaddrinfo(res);
+    if (fd_ < 0)
+      throw std::runtime_error("cannot bind " + endpoint.str() + " (" +
+                               lastError + ")");
+    // Resolve an ephemeral-port bind to the kernel's choice.
+    struct sockaddr_storage ss {};
+    socklen_t slen = sizeof ss;
+    if (getsockname(fd_, reinterpret_cast<struct sockaddr*>(&ss), &slen) ==
+        0) {
+      if (ss.ss_family == AF_INET)
+        bound_.port =
+            ntohs(reinterpret_cast<struct sockaddr_in*>(&ss)->sin_port);
+      else if (ss.ss_family == AF_INET6)
+        bound_.port =
+            ntohs(reinterpret_cast<struct sockaddr_in6*>(&ss)->sin6_port);
+    }
+  }
+  if (listen(fd_, backlog) != 0) {
+    const std::string why = std::strerror(errno);
+    close();
+    throw std::runtime_error("cannot listen on " + bound_.str() + " (" + why +
+                             ")");
+  }
+}
+
+SocketListener::~SocketListener() { close(); }
+
+void SocketListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (unlinkOnClose_) {
+    unlink(bound_.host.c_str());
+    unlinkOnClose_ = false;
+  }
+}
+
+std::unique_ptr<SocketTransport> SocketListener::accept(
+    double timeoutSeconds, double recvTimeoutSeconds) {
+  if (fd_ < 0) throw TransportClosed("listener is closed");
+  if (!pollFdUntil(fd_, POLLIN, timeoutSeconds, "listener")) return nullptr;
+  int conn;
+  do {
+    conn = ::accept(fd_, nullptr, nullptr);
+  } while (conn < 0 && errno == EINTR);
+  if (conn < 0)
+    throw TransportClosed(std::string("accept failed (") +
+                          std::strerror(errno) + ")");
+  faultSever("transport.accept", conn);
+  if (!bound_.isUnix) {
+    int one = 1;
+    setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  return std::make_unique<SocketTransport>(
+      conn, bound_.str() + "#peer", recvTimeoutSeconds);
 }
 
 RetrySchedule::RetrySchedule(double baseMs, double capMs, std::uint64_t seed)

@@ -1,16 +1,30 @@
 // Line-oriented transport seam for the NDJSON protocol: one interface the
-// fleet coordinator and synth_client speak through, with a subprocess pipe
-// implementation today and room for sockets later (a remote host is just
-// another Transport).
+// fleet coordinator and synth_client speak through. Implementations:
+// PipeTransport (fork/exec subprocess over a pipe pair), SocketTransport
+// (TCP or Unix-domain stream to a remote daemon, dialed or adopted from a
+// SocketListener accept), and the in-process LoopbackTransport in
+// service/fleet.hpp — a remote host is just another Transport.
 //
-// Failure model: every way the peer can be gone — EPIPE on write, EOF on
-// read, a receive that outlives its timeout — surfaces as TransportClosed
-// (timeouts as the TransportTimeout subclass). A transport that threw
-// TransportClosed is dead for good: the coordinator treats the host as
-// lost and reassigns its work; a client respawns and reattaches. kill()
-// simulates abrupt host death (SIGKILL for subprocesses — no shutdown
-// handshake, durable state is whatever already hit disk), which is what
-// the chaos/failover tests lean on.
+// Failure model: every way the peer can be gone — EPIPE on write, EOF or
+// connection reset on read, a receive that outlives its timeout, a line
+// that exceeds the framing cap — surfaces as TransportClosed (timeouts as
+// the TransportTimeout subclass). A transport that threw TransportClosed
+// is dead for good: a line protocol cannot resynchronize mid-frame, so the
+// caller must re-dial/respawn and re-hello rather than retry the request.
+// kill() simulates abrupt host death (SIGKILL for subprocesses, an
+// RST-close for sockets — no shutdown handshake, durable state is whatever
+// already hit disk), which is what the chaos/failover tests lean on.
+//
+// Timeout budget semantics: recvLine's deadline is fixed when the call
+// starts (CLOCK_MONOTONIC) and EINTR resumes the *remaining* budget — a
+// signal-heavy chaos run can delay a timeout by at most one delivery, not
+// extend it unboundedly (pinned by the transport conformance suite).
+//
+// Chaos surface: the socket path carries deterministic fault-injection
+// sites ("transport.dial", "transport.accept", "transport.recv",
+// util/faultinject.hpp). A throw-armed fault at any of them severs that
+// connection exactly as a network partition would: the transport closes
+// and the caller sees TransportClosed.
 //
 // RetrySchedule is the deterministic backoff companion: reconnect/shed
 // delays are seeded draws (splitmix64, the fault-injection registry's
@@ -20,6 +34,7 @@
 
 #include <sys/types.h>
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
@@ -42,6 +57,11 @@ class TransportTimeout : public TransportClosed {
  public:
   explicit TransportTimeout(const std::string& what) : TransportClosed(what) {}
 };
+
+/// Ceiling on one received line (framing cap): a peer that streams more
+/// bytes without a newline is severed (TransportClosed) instead of growing
+/// the receive buffer without bound.
+inline constexpr std::size_t kMaxLineBytes = 8u << 20;
 
 /// One bidirectional line session with a protocol peer.
 class Transport {
@@ -103,6 +123,113 @@ class PipeTransport : public Transport {
   bool closed_ = false;
   double recvTimeoutSeconds_ = 0.0;
   std::string buf_;  ///< bytes read past the last returned line
+};
+
+/// One parsed transport address: "HOST:PORT" (TCP; HOST may be a hostname
+/// or a numeric address, PORT 0 asks the kernel for an ephemeral port) or
+/// "unix:PATH" (Unix-domain stream socket at PATH).
+struct SocketEndpoint {
+  bool isUnix = false;
+  std::string host;        ///< TCP host, or the Unix socket path
+  std::uint16_t port = 0;  ///< TCP only
+
+  /// Parses the textual forms above. Throws std::invalid_argument on an
+  /// empty host/path, a malformed port, or a Unix path too long for
+  /// sockaddr_un.
+  static SocketEndpoint parse(const std::string& text);
+
+  /// Canonical text form ("HOST:PORT" / "unix:PATH") — parse(str()) round
+  /// trips.
+  std::string str() const;
+};
+
+/// A connected stream socket (TCP or Unix-domain) behind the Transport
+/// interface. Dialing ("transport.dial" fault site) throws TransportClosed
+/// when the peer is unreachable, so a reconnect loop can retry on seeded
+/// backoff. kill() is an abrupt RST-close (SO_LINGER 0): the peer sees a
+/// reset, not a clean shutdown — a simulated network partition.
+class SocketTransport : public Transport {
+ public:
+  /// Dials `endpoint`. recvTimeoutSeconds 0 = wait forever; maxLineBytes
+  /// caps one received line (kMaxLineBytes default).
+  explicit SocketTransport(const SocketEndpoint& endpoint,
+                           double recvTimeoutSeconds = 0.0,
+                           std::size_t maxLineBytes = kMaxLineBytes);
+
+  /// Adopts an already-connected socket (a SocketListener accept).
+  SocketTransport(int fd, std::string peerName, double recvTimeoutSeconds = 0.0,
+                  std::size_t maxLineBytes = kMaxLineBytes);
+
+  ~SocketTransport() override;
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  void sendLine(const std::string& line) override;
+  std::string recvLine() override;
+  bool alive() const override {
+    return fd_.load(std::memory_order_acquire) >= 0;
+  }
+  void close() override;
+  void kill() override;
+
+  /// Cross-thread sever: half-closes both directions (shutdown(2)) so a
+  /// recvLine blocked on *another* thread wakes with EOF and closes the
+  /// transport itself. Unlike close()/kill() this never releases the fd,
+  /// so it is safe to call while the owning thread is mid-recv — the one
+  /// transport operation with that guarantee (service::SocketServer's
+  /// stop/dropConnections hook).
+  void sever();
+
+  /// Raw unframed bytes on the wire — the framing-fuzz hook: tests split
+  /// one protocol line across arbitrary write (and thus TCP segment)
+  /// boundaries to prove the peer reassembles or cleanly rejects it.
+  void sendBytes(const char* data, std::size_t n);
+
+  const std::string& peerName() const { return peer_; }
+
+ private:
+  void markClosed();
+
+  std::atomic<int> fd_{-1};  ///< -1 once closed (exchange-and-close)
+  double recvTimeoutSeconds_ = 0.0;
+  std::size_t maxLineBytes_ = kMaxLineBytes;
+  std::string peer_;
+  std::string buf_;  ///< bytes read past the last returned line
+};
+
+/// A bound, listening stream socket (TCP or Unix-domain). accept() hands
+/// out connected SocketTransports ("transport.accept" fault site). For
+/// TCP port 0 the kernel-assigned port is visible via boundEndpoint() —
+/// how tests and CI avoid port collisions. Unix sockets unlink their path
+/// on close.
+class SocketListener {
+ public:
+  explicit SocketListener(const SocketEndpoint& endpoint, int backlog = 16);
+  ~SocketListener();
+  SocketListener(const SocketListener&) = delete;
+  SocketListener& operator=(const SocketListener&) = delete;
+
+  /// The actual bound address (TCP port 0 resolved).
+  const SocketEndpoint& boundEndpoint() const { return bound_; }
+
+  /// Waits up to timeoutSeconds (0 = forever) for a connection; returns
+  /// nullptr on timeout. `recvTimeoutSeconds` seeds the accepted
+  /// transport's receive budget. Throws TransportClosed once the listener
+  /// is closed.
+  std::unique_ptr<SocketTransport> accept(double timeoutSeconds = 0.0,
+                                          double recvTimeoutSeconds = 0.0);
+
+  bool listening() const { return fd_ >= 0; }
+
+  /// Stops accepting (idempotent). Not safe to race with a blocked
+  /// accept() on another thread — accept loops must use a finite timeout
+  /// and check a stop flag between ticks (service::SocketServer does).
+  void close();
+
+ private:
+  int fd_ = -1;
+  SocketEndpoint bound_;
+  bool unlinkOnClose_ = false;
 };
 
 /// Deterministic capped-exponential backoff with seeded jitter: attempt n

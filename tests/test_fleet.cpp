@@ -471,3 +471,204 @@ TEST(FleetProtocol, HelloReportsDurableResumption) {
   EXPECT_TRUE(resumed) << "hello must flag recovered durable jobs so the "
                           "coordinator re-claims with attach";
 }
+
+// ------------------------------------------------ socket backends ---------
+
+namespace {
+
+/// A real daemon in miniature: a SynthService served over a Unix-domain
+/// SocketServer, the same stack `synthd --listen` runs. Returns endpoints
+/// the coordinator's socket constructor dials.
+class SocketFleetEnv {
+ public:
+  explicit SocketFleetEnv(std::size_t hosts) {
+    for (std::size_t i = 0; i < hosts; ++i) {
+      ns::ServiceConfig sc;
+      sc.workers = 1;
+      services_.push_back(std::make_unique<ns::SynthService>(sc));
+      const std::string path = "/tmp/netsyn_fleet_" +
+                               std::to_string(::getpid()) + "_" +
+                               std::to_string(counter_++) + ".sock";
+      servers_.push_back(std::make_unique<ns::SocketServer>(
+          *services_.back(), nu::SocketEndpoint::parse("unix:" + path)));
+      servers_.back()->start();
+      endpoints_.push_back(servers_.back()->boundEndpoint());
+    }
+  }
+
+  const std::vector<nu::SocketEndpoint>& endpoints() const {
+    return endpoints_;
+  }
+  ns::SynthService& service(std::size_t i) { return *services_.at(i); }
+
+ private:
+  static inline int counter_ = 0;
+  std::vector<std::unique_ptr<ns::SynthService>> services_;
+  std::vector<std::unique_ptr<ns::SocketServer>> servers_;
+  std::vector<nu::SocketEndpoint> endpoints_;
+};
+
+}  // namespace
+
+// The tentpole invariant crossing the wire: the same workload merged over
+// socket backends renders the same bytes as the loopback (and, by the
+// existing tests, pipe) fleets — for one host and three.
+TEST(FleetSocket, SocketBackendsRenderSameReportBytesAsLoopback) {
+  const nh::ExperimentConfig cfg = tinyConfig();
+  const std::string reference =
+      runFleetReport(fastPoll(1), loopbackFactory(), {}, cfg);
+  for (const std::size_t hosts : {std::size_t{1}, std::size_t{3}}) {
+    SocketFleetEnv env(hosts);
+    ns::FleetCoordinator fleet(fastPoll(hosts), env.endpoints());
+    EXPECT_EQ(fleet.run(cfg, "Edit").render(), reference)
+        << hosts << "-host socket fleet diverged";
+  }
+}
+
+// A connection severed mid-claim is not a host death: the coordinator
+// re-dials, re-hellos the same token (idempotent epoch), and re-attaches
+// its still-running claims — and the merged bytes never notice.
+TEST(FleetSocket, MidClaimSeverReconnectsAndKeepsReportBytes) {
+  const nh::ExperimentConfig cfg = mediumConfig();
+  const std::string undisturbed =
+      runFleetReport(fastPoll(1), loopbackFactory(), {}, cfg);
+
+  SocketFleetEnv env(3);
+  ns::FleetConfig fc = fastPoll(3);
+  fc.chaosKill = true;  // on a socket host: severs the connection only
+  fc.maxReconnectAttempts = 3;
+  fc.reconnectBaseMs = 1.0;
+  fc.reconnectCapMs = 4.0;
+  ns::FleetCoordinator fleet(fc, env.endpoints());
+  const std::string chaosRun = fleet.run(cfg, "Edit").render();
+  const ns::FleetMetrics metrics = fleet.metrics();
+
+  EXPECT_EQ(chaosRun, undisturbed);
+  EXPECT_EQ(metrics.hostsReconnected, 1u);
+  EXPECT_EQ(metrics.hostsLost, 0u) << "a sever with redial budget left must "
+                                      "not escalate to host death";
+  EXPECT_GE(metrics.recovered(), 1u);
+}
+
+// With the redial budget exhausted the sever degrades to the pipe-era
+// behavior: host death, failover to survivors, same bytes.
+TEST(FleetSocket, SeverPastRedialBudgetFailsOverToSurvivors) {
+  const nh::ExperimentConfig cfg = mediumConfig();
+  const std::string undisturbed =
+      runFleetReport(fastPoll(1), loopbackFactory(), {}, cfg);
+
+  SocketFleetEnv env(3);
+  ns::FleetConfig fc = fastPoll(3);
+  fc.chaosKill = true;
+  fc.maxReconnectAttempts = 0;  // legacy mode: a drop is a death
+  ns::FleetCoordinator fleet(fc, env.endpoints());
+  const std::string chaosRun = fleet.run(cfg, "Edit").render();
+  const ns::FleetMetrics metrics = fleet.metrics();
+
+  EXPECT_EQ(chaosRun, undisturbed);
+  EXPECT_EQ(metrics.hostsLost, 1u);
+  EXPECT_EQ(metrics.hostsReconnected, 0u);
+  EXPECT_GE(metrics.tasksReassigned, 1u);
+}
+
+// Epoch fencing across the wire: once a successor coordinator hellos a new
+// token, a zombie predecessor's dial is rejected stale_token — loudly, not
+// as a silent split brain.
+TEST(FleetSocket, ZombieCoordinatorDialIsFencedByStaleToken) {
+  SocketFleetEnv env(1);
+  {
+    nu::SocketTransport old(env.endpoints()[0], 5.0);
+    ASSERT_TRUE(okOf(nu::parseJson(
+        old.request("{\"op\": \"hello\", \"token\": \"epoch-old\"}"))));
+    nu::SocketTransport successor(env.endpoints()[0], 5.0);
+    ASSERT_TRUE(okOf(nu::parseJson(successor.request(
+        "{\"op\": \"hello\", \"token\": \"epoch-new\"}"))));
+  }
+  // The zombie comes back with its retired token: connect must throw, and
+  // the daemon must stay healthy for the live epoch.
+  ns::FleetConfig fc = fastPoll(1);
+  fc.token = "epoch-old";
+  ns::FleetCoordinator zombie(fc, env.endpoints());
+  EXPECT_THROW(zombie.run(tinyConfig(), "Edit"), std::runtime_error);
+
+  nu::SocketTransport live(env.endpoints()[0], 5.0);
+  EXPECT_TRUE(okOf(nu::parseJson(
+      live.request("{\"op\": \"hello\", \"token\": \"epoch-new\"}"))));
+}
+
+// ------------------------------------------------ socket framing fuzz -----
+
+// Satellite of the tentpole's fault layer: protocol frames mangled at the
+// byte level on a real socket. Every strict prefix terminated by a newline
+// must come back as a clean ok:false on a surviving session; prefixes cut
+// by a disconnect must leave no phantom job; and no split of a valid frame
+// across write boundaries may change what the daemon parses. ASan CI runs
+// this test, so a buffer overrun in the reassembly path fails loudly.
+TEST(FleetSocket, FramingFuzzNeverCrashesOrCreatesPhantomJobs) {
+  SocketFleetEnv env(1);
+  const std::string cfgJson = tinyConfig(11, 300).toJson();
+  const std::string hello = "{\"op\": \"hello\", \"token\": \"fuzz\"}";
+  const std::string full = "{\"op\": \"claim\", \"token\": \"fuzz\", "
+                           "\"config\": " +
+                           cfgJson + ", \"tasks\": [0, 1]}";
+
+  // Newline-terminated strict prefixes, all on one session: each is an
+  // unterminated JSON document the daemon must answer ok:false without
+  // dropping the connection.
+  {
+    nu::SocketTransport t(env.endpoints()[0], 30.0);
+    ASSERT_TRUE(okOf(nu::parseJson(t.request(hello))));
+    for (std::size_t len = 1; len < full.size(); len += 7) {
+      const std::string framed = full.substr(0, len) + "\n";
+      t.sendBytes(framed.data(), framed.size());
+      EXPECT_FALSE(okOf(nu::parseJson(t.recvLine())))
+          << "prefix length " << len;
+    }
+    EXPECT_EQ(env.service(0).stats().jobsSubmitted, 0u)
+        << "a truncated claim line must never submit";
+    // The session survived the whole battery: the intact frame still works.
+    EXPECT_TRUE(okOf(nu::parseJson(t.request(full))));
+    EXPECT_EQ(env.service(0).stats().jobsSubmitted, 1u);
+  }
+
+  // Prefixes cut by disconnect (no newline, then EOF): the daemon reads a
+  // partial line, sees the close, and discards it — no response, no job.
+  const std::size_t jobsAfterIntact = env.service(0).stats().jobsSubmitted;
+  for (std::size_t len = 1; len < full.size(); len += 29) {
+    nu::SocketTransport t(env.endpoints()[0], 30.0);
+    ASSERT_TRUE(okOf(nu::parseJson(t.request(hello))));
+    t.sendBytes(full.data(), len);
+    t.close();
+  }
+  // Give the last session thread a beat to observe the EOF.
+  for (int i = 0; i < 200; ++i) {
+    if (env.service(0).stats().jobsSubmitted == jobsAfterIntact) break;
+    usleep(5 * 1000);
+  }
+  EXPECT_EQ(env.service(0).stats().jobsSubmitted, jobsAfterIntact)
+      << "a frame cut by disconnect must never submit";
+
+  // Valid frame split at seeded-random write boundaries: TCP segmentation
+  // must be invisible to the parser — every round parses the same claim.
+  std::uint64_t state = 0x5eedf00dULL;
+  auto nextSplit = [&state](std::size_t bound) {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>((z ^ (z >> 31)) % bound);
+  };
+  for (int round = 0; round < 16; ++round) {
+    nu::SocketTransport t(env.endpoints()[0], 30.0);
+    ASSERT_TRUE(okOf(nu::parseJson(t.request(hello))));
+    const std::string framed = full + "\n";
+    std::size_t at = 0;
+    while (at < framed.size()) {
+      const std::size_t n =
+          std::min(framed.size() - at, 1 + nextSplit(64));
+      t.sendBytes(framed.data() + at, n);
+      at += n;
+    }
+    EXPECT_TRUE(okOf(nu::parseJson(t.recvLine()))) << "round " << round;
+  }
+}
